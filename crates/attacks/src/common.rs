@@ -1,0 +1,168 @@
+//! Shared scaffolding for the Injection Attack baselines (§VI-A.5).
+//!
+//! All baselines operate under 𝒞_IA (eq. 4): they inject `b% · |𝒰|` fake
+//! accounts, every fake gives a 5-star rating to the target item, and each
+//! fake additionally rates a set of *filler items*. The baselines differ only
+//! in how fillers are chosen (and, for PGA, how their values are set). Filler
+//! ratings default to draws from a normal distribution fitted to the real
+//! ratings, following Fang et al. [49] (§VI footnote 8).
+
+use msopds_recdata::{Dataset, Market, PoisonAction};
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+/// Scale-aware parameters shared by every IA baseline.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct IaContext {
+    /// Budget parameter `b`: fakes = b % of the real user count.
+    pub b: usize,
+    /// Filler items per fake user (paper: 100; scaled down with the data).
+    pub fillers_per_fake: usize,
+    /// Candidate item pool per fake for the optimization-based baselines.
+    pub candidate_pool: usize,
+    /// RNG seed for the attack's own randomness.
+    pub seed: u64,
+}
+
+impl IaContext {
+    /// Paper-shaped defaults scaled by `1/scale`.
+    pub fn scaled(b: usize, scale: f64) -> Self {
+        Self {
+            b,
+            fillers_per_fake: ((100.0 / scale).round() as usize).max(3),
+            candidate_pool: ((200.0 / scale).round() as usize).max(10),
+            seed: 0,
+        }
+    }
+
+    /// Number of fake users for `n_real` real users.
+    pub fn fake_count(&self, n_real: usize) -> usize {
+        ((self.b as f64 / 100.0 * n_real as f64).ceil() as usize).max(1)
+    }
+}
+
+/// Mean and standard deviation of the real ratings, used to sample filler
+/// values.
+#[derive(Clone, Copy, Debug)]
+pub struct RatingStats {
+    /// Mean star value.
+    pub mean: f64,
+    /// Standard deviation of star values.
+    pub std: f64,
+}
+
+/// Fits [`RatingStats`] to the dataset's ratings.
+pub fn fit_rating_stats(data: &Dataset) -> RatingStats {
+    let ratings = data.ratings.ratings();
+    assert!(!ratings.is_empty(), "cannot fit rating stats on empty data");
+    let mean = ratings.iter().map(|r| r.value).sum::<f64>() / ratings.len() as f64;
+    let var = ratings.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>()
+        / ratings.len() as f64;
+    RatingStats { mean, std: var.sqrt().max(0.1) }
+}
+
+/// Samples a whole-star filler rating from `N(mean, std)` clamped to `[1, 5]`.
+pub fn sample_filler_rating<R: Rng>(stats: RatingStats, rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+    (stats.mean + stats.std * z).round().clamp(1.0, 5.0)
+}
+
+/// Injects the fake accounts and their unconditional 5-star target ratings;
+/// returns `(fake ids, fixed actions)`.
+pub fn inject_fakes(
+    data: &mut Dataset,
+    ctx: &IaContext,
+    target_item: usize,
+) -> (Vec<usize>, Vec<PoisonAction>) {
+    let n_fake = ctx.fake_count(data.n_real_users);
+    let fakes = data.add_fake_users(n_fake);
+    let fixed = fakes
+        .iter()
+        .map(|&f| PoisonAction::Rating { user: f as u32, item: target_item as u32, value: 5.0 })
+        .collect();
+    (fakes, fixed)
+}
+
+/// Builds filler rating actions for each fake over per-fake item choices.
+pub fn filler_actions<R: Rng>(
+    fakes: &[usize],
+    chosen: &[Vec<usize>],
+    stats: RatingStats,
+    rng: &mut R,
+) -> Vec<PoisonAction> {
+    assert_eq!(fakes.len(), chosen.len());
+    let mut out = Vec::new();
+    for (&f, items) in fakes.iter().zip(chosen) {
+        for &i in items {
+            out.push(PoisonAction::Rating {
+                user: f as u32,
+                item: i as u32,
+                value: sample_filler_rating(stats, rng),
+            });
+        }
+    }
+    out
+}
+
+/// The evaluation context a baseline may inspect (target, audience, pool).
+/// Baselines under IA ignore opponents by definition (Table II).
+#[derive(Clone, Debug)]
+pub struct TargetContext<'a> {
+    /// The sampled market.
+    pub market: &'a Market,
+}
+
+impl TargetContext<'_> {
+    /// The attacker's target item.
+    pub fn target_item(&self) -> usize {
+        self.market.target_item
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_recdata::DatasetSpec;
+    use rand::SeedableRng;
+
+    #[test]
+    fn stats_fit_reasonable() {
+        let data = DatasetSpec::micro().generate(1);
+        let stats = fit_rating_stats(&data);
+        assert!(stats.mean > 1.0 && stats.mean < 5.0);
+        assert!(stats.std > 0.0 && stats.std < 3.0);
+    }
+
+    #[test]
+    fn filler_ratings_are_valid_stars() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let stats = RatingStats { mean: 3.4, std: 1.1 };
+        for _ in 0..200 {
+            let v = sample_filler_rating(stats, &mut rng);
+            assert!((1.0..=5.0).contains(&v));
+            assert_eq!(v, v.round());
+        }
+    }
+
+    #[test]
+    fn inject_fakes_count_scales_with_b() {
+        let mut d2 = DatasetSpec::micro().generate(1);
+        let mut d5 = d2.clone();
+        let (f2, fixed2) = inject_fakes(&mut d2, &IaContext::scaled(2, 8.0), 0);
+        let (f5, _) = inject_fakes(&mut d5, &IaContext::scaled(5, 8.0), 0);
+        assert!(f5.len() > f2.len());
+        assert_eq!(fixed2.len(), f2.len());
+        assert_eq!(f2.len(), (0.02f64 * 60.0).ceil() as usize);
+    }
+
+    #[test]
+    fn ia_context_scaling() {
+        let ctx = IaContext::scaled(5, 8.0);
+        assert_eq!(ctx.fillers_per_fake, 13);
+        assert_eq!(ctx.candidate_pool, 25);
+        let full = IaContext::scaled(5, 1.0);
+        assert_eq!(full.fillers_per_fake, 100);
+    }
+}

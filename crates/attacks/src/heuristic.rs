@@ -1,0 +1,129 @@
+//! Heuristic baselines: None, Random, and Popular (§VI-A.5).
+
+use msopds_recdata::{Dataset, PoisonAction};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::common::{filler_actions, fit_rating_stats, inject_fakes, IaContext};
+
+/// "None": the attacker does nothing (the clean-model reference row).
+pub fn none_attack() -> Vec<PoisonAction> {
+    Vec::new()
+}
+
+/// Random attack: each fake rates the target 5 stars plus uniformly random
+/// filler items with normal-fitted ratings.
+pub fn random_attack<R: Rng>(
+    data: &mut Dataset,
+    ctx: &IaContext,
+    target_item: usize,
+    rng: &mut R,
+) -> Vec<PoisonAction> {
+    let stats = fit_rating_stats(data);
+    let (fakes, mut plan) = inject_fakes(data, ctx, target_item);
+    let items: Vec<usize> = (0..data.n_items()).filter(|&i| i != target_item).collect();
+    let chosen: Vec<Vec<usize>> = fakes
+        .iter()
+        .map(|_| {
+            items
+                .choose_multiple(rng, ctx.fillers_per_fake.min(items.len()))
+                .copied()
+                .collect()
+        })
+        .collect();
+    plan.extend(filler_actions(&fakes, &chosen, stats, rng));
+    plan
+}
+
+/// Popular attack [49], [84]: fillers are 90 % random and 10 % drawn from the
+/// most-rated items, exploiting popularity-based co-rating paths.
+pub fn popular_attack<R: Rng>(
+    data: &mut Dataset,
+    ctx: &IaContext,
+    target_item: usize,
+    rng: &mut R,
+) -> Vec<PoisonAction> {
+    let stats = fit_rating_stats(data);
+    let popular: Vec<usize> = data
+        .ratings
+        .items_by_popularity()
+        .into_iter()
+        .filter(|&i| i != target_item)
+        .take((data.n_items() / 10).max(5))
+        .collect();
+    let (fakes, mut plan) = inject_fakes(data, ctx, target_item);
+    let items: Vec<usize> = (0..data.n_items()).filter(|&i| i != target_item).collect();
+
+    let n_pop = (ctx.fillers_per_fake as f64 * 0.1).ceil() as usize;
+    let n_rand = ctx.fillers_per_fake.saturating_sub(n_pop);
+    let chosen: Vec<Vec<usize>> = fakes
+        .iter()
+        .map(|_| {
+            let mut picks: Vec<usize> =
+                popular.choose_multiple(rng, n_pop.min(popular.len())).copied().collect();
+            picks.extend(items.choose_multiple(rng, n_rand.min(items.len())).copied());
+            picks.sort_unstable();
+            picks.dedup();
+            picks
+        })
+        .collect();
+    plan.extend(filler_actions(&fakes, &chosen, stats, rng));
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_recdata::DatasetSpec;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(11)
+    }
+
+    #[test]
+    fn none_is_empty() {
+        assert!(none_attack().is_empty());
+    }
+
+    #[test]
+    fn random_attack_shape() {
+        let mut data = DatasetSpec::micro().generate(1);
+        let ctx = IaContext::scaled(5, 8.0);
+        let plan = random_attack(&mut data, &ctx, 0, &mut rng());
+        let n_fake = ctx.fake_count(60);
+        assert_eq!(data.n_fake_users(), n_fake);
+        // One 5-star target rating per fake plus fillers.
+        let target_ratings = plan
+            .iter()
+            .filter(|a| matches!(a, PoisonAction::Rating { item: 0, value, .. } if *value == 5.0))
+            .count();
+        assert!(target_ratings >= n_fake);
+        assert_eq!(plan.len(), n_fake + n_fake * ctx.fillers_per_fake);
+    }
+
+    #[test]
+    fn popular_attack_includes_popular_items() {
+        let mut data = DatasetSpec::micro().generate(1);
+        let most_popular = data.ratings.items_by_popularity()[0];
+        let target = if most_popular == 0 { 1 } else { 0 };
+        let ctx = IaContext::scaled(5, 4.0);
+        let plan = popular_attack(&mut data, &ctx, target, &mut rng());
+        let hits = plan
+            .iter()
+            .filter(|a| matches!(a, PoisonAction::Rating { item, .. } if *item as usize == most_popular))
+            .count();
+        assert!(hits > 0, "popular attack never touched the most popular item");
+    }
+
+    #[test]
+    fn all_plans_are_valid_actions() {
+        let mut data = DatasetSpec::micro().generate(2);
+        let ctx = IaContext::scaled(3, 8.0);
+        let plan = popular_attack(&mut data, &ctx, 2, &mut rng());
+        // Applying must not panic and must grow the rating count.
+        let before = data.ratings.len();
+        let poisoned = data.apply_poison(&plan);
+        assert!(poisoned.ratings.len() > before);
+    }
+}

@@ -1,0 +1,19 @@
+//! # msopds-attacks
+//!
+//! The Injection Attack baselines of §VI-A.5: None, Random, Popular [49],
+//! PGA [13], S-attack [52], RevAdv [3] and Trial [54], all operating under
+//! the 𝒞_IA capacity of eq. (4) (fake accounts + filler ratings) so the
+//! Table III comparison structure is preserved.
+
+#![warn(missing_docs)]
+
+pub mod common;
+pub mod heuristic;
+pub mod pga;
+pub mod registry;
+pub mod rev_adv;
+pub mod s_attack;
+pub mod trial;
+
+pub use common::{fit_rating_stats, IaContext, RatingStats};
+pub use registry::Baseline;

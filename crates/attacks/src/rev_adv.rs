@@ -1,0 +1,73 @@
+//! Revisit Attack (RevAdv, Tang et al. [3]): bi-level optimization with
+//! gradients computed through the RecSys training process.
+//!
+//! RevAdv is exactly the bi-level formulation of Definition 2 instantiated
+//! over the Injection Attack capacity 𝒞_IA — which in this workspace is
+//! BOPDS over [`msopds_core::build_ia_capacity`] with the eq. (3) objective.
+
+use msopds_core::{build_ia_capacity, plan_bopds, IaCapacitySpec, Objective, PlannerConfig, PlayerSetup};
+use msopds_recdata::{Dataset, PoisonAction};
+use rand::Rng;
+
+use crate::common::IaContext;
+
+/// Runs RevAdv: builds 𝒞_IA, optimizes filler selection through the unrolled
+/// surrogate training, and returns the full plan.
+pub fn rev_adv_attack<R: Rng>(
+    data: &mut Dataset,
+    ctx: &IaContext,
+    target_item: usize,
+    cfg: &PlannerConfig,
+    rng: &mut R,
+) -> Vec<PoisonAction> {
+    let spec = IaCapacitySpec::new(ctx.b, ctx.fillers_per_fake, ctx.candidate_pool);
+    let capacity = build_ia_capacity(data, target_item, &spec, rng);
+    let planning_data = data.apply_poison(&capacity.fixed);
+    let real_users: Vec<usize> = (0..data.n_real_users).collect();
+    let player = PlayerSetup {
+        capacity,
+        objective: Objective::Inject { users: real_users, target: target_item },
+    };
+    let outcome = plan_bopds(&planning_data, &player, cfg);
+    outcome.full_plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_autograd::HvpMode;
+    use msopds_core::MsoConfig;
+    use msopds_recdata::DatasetSpec;
+    use msopds_recsys::pds::PdsConfig;
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> PlannerConfig {
+        PlannerConfig {
+            mso: MsoConfig { iters: 3, cg_iters: 2, hvp_mode: HvpMode::Exact, ..Default::default() },
+            pds: PdsConfig { inner_steps: 2, ..Default::default() },
+        }
+    }
+
+    #[test]
+    fn rev_adv_plan_respects_budget() {
+        let mut data = DatasetSpec::micro().generate(1);
+        let ctx = IaContext { b: 3, fillers_per_fake: 5, candidate_pool: 15, seed: 0 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let plan = rev_adv_attack(&mut data, &ctx, 0, &quick_cfg(), &mut rng);
+        let n_fake = ctx.fake_count(60);
+        assert_eq!(plan.len(), n_fake + n_fake * ctx.fillers_per_fake);
+    }
+
+    #[test]
+    fn rev_adv_selects_within_candidate_pool() {
+        let mut data = DatasetSpec::micro().generate(2);
+        let ctx = IaContext { b: 2, fillers_per_fake: 4, candidate_pool: 10, seed: 0 };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let plan = rev_adv_attack(&mut data, &ctx, 3, &quick_cfg(), &mut rng);
+        for a in &plan {
+            if let PoisonAction::Rating { user, .. } = a {
+                assert!(data.is_fake(*user as usize), "RevAdv only acts through fakes");
+            }
+        }
+    }
+}

@@ -1,0 +1,381 @@
+//! Reverse-mode differentiation.
+//!
+//! [`Tape::grad_vars`] walks the tape from an output node backwards,
+//! accumulating adjoints. Every vector-Jacobian product is *itself built from
+//! tape operations*, so the returned gradients are ordinary differentiable
+//! [`Var`]s: calling `grad_vars` on an expression built from them yields exact
+//! second-order derivatives. This is the mechanism behind the Hessian-vector
+//! products of Algorithm 1, step 9 (`ξ ∂²L^q/∂X̂^q² = ∂L^p/∂X̂^q`).
+//!
+//! Piecewise-linear activations (`relu`, and the switching mask of `selu`)
+//! treat their activation pattern as a constant, which matches the
+//! almost-everywhere derivative and is the standard convention.
+
+use crate::tape::{Op, Tape, SELU_ALPHA, SELU_LAMBDA};
+use crate::tensor::Tensor;
+use crate::var::Var;
+
+impl Tape {
+    /// Differentiable gradients of `output` with respect to each `wrt` node.
+    ///
+    /// If `output` is not scalar the seed is a ones tensor, i.e. the gradient
+    /// of `output.sum()`. Nodes unreachable from `output` get a zero gradient
+    /// of the appropriate shape.
+    pub fn grad_vars<'t>(&'t self, output: Var<'t>, wrt: &[Var<'t>]) -> Vec<Var<'t>> {
+        let n = output.id + 1;
+        let mut adj: Vec<Option<Var<'t>>> = vec![None; n];
+        let out_shape = output.value().shape().to_vec();
+        adj[output.id] = Some(self.constant(Tensor::ones(&out_shape)));
+
+        for id in (0..n).rev() {
+            let Some(g) = adj[id] else { continue };
+            let op = self.op(id);
+            let out = Var { tape: self, id };
+            self.push_vjps(&op, out, g, &mut adj);
+        }
+
+        wrt.iter()
+            .map(|v| {
+                adj.get(v.id).copied().flatten().unwrap_or_else(|| {
+                    self.constant(Tensor::zeros(v.value().shape()))
+                })
+            })
+            .collect()
+    }
+
+    /// Gradient values of `output` w.r.t. each `wrt` node.
+    ///
+    /// Convenience wrapper around [`Tape::grad_vars`] that extracts tensors.
+    pub fn grad(&self, output: Var<'_>, wrt: &[Var<'_>]) -> Vec<Tensor> {
+        // Lifetimes: wrt vars all live on this tape.
+        let wrt_here: Vec<Var<'_>> = wrt.iter().map(|v| Var { tape: self, id: v.id }).collect();
+        let out = Var { tape: self, id: output.id };
+        self.grad_vars(out, &wrt_here).into_iter().map(|v| v.value()).collect()
+    }
+
+    fn push_vjps<'t>(
+        &'t self,
+        op: &Op,
+        out: Var<'t>,
+        g: Var<'t>,
+        adj: &mut [Option<Var<'t>>],
+    ) {
+        use Op::*;
+        let var = |id: usize| Var { tape: self, id };
+        let mut acc = |id: usize, c: Var<'t>| {
+            // Contributions always flow to earlier nodes, so `id` is in range.
+            adj[id] = Some(match adj[id] {
+                Some(existing) => existing.add(c),
+                None => c,
+            });
+        };
+        match op {
+            Leaf { .. } => {}
+            Add(a, b) => {
+                acc(*a, g);
+                acc(*b, g);
+            }
+            Sub(a, b) => {
+                acc(*a, g);
+                acc(*b, g.neg());
+            }
+            Mul(a, b) => {
+                acc(*a, g.mul(var(*b)));
+                acc(*b, g.mul(var(*a)));
+            }
+            Div(a, b) => {
+                let bv = var(*b);
+                acc(*a, g.div(bv));
+                acc(*b, g.mul(out).div(bv).neg());
+            }
+            Neg(a) => acc(*a, g.neg()),
+            AddScalar(a, _) => acc(*a, g),
+            MulScalar(a, c) => acc(*a, g.scale(*c)),
+            PowScalar(a, p) => {
+                let av = var(*a);
+                acc(*a, g.mul(av.pow_scalar(p - 1.0)).scale(*p));
+            }
+            Matmul(a, b) => {
+                let (av, bv) = (var(*a), var(*b));
+                acc(*a, g.matmul(bv.t()));
+                acc(*b, av.t().matmul(g));
+            }
+            Transpose(a) => acc(*a, g.t()),
+            Reshape(a, _) => {
+                let shape = self.value(*a).shape().to_vec();
+                acc(*a, g.reshape(&shape));
+            }
+            Sum(a) => {
+                let shape = self.value(*a).shape().to_vec();
+                acc(*a, g.expand(&shape));
+            }
+            SumRows(a) => {
+                let n = self.value(*a).cols();
+                acc(*a, g.broadcast_cols(n));
+            }
+            SumCols(a) => {
+                let m = self.value(*a).rows();
+                acc(*a, g.broadcast_rows(m));
+            }
+            ExpandScalar(a, _) => acc(*a, g.sum()),
+            BroadcastCols(a, _) => acc(*a, g.sum_rows()),
+            BroadcastRows(a, _) => acc(*a, g.sum_cols()),
+            GatherRows(a, idx) => {
+                let m = self.value(*a).rows();
+                acc(*a, g.scatter_add_rows(idx.clone(), m));
+            }
+            ScatterAddRows(a, idx, _) => acc(*a, g.gather_rows(idx.clone())),
+            GatherElems(a, idx) => {
+                let n = self.value(*a).numel();
+                acc(*a, g.scatter_add_elems(idx.clone(), n));
+            }
+            ScatterAddElems(a, idx, _) => acc(*a, g.gather_elems(idx.clone())),
+            ConcatCols(a, b) => {
+                let na = self.value(*a).cols();
+                let nb = self.value(*b).cols();
+                acc(*a, g.slice_cols(0, na));
+                acc(*b, g.slice_cols(na, na + nb));
+            }
+            SliceCols(a, from, _) => {
+                let total = self.value(*a).cols();
+                acc(*a, g.pad_cols(*from, total));
+            }
+            PadCols(a, from, _) => {
+                let w = self.value(*a).cols();
+                acc(*a, g.slice_cols(*from, from + w));
+            }
+            Exp(a) => acc(*a, g.mul(out)),
+            Ln(a) => acc(*a, g.div(var(*a))),
+            Sqrt(a) => acc(*a, g.scale(0.5).div(out)),
+            Sigmoid(a) => {
+                // σ' = σ(1-σ)
+                acc(*a, g.mul(out).mul(out.neg().add_scalar(1.0)));
+            }
+            Tanh(a) => {
+                // tanh' = 1 - tanh²
+                acc(*a, g.mul(out.square().neg().add_scalar(1.0)));
+            }
+            Relu(a) => {
+                let mask = self.constant(self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+                acc(*a, g.mul(mask));
+            }
+            Selu(a) => {
+                // d/dx = λ for x > 0, λ·α·eˣ for x ≤ 0. The mask is the
+                // (constant) activation pattern; the eˣ factor stays
+                // differentiable so second-order terms through the negative
+                // branch are exact.
+                let av = var(*a);
+                let mask = self.constant(self.value(*a).map(|x| if x > 0.0 { 1.0 } else { 0.0 }));
+                let inv_mask = mask.neg().add_scalar(1.0);
+                let deriv = mask
+                    .scale(SELU_LAMBDA)
+                    .add(inv_mask.mul(av.exp()).scale(SELU_LAMBDA * SELU_ALPHA));
+                acc(*a, g.mul(deriv));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    fn scalar_tape() -> Tape {
+        Tape::new()
+    }
+
+    #[test]
+    fn grad_of_square() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let y = x.square();
+        let g = tape.grad(y, &[x]);
+        assert_eq!(g[0].item(), 6.0);
+    }
+
+    #[test]
+    fn grad_flows_through_chain() {
+        // d/dx [ (2x + 1)² ] = 2(2x+1)·2 = 8x + 4
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(1.5));
+        let y = x.scale(2.0).add_scalar(1.0).square();
+        let g = tape.grad(y, &[x]);
+        assert!((g[0].item() - (8.0 * 1.5 + 4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_matmul() {
+        // y = sum(A·B); dy/dA = 1·Bᵀ broadcast, dy/dB = Aᵀ·1
+        let tape = scalar_tape();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        let y = a.matmul(b).sum();
+        let g = tape.grad(y, &[a, b]);
+        assert_eq!(g[0].to_vec(), vec![11.0, 15.0, 11.0, 15.0]);
+        assert_eq!(g[1].to_vec(), vec![4.0, 4.0, 6.0, 6.0]);
+    }
+
+    #[test]
+    fn grad_unreachable_is_zero() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(1.0));
+        let z = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = x.square();
+        let g = tape.grad(y, &[z]);
+        assert_eq!(g[0].to_vec(), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn second_order_square() {
+        // y = x³, y' = 3x², y'' = 6x
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(2.0));
+        let y = x.pow_scalar(3.0);
+        let g = tape.grad_vars(y, &[x]);
+        assert!((g[0].item() - 12.0).abs() < 1e-12);
+        let gg = tape.grad(g[0], &[x]);
+        assert!((gg[0].item() - 12.0).abs() < 1e-12, "y''(2) = 12, got {}", gg[0].item());
+    }
+
+    #[test]
+    fn second_order_through_mul_chain() {
+        // f = (x·y)², ∂f/∂x = 2xy², ∂²f/∂x∂y = 4xy
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let y = tape.leaf(Tensor::scalar(5.0));
+        let f = x.mul(y).square();
+        let gx = tape.grad_vars(f, &[x])[0];
+        assert!((gx.item() - 2.0 * 3.0 * 25.0).abs() < 1e-9);
+        let gxy = tape.grad(gx, &[y]);
+        assert!((gxy[0].item() - 4.0 * 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn grad_gather_scatter() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[3, 2]));
+        let idx = std::sync::Arc::new(vec![0usize, 2, 2]);
+        let y = x.gather_rows(idx).sum();
+        let g = tape.grad(y, &[x]);
+        // Row 0 gathered once, row 1 never, row 2 twice.
+        assert_eq!(g[0].to_vec(), vec![1.0, 1.0, 0.0, 0.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn grad_concat_routes_to_both() {
+        let tape = scalar_tape();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2, 1]));
+        let y = a.concat_cols(b).mul(tape.constant(Tensor::from_vec(
+            vec![10.0, 20.0, 30.0, 40.0],
+            &[2, 2],
+        )));
+        let g = tape.grad(y.sum(), &[a, b]);
+        assert_eq!(g[0].to_vec(), vec![10.0, 30.0]);
+        assert_eq!(g[1].to_vec(), vec![20.0, 40.0]);
+    }
+
+    #[test]
+    fn grad_selu_negative_branch_second_order() {
+        // For x < 0: selu(x) = λα(eˣ-1); selu'(x) = λαeˣ; selu''(x) = λαeˣ.
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(-1.0));
+        let y = x.selu();
+        let g1 = tape.grad_vars(y, &[x])[0];
+        let expect1 = SELU_LAMBDA * SELU_ALPHA * (-1.0f64).exp();
+        assert!((g1.item() - expect1).abs() < 1e-12);
+        let g2 = tape.grad(g1, &[x]);
+        assert!((g2[0].item() - expect1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_div_quotient_rule() {
+        // f = a/b; ∂f/∂a = 1/b; ∂f/∂b = -a/b²
+        let tape = scalar_tape();
+        let a = tape.leaf(Tensor::scalar(6.0));
+        let b = tape.leaf(Tensor::scalar(3.0));
+        let f = a.div(b);
+        let g = tape.grad(f, &[a, b]);
+        assert!((g[0].item() - 1.0 / 3.0).abs() < 1e-12);
+        assert!((g[1].item() + 6.0 / 9.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_reshape_roundtrips() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let w = tape.constant(Tensor::from_vec(vec![1.0, 10.0, 100.0, 1000.0], &[4]));
+        let y = x.reshape(&[4]).mul(w).sum();
+        let g = tape.grad(y, &[x]).remove(0);
+        assert_eq!(g.shape(), &[2, 2]);
+        assert_eq!(g.to_vec(), vec![1.0, 10.0, 100.0, 1000.0]);
+    }
+
+    #[test]
+    fn grad_pad_and_slice_are_adjoint() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
+        let w = tape.constant(Tensor::from_vec(vec![5.0, 7.0, 11.0, 13.0, 17.0, 19.0], &[2, 3]));
+        let y = x.pad_cols(1, 3).mul(w).sum();
+        let g = tape.grad(y, &[x]).remove(0);
+        // Only the middle column of w touches x.
+        assert_eq!(g.to_vec(), vec![7.0, 17.0]);
+    }
+
+    #[test]
+    fn grad_broadcast_rows_sums_columns() {
+        let tape = scalar_tape();
+        let v = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let w = tape.constant(Tensor::from_vec(vec![1.0, 10.0, 100.0, 1000.0, 2.0, 20.0], &[3, 2]));
+        let y = v.broadcast_rows(3).mul(w).sum();
+        let g = tape.grad(y, &[v]).remove(0);
+        assert_eq!(g.to_vec(), vec![103.0, 1030.0]);
+    }
+
+    #[test]
+    fn grad_pow_scalar_matches_numeric() {
+        let tape = scalar_tape();
+        let x0 = Tensor::from_vec(vec![0.7, 1.9], &[2]);
+        let x = tape.leaf(x0.clone());
+        let y = x.pow_scalar(2.5).sum();
+        let g = tape.grad(y, &[x]).remove(0);
+        let ng = crate::ndiff::numeric_grad(
+            |t| t.data().iter().map(|v| v.powf(2.5)).sum(),
+            &x0,
+            1e-6,
+        );
+        assert!(g.max_abs_diff(&ng) < 1e-6);
+    }
+
+    #[test]
+    fn grad_ln_exp_inverse_chain() {
+        // d/dx ln(exp(x)) = 1 exactly, through both VJPs.
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::from_vec(vec![0.3, -1.2, 2.0], &[3]));
+        let y = x.exp().ln().sum();
+        let g = tape.grad(y, &[x]).remove(0);
+        for i in 0..3 {
+            assert!((g.get(i) - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn grad_accumulates_across_shared_subexpression() {
+        // y = x² + x³ shares x; adjoints must accumulate: y' = 2x + 3x².
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(2.0));
+        let y = x.square().add(x.pow_scalar(3.0));
+        let g = tape.grad(y, &[x]).remove(0);
+        assert!((g.item() - (4.0 + 12.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_nonscalar_output_uses_ones_seed() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3]));
+        let y = x.scale(2.0);
+        let g = tape.grad(y, &[x]);
+        assert_eq!(g[0].to_vec(), vec![2.0, 2.0, 2.0]);
+    }
+}

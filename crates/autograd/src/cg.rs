@@ -1,0 +1,155 @@
+//! Conjugate-gradient linear solver.
+//!
+//! Algorithm 1 step 9 solves `ξ · ∂²L^q/∂X̂^q² = ∂L^p/∂X̂^q` without ever
+//! materializing the Hessian: each CG iteration consumes one Hessian-vector
+//! product. This module provides the matrix-free solver; the HVP closures come
+//! from [`crate::hvp`]. Damping (`damping·I` added to the operator) is the
+//! standard regularization for the possibly indefinite Hessians encountered
+//! mid-optimization.
+
+/// Outcome of a conjugate-gradient solve.
+#[derive(Clone, Debug)]
+pub struct CgSolution {
+    /// The approximate solution `x` with `A·x ≈ b`.
+    pub x: Vec<f64>,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Final residual norm `‖b − A·x‖`.
+    pub residual: f64,
+    /// Whether the tolerance was reached before the iteration cap.
+    pub converged: bool,
+}
+
+/// Solves `A·x = b` by conjugate gradient, for `A` given implicitly by the
+/// matrix-vector product `apply`.
+///
+/// `damping` is added to the diagonal (`A + damping·I`), keeping the solve
+/// well-posed when `A` is only positive semi-definite. CG assumes a symmetric
+/// operator; for the Stackelberg solve this is the Hessian `∂²L^q/∂X̂^q²`,
+/// which is symmetric by construction.
+pub fn conjugate_gradient(
+    mut apply: impl FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+    damping: f64,
+) -> CgSolution {
+    let n = b.len();
+    let mut x = vec![0.0; n];
+    let mut r = b.to_vec(); // r = b - A·0
+    let mut p = r.clone();
+    let mut rs_old = dot(&r, &r);
+    let bnorm = rs_old.sqrt().max(1e-30);
+
+    if rs_old.sqrt() <= tol * bnorm {
+        return CgSolution { x, iterations: 0, residual: rs_old.sqrt(), converged: true };
+    }
+
+    let mut iterations = 0;
+    for _ in 0..max_iters {
+        iterations += 1;
+        let mut ap = apply(&p);
+        if damping != 0.0 {
+            for (a, &pi) in ap.iter_mut().zip(p.iter()) {
+                *a += damping * pi;
+            }
+        }
+        let p_ap = dot(&p, &ap);
+        if p_ap.abs() < 1e-300 || !p_ap.is_finite() {
+            // Breakdown: direction has (numerically) zero curvature.
+            break;
+        }
+        let alpha = rs_old / p_ap;
+        for i in 0..n {
+            x[i] += alpha * p[i];
+            r[i] -= alpha * ap[i];
+        }
+        let rs_new = dot(&r, &r);
+        if rs_new.sqrt() <= tol * bnorm {
+            return CgSolution { x, iterations, residual: rs_new.sqrt(), converged: true };
+        }
+        let beta = rs_new / rs_old;
+        for i in 0..n {
+            p[i] = r[i] + beta * p[i];
+        }
+        rs_old = rs_new;
+    }
+    CgSolution { x, iterations, residual: rs_old.sqrt(), converged: false }
+}
+
+fn dot(a: &[f64], b: &[f64]) -> f64 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn mat_apply(m: &[Vec<f64>]) -> impl FnMut(&[f64]) -> Vec<f64> + '_ {
+        move |v: &[f64]| m.iter().map(|row| dot(row, v)).collect()
+    }
+
+    #[test]
+    fn solves_identity() {
+        let m = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[3.0, -4.0], 10, 1e-10, 0.0);
+        assert!(sol.converged);
+        assert!((sol.x[0] - 3.0).abs() < 1e-9);
+        assert!((sol.x[1] + 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn solves_spd_system() {
+        // A = [[4,1],[1,3]], b = [1,2] -> x = [1/11, 7/11]
+        let m = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, 2.0], 10, 1e-12, 0.0);
+        assert!(sol.converged);
+        assert!((sol.x[0] - 1.0 / 11.0).abs() < 1e-9);
+        assert!((sol.x[1] - 7.0 / 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_rhs_returns_zero() {
+        let m = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[0.0, 0.0], 10, 1e-10, 0.0);
+        assert!(sol.converged);
+        assert_eq!(sol.iterations, 0);
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn damping_regularizes_singular() {
+        // Singular A = [[1,0],[0,0]]; with damping the solve stays finite.
+        let m = vec![vec![1.0, 0.0], vec![0.0, 0.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, 1.0], 50, 1e-10, 0.1);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+        // (A + 0.1 I) x = b → x = [1/1.1, 10]
+        assert!((sol.x[0] - 1.0 / 1.1).abs() < 1e-6);
+        assert!((sol.x[1] - 10.0).abs() < 1e-4);
+    }
+
+    #[test]
+    fn converges_on_random_spd() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(42);
+        let n = 12;
+        // A = MᵀM + I is SPD.
+        let mm: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = (0..n).map(|k| mm[k][i] * mm[k][j]).sum::<f64>()
+                    + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sol = conjugate_gradient(mat_apply(&a), &b, 200, 1e-10, 0.0);
+        assert!(sol.converged, "residual {}", sol.residual);
+        // Check A·x ≈ b directly.
+        let ax = mat_apply(&a)(&sol.x);
+        for i in 0..n {
+            assert!((ax[i] - b[i]).abs() < 1e-7);
+        }
+    }
+}

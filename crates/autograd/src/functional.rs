@@ -1,0 +1,115 @@
+//! Composed differentiable functions built from primitive tape ops.
+
+use crate::var::Var;
+
+/// Mean-squared-error loss between a prediction vector and a target vector.
+///
+/// Both inputs must have identical shapes; the result is a scalar variable.
+pub fn mse<'t>(pred: Var<'t>, target: Var<'t>) -> Var<'t> {
+    pred.sub(target).square().mean()
+}
+
+/// Sum of squared elements — the `‖θ‖²` regularizer of eq. (1).
+pub fn l2<'t>(x: Var<'t>) -> Var<'t> {
+    x.square().sum()
+}
+
+/// Row-wise softmax of an `[m, n]` matrix.
+///
+/// The per-row maximum is subtracted as a *detached* constant for numerical
+/// stability, which leaves gradients unchanged (softmax is shift-invariant).
+pub fn softmax_rows(x: Var<'_>) -> Var<'_> {
+    let v = x.value();
+    let (m, n) = (v.rows(), v.cols());
+    let mut maxes = vec![f64::NEG_INFINITY; m];
+    for (i, mx) in maxes.iter_mut().enumerate() {
+        for j in 0..n {
+            *mx = mx.max(v.at(i, j));
+        }
+    }
+    let max_const = x
+        .tape()
+        .constant(crate::tensor::Tensor::from_vec(maxes, &[m]))
+        .broadcast_cols(n);
+    let e = x.sub(max_const).exp();
+    let denom = e.sum_rows().broadcast_cols(n);
+    e.div(denom)
+}
+
+/// Softmax of a vector `[n]` (detached-max stabilized).
+pub fn softmax_vec(x: Var<'_>) -> Var<'_> {
+    let v = x.value();
+    let max = v.data().iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let e = x.add_scalar(-max).exp();
+    let denom = e.sum().expand(&[v.numel()]);
+    e.div(denom)
+}
+
+/// Normalizes each row of an `[m, n]` matrix to unit L2 norm (plus `eps`).
+pub fn normalize_rows(x: Var<'_>, eps: f64) -> Var<'_> {
+    let n = x.value().cols();
+    let norms = x.square().sum_rows().add_scalar(eps).sqrt();
+    x.div(norms.broadcast_cols(n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+    use crate::tensor::Tensor;
+
+    #[test]
+    fn mse_known_value() {
+        let tape = Tape::new();
+        let p = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let t = tape.constant(Tensor::from_vec(vec![3.0, 2.0], &[2]));
+        assert!((mse(p, t).item() - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_rows_sums_to_one() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, -1.0, 0.0, 1.0], &[2, 3]));
+        let s = softmax_rows(x).value();
+        for i in 0..2 {
+            let row: f64 = (0..3).map(|j| s.at(i, j)).sum();
+            assert!((row - 1.0).abs() < 1e-12);
+        }
+        // Monotonicity within a row.
+        assert!(s.at(0, 2) > s.at(0, 1) && s.at(0, 1) > s.at(0, 0));
+    }
+
+    #[test]
+    fn softmax_stability_large_logits() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![1000.0, 1001.0], &[1, 2]));
+        let s = softmax_rows(x).value();
+        assert!(s.all_finite());
+        assert!((s.at(0, 0) + s.at(0, 1) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn softmax_gradient_matches_analytic() {
+        // For softmax s over a 2-vector and f = s₀, ∂f/∂x₀ = s₀(1-s₀).
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![0.3, -0.2], &[2]));
+        let s = softmax_vec(x);
+        let f = s.gather_elems(std::sync::Arc::new(vec![0])).sum();
+        let g = tape.grad(f, &[x]);
+        let sv = s.value();
+        let expect = sv.get(0) * (1.0 - sv.get(0));
+        assert!((g[0].get(0) - expect).abs() < 1e-9);
+        assert!((g[0].get(1) + sv.get(0) * sv.get(1)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn normalize_rows_unit_norm() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![3.0, 4.0, 0.0, 5.0], &[2, 2]));
+        let n = normalize_rows(x, 0.0).value();
+        for i in 0..2 {
+            let norm: f64 = (0..2).map(|j| n.at(i, j) * n.at(i, j)).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Numerical differentiation utilities for verifying analytic gradients.
+//!
+//! These are deliberately slow reference implementations used by unit and
+//! property tests throughout the workspace (the "gradient = finite
+//! difference" invariant of DESIGN.md §7).
+
+use crate::tensor::Tensor;
+
+/// Central-difference gradient of a scalar function of a tensor.
+pub fn numeric_grad(mut f: impl FnMut(&Tensor) -> f64, x: &Tensor, eps: f64) -> Tensor {
+    let base = x.to_vec();
+    let mut out = Vec::with_capacity(base.len());
+    for i in 0..base.len() {
+        let mut plus = base.clone();
+        let mut minus = base.clone();
+        plus[i] += eps;
+        minus[i] -= eps;
+        let fp = f(&Tensor::from_vec(plus, x.shape()));
+        let fm = f(&Tensor::from_vec(minus, x.shape()));
+        out.push((fp - fm) / (2.0 * eps));
+    }
+    Tensor::from_vec(out, x.shape())
+}
+
+/// Asserts that `analytic` and the numeric gradient of `f` at `x` agree to a
+/// mixed absolute/relative tolerance.
+///
+/// # Panics
+/// Panics with a diagnostic message when any component disagrees.
+pub fn assert_grad_close(
+    f: impl FnMut(&Tensor) -> f64,
+    x: &Tensor,
+    analytic: &Tensor,
+    tol: f64,
+) {
+    let numeric = numeric_grad(f, x, 1e-5);
+    for i in 0..x.numel() {
+        let (a, n) = (analytic.get(i), numeric.get(i));
+        let denom = 1.0_f64.max(a.abs()).max(n.abs());
+        assert!(
+            ((a - n) / denom).abs() < tol,
+            "gradient mismatch at index {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tape::Tape;
+
+    #[test]
+    fn numeric_grad_of_quadratic() {
+        let x = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        let g = numeric_grad(|t| t.data().iter().map(|v| v * v).sum(), &x, 1e-5);
+        assert!((g.get(0) - 2.0).abs() < 1e-6);
+        assert!((g.get(1) - 4.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn tape_grad_matches_numeric_on_composite() {
+        // f(x) = sum(sigmoid(x)·x + exp(-x²))
+        let f = |t: &Tensor| -> f64 {
+            t.data()
+                .iter()
+                .map(|&v| v / (1.0 + (-v).exp()) + (-v * v).exp())
+                .sum()
+        };
+        let x0 = Tensor::from_vec(vec![0.5, -1.2, 2.0], &[3]);
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = x.sigmoid().mul(x).add(x.square().neg().exp()).sum();
+        let g = tape.grad(loss, &[x]).remove(0);
+        assert_grad_close(f, &x0, &g, 1e-5);
+    }
+}

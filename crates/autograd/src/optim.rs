@@ -1,0 +1,149 @@
+//! Optimizers over plain tensors.
+//!
+//! Models in this workspace hold their parameters as [`Tensor`]s and rebuild
+//! tape leaves per epoch (the tape is reset between steps to bound memory).
+//! These optimizers therefore operate on `(param, grad)` tensor pairs rather
+//! than on tape nodes. The *differentiable* inner loop of PDS does not use
+//! them — it updates parameter `Var`s directly so gradients flow through the
+//! training trajectory.
+
+use crate::tensor::Tensor;
+
+/// Plain stochastic gradient descent with optional L2 weight decay.
+#[derive(Clone, Copy, Debug)]
+pub struct Sgd {
+    /// Learning rate.
+    pub lr: f64,
+    /// L2 weight-decay coefficient (λ in eq. 1); 0 disables it.
+    pub weight_decay: f64,
+}
+
+impl Sgd {
+    /// A plain SGD optimizer without weight decay.
+    pub fn new(lr: f64) -> Self {
+        Self { lr, weight_decay: 0.0 }
+    }
+
+    /// Applies one update: `p ← p − lr·(g + wd·p)`.
+    pub fn step(&self, param: &mut Tensor, grad: &Tensor) {
+        let lr = self.lr;
+        let wd = self.weight_decay;
+        *param = param.zip(grad, |p, g| p - lr * (g + wd * p));
+    }
+}
+
+/// Adam optimizer (Kingma & Ba, 2015) with per-parameter moment state.
+#[derive(Clone, Debug)]
+pub struct Adam {
+    /// Learning rate.
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical floor.
+    pub eps: f64,
+    /// L2 weight decay; 0 disables it.
+    pub weight_decay: f64,
+    t: u64,
+    m: Vec<Vec<f64>>,
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// An Adam optimizer tracking `n_params` parameter tensors.
+    pub fn new(lr: f64, n_params: usize) -> Self {
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay: 0.0,
+            t: 0,
+            m: vec![Vec::new(); n_params],
+            v: vec![Vec::new(); n_params],
+        }
+    }
+
+    /// Advances the shared timestep. Call once per optimization step, before
+    /// the per-parameter [`Adam::step`] calls of that step.
+    pub fn tick(&mut self) {
+        self.t += 1;
+    }
+
+    /// Applies the Adam update to parameter slot `i`.
+    ///
+    /// # Panics
+    /// Panics if `i` is out of range or [`Adam::tick`] has never been called.
+    pub fn step(&mut self, i: usize, param: &mut Tensor, grad: &Tensor) {
+        assert!(self.t > 0, "call Adam::tick() before step()");
+        let n = param.numel();
+        if self.m[i].is_empty() {
+            self.m[i] = vec![0.0; n];
+            self.v[i] = vec![0.0; n];
+        }
+        let (b1, b2) = (self.beta1, self.beta2);
+        let bc1 = 1.0 - b1.powi(self.t as i32);
+        let bc2 = 1.0 - b2.powi(self.t as i32);
+        let gdata = grad.data();
+        let pdata = param.data();
+        let mut out = Vec::with_capacity(n);
+        for k in 0..n {
+            let g = gdata[k] + self.weight_decay * pdata[k];
+            self.m[i][k] = b1 * self.m[i][k] + (1.0 - b1) * g;
+            self.v[i][k] = b2 * self.v[i][k] + (1.0 - b2) * g * g;
+            let mhat = self.m[i][k] / bc1;
+            let vhat = self.v[i][k] / bc2;
+            out.push(pdata[k] - self.lr * mhat / (vhat.sqrt() + self.eps));
+        }
+        *param = Tensor::from_vec(out, param.shape());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sgd_descends_quadratic() {
+        // minimize f(x) = (x-3)²
+        let mut x = Tensor::scalar(0.0);
+        let opt = Sgd::new(0.1);
+        for _ in 0..200 {
+            let g = Tensor::scalar(2.0 * (x.item() - 3.0));
+            opt.step(&mut x, &g);
+        }
+        assert!((x.item() - 3.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn sgd_weight_decay_shrinks() {
+        let mut x = Tensor::scalar(10.0);
+        let opt = Sgd { lr: 0.1, weight_decay: 1.0 };
+        let zero = Tensor::scalar(0.0);
+        for _ in 0..100 {
+            opt.step(&mut x, &zero);
+        }
+        assert!(x.item() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_quadratic() {
+        let mut x = Tensor::scalar(0.0);
+        let mut opt = Adam::new(0.3, 1);
+        for _ in 0..300 {
+            opt.tick();
+            let g = Tensor::scalar(2.0 * (x.item() - 3.0));
+            opt.step(0, &mut x, &g);
+        }
+        assert!((x.item() - 3.0).abs() < 1e-3, "x = {}", x.item());
+    }
+
+    #[test]
+    #[should_panic(expected = "tick")]
+    fn adam_requires_tick() {
+        let mut x = Tensor::scalar(0.0);
+        let mut opt = Adam::new(0.1, 1);
+        opt.step(0, &mut x, &Tensor::scalar(1.0));
+    }
+}

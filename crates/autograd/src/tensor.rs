@@ -1,0 +1,373 @@
+//! Dense row-major `f64` tensors.
+//!
+//! The tensor type underlying the autodiff tape. Tensors are immutable once
+//! built (data behind an [`Arc`]), which makes storing them in tape nodes and
+//! cloning them across the optimizer cheap. All shape errors panic with a
+//! descriptive message: in this workspace tensor shapes are static properties
+//! of model architecture, so a mismatch is always a programming error, never
+//! recoverable input error.
+
+use std::fmt;
+use std::sync::Arc;
+
+/// A dense row-major tensor of `f64` values.
+///
+/// Rank 0 is represented as shape `[1]` (a scalar), rank 1 as `[n]`, rank 2 as
+/// `[rows, cols]`. Higher ranks are not needed by any model in this workspace.
+#[derive(Clone)]
+pub struct Tensor {
+    shape: [usize; 2],
+    rank: u8,
+    data: Arc<Vec<f64>>,
+}
+
+impl Tensor {
+    /// Builds a tensor from a flat vector and an explicit shape.
+    ///
+    /// # Panics
+    /// Panics if `data.len()` does not equal the product of `shape`, or if the
+    /// shape has more than two dimensions.
+    pub fn from_vec(data: Vec<f64>, shape: &[usize]) -> Self {
+        let (s, rank) = normalize_shape(shape);
+        let numel: usize = s[0] * s[1];
+        assert_eq!(
+            data.len(),
+            numel,
+            "tensor data length {} does not match shape {:?}",
+            data.len(),
+            shape
+        );
+        Self { shape: s, rank, data: Arc::new(data) }
+    }
+
+    /// A scalar tensor (shape `[1]`).
+    pub fn scalar(v: f64) -> Self {
+        Self { shape: [1, 1], rank: 0, data: Arc::new(vec![v]) }
+    }
+
+    /// A tensor filled with `v`.
+    pub fn full(shape: &[usize], v: f64) -> Self {
+        let (s, rank) = normalize_shape(shape);
+        Self { shape: s, rank, data: Arc::new(vec![v; s[0] * s[1]]) }
+    }
+
+    /// A zero tensor.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self::full(shape, 0.0)
+    }
+
+    /// A one-filled tensor.
+    pub fn ones(shape: &[usize]) -> Self {
+        Self::full(shape, 1.0)
+    }
+
+    /// A tensor with entries drawn i.i.d. from `N(0, std^2)` using `rng`.
+    pub fn randn<R: rand::Rng>(shape: &[usize], std: f64, rng: &mut R) -> Self {
+        let (s, rank) = normalize_shape(shape);
+        let n = s[0] * s[1];
+        // Box-Muller transform; avoids a rand_distr dependency in this crate.
+        let mut data = Vec::with_capacity(n);
+        while data.len() < n {
+            let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+            let u2: f64 = rng.gen_range(0.0..1.0);
+            let r = (-2.0 * u1.ln()).sqrt();
+            let theta = 2.0 * std::f64::consts::PI * u2;
+            data.push(r * theta.cos() * std);
+            if data.len() < n {
+                data.push(r * theta.sin() * std);
+            }
+        }
+        Self { shape: s, rank, data: Arc::new(data) }
+    }
+
+    /// The logical shape (`[]`-like scalars report `[1]`).
+    pub fn shape(&self) -> &[usize] {
+        match self.rank {
+            0 | 1 => &self.shape[..1],
+            _ => &self.shape[..2],
+        }
+    }
+
+    /// Number of rows when interpreted as a matrix (rank-1 tensors are `[n]`
+    /// row counts of `n`; scalars are 1).
+    pub fn rows(&self) -> usize {
+        self.shape[0]
+    }
+
+    /// Number of columns when interpreted as a matrix (1 for rank ≤ 1).
+    pub fn cols(&self) -> usize {
+        self.shape[1]
+    }
+
+    /// The tensor rank: 0, 1, or 2.
+    pub fn rank(&self) -> u8 {
+        self.rank
+    }
+
+    /// Total number of elements.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The flat element slice (row-major).
+    pub fn data(&self) -> &[f64] {
+        &self.data
+    }
+
+    /// The single value of a scalar tensor.
+    ///
+    /// # Panics
+    /// Panics if the tensor has more than one element.
+    pub fn item(&self) -> f64 {
+        assert_eq!(self.data.len(), 1, "item() on non-scalar tensor {:?}", self.shape());
+        self.data[0]
+    }
+
+    /// Element at `(row, col)` of a rank-2 tensor.
+    pub fn at(&self, row: usize, col: usize) -> f64 {
+        debug_assert!(row < self.shape[0] && col < self.shape[1]);
+        self.data[row * self.shape[1] + col]
+    }
+
+    /// Element `i` of the flat buffer.
+    pub fn get(&self, i: usize) -> f64 {
+        self.data[i]
+    }
+
+    /// Applies `f` elementwise, producing a new tensor of the same shape.
+    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
+        Tensor {
+            shape: self.shape,
+            rank: self.rank,
+            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+        }
+    }
+
+    /// Elementwise combination with another tensor of identical shape.
+    ///
+    /// # Panics
+    /// Panics on shape mismatch.
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "zip shape mismatch: {:?} vs {:?}",
+            self.shape(),
+            other.shape()
+        );
+        Tensor {
+            shape: self.shape,
+            rank: self.rank,
+            data: Arc::new(
+                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
+            ),
+        }
+    }
+
+    /// Matrix product of two rank-2 tensors.
+    ///
+    /// # Panics
+    /// Panics if inner dimensions disagree or either operand is not rank 2.
+    pub fn matmul(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank, 2, "matmul lhs must be rank 2, got {:?}", self.shape());
+        assert_eq!(other.rank, 2, "matmul rhs must be rank 2, got {:?}", other.shape());
+        let (m, k) = (self.shape[0], self.shape[1]);
+        let (k2, n) = (other.shape[0], other.shape[1]);
+        assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape(), other.shape());
+        let a = &self.data;
+        let b = &other.data;
+        let mut out = vec![0.0; m * n];
+        // ikj loop order: streams through b rows, autovectorizes well.
+        for i in 0..m {
+            let arow = &a[i * k..(i + 1) * k];
+            let orow = &mut out[i * n..(i + 1) * n];
+            for (kk, &av) in arow.iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                let brow = &b[kk * n..(kk + 1) * n];
+                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                    *o += av * bv;
+                }
+            }
+        }
+        Tensor { shape: [m, n], rank: 2, data: Arc::new(out) }
+    }
+
+    /// Matrix transpose of a rank-2 tensor.
+    pub fn transpose(&self) -> Tensor {
+        assert_eq!(self.rank, 2, "transpose needs rank 2, got {:?}", self.shape());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let mut out = vec![0.0; m * n];
+        for i in 0..m {
+            for j in 0..n {
+                out[j * m + i] = self.data[i * n + j];
+            }
+        }
+        Tensor { shape: [n, m], rank: 2, data: Arc::new(out) }
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    pub fn reshape(&self, shape: &[usize]) -> Tensor {
+        let (s, rank) = normalize_shape(shape);
+        assert_eq!(
+            s[0] * s[1],
+            self.data.len(),
+            "reshape {:?} -> {:?} changes element count",
+            self.shape(),
+            shape
+        );
+        Tensor { shape: s, rank, data: Arc::clone(&self.data) }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f64 {
+        self.data.iter().sum()
+    }
+
+    /// Euclidean norm of the flat buffer.
+    pub fn norm(&self) -> f64 {
+        self.data.iter().map(|x| x * x).sum::<f64>().sqrt()
+    }
+
+    /// Largest absolute difference against another tensor of the same shape.
+    pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
+        assert_eq!(self.shape(), other.shape());
+        self.data
+            .iter()
+            .zip(other.data.iter())
+            .map(|(a, b)| (a - b).abs())
+            .fold(0.0, f64::max)
+    }
+
+    /// True when every element is finite.
+    pub fn all_finite(&self) -> bool {
+        self.data.iter().all(|x| x.is_finite())
+    }
+
+    /// Copies the flat buffer out as a `Vec`.
+    pub fn to_vec(&self) -> Vec<f64> {
+        self.data.to_vec()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Tensor{:?}", self.shape())?;
+        if self.numel() <= 8 {
+            write!(f, " {:?}", &self.data[..])
+        } else {
+            write!(f, " [{:.4}, {:.4}, …]", self.data[0], self.data[1])
+        }
+    }
+}
+
+impl PartialEq for Tensor {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape() && self.data == other.data
+    }
+}
+
+fn normalize_shape(shape: &[usize]) -> ([usize; 2], u8) {
+    match shape.len() {
+        0 => ([1, 1], 0),
+        1 => ([shape[0], 1], 1),
+        2 => ([shape[0], shape[1]], 2),
+        n => panic!("tensors of rank {n} are not supported (shape {shape:?})"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn scalar_roundtrip() {
+        let t = Tensor::scalar(3.5);
+        assert_eq!(t.item(), 3.5);
+        assert_eq!(t.shape(), &[1]);
+        assert_eq!(t.numel(), 1);
+    }
+
+    #[test]
+    fn from_vec_shapes() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]);
+        assert_eq!(t.shape(), &[2, 3]);
+        assert_eq!(t.at(1, 2), 6.0);
+        let v = Tensor::from_vec(vec![1.0, 2.0], &[2]);
+        assert_eq!(v.shape(), &[2]);
+        assert_eq!(v.rows(), 2);
+        assert_eq!(v.cols(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_bad_len() {
+        let _ = Tensor::from_vec(vec![1.0], &[2, 3]);
+    }
+
+    #[test]
+    fn matmul_known() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]);
+        let c = a.matmul(&b);
+        assert_eq!(c.to_vec(), vec![19.0, 22.0, 43.0, 50.0]);
+    }
+
+    #[test]
+    fn matmul_rect() {
+        let a = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let b = Tensor::from_vec(vec![2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], &[2, 4]);
+        let c = a.matmul(&b);
+        assert_eq!(c.shape(), &[3, 4]);
+        assert_eq!(c.at(0, 0), 2.0);
+        assert_eq!(c.at(1, 3), 9.0);
+        assert_eq!(c.at(2, 0), 8.0);
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let a = Tensor::from_vec((0..12).map(|x| x as f64).collect(), &[3, 4]);
+        let t = a.transpose();
+        assert_eq!(t.shape(), &[4, 3]);
+        assert_eq!(t.at(2, 1), a.at(1, 2));
+        assert_eq!(t.transpose(), a);
+    }
+
+    #[test]
+    fn map_zip() {
+        let a = Tensor::from_vec(vec![1.0, -2.0], &[2]);
+        let b = a.map(f64::abs);
+        assert_eq!(b.to_vec(), vec![1.0, 2.0]);
+        let c = a.zip(&b, |x, y| x + y);
+        assert_eq!(c.to_vec(), vec![2.0, 0.0]);
+    }
+
+    #[test]
+    fn randn_moments() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let t = Tensor::randn(&[100, 100], 2.0, &mut rng);
+        let mean = t.sum() / t.numel() as f64;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
+            / t.numel() as f64;
+        assert!(mean.abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]);
+        let b = a.reshape(&[4]);
+        assert_eq!(b.shape(), &[4]);
+        assert_eq!(b.to_vec(), a.to_vec());
+    }
+
+    #[test]
+    fn norm_and_diff() {
+        let a = Tensor::from_vec(vec![3.0, 4.0], &[2]);
+        assert!((a.norm() - 5.0).abs() < 1e-12);
+        let b = Tensor::from_vec(vec![3.0, 4.5], &[2]);
+        assert!((a.max_abs_diff(&b) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,345 @@
+//! [`Var`]: a lightweight handle to a tape node with an ergonomic op API.
+
+use std::sync::Arc;
+
+use crate::tape::{NodeId, Op, Tape};
+use crate::tensor::Tensor;
+
+/// A differentiable variable: a copyable handle to a node on a [`Tape`].
+///
+/// All arithmetic on `Var`s records new nodes on the owning tape. Handles are
+/// `Copy`; they stay valid until [`Tape::reset`] is called.
+#[derive(Clone, Copy)]
+pub struct Var<'t> {
+    pub(crate) tape: &'t Tape,
+    pub(crate) id: NodeId,
+}
+
+#[allow(clippy::should_implement_trait)] // named methods chain better; operator impls are also provided
+impl<'t> Var<'t> {
+    /// The node id on the owning tape.
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// The owning tape.
+    pub fn tape(&self) -> &'t Tape {
+        self.tape
+    }
+
+    /// The current forward value.
+    pub fn value(&self) -> Tensor {
+        self.tape.value(self.id)
+    }
+
+    /// The shape of the forward value.
+    pub fn shape(&self) -> Vec<usize> {
+        self.value().shape().to_vec()
+    }
+
+    /// Scalar value of a one-element variable.
+    pub fn item(&self) -> f64 {
+        self.value().item()
+    }
+
+    // ---- binary elementwise -------------------------------------------------
+
+    /// Elementwise addition.
+    pub fn add(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::Add(self.id, rhs.id))
+    }
+    /// Elementwise subtraction.
+    pub fn sub(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::Sub(self.id, rhs.id))
+    }
+    /// Elementwise multiplication.
+    pub fn mul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::Mul(self.id, rhs.id))
+    }
+    /// Elementwise division.
+    pub fn div(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::Div(self.id, rhs.id))
+    }
+
+    // ---- unary --------------------------------------------------------------
+
+    /// Elementwise negation.
+    pub fn neg(self) -> Var<'t> {
+        self.tape.apply(Op::Neg(self.id))
+    }
+    /// Adds a scalar constant elementwise.
+    pub fn add_scalar(self, c: f64) -> Var<'t> {
+        self.tape.apply(Op::AddScalar(self.id, c))
+    }
+    /// Multiplies by a scalar constant elementwise.
+    pub fn scale(self, c: f64) -> Var<'t> {
+        self.tape.apply(Op::MulScalar(self.id, c))
+    }
+    /// Elementwise power with a constant exponent.
+    pub fn pow_scalar(self, p: f64) -> Var<'t> {
+        self.tape.apply(Op::PowScalar(self.id, p))
+    }
+    /// Elementwise square (recorded as `x * x` so second derivatives flow).
+    pub fn square(self) -> Var<'t> {
+        self.mul(self)
+    }
+    /// Elementwise exponential.
+    pub fn exp(self) -> Var<'t> {
+        self.tape.apply(Op::Exp(self.id))
+    }
+    /// Elementwise natural logarithm.
+    pub fn ln(self) -> Var<'t> {
+        self.tape.apply(Op::Ln(self.id))
+    }
+    /// Elementwise square root.
+    pub fn sqrt(self) -> Var<'t> {
+        self.tape.apply(Op::Sqrt(self.id))
+    }
+    /// Logistic sigmoid.
+    pub fn sigmoid(self) -> Var<'t> {
+        self.tape.apply(Op::Sigmoid(self.id))
+    }
+    /// Hyperbolic tangent.
+    pub fn tanh(self) -> Var<'t> {
+        self.tape.apply(Op::Tanh(self.id))
+    }
+    /// Rectified linear unit.
+    pub fn relu(self) -> Var<'t> {
+        self.tape.apply(Op::Relu(self.id))
+    }
+    /// Scaled exponential linear unit (SELU), as used by the CA loss (eq. 5).
+    pub fn selu(self) -> Var<'t> {
+        self.tape.apply(Op::Selu(self.id))
+    }
+
+    // ---- linear algebra -----------------------------------------------------
+
+    /// Matrix product (both operands rank 2).
+    pub fn matmul(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::Matmul(self.id, rhs.id))
+    }
+    /// Matrix transpose.
+    pub fn t(self) -> Var<'t> {
+        self.tape.apply(Op::Transpose(self.id))
+    }
+    /// Shape reinterpretation (element count preserved).
+    pub fn reshape(self, shape: &[usize]) -> Var<'t> {
+        self.tape.apply(Op::Reshape(self.id, shape.to_vec()))
+    }
+
+    // ---- reductions and broadcasts -------------------------------------------
+
+    /// Sum of all elements, producing a scalar variable.
+    pub fn sum(self) -> Var<'t> {
+        self.tape.apply(Op::Sum(self.id))
+    }
+    /// Mean of all elements.
+    pub fn mean(self) -> Var<'t> {
+        let n = self.value().numel() as f64;
+        self.sum().scale(1.0 / n)
+    }
+    /// Row sums of a matrix: `[m, n] -> [m]`.
+    pub fn sum_rows(self) -> Var<'t> {
+        self.tape.apply(Op::SumRows(self.id))
+    }
+    /// Column sums of a matrix: `[m, n] -> [n]`.
+    pub fn sum_cols(self) -> Var<'t> {
+        self.tape.apply(Op::SumCols(self.id))
+    }
+    /// Broadcasts a scalar to `shape`.
+    pub fn expand(self, shape: &[usize]) -> Var<'t> {
+        self.tape.apply(Op::ExpandScalar(self.id, shape.to_vec()))
+    }
+    /// Tiles a vector `[m]` into an `[m, n]` matrix column-wise.
+    pub fn broadcast_cols(self, n: usize) -> Var<'t> {
+        self.tape.apply(Op::BroadcastCols(self.id, n))
+    }
+    /// Tiles a vector `[n]` into an `[m, n]` matrix row-wise.
+    pub fn broadcast_rows(self, m: usize) -> Var<'t> {
+        self.tape.apply(Op::BroadcastRows(self.id, m))
+    }
+
+    // ---- gather / scatter -----------------------------------------------------
+
+    /// Gathers rows `idx` of a matrix.
+    pub fn gather_rows(self, idx: Arc<Vec<usize>>) -> Var<'t> {
+        self.tape.apply(Op::GatherRows(self.id, idx))
+    }
+    /// Scatter-adds the rows of this `[k, n]` matrix into an `[m, n]` zero
+    /// matrix at row positions `idx` (duplicates accumulate).
+    pub fn scatter_add_rows(self, idx: Arc<Vec<usize>>, m: usize) -> Var<'t> {
+        self.tape.apply(Op::ScatterAddRows(self.id, idx, m))
+    }
+    /// Gathers elements `idx` of a vector.
+    pub fn gather_elems(self, idx: Arc<Vec<usize>>) -> Var<'t> {
+        self.tape.apply(Op::GatherElems(self.id, idx))
+    }
+    /// Scatter-adds this `[k]` vector into an `[n]` zero vector at `idx`.
+    pub fn scatter_add_elems(self, idx: Arc<Vec<usize>>, n: usize) -> Var<'t> {
+        self.tape.apply(Op::ScatterAddElems(self.id, idx, n))
+    }
+
+    // ---- structural -----------------------------------------------------------
+
+    /// Concatenates two matrices along columns.
+    pub fn concat_cols(self, rhs: Var<'t>) -> Var<'t> {
+        self.tape.apply(Op::ConcatCols(self.id, rhs.id))
+    }
+    /// Column slice `[from, to)`.
+    pub fn slice_cols(self, from: usize, to: usize) -> Var<'t> {
+        self.tape.apply(Op::SliceCols(self.id, from, to))
+    }
+    /// Embeds this matrix as columns `[from, from+cols)` of a `total`-column
+    /// zero matrix.
+    pub fn pad_cols(self, from: usize, total: usize) -> Var<'t> {
+        self.tape.apply(Op::PadCols(self.id, from, total))
+    }
+
+    // ---- composed helpers -------------------------------------------------------
+
+    /// Inner product of two vectors, producing a scalar variable.
+    pub fn dot(self, rhs: Var<'t>) -> Var<'t> {
+        self.mul(rhs).sum()
+    }
+
+    /// Row-wise dot product of two `[m, n]` matrices, producing `[m]`.
+    pub fn rowwise_dot(self, rhs: Var<'t>) -> Var<'t> {
+        self.mul(rhs).sum_rows()
+    }
+
+    /// Detaches the current value into a constant leaf (gradient stops here).
+    pub fn detach(self) -> Var<'t> {
+        self.tape.constant(self.value())
+    }
+}
+
+impl std::fmt::Debug for Var<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Var(#{}, {:?})", self.id, self.value())
+    }
+}
+
+impl<'t> std::ops::Add for Var<'t> {
+    type Output = Var<'t>;
+    fn add(self, rhs: Self) -> Self::Output {
+        Var::add(self, rhs)
+    }
+}
+impl<'t> std::ops::Sub for Var<'t> {
+    type Output = Var<'t>;
+    fn sub(self, rhs: Self) -> Self::Output {
+        Var::sub(self, rhs)
+    }
+}
+impl<'t> std::ops::Mul for Var<'t> {
+    type Output = Var<'t>;
+    fn mul(self, rhs: Self) -> Self::Output {
+        Var::mul(self, rhs)
+    }
+}
+impl<'t> std::ops::Div for Var<'t> {
+    type Output = Var<'t>;
+    fn div(self, rhs: Self) -> Self::Output {
+        Var::div(self, rhs)
+    }
+}
+impl<'t> std::ops::Neg for Var<'t> {
+    type Output = Var<'t>;
+    fn neg(self) -> Self::Output {
+        Var::neg(self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_forward() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2]));
+        assert_eq!((a + b).value().to_vec(), vec![4.0, 6.0]);
+        assert_eq!((a - b).value().to_vec(), vec![-2.0, -2.0]);
+        assert_eq!((a * b).value().to_vec(), vec![3.0, 8.0]);
+        assert_eq!((a / b).value().to_vec(), vec![1.0 / 3.0, 0.5]);
+        assert_eq!((-a).value().to_vec(), vec![-1.0, -2.0]);
+    }
+
+    #[test]
+    fn reductions_and_broadcast() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], &[2, 3]));
+        assert_eq!(m.sum().item(), 21.0);
+        assert_eq!(m.sum_rows().value().to_vec(), vec![6.0, 15.0]);
+        assert_eq!(m.sum_cols().value().to_vec(), vec![5.0, 7.0, 9.0]);
+        assert!((m.mean().item() - 3.5).abs() < 1e-12);
+        let v = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        assert_eq!(v.broadcast_cols(3).value().to_vec(), vec![1.0, 1.0, 1.0, 2.0, 2.0, 2.0]);
+        let w = tape.leaf(Tensor::from_vec(vec![7.0, 8.0], &[2]));
+        assert_eq!(w.broadcast_rows(2).value().to_vec(), vec![7.0, 8.0, 7.0, 8.0]);
+        let s = tape.scalar(2.5);
+        assert_eq!(s.expand(&[2, 2]).value().to_vec(), vec![2.5; 4]);
+    }
+
+    #[test]
+    fn gather_scatter_roundtrip() {
+        let tape = Tape::new();
+        let m = tape.leaf(Tensor::from_vec((0..12).map(f64::from).collect::<Vec<_>>(), &[4, 3]));
+        let idx = Arc::new(vec![2usize, 0, 2]);
+        let g = m.gather_rows(Arc::clone(&idx));
+        assert_eq!(g.value().to_vec(), vec![6.0, 7.0, 8.0, 0.0, 1.0, 2.0, 6.0, 7.0, 8.0]);
+        let s = g.scatter_add_rows(idx, 4);
+        // Row 2 was gathered twice, so it accumulates twice.
+        assert_eq!(s.value().at(2, 0), 12.0);
+        assert_eq!(s.value().at(0, 1), 1.0);
+        assert_eq!(s.value().at(1, 0), 0.0);
+    }
+
+    #[test]
+    fn concat_slice_pad() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0], &[2, 1]));
+        let c = a.concat_cols(b);
+        assert_eq!(c.value().shape(), &[2, 3]);
+        assert_eq!(c.value().to_vec(), vec![1.0, 2.0, 5.0, 3.0, 4.0, 6.0]);
+        let s = c.slice_cols(1, 3);
+        assert_eq!(s.value().to_vec(), vec![2.0, 5.0, 4.0, 6.0]);
+        let p = b.pad_cols(1, 3);
+        assert_eq!(p.value().to_vec(), vec![0.0, 5.0, 0.0, 0.0, 6.0, 0.0]);
+    }
+
+    #[test]
+    fn rowwise_dot_matches_manual() {
+        let tape = Tape::new();
+        let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], &[2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![5.0, 6.0, 7.0, 8.0], &[2, 2]));
+        assert_eq!(a.rowwise_dot(b).value().to_vec(), vec![17.0, 53.0]);
+    }
+
+    #[test]
+    fn activations_forward() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(vec![-1.0, 0.0, 2.0], &[3]));
+        let r = x.relu().value().to_vec();
+        assert_eq!(r, vec![0.0, 0.0, 2.0]);
+        let s = x.sigmoid().value();
+        assert!((s.get(1) - 0.5).abs() < 1e-12);
+        let selu = x.selu().value();
+        assert!(selu.get(0) < 0.0 && selu.get(2) > 2.0);
+        // SELU(0) = 0.
+        assert_eq!(selu.get(1), 0.0);
+    }
+
+    #[test]
+    fn detach_stops_at_constant() {
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::scalar(3.0));
+        let d = x.square().detach();
+        assert_eq!(d.item(), 9.0);
+        // The detached node is a leaf: gradient of d wrt x must be zero.
+        let g = tape.grad(d, &[x]);
+        assert_eq!(g[0].to_vec(), vec![0.0]);
+    }
+}

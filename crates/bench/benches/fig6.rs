@@ -1,0 +1,36 @@
+//! Fig. 6 bench: attack effectiveness and cost vs the number of opponents.
+//! Prints the reduced series (r̄, HR@3 per opponent count) and benchmarks the
+//! full game at each opponent count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_bench::{bench_game_cfg, bench_setup};
+use msopds_core::ActionToggles;
+use msopds_gameplay::{run_game, AttackMethod, GameConfig};
+
+fn fig6(c: &mut Criterion) {
+    let (data, market) = bench_setup(3);
+    let method = AttackMethod::Msopds(ActionToggles::all());
+
+    println!("\n[fig6 @ bench scale] MSOPDS vs number of opponents:");
+    for n in [1usize, 2, 3] {
+        let cfg = GameConfig { n_opponents: n, ..bench_game_cfg() };
+        let out = run_game(&data, &market, method, &cfg);
+        println!("  opponents = {n}: r̄ = {:.4}  HR@3 = {:.4}", out.avg_rating, out.hit_rate_at_3);
+    }
+
+    let mut group = c.benchmark_group("fig6");
+    for n in [1usize, 2, 3] {
+        let cfg = GameConfig { n_opponents: n, ..bench_game_cfg() };
+        group.bench_function(format!("opponents_{n}"), |b| {
+            b.iter(|| std::hint::black_box(run_game(&data, &market, method, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = fig6
+}
+criterion_main!(benches);

@@ -1,0 +1,34 @@
+//! Fig. 7 bench: attack effectiveness vs the opponent's capacity b_op.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_bench::{bench_game_cfg, bench_setup};
+use msopds_core::ActionToggles;
+use msopds_gameplay::{run_game, AttackMethod, GameConfig};
+
+fn fig7(c: &mut Criterion) {
+    let (data, market) = bench_setup(1);
+    let method = AttackMethod::Msopds(ActionToggles::all());
+
+    println!("\n[fig7 @ bench scale] MSOPDS vs opponent capacity:");
+    for b_op in [1usize, 2, 4] {
+        let cfg = GameConfig { opponent_b: b_op, ..bench_game_cfg() };
+        let out = run_game(&data, &market, method, &cfg);
+        println!("  b_op = {b_op}: r̄ = {:.4}  HR@3 = {:.4}", out.avg_rating, out.hit_rate_at_3);
+    }
+
+    let mut group = c.benchmark_group("fig7");
+    for b_op in [1usize, 2, 4] {
+        let cfg = GameConfig { opponent_b: b_op, ..bench_game_cfg() };
+        group.bench_function(format!("b_op_{b_op}"), |b| {
+            b.iter(|| std::hint::black_box(run_game(&data, &market, method, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = fig7
+}
+criterion_main!(benches);

@@ -1,0 +1,41 @@
+//! Fig. 8 bench: the poisoning-action category ablation (ratings only vs
+//! ratings+item vs ratings+user vs full capacity).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_bench::{bench_game_cfg, bench_setup};
+use msopds_core::ActionToggles;
+use msopds_gameplay::{run_game, AttackMethod};
+
+fn fig8(c: &mut Criterion) {
+    let (data, market) = bench_setup(1);
+    let cfg = bench_game_cfg();
+    let variants = [
+        ("ratings_only", ActionToggles::ratings_only()),
+        ("ratings_item", ActionToggles::ratings_and_item()),
+        ("ratings_user", ActionToggles::ratings_and_social()),
+        ("full", ActionToggles::all()),
+    ];
+
+    println!("\n[fig8 @ bench scale] action-category ablation:");
+    for (name, toggles) in variants {
+        let out = run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg);
+        println!("  {name:<13} r̄ = {:.4}  HR@3 = {:.4}", out.avg_rating, out.hit_rate_at_3);
+    }
+
+    let mut group = c.benchmark_group("fig8");
+    for (name, toggles) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = fig8
+}
+criterion_main!(benches);

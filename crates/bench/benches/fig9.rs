@@ -1,0 +1,40 @@
+//! Fig. 9 bench: real hired users vs injected fake accounts (item-graph
+//! actions excluded throughout, per the figure's protocol).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_bench::{bench_game_cfg, bench_setup};
+use msopds_core::ActionToggles;
+use msopds_gameplay::{run_game, AttackMethod};
+
+fn fig9(c: &mut Criterion) {
+    let (data, market) = bench_setup(1);
+    let cfg = bench_game_cfg();
+    let variants = [
+        ("real_only", ActionToggles::real_only()),
+        ("fake_only", ActionToggles::fake_only()),
+        ("both", ActionToggles::no_item_edges()),
+    ];
+
+    println!("\n[fig9 @ bench scale] real vs fake accounts:");
+    for (name, toggles) in variants {
+        let out = run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg);
+        println!("  {name:<10} r̄ = {:.4}  HR@3 = {:.4}", out.avg_rating, out.hit_rate_at_3);
+    }
+
+    let mut group = c.benchmark_group("fig9");
+    for (name, toggles) in variants {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                std::hint::black_box(run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = fig9
+}
+criterion_main!(benches);

@@ -1,0 +1,110 @@
+//! Substrate microbenchmarks: tensor kernels, backward passes, CG, and the
+//! recorded PDS surrogate build that every planner iteration pays for.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use msopds_autograd::{conjugate_gradient, Tape, Tensor};
+use msopds_bench::{bench_setup, BENCH_SCALE};
+use msopds_core::{build_ca_capacity, CaCapacitySpec};
+use msopds_recsys::pds::{build_pds, PdsConfig, PlayerInput};
+use rand::SeedableRng;
+
+fn matmul(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+    let a = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    let b = Tensor::randn(&[128, 128], 1.0, &mut rng);
+    c.bench_function("kernels/matmul_128", |bencher| {
+        bencher.iter(|| std::hint::black_box(a.matmul(&b)))
+    });
+}
+
+fn backward_mlp(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let x0 = Tensor::randn(&[64, 32], 1.0, &mut rng);
+    let w0 = Tensor::randn(&[32, 32], 0.3, &mut rng);
+    c.bench_function("kernels/forward_backward_mlp", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let x = tape.leaf(x0.clone());
+            let w = tape.leaf(w0.clone());
+            let loss = x.matmul(w).selu().matmul(w).square().sum();
+            std::hint::black_box(tape.grad(loss, &[x, w]))
+        })
+    });
+}
+
+fn double_backward(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+    let x0 = Tensor::randn(&[256], 1.0, &mut rng);
+    let v = Tensor::randn(&[256], 1.0, &mut rng);
+    c.bench_function("kernels/hessian_vector_product_256", |bencher| {
+        bencher.iter(|| {
+            let tape = Tape::new();
+            let x = tape.leaf(x0.clone());
+            let loss = x.exp().mul(x.square()).sum();
+            std::hint::black_box(msopds_autograd::hvp::hvp_exact(&tape, loss, x, &v))
+        })
+    });
+}
+
+fn cg_solve(c: &mut Criterion) {
+    let n = 128;
+    let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+    let m = Tensor::randn(&[n, n], 1.0, &mut rng);
+    let a = m.transpose().matmul(&m); // SPD (plus damping at solve time)
+    let b: Vec<f64> = (0..n).map(|i| (i as f64).sin()).collect();
+    c.bench_function("kernels/cg_solve_128", |bencher| {
+        bencher.iter(|| {
+            conjugate_gradient(
+                |v| {
+                    let vt = Tensor::from_vec(v.to_vec(), &[n, 1]);
+                    a.matmul(&vt).to_vec()
+                },
+                &b,
+                32,
+                1e-8,
+                1e-2,
+            )
+        })
+    });
+}
+
+fn pds_build_and_grad(c: &mut Criterion) {
+    let (mut data, market) = bench_setup(1);
+    let cap = build_ca_capacity(
+        &mut data,
+        &market.players[0],
+        market.target_item,
+        &CaCapacitySpec::promote(5),
+    );
+    let planning = data.apply_poison(&cap.fixed);
+    c.bench_function("kernels/pds_unrolled_build_plus_grad", |bencher| {
+        bencher.iter_batched(
+            || cap.importance.binarize(),
+            |xhat| {
+                let tape = Tape::new();
+                let pds = build_pds(
+                    &tape,
+                    &planning,
+                    &[PlayerInput { candidates: &cap.importance.candidates, xhat }],
+                    &PdsConfig { inner_steps: 5, ..Default::default() },
+                );
+                let loss = msopds_recsys::losses::ca_loss(
+                    &pds.scores(),
+                    &market.target_audience,
+                    market.target_item,
+                    &market.competing_items,
+                );
+                std::hint::black_box(tape.grad(loss, &[pds.xhats[0]]))
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let _ = BENCH_SCALE;
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
+    targets = matmul, backward_mlp, double_backward, cg_solve, pds_build_and_grad
+}
+criterion_main!(benches);

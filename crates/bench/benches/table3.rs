@@ -1,0 +1,45 @@
+//! Table III bench: one reduced game per attack method against a single
+//! opponent. Criterion measures the cost of planning + game + victim
+//! retraining per method; the measured r̄ / HR@3 per method is printed once,
+//! regenerating a reduced Table III column.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_attacks::Baseline;
+use msopds_bench::{bench_game_cfg, bench_setup};
+use msopds_core::ActionToggles;
+use msopds_gameplay::{run_game, AttackMethod};
+
+fn table3(c: &mut Criterion) {
+    let (data, market) = bench_setup(1);
+    let cfg = bench_game_cfg();
+
+    let methods: Vec<(String, AttackMethod)> = Baseline::all()
+        .into_iter()
+        .map(|b| (b.name().to_string(), AttackMethod::Baseline(b)))
+        .chain(std::iter::once((
+            "MSOPDS".to_string(),
+            AttackMethod::Msopds(ActionToggles::all()),
+        )))
+        .collect();
+
+    println!("\n[table3 @ bench scale, b = {}] reduced regeneration:", cfg.attacker_b);
+    for (name, method) in &methods {
+        let out = run_game(&data, &market, *method, &cfg);
+        println!("  {name:<10} r̄ = {:.4}  HR@3 = {:.4}", out.avg_rating, out.hit_rate_at_3);
+    }
+
+    let mut group = c.benchmark_group("table3");
+    for (name, method) in methods {
+        group.bench_function(&name, |b| {
+            b.iter(|| std::hint::black_box(run_game(&data, &market, method, &cfg)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(6));
+    targets = table3
+}
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Model-training benchmarks: the victim Het-RecSys and the MF surrogate.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use msopds_bench::bench_setup;
+use msopds_recsys::{HetRec, HetRecConfig, MatrixFactorization, MfConfig};
+
+fn victim_fit(c: &mut Criterion) {
+    let (data, _) = bench_setup(1);
+    for (name, attention) in [("attention", true), ("mean", false)] {
+        let cfg = HetRecConfig { epochs: 10, dim: 8, attention, ..Default::default() };
+        c.bench_function(&format!("training/victim_10_epochs_{name}"), |b| {
+            b.iter(|| {
+                let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
+                std::hint::black_box(model.fit(&data))
+            })
+        });
+    }
+}
+
+fn mf_fit(c: &mut Criterion) {
+    let (data, _) = bench_setup(1);
+    c.bench_function("training/mf_20_epochs", |b| {
+        b.iter(|| {
+            let mut mf = MatrixFactorization::new(
+                MfConfig { epochs: 20, ..Default::default() },
+                data.n_users(),
+                data.n_items(),
+            );
+            std::hint::black_box(mf.fit(&data))
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(5));
+    targets = victim_fit, mf_fit
+}
+criterion_main!(benches);

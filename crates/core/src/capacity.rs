@@ -1,0 +1,398 @@
+//! Capacity-set construction (eqs. 4 and 6, §VI-A.3).
+//!
+//! A built capacity consists of *fixed* actions (the unconditional fake-user
+//! 5-star ratings on the target item) plus an [`ImportanceVector`] over the
+//! optimizable candidates with per-type budget groups:
+//!
+//! * hire `N` customer-base users to rate the target with r̂ (one group);
+//! * connect each fake account to `N` customer-base users (one group per
+//!   fake, matching "connects *each* fake account to N real users");
+//! * connect `N` company products to the target on the item graph (one group);
+//!
+//! with `N = ⌈b · 5% · |𝒰_base|⌉` — our reading of the paper's
+//! `N = b × 5%|𝒰|` budget that keeps `N ≤ |𝒰_base|` for all `b ∈ [2,5]`
+//! (the literal reading exceeds the 100-user customer base; see DESIGN.md).
+
+use msopds_recdata::{Dataset, PlayerAssets, PoisonAction};
+use serde::{Deserialize, Serialize};
+
+use crate::plan::{BudgetGroup, ImportanceVector};
+
+/// Which poisoning-action categories a player may use. The full set is the
+/// MCA default; subsets drive the Fig. 8 and Fig. 9 ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ActionToggles {
+    /// Hired real-user ratings on the target item.
+    pub hired_ratings: bool,
+    /// Social edges between customer-base users and fake accounts.
+    pub social_edges: bool,
+    /// Item-graph edges from company products to the target item.
+    pub item_edges: bool,
+    /// Inject fake accounts (with their unconditional target ratings).
+    pub fake_users: bool,
+}
+
+impl ActionToggles {
+    /// Everything enabled (the MCA capacity 𝒞_CA).
+    pub fn all() -> Self {
+        Self { hired_ratings: true, social_edges: true, item_edges: true, fake_users: true }
+    }
+
+    /// Ratings only (Fig. 8 "MSOPDS-ratings only").
+    pub fn ratings_only() -> Self {
+        Self { hired_ratings: true, social_edges: false, item_edges: false, fake_users: true }
+    }
+
+    /// Ratings + item-graph edges (Fig. 8 "ratings+item link").
+    pub fn ratings_and_item() -> Self {
+        Self { hired_ratings: true, social_edges: false, item_edges: true, fake_users: true }
+    }
+
+    /// Ratings + social edges (Fig. 8 "ratings+user link").
+    pub fn ratings_and_social() -> Self {
+        Self { hired_ratings: true, social_edges: true, item_edges: false, fake_users: true }
+    }
+
+    /// Real users only — no fake accounts (Fig. 9 "MSOPDS-real"; item edges
+    /// excluded per the figure's protocol).
+    pub fn real_only() -> Self {
+        Self { hired_ratings: true, social_edges: false, item_edges: false, fake_users: false }
+    }
+
+    /// Fake accounts only — no hired real users (Fig. 9 "MSOPDS-fake").
+    pub fn fake_only() -> Self {
+        Self { hired_ratings: false, social_edges: true, item_edges: false, fake_users: true }
+    }
+
+    /// Full capacity minus item-graph edges (Fig. 9 "MSOPDS" row).
+    pub fn no_item_edges() -> Self {
+        Self { hired_ratings: true, social_edges: true, item_edges: false, fake_users: true }
+    }
+}
+
+/// Parameters of a Comprehensive Attack capacity (eq. 6).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct CaCapacitySpec {
+    /// The common budget parameter `b` (§VI-A.3, default 5).
+    pub b: usize,
+    /// Preset rating r̂ (5 to promote, 1 to demote).
+    pub rhat: f64,
+    /// Fake accounts per budget unit, as a fraction of the real user count
+    /// (paper: fakes = b % of |𝒰| → 0.01 per unit).
+    pub fake_frac_per_b: f64,
+    /// Hire budget per unit, as a fraction of the customer base
+    /// (N = ⌈b · this · |𝒰_base|⌉; paper reading: 0.05).
+    pub hire_frac_per_b: f64,
+    /// Enabled action categories.
+    pub toggles: ActionToggles,
+}
+
+impl CaCapacitySpec {
+    /// The §VI-A.3 defaults at budget `b`, promoting with r̂ = 5.
+    pub fn promote(b: usize) -> Self {
+        Self { b, rhat: 5.0, fake_frac_per_b: 0.01, hire_frac_per_b: 0.05, toggles: ActionToggles::all() }
+    }
+
+    /// The opponent's demotion capacity (§VI-A.4): hired 1-star ratings only.
+    pub fn demote(b: usize) -> Self {
+        Self {
+            b,
+            rhat: 1.0,
+            fake_frac_per_b: 0.01,
+            hire_frac_per_b: 0.05,
+            toggles: ActionToggles { hired_ratings: true, social_edges: false, item_edges: false, fake_users: false },
+        }
+    }
+
+    /// The per-type selection budget `N` for a given customer-base size.
+    pub fn hire_budget(&self, base_size: usize) -> usize {
+        ((self.b as f64 * self.hire_frac_per_b * base_size as f64).ceil() as usize)
+            .clamp(1, base_size.max(1))
+    }
+
+    /// Number of fake accounts to inject for `n_real` real users.
+    pub fn fake_count(&self, n_real: usize) -> usize {
+        if !self.toggles.fake_users {
+            return 0;
+        }
+        ((self.b as f64 * self.fake_frac_per_b * n_real as f64).ceil() as usize).max(1)
+    }
+}
+
+/// A constructed capacity: injected fakes, fixed actions, and the importance
+/// vector over optimizable candidates.
+#[derive(Clone, Debug)]
+pub struct BuiltCapacity {
+    /// Ids of the fake accounts injected into the dataset for this player.
+    pub fake_users: Vec<usize>,
+    /// Unconditional actions (fake 5-star ratings on the target) that are part
+    /// of the plan regardless of optimization.
+    pub fixed: Vec<PoisonAction>,
+    /// The optimizable candidates with budget groups.
+    pub importance: ImportanceVector,
+}
+
+impl BuiltCapacity {
+    /// The full plan under the current priorities: fixed + selected actions.
+    pub fn full_plan(&self) -> Vec<PoisonAction> {
+        let mut plan = self.fixed.clone();
+        plan.extend(self.importance.extract_plan());
+        plan
+    }
+}
+
+/// Builds the Comprehensive Attack capacity 𝒞_CA (eq. 6) for one player,
+/// injecting the player's fake accounts into `data`.
+///
+/// # Panics
+/// Panics if the assets reference out-of-range users/items.
+pub fn build_ca_capacity(
+    data: &mut Dataset,
+    assets: &PlayerAssets,
+    target_item: usize,
+    spec: &CaCapacitySpec,
+) -> BuiltCapacity {
+    let n_real = data.n_real_users;
+    let fake_users = data.add_fake_users(spec.fake_count(n_real));
+
+    // Fixed: every fake account gives the preset rating to the target.
+    let fixed: Vec<PoisonAction> = fake_users
+        .iter()
+        .map(|&f| PoisonAction::Rating { user: f as u32, item: target_item as u32, value: spec.rhat })
+        .collect();
+
+    let n = spec.hire_budget(assets.customer_base.len());
+    let mut candidates = Vec::new();
+    let mut groups = Vec::new();
+
+    if spec.toggles.hired_ratings {
+        let start = candidates.len();
+        for &u in &assets.customer_base {
+            candidates.push(PoisonAction::Rating {
+                user: u as u32,
+                item: target_item as u32,
+                value: spec.rhat,
+            });
+        }
+        let indices: Vec<usize> = (start..candidates.len()).collect();
+        let take = n.min(indices.len());
+        groups.push(BudgetGroup::new("hired-ratings", indices, take));
+    }
+
+    if spec.toggles.social_edges {
+        for &f in &fake_users {
+            let start = candidates.len();
+            for &u in &assets.customer_base {
+                candidates.push(PoisonAction::SocialEdge { a: u as u32, b: f as u32 });
+            }
+            let indices: Vec<usize> = (start..candidates.len()).collect();
+            let take = n.min(indices.len());
+            groups.push(BudgetGroup::new(format!("social-fake-{f}"), indices, take));
+        }
+    }
+
+    if spec.toggles.item_edges {
+        let start = candidates.len();
+        for &i in &assets.company_products {
+            if i != target_item && !data.item_graph.has_edge(i, target_item) {
+                candidates.push(PoisonAction::ItemEdge { a: i as u32, b: target_item as u32 });
+            }
+        }
+        let indices: Vec<usize> = (start..candidates.len()).collect();
+        let take = n.min(indices.len());
+        groups.push(BudgetGroup::new("item-edges", indices, take));
+    }
+
+    BuiltCapacity { fake_users, fixed, importance: ImportanceVector::new(candidates, groups) }
+}
+
+/// Parameters of an Injection Attack capacity (eq. 4), used by the RevAdv
+/// baseline's bi-level optimization.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct IaCapacitySpec {
+    /// Budget parameter `b` (fakes = b % of |𝒰|).
+    pub b: usize,
+    /// Filler items each fake user rates (paper: 100).
+    pub fillers_per_fake: usize,
+    /// Candidate filler pool size per fake (bounds the importance vector).
+    pub candidate_pool: usize,
+    /// Preset rating for the target item.
+    pub target_rating: f64,
+}
+
+impl IaCapacitySpec {
+    /// Paper defaults at budget `b`, scaled-down pool sizes.
+    pub fn new(b: usize, fillers_per_fake: usize, candidate_pool: usize) -> Self {
+        Self { b, fillers_per_fake, candidate_pool, target_rating: 5.0 }
+    }
+}
+
+/// Builds the Injection Attack capacity 𝒞_IA (eq. 4): injects fake users
+/// (each fixed to 5-star the target) and candidate filler ratings drawn from
+/// a random item pool, one budget group per fake account.
+pub fn build_ia_capacity<R: rand::Rng>(
+    data: &mut Dataset,
+    target_item: usize,
+    spec: &IaCapacitySpec,
+    rng: &mut R,
+) -> BuiltCapacity {
+    use rand::seq::SliceRandom;
+    let n_real = data.n_real_users;
+    let n_fake = ((spec.b as f64 / 100.0 * n_real as f64).ceil() as usize).max(1);
+    let fake_users = data.add_fake_users(n_fake);
+
+    let fixed: Vec<PoisonAction> = fake_users
+        .iter()
+        .map(|&f| PoisonAction::Rating {
+            user: f as u32,
+            item: target_item as u32,
+            value: spec.target_rating,
+        })
+        .collect();
+
+    let items: Vec<usize> = (0..data.n_items()).filter(|&i| i != target_item).collect();
+    let mut candidates = Vec::new();
+    let mut groups = Vec::new();
+    for &f in &fake_users {
+        let start = candidates.len();
+        let pool: Vec<usize> =
+            items.choose_multiple(rng, spec.candidate_pool.min(items.len())).copied().collect();
+        for i in pool {
+            candidates.push(PoisonAction::Rating {
+                user: f as u32,
+                item: i as u32,
+                value: spec.target_rating,
+            });
+        }
+        let indices: Vec<usize> = (start..candidates.len()).collect();
+        let take = spec.fillers_per_fake.min(indices.len());
+        groups.push(BudgetGroup::new(format!("fillers-fake-{f}"), indices, take));
+    }
+
+    BuiltCapacity { fake_users, fixed, importance: ImportanceVector::new(candidates, groups) }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_recdata::{sample_market, DatasetSpec, DemographicsSpec};
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, msopds_recdata::Market) {
+        let data = DatasetSpec::micro().generate(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let market = sample_market(&data, &DemographicsSpec::default().scaled(6.0), 1, &mut rng);
+        (data, market)
+    }
+
+    #[test]
+    fn ca_capacity_has_three_action_types() {
+        let (mut data, market) = setup();
+        let spec = CaCapacitySpec::promote(5);
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        let kinds: std::collections::HashSet<_> =
+            cap.importance.candidates.iter().map(|a| a.kind()).collect();
+        assert_eq!(kinds.len(), 3, "expected all three action kinds, got {kinds:?}");
+        assert!(!cap.fixed.is_empty());
+        assert!(!cap.fake_users.is_empty());
+    }
+
+    #[test]
+    fn fake_users_were_injected() {
+        let (mut data, market) = setup();
+        let before = data.n_users();
+        let spec = CaCapacitySpec::promote(3);
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        assert_eq!(data.n_users(), before + cap.fake_users.len());
+        assert!(cap.fake_users.iter().all(|&f| data.is_fake(f)));
+    }
+
+    #[test]
+    fn budget_scales_with_b() {
+        let spec2 = CaCapacitySpec::promote(2);
+        let spec5 = CaCapacitySpec::promote(5);
+        assert!(spec5.hire_budget(100) > spec2.hire_budget(100));
+        assert_eq!(spec5.hire_budget(100), 25);
+        assert_eq!(spec2.hire_budget(100), 10);
+        // Budget never exceeds the base size and stays at least 1.
+        assert!(spec5.hire_budget(3) <= 3);
+        assert_eq!(spec5.hire_budget(3), 1); // ⌈5·0.05·3⌉ = 1
+        assert!(CaCapacitySpec::promote(1).hire_budget(1) >= 1);
+    }
+
+    #[test]
+    fn demote_spec_is_ratings_only_with_one_star() {
+        let (mut data, market) = setup();
+        let spec = CaCapacitySpec::demote(2);
+        let cap = build_ca_capacity(&mut data, &market.players[1], market.target_item, &spec);
+        assert!(cap.fake_users.is_empty());
+        assert!(cap.fixed.is_empty());
+        assert!(cap.importance.candidates.iter().all(|a| matches!(
+            a,
+            PoisonAction::Rating { value, .. } if *value == 1.0
+        )));
+    }
+
+    #[test]
+    fn social_edges_form_one_group_per_fake() {
+        let (mut data, market) = setup();
+        let spec = CaCapacitySpec::promote(4);
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        let social_groups =
+            cap.importance.groups.iter().filter(|g| g.label.starts_with("social-fake")).count();
+        assert_eq!(social_groups, cap.fake_users.len());
+    }
+
+    #[test]
+    fn toggles_filter_candidate_kinds() {
+        let (mut data, market) = setup();
+        let spec = CaCapacitySpec {
+            toggles: ActionToggles::ratings_only(),
+            ..CaCapacitySpec::promote(5)
+        };
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        assert!(cap
+            .importance
+            .candidates
+            .iter()
+            .all(|a| a.kind() == msopds_recdata::ActionKind::Rating));
+        // fake users still injected under ratings_only (their fixed ratings count).
+        assert!(!cap.fake_users.is_empty());
+    }
+
+    #[test]
+    fn real_only_excludes_fakes() {
+        let (mut data, market) = setup();
+        let spec =
+            CaCapacitySpec { toggles: ActionToggles::real_only(), ..CaCapacitySpec::promote(5) };
+        let before = data.n_users();
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        assert_eq!(data.n_users(), before);
+        assert!(cap.fake_users.is_empty());
+        assert!(cap.fixed.is_empty());
+    }
+
+    #[test]
+    fn ia_capacity_groups_per_fake() {
+        let (mut data, market) = setup();
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let spec = IaCapacitySpec::new(5, 10, 20);
+        let cap = build_ia_capacity(&mut data, market.target_item, &spec, &mut rng);
+        assert_eq!(cap.importance.groups.len(), cap.fake_users.len());
+        for g in &cap.importance.groups {
+            assert_eq!(g.take, 10);
+            assert_eq!(g.indices.len(), 20);
+        }
+        // Fixed 5-star target ratings, one per fake.
+        assert_eq!(cap.fixed.len(), cap.fake_users.len());
+    }
+
+    #[test]
+    fn full_plan_is_fixed_plus_selected() {
+        let (mut data, market) = setup();
+        let spec = CaCapacitySpec::promote(2);
+        let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+        let plan = cap.full_plan();
+        assert_eq!(plan.len(), cap.fixed.len() + cap.importance.total_budget());
+    }
+}

@@ -1,0 +1,125 @@
+//! Convergence analysis over [`MsoDiagnostics`](crate::mso::MsoDiagnostics).
+//!
+//! Theorem 3 guarantees convergence to a differential Stackelberg equilibrium
+//! under η^p < η^q; footnote 5 observes that in practice the total and
+//! partial derivatives stay bounded. These helpers make both properties
+//! checkable on a recorded run, and are used by the convergence tests and the
+//! η-ratio ablation bench.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mso::MsoDiagnostics;
+
+/// Summary verdict over one optimization run.
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct ConvergenceReport {
+    /// Mean leader gradient norm over the last quarter of iterations.
+    pub trailing_leader_grad: f64,
+    /// Mean follower gradient norm over the last quarter of iterations.
+    pub trailing_follower_grad: f64,
+    /// Ratio `trailing / initial` of the leader gradient norm (< 1 means the
+    /// equilibrium condition dL^p/dX^p → 0 is being approached).
+    pub leader_grad_decay: f64,
+    /// Largest leader gradient norm observed (footnote-5 boundedness check).
+    pub max_leader_grad: f64,
+    /// Whether every recorded quantity stayed finite.
+    pub all_finite: bool,
+}
+
+/// Analyzes a recorded run.
+///
+/// # Panics
+/// Panics on an empty diagnostics record.
+pub fn analyze(diag: &MsoDiagnostics) -> ConvergenceReport {
+    let n = diag.leader_grad_norm.len();
+    assert!(n > 0, "empty diagnostics");
+    let tail = (n / 4).max(1);
+    let trailing_leader_grad =
+        diag.leader_grad_norm[n - tail..].iter().sum::<f64>() / tail as f64;
+    let trailing_follower_grad =
+        diag.follower_grad_norm[n - tail..].iter().sum::<f64>() / tail as f64;
+    let initial = diag.leader_grad_norm[0].max(1e-12);
+    let max_leader_grad = diag.leader_grad_norm.iter().copied().fold(0.0, f64::max);
+    let all_finite = diag.leader_loss.iter().all(|x| x.is_finite())
+        && diag.leader_grad_norm.iter().all(|x| x.is_finite())
+        && diag.follower_grad_norm.iter().all(|x| x.is_finite())
+        && diag.follower_loss.iter().flatten().all(|x| x.is_finite());
+    ConvergenceReport {
+        trailing_leader_grad,
+        trailing_follower_grad,
+        leader_grad_decay: trailing_leader_grad / initial,
+        max_leader_grad,
+        all_finite,
+    }
+}
+
+/// True when the trailing leader gradient fell below `tol` — the empirical
+/// version of the equilibrium condition of Definition 7, eq. (20).
+pub fn reached_equilibrium(diag: &MsoDiagnostics, tol: f64) -> bool {
+    let report = analyze(diag);
+    report.all_finite && report.trailing_leader_grad < tol
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mso::{mso_optimize, BuiltGame, MsoConfig, StackelbergGame};
+    use msopds_autograd::{Tape, Tensor};
+
+    struct Quad;
+    impl StackelbergGame for Quad {
+        fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+            let xpv = tape.leaf(xp.clone());
+            let xqv = tape.leaf(xqs[0].clone());
+            let lp = xpv.add_scalar(-2.0).square().add(xpv.mul(xqv).scale(0.5)).sum();
+            let lq = xqv.sub(xpv).square().sum();
+            BuiltGame { xp: xpv, xqs: vec![xqv], lp, lqs: vec![lq] }
+        }
+    }
+
+    fn run(iters: usize) -> MsoDiagnostics {
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters, ..Default::default() };
+        mso_optimize(&Quad, Tensor::scalar(0.0), vec![Tensor::scalar(0.0)], &cfg).diagnostics
+    }
+
+    #[test]
+    fn long_runs_reach_equilibrium() {
+        let diag = run(400);
+        assert!(reached_equilibrium(&diag, 1e-3), "{:?}", analyze(&diag));
+    }
+
+    #[test]
+    fn short_runs_do_not() {
+        let diag = run(3);
+        assert!(!reached_equilibrium(&diag, 1e-6));
+    }
+
+    #[test]
+    fn report_fields_are_consistent() {
+        let diag = run(100);
+        let r = analyze(&diag);
+        assert!(r.all_finite);
+        assert!(r.trailing_leader_grad <= r.max_leader_grad);
+        assert!(r.leader_grad_decay < 1.0, "gradient should decay on a convex game");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty diagnostics")]
+    fn empty_diag_panics() {
+        let _ = analyze(&MsoDiagnostics::default());
+    }
+
+    #[test]
+    fn eta_discipline_converges_where_inverted_does_not_apply() {
+        // Empirical Theorem 3 check at two admissible ratios: a smaller
+        // η^p/η^q ratio still converges (more slowly per-iteration but
+        // stably), and both land on the same equilibrium.
+        let run_ratio = |eta_p: f64| {
+            let cfg = MsoConfig { eta_p, eta_q: 0.4, iters: 600, ..Default::default() };
+            mso_optimize(&Quad, Tensor::scalar(0.0), vec![Tensor::scalar(0.0)], &cfg)
+        };
+        let fast = run_ratio(0.1);
+        let slow = run_ratio(0.02);
+        assert!((fast.xp.item() - slow.xp.item()).abs() < 5e-3);
+    }
+}

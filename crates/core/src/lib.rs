@@ -1,0 +1,35 @@
+//! # msopds-core
+//!
+//! The paper's primary contribution: planning Multiplayer Comprehensive
+//! Attacks against heterogeneous recommenders via **M**ultilevel
+//! **S**tackelberg **O**ptimization over a **P**rogressive **D**ifferentiable
+//! **S**urrogate (MSOPDS, Algorithm 1).
+//!
+//! * [`plan`] — importance vectors and budget-constrained binarization (§IV-A);
+//! * [`capacity`] — the 𝒞_IA / 𝒞_CA capacity sets of eqs. (4) and (6);
+//! * [`mso`] — the generic leader/follower update rules of eqs. (9)–(14),
+//!   validated against closed-form Stackelberg equilibria;
+//! * [`msopds`] — MSOPDS and the BOPDS ablation driving the PDS surrogate.
+//!
+//! End-to-end planning flows through [`msopds::plan_msopds`]; the evaluation
+//! protocol lives in the `msopds-gameplay` crate.
+
+#![warn(missing_docs)]
+
+pub mod capacity;
+pub mod diagnostics;
+pub mod mso;
+pub mod msopds;
+pub mod plan;
+
+pub use diagnostics::{analyze, reached_equilibrium, ConvergenceReport};
+pub use capacity::{
+    build_ca_capacity, build_ia_capacity, ActionToggles, BuiltCapacity, CaCapacitySpec,
+    IaCapacitySpec,
+};
+pub use mso::{mso_optimize, BuiltGame, MsoConfig, MsoDiagnostics, MsoRun, StackelbergGame};
+pub use msopds::{
+    plan_bopds, plan_msopds, prepare_planning_data, Objective, PlannerConfig, PlannerOutcome,
+    PlayerSetup,
+};
+pub use plan::{BudgetGroup, ImportanceVector};

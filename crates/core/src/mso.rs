@@ -1,0 +1,347 @@
+//! Multilevel Stackelberg Optimization (§IV-B, §V).
+//!
+//! A generic simultaneous leader/followers optimizer implementing the update
+//! rules of eqs. (9), (10), (13) and (14):
+//!
+//! * followers descend their own partial gradient `∂L^q/∂X^q` (eq. 9);
+//! * the leader descends the **total derivative** (eq. 13/14)
+//!   `dL^p/dX^p = ∂L^p/∂X^p − Σᵢ ∂L^p/∂X^qᵢ (∂²L^qᵢ/∂X^qᵢ²)⁻¹ ∂²L^qᵢ/∂X^p∂X^qᵢ`,
+//!   with the inverse-Hessian product computed matrix-free by conjugate
+//!   gradient over Hessian-vector products (Algorithm 1 steps 9–10);
+//! * the push–pull step-size discipline `η^p < η^q` required by Theorem 3 is
+//!   asserted at construction.
+//!
+//! The optimizer is generic over a [`StackelbergGame`], which lets the same
+//! update rules drive both the PDS-backed poisoning game (see
+//! [`crate::msopds`]) and analytic games used to validate convergence against
+//! closed-form equilibria.
+
+use msopds_autograd::{conjugate_gradient, HvpMode, Tape, Tensor, Var};
+use serde::{Deserialize, Serialize};
+
+/// A differentiable two-level game: one leader, `N` followers.
+pub trait StackelbergGame {
+    /// Records one evaluation of all losses on `tape`, with leader and
+    /// follower decision variables as leaves. Implementations may transform
+    /// the raw decision vectors (e.g. binarization) before creating leaves;
+    /// gradients are taken with respect to the returned leaves and applied to
+    /// the raw vectors, per §IV-C.
+    fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t>;
+}
+
+/// Handles into one recorded game evaluation.
+pub struct BuiltGame<'t> {
+    /// Leader decision leaf.
+    pub xp: Var<'t>,
+    /// Follower decision leaves.
+    pub xqs: Vec<Var<'t>>,
+    /// Leader loss `L^p`.
+    pub lp: Var<'t>,
+    /// Follower losses `L^qᵢ`.
+    pub lqs: Vec<Var<'t>>,
+}
+
+/// MSO optimizer configuration (§VI-A.7 defaults).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct MsoConfig {
+    /// Leader step size η^p (paper: 0.005).
+    pub eta_p: f64,
+    /// Follower step size η^q (paper: 0.05). Must exceed `eta_p`.
+    pub eta_q: f64,
+    /// Outer iterations `K` (paper: 20).
+    pub iters: usize,
+    /// Conjugate-gradient iteration cap for the implicit solve.
+    pub cg_iters: usize,
+    /// CG relative-residual tolerance.
+    pub cg_tol: f64,
+    /// CG damping added to the follower Hessian.
+    pub cg_damping: f64,
+    /// Hessian-vector product mechanism.
+    pub hvp_mode: HvpMode,
+}
+
+impl Default for MsoConfig {
+    fn default() -> Self {
+        Self {
+            eta_p: 0.005,
+            eta_q: 0.05,
+            iters: 20,
+            cg_iters: 8,
+            cg_tol: 1e-6,
+            cg_damping: 1e-3,
+            hvp_mode: HvpMode::Exact,
+        }
+    }
+}
+
+/// Per-iteration diagnostics of an MSO run, used to observe the convergence
+/// behaviour asserted by Theorem 3.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct MsoDiagnostics {
+    /// Leader loss per iteration.
+    pub leader_loss: Vec<f64>,
+    /// Follower losses per iteration.
+    pub follower_loss: Vec<Vec<f64>>,
+    /// ‖dL^p/dX^p‖ per iteration (total derivative).
+    pub leader_grad_norm: Vec<f64>,
+    /// ‖∂L^qᵢ/∂X^qᵢ‖ per iteration, summed over followers.
+    pub follower_grad_norm: Vec<f64>,
+    /// CG iterations spent per outer iteration.
+    pub cg_iterations: Vec<usize>,
+}
+
+/// Result of an MSO run.
+#[derive(Clone, Debug)]
+pub struct MsoRun {
+    /// Final leader decision vector.
+    pub xp: Tensor,
+    /// Final follower decision vectors.
+    pub xqs: Vec<Tensor>,
+    /// Convergence diagnostics.
+    pub diagnostics: MsoDiagnostics,
+}
+
+/// Runs MSO from the given initial decision vectors.
+///
+/// # Panics
+/// Panics unless `0 < eta_p < eta_q` (the Theorem 3 precondition, asserted in
+/// Algorithm 1's input contract).
+pub fn mso_optimize<G: StackelbergGame>(
+    game: &G,
+    mut xp: Tensor,
+    mut xqs: Vec<Tensor>,
+    cfg: &MsoConfig,
+) -> MsoRun {
+    assert!(
+        cfg.eta_p > 0.0 && cfg.eta_p < cfg.eta_q,
+        "Theorem 3 requires 0 < η^p ({}) < η^q ({})",
+        cfg.eta_p,
+        cfg.eta_q
+    );
+    let mut diag = MsoDiagnostics::default();
+
+    for _ in 0..cfg.iters {
+        let tape = Tape::new();
+        let built = game.build(&tape, &xp, &xqs);
+        assert_eq!(built.xqs.len(), xqs.len(), "game must expose one leaf per follower");
+        assert_eq!(built.lqs.len(), xqs.len(), "game must expose one loss per follower");
+
+        diag.leader_loss.push(built.lp.item());
+        diag.follower_loss.push(built.lqs.iter().map(|l| l.item()).collect());
+
+        // ∂L^p/∂X^p and ∂L^p/∂X^qᵢ in one backward pass.
+        let mut wrt = vec![built.xp];
+        wrt.extend(built.xqs.iter().copied());
+        let gp_all = tape.grad_vars(built.lp, &wrt);
+        let mut total = gp_all[0].value();
+
+        let mut cg_spent = 0usize;
+        let mut follower_gnorm = 0.0;
+        let mut follower_grads = Vec::with_capacity(xqs.len());
+        for (i, (&xq_leaf, &lq)) in built.xqs.iter().zip(built.lqs.iter()).enumerate() {
+            // Follower's own update direction (eq. 9), kept on the tape so it
+            // can be differentiated again for the second-order terms.
+            let gq = tape.grad_vars(lq, &[xq_leaf])[0];
+            follower_gnorm += gq.value().norm();
+            follower_grads.push(gq.value());
+
+            // Right-hand side ∂L^p/∂X^qᵢ of the implicit solve.
+            let rhs = gp_all[1 + i].value();
+            if rhs.norm() < 1e-12 {
+                continue; // the leader loss does not see this follower: no correction
+            }
+
+            // Solve ξ·∂²L^q/∂X^q² = ∂L^p/∂X^q matrix-free (Alg. 1 step 9).
+            let sol = match cfg.hvp_mode {
+                HvpMode::Exact => conjugate_gradient(
+                    |v| {
+                        let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
+                        let vc = tape.constant(v_t);
+                        let gv = gq.mul(vc).sum();
+                        tape.grad(gv, &[xq_leaf]).remove(0).to_vec()
+                    },
+                    rhs.data(),
+                    cfg.cg_iters,
+                    cfg.cg_tol,
+                    cfg.cg_damping,
+                ),
+                HvpMode::FiniteDiff => {
+                    let eval_grad = |xq_pert: &Tensor| -> Tensor {
+                        let t2 = Tape::new();
+                        let mut xqs2 = xqs.clone();
+                        xqs2[i] = xq_pert.clone();
+                        let b2 = game.build(&t2, &xp, &xqs2);
+                        t2.grad(b2.lqs[i], &[b2.xqs[i]]).remove(0)
+                    };
+                    conjugate_gradient(
+                        |v| {
+                            let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
+                            msopds_autograd::hvp::hvp_finite_diff(eval_grad, &xqs[i], &v_t)
+                                .to_vec()
+                        },
+                        rhs.data(),
+                        cfg.cg_iters,
+                        cfg.cg_tol,
+                        cfg.cg_damping,
+                    )
+                }
+            };
+            cg_spent += sol.iterations;
+
+            // Correction ξ·∂²L^qᵢ/∂X^p∂X^qᵢ via one more backward pass
+            // (Alg. 1 step 10): differentiate ⟨∂L^q/∂X^q, ξ⟩ w.r.t. X^p.
+            let xi = tape.constant(Tensor::from_vec(sol.x, rhs.shape()));
+            let gxi = gq.mul(xi).sum();
+            let correction = tape.grad(gxi, &[built.xp]).remove(0);
+            total = total.zip(&correction, |t, c| t - c);
+        }
+
+        diag.leader_grad_norm.push(total.norm());
+        diag.follower_grad_norm.push(follower_gnorm);
+        diag.cg_iterations.push(cg_spent);
+
+        // Simultaneous updates (eq. 10 for the leader, eq. 9 for followers).
+        xp = xp.zip(&total, |x, g| x - cfg.eta_p * g);
+        for (xq, gq) in xqs.iter_mut().zip(&follower_grads) {
+            *xq = xq.zip(gq, |x, g| x - cfg.eta_q * g);
+        }
+    }
+
+    MsoRun { xp, xqs, diagnostics: diag }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Analytic quadratic Stackelberg game with a closed-form equilibrium:
+    /// `L^p = (x_p − a)² + c·x_p·x_q`, `L^q = (x_q − d·x_p)²`.
+    /// Follower best response: x_q*(x_p) = d·x_p; leader optimum
+    /// x_p* = a / (1 + c·d), x_q* = d·x_p*.
+    struct Quadratic {
+        a: f64,
+        c: f64,
+        d: f64,
+    }
+
+    impl StackelbergGame for Quadratic {
+        fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+            let xpv = tape.leaf(xp.clone());
+            let xqv = tape.leaf(xqs[0].clone());
+            let lp = xpv.add_scalar(-self.a).square().add(xpv.mul(xqv).scale(self.c)).sum();
+            let lq = xqv.sub(xpv.scale(self.d)).square().sum();
+            BuiltGame { xp: xpv, xqs: vec![xqv], lp, lqs: vec![lq] }
+        }
+    }
+
+    fn solve(cfg: &MsoConfig, game: &Quadratic) -> MsoRun {
+        mso_optimize(game, Tensor::scalar(0.0), vec![Tensor::scalar(0.0)], cfg)
+    }
+
+    #[test]
+    fn converges_to_closed_form_equilibrium() {
+        let game = Quadratic { a: 2.0, c: 0.5, d: 1.0 };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 400, ..Default::default() };
+        let run = solve(&cfg, &game);
+        let xp_star = game.a / (1.0 + game.c * game.d);
+        let xq_star = game.d * xp_star;
+        assert!(
+            (run.xp.item() - xp_star).abs() < 1e-3,
+            "leader: got {}, want {xp_star}",
+            run.xp.item()
+        );
+        assert!(
+            (run.xqs[0].item() - xq_star).abs() < 1e-3,
+            "follower: got {}, want {xq_star}",
+            run.xqs[0].item()
+        );
+    }
+
+    #[test]
+    fn naive_partial_gradient_misses_equilibrium() {
+        // With c·d ≠ 0 the naive fixed point (ignoring the correction term)
+        // is a/(1 + c·d/2) ≠ a/(1+c·d); verify MSO lands on the *Stackelberg*
+        // point rather than the naive simultaneous-gradient point.
+        let game = Quadratic { a: 3.0, c: 1.0, d: 1.0 };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 600, ..Default::default() };
+        let run = solve(&cfg, &game);
+        let stackelberg = 1.5;
+        let naive = 2.0; // solves ∂Lp/∂xp = 0 with xq = d·xp: 2(x−3)+x = 0
+        assert!((run.xp.item() - stackelberg).abs() < 5e-3);
+        assert!((run.xp.item() - naive).abs() > 0.4);
+    }
+
+    #[test]
+    fn finite_diff_hvp_agrees_with_exact() {
+        let game = Quadratic { a: 2.0, c: 0.5, d: 0.8 };
+        let base = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 200, ..Default::default() };
+        let exact = solve(&base, &game);
+        let fd = solve(&MsoConfig { hvp_mode: HvpMode::FiniteDiff, ..base }, &game);
+        assert!((exact.xp.item() - fd.xp.item()).abs() < 1e-4);
+    }
+
+    #[test]
+    fn diagnostics_record_every_iteration() {
+        let game = Quadratic { a: 1.0, c: 0.2, d: 0.5 };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 7, ..Default::default() };
+        let run = solve(&cfg, &game);
+        assert_eq!(run.diagnostics.leader_loss.len(), 7);
+        assert_eq!(run.diagnostics.follower_loss.len(), 7);
+        assert_eq!(run.diagnostics.leader_grad_norm.len(), 7);
+    }
+
+    #[test]
+    fn leader_gradient_norm_decays() {
+        let game = Quadratic { a: 2.0, c: 0.5, d: 1.0 };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 300, ..Default::default() };
+        let run = solve(&cfg, &game);
+        let first = run.diagnostics.leader_grad_norm[0];
+        let last = *run.diagnostics.leader_grad_norm.last().unwrap();
+        assert!(last < 0.05 * first, "‖grad‖ {first} -> {last}");
+    }
+
+    #[test]
+    #[should_panic(expected = "Theorem 3")]
+    fn rejects_eta_p_not_less_than_eta_q() {
+        let game = Quadratic { a: 1.0, c: 0.1, d: 0.1 };
+        let cfg = MsoConfig { eta_p: 0.5, eta_q: 0.1, iters: 1, ..Default::default() };
+        let _ = solve(&cfg, &game);
+    }
+
+    #[test]
+    fn two_followers_sum_their_corrections() {
+        // Symmetric two-follower extension; equilibrium from eq. (14):
+        // L^p = (x_p − a)² + c·x_p·(x_q1 + x_q2), followers track d·x_p.
+        struct TwoFollower {
+            a: f64,
+            c: f64,
+            d: f64,
+        }
+        impl StackelbergGame for TwoFollower {
+            fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+                let xpv = tape.leaf(xp.clone());
+                let q1 = tape.leaf(xqs[0].clone());
+                let q2 = tape.leaf(xqs[1].clone());
+                let lp = xpv
+                    .add_scalar(-self.a)
+                    .square()
+                    .add(xpv.mul(q1.add(q2)).scale(self.c))
+                    .sum();
+                let lq1 = q1.sub(xpv.scale(self.d)).square().sum();
+                let lq2 = q2.sub(xpv.scale(self.d)).square().sum();
+                BuiltGame { xp: xpv, xqs: vec![q1, q2], lp, lqs: vec![lq1, lq2] }
+            }
+        }
+        let game = TwoFollower { a: 2.0, c: 0.25, d: 1.0 };
+        let cfg = MsoConfig { eta_p: 0.04, eta_q: 0.4, iters: 500, ..Default::default() };
+        let run = mso_optimize(
+            &game,
+            Tensor::scalar(0.0),
+            vec![Tensor::scalar(0.0), Tensor::scalar(0.0)],
+            &cfg,
+        );
+        // Same algebra as the single-follower case with c_eff = 2c.
+        let xp_star = game.a / (1.0 + 2.0 * game.c * game.d);
+        assert!((run.xp.item() - xp_star).abs() < 2e-3, "got {}", run.xp.item());
+    }
+}

@@ -1,0 +1,314 @@
+//! MSOPDS and BOPDS: the MSO update rules driving the PDS surrogate
+//! (Algorithm 1 and its single-player ablation from §IV-D).
+
+use msopds_autograd::{Tape, Tensor, Var};
+use msopds_recdata::Dataset;
+use msopds_recsys::losses::{self, Scores};
+use msopds_recsys::pds::{build_pds, PdsConfig, PlayerInput};
+use serde::{Deserialize, Serialize};
+
+use crate::capacity::BuiltCapacity;
+use crate::mso::{mso_optimize, BuiltGame, MsoConfig, MsoDiagnostics, StackelbergGame};
+
+/// A player's adversarial objective, evaluated on the surrogate's final
+/// embeddings.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub enum Objective {
+    /// Comprehensive Attack (eq. 5): promote `target` to `audience` over
+    /// `competing`.
+    Comprehensive {
+        /// Target audience 𝒰_TA.
+        audience: Vec<usize>,
+        /// Target item i_t.
+        target: usize,
+        /// Competing items ℐ_compete.
+        competing: Vec<usize>,
+    },
+    /// Demotion (§VI-A.4): minimize the mean predicted rating of `target`.
+    Demote {
+        /// Users whose predictions are demoted.
+        audience: Vec<usize>,
+        /// The (attacker's) target item to push down.
+        target: usize,
+    },
+    /// Injection Attack (eq. 3): maximize the mean predicted rating of
+    /// `target` over `users`.
+    Inject {
+        /// Users whose predictions are promoted (all real users in eq. 3).
+        users: Vec<usize>,
+        /// Target item.
+        target: usize,
+    },
+}
+
+impl Objective {
+    /// Records the loss on the tape from the surrogate's score model.
+    pub fn loss<'t>(&self, scores: &Scores<'t>) -> Var<'t> {
+        match self {
+            Objective::Comprehensive { audience, target, competing } => {
+                losses::ca_loss(scores, audience, *target, competing)
+            }
+            Objective::Demote { audience, target } => {
+                losses::demotion_loss(scores, audience, *target)
+            }
+            Objective::Inject { users, target } => losses::ia_loss(scores, users, *target),
+        }
+    }
+}
+
+/// One player of the poisoning game: a capacity plus an objective.
+#[derive(Clone, Debug)]
+pub struct PlayerSetup {
+    /// The player's built capacity (candidates, budgets, fixed actions).
+    pub capacity: BuiltCapacity,
+    /// The player's adversarial loss.
+    pub objective: Objective,
+}
+
+/// Combined configuration for a planning run.
+#[derive(Clone, Copy, Debug, Default, Serialize, Deserialize)]
+pub struct PlannerConfig {
+    /// Outer Stackelberg optimization parameters.
+    pub mso: MsoConfig,
+    /// Inner surrogate parameters.
+    pub pds: PdsConfig,
+}
+
+/// Outcome of a planning run.
+#[derive(Clone, Debug)]
+pub struct PlannerOutcome {
+    /// The attacker's selected actions (fixed actions *not* included; see
+    /// [`BuiltCapacity::fixed`]).
+    pub selected: Vec<msopds_recdata::PoisonAction>,
+    /// Complete attacker plan: fixed + selected.
+    pub full_plan: Vec<msopds_recdata::PoisonAction>,
+    /// Final attacker importance values.
+    pub importance: Vec<f64>,
+    /// Simulated final opponent importance values (diagnostics).
+    pub opponent_importance: Vec<Vec<f64>>,
+    /// Optimization diagnostics.
+    pub diagnostics: MsoDiagnostics,
+}
+
+/// The PDS-backed Stackelberg game (one attacker leaf, one leaf per opponent).
+struct PoisonGame<'a> {
+    data: &'a Dataset,
+    attacker: &'a PlayerSetup,
+    opponents: &'a [PlayerSetup],
+    pds: PdsConfig,
+}
+
+impl StackelbergGame for PoisonGame<'_> {
+    fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+        // Binarize each player's continuous priorities under their budgets
+        // (upper-left of Fig. 2); gradients are taken w.r.t. the binarized
+        // leaves and applied to the continuous vectors (§IV-C).
+        let xhat_p = self.attacker.capacity.importance.binarize_values(xp.data());
+        let xhat_qs: Vec<Tensor> = self
+            .opponents
+            .iter()
+            .zip(xqs)
+            .map(|(o, xq)| o.capacity.importance.binarize_values(xq.data()))
+            .collect();
+
+        let mut players = Vec::with_capacity(1 + self.opponents.len());
+        players.push(PlayerInput {
+            candidates: &self.attacker.capacity.importance.candidates,
+            xhat: xhat_p,
+        });
+        for (o, xhat) in self.opponents.iter().zip(xhat_qs) {
+            players.push(PlayerInput { candidates: &o.capacity.importance.candidates, xhat });
+        }
+
+        let pds = build_pds(tape, self.data, &players, &self.pds);
+        let scores = pds.scores();
+        let lp = self.attacker.objective.loss(&scores);
+        let lqs: Vec<Var<'t>> = self.opponents.iter().map(|o| o.objective.loss(&scores)).collect();
+        let mut xhats = pds.xhats.into_iter();
+        let xp_leaf = xhats.next().expect("attacker leaf");
+        BuiltGame { xp: xp_leaf, xqs: xhats.collect(), lp, lqs }
+    }
+}
+
+/// Plans a Multiplayer Comprehensive Attack with MSOPDS (Algorithm 1).
+///
+/// `data` must be the dataset with *all* players' fake users already injected
+/// and all fixed actions applied (use [`prepare_planning_data`]). The attacker
+/// anticipates `opponents`, each updated by eq. (9) while the attacker follows
+/// the total derivative of eq. (14).
+pub fn plan_msopds(
+    data: &Dataset,
+    attacker: &PlayerSetup,
+    opponents: &[PlayerSetup],
+    cfg: &PlannerConfig,
+) -> PlannerOutcome {
+    let game = PoisonGame { data, attacker, opponents, pds: cfg.pds };
+    let xp0 = Tensor::from_vec(
+        attacker.capacity.importance.values.clone(),
+        &[attacker.capacity.importance.len()],
+    );
+    let xqs0: Vec<Tensor> = opponents
+        .iter()
+        .map(|o| Tensor::from_vec(o.capacity.importance.values.clone(), &[o.capacity.importance.len()]))
+        .collect();
+    let run = mso_optimize(&game, xp0, xqs0, &cfg.mso);
+
+    let mut attacker_iv = attacker.capacity.importance.clone();
+    attacker_iv.values = run.xp.to_vec();
+    let selected = attacker_iv.extract_plan();
+    let mut full_plan = attacker.capacity.fixed.clone();
+    full_plan.extend(selected.iter().copied());
+
+    PlannerOutcome {
+        selected,
+        full_plan,
+        importance: run.xp.to_vec(),
+        opponent_importance: run.xqs.iter().map(|x| x.to_vec()).collect(),
+        diagnostics: run.diagnostics,
+    }
+}
+
+/// Plans a single-player Comprehensive Attack with BOPDS — the bi-level
+/// ablation of §IV-D (no opponent anticipation; plain descent on
+/// `∂L^p/∂X̂^p`).
+pub fn plan_bopds(data: &Dataset, player: &PlayerSetup, cfg: &PlannerConfig) -> PlannerOutcome {
+    plan_msopds(data, player, &[], cfg)
+}
+
+/// Applies every player's fake-user injection and fixed actions to a copy of
+/// `base`, returning the dataset the planners run on.
+///
+/// The per-player capacities must already have been built against `base` in
+/// order (attacker first), so their fake ids line up.
+pub fn prepare_planning_data(base: &Dataset, players: &[&BuiltCapacity]) -> Dataset {
+    let mut all_fixed = Vec::new();
+    for p in players {
+        all_fixed.extend(p.fixed.iter().copied());
+    }
+    base.apply_poison(&all_fixed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::capacity::{build_ca_capacity, CaCapacitySpec};
+    use msopds_autograd::HvpMode;
+    use msopds_recdata::{sample_market, DatasetSpec, DemographicsSpec, Market};
+    use rand::SeedableRng;
+
+    fn quick_cfg() -> PlannerConfig {
+        PlannerConfig {
+            mso: MsoConfig {
+                iters: 4,
+                cg_iters: 3,
+                hvp_mode: HvpMode::Exact,
+                ..Default::default()
+            },
+            pds: PdsConfig { inner_steps: 3, ..Default::default() },
+        }
+    }
+
+    fn setup(n_opponents: usize) -> (Dataset, Market, PlayerSetup, Vec<PlayerSetup>) {
+        let mut data = DatasetSpec::micro().generate(2);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let market =
+            sample_market(&data, &DemographicsSpec::default().scaled(8.0), n_opponents, &mut rng);
+
+        let atk_cap = build_ca_capacity(
+            &mut data,
+            &market.players[0],
+            market.target_item,
+            &CaCapacitySpec::promote(3),
+        );
+        let attacker = PlayerSetup {
+            capacity: atk_cap,
+            objective: Objective::Comprehensive {
+                audience: market.target_audience.clone(),
+                target: market.target_item,
+                competing: market.competing_items.clone(),
+            },
+        };
+        let opponents: Vec<PlayerSetup> = (0..n_opponents)
+            .map(|i| {
+                let cap = build_ca_capacity(
+                    &mut data,
+                    &market.players[1 + i],
+                    market.target_item,
+                    &CaCapacitySpec::demote(2),
+                );
+                PlayerSetup {
+                    capacity: cap,
+                    objective: Objective::Demote {
+                        audience: market.target_audience.clone(),
+                        target: market.target_item,
+                    },
+                }
+            })
+            .collect();
+        let planning_data = {
+            let caps: Vec<&BuiltCapacity> = std::iter::once(&attacker.capacity)
+                .chain(opponents.iter().map(|o| &o.capacity))
+                .collect();
+            prepare_planning_data(&data, &caps)
+        };
+        (planning_data, market, attacker, opponents)
+    }
+
+    #[test]
+    fn bopds_respects_budgets_and_runs() {
+        let (data, _, attacker, _) = setup(0);
+        let out = plan_bopds(&data, &attacker, &quick_cfg());
+        assert_eq!(out.selected.len(), attacker.capacity.importance.total_budget());
+        assert_eq!(out.diagnostics.leader_loss.len(), 4);
+        assert!(out.importance.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn bopds_moves_importance_values() {
+        let (data, _, attacker, _) = setup(0);
+        let out = plan_bopds(&data, &attacker, &quick_cfg());
+        let moved = out.importance.iter().filter(|v| v.abs() > 1e-15).count();
+        assert!(moved > 0, "no importance value moved");
+    }
+
+    #[test]
+    fn msopds_single_opponent_runs_and_selects() {
+        let (data, _, attacker, opponents) = setup(1);
+        let out = plan_msopds(&data, &attacker, &opponents, &quick_cfg());
+        assert_eq!(out.selected.len(), attacker.capacity.importance.total_budget());
+        assert_eq!(out.opponent_importance.len(), 1);
+        // Opponent importance should also have moved (eq. 9 updates).
+        assert!(out.opponent_importance[0].iter().any(|v| v.abs() > 1e-15));
+    }
+
+    #[test]
+    fn msopds_differs_from_bopds() {
+        // Anticipating an opponent must change the attacker's priorities.
+        let (data, _, attacker, opponents) = setup(1);
+        let with_opp = plan_msopds(&data, &attacker, &opponents, &quick_cfg());
+        let without = plan_bopds(&data, &attacker, &quick_cfg());
+        assert_ne!(with_opp.importance, without.importance);
+    }
+
+    #[test]
+    fn full_plan_includes_fixed_fake_ratings() {
+        let (data, _, attacker, _) = setup(0);
+        let out = plan_bopds(&data, &attacker, &quick_cfg());
+        assert_eq!(
+            out.full_plan.len(),
+            attacker.capacity.fixed.len() + out.selected.len()
+        );
+    }
+
+    #[test]
+    fn two_opponents_supported() {
+        let (data, _, attacker, opponents) = setup(2);
+        let cfg = PlannerConfig {
+            mso: MsoConfig { iters: 2, cg_iters: 2, ..Default::default() },
+            pds: PdsConfig { inner_steps: 2, ..Default::default() },
+        };
+        let out = plan_msopds(&data, &attacker, &opponents, &cfg);
+        assert_eq!(out.opponent_importance.len(), 2);
+        assert_eq!(out.diagnostics.follower_loss[0].len(), 2);
+    }
+}

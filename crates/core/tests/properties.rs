@@ -1,0 +1,94 @@
+//! Property tests for the planning layer: binarization invariants and the
+//! MSO optimizer on randomized analytic games.
+
+use msopds_autograd::{Tape, Tensor};
+use msopds_core::{mso_optimize, BudgetGroup, BuiltGame, ImportanceVector, MsoConfig, StackelbergGame};
+use msopds_recdata::PoisonAction;
+use proptest::prelude::*;
+
+fn iv(values: Vec<f64>, take: usize) -> ImportanceVector {
+    let n = values.len();
+    let candidates =
+        (0..n as u32).map(|u| PoisonAction::Rating { user: u, item: 0, value: 5.0 }).collect();
+    let mut iv = ImportanceVector::new(
+        candidates,
+        vec![BudgetGroup::new("g", (0..n).collect(), take.min(n))],
+    );
+    iv.values = values;
+    iv
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn binarization_respects_budget(values in proptest::collection::vec(-5.0..5.0f64, 1..30), take in 0usize..30) {
+        let v = iv(values, take);
+        let xhat = v.binarize();
+        let ones = xhat.data().iter().filter(|&&x| x == 1.0).count();
+        prop_assert_eq!(ones, v.total_budget());
+        prop_assert!(xhat.data().iter().all(|&x| x == 0.0 || x == 1.0));
+    }
+
+    #[test]
+    fn binarization_selects_maximal_values(values in proptest::collection::vec(-5.0..5.0f64, 2..20)) {
+        let take = values.len() / 2;
+        let v = iv(values.clone(), take);
+        let xhat = v.binarize();
+        // Every selected value must be >= every unselected value.
+        let selected_min = values
+            .iter()
+            .zip(xhat.data())
+            .filter(|(_, &x)| x == 1.0)
+            .map(|(v, _)| *v)
+            .fold(f64::INFINITY, f64::min);
+        let unselected_max = values
+            .iter()
+            .zip(xhat.data())
+            .filter(|(_, &x)| x == 0.0)
+            .map(|(v, _)| *v)
+            .fold(f64::NEG_INFINITY, f64::max);
+        if take > 0 && take < values.len() {
+            prop_assert!(selected_min >= unselected_max);
+        }
+    }
+
+    #[test]
+    fn plan_extraction_is_stable_under_positive_scaling(
+        values in proptest::collection::vec(-3.0..3.0f64, 2..15),
+        scale in 0.1..10.0f64,
+    ) {
+        let take = (values.len() / 2).max(1);
+        let a = iv(values.clone(), take);
+        let b = iv(values.iter().map(|v| v * scale).collect(), take);
+        prop_assert_eq!(a.extract_plan(), b.extract_plan());
+    }
+
+    #[test]
+    fn mso_converges_on_random_quadratic_games(
+        a in -3.0..3.0f64,
+        c in 0.05..0.6f64,
+        d in 0.1..1.0f64,
+    ) {
+        struct Quad { a: f64, c: f64, d: f64 }
+        impl StackelbergGame for Quad {
+            fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+                let xpv = tape.leaf(xp.clone());
+                let xqv = tape.leaf(xqs[0].clone());
+                let lp = xpv.add_scalar(-self.a).square().add(xpv.mul(xqv).scale(self.c)).sum();
+                let lq = xqv.sub(xpv.scale(self.d)).square().sum();
+                BuiltGame { xp: xpv, xqs: vec![xqv], lp, lqs: vec![lq] }
+            }
+        }
+        let game = Quad { a, c, d };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 400, ..Default::default() };
+        let run = mso_optimize(&game, Tensor::scalar(0.0), vec![Tensor::scalar(0.0)], &cfg);
+        let xp_star = a / (1.0 + c * d);
+        prop_assert!(
+            (run.xp.item() - xp_star).abs() < 1e-2,
+            "expected {xp_star}, got {} for (a={a}, c={c}, d={d})",
+            run.xp.item()
+        );
+        prop_assert!((run.xqs[0].item() - d * xp_star).abs() < 1e-2);
+    }
+}

@@ -1,0 +1,14 @@
+//! # msopds-gameplay
+//!
+//! The multiplayer poisoning game simulator: the attacker commits first, the
+//! opponents respond sequentially (each planning a demotion Comprehensive
+//! Attack with BOPDS on the observed, already-poisoned data), and the victim
+//! Het-RecSys is retrained from scratch to measure the §VI-A.6 metrics.
+
+#![warn(missing_docs)]
+
+pub mod defense;
+pub mod game;
+
+pub use defense::{detect_fakes, detection_quality, run_defended_game, DetectorConfig, SuspicionReport};
+pub use game::{play_world, run_game, score_world, AttackMethod, GameConfig, GameOutcome, PlayedWorld};

@@ -1,0 +1,194 @@
+//! Compressed sparse row (CSR) storage for undirected graphs.
+
+use serde::{Deserialize, Serialize};
+
+/// An undirected graph in CSR form with sorted neighbor lists.
+///
+/// Node ids are dense `0..n`. Self-loops and parallel edges are rejected at
+/// construction. The structure is immutable; use [`CsrGraph::with_edges`] to
+/// derive a graph with extra edges (how poisoned graphs 𝒢̂ are produced).
+#[derive(Clone, Debug, Serialize, Deserialize, PartialEq, Eq)]
+pub struct CsrGraph {
+    offsets: Vec<usize>,
+    neighbors: Vec<u32>,
+}
+
+impl CsrGraph {
+    /// Builds a graph on `n` nodes from an undirected edge list.
+    ///
+    /// Duplicate edges (in either orientation) and self-loops are ignored.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, edges: &[(usize, usize)]) -> Self {
+        let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in edges {
+            assert!(a < n && b < n, "edge ({a},{b}) out of bounds for {n} nodes");
+            if a == b {
+                continue;
+            }
+            adj[a].push(b as u32);
+            adj[b].push(a as u32);
+        }
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut neighbors = Vec::new();
+        offsets.push(0);
+        for list in &mut adj {
+            list.sort_unstable();
+            list.dedup();
+            neighbors.extend_from_slice(list);
+            offsets.push(neighbors.len());
+        }
+        Self { offsets, neighbors }
+    }
+
+    /// An edgeless graph on `n` nodes.
+    pub fn empty(n: usize) -> Self {
+        Self { offsets: vec![0; n + 1], neighbors: Vec::new() }
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// Number of undirected edges.
+    pub fn num_edges(&self) -> usize {
+        self.neighbors.len() / 2
+    }
+
+    /// Sorted neighbor list of `u`.
+    pub fn neighbors(&self, u: usize) -> impl Iterator<Item = usize> + '_ {
+        self.neighbors[self.offsets[u]..self.offsets[u + 1]].iter().map(|&v| v as usize)
+    }
+
+    /// Degree of `u`.
+    pub fn degree(&self, u: usize) -> usize {
+        self.offsets[u + 1] - self.offsets[u]
+    }
+
+    /// Whether the undirected edge `(a, b)` exists.
+    pub fn has_edge(&self, a: usize, b: usize) -> bool {
+        let range = &self.neighbors[self.offsets[a]..self.offsets[a + 1]];
+        range.binary_search(&(b as u32)).is_ok()
+    }
+
+    /// All undirected edges, each reported once with `a < b`.
+    pub fn edges(&self) -> Vec<(usize, usize)> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for a in 0..self.num_nodes() {
+            for b in self.neighbors(a) {
+                if a < b {
+                    out.push((a, b));
+                }
+            }
+        }
+        out
+    }
+
+    /// A new graph with `extra` edges merged in (duplicates ignored) and the
+    /// node count grown to `n` if larger than the current count.
+    pub fn with_edges(&self, n: usize, extra: &[(usize, usize)]) -> Self {
+        let n = n.max(self.num_nodes());
+        let mut all = self.edges();
+        all.extend_from_slice(extra);
+        Self::from_edges(n, &all)
+    }
+
+    /// Mean degree across nodes.
+    pub fn mean_degree(&self) -> f64 {
+        if self.num_nodes() == 0 {
+            return 0.0;
+        }
+        self.neighbors.len() as f64 / self.num_nodes() as f64
+    }
+
+    /// Number of connected components (isolated nodes count as components).
+    pub fn connected_components(&self) -> usize {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut components = 0;
+        let mut stack = Vec::new();
+        for start in 0..n {
+            if seen[start] {
+                continue;
+            }
+            components += 1;
+            seen[start] = true;
+            stack.push(start);
+            while let Some(u) = stack.pop() {
+                for v in self.neighbors(u) {
+                    if !seen[v] {
+                        seen[v] = true;
+                        stack.push(v);
+                    }
+                }
+            }
+        }
+        components
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_basics() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert_eq!(g.degree(0), 2);
+        assert!(g.has_edge(0, 2) && g.has_edge(2, 0));
+        assert!(!g.has_edge(0, 0));
+        assert_eq!(g.neighbors(1).collect::<Vec<_>>(), vec![0, 2]);
+    }
+
+    #[test]
+    fn dedup_and_self_loops() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 0), (0, 1), (2, 2)]);
+        assert_eq!(g.num_edges(), 1);
+        assert_eq!(g.degree(2), 0);
+    }
+
+    #[test]
+    fn edges_roundtrip() {
+        let edges = vec![(0, 3), (1, 2), (0, 1)];
+        let g = CsrGraph::from_edges(4, &edges);
+        let mut got = g.edges();
+        got.sort_unstable();
+        assert_eq!(got, vec![(0, 1), (0, 3), (1, 2)]);
+        assert_eq!(CsrGraph::from_edges(4, &got), g);
+    }
+
+    #[test]
+    fn with_edges_merges_and_grows() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let g2 = g.with_edges(5, &[(0, 1), (3, 4)]);
+        assert_eq!(g2.num_nodes(), 5);
+        assert_eq!(g2.num_edges(), 2);
+        assert!(g2.has_edge(3, 4));
+        // Original untouched.
+        assert_eq!(g.num_nodes(), 3);
+    }
+
+    #[test]
+    fn components() {
+        let g = CsrGraph::from_edges(6, &[(0, 1), (1, 2), (3, 4)]);
+        assert_eq!(g.connected_components(), 3); // {0,1,2}, {3,4}, {5}
+        assert_eq!(CsrGraph::empty(4).connected_components(), 4);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = CsrGraph::empty(0);
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.mean_degree(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_edge_panics() {
+        let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+}

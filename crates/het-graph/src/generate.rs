@@ -1,0 +1,170 @@
+//! Random social-network generators.
+//!
+//! The paper's datasets (Ciao, Epinions, LibraryThing) come with trust/social
+//! networks exhibiting heavy-tailed degree distributions. The synthetic
+//! substitutes here provide the same qualitative structure:
+//! Barabási–Albert preferential attachment (heavy tail), Watts–Strogatz
+//! (high clustering), and Erdős–Rényi (baseline control).
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::csr::CsrGraph;
+
+/// Barabási–Albert preferential attachment: each new node attaches to `m`
+/// existing nodes with probability proportional to degree.
+///
+/// Produces the heavy-tailed degree distribution characteristic of social
+/// trust networks.
+///
+/// # Panics
+/// Panics if `m == 0` or `n < m + 1`.
+pub fn barabasi_albert<R: Rng>(n: usize, m: usize, rng: &mut R) -> CsrGraph {
+    assert!(m > 0, "attachment count m must be positive");
+    assert!(n > m, "need more than m = {m} nodes, got {n}");
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    // Repeated-node list: sampling uniformly from it is degree-proportional.
+    let mut targets: Vec<usize> = (0..=m).collect();
+    // Seed clique on the first m+1 nodes.
+    for a in 0..=m {
+        for b in (a + 1)..=m {
+            edges.push((a, b));
+        }
+    }
+    let mut pool: Vec<usize> = Vec::new();
+    for a in 0..=m {
+        for _ in 0..m {
+            pool.push(a);
+        }
+    }
+    for v in (m + 1)..n {
+        targets.clear();
+        while targets.len() < m {
+            let candidate = *pool.choose(rng).expect("pool is non-empty");
+            if !targets.contains(&candidate) {
+                targets.push(candidate);
+            }
+        }
+        for &t in &targets {
+            edges.push((v, t));
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Watts–Strogatz small world: ring lattice with `k` nearest neighbors per
+/// side and rewiring probability `beta`.
+///
+/// # Panics
+/// Panics if `k == 0` or `2k >= n`.
+pub fn watts_strogatz<R: Rng>(n: usize, k: usize, beta: f64, rng: &mut R) -> CsrGraph {
+    assert!(k > 0 && 2 * k < n, "watts_strogatz needs 0 < 2k < n (k={k}, n={n})");
+    let mut edges = Vec::with_capacity(n * k);
+    for u in 0..n {
+        for d in 1..=k {
+            let mut v = (u + d) % n;
+            if rng.gen_bool(beta) {
+                // Rewire to a uniform non-self target; collisions are dropped
+                // by CSR dedup, slightly lowering the edge count, as in the
+                // standard formulation.
+                v = rng.gen_range(0..n);
+                if v == u {
+                    v = (v + 1) % n;
+                }
+            }
+            edges.push((u, v));
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Erdős–Rényi `G(n, p)` random graph.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> CsrGraph {
+    let mut edges = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if rng.gen_bool(p) {
+                edges.push((a, b));
+            }
+        }
+    }
+    CsrGraph::from_edges(n, &edges)
+}
+
+/// Draws a Barabási–Albert graph whose expected edge count approximates
+/// `target_edges`, by choosing the attachment parameter `m ≈ E/n`.
+pub fn social_network_like<R: Rng>(n: usize, target_edges: usize, rng: &mut R) -> CsrGraph {
+    let m = (target_edges as f64 / n as f64).round().max(1.0) as usize;
+    let m = m.min(n.saturating_sub(2)).max(1);
+    barabasi_albert(n, m, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng(seed: u64) -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(seed)
+    }
+
+    #[test]
+    fn ba_edge_count() {
+        let g = barabasi_albert(100, 3, &mut rng(1));
+        // Seed clique C(4,2)=6 plus 3 per each of the 96 remaining nodes.
+        assert_eq!(g.num_edges(), 6 + 96 * 3);
+        assert_eq!(g.num_nodes(), 100);
+        assert_eq!(g.connected_components(), 1);
+    }
+
+    #[test]
+    fn ba_heavy_tail() {
+        let g = barabasi_albert(500, 2, &mut rng(2));
+        let max_deg = (0..500).map(|u| g.degree(u)).max().unwrap();
+        let mean = g.mean_degree();
+        // Hubs should be far above the mean degree.
+        assert!(max_deg as f64 > 4.0 * mean, "max {max_deg}, mean {mean}");
+    }
+
+    #[test]
+    fn ws_ring_without_rewiring() {
+        let g = watts_strogatz(20, 2, 0.0, &mut rng(3));
+        assert_eq!(g.num_edges(), 40);
+        for u in 0..20 {
+            assert_eq!(g.degree(u), 4);
+            assert!(g.has_edge(u, (u + 1) % 20));
+            assert!(g.has_edge(u, (u + 2) % 20));
+        }
+    }
+
+    #[test]
+    fn ws_rewiring_perturbs() {
+        let g0 = watts_strogatz(50, 3, 0.0, &mut rng(4));
+        let g1 = watts_strogatz(50, 3, 0.9, &mut rng(4));
+        assert_ne!(g0, g1);
+    }
+
+    #[test]
+    fn er_density() {
+        let g = erdos_renyi(100, 0.1, &mut rng(5));
+        let expected = 0.1 * (100.0 * 99.0 / 2.0);
+        let got = g.num_edges() as f64;
+        assert!((got - expected).abs() < 0.35 * expected, "got {got}, expected ~{expected}");
+    }
+
+    #[test]
+    fn social_network_like_hits_target() {
+        let g = social_network_like(200, 800, &mut rng(6));
+        let got = g.num_edges() as f64;
+        assert!((got - 800.0).abs() < 200.0, "got {got} edges");
+    }
+
+    #[test]
+    fn generators_are_seeded_deterministic() {
+        let a = barabasi_albert(50, 2, &mut rng(7));
+        let b = barabasi_albert(50, 2, &mut rng(7));
+        assert_eq!(a, b);
+    }
+}

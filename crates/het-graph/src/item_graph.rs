@@ -1,0 +1,98 @@
+//! Item-graph construction from co-rating patterns.
+//!
+//! Following §VI-A.1 of the paper (after ConsisRec [12]): *"the item graph
+//! 𝒢ᵢ is created by connecting items that share over 50 % of users that rated
+//! them in the rating record."* We use the overlap coefficient
+//! `|raters(i) ∩ raters(j)| / min(|raters(i)|, |raters(j)|)` and connect pairs
+//! strictly above the threshold.
+
+use crate::csr::CsrGraph;
+
+/// Builds the item graph from per-item sorted rater lists.
+///
+/// `raters[i]` must be the strictly-increasing list of user ids that rated
+/// item `i`. Items with no raters get no edges. Pairs are connected when
+/// their rater-overlap coefficient exceeds `threshold` (the paper uses 0.5).
+///
+/// Candidate pairs are enumerated through an inverted user→items index, so
+/// runtime is proportional to the co-rating mass rather than to `|I|²`.
+pub fn build_item_graph(n_users: usize, raters: &[Vec<usize>], threshold: f64) -> CsrGraph {
+    let n_items = raters.len();
+    for list in raters {
+        debug_assert!(list.windows(2).all(|w| w[0] < w[1]), "rater lists must be sorted+unique");
+    }
+    // Inverted index: user -> items rated.
+    let mut by_user: Vec<Vec<u32>> = vec![Vec::new(); n_users];
+    for (item, list) in raters.iter().enumerate() {
+        for &u in list {
+            assert!(u < n_users, "user id {u} out of range ({n_users} users)");
+            by_user[u].push(item as u32);
+        }
+    }
+    // Count co-raters per item pair (i < j).
+    let mut counts: std::collections::HashMap<(u32, u32), u32> = std::collections::HashMap::new();
+    for items in &by_user {
+        for (a_pos, &a) in items.iter().enumerate() {
+            for &b in &items[a_pos + 1..] {
+                let key = if a < b { (a, b) } else { (b, a) };
+                *counts.entry(key).or_insert(0) += 1;
+            }
+        }
+    }
+    let mut edges = Vec::new();
+    for (&(a, b), &shared) in &counts {
+        let (ra, rb) = (raters[a as usize].len(), raters[b as usize].len());
+        let denom = ra.min(rb) as f64;
+        if denom > 0.0 && shared as f64 / denom > threshold {
+            edges.push((a as usize, b as usize));
+        }
+    }
+    CsrGraph::from_edges(n_items, &edges)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn connects_items_with_shared_raters() {
+        // Items 0 and 1 share both raters; item 2 shares none.
+        let raters = vec![vec![0, 1], vec![0, 1, 2], vec![3]];
+        let g = build_item_graph(4, &raters, 0.5);
+        assert!(g.has_edge(0, 1));
+        assert!(!g.has_edge(0, 2));
+        assert!(!g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn threshold_is_strict() {
+        // Overlap coefficient exactly 0.5: must NOT connect at threshold 0.5.
+        let raters = vec![vec![0, 1], vec![1, 2]];
+        let g = build_item_graph(3, &raters, 0.5);
+        assert!(!g.has_edge(0, 1));
+        let g2 = build_item_graph(3, &raters, 0.49);
+        assert!(g2.has_edge(0, 1));
+    }
+
+    #[test]
+    fn unrated_items_are_isolated() {
+        let raters = vec![vec![], vec![0], vec![0]];
+        let g = build_item_graph(1, &raters, 0.4);
+        assert_eq!(g.degree(0), 0);
+        assert!(g.has_edge(1, 2));
+    }
+
+    #[test]
+    fn overlap_uses_smaller_set() {
+        // Item 0 rated by {0..9}, item 1 rated by {0,1}: overlap = 2/2 = 1.
+        let raters = vec![(0..10).collect::<Vec<_>>(), vec![0, 1]];
+        let g = build_item_graph(10, &raters, 0.5);
+        assert!(g.has_edge(0, 1));
+    }
+
+    #[test]
+    fn empty_input() {
+        let g = build_item_graph(0, &[], 0.5);
+        assert_eq!(g.num_nodes(), 0);
+    }
+}

@@ -1,0 +1,29 @@
+//! # msopds-het-graph
+//!
+//! Graph substrate for the heterogeneous recommender reproduction: CSR
+//! adjacency storage for the social network 𝒢ᵤ and item graph 𝒢ᵢ of
+//! Definition 1, co-rating item-graph construction (§VI-A.1), synthetic
+//! social-network generators calibrated to the paper's datasets, and the
+//! statistics used to validate them.
+//!
+//! ```
+//! use msopds_het_graph::{CsrGraph, generate};
+//! use rand::SeedableRng;
+//!
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! let social = generate::barabasi_albert(100, 3, &mut rng);
+//! assert_eq!(social.num_nodes(), 100);
+//! let poisoned = social.with_edges(100, &[(0, 99)]);
+//! assert!(poisoned.has_edge(0, 99));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod csr;
+pub mod generate;
+pub mod item_graph;
+pub mod stats;
+
+pub use csr::CsrGraph;
+pub use item_graph::build_item_graph;
+pub use stats::{degree_histogram, graph_stats, transitivity, GraphStats};

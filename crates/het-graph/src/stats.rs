@@ -1,0 +1,116 @@
+//! Graph statistics used to validate synthetic datasets against the paper's
+//! published dataset characteristics.
+
+use crate::csr::CsrGraph;
+
+/// Summary statistics of a graph.
+#[derive(Clone, Debug, PartialEq)]
+pub struct GraphStats {
+    /// Node count.
+    pub nodes: usize,
+    /// Undirected edge count.
+    pub edges: usize,
+    /// Mean degree.
+    pub mean_degree: f64,
+    /// Maximum degree.
+    pub max_degree: usize,
+    /// Fraction of isolated (degree-0) nodes.
+    pub isolated_fraction: f64,
+    /// Global clustering coefficient (transitivity).
+    pub clustering: f64,
+}
+
+/// Computes [`GraphStats`] for `g`.
+pub fn graph_stats(g: &CsrGraph) -> GraphStats {
+    let n = g.num_nodes();
+    let mut max_degree = 0;
+    let mut isolated = 0;
+    for u in 0..n {
+        let d = g.degree(u);
+        max_degree = max_degree.max(d);
+        if d == 0 {
+            isolated += 1;
+        }
+    }
+    GraphStats {
+        nodes: n,
+        edges: g.num_edges(),
+        mean_degree: g.mean_degree(),
+        max_degree,
+        isolated_fraction: if n == 0 { 0.0 } else { isolated as f64 / n as f64 },
+        clustering: transitivity(g),
+    }
+}
+
+/// Global clustering coefficient: `3·triangles / open-and-closed triplets`.
+pub fn transitivity(g: &CsrGraph) -> f64 {
+    let n = g.num_nodes();
+    let mut triangles = 0usize;
+    let mut triplets = 0usize;
+    for u in 0..n {
+        let d = g.degree(u);
+        triplets += d * d.saturating_sub(1) / 2;
+        let neigh: Vec<usize> = g.neighbors(u).collect();
+        for (i, &a) in neigh.iter().enumerate() {
+            for &b in &neigh[i + 1..] {
+                if g.has_edge(a, b) {
+                    triangles += 1;
+                }
+            }
+        }
+    }
+    if triplets == 0 {
+        0.0
+    } else {
+        // Each triangle is counted once per corner, i.e. 3 times total.
+        triangles as f64 / triplets as f64
+    }
+}
+
+/// Degree histogram up to the maximum degree.
+pub fn degree_histogram(g: &CsrGraph) -> Vec<usize> {
+    let n = g.num_nodes();
+    let max = (0..n).map(|u| g.degree(u)).max().unwrap_or(0);
+    let mut hist = vec![0usize; max + 1];
+    for u in 0..n {
+        hist[g.degree(u)] += 1;
+    }
+    hist
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_is_fully_clustered() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+        assert!((transitivity(&g) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn star_has_no_clustering() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (0, 2), (0, 3)]);
+        assert_eq!(transitivity(&g), 0.0);
+    }
+
+    #[test]
+    fn stats_of_path() {
+        let g = CsrGraph::from_edges(4, &[(0, 1), (1, 2), (2, 3)]);
+        let s = graph_stats(&g);
+        assert_eq!(s.nodes, 4);
+        assert_eq!(s.edges, 3);
+        assert_eq!(s.max_degree, 2);
+        assert_eq!(s.isolated_fraction, 0.0);
+        assert!((s.mean_degree - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_sums_to_n() {
+        let g = CsrGraph::from_edges(5, &[(0, 1), (1, 2)]);
+        let h = degree_histogram(&g);
+        assert_eq!(h.iter().sum::<usize>(), 5);
+        assert_eq!(h[0], 2); // nodes 3, 4
+        assert_eq!(h[2], 1); // node 1
+    }
+}

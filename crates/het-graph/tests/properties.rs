@@ -1,0 +1,90 @@
+//! Property tests for the graph substrate.
+
+use msopds_het_graph::{build_item_graph, graph_stats, CsrGraph};
+use proptest::prelude::*;
+
+fn edge_list(n: usize, max_edges: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_is_symmetric(edges in edge_list(20, 60)) {
+        let g = CsrGraph::from_edges(20, &edges);
+        for a in 0..20 {
+            for b in g.neighbors(a) {
+                prop_assert!(g.has_edge(b, a), "asymmetry between {a} and {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn no_self_loops_and_degree_sum_is_twice_edges(edges in edge_list(15, 50)) {
+        let g = CsrGraph::from_edges(15, &edges);
+        let degree_sum: usize = (0..15).map(|u| g.degree(u)).sum();
+        prop_assert_eq!(degree_sum, 2 * g.num_edges());
+        for u in 0..15 {
+            prop_assert!(!g.has_edge(u, u));
+        }
+    }
+
+    #[test]
+    fn edges_roundtrip_is_identity(edges in edge_list(12, 40)) {
+        let g = CsrGraph::from_edges(12, &edges);
+        let rebuilt = CsrGraph::from_edges(12, &g.edges());
+        prop_assert_eq!(g, rebuilt);
+    }
+
+    #[test]
+    fn with_edges_is_superset(edges in edge_list(10, 20), extra in edge_list(10, 10)) {
+        let g = CsrGraph::from_edges(10, &edges);
+        let g2 = g.with_edges(10, &extra);
+        for (a, b) in g.edges() {
+            prop_assert!(g2.has_edge(a, b), "edge ({a},{b}) lost");
+        }
+        for &(a, b) in &extra {
+            if a != b {
+                prop_assert!(g2.has_edge(a, b), "extra edge ({a},{b}) missing");
+            }
+        }
+        prop_assert!(g2.num_edges() >= g.num_edges());
+    }
+
+    #[test]
+    fn components_never_increase_when_adding_edges(
+        edges in edge_list(12, 15),
+        extra in edge_list(12, 5),
+    ) {
+        let g = CsrGraph::from_edges(12, &edges);
+        let g2 = g.with_edges(12, &extra);
+        prop_assert!(g2.connected_components() <= g.connected_components());
+    }
+
+    #[test]
+    fn stats_are_internally_consistent(edges in edge_list(18, 70)) {
+        let g = CsrGraph::from_edges(18, &edges);
+        let s = graph_stats(&g);
+        prop_assert_eq!(s.nodes, 18);
+        prop_assert_eq!(s.edges, g.num_edges());
+        prop_assert!(s.mean_degree <= s.max_degree as f64 + 1e-12);
+        prop_assert!((0.0..=1.0).contains(&s.isolated_fraction));
+        prop_assert!((0.0..=1.0).contains(&s.clustering));
+    }
+
+    #[test]
+    fn item_graph_threshold_is_monotone(
+        raters in proptest::collection::vec(
+            proptest::collection::btree_set(0usize..10, 0..6), 2..8)
+    ) {
+        let lists: Vec<Vec<usize>> =
+            raters.iter().map(|s| s.iter().copied().collect()).collect();
+        let loose = build_item_graph(10, &lists, 0.3);
+        let strict = build_item_graph(10, &lists, 0.7);
+        // A stricter threshold can only remove edges.
+        for (a, b) in strict.edges() {
+            prop_assert!(loose.has_edge(a, b));
+        }
+    }
+}

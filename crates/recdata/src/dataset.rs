@@ -1,0 +1,193 @@
+//! The heterogeneous dataset: ratings + social network + item graph.
+
+use msopds_het_graph::CsrGraph;
+use serde::{Deserialize, Serialize};
+
+use crate::poison::PoisonAction;
+use crate::ratings::{Rating, RatingMatrix};
+
+/// A complete Het-RecSys input (Definition 1): the rating matrix **R**, the
+/// social network 𝒢ᵤ and the item graph 𝒢ᵢ.
+///
+/// Fake accounts injected by attackers are appended after the `n_real_users`
+/// genuine users, so `user_id >= n_real_users` identifies a fake account.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"ciao-synth"`).
+    pub name: String,
+    /// Number of *real* users; fake accounts have ids `>= n_real_users`.
+    pub n_real_users: usize,
+    /// Explicit ratings.
+    pub ratings: RatingMatrix,
+    /// The social network 𝒢ᵤ over all (real + fake) users.
+    pub social: CsrGraph,
+    /// The item graph 𝒢ᵢ.
+    pub item_graph: CsrGraph,
+}
+
+impl Dataset {
+    /// Assembles a dataset, checking dimension consistency.
+    ///
+    /// # Panics
+    /// Panics if graph node counts disagree with the rating matrix.
+    pub fn new(
+        name: impl Into<String>,
+        ratings: RatingMatrix,
+        social: CsrGraph,
+        item_graph: CsrGraph,
+    ) -> Self {
+        assert_eq!(
+            social.num_nodes(),
+            ratings.n_users(),
+            "social network size must match user count"
+        );
+        assert_eq!(
+            item_graph.num_nodes(),
+            ratings.n_items(),
+            "item graph size must match item count"
+        );
+        Self { name: name.into(), n_real_users: ratings.n_users(), ratings, social, item_graph }
+    }
+
+    /// Total user count including fake accounts.
+    pub fn n_users(&self) -> usize {
+        self.ratings.n_users()
+    }
+
+    /// Item count.
+    pub fn n_items(&self) -> usize {
+        self.ratings.n_items()
+    }
+
+    /// Number of injected fake accounts.
+    pub fn n_fake_users(&self) -> usize {
+        self.n_users() - self.n_real_users
+    }
+
+    /// True when `user` is an injected fake account.
+    pub fn is_fake(&self, user: usize) -> bool {
+        user >= self.n_real_users
+    }
+
+    /// Appends `k` fake user accounts (no ratings, no social edges yet) and
+    /// returns their ids.
+    pub fn add_fake_users(&mut self, k: usize) -> Vec<usize> {
+        let start = self.n_users();
+        let new_total = start + k;
+        self.ratings.grow_users(new_total);
+        self.social = self.social.with_edges(new_total, &[]);
+        (start..new_total).collect()
+    }
+
+    /// Applies poisoning actions, producing the poisoned dataset (R̂, 𝒢̂).
+    ///
+    /// Rating actions overwrite existing `(user, item)` pairs; edge actions
+    /// that already exist are no-ops. `n_real_users` is preserved.
+    pub fn apply_poison(&self, actions: &[PoisonAction]) -> Dataset {
+        let mut out = self.clone();
+        let mut social_edges = Vec::new();
+        let mut item_edges = Vec::new();
+        for action in actions {
+            match *action {
+                PoisonAction::Rating { user, item, value } => {
+                    out.ratings.insert(Rating { user, item, value });
+                }
+                PoisonAction::SocialEdge { a, b } => social_edges.push((a as usize, b as usize)),
+                PoisonAction::ItemEdge { a, b } => item_edges.push((a as usize, b as usize)),
+            }
+        }
+        if !social_edges.is_empty() {
+            out.social = out.social.with_edges(out.n_users(), &social_edges);
+        }
+        if !item_edges.is_empty() {
+            out.item_graph = out.item_graph.with_edges(out.n_items(), &item_edges);
+        }
+        out
+    }
+
+    /// One-line summary used in logs and reports.
+    pub fn summary(&self) -> String {
+        format!(
+            "{}: {} users ({} fake), {} items, {} ratings, {} social links, {} item links",
+            self.name,
+            self.n_users(),
+            self.n_fake_users(),
+            self.n_items(),
+            self.ratings.len(),
+            self.social.num_edges(),
+            self.item_graph.num_edges()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Dataset {
+        let ratings = RatingMatrix::from_ratings(
+            3,
+            4,
+            &[
+                Rating { user: 0, item: 0, value: 4.0 },
+                Rating { user: 1, item: 1, value: 2.0 },
+                Rating { user: 2, item: 0, value: 5.0 },
+            ],
+        );
+        let social = CsrGraph::from_edges(3, &[(0, 1)]);
+        let items = CsrGraph::from_edges(4, &[(0, 1)]);
+        Dataset::new("tiny", ratings, social, items)
+    }
+
+    #[test]
+    fn construction_checks_dims() {
+        let d = tiny();
+        assert_eq!(d.n_users(), 3);
+        assert_eq!(d.n_items(), 4);
+        assert_eq!(d.n_fake_users(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "social network size")]
+    fn mismatched_social_panics() {
+        let ratings = RatingMatrix::new(3, 2);
+        let social = CsrGraph::empty(2);
+        let items = CsrGraph::empty(2);
+        let _ = Dataset::new("bad", ratings, social, items);
+    }
+
+    #[test]
+    fn fake_users_are_tracked() {
+        let mut d = tiny();
+        let fakes = d.add_fake_users(2);
+        assert_eq!(fakes, vec![3, 4]);
+        assert_eq!(d.n_users(), 5);
+        assert_eq!(d.n_real_users, 3);
+        assert!(d.is_fake(3));
+        assert!(!d.is_fake(2));
+        assert_eq!(d.social.num_nodes(), 5);
+    }
+
+    #[test]
+    fn apply_poison_all_kinds() {
+        let d = tiny();
+        let poisoned = d.apply_poison(&[
+            PoisonAction::Rating { user: 1, item: 0, value: 5.0 },
+            PoisonAction::SocialEdge { a: 0, b: 2 },
+            PoisonAction::ItemEdge { a: 2, b: 3 },
+        ]);
+        assert_eq!(poisoned.ratings.get(1, 0), Some(5.0));
+        assert!(poisoned.social.has_edge(0, 2));
+        assert!(poisoned.item_graph.has_edge(2, 3));
+        // Original unchanged.
+        assert_eq!(d.ratings.get(1, 0), None);
+        assert!(!d.social.has_edge(0, 2));
+    }
+
+    #[test]
+    fn apply_poison_is_idempotent_on_existing_edges() {
+        let d = tiny();
+        let p = d.apply_poison(&[PoisonAction::SocialEdge { a: 0, b: 1 }]);
+        assert_eq!(p.social.num_edges(), d.social.num_edges());
+    }
+}

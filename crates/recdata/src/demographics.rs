@@ -1,0 +1,208 @@
+//! Demographic sampling (§VI-A.2): target audience, customer bases, competing
+//! items, target item and company products for every player.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::dataset::Dataset;
+
+/// Sampling parameters matching §VI-A.2 (counts are capped to availability on
+/// small synthetic datasets).
+#[derive(Clone, Copy, Debug, Serialize, Deserialize)]
+pub struct DemographicsSpec {
+    /// Fraction of users forming the target audience (paper: 5 %).
+    pub target_audience_frac: f64,
+    /// Customer-base size per player (paper: 100).
+    pub customer_base: usize,
+    /// Number of competing items (paper: 50).
+    pub competing: usize,
+    /// Company-product count per player (paper: 100).
+    pub products: usize,
+}
+
+impl Default for DemographicsSpec {
+    fn default() -> Self {
+        Self { target_audience_frac: 0.05, customer_base: 100, competing: 50, products: 100 }
+    }
+}
+
+impl DemographicsSpec {
+    /// A spec scaled down for reduced-size datasets.
+    ///
+    /// Counts shrink with `√factor` rather than `factor`: the customer base
+    /// and product pools are *budget denominators* (N = b·5 %·|𝒰_base|,
+    /// §VI-A.3), so scaling them linearly would collapse all budgets to 1 and
+    /// erase the budget sweeps of Table III and Fig. 7.
+    pub fn scaled(&self, factor: f64) -> Self {
+        assert!(factor >= 1.0);
+        let f = factor.sqrt();
+        Self {
+            target_audience_frac: self.target_audience_frac,
+            customer_base: ((self.customer_base as f64 / f).round() as usize).max(10),
+            competing: ((self.competing as f64 / f).round() as usize).max(8),
+            products: ((self.products as f64 / f).round() as usize).max(10),
+        }
+    }
+}
+
+/// Per-player market assets (index 0 is the attacker, the rest are opponents).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct PlayerAssets {
+    /// Real users this player can hire (𝒰ᵖ_base).
+    pub customer_base: Vec<usize>,
+    /// The player's own items (ℐᵖ_product), usable for item-graph poisoning.
+    pub company_products: Vec<usize>,
+}
+
+/// The sampled market: who competes over what, and the attacker's target.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Market {
+    /// The shared competing-item set ℐ_compete (the ranking pool for HR@3).
+    pub competing_items: Vec<usize>,
+    /// The attacker's target item i_t: the competing item with the lowest
+    /// average rating (§VI-A.2) — i.e. the hardest to promote.
+    pub target_item: usize,
+    /// The shared target audience 𝒰_TA.
+    pub target_audience: Vec<usize>,
+    /// Assets per player; `players[0]` is the attacker.
+    pub players: Vec<PlayerAssets>,
+}
+
+/// Samples a [`Market`] over `data` for `1 + n_opponents` players.
+///
+/// # Panics
+/// Panics if the dataset has no rated items to choose a target from.
+pub fn sample_market<R: Rng>(
+    data: &Dataset,
+    spec: &DemographicsSpec,
+    n_opponents: usize,
+    rng: &mut R,
+) -> Market {
+    let users: Vec<usize> = (0..data.n_real_users).collect();
+    let items: Vec<usize> = (0..data.n_items()).collect();
+
+    // Competing items must have ratings so "lowest average rating" is defined.
+    let rated: Vec<usize> =
+        items.iter().copied().filter(|&i| data.ratings.item_degree(i) > 0).collect();
+    assert!(!rated.is_empty(), "dataset has no rated items");
+    let n_compete = spec.competing.min(rated.len());
+    let competing_items: Vec<usize> =
+        rated.choose_multiple(rng, n_compete).copied().collect();
+    let target_item = competing_items
+        .iter()
+        .copied()
+        .min_by(|&a, &b| {
+            let ma = data.ratings.item_mean(a).unwrap_or(f64::MAX);
+            let mb = data.ratings.item_mean(b).unwrap_or(f64::MAX);
+            ma.partial_cmp(&mb).expect("rating means are finite")
+        })
+        .expect("competing set is non-empty");
+
+    let n_ta = ((users.len() as f64 * spec.target_audience_frac).round() as usize).max(3);
+    let target_audience: Vec<usize> = users.choose_multiple(rng, n_ta).copied().collect();
+
+    let non_competing: Vec<usize> =
+        items.iter().copied().filter(|i| !competing_items.contains(i)).collect();
+
+    let players = (0..=n_opponents)
+        .map(|_| {
+            let customer_base: Vec<usize> = users
+                .choose_multiple(rng, spec.customer_base.min(users.len()))
+                .copied()
+                .collect();
+            let company_products: Vec<usize> = non_competing
+                .choose_multiple(rng, spec.products.min(non_competing.len()))
+                .copied()
+                .collect();
+            PlayerAssets { customer_base, company_products }
+        })
+        .collect();
+
+    Market { competing_items, target_item, target_audience, players }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+    use rand::SeedableRng;
+
+    fn setup() -> (Dataset, Market) {
+        let data = DatasetSpec::micro().generate(1);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let spec = DemographicsSpec::default().scaled(8.0);
+        let market = sample_market(&data, &spec, 2, &mut rng);
+        (data, market)
+    }
+
+    #[test]
+    fn target_item_is_lowest_rated_competitor() {
+        let (data, market) = setup();
+        let target_mean = data.ratings.item_mean(market.target_item).unwrap();
+        for &i in &market.competing_items {
+            if let Some(m) = data.ratings.item_mean(i) {
+                assert!(target_mean <= m + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn target_is_in_competing_set() {
+        let (_, market) = setup();
+        assert!(market.competing_items.contains(&market.target_item));
+    }
+
+    #[test]
+    fn player_count_and_asset_sizes() {
+        let (data, market) = setup();
+        assert_eq!(market.players.len(), 3); // attacker + 2 opponents
+        for p in &market.players {
+            assert!(!p.customer_base.is_empty());
+            assert!(!p.company_products.is_empty());
+            for &u in &p.customer_base {
+                assert!(u < data.n_real_users);
+            }
+            // Products never overlap the competing set.
+            for i in &p.company_products {
+                assert!(!market.competing_items.contains(i));
+            }
+        }
+    }
+
+    #[test]
+    fn target_audience_is_real_users() {
+        let (data, market) = setup();
+        assert!(!market.target_audience.is_empty());
+        for &u in &market.target_audience {
+            assert!(u < data.n_real_users);
+        }
+        // No duplicates.
+        let mut ta = market.target_audience.clone();
+        ta.sort_unstable();
+        ta.dedup();
+        assert_eq!(ta.len(), market.target_audience.len());
+    }
+
+    #[test]
+    fn scaled_spec_shrinks_with_sqrt() {
+        let s = DemographicsSpec::default().scaled(16.0);
+        assert_eq!(s.customer_base, 25); // 100/√16
+        assert_eq!(s.competing, 13); // 50/√16 rounded
+        assert_eq!(s.products, 25);
+        // Floors hold at extreme scales.
+        let tiny = DemographicsSpec::default().scaled(400.0);
+        assert_eq!(tiny.customer_base, 10);
+        assert_eq!(tiny.competing, 8);
+    }
+
+    #[test]
+    fn sampling_is_seed_deterministic() {
+        let data = DatasetSpec::micro().generate(1);
+        let spec = DemographicsSpec::default().scaled(8.0);
+        let m1 = sample_market(&data, &spec, 1, &mut rand::rngs::StdRng::seed_from_u64(9));
+        let m2 = sample_market(&data, &spec, 1, &mut rand::rngs::StdRng::seed_from_u64(9));
+        assert_eq!(m1.target_item, m2.target_item);
+        assert_eq!(m1.target_audience, m2.target_audience);
+    }
+}

@@ -1,0 +1,254 @@
+//! Dataset persistence and interchange.
+//!
+//! Two formats:
+//!
+//! * **JSON** — lossless round-trip of a [`Dataset`] (serde), for caching
+//!   generated data and sharing exact experiment inputs;
+//! * **dump format** — the layout the real Ciao/Epinions distributions use:
+//!   a `ratings` file with `user item rating` rows and a `trust` file with
+//!   `user user` rows (whitespace-separated, `#` comments). Loading a real
+//!   dump makes the harness run on the paper's original data when available;
+//!   the item graph is built with the §VI-A.1 co-rating rule.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::Path;
+
+use msopds_het_graph::{build_item_graph, CsrGraph};
+
+use crate::dataset::Dataset;
+use crate::ratings::{Rating, RatingMatrix};
+
+/// Errors raised by the loaders.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying filesystem error.
+    Io(std::io::Error),
+    /// JSON (de)serialization error.
+    Json(serde_json::Error),
+    /// A malformed line in a dump file, with its 1-based line number.
+    Parse {
+        /// Which file.
+        file: String,
+        /// 1-based line number.
+        line: usize,
+        /// What went wrong.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for IoError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Json(e) => write!(f, "json error: {e}"),
+            IoError::Parse { file, line, message } => {
+                write!(f, "{file}:{line}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<std::io::Error> for IoError {
+    fn from(e: std::io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+impl From<serde_json::Error> for IoError {
+    fn from(e: serde_json::Error) -> Self {
+        IoError::Json(e)
+    }
+}
+
+/// Saves a dataset as pretty JSON.
+pub fn save_json(data: &Dataset, path: impl AsRef<Path>) -> Result<(), IoError> {
+    let mut file = std::fs::File::create(path)?;
+    let json = serde_json::to_string_pretty(data)?;
+    file.write_all(json.as_bytes())?;
+    Ok(())
+}
+
+/// Loads a dataset from JSON produced by [`save_json`].
+pub fn load_json(path: impl AsRef<Path>) -> Result<Dataset, IoError> {
+    let file = std::fs::File::open(path)?;
+    Ok(serde_json::from_reader(BufReader::new(file))?)
+}
+
+/// Loads a Ciao/Epinions-style dump: `ratings_path` rows are
+/// `user item rating`, `trust_path` rows are `user user`. Ids may be sparse;
+/// they are re-indexed densely in first-appearance order. Ratings outside
+/// `[1, 5]` are clamped (some dumps carry half-stars or 0/10 scales are the
+/// caller's responsibility).
+pub fn load_dump(
+    name: &str,
+    ratings_path: impl AsRef<Path>,
+    trust_path: impl AsRef<Path>,
+    item_graph_threshold: f64,
+) -> Result<Dataset, IoError> {
+    let mut user_ids = IdMap::default();
+    let mut item_ids = IdMap::default();
+    let mut ratings: Vec<Rating> = Vec::new();
+
+    let rfile = ratings_path.as_ref().display().to_string();
+    for (lineno, line) in BufReader::new(std::fs::File::open(&ratings_path)?)
+        .lines()
+        .enumerate()
+    {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (u, i, r) = (parts.next(), parts.next(), parts.next());
+        let (Some(u), Some(i), Some(r)) = (u, i, r) else {
+            return Err(IoError::Parse {
+                file: rfile,
+                line: lineno + 1,
+                message: "expected `user item rating`".into(),
+            });
+        };
+        let value: f64 = r.parse().map_err(|_| IoError::Parse {
+            file: rfile.clone(),
+            line: lineno + 1,
+            message: format!("bad rating value {r:?}"),
+        })?;
+        ratings.push(Rating {
+            user: user_ids.intern(u) as u32,
+            item: item_ids.intern(i) as u32,
+            value: value.clamp(1.0, 5.0),
+        });
+    }
+
+    let tfile = trust_path.as_ref().display().to_string();
+    let mut trust_edges: Vec<(usize, usize)> = Vec::new();
+    for (lineno, line) in BufReader::new(std::fs::File::open(&trust_path)?).lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut parts = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (parts.next(), parts.next()) else {
+            return Err(IoError::Parse {
+                file: tfile,
+                line: lineno + 1,
+                message: "expected `user user`".into(),
+            });
+        };
+        trust_edges.push((user_ids.intern(a), user_ids.intern(b)));
+    }
+
+    let n_users = user_ids.len();
+    let n_items = item_ids.len();
+    let matrix = RatingMatrix::from_ratings(n_users, n_items, &ratings);
+    let social = CsrGraph::from_edges(n_users, &trust_edges);
+    let item_graph =
+        build_item_graph(n_users, &matrix.raters_per_item(), item_graph_threshold);
+    Ok(Dataset::new(name, matrix, social, item_graph))
+}
+
+/// Dense re-indexing of arbitrary string ids.
+#[derive(Default)]
+struct IdMap {
+    map: std::collections::HashMap<String, usize>,
+}
+
+impl IdMap {
+    fn intern(&mut self, raw: &str) -> usize {
+        let next = self.map.len();
+        *self.map.entry(raw.to_string()).or_insert(next)
+    }
+    fn len(&self) -> usize {
+        self.map.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::synth::DatasetSpec;
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("msopds-io-tests");
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn json_roundtrip_is_lossless() {
+        let data = DatasetSpec::micro().generate(4);
+        let path = tmp("roundtrip.json");
+        save_json(&data, &path).unwrap();
+        let back = load_json(&path).unwrap();
+        assert_eq!(back.name, data.name);
+        assert_eq!(back.ratings.ratings(), data.ratings.ratings());
+        assert_eq!(back.social, data.social);
+        assert_eq!(back.item_graph, data.item_graph);
+        assert_eq!(back.n_real_users, data.n_real_users);
+    }
+
+    #[test]
+    fn dump_loader_parses_and_reindexes() {
+        let rpath = tmp("ratings.txt");
+        let tpath = tmp("trust.txt");
+        std::fs::write(
+            &rpath,
+            "# user item rating\n101 7 5\n102 7 4\n101 9 1\n103 9 2\n102 9 3\n",
+        )
+        .unwrap();
+        std::fs::write(&tpath, "101 102\n102 103\n").unwrap();
+        let data = load_dump("mini", &rpath, &tpath, 0.4).unwrap();
+        assert_eq!(data.n_users(), 3);
+        assert_eq!(data.n_items(), 2);
+        assert_eq!(data.ratings.len(), 5);
+        // Users 101→0, 102→1, 103→2 in appearance order.
+        assert_eq!(data.ratings.get(0, 0), Some(5.0));
+        assert!(data.social.has_edge(0, 1));
+        assert!(data.social.has_edge(1, 2));
+        // Items 7 and 9 share raters 101 and 102: overlap 2/2 > 0.4.
+        assert!(data.item_graph.has_edge(0, 1));
+    }
+
+    #[test]
+    fn dump_loader_reports_bad_lines() {
+        let rpath = tmp("bad_ratings.txt");
+        let tpath = tmp("empty_trust.txt");
+        std::fs::write(&rpath, "1 2 not-a-number\n").unwrap();
+        std::fs::write(&tpath, "").unwrap();
+        let err = load_dump("bad", &rpath, &tpath, 0.5).unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(":1:"), "error should carry the line number: {msg}");
+        assert!(msg.contains("bad rating value"));
+    }
+
+    #[test]
+    fn dump_loader_clamps_out_of_range() {
+        let rpath = tmp("clamp_ratings.txt");
+        let tpath = tmp("clamp_trust.txt");
+        std::fs::write(&rpath, "1 1 9\n2 1 0.2\n").unwrap();
+        std::fs::write(&tpath, "1 2\n").unwrap();
+        let data = load_dump("clamp", &rpath, &tpath, 0.5).unwrap();
+        assert_eq!(data.ratings.get(0, 0), Some(5.0));
+        assert_eq!(data.ratings.get(1, 0), Some(1.0));
+    }
+
+    #[test]
+    fn loaded_dump_supports_poisoning() {
+        let rpath = tmp("p_ratings.txt");
+        let tpath = tmp("p_trust.txt");
+        std::fs::write(&rpath, "1 1 4\n2 2 3\n").unwrap();
+        std::fs::write(&tpath, "1 2\n").unwrap();
+        let mut data = load_dump("p", &rpath, &tpath, 0.5).unwrap();
+        let fakes = data.add_fake_users(1);
+        let poisoned = data.apply_poison(&[crate::poison::PoisonAction::Rating {
+            user: fakes[0] as u32,
+            item: 0,
+            value: 5.0,
+        }]);
+        assert_eq!(poisoned.ratings.len(), 3);
+        assert!(poisoned.is_fake(fakes[0]));
+    }
+}

@@ -1,0 +1,33 @@
+//! # msopds-recdata
+//!
+//! Dataset substrate for the MSOPDS reproduction: the sparse rating matrix
+//! **R** (Definition 1), the combined heterogeneous [`Dataset`], the
+//! [`PoisonAction`] vocabulary shared by all attacks, synthetic generators
+//! calibrated to Ciao / Epinions / LibraryThing (§VI-A.1), and demographic
+//! sampling (§VI-A.2).
+//!
+//! ```
+//! use msopds_recdata::{DatasetSpec, DemographicsSpec, sample_market};
+//! use rand::SeedableRng;
+//!
+//! let data = DatasetSpec::micro().generate(42);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let market = sample_market(&data, &DemographicsSpec::default().scaled(8.0), 1, &mut rng);
+//! assert!(market.competing_items.contains(&market.target_item));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod dataset;
+pub mod io;
+pub mod demographics;
+pub mod poison;
+pub mod ratings;
+pub mod synth;
+
+pub use dataset::Dataset;
+pub use io::{load_dump, load_json, save_json, IoError};
+pub use demographics::{sample_market, DemographicsSpec, Market, PlayerAssets};
+pub use poison::{ActionKind, PoisonAction};
+pub use ratings::{Rating, RatingMatrix};
+pub use synth::{preprocess, DatasetSpec};

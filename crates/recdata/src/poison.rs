@@ -1,0 +1,79 @@
+//! Poisoning actions — the shared vocabulary between data, attacks and games.
+//!
+//! Each variant corresponds to one element of a capacity set:
+//! * [`PoisonAction::Rating`] — a fake or hired rating `(u, i, r̂)` (eqs. 4, 6);
+//! * [`PoisonAction::SocialEdge`] — a new edge in the social network 𝒢ᵤ (eq. 6);
+//! * [`PoisonAction::ItemEdge`] — a new edge in the item graph 𝒢ᵢ (eq. 6).
+
+use serde::{Deserialize, Serialize};
+
+/// A single candidate or selected poisoning action.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub enum PoisonAction {
+    /// User `user` rates `item` with `value` stars.
+    Rating {
+        /// Acting user (real hired user or injected fake account).
+        user: u32,
+        /// Rated item.
+        item: u32,
+        /// The preset rating value r̂ (5 to promote, 1 to demote).
+        value: f64,
+    },
+    /// Adds the undirected edge `(a, b)` to the social network.
+    SocialEdge {
+        /// First endpoint (user id).
+        a: u32,
+        /// Second endpoint (user id).
+        b: u32,
+    },
+    /// Adds the undirected edge `(a, b)` to the item graph.
+    ItemEdge {
+        /// First endpoint (item id).
+        a: u32,
+        /// Second endpoint (item id).
+        b: u32,
+    },
+}
+
+/// Coarse category of a poisoning action, used by budget accounting and the
+/// Fig. 8 / Fig. 9 capacity ablations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ActionKind {
+    /// A rating action.
+    Rating,
+    /// A social-network edge action.
+    SocialEdge,
+    /// An item-graph edge action.
+    ItemEdge,
+}
+
+impl PoisonAction {
+    /// The category of this action.
+    pub fn kind(&self) -> ActionKind {
+        match self {
+            PoisonAction::Rating { .. } => ActionKind::Rating,
+            PoisonAction::SocialEdge { .. } => ActionKind::SocialEdge,
+            PoisonAction::ItemEdge { .. } => ActionKind::ItemEdge,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kinds() {
+        assert_eq!(PoisonAction::Rating { user: 0, item: 1, value: 5.0 }.kind(), ActionKind::Rating);
+        assert_eq!(PoisonAction::SocialEdge { a: 0, b: 1 }.kind(), ActionKind::SocialEdge);
+        assert_eq!(PoisonAction::ItemEdge { a: 0, b: 1 }.kind(), ActionKind::ItemEdge);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let a = PoisonAction::Rating { user: 3, item: 7, value: 5.0 };
+        let s = serde_json::to_string(&a).unwrap();
+        let back: PoisonAction = serde_json::from_str(&s).unwrap();
+        assert_eq!(a, back);
+    }
+}

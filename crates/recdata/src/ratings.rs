@@ -1,0 +1,247 @@
+//! Sparse explicit-rating storage (the rating matrix **R** of Definition 1).
+
+use serde::{Deserialize, Serialize};
+
+/// One explicit rating record `(user, item, value)` with `value ∈ [1, 5]`.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct Rating {
+    /// User id.
+    pub user: u32,
+    /// Item id.
+    pub item: u32,
+    /// Star value in `[1, 5]`.
+    pub value: f64,
+}
+
+/// Sparse rating matrix with per-user and per-item indexes.
+///
+/// Duplicate `(user, item)` pairs keep the *latest* value, matching the
+/// poisoning semantics where a hired user overwrites their rating of the
+/// target item.
+#[derive(Clone, Debug, Default, Serialize, Deserialize)]
+pub struct RatingMatrix {
+    n_users: usize,
+    n_items: usize,
+    triplets: Vec<Rating>,
+    by_user: Vec<Vec<u32>>, // indexes into `triplets`
+    by_item: Vec<Vec<u32>>,
+}
+
+impl RatingMatrix {
+    /// An empty matrix over `n_users × n_items`.
+    pub fn new(n_users: usize, n_items: usize) -> Self {
+        Self {
+            n_users,
+            n_items,
+            triplets: Vec::new(),
+            by_user: vec![Vec::new(); n_users],
+            by_item: vec![Vec::new(); n_items],
+        }
+    }
+
+    /// Builds from records, last-write-wins on duplicates.
+    pub fn from_ratings(n_users: usize, n_items: usize, ratings: &[Rating]) -> Self {
+        let mut m = Self::new(n_users, n_items);
+        for &r in ratings {
+            m.insert(r);
+        }
+        m
+    }
+
+    /// Number of users (rows).
+    pub fn n_users(&self) -> usize {
+        self.n_users
+    }
+
+    /// Number of items (columns).
+    pub fn n_items(&self) -> usize {
+        self.n_items
+    }
+
+    /// Number of stored ratings.
+    pub fn len(&self) -> usize {
+        self.triplets.len()
+    }
+
+    /// True when no ratings are stored.
+    pub fn is_empty(&self) -> bool {
+        self.triplets.is_empty()
+    }
+
+    /// Inserts or overwrites a rating.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids or a value outside `[1, 5]`.
+    pub fn insert(&mut self, r: Rating) {
+        assert!((r.user as usize) < self.n_users, "user {} out of range", r.user);
+        assert!((r.item as usize) < self.n_items, "item {} out of range", r.item);
+        assert!((1.0..=5.0).contains(&r.value), "rating {} outside [1,5]", r.value);
+        // Overwrite an existing (user, item) pair if present.
+        if let Some(&idx) = self.by_user[r.user as usize]
+            .iter()
+            .find(|&&i| self.triplets[i as usize].item == r.item)
+        {
+            self.triplets[idx as usize].value = r.value;
+            return;
+        }
+        let idx = self.triplets.len() as u32;
+        self.triplets.push(r);
+        self.by_user[r.user as usize].push(idx);
+        self.by_item[r.item as usize].push(idx);
+    }
+
+    /// Grows the user dimension to `n` (noop if already larger).
+    pub fn grow_users(&mut self, n: usize) {
+        if n > self.n_users {
+            self.by_user.resize(n, Vec::new());
+            self.n_users = n;
+        }
+    }
+
+    /// The stored value for `(user, item)`, if any.
+    pub fn get(&self, user: usize, item: usize) -> Option<f64> {
+        self.by_user
+            .get(user)?
+            .iter()
+            .map(|&i| self.triplets[i as usize])
+            .find(|r| r.item as usize == item)
+            .map(|r| r.value)
+    }
+
+    /// All ratings, in insertion order.
+    pub fn ratings(&self) -> &[Rating] {
+        &self.triplets
+    }
+
+    /// Ratings given by `user`.
+    pub fn by_user(&self, user: usize) -> impl Iterator<Item = Rating> + '_ {
+        self.by_user[user].iter().map(|&i| self.triplets[i as usize])
+    }
+
+    /// Ratings received by `item`.
+    pub fn by_item(&self, item: usize) -> impl Iterator<Item = Rating> + '_ {
+        self.by_item[item].iter().map(|&i| self.triplets[i as usize])
+    }
+
+    /// Number of ratings given by `user`.
+    pub fn user_degree(&self, user: usize) -> usize {
+        self.by_user[user].len()
+    }
+
+    /// Number of ratings received by `item`.
+    pub fn item_degree(&self, item: usize) -> usize {
+        self.by_item[item].len()
+    }
+
+    /// Mean rating of `item`, or `None` when unrated.
+    pub fn item_mean(&self, item: usize) -> Option<f64> {
+        let list = &self.by_item[item];
+        if list.is_empty() {
+            return None;
+        }
+        Some(list.iter().map(|&i| self.triplets[i as usize].value).sum::<f64>() / list.len() as f64)
+    }
+
+    /// Global mean rating, or `None` when empty.
+    pub fn global_mean(&self) -> Option<f64> {
+        if self.triplets.is_empty() {
+            return None;
+        }
+        Some(self.triplets.iter().map(|r| r.value).sum::<f64>() / self.triplets.len() as f64)
+    }
+
+    /// Sorted, deduplicated rater list per item — the input format of
+    /// [`msopds_het_graph::build_item_graph`].
+    pub fn raters_per_item(&self) -> Vec<Vec<usize>> {
+        let mut out: Vec<Vec<usize>> = vec![Vec::new(); self.n_items];
+        for r in &self.triplets {
+            out[r.item as usize].push(r.user as usize);
+        }
+        for list in &mut out {
+            list.sort_unstable();
+            list.dedup();
+        }
+        out
+    }
+
+    /// Items sorted by descending rating count (most popular first).
+    pub fn items_by_popularity(&self) -> Vec<usize> {
+        let mut items: Vec<usize> = (0..self.n_items).collect();
+        items.sort_by_key(|&i| std::cmp::Reverse(self.by_item[i].len()));
+        items
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(user: u32, item: u32, value: f64) -> Rating {
+        Rating { user, item, value }
+    }
+
+    #[test]
+    fn insert_and_get() {
+        let mut m = RatingMatrix::new(3, 4);
+        m.insert(r(0, 1, 4.0));
+        m.insert(r(2, 3, 1.0));
+        assert_eq!(m.get(0, 1), Some(4.0));
+        assert_eq!(m.get(0, 2), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_last_wins() {
+        let mut m = RatingMatrix::new(2, 2);
+        m.insert(r(0, 0, 2.0));
+        m.insert(r(0, 0, 5.0));
+        assert_eq!(m.len(), 1);
+        assert_eq!(m.get(0, 0), Some(5.0));
+        assert_eq!(m.item_degree(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [1,5]")]
+    fn rejects_out_of_range_value() {
+        let mut m = RatingMatrix::new(1, 1);
+        m.insert(r(0, 0, 0.5));
+    }
+
+    #[test]
+    fn means() {
+        let m = RatingMatrix::from_ratings(3, 2, &[r(0, 0, 1.0), r(1, 0, 5.0), r(2, 1, 3.0)]);
+        assert_eq!(m.item_mean(0), Some(3.0));
+        assert_eq!(m.item_mean(1), Some(3.0));
+        assert_eq!(m.global_mean(), Some(3.0));
+        assert_eq!(RatingMatrix::new(1, 1).item_mean(0), None);
+    }
+
+    #[test]
+    fn raters_per_item_sorted() {
+        let m = RatingMatrix::from_ratings(4, 2, &[r(3, 0, 2.0), r(1, 0, 3.0), r(2, 1, 4.0)]);
+        let lists = m.raters_per_item();
+        assert_eq!(lists[0], vec![1, 3]);
+        assert_eq!(lists[1], vec![2]);
+    }
+
+    #[test]
+    fn grow_users() {
+        let mut m = RatingMatrix::new(2, 2);
+        m.grow_users(4);
+        m.insert(r(3, 1, 5.0));
+        assert_eq!(m.n_users(), 4);
+        assert_eq!(m.user_degree(3), 1);
+    }
+
+    #[test]
+    fn popularity_order() {
+        let m = RatingMatrix::from_ratings(
+            3,
+            3,
+            &[r(0, 2, 3.0), r(1, 2, 3.0), r(2, 2, 3.0), r(0, 0, 3.0)],
+        );
+        let order = m.items_by_popularity();
+        assert_eq!(order[0], 2);
+        assert_eq!(m.items_by_popularity().len(), 3);
+    }
+}

@@ -1,0 +1,106 @@
+//! Property tests for the dataset substrate.
+
+use msopds_recdata::{Dataset, DatasetSpec, PoisonAction, Rating, RatingMatrix};
+use msopds_het_graph::CsrGraph;
+use proptest::prelude::*;
+
+fn ratings(n_users: u32, n_items: u32, max: usize) -> impl Strategy<Value = Vec<Rating>> {
+    proptest::collection::vec(
+        (0..n_users, 0..n_items, 1..=5u8).prop_map(|(user, item, v)| Rating {
+            user,
+            item,
+            value: v as f64,
+        }),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn matrix_indexes_stay_consistent(rs in ratings(8, 10, 60)) {
+        let m = RatingMatrix::from_ratings(8, 10, &rs);
+        // Per-user and per-item views cover exactly the stored triplets.
+        let by_user: usize = (0..8).map(|u| m.user_degree(u)).sum();
+        let by_item: usize = (0..10).map(|i| m.item_degree(i)).sum();
+        prop_assert_eq!(by_user, m.len());
+        prop_assert_eq!(by_item, m.len());
+        // Last-write-wins: get() returns the final value for each pair.
+        for r in &rs {
+            let last = rs
+                .iter()
+                .rev()
+                .find(|x| x.user == r.user && x.item == r.item)
+                .expect("exists");
+            prop_assert_eq!(m.get(r.user as usize, r.item as usize), Some(last.value));
+        }
+    }
+
+    #[test]
+    fn item_mean_is_bounded(rs in ratings(6, 6, 40)) {
+        let m = RatingMatrix::from_ratings(6, 6, &rs);
+        for i in 0..6 {
+            if let Some(mean) = m.item_mean(i) {
+                prop_assert!((1.0..=5.0).contains(&mean));
+            }
+        }
+        if let Some(g) = m.global_mean() {
+            prop_assert!((1.0..=5.0).contains(&g));
+        }
+    }
+
+    #[test]
+    fn apply_poison_never_mutates_original(
+        rs in ratings(6, 6, 30),
+        poison in ratings(6, 6, 10),
+    ) {
+        let m = RatingMatrix::from_ratings(6, 6, &rs);
+        let data = Dataset::new("p", m, CsrGraph::empty(6), CsrGraph::empty(6));
+        let before = data.ratings.len();
+        let actions: Vec<PoisonAction> = poison
+            .iter()
+            .map(|r| PoisonAction::Rating { user: r.user, item: r.item, value: r.value })
+            .collect();
+        let poisoned = data.apply_poison(&actions);
+        prop_assert_eq!(data.ratings.len(), before, "original dataset mutated");
+        prop_assert!(poisoned.ratings.len() >= before);
+        prop_assert!(poisoned.ratings.len() <= before + actions.len());
+    }
+
+    #[test]
+    fn poison_edge_actions_grow_graphs_monotonically(
+        edges in proptest::collection::vec((0u32..8, 0u32..8), 0..12)
+    ) {
+        let data = Dataset::new(
+            "g",
+            RatingMatrix::from_ratings(8, 8, &[Rating { user: 0, item: 0, value: 3.0 }]),
+            CsrGraph::empty(8),
+            CsrGraph::empty(8),
+        );
+        let actions: Vec<PoisonAction> = edges
+            .iter()
+            .map(|&(a, b)| PoisonAction::SocialEdge { a, b })
+            .collect();
+        let poisoned = data.apply_poison(&actions);
+        for &(a, b) in &edges {
+            if a != b {
+                prop_assert!(poisoned.social.has_edge(a as usize, b as usize));
+            }
+        }
+        prop_assert_eq!(poisoned.item_graph.num_edges(), 0);
+    }
+
+    #[test]
+    fn generated_datasets_are_structurally_valid(seed in 0u64..50) {
+        let data = DatasetSpec::micro().generate(seed);
+        for r in data.ratings.ratings() {
+            prop_assert!((r.user as usize) < data.n_users());
+            prop_assert!((r.item as usize) < data.n_items());
+            prop_assert!((1.0..=5.0).contains(&r.value));
+        }
+        prop_assert_eq!(data.social.num_nodes(), data.n_users());
+        prop_assert_eq!(data.item_graph.num_nodes(), data.n_items());
+        prop_assert_eq!(data.n_fake_users(), 0);
+    }
+}

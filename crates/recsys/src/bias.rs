@@ -1,0 +1,202 @@
+//! Damped-mean baseline biases (the classic rating-baseline predictor).
+//!
+//! `b_i = Σ_{r ∈ R(i)} (r − μ) / (|R(i)| + κ)` and likewise for users. These
+//! closed-form biases carry an item's rating shift to *every* user — the
+//! channel rating-poisoning attacks exploit in deployed recommenders — while
+//! the GNN embeddings model the residual, per-user structure.
+//!
+//! In the PDS surrogate the same formula is built from tape ops with the
+//! candidate ratings weighted by X̂, so the biases are differentiable in the
+//! importance vector (the denominators count *all* candidates, mirroring how
+//! eq. 15 normalizes by the fully-poisoned degree).
+
+use std::sync::Arc;
+
+use msopds_autograd::{Tape, Tensor, Var};
+use msopds_recdata::Dataset;
+
+/// Default damping strength κ.
+pub const DEFAULT_DAMPING: f64 = 5.0;
+
+/// Computes `(b_u, b_i)` damped-mean biases from the dataset's ratings.
+pub fn damped_biases(data: &Dataset, mu: f64, kappa: f64) -> (Tensor, Tensor) {
+    let (nu, ni) = (data.n_users(), data.n_items());
+    let mut bu_sum = vec![0.0; nu];
+    let mut bu_cnt = vec![0.0; nu];
+    let mut bi_sum = vec![0.0; ni];
+    let mut bi_cnt = vec![0.0; ni];
+    for r in data.ratings.ratings() {
+        let resid = r.value - mu;
+        bu_sum[r.user as usize] += resid;
+        bu_cnt[r.user as usize] += 1.0;
+        bi_sum[r.item as usize] += resid;
+        bi_cnt[r.item as usize] += 1.0;
+    }
+    let bu: Vec<f64> =
+        bu_sum.iter().zip(&bu_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
+    let bi: Vec<f64> =
+        bi_sum.iter().zip(&bi_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
+    (Tensor::from_vec(bu, &[nu]), Tensor::from_vec(bi, &[ni]))
+}
+
+/// Ingredients for the differentiable PDS biases: one player's candidate
+/// ratings as parallel index/value lists.
+pub struct CandidateRatings {
+    /// Indices into the player's X̂ vector.
+    pub x_idx: Arc<Vec<usize>>,
+    /// Rated users.
+    pub users: Arc<Vec<usize>>,
+    /// Rated items.
+    pub items: Arc<Vec<usize>>,
+    /// Preset residuals `r̂ − μ`.
+    pub residuals: Tensor,
+}
+
+/// Builds X̂-differentiable damped biases on the tape.
+///
+/// The numerators add each candidate's `x̂·(r̂ − μ)`; the denominators count
+/// every candidate regardless of selection (constant), so the result is
+/// linear in X̂ and exactly reproduces [`damped_biases`] when X̂ matches the
+/// actually-applied ratings.
+pub fn pds_biases<'t>(
+    tape: &'t Tape,
+    data: &Dataset,
+    candidates: &[(Var<'t>, &CandidateRatings)],
+    mu: f64,
+    kappa: f64,
+) -> (Var<'t>, Var<'t>) {
+    let (nu, ni) = (data.n_users(), data.n_items());
+    let mut bu_sum = vec![0.0; nu];
+    let mut bu_cnt = vec![kappa; nu];
+    let mut bi_sum = vec![0.0; ni];
+    let mut bi_cnt = vec![kappa; ni];
+    for r in data.ratings.ratings() {
+        let resid = r.value - mu;
+        bu_sum[r.user as usize] += resid;
+        bu_cnt[r.user as usize] += 1.0;
+        bi_sum[r.item as usize] += resid;
+        bi_cnt[r.item as usize] += 1.0;
+    }
+    // Candidate ratings enlarge the (constant) denominators.
+    for (_, c) in candidates {
+        for k in 0..c.x_idx.len() {
+            bu_cnt[c.users[k]] += 1.0;
+            bi_cnt[c.items[k]] += 1.0;
+        }
+    }
+    let mut bu_num = tape.constant(Tensor::from_vec(bu_sum, &[nu]));
+    let mut bi_num = tape.constant(Tensor::from_vec(bi_sum, &[ni]));
+    for (xhat, c) in candidates {
+        if c.x_idx.is_empty() {
+            continue;
+        }
+        let weighted = xhat
+            .gather_elems(Arc::clone(&c.x_idx))
+            .mul(tape.constant(c.residuals.clone()));
+        bu_num = bu_num.add(weighted.scatter_add_elems(Arc::clone(&c.users), nu));
+        bi_num = bi_num.add(weighted.scatter_add_elems(Arc::clone(&c.items), ni));
+    }
+    let bu = bu_num.div(tape.constant(Tensor::from_vec(bu_cnt, &[nu])));
+    let bi = bi_num.div(tape.constant(Tensor::from_vec(bi_cnt, &[ni])));
+    (bu, bi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_recdata::{DatasetSpec, PoisonAction, Rating, RatingMatrix};
+    use msopds_het_graph::CsrGraph;
+
+    fn tiny() -> Dataset {
+        let ratings = RatingMatrix::from_ratings(
+            3,
+            2,
+            &[
+                Rating { user: 0, item: 0, value: 5.0 },
+                Rating { user: 1, item: 0, value: 1.0 },
+                Rating { user: 2, item: 1, value: 3.0 },
+            ],
+        );
+        Dataset::new("t", ratings, CsrGraph::empty(3), CsrGraph::empty(2))
+    }
+
+    #[test]
+    fn damped_bias_values() {
+        let data = tiny();
+        let mu = 3.0;
+        let (bu, bi) = damped_biases(&data, mu, 1.0);
+        // item 0: (2 + (−2)) / (2 + 1) = 0; item 1: 0 / 2 = 0.
+        assert!((bi.get(0)).abs() < 1e-12);
+        assert!((bi.get(1)).abs() < 1e-12);
+        // user 0: 2 / (1+1) = 1.
+        assert!((bu.get(0) - 1.0).abs() < 1e-12);
+        assert!((bu.get(1) + 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn poison_shifts_item_bias() {
+        let data = tiny();
+        let poisoned = data.apply_poison(&[
+            PoisonAction::Rating { user: 2, item: 0, value: 5.0 },
+        ]);
+        let mu = 3.0;
+        let (_, bi0) = damped_biases(&data, mu, 1.0);
+        let (_, bi1) = damped_biases(&poisoned, mu, 1.0);
+        assert!(bi1.get(0) > bi0.get(0), "5-star poison must raise the item bias");
+    }
+
+    #[test]
+    fn pds_biases_match_applied_poison() {
+        // PDS biases with X̂ = 1 must equal damped_biases on the poisoned data
+        // *with the denominator convention* (all candidates counted).
+        let data = tiny();
+        let mu = 3.0;
+        let kappa = 1.0;
+        let cand = CandidateRatings {
+            x_idx: Arc::new(vec![0]),
+            users: Arc::new(vec![2]),
+            items: Arc::new(vec![0]),
+            residuals: Tensor::from_vec(vec![5.0 - mu], &[1]),
+        };
+        let tape = Tape::new();
+        let xhat = tape.leaf(Tensor::ones(&[1]));
+        let (bu, bi) = pds_biases(&tape, &data, &[(xhat, &cand)], mu, kappa);
+        let poisoned = data.apply_poison(&[
+            PoisonAction::Rating { user: 2, item: 0, value: 5.0 },
+        ]);
+        let (bu_ref, bi_ref) = damped_biases(&poisoned, mu, kappa);
+        assert!(bu.value().max_abs_diff(&bu_ref) < 1e-12);
+        assert!(bi.value().max_abs_diff(&bi_ref) < 1e-12);
+    }
+
+    #[test]
+    fn pds_bias_gradient_reaches_xhat() {
+        let data = tiny();
+        let mu = 3.0;
+        let cand = CandidateRatings {
+            x_idx: Arc::new(vec![0]),
+            users: Arc::new(vec![2]),
+            items: Arc::new(vec![0]),
+            residuals: Tensor::from_vec(vec![2.0], &[1]),
+        };
+        let tape = Tape::new();
+        let xhat = tape.leaf(Tensor::zeros(&[1]));
+        let (_, bi) = pds_biases(&tape, &data, &[(xhat, &cand)], mu, 1.0);
+        let loss = bi.gather_elems(Arc::new(vec![0])).sum();
+        let g = tape.grad(loss, &[xhat]).remove(0);
+        // d b_i[0] / d x̂ = residual / (count + κ) = 2 / (2 + 1 + 1).
+        assert!((g.get(0) - 0.5).abs() < 1e-12, "got {}", g.get(0));
+    }
+
+    #[test]
+    fn unrated_entities_have_zero_bias() {
+        let data = DatasetSpec::micro().generate(1);
+        let mu = data.ratings.global_mean().unwrap();
+        let (_, bi) = damped_biases(&data, mu, DEFAULT_DAMPING);
+        for i in 0..data.n_items() {
+            if data.ratings.item_degree(i) == 0 {
+                assert_eq!(bi.get(i), 0.0);
+            }
+        }
+    }
+}

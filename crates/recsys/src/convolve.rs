@@ -1,0 +1,202 @@
+//! Graph → tensor bridges for the convolution of eq. (15).
+//!
+//! Adjacency matrices are materialized densely (the experiment scale of this
+//! reproduction keeps `n` in the hundreds; see DESIGN.md §2). The poisoned
+//! adjacency Â of the PDS surrogate is the constant base adjacency plus the
+//! binarized importance entries scattered into candidate-edge positions, all
+//! recorded on the tape so gradients flow from the convolution back to X̂.
+
+use std::sync::Arc;
+
+use msopds_autograd::{Tape, Tensor, Var};
+use msopds_het_graph::CsrGraph;
+
+/// Dense symmetric 0/1 adjacency of `g` as a tensor.
+pub fn dense_adjacency(g: &CsrGraph) -> Tensor {
+    let n = g.num_nodes();
+    let mut data = vec![0.0; n * n];
+    for u in 0..n {
+        for v in g.neighbors(u) {
+            data[u * n + v] = 1.0;
+        }
+    }
+    Tensor::from_vec(data, &[n, n])
+}
+
+/// Per-node inverse degree `1/|N(u)|` (0 for isolated nodes) of `g`.
+///
+/// Used as the constant normalization of eq. (15); the degree is taken in the
+/// *fully-poisoned* graph 𝒢′ (all candidate edges inserted), per Algorithm 1
+/// step 2.
+pub fn inv_degree(g: &CsrGraph) -> Tensor {
+    let n = g.num_nodes();
+    let data: Vec<f64> = (0..n)
+        .map(|u| {
+            let d = g.degree(u);
+            if d == 0 {
+                0.0
+            } else {
+                1.0 / d as f64
+            }
+        })
+        .collect();
+    Tensor::from_vec(data, &[n])
+}
+
+/// Builds the modulated adjacency Â of eq. (15) on the tape:
+/// base (real) edges enter with weight 1 (the `1_C` selector default), and
+/// each candidate edge `(a, b)` enters with its binarized importance value,
+/// symmetric in both orientations. Candidate weights come from gathering
+/// `positions` out of the player's X̂ leaf, so Â is differentiable in X̂.
+///
+/// `candidates` pairs each edge with the index of its entry in `xhat`.
+pub fn poisoned_adjacency<'t>(
+    tape: &'t Tape,
+    base: &CsrGraph,
+    candidates: &[(usize, (usize, usize))],
+    xhat: Var<'t>,
+) -> Var<'t> {
+    let a0 = tape.constant(dense_adjacency(base));
+    match adjacency_patch(base, candidates, xhat) {
+        Some(patch) => a0.add(patch),
+        None => a0,
+    }
+}
+
+/// The candidate-edge contribution to Â for one player: each candidate edge
+/// `(a, b)` receives its X̂ entry symmetrically. Returns `None` when the
+/// player has no edge candidates. Multiple players' patches are summed onto
+/// the shared base adjacency by the PDS builder.
+pub fn adjacency_patch<'t>(
+    base: &CsrGraph,
+    candidates: &[(usize, (usize, usize))],
+    xhat: Var<'t>,
+) -> Option<Var<'t>> {
+    if candidates.is_empty() {
+        return None;
+    }
+    let n = base.num_nodes();
+    let mut gather_idx = Vec::with_capacity(candidates.len() * 2);
+    let mut scatter_pos = Vec::with_capacity(candidates.len() * 2);
+    for &(xi, (a, b)) in candidates {
+        debug_assert!(a < n && b < n, "candidate edge ({a},{b}) out of range");
+        debug_assert!(!base.has_edge(a, b), "candidate edge ({a},{b}) already real");
+        gather_idx.push(xi);
+        scatter_pos.push(a * n + b);
+        gather_idx.push(xi);
+        scatter_pos.push(b * n + a);
+    }
+    let weights = xhat.gather_elems(Arc::new(gather_idx));
+    Some(weights.scatter_add_elems(Arc::new(scatter_pos), n * n).reshape(&[n, n]))
+}
+
+/// Mean-aggregation graph convolution of eq. (15):
+/// `out = Wᵀ (H ⊕ Â·H / |N|)` row-wise, where `inv_deg` holds `1/|N(u)|`.
+pub fn mean_convolve<'t>(
+    h: Var<'t>,
+    adjacency: Var<'t>,
+    inv_deg: Var<'t>,
+    w: Var<'t>,
+) -> Var<'t> {
+    let d = h.value().cols();
+    let agg = adjacency.matmul(h).mul(inv_deg.broadcast_cols(d));
+    h.concat_cols(agg).matmul(w)
+}
+
+/// Attention-aggregation convolution used by the ConsisRec-style victim:
+/// neighbor weights are a masked softmax of embedding similarity
+/// ("consistency scores"), so more-consistent neighbors dominate.
+pub fn attention_convolve<'t>(h: Var<'t>, mask: Var<'t>, w: Var<'t>) -> Var<'t> {
+    let n = h.value().rows();
+    // Similarity logits, exponentiated with a detached row-max for stability,
+    // then masked to the adjacency and row-normalized.
+    let s = h.matmul(h.t());
+    let sv = s.value();
+    let mut maxes = vec![0.0f64; n];
+    for (i, mx) in maxes.iter_mut().enumerate() {
+        *mx = (0..n).map(|j| sv.at(i, j)).fold(f64::NEG_INFINITY, f64::max);
+    }
+    let max_c = s.tape().constant(Tensor::from_vec(maxes, &[n])).broadcast_cols(n);
+    let e = s.sub(max_c).exp().mul(mask);
+    let denom = e.sum_rows().add_scalar(1e-9);
+    let att = e.div(denom.broadcast_cols(n));
+    let agg = att.matmul(h);
+    h.concat_cols(agg).matmul(w)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_autograd::Tape;
+
+    #[test]
+    fn dense_adjacency_symmetric() {
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let a = dense_adjacency(&g);
+        assert_eq!(a.at(0, 1), 1.0);
+        assert_eq!(a.at(1, 0), 1.0);
+        assert_eq!(a.at(0, 2), 0.0);
+        assert_eq!(a.at(0, 0), 0.0);
+    }
+
+    #[test]
+    fn inv_degree_handles_isolated() {
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let d = inv_degree(&g);
+        assert_eq!(d.to_vec(), vec![1.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn poisoned_adjacency_injects_candidates() {
+        let tape = Tape::new();
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let xhat = tape.leaf(Tensor::from_vec(vec![1.0, 0.0], &[2]));
+        // Candidate 0 -> edge (0,2) selected; candidate 1 -> edge (1,2) unselected.
+        let a = poisoned_adjacency(&tape, &g, &[(0, (0, 2)), (1, (1, 2))], xhat);
+        let av = a.value();
+        assert_eq!(av.at(0, 1), 1.0); // real edge untouched
+        assert_eq!(av.at(0, 2), 1.0); // selected candidate
+        assert_eq!(av.at(2, 0), 1.0); // symmetric
+        assert_eq!(av.at(1, 2), 0.0); // unselected candidate
+    }
+
+    #[test]
+    fn poisoned_adjacency_gradient_reaches_xhat() {
+        let tape = Tape::new();
+        let g = CsrGraph::from_edges(3, &[(0, 1)]);
+        let xhat = tape.leaf(Tensor::from_vec(vec![1.0, 0.0], &[2]));
+        let a = poisoned_adjacency(&tape, &g, &[(0, (0, 2)), (1, (1, 2))], xhat);
+        // Loss touching only entry (1,2): gradient must flow to x̂[1] even
+        // though its value is 0 — the key PDS property (§IV-C).
+        let h = tape.constant(Tensor::from_vec(vec![1.0, 2.0, 3.0], &[3, 1]));
+        let loss = a.matmul(h).gather_rows(Arc::new(vec![1])).sum();
+        let grad = tape.grad(loss, &[xhat]).remove(0);
+        assert_eq!(grad.get(1), 3.0, "unselected candidate still receives gradient");
+        assert_eq!(grad.get(0), 0.0, "edge (0,2) does not affect row 1");
+    }
+
+    #[test]
+    fn mean_convolve_shapes_and_values() {
+        let tape = Tape::new();
+        let g = CsrGraph::from_edges(2, &[(0, 1)]);
+        let h = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
+        let a = tape.constant(dense_adjacency(&g));
+        let inv = tape.constant(inv_degree(&g));
+        let w = tape.leaf(Tensor::from_vec(vec![1.0, 1.0], &[2, 1])); // sums the concat
+        let out = mean_convolve(h, a, inv, w);
+        // Row 0: h=1, agg = 2/1 = 2 → 3. Row 1: 2 + 1 = 3.
+        assert_eq!(out.value().to_vec(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn attention_convolve_weights_sum_to_one() {
+        let tape = Tape::new();
+        let g = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let h = tape.leaf(Tensor::from_vec(vec![1.0, 0.5, -0.5, 0.3, 0.2, 0.9], &[3, 2]));
+        let mask = tape.constant(dense_adjacency(&g));
+        let w = tape.leaf(Tensor::from_vec(vec![1.0; 8], &[4, 2]));
+        let out = attention_convolve(h, mask, w);
+        assert_eq!(out.value().shape(), &[3, 2]);
+        assert!(out.value().all_finite());
+    }
+}

@@ -1,0 +1,218 @@
+//! The load-bearing correctness test of the whole reproduction: analytic
+//! gradients of the attack losses with respect to the binarized importance
+//! vector — computed by backpropagation through the recorded, unrolled PDS
+//! training run — must match central finite differences of the same
+//! quantity, for every action category.
+
+use msopds_autograd::ndiff::numeric_grad;
+use msopds_autograd::{Tape, Tensor};
+use msopds_recdata::{DatasetSpec, PoisonAction};
+use msopds_recsys::losses::{ca_loss, ia_loss};
+use msopds_recsys::pds::{build_pds, PdsConfig, PlayerInput};
+
+fn micro() -> msopds_recdata::Dataset {
+    DatasetSpec::micro().generate(17)
+}
+
+fn cfg() -> PdsConfig {
+    PdsConfig { inner_steps: 3, ..Default::default() }
+}
+
+/// Evaluates the IA loss at a given X̂ value vector (fresh tape each call).
+fn ia_at(
+    data: &msopds_recdata::Dataset,
+    candidates: &[PoisonAction],
+    xhat: &Tensor,
+    users: &[usize],
+    target: usize,
+) -> f64 {
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        data,
+        &[PlayerInput { candidates, xhat: xhat.clone() }],
+        &cfg(),
+    );
+    ia_loss(&pds.scores(), users, target).item()
+}
+
+#[test]
+fn pds_gradient_matches_finite_difference_for_ratings() {
+    let data = micro();
+    let users: Vec<usize> = (0..8).collect();
+    let target = 4usize;
+    let candidates: Vec<PoisonAction> = (0..6u32)
+        .map(|u| PoisonAction::Rating { user: u, item: target as u32, value: 5.0 })
+        .collect();
+    let x0 = Tensor::from_vec(vec![0.5, 0.0, 1.0, 0.25, 0.75, 0.0], &[6]);
+
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        &data,
+        &[PlayerInput { candidates: &candidates, xhat: x0.clone() }],
+        &cfg(),
+    );
+    let loss = ia_loss(&pds.scores(), &users, target);
+    let analytic = tape.grad(loss, &[pds.xhats[0]]).remove(0);
+    let numeric = numeric_grad(|x| ia_at(&data, &candidates, x, &users, target), &x0, 1e-4);
+
+    for i in 0..6 {
+        let (a, n) = (analytic.get(i), numeric.get(i));
+        let denom = 1.0f64.max(a.abs()).max(n.abs());
+        assert!(
+            ((a - n) / denom).abs() < 1e-3,
+            "rating candidate {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[test]
+fn pds_gradient_matches_finite_difference_for_edges() {
+    let data = micro();
+    let users: Vec<usize> = (0..8).collect();
+    let target = 7usize;
+    // Pick candidate edges that do not already exist.
+    let mut social = Vec::new();
+    'outer: for a in 0..data.n_users() {
+        for b in (a + 1)..data.n_users() {
+            if !data.social.has_edge(a, b) {
+                social.push(PoisonAction::SocialEdge { a: a as u32, b: b as u32 });
+                if social.len() == 2 {
+                    break 'outer;
+                }
+            }
+        }
+    }
+    let mut candidates = social;
+    for i in [1u32, 2, 3] {
+        if !data.item_graph.has_edge(i as usize, target) {
+            candidates.push(PoisonAction::ItemEdge { a: i, b: target as u32 });
+        }
+    }
+    let k = candidates.len();
+    assert!(k >= 4, "need edge candidates for the test");
+    let x0 = Tensor::from_vec((0..k).map(|i| 0.2 * i as f64).collect(), &[k]);
+
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        &data,
+        &[PlayerInput { candidates: &candidates, xhat: x0.clone() }],
+        &cfg(),
+    );
+    let loss = ia_loss(&pds.scores(), &users, target);
+    let analytic = tape.grad(loss, &[pds.xhats[0]]).remove(0);
+    let numeric = numeric_grad(|x| ia_at(&data, &candidates, x, &users, target), &x0, 1e-4);
+
+    for (i, candidate) in candidates.iter().enumerate() {
+        let (a, n) = (analytic.get(i), numeric.get(i));
+        let denom = 1.0f64.max(a.abs()).max(n.abs());
+        assert!(
+            ((a - n) / denom).abs() < 1e-3,
+            "edge candidate {i} ({candidate:?}): analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[test]
+fn ca_loss_gradient_matches_finite_difference_mixed_capacity() {
+    let data = micro();
+    let audience: Vec<usize> = (3..9).collect();
+    let competing: Vec<usize> = vec![2, 4, 6];
+    let target = 2usize;
+    let mut candidates = vec![
+        PoisonAction::Rating { user: 3, item: target as u32, value: 5.0 },
+        PoisonAction::Rating { user: 4, item: target as u32, value: 5.0 },
+    ];
+    'outer: for a in 0..data.n_users() {
+        for b in (a + 1)..data.n_users() {
+            if !data.social.has_edge(a, b) {
+                candidates.push(PoisonAction::SocialEdge { a: a as u32, b: b as u32 });
+                break 'outer;
+            }
+        }
+    }
+    let k = candidates.len();
+    let x0 = Tensor::from_vec(vec![0.4; k], &[k]);
+
+    let eval = |x: &Tensor| -> f64 {
+        let tape = Tape::new();
+        let pds = build_pds(
+            &tape,
+            &data,
+            &[PlayerInput { candidates: &candidates, xhat: x.clone() }],
+            &cfg(),
+        );
+        ca_loss(&pds.scores(), &audience, target, &competing).item()
+    };
+
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        &data,
+        &[PlayerInput { candidates: &candidates, xhat: x0.clone() }],
+        &cfg(),
+    );
+    let loss = ca_loss(&pds.scores(), &audience, target, &competing);
+    let analytic = tape.grad(loss, &[pds.xhats[0]]).remove(0);
+    let numeric = numeric_grad(eval, &x0, 1e-4);
+
+    for i in 0..k {
+        let (a, n) = (analytic.get(i), numeric.get(i));
+        let denom = 1.0f64.max(a.abs()).max(n.abs());
+        assert!(
+            ((a - n) / denom).abs() < 1e-3,
+            "candidate {i}: analytic {a} vs numeric {n}"
+        );
+    }
+}
+
+#[test]
+fn second_order_hvp_matches_finite_difference_of_pds_gradient() {
+    // The exact double-backward HVP through the unrolled surrogate — the
+    // quantity CG consumes in Algorithm 1 step 9 — against finite differences
+    // of the first-order gradient.
+    let data = micro();
+    let users: Vec<usize> = (0..6).collect();
+    let target = 5usize;
+    let candidates: Vec<PoisonAction> = (0..4u32)
+        .map(|u| PoisonAction::Rating { user: u, item: target as u32, value: 1.0 })
+        .collect();
+    let x0 = Tensor::from_vec(vec![0.3, 0.6, 0.1, 0.9], &[4]);
+    let v = Tensor::from_vec(vec![1.0, -0.5, 0.25, -1.0], &[4]);
+
+    // Exact.
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        &data,
+        &[PlayerInput { candidates: &candidates, xhat: x0.clone() }],
+        &cfg(),
+    );
+    let loss = ia_loss(&pds.scores(), &users, target);
+    let g = tape.grad_vars(loss, &[pds.xhats[0]])[0];
+    let vc = tape.constant(v.clone());
+    let hv = tape.grad(g.mul(vc).sum(), &[pds.xhats[0]]).remove(0);
+
+    // Finite difference of the gradient.
+    let grad_at = |x: &Tensor| -> Tensor {
+        let t = Tape::new();
+        let p = build_pds(
+            &t,
+            &data,
+            &[PlayerInput { candidates: &candidates, xhat: x.clone() }],
+            &cfg(),
+        );
+        let l = ia_loss(&p.scores(), &users, target);
+        t.grad(l, &[p.xhats[0]]).remove(0)
+    };
+    let hv_fd = msopds_autograd::hvp::hvp_finite_diff(grad_at, &x0, &v);
+
+    assert!(
+        hv.max_abs_diff(&hv_fd) < 1e-4,
+        "exact {:?} vs finite-diff {:?}",
+        hv.to_vec(),
+        hv_fd.to_vec()
+    );
+}

@@ -1,0 +1,92 @@
+//! `repro` — regenerate the paper's tables and figures.
+//!
+//! Usage: `repro <table3|fig6|fig7|fig8|fig9|all> [--quick] [--scale N]
+//! [--seeds a,b,...] [--threads N] [--out DIR]`
+
+use std::path::PathBuf;
+
+use msopds_xp::{
+    fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment, table3_cells,
+    to_json, XpConfig,
+};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR]");
+        std::process::exit(2);
+    }
+    let which = args[0].clone();
+    let mut cfg = XpConfig::default();
+    let mut out_dir = PathBuf::from("target/xp-results");
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--quick" => cfg = XpConfig { threads: cfg.threads, ..XpConfig::quick() },
+            "--scale" => {
+                i += 1;
+                cfg.scale = args[i].parse().expect("--scale takes a number");
+            }
+            "--seeds" => {
+                i += 1;
+                cfg.seeds = args[i]
+                    .split(',')
+                    .map(|s| s.parse().expect("--seeds takes comma-separated integers"))
+                    .collect();
+            }
+            "--threads" => {
+                i += 1;
+                cfg.threads = args[i].parse().expect("--threads takes an integer");
+            }
+            "--out" => {
+                i += 1;
+                out_dir = PathBuf::from(&args[i]);
+            }
+            other => {
+                eprintln!("unknown flag {other}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    let run_one = |id: &str| {
+        let started = std::time::Instant::now();
+        let (cells, knob) = match id {
+            "table3" => (table3_cells(&cfg), "b"),
+            "fig6" => (fig6_cells(&cfg), "#opp"),
+            "fig7" => (fig7_cells(&cfg), "b_op"),
+            "fig8" => (fig8_cells(&cfg), "b"),
+            "fig9" => (fig9_cells(&cfg), "b"),
+            "defense" => (msopds_xp::defense_cells(&cfg), "defended"),
+            other => {
+                eprintln!("unknown experiment {other}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!("[{id}] running {} games on {} threads…", cells.len(), cfg.threads);
+        let rows = run_experiment(cells, &cfg);
+        let title = match id {
+            "table3" => "Table III: target item r̄ and HR@3 vs ConsisRec, single opponent",
+            "fig6" => "Fig. 6: impact of the number of opponents (b = 5)",
+            "fig7" => "Fig. 7: impact of the opponent's capacity (b = 5, 1 opponent)",
+            "fig8" => "Fig. 8: effect of poisoning-action categories (Epinions)",
+            "fig9" => "Fig. 9: real users vs fake accounts (Epinions)",
+            "defense" => "Extension: attacks vs moderator detection (Epinions, b = 5)",
+            _ => unreachable!(),
+        };
+        println!("{}", render_table(title, knob, &rows));
+        let json_path = out_dir.join(format!("{id}.json"));
+        std::fs::write(&json_path, to_json(&rows)).expect("write results json");
+        eprintln!("[{id}] done in {:.1?}; results saved to {}", started.elapsed(), json_path.display());
+    };
+
+    if which == "all" {
+        for id in ["table3", "fig6", "fig7", "fig8", "fig9", "defense"] {
+            run_one(id);
+        }
+    } else {
+        run_one(&which);
+    }
+}

@@ -1,0 +1,155 @@
+//! Experiment configuration shared by every table/figure runner.
+
+use msopds_autograd::HvpMode;
+use msopds_core::{MsoConfig, PlannerConfig};
+use msopds_gameplay::GameConfig;
+use msopds_recdata::{DatasetSpec, DemographicsSpec};
+use msopds_recsys::pds::PdsConfig;
+use msopds_recsys::HetRecConfig;
+use serde::{Deserialize, Serialize};
+
+/// The three evaluation datasets of §VI-A.1 (synthetic equivalents).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DatasetKind {
+    /// Ciao [79].
+    Ciao,
+    /// Epinions [80].
+    Epinions,
+    /// LibraryThing [81].
+    LibraryThing,
+}
+
+impl DatasetKind {
+    /// All datasets in Table III order.
+    pub fn all() -> [DatasetKind; 3] {
+        [DatasetKind::Ciao, DatasetKind::Epinions, DatasetKind::LibraryThing]
+    }
+
+    /// Display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetKind::Ciao => "Ciao",
+            DatasetKind::Epinions => "Epinions",
+            DatasetKind::LibraryThing => "LibraryThing",
+        }
+    }
+
+    /// The generator spec at full published statistics.
+    pub fn spec(&self) -> DatasetSpec {
+        match self {
+            DatasetKind::Ciao => DatasetSpec::ciao(),
+            DatasetKind::Epinions => DatasetSpec::epinions(),
+            DatasetKind::LibraryThing => DatasetSpec::library_thing(),
+        }
+    }
+}
+
+/// Harness-wide experiment parameters.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct XpConfig {
+    /// Dataset scale divisor (DESIGN.md §2; default 16).
+    pub scale: f64,
+    /// Seeds averaged per cell.
+    pub seeds: Vec<u64>,
+    /// Attacker budgets swept by Table III / Fig. 8 / Fig. 9.
+    pub budgets: Vec<usize>,
+    /// Datasets to evaluate.
+    pub datasets: Vec<DatasetKind>,
+    /// Opponent counts swept by Fig. 6.
+    pub opponent_counts: Vec<usize>,
+    /// Opponent budgets swept by Fig. 7.
+    pub opponent_budgets: Vec<usize>,
+    /// Worker threads for cell-level parallelism.
+    pub threads: usize,
+}
+
+impl Default for XpConfig {
+    fn default() -> Self {
+        Self {
+            scale: 16.0,
+            seeds: vec![1, 2],
+            budgets: vec![2, 3, 4, 5],
+            datasets: DatasetKind::all().to_vec(),
+            opponent_counts: vec![1, 2, 3],
+            opponent_budgets: vec![1, 2, 3, 4],
+            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+        }
+    }
+}
+
+impl XpConfig {
+    /// A fast smoke configuration for CI and the quickstart example.
+    pub fn quick() -> Self {
+        Self {
+            scale: 24.0,
+            seeds: vec![1],
+            budgets: vec![2, 5],
+            datasets: vec![DatasetKind::Ciao],
+            opponent_counts: vec![1, 2],
+            opponent_budgets: vec![1, 3],
+            ..Self::default()
+        }
+    }
+
+    /// Demographic sampling spec at this scale.
+    pub fn demographics(&self) -> DemographicsSpec {
+        DemographicsSpec::default().scaled(self.scale)
+    }
+
+    /// The per-game configuration template at this scale.
+    pub fn game(&self, seed: u64) -> GameConfig {
+        let planner = PlannerConfig {
+            mso: MsoConfig {
+                iters: 12,
+                cg_iters: 5,
+                hvp_mode: HvpMode::Exact,
+                ..Default::default()
+            },
+            pds: PdsConfig::default(),
+        };
+        GameConfig {
+            victim: HetRecConfig { epochs: 50, dim: 12, attention: true, lambda: 1e-2, ..Default::default() },
+            planner,
+            opponent_planner: PlannerConfig {
+                mso: MsoConfig { iters: 6, cg_iters: 3, ..Default::default() },
+                pds: PdsConfig { inner_steps: 4, ..Default::default() },
+            },
+            attacker_b: 5,
+            n_opponents: 1,
+            opponent_b: 2,
+            scale: self.scale,
+            seed,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dataset_kinds_resolve() {
+        for k in DatasetKind::all() {
+            let spec = k.spec();
+            assert!(spec.n_users > 1000, "{} spec too small", k.name());
+        }
+    }
+
+    #[test]
+    fn quick_is_smaller_than_default() {
+        let q = XpConfig::quick();
+        let d = XpConfig::default();
+        assert!(q.scale > d.scale);
+        assert!(q.seeds.len() <= d.seeds.len());
+        assert!(q.datasets.len() < d.datasets.len());
+    }
+
+    #[test]
+    fn game_config_derives_from_scale() {
+        let cfg = XpConfig::default();
+        let g = cfg.game(7);
+        assert_eq!(g.scale, cfg.scale);
+        assert_eq!(g.seed, 7);
+        assert!(g.planner.mso.eta_p < g.planner.mso.eta_q);
+    }
+}

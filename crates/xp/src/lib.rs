@@ -1,0 +1,27 @@
+//! # msopds-xp
+//!
+//! The experiment harness regenerating every table and figure of the MSOPDS
+//! evaluation (§VI): Table III (single-opponent comparison), Fig. 6 (number
+//! of opponents), Fig. 7 (opponent capacity), Fig. 8 (action categories) and
+//! Fig. 9 (real vs fake accounts). Runs cells in parallel, averages over
+//! seeds, and renders paper-shaped reports.
+//!
+//! Use the `repro` binary:
+//!
+//! ```text
+//! cargo run --release -p msopds-xp --bin repro -- table3 --quick
+//! cargo run --release -p msopds-xp --bin repro -- all
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod experiments;
+pub mod runner;
+
+pub use config::{DatasetKind, XpConfig};
+pub use experiments::{
+    defense_cells, fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment, sweep_methods, table3_cells,
+    to_json, Variant,
+};
+pub use runner::{average_over_seeds, materialize, run_cells, Cell, Measurement};

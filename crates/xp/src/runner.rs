@@ -1,0 +1,166 @@
+//! Cell-level execution: one (dataset, method, knobs, seed) game per cell,
+//! parallelized across worker threads with crossbeam scoped threads.
+
+use crossbeam::channel;
+use msopds_gameplay::{run_game, AttackMethod, GameConfig};
+use msopds_recdata::{sample_market, Dataset, Market};
+use serde::{Deserialize, Serialize};
+
+use crate::config::{DatasetKind, XpConfig};
+
+/// One unit of work: a fully-specified game.
+#[derive(Clone, Debug)]
+pub struct Cell {
+    /// Dataset to generate.
+    pub dataset: DatasetKind,
+    /// Attacker method.
+    pub method: AttackMethod,
+    /// Game parameters (budgets, opponents, seed).
+    pub game: GameConfig,
+    /// Free-form knob value recorded in the result (b, #opponents, b_op, …).
+    pub knob: f64,
+    /// Report label (distinguishes ablation variants that share a method name).
+    pub label: String,
+    /// Run the moderator defense (detection + shadow ban) before the victim
+    /// trains (the `defense` extension experiment).
+    pub defended: bool,
+}
+
+/// One measured result row (seed-averaged by [`run_cells`]'s caller or raw).
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct Measurement {
+    /// Dataset display name.
+    pub dataset: String,
+    /// Method display name.
+    pub method: String,
+    /// The experiment's swept knob value.
+    pub knob: f64,
+    /// Average predicted rating r̄.
+    pub rbar: f64,
+    /// HitRate@3.
+    pub hr3: f64,
+    /// Seed this game used.
+    pub seed: u64,
+}
+
+/// Generates the dataset and market for a cell. Market sampling is seeded by
+/// the game seed so every method in a (dataset, seed) group sees the *same*
+/// market — the paper's controlled comparison.
+pub fn materialize(kind: DatasetKind, cfg: &XpConfig, seed: u64, n_opponents: usize) -> (Dataset, Market) {
+    let data = kind.spec().scaled(cfg.scale).generate(seed);
+    let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xA11CE);
+    let market = sample_market(&data, &cfg.demographics(), n_opponents.max(1), &mut rng);
+    (data, market)
+}
+
+/// Runs all cells across `cfg.threads` workers and returns measurements in
+/// completion order.
+pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Vec<Measurement> {
+    let n = cells.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let threads = cfg.threads.clamp(1, n);
+    let (work_tx, work_rx) = channel::unbounded::<Cell>();
+    let (res_tx, res_rx) = channel::unbounded::<Measurement>();
+    for cell in cells {
+        work_tx.send(cell).expect("queue open");
+    }
+    drop(work_tx);
+
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            let work_rx = work_rx.clone();
+            let res_tx = res_tx.clone();
+            let cfg = cfg.clone();
+            scope.spawn(move |_| {
+                while let Ok(cell) = work_rx.recv() {
+                    let (data, market) =
+                        materialize(cell.dataset, &cfg, cell.game.seed, cell.game.n_opponents);
+                    let outcome = if cell.defended {
+                        msopds_gameplay::run_defended_game(
+                            &data,
+                            &market,
+                            cell.method,
+                            &cell.game,
+                            &msopds_gameplay::DetectorConfig::default(),
+                        )
+                        .0
+                    } else {
+                        run_game(&data, &market, cell.method, &cell.game)
+                    };
+                    res_tx
+                        .send(Measurement {
+                            dataset: cell.dataset.name().to_string(),
+                            method: cell.label.clone(),
+                            knob: cell.knob,
+                            rbar: outcome.avg_rating,
+                            hr3: outcome.hit_rate_at_3,
+                            seed: cell.game.seed,
+                        })
+                        .expect("result channel open");
+                }
+            });
+        }
+        drop(res_tx);
+        res_rx.iter().collect()
+    })
+    .expect("worker panicked")
+}
+
+/// Averages measurements over seeds, grouped by (dataset, method, knob).
+pub fn average_over_seeds(measurements: &[Measurement]) -> Vec<Measurement> {
+    use std::collections::BTreeMap;
+    let mut groups: BTreeMap<(String, String, i64), (f64, f64, usize)> = BTreeMap::new();
+    for m in measurements {
+        let key = (m.dataset.clone(), m.method.clone(), (m.knob * 1000.0).round() as i64);
+        let e = groups.entry(key).or_insert((0.0, 0.0, 0));
+        e.0 += m.rbar;
+        e.1 += m.hr3;
+        e.2 += 1;
+    }
+    groups
+        .into_iter()
+        .map(|((dataset, method, knob_k), (rbar, hr3, count))| Measurement {
+            dataset,
+            method,
+            knob: knob_k as f64 / 1000.0,
+            rbar: rbar / count as f64,
+            hr3: hr3 / count as f64,
+            seed: 0,
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn averaging_groups_by_key() {
+        let m = |method: &str, knob: f64, rbar: f64, seed: u64| Measurement {
+            dataset: "d".into(),
+            method: method.into(),
+            knob,
+            rbar,
+            hr3: rbar / 10.0,
+            seed,
+        };
+        let avg = average_over_seeds(&[
+            m("A", 2.0, 1.0, 1),
+            m("A", 2.0, 3.0, 2),
+            m("A", 3.0, 5.0, 1),
+            m("B", 2.0, 7.0, 1),
+        ]);
+        assert_eq!(avg.len(), 3);
+        let a2 = avg.iter().find(|x| x.method == "A" && x.knob == 2.0).unwrap();
+        assert!((a2.rbar - 2.0).abs() < 1e-12);
+        assert!((a2.hr3 - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cells_is_empty() {
+        let cfg = XpConfig::quick();
+        assert!(run_cells(Vec::new(), &cfg).is_empty());
+    }
+}

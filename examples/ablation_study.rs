@@ -1,0 +1,55 @@
+//! Ablation study: which poisoning channels matter? (Figures 8 and 9.)
+//!
+//! Runs MSOPDS with subsets of its capacity — ratings only, ratings + item
+//! edges, ratings + social edges, full — and separately compares hiring real
+//! users against injecting fake accounts.
+//!
+//! ```text
+//! cargo run --release --example ablation_study
+//! ```
+
+use msopds::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = 16.0;
+    let data = DatasetSpec::epinions().scaled(scale).generate(5);
+    println!("dataset: {}\n", data.summary());
+
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let market = sample_market(&data, &DemographicsSpec::default().scaled(scale), 1, &mut rng);
+    let cfg = GameConfig::at_scale(scale);
+
+    println!("--- Fig. 8: poisoning-action categories (Epinions) ---");
+    for (label, toggles) in [
+        ("ratings only", ActionToggles::ratings_only()),
+        ("ratings+item", ActionToggles::ratings_and_item()),
+        ("ratings+user", ActionToggles::ratings_and_social()),
+        ("full MSOPDS", ActionToggles::all()),
+    ] {
+        let out = run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg);
+        println!(
+            "{:<14} r̄ = {:.3}  HR@3 = {:.3}  ({} actions)",
+            label, out.avg_rating, out.hit_rate_at_3, out.attacker_actions
+        );
+    }
+
+    println!("\n--- Fig. 9: real users vs fake accounts (item edges excluded) ---");
+    for (label, toggles) in [
+        ("MSOPDS-real", ActionToggles::real_only()),
+        ("MSOPDS-fake", ActionToggles::fake_only()),
+        ("MSOPDS", ActionToggles::no_item_edges()),
+    ] {
+        let out = run_game(&data, &market, AttackMethod::Msopds(toggles), &cfg);
+        println!(
+            "{:<14} r̄ = {:.3}  HR@3 = {:.3}  ({} actions)",
+            label, out.avg_rating, out.hit_rate_at_3, out.attacker_actions
+        );
+    }
+
+    println!(
+        "\nThe full capacity dominates because rating poison moves the target's \
+         baseline bias while graph edges re-route the convolution of eq. (15); \
+         each channel alone only covers part of the score model."
+    );
+}

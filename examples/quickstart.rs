@@ -1,0 +1,59 @@
+//! Quickstart: generate a heterogeneous dataset, train the victim recommender,
+//! plan an MSOPDS attack against one opponent, and measure its effect.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use msopds::prelude::*;
+use rand::SeedableRng;
+
+fn main() {
+    // 1. A synthetic heterogeneous dataset calibrated to Ciao's statistics,
+    //    scaled down 16× for a fast demo.
+    let scale = 16.0;
+    let data = DatasetSpec::ciao().scaled(scale).generate(42);
+    println!("dataset: {}", data.summary());
+
+    // 2. Sample the market of §VI-A.2: a target audience, competing items,
+    //    the attacker's target (the lowest-rated competitor) and per-player
+    //    assets (customer base, company products).
+    let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+    let market = sample_market(&data, &DemographicsSpec::default().scaled(scale), 1, &mut rng);
+    println!(
+        "market: target item {} (mean {:.2}), |TA| = {}, {} competitors",
+        market.target_item,
+        data.ratings.item_mean(market.target_item).unwrap_or(f64::NAN),
+        market.target_audience.len(),
+        market.competing_items.len()
+    );
+
+    // 3. Reference point: nobody attacks, but the opponent still demotes.
+    let cfg = GameConfig::at_scale(scale);
+    let clean = run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &cfg);
+    println!(
+        "\nno attack      : r̄ = {:.3}, HR@3 = {:.3}  (victim RMSE {:.3})",
+        clean.avg_rating, clean.hit_rate_at_3, clean.victim_rmse
+    );
+
+    // 4. MSOPDS: plan a Multiplayer Comprehensive Attack that anticipates the
+    //    opponent's subsequent demotion, then let the game play out.
+    let msopds = run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg);
+    println!(
+        "MSOPDS (MCA)   : r̄ = {:.3}, HR@3 = {:.3}  ({} poison actions committed)",
+        msopds.avg_rating, msopds.hit_rate_at_3, msopds.attacker_actions
+    );
+
+    // 5. A classic injection baseline for comparison.
+    let random = run_game(&data, &market, AttackMethod::Baseline(Baseline::Random), &cfg);
+    println!(
+        "Random (IA)    : r̄ = {:.3}, HR@3 = {:.3}  ({} poison actions committed)",
+        random.avg_rating, random.hit_rate_at_3, random.attacker_actions
+    );
+
+    println!(
+        "\nMSOPDS lift over no-attack: {:+.3} stars; over Random: {:+.3} stars",
+        msopds.avg_rating - clean.avg_rating,
+        msopds.avg_rating - random.avg_rating
+    );
+}

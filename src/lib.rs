@@ -1,0 +1,67 @@
+//! # msopds
+//!
+//! A from-scratch Rust reproduction of *"Planning Data Poisoning Attacks on
+//! Heterogeneous Recommender Systems in a Multiplayer Setting"* (ICDE 2023):
+//! the MSOPDS attack planner, the heterogeneous GNN recommender substrate it
+//! targets, every baseline it is compared against, and the experiment harness
+//! regenerating the paper's tables and figures.
+//!
+//! This umbrella crate re-exports the workspace layers:
+//!
+//! | module | crate | contents |
+//! |---|---|---|
+//! | [`autograd`] | `msopds-autograd` | higher-order tape autodiff, CG, HVPs |
+//! | [`het_graph`] | `msopds-het-graph` | CSR graphs, generators, item graph |
+//! | [`recdata`] | `msopds-recdata` | ratings, synthetic datasets, markets |
+//! | [`recsys`] | `msopds-recsys` | ConsisRec-style victim, MF, PDS surrogate |
+//! | [`core`] | `msopds-core` | importance vectors, MSO, MSOPDS/BOPDS |
+//! | [`attacks`] | `msopds-attacks` | Random/Popular/PGA/S-attack/RevAdv/Trial |
+//! | [`gameplay`] | `msopds-gameplay` | the multiplayer game simulator |
+//! | [`xp`] | `msopds-xp` | Table III / Fig. 6–9 experiment harness |
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use msopds::prelude::*;
+//! use rand::SeedableRng;
+//!
+//! // A small synthetic heterogeneous dataset and a sampled market.
+//! let data = DatasetSpec::micro().generate(42);
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+//! let market = sample_market(&data, &DemographicsSpec::default().scaled(8.0), 1, &mut rng);
+//!
+//! // One multiplayer game: MSOPDS attacker vs one demoting opponent.
+//! let mut cfg = GameConfig::at_scale(8.0);
+//! cfg.victim.epochs = 10; // doc-test speed
+//! cfg.planner.mso.iters = 2;
+//! cfg.planner.pds.inner_steps = 2;
+//! cfg.opponent_planner = cfg.planner;
+//! let outcome = run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg);
+//! assert!(outcome.avg_rating.is_finite());
+//! ```
+
+pub use msopds_attacks as attacks;
+pub use msopds_autograd as autograd;
+pub use msopds_core as core;
+pub use msopds_gameplay as gameplay;
+pub use msopds_het_graph as het_graph;
+pub use msopds_recdata as recdata;
+pub use msopds_recsys as recsys;
+pub use msopds_xp as xp;
+
+/// Convenient re-exports for examples and downstream users.
+pub mod prelude {
+    pub use msopds_attacks::{Baseline, IaContext};
+    pub use msopds_autograd::{Tape, Tensor};
+    pub use msopds_core::{
+        build_ca_capacity, plan_bopds, plan_msopds, ActionToggles, CaCapacitySpec, MsoConfig,
+        Objective, PlannerConfig, PlayerSetup,
+    };
+    pub use msopds_gameplay::{run_game, AttackMethod, GameConfig, GameOutcome};
+    pub use msopds_het_graph::CsrGraph;
+    pub use msopds_recdata::{
+        sample_market, Dataset, DatasetSpec, DemographicsSpec, Market, PoisonAction,
+    };
+    pub use msopds_recsys::{HetRec, HetRecConfig};
+    pub use msopds_xp::{DatasetKind, XpConfig};
+}

@@ -1,0 +1,174 @@
+//! Cross-crate integration tests: full games, planner/game consistency, and
+//! determinism of the whole pipeline.
+
+use msopds::prelude::*;
+use rand::SeedableRng;
+
+const SCALE: f64 = 24.0;
+
+fn tiny_game_cfg() -> GameConfig {
+    let mut cfg = GameConfig::at_scale(SCALE);
+    cfg.victim.epochs = 30;
+    cfg.victim.dim = 8;
+    cfg.planner.mso.iters = 3;
+    cfg.planner.mso.cg_iters = 2;
+    cfg.planner.pds.inner_steps = 3;
+    cfg.opponent_planner = cfg.planner;
+    cfg
+}
+
+fn setup(n_opponents: usize) -> (Dataset, Market) {
+    let data = DatasetSpec::ciao().scaled(SCALE).generate(13);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
+    let market =
+        sample_market(&data, &DemographicsSpec::default().scaled(SCALE), n_opponents, &mut rng);
+    (data, market)
+}
+
+#[test]
+fn full_pipeline_every_method_finishes() {
+    let (data, market) = setup(1);
+    let cfg = tiny_game_cfg();
+    let methods = [
+        AttackMethod::Baseline(Baseline::None),
+        AttackMethod::Baseline(Baseline::Random),
+        AttackMethod::Baseline(Baseline::Popular),
+        AttackMethod::Baseline(Baseline::Pga),
+        AttackMethod::Baseline(Baseline::SAttack),
+        AttackMethod::Baseline(Baseline::RevAdv),
+        AttackMethod::Baseline(Baseline::Trial),
+        AttackMethod::Msopds(ActionToggles::all()),
+        AttackMethod::Bopds(ActionToggles::all()),
+    ];
+    for method in methods {
+        let out = run_game(&data, &market, method, &cfg);
+        assert!(out.avg_rating.is_finite(), "{} produced a non-finite r̄", out.method);
+        assert!((0.0..=1.0).contains(&out.hit_rate_at_3), "{} HR out of range", out.method);
+        assert!(out.victim_rmse < 2.0, "{} victim failed to train", out.method);
+    }
+}
+
+#[test]
+fn msopds_poison_raises_target_rating() {
+    // The headline direction of Table III: attacking must beat not attacking
+    // under a single opponent (averaged over seeds to wash retrain noise).
+    let mut lift = 0.0;
+    for seed in [3u64, 4, 5] {
+        let data = DatasetSpec::ciao().scaled(SCALE).generate(seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let market =
+            sample_market(&data, &DemographicsSpec::default().scaled(SCALE), 1, &mut rng);
+        let mut cfg = tiny_game_cfg();
+        cfg.seed = seed;
+        cfg.planner.mso.iters = 5;
+        let clean = run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &cfg);
+        let attacked = run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg);
+        lift += attacked.avg_rating - clean.avg_rating;
+    }
+    assert!(lift / 3.0 > 0.1, "mean MSOPDS lift over 3 seeds was {}", lift / 3.0);
+}
+
+#[test]
+fn planner_budget_invariants_hold_end_to_end() {
+    use msopds::core::{build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, PlayerSetup};
+    let (mut data, market) = setup(1);
+    let spec = CaCapacitySpec::promote(4);
+    let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
+    let expected_budget = cap.importance.total_budget();
+    let attacker = PlayerSetup {
+        capacity: cap,
+        objective: Objective::Comprehensive {
+            audience: market.target_audience.clone(),
+            target: market.target_item,
+            competing: market.competing_items.clone(),
+        },
+    };
+    let opp_cap = build_ca_capacity(
+        &mut data,
+        &market.players[1],
+        market.target_item,
+        &CaCapacitySpec::demote(2),
+    );
+    let opponent = PlayerSetup {
+        capacity: opp_cap,
+        objective: Objective::Demote {
+            audience: market.target_audience.clone(),
+            target: market.target_item,
+        },
+    };
+    let planning =
+        prepare_planning_data(&data, &[&attacker.capacity, &opponent.capacity]);
+    let mut cfg = PlannerConfig::default();
+    cfg.mso.iters = 3;
+    cfg.mso.cg_iters = 2;
+    cfg.pds.inner_steps = 3;
+    let out = plan_msopds(&planning, &attacker, &[opponent], &cfg);
+
+    // Budget exactly respected and every selected action applies cleanly.
+    assert_eq!(out.selected.len(), expected_budget);
+    let poisoned = planning.apply_poison(&out.selected);
+    assert!(poisoned.ratings.len() >= planning.ratings.len());
+    // Diagnostics recorded for each outer iteration.
+    assert_eq!(out.diagnostics.leader_loss.len(), 3);
+    assert!(out.diagnostics.leader_grad_norm.iter().all(|g| g.is_finite()));
+}
+
+#[test]
+fn whole_pipeline_is_deterministic() {
+    let run = || {
+        let (data, market) = setup(1);
+        let cfg = tiny_game_cfg();
+        run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg)
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.avg_rating, b.avg_rating);
+    assert_eq!(a.hit_rate_at_3, b.hit_rate_at_3);
+    assert_eq!(a.attacker_actions, b.attacker_actions);
+}
+
+#[test]
+fn gradient_reaches_every_action_category_through_full_stack() {
+    use msopds::autograd::Tape;
+    use msopds::core::{build_ca_capacity, CaCapacitySpec};
+    use msopds::recdata::ActionKind;
+    use msopds::recsys::losses::ca_loss;
+    use msopds::recsys::pds::{build_pds, PdsConfig, PlayerInput};
+
+    let (mut data, market) = setup(1);
+    let cap = build_ca_capacity(
+        &mut data,
+        &market.players[0],
+        market.target_item,
+        &CaCapacitySpec::promote(5),
+    );
+    let planning = data.apply_poison(&cap.fixed);
+    let tape = Tape::new();
+    let pds = build_pds(
+        &tape,
+        &planning,
+        &[PlayerInput {
+            candidates: &cap.importance.candidates,
+            xhat: cap.importance.binarize(),
+        }],
+        &PdsConfig { inner_steps: 3, ..Default::default() },
+    );
+    let loss = ca_loss(
+        &pds.scores(),
+        &market.target_audience,
+        market.target_item,
+        &market.competing_items,
+    );
+    let grad = tape.grad(loss, &[pds.xhats[0]]).remove(0);
+    for kind in [ActionKind::Rating, ActionKind::SocialEdge, ActionKind::ItemEdge] {
+        let mass: f64 = cap
+            .importance
+            .candidates
+            .iter()
+            .zip(grad.data())
+            .filter(|(a, _)| a.kind() == kind)
+            .map(|(_, g)| g.abs())
+            .sum();
+        assert!(mass > 0.0, "no gradient signal for {kind:?} candidates");
+    }
+}

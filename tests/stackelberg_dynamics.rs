@@ -1,0 +1,126 @@
+//! Integration tests of the Stackelberg machinery against the full PDS stack:
+//! eq. (14)'s N-opponent reduction, the push–pull discipline, and the exact
+//! vs finite-difference second-order paths.
+
+use msopds::autograd::HvpMode;
+use msopds::core::{
+    build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, MsoConfig, Objective,
+    PlannerConfig, PlayerSetup,
+};
+use msopds::prelude::*;
+use rand::SeedableRng;
+
+const SCALE: f64 = 24.0;
+
+fn setup(n_opponents: usize) -> (Dataset, Market, PlayerSetup, Vec<PlayerSetup>) {
+    let mut data = DatasetSpec::ciao().scaled(SCALE).generate(21);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
+    let market =
+        sample_market(&data, &DemographicsSpec::default().scaled(SCALE), n_opponents, &mut rng);
+    let cap = build_ca_capacity(
+        &mut data,
+        &market.players[0],
+        market.target_item,
+        &CaCapacitySpec::promote(3),
+    );
+    let attacker = PlayerSetup {
+        capacity: cap,
+        objective: Objective::Comprehensive {
+            audience: market.target_audience.clone(),
+            target: market.target_item,
+            competing: market.competing_items.clone(),
+        },
+    };
+    let opponents: Vec<PlayerSetup> = (0..n_opponents)
+        .map(|i| {
+            let cap = build_ca_capacity(
+                &mut data,
+                &market.players[1 + i],
+                market.target_item,
+                &CaCapacitySpec::demote(2),
+            );
+            PlayerSetup {
+                capacity: cap,
+                objective: Objective::Demote {
+                    audience: market.target_audience.clone(),
+                    target: market.target_item,
+                },
+            }
+        })
+        .collect();
+    let caps: Vec<_> = std::iter::once(&attacker.capacity)
+        .chain(opponents.iter().map(|o| &o.capacity))
+        .collect();
+    let planning = prepare_planning_data(&data, &caps);
+    (planning, market, attacker, opponents)
+}
+
+fn cfg(iters: usize, hvp: HvpMode) -> PlannerConfig {
+    PlannerConfig {
+        mso: MsoConfig { iters, cg_iters: 3, hvp_mode: hvp, ..Default::default() },
+        pds: msopds::recsys::pds::PdsConfig { inner_steps: 3, ..Default::default() },
+    }
+}
+
+#[test]
+fn exact_and_finite_diff_hvp_agree_on_the_full_game() {
+    // The two second-order mechanisms must drive the planner to similar
+    // importance vectors — a strong correctness check of double backward
+    // through the unrolled surrogate.
+    let (planning, _, attacker, opponents) = setup(1);
+    let exact = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::Exact));
+    let fd = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::FiniteDiff));
+    let dot: f64 = exact
+        .importance
+        .iter()
+        .zip(&fd.importance)
+        .map(|(a, b)| a * b)
+        .sum();
+    let na: f64 = exact.importance.iter().map(|a| a * a).sum::<f64>().sqrt();
+    let nb: f64 = fd.importance.iter().map(|b| b * b).sum::<f64>().sqrt();
+    assert!(na > 0.0 && nb > 0.0, "planners must move the importance vectors");
+    let cosine = dot / (na * nb);
+    assert!(cosine > 0.95, "exact vs finite-diff cosine similarity {cosine}");
+}
+
+#[test]
+fn follower_descends_its_own_loss() {
+    // Under eq. (9), the simulated opponent's loss should trend downward over
+    // the outer iterations (the "pull" of Fig. 3).
+    let (planning, _, attacker, opponents) = setup(1);
+    let out = plan_msopds(&planning, &attacker, &opponents, &cfg(6, HvpMode::Exact));
+    let follower_losses: Vec<f64> =
+        out.diagnostics.follower_loss.iter().map(|v| v[0]).collect();
+    let first = follower_losses[0];
+    let last = *follower_losses.last().unwrap();
+    assert!(
+        last <= first + 1e-6,
+        "follower loss should not increase: {first} -> {last} ({follower_losses:?})"
+    );
+}
+
+#[test]
+fn n_opponent_reduction_matches_single_when_duplicated() {
+    // eq. (14) with one follower must equal eq. (13); adding a second,
+    // *identical* follower must change the correction (it is summed).
+    let (planning, _, attacker, opponents) = setup(2);
+    let one = plan_msopds(&planning, &attacker, &opponents[..1], &cfg(2, HvpMode::Exact));
+    let two = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::Exact));
+    assert_eq!(one.opponent_importance.len(), 1);
+    assert_eq!(two.opponent_importance.len(), 2);
+    assert_ne!(
+        one.importance, two.importance,
+        "a second opponent must influence the attacker's plan"
+    );
+}
+
+#[test]
+fn eta_discipline_is_enforced_at_the_planner_level() {
+    let (planning, _, attacker, opponents) = setup(1);
+    let mut bad = cfg(1, HvpMode::Exact);
+    bad.mso.eta_p = bad.mso.eta_q; // violates Theorem 3
+    let result = std::panic::catch_unwind(|| {
+        plan_msopds(&planning, &attacker, &opponents, &bad)
+    });
+    assert!(result.is_err(), "η^p ≥ η^q must be rejected");
+}
