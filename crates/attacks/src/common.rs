@@ -56,8 +56,7 @@ pub fn fit_rating_stats(data: &Dataset) -> RatingStats {
     let ratings = data.ratings.ratings();
     assert!(!ratings.is_empty(), "cannot fit rating stats on empty data");
     let mean = ratings.iter().map(|r| r.value).sum::<f64>() / ratings.len() as f64;
-    let var = ratings.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>()
-        / ratings.len() as f64;
+    let var = ratings.iter().map(|r| (r.value - mean).powi(2)).sum::<f64>() / ratings.len() as f64;
     RatingStats { mean, std: var.sqrt().max(0.1) }
 }
 

@@ -25,10 +25,7 @@ pub fn random_attack<R: Rng>(
     let chosen: Vec<Vec<usize>> = fakes
         .iter()
         .map(|_| {
-            items
-                .choose_multiple(rng, ctx.fillers_per_fake.min(items.len()))
-                .copied()
-                .collect()
+            items.choose_multiple(rng, ctx.fillers_per_fake.min(items.len())).copied().collect()
         })
         .collect();
     plan.extend(filler_actions(&fakes, &chosen, stats, rng));

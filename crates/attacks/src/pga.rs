@@ -138,8 +138,7 @@ pub fn pga_attack<R: Rng>(
         // surrogate's raw gradients are small.
         let gmax = grad_v.data().iter().fold(0.0f64, |m, g| m.max(g.abs()));
         if gmax > 0.0 {
-            values =
-                values.zip(&grad_v, |x, g| (x - cfg.step_size * g / gmax).clamp(1.0, 5.0));
+            values = values.zip(&grad_v, |x, g| (x - cfg.step_size * g / gmax).clamp(1.0, 5.0));
         }
     }
 

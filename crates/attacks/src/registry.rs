@@ -92,7 +92,12 @@ mod tests {
     #[test]
     fn every_baseline_produces_a_plan() {
         let planner = PlannerConfig {
-            mso: MsoConfig { iters: 2, cg_iters: 2, hvp_mode: HvpMode::Exact, ..Default::default() },
+            mso: MsoConfig {
+                iters: 2,
+                cg_iters: 2,
+                hvp_mode: HvpMode::Exact,
+                ..Default::default()
+            },
             pds: PdsConfig { inner_steps: 2, ..Default::default() },
         };
         for baseline in Baseline::all() {

@@ -5,7 +5,9 @@
 //! over the Injection Attack capacity 𝒞_IA — which in this workspace is
 //! BOPDS over [`msopds_core::build_ia_capacity`] with the eq. (3) objective.
 
-use msopds_core::{build_ia_capacity, plan_bopds, IaCapacitySpec, Objective, PlannerConfig, PlayerSetup};
+use msopds_core::{
+    build_ia_capacity, plan_bopds, IaCapacitySpec, Objective, PlannerConfig, PlayerSetup,
+};
 use msopds_recdata::{Dataset, PoisonAction};
 use rand::Rng;
 
@@ -43,7 +45,12 @@ mod tests {
 
     fn quick_cfg() -> PlannerConfig {
         PlannerConfig {
-            mso: MsoConfig { iters: 3, cg_iters: 2, hvp_mode: HvpMode::Exact, ..Default::default() },
+            mso: MsoConfig {
+                iters: 3,
+                cg_iters: 2,
+                hvp_mode: HvpMode::Exact,
+                ..Default::default()
+            },
             pds: PdsConfig { inner_steps: 2, ..Default::default() },
         }
     }

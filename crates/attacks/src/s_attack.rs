@@ -62,8 +62,7 @@ pub fn s_attack<R: Rng>(
     let mut scored: Vec<(f64, usize)> =
         influence.data().iter().copied().zip(pool.iter().copied()).collect();
     scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite influence scores"));
-    let fillers: Vec<usize> =
-        scored.iter().take(ctx.fillers_per_fake).map(|&(_, i)| i).collect();
+    let fillers: Vec<usize> = scored.iter().take(ctx.fillers_per_fake).map(|&(_, i)| i).collect();
 
     let chosen: Vec<Vec<usize>> = fakes.iter().map(|_| fillers.clone()).collect();
     plan.extend(filler_actions(&fakes, &chosen, stats, rng));

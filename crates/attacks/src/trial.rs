@@ -94,10 +94,8 @@ pub fn trial_attack<R: Rng>(
     mf.fit(data);
     let q = mf.item_factors();
     let d = mf.config().dim;
-    let influence: Vec<f64> = pool
-        .iter()
-        .map(|&j| (0..d).map(|k| q.at(j, k) * q.at(target_item, k)).sum())
-        .collect();
+    let influence: Vec<f64> =
+        pool.iter().map(|&j| (0..d).map(|k| q.at(j, k) * q.at(target_item, k)).sum()).collect();
     let inf_t = Tensor::from_vec(influence, &[p]);
 
     // Generator and discriminator parameters.
@@ -172,8 +170,7 @@ pub fn trial_attack<R: Rng>(
     let profiles = z.matmul(gw).add(gb.broadcast_rows(fakes.len())).sigmoid().scale(5.0).value();
 
     for (fi, &f) in fakes.iter().enumerate() {
-        let mut scored: Vec<(f64, usize)> =
-            (0..p).map(|j| (profiles.at(fi, j), pool[j])).collect();
+        let mut scored: Vec<(f64, usize)> = (0..p).map(|j| (profiles.at(fi, j), pool[j])).collect();
         scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("finite profile values"));
         for &(value, item) in scored.iter().take(ctx.fillers_per_fake) {
             plan.push(PoisonAction::Rating {

@@ -36,9 +36,10 @@ impl Tape {
 
         wrt.iter()
             .map(|v| {
-                adj.get(v.id).copied().flatten().unwrap_or_else(|| {
-                    self.constant(Tensor::zeros(v.value().shape()))
-                })
+                adj.get(v.id)
+                    .copied()
+                    .flatten()
+                    .unwrap_or_else(|| self.constant(Tensor::zeros(v.value().shape())))
             })
             .collect()
     }
@@ -53,13 +54,7 @@ impl Tape {
         self.grad_vars(out, &wrt_here).into_iter().map(|v| v.value()).collect()
     }
 
-    fn push_vjps<'t>(
-        &'t self,
-        op: &Op,
-        out: Var<'t>,
-        g: Var<'t>,
-        adj: &mut [Option<Var<'t>>],
-    ) {
+    fn push_vjps<'t>(&'t self, op: &Op, out: Var<'t>, g: Var<'t>, adj: &mut [Option<Var<'t>>]) {
         use Op::*;
         let var = |id: usize| Var { tape: self, id };
         let mut acc = |id: usize, c: Var<'t>| {
@@ -267,10 +262,9 @@ mod tests {
         let tape = scalar_tape();
         let a = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2, 1]));
         let b = tape.leaf(Tensor::from_vec(vec![3.0, 4.0], &[2, 1]));
-        let y = a.concat_cols(b).mul(tape.constant(Tensor::from_vec(
-            vec![10.0, 20.0, 30.0, 40.0],
-            &[2, 2],
-        )));
+        let y = a
+            .concat_cols(b)
+            .mul(tape.constant(Tensor::from_vec(vec![10.0, 20.0, 30.0, 40.0], &[2, 2])));
         let g = tape.grad(y.sum(), &[a, b]);
         assert_eq!(g[0].to_vec(), vec![10.0, 30.0]);
         assert_eq!(g[1].to_vec(), vec![20.0, 40.0]);
@@ -340,11 +334,8 @@ mod tests {
         let x = tape.leaf(x0.clone());
         let y = x.pow_scalar(2.5).sum();
         let g = tape.grad(y, &[x]).remove(0);
-        let ng = crate::ndiff::numeric_grad(
-            |t| t.data().iter().map(|v| v.powf(2.5)).sum(),
-            &x0,
-            1e-6,
-        );
+        let ng =
+            crate::ndiff::numeric_grad(|t| t.data().iter().map(|v| v.powf(2.5)).sum(), &x0, 1e-6);
         assert!(g.max_abs_diff(&ng) < 1e-6);
     }
 

@@ -27,10 +27,8 @@ pub fn softmax_rows(x: Var<'_>) -> Var<'_> {
             *mx = mx.max(v.at(i, j));
         }
     }
-    let max_const = x
-        .tape()
-        .constant(crate::tensor::Tensor::from_vec(maxes, &[m]))
-        .broadcast_cols(n);
+    let max_const =
+        x.tape().constant(crate::tensor::Tensor::from_vec(maxes, &[m])).broadcast_cols(n);
     let e = x.sub(max_const).exp();
     let denom = e.sum_rows().broadcast_cols(n);
     e.div(denom)

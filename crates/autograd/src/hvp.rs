@@ -40,13 +40,7 @@ pub fn hvp_exact(tape: &Tape, loss: Var<'_>, x: Var<'_>, v: &Tensor) -> Tensor {
 
 /// Exact mixed product `vᵀ·(∂²L/∂y∂x)` via double backward: differentiates
 /// `⟨∂L/∂x, v⟩` with respect to `y`.
-pub fn mixed_vjp_exact(
-    tape: &Tape,
-    loss: Var<'_>,
-    x: Var<'_>,
-    y: Var<'_>,
-    v: &Tensor,
-) -> Tensor {
+pub fn mixed_vjp_exact(tape: &Tape, loss: Var<'_>, x: Var<'_>, y: Var<'_>, v: &Tensor) -> Tensor {
     let loss = rebind(tape, loss);
     let x = rebind(tape, x);
     let y = rebind(tape, y);
@@ -119,11 +113,7 @@ mod tests {
         let hv = hvp_exact(&tape, loss, x, &v);
 
         // Finite difference of the gradient closure.
-        let hv_fd = hvp_finite_diff(
-            |xt| Tensor::from_vec(build(xt).1, xt.shape()),
-            &x0,
-            &v,
-        );
+        let hv_fd = hvp_finite_diff(|xt| Tensor::from_vec(build(xt).1, xt.shape()), &x0, &v);
         assert!(
             hv.max_abs_diff(&hv_fd) < 1e-5,
             "exact {:?} vs fd {:?}",

@@ -41,6 +41,7 @@ pub mod functional;
 pub mod hvp;
 pub mod ndiff;
 pub mod optim;
+pub mod pool;
 pub mod tape;
 pub mod tensor;
 mod var;

@@ -27,12 +27,7 @@ pub fn numeric_grad(mut f: impl FnMut(&Tensor) -> f64, x: &Tensor, eps: f64) -> 
 ///
 /// # Panics
 /// Panics with a diagnostic message when any component disagrees.
-pub fn assert_grad_close(
-    f: impl FnMut(&Tensor) -> f64,
-    x: &Tensor,
-    analytic: &Tensor,
-    tol: f64,
-) {
+pub fn assert_grad_close(f: impl FnMut(&Tensor) -> f64, x: &Tensor, analytic: &Tensor, tol: f64) {
     let numeric = numeric_grad(f, x, 1e-5);
     for i in 0..x.numel() {
         let (a, n) = (analytic.get(i), numeric.get(i));
@@ -61,10 +56,7 @@ mod tests {
     fn tape_grad_matches_numeric_on_composite() {
         // f(x) = sum(sigmoid(x)·x + exp(-x²))
         let f = |t: &Tensor| -> f64 {
-            t.data()
-                .iter()
-                .map(|&v| v / (1.0 + (-v).exp()) + (-v * v).exp())
-                .sum()
+            t.data().iter().map(|&v| v / (1.0 + (-v).exp()) + (-v * v).exp()).sum()
         };
         let x0 = Tensor::from_vec(vec![0.5, -1.2, 2.0], &[3]);
         let tape = Tape::new();

@@ -29,7 +29,9 @@ pub type NodeId = usize;
 #[allow(missing_docs)] // arithmetic variants are self-describing
 pub enum Op {
     /// An input tensor. `trainable` is advisory metadata used by optimizers.
-    Leaf { trainable: bool },
+    Leaf {
+        trainable: bool,
+    },
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
@@ -86,12 +88,31 @@ impl Op {
             Add(a, b) | Sub(a, b) | Mul(a, b) | Div(a, b) | Matmul(a, b) | ConcatCols(a, b) => {
                 Inputs::two(*a, *b)
             }
-            Neg(a) | AddScalar(a, _) | MulScalar(a, _) | PowScalar(a, _) | Transpose(a)
-            | Reshape(a, _) | Sum(a) | SumRows(a) | SumCols(a) | ExpandScalar(a, _)
-            | BroadcastCols(a, _) | BroadcastRows(a, _) | GatherRows(a, _)
-            | ScatterAddRows(a, _, _) | GatherElems(a, _) | ScatterAddElems(a, _, _)
-            | SliceCols(a, _, _) | PadCols(a, _, _) | Exp(a) | Ln(a) | Sqrt(a) | Sigmoid(a)
-            | Tanh(a) | Relu(a) | Selu(a) => Inputs::one(*a),
+            Neg(a)
+            | AddScalar(a, _)
+            | MulScalar(a, _)
+            | PowScalar(a, _)
+            | Transpose(a)
+            | Reshape(a, _)
+            | Sum(a)
+            | SumRows(a)
+            | SumCols(a)
+            | ExpandScalar(a, _)
+            | BroadcastCols(a, _)
+            | BroadcastRows(a, _)
+            | GatherRows(a, _)
+            | ScatterAddRows(a, _, _)
+            | GatherElems(a, _)
+            | ScatterAddElems(a, _, _)
+            | SliceCols(a, _, _)
+            | PadCols(a, _, _)
+            | Exp(a)
+            | Ln(a)
+            | Sqrt(a)
+            | Sigmoid(a)
+            | Tanh(a)
+            | Relu(a)
+            | Selu(a) => Inputs::one(*a),
         }
     }
 }
@@ -178,10 +199,15 @@ impl Tape {
         self.len() == 0
     }
 
-    /// Removes all nodes. Any outstanding [`crate::Var`] from this tape
-    /// becomes invalid; callers must re-create leaves afterwards.
+    /// Removes all nodes, returning uniquely-owned value buffers to the
+    /// thread-local pool (see [`crate::pool`]) so the next forward/backward
+    /// pass reuses them instead of reallocating. Any outstanding
+    /// [`crate::Var`] from this tape becomes invalid; callers must re-create
+    /// leaves afterwards.
     pub fn reset(&self) {
-        self.nodes.borrow_mut().clear();
+        for node in self.nodes.borrow_mut().drain(..) {
+            node.value.reclaim();
+        }
     }
 
     /// Registers a trainable leaf holding `value`.
@@ -251,7 +277,20 @@ impl Tape {
     }
 }
 
+impl Drop for Tape {
+    fn drop(&mut self) {
+        // Same buffer recycling as `reset`: a dropped tape's uniquely-owned
+        // values feed the next tape on this thread.
+        for node in self.nodes.get_mut().drain(..) {
+            node.value.reclaim();
+        }
+    }
+}
+
 /// Computes the forward value of `op` given the current node arena.
+///
+/// Structural and reduction ops delegate to the (pooled, possibly parallel)
+/// kernels on [`Tensor`]; this function only routes inputs.
 fn eval(op: &Op, nodes: &[Node]) -> Tensor {
     use Op::*;
     let v = |id: NodeId| &nodes[id].value;
@@ -269,131 +308,22 @@ fn eval(op: &Op, nodes: &[Node]) -> Tensor {
         Transpose(a) => v(*a).transpose(),
         Reshape(a, shape) => v(*a).reshape(shape),
         Sum(a) => Tensor::scalar(v(*a).sum()),
-        SumRows(a) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2, "SumRows needs rank 2, got {:?}", t.shape());
-            let (m, n) = (t.rows(), t.cols());
-            let out: Vec<f64> = (0..m)
-                .map(|i| t.data()[i * n..(i + 1) * n].iter().sum())
-                .collect();
-            Tensor::from_vec(out, &[m])
-        }
-        SumCols(a) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2, "SumCols needs rank 2, got {:?}", t.shape());
-            let (m, n) = (t.rows(), t.cols());
-            let mut out = vec![0.0; n];
-            for i in 0..m {
-                for (o, &x) in out.iter_mut().zip(&t.data()[i * n..(i + 1) * n]) {
-                    *o += x;
-                }
-            }
-            Tensor::from_vec(out, &[n])
-        }
+        SumRows(a) => v(*a).sum_rows(),
+        SumCols(a) => v(*a).sum_cols(),
         ExpandScalar(a, shape) => {
             let s = v(*a);
             assert_eq!(s.numel(), 1, "ExpandScalar needs a scalar, got {:?}", s.shape());
             Tensor::full(shape, s.item())
         }
-        BroadcastCols(a, n) => {
-            let t = v(*a);
-            assert!(t.rank() <= 1, "BroadcastCols needs rank ≤ 1, got {:?}", t.shape());
-            let m = t.numel();
-            let mut out = vec![0.0; m * n];
-            for (i, &x) in t.data().iter().enumerate() {
-                out[i * n..(i + 1) * n].fill(x);
-            }
-            Tensor::from_vec(out, &[m, *n])
-        }
-        BroadcastRows(a, m) => {
-            let t = v(*a);
-            assert!(t.rank() <= 1, "BroadcastRows needs rank ≤ 1, got {:?}", t.shape());
-            let n = t.numel();
-            let mut out = Vec::with_capacity(m * n);
-            for _ in 0..*m {
-                out.extend_from_slice(t.data());
-            }
-            Tensor::from_vec(out, &[*m, n])
-        }
-        GatherRows(a, idx) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2, "GatherRows needs rank 2, got {:?}", t.shape());
-            let (m, n) = (t.rows(), t.cols());
-            let mut out = Vec::with_capacity(idx.len() * n);
-            for &i in idx.iter() {
-                assert!(i < m, "GatherRows index {i} out of bounds for {m} rows");
-                out.extend_from_slice(&t.data()[i * n..(i + 1) * n]);
-            }
-            Tensor::from_vec(out, &[idx.len(), n])
-        }
-        ScatterAddRows(a, idx, m) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2, "ScatterAddRows needs rank 2, got {:?}", t.shape());
-            assert_eq!(t.rows(), idx.len(), "ScatterAddRows row/index count mismatch");
-            let n = t.cols();
-            let mut out = vec![0.0; m * n];
-            for (k, &i) in idx.iter().enumerate() {
-                assert!(i < *m, "ScatterAddRows index {i} out of bounds for {m} rows");
-                for (o, &x) in out[i * n..(i + 1) * n].iter_mut().zip(&t.data()[k * n..(k + 1) * n])
-                {
-                    *o += x;
-                }
-            }
-            Tensor::from_vec(out, &[*m, n])
-        }
-        GatherElems(a, idx) => {
-            let t = v(*a);
-            assert!(t.rank() <= 1, "GatherElems needs rank ≤ 1, got {:?}", t.shape());
-            let out: Vec<f64> = idx.iter().map(|&i| t.get(i)).collect();
-            Tensor::from_vec(out, &[idx.len()])
-        }
-        ScatterAddElems(a, idx, n) => {
-            let t = v(*a);
-            assert_eq!(t.numel(), idx.len(), "ScatterAddElems length mismatch");
-            let mut out = vec![0.0; *n];
-            for (k, &i) in idx.iter().enumerate() {
-                assert!(i < *n, "ScatterAddElems index {i} out of bounds for length {n}");
-                out[i] += t.get(k);
-            }
-            Tensor::from_vec(out, &[*n])
-        }
-        ConcatCols(a, b) => {
-            let (ta, tb) = (v(*a), v(*b));
-            assert_eq!(ta.rank(), 2);
-            assert_eq!(tb.rank(), 2);
-            assert_eq!(ta.rows(), tb.rows(), "ConcatCols row mismatch");
-            let (m, na, nb) = (ta.rows(), ta.cols(), tb.cols());
-            let mut out = Vec::with_capacity(m * (na + nb));
-            for i in 0..m {
-                out.extend_from_slice(&ta.data()[i * na..(i + 1) * na]);
-                out.extend_from_slice(&tb.data()[i * nb..(i + 1) * nb]);
-            }
-            Tensor::from_vec(out, &[m, na + nb])
-        }
-        SliceCols(a, from, to) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2);
-            assert!(from <= to && *to <= t.cols(), "SliceCols [{from},{to}) of {:?}", t.shape());
-            let (m, n) = (t.rows(), t.cols());
-            let w = to - from;
-            let mut out = Vec::with_capacity(m * w);
-            for i in 0..m {
-                out.extend_from_slice(&t.data()[i * n + from..i * n + to]);
-            }
-            Tensor::from_vec(out, &[m, w])
-        }
-        PadCols(a, from, total) => {
-            let t = v(*a);
-            assert_eq!(t.rank(), 2);
-            let (m, w) = (t.rows(), t.cols());
-            assert!(from + w <= *total, "PadCols {from}+{w} > {total}");
-            let mut out = vec![0.0; m * total];
-            for i in 0..m {
-                out[i * total + from..i * total + from + w]
-                    .copy_from_slice(&t.data()[i * w..(i + 1) * w]);
-            }
-            Tensor::from_vec(out, &[m, *total])
-        }
+        BroadcastCols(a, n) => v(*a).broadcast_cols(*n),
+        BroadcastRows(a, m) => v(*a).broadcast_rows(*m),
+        GatherRows(a, idx) => v(*a).gather_rows(idx),
+        ScatterAddRows(a, idx, m) => v(*a).scatter_add_rows(idx, *m),
+        GatherElems(a, idx) => v(*a).gather_elems(idx),
+        ScatterAddElems(a, idx, n) => v(*a).scatter_add_elems(idx, *n),
+        ConcatCols(a, b) => v(*a).concat_cols(v(*b)),
+        SliceCols(a, from, to) => v(*a).slice_cols(*from, *to),
+        PadCols(a, from, total) => v(*a).pad_cols(*from, *total),
         Exp(a) => v(*a).map(f64::exp),
         Ln(a) => v(*a).map(f64::ln),
         Sqrt(a) => v(*a).map(f64::sqrt),

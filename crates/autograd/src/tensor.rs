@@ -10,6 +10,8 @@
 use std::fmt;
 use std::sync::Arc;
 
+use crate::pool::{self, SendMutPtr};
+
 /// A dense row-major tensor of `f64` values.
 ///
 /// Rank 0 is represented as shape `[1]` (a scalar), rank 1 as `[n]`, rank 2 as
@@ -48,7 +50,23 @@ impl Tensor {
     /// A tensor filled with `v`.
     pub fn full(shape: &[usize], v: f64) -> Self {
         let (s, rank) = normalize_shape(shape);
-        Self { shape: s, rank, data: Arc::new(vec![v; s[0] * s[1]]) }
+        let mut data = pool::take_any(s[0] * s[1]);
+        data.fill(v);
+        Self { shape: s, rank, data: Arc::new(data) }
+    }
+
+    /// Internal constructor for kernel outputs with a pre-normalized shape.
+    fn from_owned(data: Vec<f64>, shape: [usize; 2], rank: u8) -> Self {
+        debug_assert_eq!(data.len(), shape[0] * shape[1]);
+        Self { shape, rank, data: Arc::new(data) }
+    }
+
+    /// Returns this tensor's buffer to the thread-local pool if no other
+    /// handle (clone, reshape alias) still references it.
+    pub(crate) fn reclaim(self) {
+        if let Ok(v) = Arc::try_unwrap(self.data) {
+            pool::recycle(v);
+        }
     }
 
     /// A zero tensor.
@@ -135,19 +153,39 @@ impl Tensor {
     }
 
     /// Applies `f` elementwise, producing a new tensor of the same shape.
-    pub fn map(&self, f: impl Fn(f64) -> f64) -> Tensor {
-        Tensor {
-            shape: self.shape,
-            rank: self.rank,
-            data: Arc::new(self.data.iter().map(|&x| f(x)).collect()),
+    ///
+    /// Large tensors are processed in parallel chunks; every element is
+    /// computed by exactly one chunk, so the result is bit-identical to the
+    /// sequential evaluation for any thread count.
+    pub fn map(&self, f: impl Fn(f64) -> f64 + Sync) -> Tensor {
+        let len = self.data.len();
+        let mut out = pool::take_any(len);
+        if !pool::should_parallelize(len, pool::elementwise_min()) {
+            for (o, &x) in out.iter_mut().zip(self.data.iter()) {
+                *o = f(x);
+            }
+        } else {
+            let src = &self.data[..];
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(len, pool::elementwise_min(), |s, e| {
+                // Safety: ranges are disjoint and within `out`.
+                let dst = unsafe { ptr.slice(s, e) };
+                for (o, &x) in dst.iter_mut().zip(&src[s..e]) {
+                    *o = f(x);
+                }
+            });
         }
+        Tensor::from_owned(out, self.shape, self.rank)
     }
 
     /// Elementwise combination with another tensor of identical shape.
     ///
+    /// Parallel for large tensors with bit-identical results (see
+    /// [`Tensor::map`]).
+    ///
     /// # Panics
     /// Panics on shape mismatch.
-    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64) -> Tensor {
+    pub fn zip(&self, other: &Tensor, f: impl Fn(f64, f64) -> f64 + Sync) -> Tensor {
         assert_eq!(
             self.shape(),
             other.shape(),
@@ -155,16 +193,32 @@ impl Tensor {
             self.shape(),
             other.shape()
         );
-        Tensor {
-            shape: self.shape,
-            rank: self.rank,
-            data: Arc::new(
-                self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
-            ),
+        let len = self.data.len();
+        let mut out = pool::take_any(len);
+        if !pool::should_parallelize(len, pool::elementwise_min()) {
+            for ((o, &a), &b) in out.iter_mut().zip(self.data.iter()).zip(other.data.iter()) {
+                *o = f(a, b);
+            }
+        } else {
+            let (lhs, rhs) = (&self.data[..], &other.data[..]);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(len, pool::elementwise_min(), |s, e| {
+                // Safety: ranges are disjoint and within `out`.
+                let dst = unsafe { ptr.slice(s, e) };
+                for ((o, &a), &b) in dst.iter_mut().zip(&lhs[s..e]).zip(&rhs[s..e]) {
+                    *o = f(a, b);
+                }
+            });
         }
+        Tensor::from_owned(out, self.shape, self.rank)
     }
 
     /// Matrix product of two rank-2 tensors.
+    ///
+    /// Row-partitioned across the kernel pool when `m·k·n` crosses the matmul
+    /// threshold. Each output row is produced by one chunk with the same ikj
+    /// inner order as the sequential kernel, so results are bit-identical for
+    /// any thread count.
     ///
     /// # Panics
     /// Panics if inner dimensions disagree or either operand is not rank 2.
@@ -174,37 +228,338 @@ impl Tensor {
         let (m, k) = (self.shape[0], self.shape[1]);
         let (k2, n) = (other.shape[0], other.shape[1]);
         assert_eq!(k, k2, "matmul inner dims: {:?} x {:?}", self.shape(), other.shape());
-        let a = &self.data;
-        let b = &other.data;
-        let mut out = vec![0.0; m * n];
-        // ikj loop order: streams through b rows, autovectorizes well.
-        for i in 0..m {
-            let arow = &a[i * k..(i + 1) * k];
-            let orow = &mut out[i * n..(i + 1) * n];
-            for (kk, &av) in arow.iter().enumerate() {
-                if av == 0.0 {
-                    continue;
-                }
-                let brow = &b[kk * n..(kk + 1) * n];
-                for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
-                    *o += av * bv;
+        let a = &self.data[..];
+        let b = &other.data[..];
+        let mut out = pool::take_zeroed(m * n);
+        // ikj loop order: streams through b rows, autovectorizes well. The
+        // zero-skip matters here: unrolled-SGD tapes multiply by sparse
+        // selector matrices.
+        let row_band = |rows: &mut [f64], i0: usize| {
+            for (ri, orow) in rows.chunks_mut(n).enumerate() {
+                let i = i0 + ri;
+                let arow = &a[i * k..(i + 1) * k];
+                for (kk, &av) in arow.iter().enumerate() {
+                    if av == 0.0 {
+                        continue;
+                    }
+                    let brow = &b[kk * n..(kk + 1) * n];
+                    for (o, &bv) in orow.iter_mut().zip(brow.iter()) {
+                        *o += av * bv;
+                    }
                 }
             }
+        };
+        if !pool::should_parallelize(m * k * n, pool::matmul_min()) {
+            row_band(&mut out, 0);
+        } else {
+            // ~4 chunks per lane keeps the work-stealing queue busy even when
+            // the zero-skip makes row costs uneven.
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |r0, r1| {
+                // Safety: row bands are disjoint and within `out`.
+                let rows = unsafe { ptr.slice(r0 * n, r1 * n) };
+                row_band(rows, r0);
+            });
         }
-        Tensor { shape: [m, n], rank: 2, data: Arc::new(out) }
+        Tensor::from_owned(out, [m, n], 2)
     }
 
     /// Matrix transpose of a rank-2 tensor.
+    ///
+    /// Cache-blocked into square tiles; large matrices split the row-tile
+    /// bands across the kernel pool (a pure permutation, so parallel output
+    /// is trivially identical to sequential).
     pub fn transpose(&self) -> Tensor {
         assert_eq!(self.rank, 2, "transpose needs rank 2, got {:?}", self.shape());
         let (m, n) = (self.shape[0], self.shape[1]);
-        let mut out = vec![0.0; m * n];
-        for i in 0..m {
-            for j in 0..n {
-                out[j * m + i] = self.data[i * n + j];
+        const TILE: usize = 64;
+        let src = &self.data[..];
+        let mut out = pool::take_any(m * n);
+        let band = |dst_all: &SendMutPtr, i0: usize, i1: usize| {
+            for it in (i0..i1).step_by(TILE) {
+                for jt in (0..n).step_by(TILE) {
+                    for i in it..(it + TILE).min(i1) {
+                        for j in jt..(jt + TILE).min(n) {
+                            // Safety: each (i, j) writes out[j*m + i] exactly
+                            // once; bands partition i.
+                            unsafe { *dst_all.0.add(j * m + i) = src[i * n + j] };
+                        }
+                    }
+                }
+            }
+        };
+        let ptr = SendMutPtr(out.as_mut_ptr());
+        if !pool::should_parallelize(m * n, pool::copy_min()) {
+            band(&ptr, 0, m);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(TILE);
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| band(&ptr, i0, i1));
+        }
+        Tensor::from_owned(out, [n, m], 2)
+    }
+
+    /// Row sums of a rank-2 tensor: `[m, n] -> [m]`.
+    ///
+    /// Parallel over row chunks; each output element sums one row in
+    /// sequential order, so results are bit-identical for any thread count.
+    pub fn sum_rows(&self) -> Tensor {
+        assert_eq!(self.rank, 2, "sum_rows needs rank 2, got {:?}", self.shape());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let src = &self.data[..];
+        let mut out = pool::take_any(m);
+        let band = |dst: &mut [f64], i0: usize| {
+            for (ri, o) in dst.iter_mut().enumerate() {
+                let i = i0 + ri;
+                *o = src[i * n..(i + 1) * n].iter().sum();
+            }
+        };
+        if !pool::should_parallelize(m * n, pool::elementwise_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row ranges are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0, i1) }, i0);
+            });
+        }
+        Tensor::from_owned(out, [m, 1], 1)
+    }
+
+    /// Column sums of a rank-2 tensor: `[m, n] -> [n]`.
+    ///
+    /// Parallel over column chunks; each output column accumulates rows
+    /// `0..m` in sequential order, so results are bit-identical for any
+    /// thread count.
+    pub fn sum_cols(&self) -> Tensor {
+        assert_eq!(self.rank, 2, "sum_cols needs rank 2, got {:?}", self.shape());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let src = &self.data[..];
+        let mut out = pool::take_zeroed(n);
+        let cols = |dst: &mut [f64], j0: usize| {
+            for i in 0..m {
+                let row = &src[i * n + j0..i * n + j0 + dst.len()];
+                for (o, &x) in dst.iter_mut().zip(row) {
+                    *o += x;
+                }
+            }
+        };
+        if !pool::should_parallelize(m * n, pool::elementwise_min()) {
+            cols(&mut out, 0);
+        } else {
+            let cols_per_chunk = n.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(n, cols_per_chunk, |j0, j1| {
+                // Safety: column ranges are disjoint and within `out`.
+                cols(unsafe { ptr.slice(j0, j1) }, j0);
+            });
+        }
+        Tensor::from_owned(out, [n, 1], 1)
+    }
+
+    /// Tiles a rank ≤ 1 tensor `[m]` into `[m, n]`, copying element `i`
+    /// across row `i`.
+    pub fn broadcast_cols(&self, n: usize) -> Tensor {
+        assert!(self.rank <= 1, "broadcast_cols needs rank ≤ 1, got {:?}", self.shape());
+        let m = self.data.len();
+        let src = &self.data[..];
+        let mut out = pool::take_any(m * n);
+        let band = |dst: &mut [f64], i0: usize| {
+            for (ri, row) in dst.chunks_mut(n).enumerate() {
+                row.fill(src[i0 + ri]);
+            }
+        };
+        if !pool::should_parallelize(m * n, pool::copy_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0 * n, i1 * n) }, i0);
+            });
+        }
+        Tensor::from_owned(out, [m, n], 2)
+    }
+
+    /// Tiles a rank ≤ 1 tensor `[n]` into `[m, n]`, copying the vector into
+    /// every row.
+    pub fn broadcast_rows(&self, m: usize) -> Tensor {
+        assert!(self.rank <= 1, "broadcast_rows needs rank ≤ 1, got {:?}", self.shape());
+        let n = self.data.len();
+        let src = &self.data[..];
+        let mut out = pool::take_any(m * n);
+        let band = |dst: &mut [f64]| {
+            for row in dst.chunks_mut(n) {
+                row.copy_from_slice(src);
+            }
+        };
+        if !pool::should_parallelize(m * n, pool::copy_min()) {
+            band(&mut out);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0 * n, i1 * n) });
+            });
+        }
+        Tensor::from_owned(out, [m, n], 2)
+    }
+
+    /// Gathers rows `idx` of a rank-2 tensor: `[m, n] -> [k, n]`.
+    pub fn gather_rows(&self, idx: &[usize]) -> Tensor {
+        assert_eq!(self.rank, 2, "gather_rows needs rank 2, got {:?}", self.shape());
+        let (m, n) = (self.shape[0], self.shape[1]);
+        let src = &self.data[..];
+        let mut out = pool::take_any(idx.len() * n);
+        let band = |dst: &mut [f64], k0: usize| {
+            for (ri, row) in dst.chunks_mut(n).enumerate() {
+                let i = idx[k0 + ri];
+                assert!(i < m, "gather_rows index {i} out of bounds for {m} rows");
+                row.copy_from_slice(&src[i * n..(i + 1) * n]);
+            }
+        };
+        if !pool::should_parallelize(idx.len() * n, pool::copy_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = idx.len().div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(idx.len(), rows_per_chunk, |k0, k1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(k0 * n, k1 * n) }, k0);
+            });
+        }
+        Tensor::from_owned(out, [idx.len(), n], 2)
+    }
+
+    /// Scatter-adds the rows of this `[k, n]` tensor into an `[m, n]` zero
+    /// tensor at row positions `idx`; duplicate indices accumulate.
+    ///
+    /// Sequential: duplicate target rows would race under a row partition of
+    /// the input, and building the inverse index costs more than the scatter
+    /// at the sizes this workspace hits.
+    pub fn scatter_add_rows(&self, idx: &[usize], m: usize) -> Tensor {
+        assert_eq!(self.rank, 2, "scatter_add_rows needs rank 2, got {:?}", self.shape());
+        assert_eq!(self.shape[0], idx.len(), "scatter_add_rows row/index count mismatch");
+        let n = self.shape[1];
+        let mut out = pool::take_zeroed(m * n);
+        for (k, &i) in idx.iter().enumerate() {
+            assert!(i < m, "scatter_add_rows index {i} out of bounds for {m} rows");
+            let src = &self.data[k * n..(k + 1) * n];
+            for (o, &x) in out[i * n..(i + 1) * n].iter_mut().zip(src) {
+                *o += x;
             }
         }
-        Tensor { shape: [n, m], rank: 2, data: Arc::new(out) }
+        Tensor::from_owned(out, [m, n], 2)
+    }
+
+    /// Gathers elements `idx` of a rank ≤ 1 tensor: `[n] -> [k]`.
+    pub fn gather_elems(&self, idx: &[usize]) -> Tensor {
+        assert!(self.rank <= 1, "gather_elems needs rank ≤ 1, got {:?}", self.shape());
+        let mut out = pool::take_any(idx.len());
+        for (o, &i) in out.iter_mut().zip(idx) {
+            *o = self.data[i];
+        }
+        Tensor::from_owned(out, [idx.len(), 1], 1)
+    }
+
+    /// Scatter-adds this `[k]` tensor into an `[n]` zero tensor at `idx`
+    /// (duplicates accumulate). Sequential; see [`Tensor::scatter_add_rows`].
+    pub fn scatter_add_elems(&self, idx: &[usize], n: usize) -> Tensor {
+        assert_eq!(self.data.len(), idx.len(), "scatter_add_elems length mismatch");
+        let mut out = pool::take_zeroed(n);
+        for (k, &i) in idx.iter().enumerate() {
+            assert!(i < n, "scatter_add_elems index {i} out of bounds for length {n}");
+            out[i] += self.data[k];
+        }
+        Tensor::from_owned(out, [n, 1], 1)
+    }
+
+    /// Column-wise concatenation with another matrix of equal row count.
+    pub fn concat_cols(&self, other: &Tensor) -> Tensor {
+        assert_eq!(self.rank, 2, "concat_cols lhs needs rank 2, got {:?}", self.shape());
+        assert_eq!(other.rank, 2, "concat_cols rhs needs rank 2, got {:?}", other.shape());
+        assert_eq!(self.shape[0], other.shape[0], "concat_cols row mismatch");
+        let (m, na, nb) = (self.shape[0], self.shape[1], other.shape[1]);
+        let (w, a, b) = (na + nb, &self.data[..], &other.data[..]);
+        let mut out = pool::take_any(m * w);
+        let band = |dst: &mut [f64], i0: usize| {
+            for (ri, row) in dst.chunks_mut(w).enumerate() {
+                let i = i0 + ri;
+                row[..na].copy_from_slice(&a[i * na..(i + 1) * na]);
+                row[na..].copy_from_slice(&b[i * nb..(i + 1) * nb]);
+            }
+        };
+        if !pool::should_parallelize(m * w, pool::copy_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0 * w, i1 * w) }, i0);
+            });
+        }
+        Tensor::from_owned(out, [m, w], 2)
+    }
+
+    /// Column slice `[from, to)` of a rank-2 tensor.
+    pub fn slice_cols(&self, from: usize, to: usize) -> Tensor {
+        assert_eq!(self.rank, 2, "slice_cols needs rank 2, got {:?}", self.shape());
+        assert!(
+            from <= to && to <= self.shape[1],
+            "slice_cols [{from},{to}) of {:?}",
+            self.shape()
+        );
+        let (m, n, w) = (self.shape[0], self.shape[1], to - from);
+        let src = &self.data[..];
+        let mut out = pool::take_any(m * w);
+        let band = |dst: &mut [f64], i0: usize| {
+            for (ri, row) in dst.chunks_mut(w).enumerate() {
+                let i = i0 + ri;
+                row.copy_from_slice(&src[i * n + from..i * n + to]);
+            }
+        };
+        if !pool::should_parallelize(m * w, pool::copy_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0 * w, i1 * w) }, i0);
+            });
+        }
+        Tensor::from_owned(out, [m, w], 2)
+    }
+
+    /// Embeds this matrix as columns `[from, from+cols)` of a `total`-column
+    /// zero matrix.
+    pub fn pad_cols(&self, from: usize, total: usize) -> Tensor {
+        assert_eq!(self.rank, 2, "pad_cols needs rank 2, got {:?}", self.shape());
+        let (m, w) = (self.shape[0], self.shape[1]);
+        assert!(from + w <= total, "pad_cols {from}+{w} > {total}");
+        let src = &self.data[..];
+        let mut out = pool::take_zeroed(m * total);
+        let band = |dst: &mut [f64], i0: usize| {
+            for (ri, row) in dst.chunks_mut(total).enumerate() {
+                let i = i0 + ri;
+                row[from..from + w].copy_from_slice(&src[i * w..(i + 1) * w]);
+            }
+        };
+        if !pool::should_parallelize(m * total, pool::copy_min()) {
+            band(&mut out, 0);
+        } else {
+            let rows_per_chunk = m.div_ceil(pool::lanes() * 4).max(1);
+            let ptr = SendMutPtr(out.as_mut_ptr());
+            pool::for_each_range(m, rows_per_chunk, |i0, i1| {
+                // Safety: row bands are disjoint and within `out`.
+                band(unsafe { ptr.slice(i0 * total, i1 * total) }, i0);
+            });
+        }
+        Tensor::from_owned(out, [m, total], 2)
     }
 
     /// Reinterprets the tensor with a new shape of equal element count.
@@ -233,11 +588,7 @@ impl Tensor {
     /// Largest absolute difference against another tensor of the same shape.
     pub fn max_abs_diff(&self, other: &Tensor) -> f64 {
         assert_eq!(self.shape(), other.shape());
-        self.data
-            .iter()
-            .zip(other.data.iter())
-            .map(|(a, b)| (a - b).abs())
-            .fold(0.0, f64::max)
+        self.data.iter().zip(other.data.iter()).map(|(a, b)| (a - b).abs()).fold(0.0, f64::max)
     }
 
     /// True when every element is finite.
@@ -349,8 +700,7 @@ mod tests {
         let mut rng = rand::rngs::StdRng::seed_from_u64(7);
         let t = Tensor::randn(&[100, 100], 2.0, &mut rng);
         let mean = t.sum() / t.numel() as f64;
-        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>()
-            / t.numel() as f64;
+        let var = t.data().iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / t.numel() as f64;
         assert!(mean.abs() < 0.1, "mean {mean}");
         assert!((var - 4.0).abs() < 0.3, "var {var}");
     }

@@ -2,11 +2,16 @@
 //! recorded PDS surrogate build that every planner iteration pays for.
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
-use msopds_autograd::{conjugate_gradient, Tape, Tensor};
+use msopds_autograd::{conjugate_gradient, pool, Tape, Tensor};
 use msopds_bench::{bench_setup, BENCH_SCALE};
 use msopds_core::{build_ca_capacity, CaCapacitySpec};
 use msopds_recsys::pds::{build_pds, PdsConfig, PlayerInput};
 use rand::SeedableRng;
+
+/// Lane counts compared by the parallel-vs-sequential benches. On a
+/// single-core host the >1 variants measure pool overhead, not speedup —
+/// interpret `BENCH_kernels.json` against the core count of the machine.
+const LANE_COUNTS: [usize; 2] = [1, 4];
 
 fn matmul(c: &mut Criterion) {
     let mut rng = rand::rngs::StdRng::seed_from_u64(1);
@@ -15,6 +20,89 @@ fn matmul(c: &mut Criterion) {
     c.bench_function("kernels/matmul_128", |bencher| {
         bencher.iter(|| std::hint::black_box(a.matmul(&b)))
     });
+}
+
+fn matmul_par_vs_seq(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+    for n in [64usize, 256, 1024] {
+        let a = Tensor::randn(&[n, n], 1.0, &mut rng);
+        let b = Tensor::randn(&[n, n], 1.0, &mut rng);
+        for lanes in LANE_COUNTS {
+            pool::configure_threads(lanes);
+            // Default size thresholds stay in force: n ≥ 64 already crosses
+            // the matmul threshold (64³ = 256k), so this is the production
+            // configuration, not a forced-parallel microbench.
+            c.bench_function(format!("kernels/matmul_{n}_lanes{lanes}"), |bencher| {
+                bencher.iter(|| std::hint::black_box(a.matmul(&b)))
+            });
+        }
+    }
+    reset_pool();
+}
+
+fn backward_par_vs_seq(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(12);
+    let x0 = Tensor::randn(&[256, 64], 1.0, &mut rng);
+    let w0 = Tensor::randn(&[64, 64], 0.3, &mut rng);
+    for lanes in LANE_COUNTS {
+        pool::configure_threads(lanes);
+        c.bench_function(format!("kernels/forward_backward_lanes{lanes}"), |bencher| {
+            bencher.iter(|| {
+                let tape = Tape::new();
+                let x = tape.leaf(x0.clone());
+                let w = tape.leaf(w0.clone());
+                let loss = x.matmul(w).selu().matmul(w).square().sum();
+                std::hint::black_box(tape.grad(loss, &[x, w]))
+            })
+        });
+    }
+    reset_pool();
+}
+
+fn unrolled_training_step_par_vs_seq(c: &mut Criterion) {
+    let (mut data, market) = bench_setup(1);
+    let cap = build_ca_capacity(
+        &mut data,
+        &market.players[0],
+        market.target_item,
+        &CaCapacitySpec::promote(5),
+    );
+    let planning = data.apply_poison(&cap.fixed);
+    for lanes in LANE_COUNTS {
+        pool::configure_threads(lanes);
+        c.bench_function(format!("kernels/unrolled_training_step_lanes{lanes}"), |bencher| {
+            bencher.iter_batched(
+                || cap.importance.binarize(),
+                |xhat| {
+                    let tape = Tape::new();
+                    let pds = build_pds(
+                        &tape,
+                        &planning,
+                        &[PlayerInput { candidates: &cap.importance.candidates, xhat }],
+                        &PdsConfig { inner_steps: 5, ..Default::default() },
+                    );
+                    let loss = msopds_recsys::losses::ca_loss(
+                        &pds.scores(),
+                        &market.target_audience,
+                        market.target_item,
+                        &market.competing_items,
+                    );
+                    std::hint::black_box(tape.grad(loss, &[pds.xhats[0]]))
+                },
+                BatchSize::SmallInput,
+            )
+        });
+    }
+    reset_pool();
+}
+
+fn reset_pool() {
+    pool::set_parallel_thresholds(
+        pool::DEFAULT_ELEMWISE_MIN,
+        pool::DEFAULT_COPY_MIN,
+        pool::DEFAULT_MATMUL_MIN,
+    );
+    pool::configure_threads(1);
 }
 
 fn backward_mlp(c: &mut Criterion) {
@@ -105,6 +193,7 @@ fn pds_build_and_grad(c: &mut Criterion) {
 criterion_group! {
     name = benches;
     config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(4));
-    targets = matmul, backward_mlp, double_backward, cg_solve, pds_build_and_grad
+    targets = matmul, backward_mlp, double_backward, cg_solve, pds_build_and_grad,
+        matmul_par_vs_seq, backward_par_vs_seq, unrolled_training_step_par_vs_seq
 }
 criterion_main!(benches);

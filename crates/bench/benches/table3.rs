@@ -16,10 +16,7 @@ fn table3(c: &mut Criterion) {
     let methods: Vec<(String, AttackMethod)> = Baseline::all()
         .into_iter()
         .map(|b| (b.name().to_string(), AttackMethod::Baseline(b)))
-        .chain(std::iter::once((
-            "MSOPDS".to_string(),
-            AttackMethod::Msopds(ActionToggles::all()),
-        )))
+        .chain(std::iter::once(("MSOPDS".to_string(), AttackMethod::Msopds(ActionToggles::all()))))
         .collect();
 
     println!("\n[table3 @ bench scale, b = {}] reduced regeneration:", cfg.attacker_b);

@@ -8,7 +8,7 @@ fn victim_fit(c: &mut Criterion) {
     let (data, _) = bench_setup(1);
     for (name, attention) in [("attention", true), ("mean", false)] {
         let cfg = HetRecConfig { epochs: 10, dim: 8, attention, ..Default::default() };
-        c.bench_function(&format!("training/victim_10_epochs_{name}"), |b| {
+        c.bench_function(format!("training/victim_10_epochs_{name}"), |b| {
             b.iter(|| {
                 let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
                 std::hint::black_box(model.fit(&data))

@@ -31,6 +31,7 @@ pub fn bench_game_cfg() -> GameConfig {
         opponent_b: 2,
         scale: BENCH_SCALE,
         seed: 1,
+        kernel_threads: 0,
     }
 }
 

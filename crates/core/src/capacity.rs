@@ -90,7 +90,13 @@ pub struct CaCapacitySpec {
 impl CaCapacitySpec {
     /// The §VI-A.3 defaults at budget `b`, promoting with r̂ = 5.
     pub fn promote(b: usize) -> Self {
-        Self { b, rhat: 5.0, fake_frac_per_b: 0.01, hire_frac_per_b: 0.05, toggles: ActionToggles::all() }
+        Self {
+            b,
+            rhat: 5.0,
+            fake_frac_per_b: 0.01,
+            hire_frac_per_b: 0.05,
+            toggles: ActionToggles::all(),
+        }
     }
 
     /// The opponent's demotion capacity (§VI-A.4): hired 1-star ratings only.
@@ -100,7 +106,12 @@ impl CaCapacitySpec {
             rhat: 1.0,
             fake_frac_per_b: 0.01,
             hire_frac_per_b: 0.05,
-            toggles: ActionToggles { hired_ratings: true, social_edges: false, item_edges: false, fake_users: false },
+            toggles: ActionToggles {
+                hired_ratings: true,
+                social_edges: false,
+                item_edges: false,
+                fake_users: false,
+            },
         }
     }
 
@@ -158,7 +169,11 @@ pub fn build_ca_capacity(
     // Fixed: every fake account gives the preset rating to the target.
     let fixed: Vec<PoisonAction> = fake_users
         .iter()
-        .map(|&f| PoisonAction::Rating { user: f as u32, item: target_item as u32, value: spec.rhat })
+        .map(|&f| PoisonAction::Rating {
+            user: f as u32,
+            item: target_item as u32,
+            value: spec.rhat,
+        })
         .collect();
 
     let n = spec.hire_budget(assets.customer_base.len());
@@ -346,10 +361,8 @@ mod tests {
     #[test]
     fn toggles_filter_candidate_kinds() {
         let (mut data, market) = setup();
-        let spec = CaCapacitySpec {
-            toggles: ActionToggles::ratings_only(),
-            ..CaCapacitySpec::promote(5)
-        };
+        let spec =
+            CaCapacitySpec { toggles: ActionToggles::ratings_only(), ..CaCapacitySpec::promote(5) };
         let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
         assert!(cap
             .importance

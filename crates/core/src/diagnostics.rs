@@ -34,8 +34,7 @@ pub fn analyze(diag: &MsoDiagnostics) -> ConvergenceReport {
     let n = diag.leader_grad_norm.len();
     assert!(n > 0, "empty diagnostics");
     let tail = (n / 4).max(1);
-    let trailing_leader_grad =
-        diag.leader_grad_norm[n - tail..].iter().sum::<f64>() / tail as f64;
+    let trailing_leader_grad = diag.leader_grad_norm[n - tail..].iter().sum::<f64>() / tail as f64;
     let trailing_follower_grad =
         diag.follower_grad_norm[n - tail..].iter().sum::<f64>() / tail as f64;
     let initial = diag.leader_grad_norm[0].max(1e-12);

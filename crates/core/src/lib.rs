@@ -22,11 +22,11 @@ pub mod mso;
 pub mod msopds;
 pub mod plan;
 
-pub use diagnostics::{analyze, reached_equilibrium, ConvergenceReport};
 pub use capacity::{
     build_ca_capacity, build_ia_capacity, ActionToggles, BuiltCapacity, CaCapacitySpec,
     IaCapacitySpec,
 };
+pub use diagnostics::{analyze, reached_equilibrium, ConvergenceReport};
 pub use mso::{mso_optimize, BuiltGame, MsoConfig, MsoDiagnostics, MsoRun, StackelbergGame};
 pub use msopds::{
     plan_bopds, plan_msopds, prepare_planning_data, Objective, PlannerConfig, PlannerOutcome,

@@ -58,6 +58,9 @@ pub struct MsoConfig {
     pub cg_damping: f64,
     /// Hessian-vector product mechanism.
     pub hvp_mode: HvpMode,
+    /// Kernel-pool lanes used while this solve runs (`0` = inherit the
+    /// process-wide pool configuration; see `msopds_autograd::pool`).
+    pub threads: usize,
 }
 
 impl Default for MsoConfig {
@@ -70,6 +73,7 @@ impl Default for MsoConfig {
             cg_tol: 1e-6,
             cg_damping: 1e-3,
             hvp_mode: HvpMode::Exact,
+            threads: 0,
         }
     }
 }
@@ -118,6 +122,9 @@ pub fn mso_optimize<G: StackelbergGame>(
         cfg.eta_p,
         cfg.eta_q
     );
+    if cfg.threads > 0 {
+        msopds_autograd::pool::configure_threads(cfg.threads);
+    }
     let mut diag = MsoDiagnostics::default();
 
     for _ in 0..cfg.iters {
@@ -176,8 +183,7 @@ pub fn mso_optimize<G: StackelbergGame>(
                     conjugate_gradient(
                         |v| {
                             let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
-                            msopds_autograd::hvp::hvp_finite_diff(eval_grad, &xqs[i], &v_t)
-                                .to_vec()
+                            msopds_autograd::hvp::hvp_finite_diff(eval_grad, &xqs[i], &v_t).to_vec()
                         },
                         rhs.data(),
                         cfg.cg_iters,
@@ -322,11 +328,8 @@ mod tests {
                 let xpv = tape.leaf(xp.clone());
                 let q1 = tape.leaf(xqs[0].clone());
                 let q2 = tape.leaf(xqs[1].clone());
-                let lp = xpv
-                    .add_scalar(-self.a)
-                    .square()
-                    .add(xpv.mul(q1.add(q2)).scale(self.c))
-                    .sum();
+                let lp =
+                    xpv.add_scalar(-self.a).square().add(xpv.mul(q1.add(q2)).scale(self.c)).sum();
                 let lq1 = q1.sub(xpv.scale(self.d)).square().sum();
                 let lq2 = q2.sub(xpv.scale(self.d)).square().sum();
                 BuiltGame { xp: xpv, xqs: vec![q1, q2], lp, lqs: vec![lq1, lq2] }

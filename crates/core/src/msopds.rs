@@ -149,7 +149,9 @@ pub fn plan_msopds(
     );
     let xqs0: Vec<Tensor> = opponents
         .iter()
-        .map(|o| Tensor::from_vec(o.capacity.importance.values.clone(), &[o.capacity.importance.len()]))
+        .map(|o| {
+            Tensor::from_vec(o.capacity.importance.values.clone(), &[o.capacity.importance.len()])
+        })
         .collect();
     let run = mso_optimize(&game, xp0, xqs0, &cfg.mso);
 
@@ -294,10 +296,7 @@ mod tests {
     fn full_plan_includes_fixed_fake_ratings() {
         let (data, _, attacker, _) = setup(0);
         let out = plan_bopds(&data, &attacker, &quick_cfg());
-        assert_eq!(
-            out.full_plan.len(),
-            attacker.capacity.fixed.len() + out.selected.len()
-        );
+        assert_eq!(out.full_plan.len(), attacker.capacity.fixed.len() + out.selected.len());
     }
 
     #[test]

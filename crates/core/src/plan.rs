@@ -144,10 +144,7 @@ mod tests {
     fn binarize_selects_top_per_group() {
         let iv = vector_with(
             vec![0.1, 0.9, 0.5, 0.2, 0.8],
-            vec![
-                BudgetGroup::new("a", vec![0, 1, 2], 2),
-                BudgetGroup::new("b", vec![3, 4], 1),
-            ],
+            vec![BudgetGroup::new("a", vec![0, 1, 2], 2), BudgetGroup::new("b", vec![3, 4], 1)],
         );
         assert_eq!(iv.binarize().to_vec(), vec![0.0, 1.0, 1.0, 0.0, 1.0]);
     }
@@ -197,10 +194,7 @@ mod tests {
 
     #[test]
     fn binarize_is_idempotent_under_repeat() {
-        let iv = vector_with(
-            vec![0.4, 0.2, 0.6],
-            vec![BudgetGroup::new("g", vec![0, 1, 2], 2)],
-        );
+        let iv = vector_with(vec![0.4, 0.2, 0.6], vec![BudgetGroup::new("g", vec![0, 1, 2], 2)]);
         assert_eq!(iv.binarize().to_vec(), iv.binarize().to_vec());
     }
 }

@@ -2,7 +2,9 @@
 //! MSO optimizer on randomized analytic games.
 
 use msopds_autograd::{Tape, Tensor};
-use msopds_core::{mso_optimize, BudgetGroup, BuiltGame, ImportanceVector, MsoConfig, StackelbergGame};
+use msopds_core::{
+    mso_optimize, BudgetGroup, BuiltGame, ImportanceVector, MsoConfig, StackelbergGame,
+};
 use msopds_recdata::PoisonAction;
 use proptest::prelude::*;
 

@@ -73,10 +73,7 @@ pub fn detect_fakes(data: &Dataset, cfg: &DetectorConfig) -> SuspicionReport {
             })
             .sum::<f64>()
             / ratings.len() as f64;
-        let extreme = ratings
-            .iter()
-            .filter(|r| r.value <= 1.0 || r.value >= 5.0)
-            .count() as f64
+        let extreme = ratings.iter().filter(|r| r.value <= 1.0 || r.value >= 5.0).count() as f64
             / ratings.len() as f64;
         let isolation = 1.0 - (data.social.degree(u) as f64 / mean_degree).min(1.0);
         let distinct_items: std::collections::HashSet<u32> =
@@ -170,8 +167,7 @@ mod tests {
         let quality = detection_quality(&world, &report);
         assert!(quality.recall > 0.5, "recall {}", quality.recall);
         // Fakes score higher than the median real user.
-        let mut real_scores: Vec<f64> =
-            (0..world.n_real_users).map(|u| report.scores[u]).collect();
+        let mut real_scores: Vec<f64> = (0..world.n_real_users).map(|u| report.scores[u]).collect();
         real_scores.sort_by(|a, b| a.partial_cmp(b).unwrap());
         let median = real_scores[real_scores.len() / 2];
         for u in world.n_real_users..world.n_users() {

@@ -65,6 +65,10 @@ pub struct GameConfig {
     pub scale: f64,
     /// Base seed for attack randomness and the victim init.
     pub seed: u64,
+    /// Kernel-pool lanes for tensor kernels while this game runs (`0` =
+    /// inherit the process-wide pool configuration). Results are bit-identical
+    /// for any value; this only trades latency (see DESIGN.md).
+    pub kernel_threads: usize,
 }
 
 impl GameConfig {
@@ -79,6 +83,7 @@ impl GameConfig {
             opponent_b: 2,
             scale,
             seed: 0,
+            kernel_threads: 0,
         }
     }
 }
@@ -134,16 +139,16 @@ pub fn play_world(
     method: AttackMethod,
     cfg: &GameConfig,
 ) -> PlayedWorld {
+    if cfg.kernel_threads > 0 {
+        msopds_autograd::pool::configure_threads(cfg.kernel_threads);
+    }
     let mut world = base.clone();
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5eed));
 
     // ---- step 1: the attacker plans on the clean data -------------------------
     let attacker_plan: Vec<PoisonAction> = match method {
         AttackMethod::Baseline(b) => {
-            let ctx = IaContext {
-                seed: cfg.seed,
-                ..IaContext::scaled(cfg.attacker_b, cfg.scale)
-            };
+            let ctx = IaContext { seed: cfg.seed, ..IaContext::scaled(cfg.attacker_b, cfg.scale) };
             b.plan(&mut world, &ctx, market.target_item, &cfg.planner, &mut rng)
         }
         AttackMethod::Msopds(toggles) | AttackMethod::Bopds(toggles) => {
@@ -179,10 +184,9 @@ pub fn play_world(
                         }
                     })
                     .collect();
-                let caps: Vec<&msopds_core::BuiltCapacity> =
-                    std::iter::once(&attacker.capacity)
-                        .chain(opponents.iter().map(|o| &o.capacity))
-                        .collect();
+                let caps: Vec<&msopds_core::BuiltCapacity> = std::iter::once(&attacker.capacity)
+                    .chain(opponents.iter().map(|o| &o.capacity))
+                    .collect();
                 let planning_data = prepare_planning_data(&anticipation_world, &caps);
                 plan_msopds(&planning_data, &attacker, &opponents, &cfg.planner).full_plan
             } else {
@@ -229,6 +233,9 @@ pub fn score_world(
     cfg: &GameConfig,
     played: &PlayedWorld,
 ) -> GameOutcome {
+    if cfg.kernel_threads > 0 {
+        msopds_autograd::pool::configure_threads(cfg.kernel_threads);
+    }
     let victim_cfg = HetRecConfig { seed: cfg.seed.wrapping_add(97), ..cfg.victim };
     let mut victim = HetRec::new(victim_cfg, world.n_users(), world.n_items());
     victim.fit(world);
@@ -259,7 +266,12 @@ mod tests {
 
     fn quick_cfg() -> GameConfig {
         let planner = PlannerConfig {
-            mso: MsoConfig { iters: 3, cg_iters: 2, hvp_mode: HvpMode::Exact, ..Default::default() },
+            mso: MsoConfig {
+                iters: 3,
+                cg_iters: 2,
+                hvp_mode: HvpMode::Exact,
+                ..Default::default()
+            },
             pds: PdsConfig { inner_steps: 3, ..Default::default() },
         };
         GameConfig {
@@ -271,6 +283,7 @@ mod tests {
             opponent_b: 2,
             scale: 8.0,
             seed: 1,
+            kernel_threads: 0,
         }
     }
 
@@ -297,7 +310,8 @@ mod tests {
         // the only difference is the opponents' 1-star ratings: the target's
         // retrained score must drop.
         let (data, market) = setup();
-        let with_opp = run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &quick_cfg());
+        let with_opp =
+            run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &quick_cfg());
         let cfg0 = GameConfig { n_opponents: 0, ..quick_cfg() };
         let without = run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &cfg0);
         assert!(
@@ -311,7 +325,8 @@ mod tests {
     #[test]
     fn msopds_runs_end_to_end() {
         let (data, market) = setup();
-        let out = run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &quick_cfg());
+        let out =
+            run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &quick_cfg());
         assert!(out.attacker_actions > 0);
         assert!(out.avg_rating.is_finite());
         assert_eq!(out.method, "MSOPDS");

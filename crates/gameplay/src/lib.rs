@@ -10,5 +10,9 @@
 pub mod defense;
 pub mod game;
 
-pub use defense::{detect_fakes, detection_quality, run_defended_game, DetectorConfig, SuspicionReport};
-pub use game::{play_world, run_game, score_world, AttackMethod, GameConfig, GameOutcome, PlayedWorld};
+pub use defense::{
+    detect_fakes, detection_quality, run_defended_game, DetectorConfig, SuspicionReport,
+};
+pub use game::{
+    play_world, run_game, score_world, AttackMethod, GameConfig, GameOutcome, PlayedWorld,
+};

@@ -103,6 +103,32 @@ impl CsrGraph {
         self.neighbors.len() as f64 / self.num_nodes() as f64
     }
 
+    /// A 64-bit structural fingerprint (FNV-1a over the CSR arrays).
+    ///
+    /// Two graphs with the same fingerprint are, for caching purposes, the
+    /// same graph: the CSR form is canonical (sorted, deduplicated neighbor
+    /// lists), so equal structures always hash equally, and a 64-bit digest
+    /// makes accidental collisions negligible at this workspace's cache sizes.
+    /// Used to key derived-tensor caches (see `msopds-recsys::convolve`).
+    pub fn fingerprint(&self) -> u64 {
+        const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = FNV_OFFSET;
+        let mut eat = |x: u64| {
+            for byte in x.to_le_bytes() {
+                h = (h ^ u64::from(byte)).wrapping_mul(FNV_PRIME);
+            }
+        };
+        eat(self.offsets.len() as u64);
+        for &o in &self.offsets {
+            eat(o as u64);
+        }
+        for &v in &self.neighbors {
+            eat(u64::from(v));
+        }
+        h
+    }
+
     /// Number of connected components (isolated nodes count as components).
     pub fn connected_components(&self) -> usize {
         let n = self.num_nodes();
@@ -190,5 +216,17 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_edge_panics() {
         let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn fingerprint_tracks_structure() {
+        let g1 = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let g2 = CsrGraph::from_edges(3, &[(1, 2), (0, 1), (1, 0)]); // same graph
+        let g3 = CsrGraph::from_edges(3, &[(0, 1), (0, 2)]);
+        let g4 = CsrGraph::from_edges(4, &[(0, 1), (1, 2)]); // extra isolated node
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        assert_ne!(g1.fingerprint(), g3.fingerprint());
+        assert_ne!(g1.fingerprint(), g4.fingerprint());
+        assert_ne!(CsrGraph::empty(2).fingerprint(), CsrGraph::empty(3).fingerprint());
     }
 }

@@ -87,8 +87,7 @@ pub fn sample_market<R: Rng>(
         items.iter().copied().filter(|&i| data.ratings.item_degree(i) > 0).collect();
     assert!(!rated.is_empty(), "dataset has no rated items");
     let n_compete = spec.competing.min(rated.len());
-    let competing_items: Vec<usize> =
-        rated.choose_multiple(rng, n_compete).copied().collect();
+    let competing_items: Vec<usize> = rated.choose_multiple(rng, n_compete).copied().collect();
     let target_item = competing_items
         .iter()
         .copied()
@@ -107,10 +106,8 @@ pub fn sample_market<R: Rng>(
 
     let players = (0..=n_opponents)
         .map(|_| {
-            let customer_base: Vec<usize> = users
-                .choose_multiple(rng, spec.customer_base.min(users.len()))
-                .copied()
-                .collect();
+            let customer_base: Vec<usize> =
+                users.choose_multiple(rng, spec.customer_base.min(users.len())).copied().collect();
             let company_products: Vec<usize> = non_competing
                 .choose_multiple(rng, spec.products.min(non_competing.len()))
                 .copied()

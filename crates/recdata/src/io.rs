@@ -92,10 +92,7 @@ pub fn load_dump(
     let mut ratings: Vec<Rating> = Vec::new();
 
     let rfile = ratings_path.as_ref().display().to_string();
-    for (lineno, line) in BufReader::new(std::fs::File::open(&ratings_path)?)
-        .lines()
-        .enumerate()
-    {
+    for (lineno, line) in BufReader::new(std::fs::File::open(&ratings_path)?).lines().enumerate() {
         let line = line?;
         let trimmed = line.trim();
         if trimmed.is_empty() || trimmed.starts_with('#') {
@@ -145,8 +142,7 @@ pub fn load_dump(
     let n_items = item_ids.len();
     let matrix = RatingMatrix::from_ratings(n_users, n_items, &ratings);
     let social = CsrGraph::from_edges(n_users, &trust_edges);
-    let item_graph =
-        build_item_graph(n_users, &matrix.raters_per_item(), item_graph_threshold);
+    let item_graph = build_item_graph(n_users, &matrix.raters_per_item(), item_graph_threshold);
     Ok(Dataset::new(name, matrix, social, item_graph))
 }
 
@@ -194,11 +190,8 @@ mod tests {
     fn dump_loader_parses_and_reindexes() {
         let rpath = tmp("ratings.txt");
         let tpath = tmp("trust.txt");
-        std::fs::write(
-            &rpath,
-            "# user item rating\n101 7 5\n102 7 4\n101 9 1\n103 9 2\n102 9 3\n",
-        )
-        .unwrap();
+        std::fs::write(&rpath, "# user item rating\n101 7 5\n102 7 4\n101 9 1\n103 9 2\n102 9 3\n")
+            .unwrap();
         std::fs::write(&tpath, "101 102\n102 103\n").unwrap();
         let data = load_dump("mini", &rpath, &tpath, 0.4).unwrap();
         assert_eq!(data.n_users(), 3);

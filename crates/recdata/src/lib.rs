@@ -19,15 +19,15 @@
 #![warn(missing_docs)]
 
 pub mod dataset;
-pub mod io;
 pub mod demographics;
+pub mod io;
 pub mod poison;
 pub mod ratings;
 pub mod synth;
 
 pub use dataset::Dataset;
-pub use io::{load_dump, load_json, save_json, IoError};
 pub use demographics::{sample_market, DemographicsSpec, Market, PlayerAssets};
+pub use io::{load_dump, load_json, save_json, IoError};
 pub use poison::{ActionKind, PoisonAction};
 pub use ratings::{Rating, RatingMatrix};
 pub use synth::{preprocess, DatasetSpec};

@@ -64,7 +64,10 @@ mod tests {
 
     #[test]
     fn kinds() {
-        assert_eq!(PoisonAction::Rating { user: 0, item: 1, value: 5.0 }.kind(), ActionKind::Rating);
+        assert_eq!(
+            PoisonAction::Rating { user: 0, item: 1, value: 5.0 }.kind(),
+            ActionKind::Rating
+        );
         assert_eq!(PoisonAction::SocialEdge { a: 0, b: 1 }.kind(), ActionKind::SocialEdge);
         assert_eq!(PoisonAction::ItemEdge { a: 0, b: 1 }.kind(), ActionKind::ItemEdge);
     }

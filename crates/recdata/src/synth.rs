@@ -109,22 +109,17 @@ impl DatasetSpec {
         let d = self.latent_dim;
 
         // Planted structure: cluster centers, then user/item latents.
-        let centers: Vec<Vec<f64>> = (0..self.n_clusters)
-            .map(|_| (0..d).map(|_| gauss(&mut rng) * 0.9).collect())
-            .collect();
+        let centers: Vec<Vec<f64>> =
+            (0..self.n_clusters).map(|_| (0..d).map(|_| gauss(&mut rng) * 0.9).collect()).collect();
         let user_cluster: Vec<usize> =
             (0..self.n_users).map(|_| rng.gen_range(0..self.n_clusters)).collect();
         let item_cluster: Vec<usize> =
             (0..self.n_items).map(|_| rng.gen_range(0..self.n_clusters)).collect();
         let user_latent: Vec<Vec<f64>> = (0..self.n_users)
-            .map(|u| {
-                (0..d).map(|k| centers[user_cluster[u]][k] + gauss(&mut rng) * 0.35).collect()
-            })
+            .map(|u| (0..d).map(|k| centers[user_cluster[u]][k] + gauss(&mut rng) * 0.35).collect())
             .collect();
         let item_latent: Vec<Vec<f64>> = (0..self.n_items)
-            .map(|i| {
-                (0..d).map(|k| centers[item_cluster[i]][k] + gauss(&mut rng) * 0.35).collect()
-            })
+            .map(|i| (0..d).map(|k| centers[item_cluster[i]][k] + gauss(&mut rng) * 0.35).collect())
             .collect();
 
         // Item popularity (Zipf over a random permutation).
@@ -158,8 +153,7 @@ impl DatasetSpec {
             if !seen.insert((u, i)) {
                 continue;
             }
-            let affinity: f64 =
-                (0..d).map(|k| user_latent[u][k] * item_latent[i][k]).sum::<f64>();
+            let affinity: f64 = (0..d).map(|k| user_latent[u][k] * item_latent[i][k]).sum::<f64>();
             let raw = 3.3 + affinity + gauss(&mut rng) * self.rating_noise;
             let stars = raw.round().clamp(1.0, 5.0);
             ratings.push(Rating { user: u as u32, item: i as u32, value: stars });
@@ -167,11 +161,8 @@ impl DatasetSpec {
 
         let matrix = RatingMatrix::from_ratings(self.n_users, self.n_items, &ratings);
         let social = generate::social_network_like(self.n_users, self.n_links, &mut rng);
-        let item_graph = build_item_graph(
-            self.n_users,
-            &matrix.raters_per_item(),
-            self.item_graph_threshold,
-        );
+        let item_graph =
+            build_item_graph(self.n_users, &matrix.raters_per_item(), self.item_graph_threshold);
         Dataset::new(self.name.clone(), matrix, social, item_graph)
     }
 }
@@ -181,7 +172,9 @@ impl DatasetSpec {
 /// Returns the filtered dataset with users re-indexed densely.
 pub fn preprocess(data: &Dataset, min_friends: usize, min_ratings: usize) -> Dataset {
     let keep: Vec<usize> = (0..data.n_users())
-        .filter(|&u| data.social.degree(u) >= min_friends && data.ratings.user_degree(u) >= min_ratings)
+        .filter(|&u| {
+            data.social.degree(u) >= min_friends && data.ratings.user_degree(u) >= min_ratings
+        })
         .collect();
     let mut remap = vec![usize::MAX; data.n_users()];
     for (new, &old) in keep.iter().enumerate() {

@@ -1,7 +1,7 @@
 //! Property tests for the dataset substrate.
 
-use msopds_recdata::{Dataset, DatasetSpec, PoisonAction, Rating, RatingMatrix};
 use msopds_het_graph::CsrGraph;
+use msopds_recdata::{Dataset, DatasetSpec, PoisonAction, Rating, RatingMatrix};
 use proptest::prelude::*;
 
 fn ratings(n_users: u32, n_items: u32, max: usize) -> impl Strategy<Value = Vec<Rating>> {

@@ -32,10 +32,8 @@ pub fn damped_biases(data: &Dataset, mu: f64, kappa: f64) -> (Tensor, Tensor) {
         bi_sum[r.item as usize] += resid;
         bi_cnt[r.item as usize] += 1.0;
     }
-    let bu: Vec<f64> =
-        bu_sum.iter().zip(&bu_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
-    let bi: Vec<f64> =
-        bi_sum.iter().zip(&bi_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
+    let bu: Vec<f64> = bu_sum.iter().zip(&bu_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
+    let bi: Vec<f64> = bi_sum.iter().zip(&bi_cnt).map(|(&s, &c)| s / (c + kappa)).collect();
     (Tensor::from_vec(bu, &[nu]), Tensor::from_vec(bi, &[ni]))
 }
 
@@ -90,9 +88,8 @@ pub fn pds_biases<'t>(
         if c.x_idx.is_empty() {
             continue;
         }
-        let weighted = xhat
-            .gather_elems(Arc::clone(&c.x_idx))
-            .mul(tape.constant(c.residuals.clone()));
+        let weighted =
+            xhat.gather_elems(Arc::clone(&c.x_idx)).mul(tape.constant(c.residuals.clone()));
         bu_num = bu_num.add(weighted.scatter_add_elems(Arc::clone(&c.users), nu));
         bi_num = bi_num.add(weighted.scatter_add_elems(Arc::clone(&c.items), ni));
     }
@@ -104,8 +101,8 @@ pub fn pds_biases<'t>(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use msopds_recdata::{DatasetSpec, PoisonAction, Rating, RatingMatrix};
     use msopds_het_graph::CsrGraph;
+    use msopds_recdata::{DatasetSpec, PoisonAction, Rating, RatingMatrix};
 
     fn tiny() -> Dataset {
         let ratings = RatingMatrix::from_ratings(
@@ -136,9 +133,7 @@ mod tests {
     #[test]
     fn poison_shifts_item_bias() {
         let data = tiny();
-        let poisoned = data.apply_poison(&[
-            PoisonAction::Rating { user: 2, item: 0, value: 5.0 },
-        ]);
+        let poisoned = data.apply_poison(&[PoisonAction::Rating { user: 2, item: 0, value: 5.0 }]);
         let mu = 3.0;
         let (_, bi0) = damped_biases(&data, mu, 1.0);
         let (_, bi1) = damped_biases(&poisoned, mu, 1.0);
@@ -161,9 +156,7 @@ mod tests {
         let tape = Tape::new();
         let xhat = tape.leaf(Tensor::ones(&[1]));
         let (bu, bi) = pds_biases(&tape, &data, &[(xhat, &cand)], mu, kappa);
-        let poisoned = data.apply_poison(&[
-            PoisonAction::Rating { user: 2, item: 0, value: 5.0 },
-        ]);
+        let poisoned = data.apply_poison(&[PoisonAction::Rating { user: 2, item: 0, value: 5.0 }]);
         let (bu_ref, bi_ref) = damped_biases(&poisoned, mu, kappa);
         assert!(bu.value().max_abs_diff(&bu_ref) < 1e-12);
         assert!(bi.value().max_abs_diff(&bi_ref) < 1e-12);

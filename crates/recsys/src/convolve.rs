@@ -6,13 +6,90 @@
 //! binarized importance entries scattered into candidate-edge positions, all
 //! recorded on the tape so gradients flow from the convolution back to X̂.
 
+use std::cell::RefCell;
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use msopds_autograd::{Tape, Tensor, Var};
 use msopds_het_graph::CsrGraph;
 
+/// What a cached derived tensor represents; part of the cache key.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum GraphTensorKind {
+    Adjacency,
+    InvDegree,
+}
+
+/// One cached derived tensor, keyed by (structural fingerprint, node count,
+/// kind). The node count guards the (already negligible) fingerprint
+/// collision case across differently-sized graphs.
+struct CacheEntry {
+    fingerprint: u64,
+    n: usize,
+    kind: GraphTensorKind,
+    tensor: Tensor,
+}
+
+const GRAPH_TENSOR_CACHE_CAP: usize = 8;
+
+thread_local! {
+    /// Small per-thread LRU of derived graph tensors.
+    ///
+    /// `build_pds` re-derives the same adjacency/inverse-degree constants on
+    /// every outer MSO iteration (the graphs only change when X̂ candidates
+    /// change the *candidate set*, not per iteration), and the victim's fit
+    /// loop re-derives them per retrain. Tensors are `Arc`-backed, so a cache
+    /// hit is a cheap clone; the cache holding a reference also means the
+    /// tape's buffer reclamation (`Arc::try_unwrap`) never recycles a cached
+    /// tensor's storage out from under the cache.
+    static GRAPH_TENSOR_CACHE: RefCell<VecDeque<CacheEntry>> =
+        const { RefCell::new(VecDeque::new()) };
+}
+
+/// Looks up `(g, kind)` in the thread-local cache, computing and inserting on
+/// miss. LRU order: hits move to the back, evictions pop the front.
+fn cached_graph_tensor(
+    g: &CsrGraph,
+    kind: GraphTensorKind,
+    build: impl FnOnce() -> Tensor,
+) -> Tensor {
+    let fingerprint = g.fingerprint();
+    let n = g.num_nodes();
+    GRAPH_TENSOR_CACHE.with(|cache| {
+        let mut cache = cache.borrow_mut();
+        if let Some(pos) =
+            cache.iter().position(|e| e.fingerprint == fingerprint && e.n == n && e.kind == kind)
+        {
+            let entry = cache.remove(pos).expect("position came from iter");
+            let tensor = entry.tensor.clone();
+            cache.push_back(entry);
+            return tensor;
+        }
+        let tensor = build();
+        if cache.len() == GRAPH_TENSOR_CACHE_CAP {
+            cache.pop_front();
+        }
+        cache.push_back(CacheEntry { fingerprint, n, kind, tensor: tensor.clone() });
+        tensor
+    })
+}
+
+/// Empties the thread-local graph-tensor cache (test isolation / releasing
+/// memory between experiments).
+pub fn clear_graph_tensor_cache() {
+    GRAPH_TENSOR_CACHE.with(|cache| cache.borrow_mut().clear());
+}
+
 /// Dense symmetric 0/1 adjacency of `g` as a tensor.
+///
+/// Memoized per thread on the graph's structural fingerprint — planners call
+/// this with the same base graph once per MSO iteration.
 pub fn dense_adjacency(g: &CsrGraph) -> Tensor {
+    cached_graph_tensor(g, GraphTensorKind::Adjacency, || dense_adjacency_uncached(g))
+}
+
+/// [`dense_adjacency`] without the cache.
+pub fn dense_adjacency_uncached(g: &CsrGraph) -> Tensor {
     let n = g.num_nodes();
     let mut data = vec![0.0; n * n];
     for u in 0..n {
@@ -27,8 +104,13 @@ pub fn dense_adjacency(g: &CsrGraph) -> Tensor {
 ///
 /// Used as the constant normalization of eq. (15); the degree is taken in the
 /// *fully-poisoned* graph 𝒢′ (all candidate edges inserted), per Algorithm 1
-/// step 2.
+/// step 2. Memoized per thread like [`dense_adjacency`].
 pub fn inv_degree(g: &CsrGraph) -> Tensor {
+    cached_graph_tensor(g, GraphTensorKind::InvDegree, || inv_degree_uncached(g))
+}
+
+/// [`inv_degree`] without the cache.
+pub fn inv_degree_uncached(g: &CsrGraph) -> Tensor {
     let n = g.num_nodes();
     let data: Vec<f64> = (0..n)
         .map(|u| {
@@ -92,12 +174,7 @@ pub fn adjacency_patch<'t>(
 
 /// Mean-aggregation graph convolution of eq. (15):
 /// `out = Wᵀ (H ⊕ Â·H / |N|)` row-wise, where `inv_deg` holds `1/|N(u)|`.
-pub fn mean_convolve<'t>(
-    h: Var<'t>,
-    adjacency: Var<'t>,
-    inv_deg: Var<'t>,
-    w: Var<'t>,
-) -> Var<'t> {
+pub fn mean_convolve<'t>(h: Var<'t>, adjacency: Var<'t>, inv_deg: Var<'t>, w: Var<'t>) -> Var<'t> {
     let d = h.value().cols();
     let agg = adjacency.matmul(h).mul(inv_deg.broadcast_cols(d));
     h.concat_cols(agg).matmul(w)
@@ -186,6 +263,31 @@ mod tests {
         let out = mean_convolve(h, a, inv, w);
         // Row 0: h=1, agg = 2/1 = 2 → 3. Row 1: 2 + 1 = 3.
         assert_eq!(out.value().to_vec(), vec![3.0, 3.0]);
+    }
+
+    #[test]
+    fn graph_tensor_cache_hits_and_evicts() {
+        clear_graph_tensor_cache();
+        let g = CsrGraph::from_edges(3, &[(0, 1), (1, 2)]);
+        let a1 = dense_adjacency(&g);
+        let a2 = dense_adjacency(&g);
+        // Hit: the same Arc-backed storage is handed back.
+        assert!(std::ptr::eq(a1.data().as_ptr(), a2.data().as_ptr()));
+        assert_eq!(a1.to_vec(), dense_adjacency_uncached(&g).to_vec());
+        // A different kind for the same graph is a distinct entry.
+        assert_eq!(inv_degree(&g).to_vec(), inv_degree_uncached(&g).to_vec());
+        // Filling the cache with other graphs evicts the oldest entry.
+        for k in 0..GRAPH_TENSOR_CACHE_CAP {
+            let other = CsrGraph::from_edges(k + 4, &[(0, k + 3)]);
+            let _ = dense_adjacency(&other);
+        }
+        let a3 = dense_adjacency(&g);
+        assert!(
+            !std::ptr::eq(a1.data().as_ptr(), a3.data().as_ptr()),
+            "entry should have been evicted"
+        );
+        assert_eq!(a1.to_vec(), a3.to_vec());
+        clear_graph_tensor_cache();
     }
 
     #[test]

@@ -38,7 +38,15 @@ pub struct HetRecConfig {
 
 impl Default for HetRecConfig {
     fn default() -> Self {
-        Self { dim: 16, epochs: 50, lr: 0.05, lambda: 1e-2, init_std: 0.1, attention: true, seed: 0 }
+        Self {
+            dim: 16,
+            epochs: 50,
+            lr: 0.05,
+            lambda: 1e-2,
+            init_std: 0.1,
+            attention: true,
+            seed: 0,
+        }
     }
 }
 
@@ -311,7 +319,11 @@ mod tests {
             clean.predict_users(&users, target).iter().sum::<f64>() / users.len() as f64;
 
         let actions: Vec<_> = (0..10u32)
-            .map(|u| msopds_recdata::PoisonAction::Rating { user: u, item: target as u32, value: 5.0 })
+            .map(|u| msopds_recdata::PoisonAction::Rating {
+                user: u,
+                item: target as u32,
+                value: 5.0,
+            })
             .collect();
         let poisoned = data.apply_poison(&actions);
         let mut dirty = HetRec::new(quick_cfg(false), poisoned.n_users(), poisoned.n_items());

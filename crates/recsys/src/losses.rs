@@ -91,11 +91,7 @@ pub fn ca_loss<'t>(
 /// Demotion variant of the CA objective used by opponents (§VI-A.4): the
 /// *positive* mean predicted rating of the (attacker's) target item over the
 /// audience — minimizing it pushes the item down.
-pub fn demotion_loss<'t>(
-    scores: &Scores<'t>,
-    users: &[usize],
-    target_item: usize,
-) -> Var<'t> {
+pub fn demotion_loss<'t>(scores: &Scores<'t>, users: &[usize], target_item: usize) -> Var<'t> {
     ia_loss(scores, users, target_item).neg()
 }
 
@@ -124,10 +120,8 @@ mod tests {
     fn item_bias_shifts_all_users() {
         let tape = Tape::new();
         let base = fixture(&tape);
-        let biased = Scores {
-            item_bias: tape.leaf(Tensor::from_vec(vec![0.7, 0.0, 0.0], &[3])),
-            ..base
-        };
+        let biased =
+            Scores { item_bias: tape.leaf(Tensor::from_vec(vec![0.7, 0.0, 0.0], &[3])), ..base };
         let l0 = ia_loss(&base, &[0, 1], 0).item();
         let l1 = ia_loss(&biased, &[0, 1], 0).item();
         assert!((l0 - l1 - 0.7).abs() < 1e-12, "bias must shift the mean by 0.7");
@@ -137,10 +131,8 @@ mod tests {
     fn user_bias_cancels_in_ca_loss() {
         let tape = Tape::new();
         let base = fixture(&tape);
-        let shifted = Scores {
-            user_bias: tape.leaf(Tensor::from_vec(vec![5.0, -2.0], &[2])),
-            ..base
-        };
+        let shifted =
+            Scores { user_bias: tape.leaf(Tensor::from_vec(vec![5.0, -2.0], &[2])), ..base };
         let a = ca_loss(&base, &[0, 1], 0, &[1, 2]).item();
         let b = ca_loss(&shifted, &[0, 1], 0, &[1, 2]).item();
         assert!((a - b).abs() < 1e-9, "CA loss compares items per user: {a} vs {b}");

@@ -73,22 +73,14 @@ pub fn precision_at_k(
 /// NDCG@k of a single `target` item within `pool`, averaged over `users`:
 /// `1 / log2(rank + 1)` when the target ranks within the top `k`, else 0.
 /// (With a single relevant item the ideal DCG is 1.)
-pub fn ndcg_at_k(
-    model: &HetRec,
-    users: &[usize],
-    target: usize,
-    pool: &[usize],
-    k: usize,
-) -> f64 {
+pub fn ndcg_at_k(model: &HetRec, users: &[usize], target: usize, pool: &[usize], k: usize) -> f64 {
     assert!(!users.is_empty() && k > 0);
     assert!(pool.contains(&target), "target must be in the ranking pool");
     let mut total = 0.0;
     for &u in users {
         let target_score = model.predict(u, target);
-        let rank = 1 + pool
-            .iter()
-            .filter(|&&i| i != target && model.predict(u, i) > target_score)
-            .count();
+        let rank =
+            1 + pool.iter().filter(|&&i| i != target && model.predict(u, i) > target_score).count();
         if rank <= k {
             total += 1.0 / ((rank as f64 + 1.0).log2());
         }

@@ -105,11 +105,7 @@ pub fn build_pds<'t>(
 ) -> PdsBuild<'t> {
     assert!(!data.ratings.is_empty(), "PDS needs a non-empty rating matrix");
     for p in players {
-        assert_eq!(
-            p.candidates.len(),
-            p.xhat.numel(),
-            "X̂ length must match the candidate count"
-        );
+        assert_eq!(p.candidates.len(), p.xhat.numel(), "X̂ length must match the candidate count");
     }
     let n_users = data.n_users();
     let n_items = data.n_items();
@@ -261,8 +257,7 @@ pub fn build_pds<'t>(
             .add(bu.gather_elems(Arc::clone(&ru)))
             .add(bi.gather_elems(Arc::clone(&ri)))
             .add_scalar(mu);
-        let mut loss =
-            pred.sub(tape.constant(target.clone())).square().sum().scale(norm);
+        let mut loss = pred.sub(tape.constant(target.clone())).square().sum().scale(norm);
 
         // X̂-modulated poison-rating terms of eq. (16).
         for (p, idx) in rating_idx.iter().enumerate() {
@@ -274,12 +269,8 @@ pub fn build_pds<'t>(
                 .add(bu.gather_elems(Arc::clone(&idx.users)))
                 .add(bi.gather_elems(Arc::clone(&idx.items)))
                 .add_scalar(mu);
-            let term = predc
-                .sub(tape.constant(idx.rhat.clone()))
-                .square()
-                .mul(xv)
-                .sum()
-                .scale(norm);
+            let term =
+                predc.sub(tape.constant(idx.rhat.clone())).square().mul(xv).sum().scale(norm);
             loss = loss.add(term);
         }
 
@@ -359,7 +350,11 @@ mod tests {
         let g = tape.grad(loss, &[build.xhats[0]]).remove(0);
         assert!(g.norm() > 1e-12, "no gradient for unselected rating candidates");
         // Promoting with 5-star ratings reduces the IA loss in aggregate.
-        assert!(g.sum() < 0.0, "5-star candidates should have negative mean gradient: {:?}", g.to_vec());
+        assert!(
+            g.sum() < 0.0,
+            "5-star candidates should have negative mean gradient: {:?}",
+            g.to_vec()
+        );
     }
 
     #[test]

@@ -27,12 +27,7 @@ fn ia_at(
     target: usize,
 ) -> f64 {
     let tape = Tape::new();
-    let pds = build_pds(
-        &tape,
-        data,
-        &[PlayerInput { candidates, xhat: xhat.clone() }],
-        &cfg(),
-    );
+    let pds = build_pds(&tape, data, &[PlayerInput { candidates, xhat: xhat.clone() }], &cfg());
     ia_loss(&pds.scores(), users, target).item()
 }
 
@@ -161,10 +156,7 @@ fn ca_loss_gradient_matches_finite_difference_mixed_capacity() {
     for i in 0..k {
         let (a, n) = (analytic.get(i), numeric.get(i));
         let denom = 1.0f64.max(a.abs()).max(n.abs());
-        assert!(
-            ((a - n) / denom).abs() < 1e-3,
-            "candidate {i}: analytic {a} vs numeric {n}"
-        );
+        assert!(((a - n) / denom).abs() < 1e-3, "candidate {i}: analytic {a} vs numeric {n}");
     }
 }
 

@@ -7,9 +7,18 @@ fn main() {
     let n = data.n_users();
     println!("users={} items={} ratings={}", n, data.n_items(), data.ratings.len());
     // Target: a low-degree item; audience: 10 users that did NOT rate it.
-    let target = (0..data.n_items()).filter(|&i| data.ratings.item_degree(i)>0)
-        .min_by(|&a,&b| data.ratings.item_mean(a).unwrap().partial_cmp(&data.ratings.item_mean(b).unwrap()).unwrap()).unwrap();
-    let audience: Vec<usize> = (0..n).filter(|&u| data.ratings.get(u, target).is_none()).take(12).collect();
+    let target = (0..data.n_items())
+        .filter(|&i| data.ratings.item_degree(i) > 0)
+        .min_by(|&a, &b| {
+            data.ratings
+                .item_mean(a)
+                .unwrap()
+                .partial_cmp(&data.ratings.item_mean(b).unwrap())
+                .unwrap()
+        })
+        .unwrap();
+    let audience: Vec<usize> =
+        (0..n).filter(|&u| data.ratings.get(u, target).is_none()).take(12).collect();
     // Hired real users (well-connected) vs fresh fakes.
     let mut hired: Vec<usize> = (0..n).collect();
     hired.sort_by_key(|&u| std::cmp::Reverse(data.social.degree(u)));
@@ -19,24 +28,37 @@ fn main() {
         let cfg = HetRecConfig { dim: 12, epochs, lambda, attention: true, ..Default::default() };
         let mut clean = HetRec::new(cfg, data.n_users(), data.n_items());
         clean.fit(&data);
-        let base: f64 = audience.iter().map(|&u| clean.predict(u, target)).sum::<f64>()/audience.len() as f64;
+        let base: f64 =
+            audience.iter().map(|&u| clean.predict(u, target)).sum::<f64>() / audience.len() as f64;
 
         // real hired 5-stars
-        let real_poison: Vec<PoisonAction> = hired.iter().map(|&u| PoisonAction::Rating{user:u as u32,item:target as u32,value:5.0}).collect();
+        let real_poison: Vec<PoisonAction> = hired
+            .iter()
+            .map(|&u| PoisonAction::Rating { user: u as u32, item: target as u32, value: 5.0 })
+            .collect();
         let dreal = data.apply_poison(&real_poison);
         let mut m1 = HetRec::new(cfg, dreal.n_users(), dreal.n_items());
         m1.fit(&dreal);
-        let r1: f64 = audience.iter().map(|&u| m1.predict(u, target)).sum::<f64>()/audience.len() as f64;
+        let r1: f64 =
+            audience.iter().map(|&u| m1.predict(u, target)).sum::<f64>() / audience.len() as f64;
 
         // fake 5-stars (+social links to hired users)
         let mut dfake = data.clone();
         let fakes = dfake.add_fake_users(8);
-        let mut fp: Vec<PoisonAction> = fakes.iter().map(|&f| PoisonAction::Rating{user:f as u32,item:target as u32,value:5.0}).collect();
-        for &f in &fakes { for &h in hired.iter().take(3) { fp.push(PoisonAction::SocialEdge{a:h as u32,b:f as u32}); } }
+        let mut fp: Vec<PoisonAction> = fakes
+            .iter()
+            .map(|&f| PoisonAction::Rating { user: f as u32, item: target as u32, value: 5.0 })
+            .collect();
+        for &f in &fakes {
+            for &h in hired.iter().take(3) {
+                fp.push(PoisonAction::SocialEdge { a: h as u32, b: f as u32 });
+            }
+        }
         let dfake = dfake.apply_poison(&fp);
         let mut m2 = HetRec::new(cfg, dfake.n_users(), dfake.n_items());
         m2.fit(&dfake);
-        let r2: f64 = audience.iter().map(|&u| m2.predict(u, target)).sum::<f64>()/audience.len() as f64;
+        let r2: f64 =
+            audience.iter().map(|&u| m2.predict(u, target)).sum::<f64>() / audience.len() as f64;
 
         println!("λ={lambda:<6} ep={epochs}: clean r̄={base:.3} | +8 real 5★ → {r1:.3} (Δ{:+.3}) | +8 fake 5★+links → {r2:.3} (Δ{:+.3}) | rmse={:.3}",
           r1-base, r2-base, clean.rmse(&data));

@@ -65,7 +65,7 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        eprintln!("[{id}] running {} games on {} threads…", cells.len(), cfg.threads);
+        eprintln!("[{id}] running {} games on {} threads…", cells.len(), cfg.threads.max(1));
         let rows = run_experiment(cells, &cfg);
         let title = match id {
             "table3" => "Table III: target item r̄ and HR@3 vs ConsisRec, single opponent",
@@ -79,7 +79,11 @@ fn main() {
         println!("{}", render_table(title, knob, &rows));
         let json_path = out_dir.join(format!("{id}.json"));
         std::fs::write(&json_path, to_json(&rows)).expect("write results json");
-        eprintln!("[{id}] done in {:.1?}; results saved to {}", started.elapsed(), json_path.display());
+        eprintln!(
+            "[{id}] done in {:.1?}; results saved to {}",
+            started.elapsed(),
+            json_path.display()
+        );
     };
 
     if which == "all" {

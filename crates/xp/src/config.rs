@@ -59,8 +59,20 @@ pub struct XpConfig {
     pub opponent_counts: Vec<usize>,
     /// Opponent budgets swept by Fig. 7.
     pub opponent_budgets: Vec<usize>,
-    /// Worker threads for cell-level parallelism.
+    /// Total worker budget shared between cell-level parallelism and the
+    /// tensor-kernel pool (see `run_cells`). Defaults to the `MSOPDS_THREADS`
+    /// environment variable when set, else the machine's parallelism.
     pub threads: usize,
+}
+
+/// The default thread budget: `MSOPDS_THREADS` if set to a positive integer,
+/// otherwise the number of available cores.
+pub fn default_threads() -> usize {
+    std::env::var("MSOPDS_THREADS")
+        .ok()
+        .and_then(|s| s.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4))
 }
 
 impl Default for XpConfig {
@@ -72,7 +84,7 @@ impl Default for XpConfig {
             datasets: DatasetKind::all().to_vec(),
             opponent_counts: vec![1, 2, 3],
             opponent_budgets: vec![1, 2, 3, 4],
-            threads: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4),
+            threads: default_threads(),
         }
     }
 }
@@ -108,7 +120,13 @@ impl XpConfig {
             pds: PdsConfig::default(),
         };
         GameConfig {
-            victim: HetRecConfig { epochs: 50, dim: 12, attention: true, lambda: 1e-2, ..Default::default() },
+            victim: HetRecConfig {
+                epochs: 50,
+                dim: 12,
+                attention: true,
+                lambda: 1e-2,
+                ..Default::default()
+            },
             planner,
             opponent_planner: PlannerConfig {
                 mso: MsoConfig { iters: 6, cg_iters: 3, ..Default::default() },
@@ -119,6 +137,7 @@ impl XpConfig {
             opponent_b: 2,
             scale: self.scale,
             seed,
+            kernel_threads: 0,
         }
     }
 }

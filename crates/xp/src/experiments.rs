@@ -205,9 +205,7 @@ pub fn render_table(title: &str, knob_name: &str, rows: &[Measurement]) -> Strin
             let _ = write!(out, "{method:<14}");
             for &k in &knobs {
                 match rows.iter().find(|m| {
-                    m.dataset == dataset
-                        && m.method == *method
-                        && ((m.knob * 1000.0) as i64) == k
+                    m.dataset == dataset && m.method == *method && ((m.knob * 1000.0) as i64) == k
                 }) {
                     Some(m) => {
                         let _ = write!(out, " |      {:>6.4}  {:>6.4}", m.rbar, m.hr3);

@@ -21,7 +21,7 @@ pub mod runner;
 
 pub use config::{DatasetKind, XpConfig};
 pub use experiments::{
-    defense_cells, fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment, sweep_methods, table3_cells,
-    to_json, Variant,
+    defense_cells, fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment,
+    sweep_methods, table3_cells, to_json, Variant,
 };
 pub use runner::{average_over_seeds, materialize, run_cells, Cell, Measurement};

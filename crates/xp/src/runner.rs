@@ -46,7 +46,12 @@ pub struct Measurement {
 /// Generates the dataset and market for a cell. Market sampling is seeded by
 /// the game seed so every method in a (dataset, seed) group sees the *same*
 /// market — the paper's controlled comparison.
-pub fn materialize(kind: DatasetKind, cfg: &XpConfig, seed: u64, n_opponents: usize) -> (Dataset, Market) {
+pub fn materialize(
+    kind: DatasetKind,
+    cfg: &XpConfig,
+    seed: u64,
+    n_opponents: usize,
+) -> (Dataset, Market) {
     let data = kind.spec().scaled(cfg.scale).generate(seed);
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed ^ 0xA11CE);
     let market = sample_market(&data, &cfg.demographics(), n_opponents.max(1), &mut rng);
@@ -61,6 +66,12 @@ pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Vec<Measurement> {
         return Vec::new();
     }
     let threads = cfg.threads.clamp(1, n);
+    // Split the thread budget between the two parallelism levels so they
+    // compose without oversubscription: cells take as many workers as there
+    // are cells (up to the budget), and whatever remains — plus the worker's
+    // own thread — becomes kernel-pool lanes inside each game.
+    let kernel_lanes = (cfg.threads + 1).saturating_sub(threads).max(1);
+    msopds_autograd::pool::configure_threads(kernel_lanes);
     let (work_tx, work_rx) = channel::unbounded::<Cell>();
     let (res_tx, res_rx) = channel::unbounded::<Measurement>();
     for cell in cells {

@@ -24,9 +24,7 @@ fn main() {
         let social = graph_stats(&data.social);
         let item = graph_stats(&data.item_graph);
         println!("=== {name} ===");
-        println!(
-            "  paper (full) : {users} users, {items} items, {ratings} ratings, {links} links"
-        );
+        println!("  paper (full) : {users} users, {items} items, {ratings} ratings, {links} links");
         println!(
             "  synth (1/{scale:.0}) : {} users, {} items, {} ratings, {} links",
             data.n_users(),

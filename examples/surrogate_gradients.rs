@@ -55,7 +55,10 @@ fn main() {
         ],
         &PdsConfig::default(),
     );
-    println!("PDS inner losses: {:?}", pds.inner_losses.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>());
+    println!(
+        "PDS inner losses: {:?}",
+        pds.inner_losses.iter().map(|l| (l * 100.0).round() / 100.0).collect::<Vec<_>>()
+    );
     println!("tape holds {} nodes after the unrolled training run", tape.len());
 
     // First-order gradients of both objectives (Algorithm 1 step 8).

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-a355acf8d1f6306a.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-a355acf8d1f6306a: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-ba1e73c7db0c7036.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-ba1e73c7db0c7036: tests/end_to_end.rs
+
+tests/end_to_end.rs:

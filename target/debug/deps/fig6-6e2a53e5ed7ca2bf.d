@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig6-6e2a53e5ed7ca2bf.d: crates/bench/benches/fig6.rs
+
+/root/repo/target/debug/deps/fig6-6e2a53e5ed7ca2bf: crates/bench/benches/fig6.rs
+
+crates/bench/benches/fig6.rs:
+
+# env-dep:CARGO_CRATE_NAME=fig6

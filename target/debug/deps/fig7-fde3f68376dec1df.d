@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig7-fde3f68376dec1df.d: crates/bench/benches/fig7.rs
+
+/root/repo/target/debug/deps/fig7-fde3f68376dec1df: crates/bench/benches/fig7.rs
+
+crates/bench/benches/fig7.rs:
+
+# env-dep:CARGO_CRATE_NAME=fig7

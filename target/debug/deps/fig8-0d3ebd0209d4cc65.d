@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig8-0d3ebd0209d4cc65.d: crates/bench/benches/fig8.rs
+
+/root/repo/target/debug/deps/fig8-0d3ebd0209d4cc65: crates/bench/benches/fig8.rs
+
+crates/bench/benches/fig8.rs:
+
+# env-dep:CARGO_CRATE_NAME=fig8

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fig9-0de28b1f8ee361ca.d: crates/bench/benches/fig9.rs
+
+/root/repo/target/debug/deps/fig9-0de28b1f8ee361ca: crates/bench/benches/fig9.rs
+
+crates/bench/benches/fig9.rs:
+
+# env-dep:CARGO_CRATE_NAME=fig9

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/kernels-5e95ddc45e635041.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/debug/deps/kernels-5e95ddc45e635041: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_CRATE_NAME=kernels

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds-855563e5230513ea.d: src/lib.rs
+
+/root/repo/target/debug/deps/msopds-855563e5230513ea: src/lib.rs
+
+src/lib.rs:

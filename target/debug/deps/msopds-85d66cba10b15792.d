@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds-85d66cba10b15792.d: src/lib.rs
+
+/root/repo/target/debug/deps/msopds-85d66cba10b15792: src/lib.rs
+
+src/lib.rs:

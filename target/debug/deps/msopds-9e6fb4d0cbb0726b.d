@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds-9e6fb4d0cbb0726b.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-9e6fb4d0cbb0726b.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-9e6fb4d0cbb0726b.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds-a5113e12cdb92fbf.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds-a5113e12cdb92fbf.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

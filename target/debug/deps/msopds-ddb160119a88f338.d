@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds-ddb160119a88f338.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-ddb160119a88f338.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-ddb160119a88f338.rmeta: src/lib.rs
+
+src/lib.rs:

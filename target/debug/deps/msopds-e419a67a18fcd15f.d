@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds-e419a67a18fcd15f.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-e419a67a18fcd15f.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-e419a67a18fcd15f.rmeta: src/lib.rs
+
+src/lib.rs:

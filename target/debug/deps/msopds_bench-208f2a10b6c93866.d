@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds_bench-208f2a10b6c93866.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msopds_bench-208f2a10b6c93866: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_bench-24edc7ef663788b4.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-24edc7ef663788b4.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-24edc7ef663788b4.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

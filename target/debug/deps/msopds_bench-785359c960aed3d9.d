@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_bench-785359c960aed3d9.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-785359c960aed3d9.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-785359c960aed3d9.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

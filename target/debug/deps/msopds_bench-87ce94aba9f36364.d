@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_bench-87ce94aba9f36364.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-87ce94aba9f36364.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-87ce94aba9f36364.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds_bench-f21ff278342d9fa5.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msopds_bench-f21ff278342d9fa5: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

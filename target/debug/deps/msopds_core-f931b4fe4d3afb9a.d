@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msopds_core-f931b4fe4d3afb9a.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/msopds_core-f931b4fe4d3afb9a: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/mso.rs:
+crates/core/src/msopds.rs:
+crates/core/src/plan.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msopds_core-fb2723baf632fb7b.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/libmsopds_core-fb2723baf632fb7b.rlib: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/libmsopds_core-fb2723baf632fb7b.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/mso.rs:
+crates/core/src/msopds.rs:
+crates/core/src/plan.rs:

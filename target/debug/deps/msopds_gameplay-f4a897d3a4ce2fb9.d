@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_gameplay-f4a897d3a4ce2fb9.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-f4a897d3a4ce2fb9.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-f4a897d3a4ce2fb9.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

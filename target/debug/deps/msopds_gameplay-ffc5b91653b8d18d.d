@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_gameplay-ffc5b91653b8d18d.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/msopds_gameplay-ffc5b91653b8d18d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msopds_het_graph-4f03cd9ff75d265b.d: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_het_graph-4f03cd9ff75d265b.rmeta: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs Cargo.toml
+
+crates/het-graph/src/lib.rs:
+crates/het-graph/src/csr.rs:
+crates/het-graph/src/generate.rs:
+crates/het-graph/src/item_graph.rs:
+crates/het-graph/src/stats.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_het_graph-8a97414127310e42.d: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/debug/deps/msopds_het_graph-8a97414127310e42: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+crates/het-graph/src/lib.rs:
+crates/het-graph/src/csr.rs:
+crates/het-graph/src/generate.rs:
+crates/het-graph/src/item_graph.rs:
+crates/het-graph/src/stats.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msopds_het_graph-d298be764080e3aa.d: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libmsopds_het_graph-d298be764080e3aa.rlib: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libmsopds_het_graph-d298be764080e3aa.rmeta: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+crates/het-graph/src/lib.rs:
+crates/het-graph/src/csr.rs:
+crates/het-graph/src/generate.rs:
+crates/het-graph/src/item_graph.rs:
+crates/het-graph/src/stats.rs:

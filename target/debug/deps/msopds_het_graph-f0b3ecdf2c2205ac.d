@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msopds_het_graph-f0b3ecdf2c2205ac.d: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libmsopds_het_graph-f0b3ecdf2c2205ac.rlib: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/debug/deps/libmsopds_het_graph-f0b3ecdf2c2205ac.rmeta: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+crates/het-graph/src/lib.rs:
+crates/het-graph/src/csr.rs:
+crates/het-graph/src/generate.rs:
+crates/het-graph/src/item_graph.rs:
+crates/het-graph/src/stats.rs:

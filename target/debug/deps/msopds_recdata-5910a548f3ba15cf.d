@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msopds_recdata-5910a548f3ba15cf.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_recdata-5910a548f3ba15cf.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs Cargo.toml
+
+crates/recdata/src/lib.rs:
+crates/recdata/src/dataset.rs:
+crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
+crates/recdata/src/poison.rs:
+crates/recdata/src/ratings.rs:
+crates/recdata/src/synth.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/msopds_recdata-f2bff2d3d7de0eb1.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/debug/deps/libmsopds_recdata-f2bff2d3d7de0eb1.rlib: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/debug/deps/libmsopds_recdata-f2bff2d3d7de0eb1.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+crates/recdata/src/lib.rs:
+crates/recdata/src/dataset.rs:
+crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
+crates/recdata/src/poison.rs:
+crates/recdata/src/ratings.rs:
+crates/recdata/src/synth.rs:

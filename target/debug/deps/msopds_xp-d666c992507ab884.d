@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msopds_xp-d666c992507ab884.d: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-d666c992507ab884.rlib: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-d666c992507ab884.rmeta: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/config.rs:
+crates/xp/src/experiments.rs:
+crates/xp/src/runner.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msopds_xp-fbe019d69eda15dc.d: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-fbe019d69eda15dc.rlib: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-fbe019d69eda15dc.rmeta: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/config.rs:
+crates/xp/src/experiments.rs:
+crates/xp/src/runner.rs:

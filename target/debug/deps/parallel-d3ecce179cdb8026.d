@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-d3ecce179cdb8026.d: crates/autograd/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-d3ecce179cdb8026: crates/autograd/tests/parallel.rs
+
+crates/autograd/tests/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pds_gradients-7a78ce4756676b5f.d: crates/recsys/tests/pds_gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpds_gradients-7a78ce4756676b5f.rmeta: crates/recsys/tests/pds_gradients.rs Cargo.toml
+
+crates/recsys/tests/pds_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pds_gradients-9f76cab310b53ee4.d: crates/recsys/tests/pds_gradients.rs
+
+/root/repo/target/debug/deps/pds_gradients-9f76cab310b53ee4: crates/recsys/tests/pds_gradients.rs
+
+crates/recsys/tests/pds_gradients.rs:

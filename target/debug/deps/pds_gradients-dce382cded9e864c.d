@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pds_gradients-dce382cded9e864c.d: crates/recsys/tests/pds_gradients.rs
+
+/root/repo/target/debug/deps/pds_gradients-dce382cded9e864c: crates/recsys/tests/pds_gradients.rs
+
+crates/recsys/tests/pds_gradients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-00b0daf059167d93.d: crates/het-graph/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-00b0daf059167d93: crates/het-graph/tests/properties.rs
+
+crates/het-graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-3e6f4e97fe862232.d: crates/autograd/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-3e6f4e97fe862232: crates/autograd/tests/properties.rs
+
+crates/autograd/tests/properties.rs:

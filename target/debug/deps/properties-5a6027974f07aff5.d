@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-5a6027974f07aff5.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-5a6027974f07aff5: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

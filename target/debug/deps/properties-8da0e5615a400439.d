@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-8da0e5615a400439.d: crates/recdata/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-8da0e5615a400439: crates/recdata/tests/properties.rs
+
+crates/recdata/tests/properties.rs:

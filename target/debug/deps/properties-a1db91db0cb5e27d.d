@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-a1db91db0cb5e27d.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-a1db91db0cb5e27d: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-abb165e4d7375c22.d: crates/autograd/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-abb165e4d7375c22: crates/autograd/tests/properties.rs
+
+crates/autograd/tests/properties.rs:

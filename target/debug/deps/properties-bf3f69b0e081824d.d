@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-bf3f69b0e081824d.d: crates/het-graph/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-bf3f69b0e081824d.rmeta: crates/het-graph/tests/properties.rs Cargo.toml
+
+crates/het-graph/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-d35af256159aba1a.d: crates/recdata/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-d35af256159aba1a.rmeta: crates/recdata/tests/properties.rs Cargo.toml
+
+crates/recdata/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

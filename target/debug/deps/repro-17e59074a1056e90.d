@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-17e59074a1056e90.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-17e59074a1056e90: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-51fbdd24687d8ade.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-51fbdd24687d8ade: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-ad777a790d107833.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-ad777a790d107833: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-5a73dcce145d3bfd.d: tests/stackelberg_dynamics.rs
+
+/root/repo/target/debug/deps/stackelberg_dynamics-5a73dcce145d3bfd: tests/stackelberg_dynamics.rs
+
+tests/stackelberg_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-9b1d8b5b48283f66.d: tests/stackelberg_dynamics.rs
+
+/root/repo/target/debug/deps/stackelberg_dynamics-9b1d8b5b48283f66: tests/stackelberg_dynamics.rs
+
+tests/stackelberg_dynamics.rs:

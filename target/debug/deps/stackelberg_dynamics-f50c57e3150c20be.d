@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-f50c57e3150c20be.d: tests/stackelberg_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstackelberg_dynamics-f50c57e3150c20be.rmeta: tests/stackelberg_dynamics.rs Cargo.toml
+
+tests/stackelberg_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

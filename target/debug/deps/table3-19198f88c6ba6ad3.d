@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/table3-19198f88c6ba6ad3.d: crates/bench/benches/table3.rs
+
+/root/repo/target/debug/deps/table3-19198f88c6ba6ad3: crates/bench/benches/table3.rs
+
+crates/bench/benches/table3.rs:
+
+# env-dep:CARGO_CRATE_NAME=table3

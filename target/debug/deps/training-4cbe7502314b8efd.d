@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/training-4cbe7502314b8efd.d: crates/bench/benches/training.rs
+
+/root/repo/target/debug/deps/training-4cbe7502314b8efd: crates/bench/benches/training.rs
+
+crates/bench/benches/training.rs:
+
+# env-dep:CARGO_CRATE_NAME=training

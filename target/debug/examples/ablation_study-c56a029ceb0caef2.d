@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_study-c56a029ceb0caef2.d: examples/ablation_study.rs
+
+/root/repo/target/debug/examples/ablation_study-c56a029ceb0caef2: examples/ablation_study.rs
+
+examples/ablation_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_study-d7f4399a65c95dd2.d: examples/ablation_study.rs
+
+/root/repo/target/debug/examples/ablation_study-d7f4399a65c95dd2: examples/ablation_study.rs
+
+examples/ablation_study.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_victim-a6115244bee1d914.d: crates/xp/examples/calibrate_victim.rs
+
+/root/repo/target/debug/examples/calibrate_victim-a6115244bee1d914: crates/xp/examples/calibrate_victim.rs
+
+crates/xp/examples/calibrate_victim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_victim-f56be2c2292370ef.d: crates/xp/examples/calibrate_victim.rs
+
+/root/repo/target/debug/examples/calibrate_victim-f56be2c2292370ef: crates/xp/examples/calibrate_victim.rs
+
+crates/xp/examples/calibrate_victim.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_tour-022eae1c472093b9.d: examples/dataset_tour.rs
+
+/root/repo/target/debug/examples/dataset_tour-022eae1c472093b9: examples/dataset_tour.rs
+
+examples/dataset_tour.rs:

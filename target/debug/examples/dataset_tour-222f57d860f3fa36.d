@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_tour-222f57d860f3fa36.d: examples/dataset_tour.rs
+
+/root/repo/target/debug/examples/dataset_tour-222f57d860f3fa36: examples/dataset_tour.rs
+
+examples/dataset_tour.rs:

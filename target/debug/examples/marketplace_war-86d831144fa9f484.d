@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_war-86d831144fa9f484.d: examples/marketplace_war.rs
+
+/root/repo/target/debug/examples/marketplace_war-86d831144fa9f484: examples/marketplace_war.rs
+
+examples/marketplace_war.rs:

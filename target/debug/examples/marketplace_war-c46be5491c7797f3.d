@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_war-c46be5491c7797f3.d: examples/marketplace_war.rs
+
+/root/repo/target/debug/examples/marketplace_war-c46be5491c7797f3: examples/marketplace_war.rs
+
+examples/marketplace_war.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b8d81e2c916c22de.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b8d81e2c916c22de: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-ef94219dab9484ea.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-ef94219dab9484ea: examples/quickstart.rs
+
+examples/quickstart.rs:

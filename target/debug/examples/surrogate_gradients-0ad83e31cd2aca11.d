@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surrogate_gradients-0ad83e31cd2aca11.d: examples/surrogate_gradients.rs
+
+/root/repo/target/debug/examples/surrogate_gradients-0ad83e31cd2aca11: examples/surrogate_gradients.rs
+
+examples/surrogate_gradients.rs:

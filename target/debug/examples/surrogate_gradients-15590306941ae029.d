@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surrogate_gradients-15590306941ae029.d: examples/surrogate_gradients.rs
+
+/root/repo/target/debug/examples/surrogate_gradients-15590306941ae029: examples/surrogate_gradients.rs
+
+examples/surrogate_gradients.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-86c44da370330577.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-86c44da370330577: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_CRATE_NAME=kernels

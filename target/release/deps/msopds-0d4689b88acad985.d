@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds-0d4689b88acad985.d: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-0d4689b88acad985.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-0d4689b88acad985.rmeta: src/lib.rs
+
+src/lib.rs:

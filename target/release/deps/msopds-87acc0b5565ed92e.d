@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds-87acc0b5565ed92e.d: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-87acc0b5565ed92e.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-87acc0b5565ed92e.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds_bench-536950a08b7aa6b2.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-536950a08b7aa6b2.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-536950a08b7aa6b2.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msopds_gameplay-6c8d8c84c2c38f73.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-6c8d8c84c2c38f73.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-6c8d8c84c2c38f73.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msopds_gameplay-8ddb710c12d25bf3.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-8ddb710c12d25bf3.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-8ddb710c12d25bf3.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/msopds_het_graph-2474fb46ba8e3bfa.d: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/release/deps/libmsopds_het_graph-2474fb46ba8e3bfa.rlib: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+/root/repo/target/release/deps/libmsopds_het_graph-2474fb46ba8e3bfa.rmeta: crates/het-graph/src/lib.rs crates/het-graph/src/csr.rs crates/het-graph/src/generate.rs crates/het-graph/src/item_graph.rs crates/het-graph/src/stats.rs
+
+crates/het-graph/src/lib.rs:
+crates/het-graph/src/csr.rs:
+crates/het-graph/src/generate.rs:
+crates/het-graph/src/item_graph.rs:
+crates/het-graph/src/stats.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/msopds_recdata-e7ad7dff50997f10.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/release/deps/libmsopds_recdata-e7ad7dff50997f10.rlib: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/release/deps/libmsopds_recdata-e7ad7dff50997f10.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+crates/recdata/src/lib.rs:
+crates/recdata/src/dataset.rs:
+crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
+crates/recdata/src/poison.rs:
+crates/recdata/src/ratings.rs:
+crates/recdata/src/synth.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-74ab789b2deb7df7.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-74ab789b2deb7df7: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

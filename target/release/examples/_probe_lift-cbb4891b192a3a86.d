@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/_probe_lift-cbb4891b192a3a86.d: examples/_probe_lift.rs
+
+/root/repo/target/release/examples/_probe_lift-cbb4891b192a3a86: examples/_probe_lift.rs
+
+examples/_probe_lift.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-394261bec9648f6b.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-394261bec9648f6b: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -48,29 +48,67 @@ fn full_pipeline_every_method_finishes() {
     }
 }
 
+/// Plans once, then averages r̄ over several victim initializations.
+///
+/// At this test scale the dim-8 victim has multiple Adam convergence basins
+/// (clean r̄ swings ±0.9 across inits, and the spread does not shrink with
+/// more epochs), so a single retrain per world measures basin luck, not
+/// attack effect. Averaging the *evaluation* over victim seeds washes that
+/// out without re-running the expensive planning step.
+fn mean_rbar_over_victim_inits(
+    data: &Dataset,
+    market: &Market,
+    method: AttackMethod,
+    cfg: &GameConfig,
+    n_inits: u64,
+) -> f64 {
+    use msopds::gameplay::{play_world, score_world};
+    let played = play_world(data, market, method, cfg);
+    let mut acc = 0.0;
+    for v in 0..n_inits {
+        let scoring = GameConfig { seed: cfg.seed.wrapping_add(v * 7919), ..cfg.clone() };
+        acc += score_world(&played.world, market, method, &scoring, &played).avg_rating;
+    }
+    acc / n_inits as f64
+}
+
 #[test]
 fn msopds_poison_raises_target_rating() {
     // The headline direction of Table III: attacking must beat not attacking
-    // under a single opponent (averaged over seeds to wash retrain noise).
+    // under a single opponent, averaged over planning seeds and victim
+    // initializations (see mean_rbar_over_victim_inits for why the latter).
     let mut lift = 0.0;
     for seed in [3u64, 4, 5] {
         let data = DatasetSpec::ciao().scaled(SCALE).generate(seed);
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let market =
-            sample_market(&data, &DemographicsSpec::default().scaled(SCALE), 1, &mut rng);
+        let market = sample_market(&data, &DemographicsSpec::default().scaled(SCALE), 1, &mut rng);
         let mut cfg = tiny_game_cfg();
         cfg.seed = seed;
         cfg.planner.mso.iters = 5;
-        let clean = run_game(&data, &market, AttackMethod::Baseline(Baseline::None), &cfg);
-        let attacked = run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg);
-        lift += attacked.avg_rating - clean.avg_rating;
+        let clean = mean_rbar_over_victim_inits(
+            &data,
+            &market,
+            AttackMethod::Baseline(Baseline::None),
+            &cfg,
+            5,
+        );
+        let attacked = mean_rbar_over_victim_inits(
+            &data,
+            &market,
+            AttackMethod::Msopds(ActionToggles::all()),
+            &cfg,
+            5,
+        );
+        lift += attacked - clean;
     }
     assert!(lift / 3.0 > 0.1, "mean MSOPDS lift over 3 seeds was {}", lift / 3.0);
 }
 
 #[test]
 fn planner_budget_invariants_hold_end_to_end() {
-    use msopds::core::{build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, PlayerSetup};
+    use msopds::core::{
+        build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, PlayerSetup,
+    };
     let (mut data, market) = setup(1);
     let spec = CaCapacitySpec::promote(4);
     let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
@@ -96,8 +134,7 @@ fn planner_budget_invariants_hold_end_to_end() {
             target: market.target_item,
         },
     };
-    let planning =
-        prepare_planning_data(&data, &[&attacker.capacity, &opponent.capacity]);
+    let planning = prepare_planning_data(&data, &[&attacker.capacity, &opponent.capacity]);
     let mut cfg = PlannerConfig::default();
     cfg.mso.iters = 3;
     cfg.mso.cg_iters = 2;
@@ -114,14 +151,27 @@ fn planner_budget_invariants_hold_end_to_end() {
 }
 
 #[test]
-fn whole_pipeline_is_deterministic() {
-    let run = || {
+fn whole_pipeline_is_deterministic_across_thread_counts() {
+    // The kernel pool's contract: thread count changes latency, never bits.
+    // Run the same game single-lane and with 4 lanes (thresholds dropped so
+    // the parallel paths actually execute at this tiny scale) and require
+    // identical output.
+    use msopds::autograd::pool;
+    let run = |threads: usize| {
+        pool::configure_threads(threads);
         let (data, market) = setup(1);
-        let cfg = tiny_game_cfg();
+        let cfg = GameConfig { kernel_threads: threads, ..tiny_game_cfg() };
         run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg)
     };
-    let a = run();
-    let b = run();
+    pool::set_parallel_thresholds(1, 1, 1);
+    let a = run(1);
+    let b = run(4);
+    pool::set_parallel_thresholds(
+        pool::DEFAULT_ELEMWISE_MIN,
+        pool::DEFAULT_COPY_MIN,
+        pool::DEFAULT_MATMUL_MIN,
+    );
+    pool::configure_threads(1);
     assert_eq!(a.avg_rating, b.avg_rating);
     assert_eq!(a.hit_rate_at_3, b.hit_rate_at_3);
     assert_eq!(a.attacker_actions, b.attacker_actions);
@@ -147,10 +197,7 @@ fn gradient_reaches_every_action_category_through_full_stack() {
     let pds = build_pds(
         &tape,
         &planning,
-        &[PlayerInput {
-            candidates: &cap.importance.candidates,
-            xhat: cap.importance.binarize(),
-        }],
+        &[PlayerInput { candidates: &cap.importance.candidates, xhat: cap.importance.binarize() }],
         &PdsConfig { inner_steps: 3, ..Default::default() },
     );
     let loss = ca_loss(

@@ -48,9 +48,8 @@ fn setup(n_opponents: usize) -> (Dataset, Market, PlayerSetup, Vec<PlayerSetup>)
             }
         })
         .collect();
-    let caps: Vec<_> = std::iter::once(&attacker.capacity)
-        .chain(opponents.iter().map(|o| &o.capacity))
-        .collect();
+    let caps: Vec<_> =
+        std::iter::once(&attacker.capacity).chain(opponents.iter().map(|o| &o.capacity)).collect();
     let planning = prepare_planning_data(&data, &caps);
     (planning, market, attacker, opponents)
 }
@@ -70,12 +69,7 @@ fn exact_and_finite_diff_hvp_agree_on_the_full_game() {
     let (planning, _, attacker, opponents) = setup(1);
     let exact = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::Exact));
     let fd = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::FiniteDiff));
-    let dot: f64 = exact
-        .importance
-        .iter()
-        .zip(&fd.importance)
-        .map(|(a, b)| a * b)
-        .sum();
+    let dot: f64 = exact.importance.iter().zip(&fd.importance).map(|(a, b)| a * b).sum();
     let na: f64 = exact.importance.iter().map(|a| a * a).sum::<f64>().sqrt();
     let nb: f64 = fd.importance.iter().map(|b| b * b).sum::<f64>().sqrt();
     assert!(na > 0.0 && nb > 0.0, "planners must move the importance vectors");
@@ -89,8 +83,7 @@ fn follower_descends_its_own_loss() {
     // the outer iterations (the "pull" of Fig. 3).
     let (planning, _, attacker, opponents) = setup(1);
     let out = plan_msopds(&planning, &attacker, &opponents, &cfg(6, HvpMode::Exact));
-    let follower_losses: Vec<f64> =
-        out.diagnostics.follower_loss.iter().map(|v| v[0]).collect();
+    let follower_losses: Vec<f64> = out.diagnostics.follower_loss.iter().map(|v| v[0]).collect();
     let first = follower_losses[0];
     let last = *follower_losses.last().unwrap();
     assert!(
@@ -119,8 +112,6 @@ fn eta_discipline_is_enforced_at_the_planner_level() {
     let (planning, _, attacker, opponents) = setup(1);
     let mut bad = cfg(1, HvpMode::Exact);
     bad.mso.eta_p = bad.mso.eta_q; // violates Theorem 3
-    let result = std::panic::catch_unwind(|| {
-        plan_msopds(&planning, &attacker, &opponents, &bad)
-    });
+    let result = std::panic::catch_unwind(|| plan_msopds(&planning, &attacker, &opponents, &bad));
     assert!(result.is_err(), "η^p ≥ η^q must be rejected");
 }

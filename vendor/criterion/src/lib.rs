@@ -1,0 +1,351 @@
+//! Offline vendored mini benchmark harness.
+//!
+//! Stands in for `criterion` 0.5, covering the surface this workspace uses:
+//! [`Criterion::bench_function`], [`Criterion::benchmark_group`],
+//! [`Bencher::iter`] / [`Bencher::iter_batched`], the struct form of
+//! [`criterion_group!`], and [`criterion_main!`].
+//!
+//! Differences from real criterion: no statistical analysis or HTML reports.
+//! Each benchmark runs a short warm-up to size iteration batches, then takes
+//! `sample_size` timed samples within roughly `measurement_time`, and reports
+//! min/mean/median per-iteration wall time. On exit, [`criterion_main!`]
+//! writes every result to `BENCH_<bench-target>.json` in the working
+//! directory so performance is tracked across PRs.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How `iter_batched` amortizes setup cost; only a hint in this stand-in.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small outputs: batch many routine calls per setup.
+    SmallInput,
+    /// Large outputs: one routine call per setup.
+    LargeInput,
+    /// One call per batch.
+    PerIteration,
+}
+
+/// One measured benchmark.
+#[derive(Clone, Debug)]
+pub struct BenchResult {
+    /// Full benchmark id, e.g. `kernels/matmul_128`.
+    pub id: String,
+    /// Timed samples, mean nanoseconds per iteration.
+    pub sample_means_ns: Vec<f64>,
+    /// Iterations per sample.
+    pub iters_per_sample: u64,
+}
+
+impl BenchResult {
+    /// Mean over samples, ns/iteration.
+    pub fn mean_ns(&self) -> f64 {
+        self.sample_means_ns.iter().sum::<f64>() / self.sample_means_ns.len().max(1) as f64
+    }
+
+    /// Median over samples, ns/iteration.
+    pub fn median_ns(&self) -> f64 {
+        let mut xs = self.sample_means_ns.clone();
+        xs.sort_by(|a, b| a.total_cmp(b));
+        match xs.len() {
+            0 => 0.0,
+            n if n % 2 == 1 => xs[n / 2],
+            n => 0.5 * (xs[n / 2 - 1] + xs[n / 2]),
+        }
+    }
+
+    /// Fastest sample, ns/iteration.
+    pub fn min_ns(&self) -> f64 {
+        self.sample_means_ns.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Benchmark identifier; built from `&str` / `String`.
+pub struct BenchId(String);
+
+impl From<&str> for BenchId {
+    fn from(s: &str) -> Self {
+        BenchId(s.to_owned())
+    }
+}
+
+impl From<String> for BenchId {
+    fn from(s: String) -> Self {
+        BenchId(s)
+    }
+}
+
+impl From<&String> for BenchId {
+    fn from(s: &String) -> Self {
+        BenchId(s.clone())
+    }
+}
+
+/// The benchmark driver: configuration plus collected results.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    results: Vec<BenchResult>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20, measurement_time: Duration::from_secs(3), results: Vec::new() }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets the approximate total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Runs one benchmark closure.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into().0;
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            measurement_time: self.measurement_time,
+            result: None,
+        };
+        f(&mut bencher);
+        if let Some(mut result) = bencher.result.take() {
+            result.id = id.clone();
+            eprintln!(
+                "bench {id}: mean {:.3} ms, median {:.3} ms, min {:.3} ms ({} samples x {} iters)",
+                result.mean_ns() / 1e6,
+                result.median_ns() / 1e6,
+                result.min_ns() / 1e6,
+                result.sample_means_ns.len(),
+                result.iters_per_sample,
+            );
+            self.results.push(result);
+        }
+        self
+    }
+
+    /// Opens a named group; benchmark ids get a `group/` prefix.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.into() }
+    }
+
+    /// Drains the results collected so far (used by `criterion_main!`).
+    pub fn take_results(&mut self) -> Vec<BenchResult> {
+        std::mem::take(&mut self.results)
+    }
+}
+
+/// A named collection of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchId>, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.prefix, id.into().0);
+        self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Ends the group (kept for criterion API parity; a no-op here).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; runs and times the measured routine.
+pub struct Bencher {
+    sample_size: usize,
+    measurement_time: Duration,
+    result: Option<BenchResult>,
+}
+
+impl Bencher {
+    /// Times `routine`, called in batches sized from a warm-up estimate.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up: find how long one call takes, with a floor so free
+        // routines don't spin forever.
+        let warm_start = Instant::now();
+        black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(20));
+
+        let budget = self.measurement_time;
+        let per_sample = budget / (self.sample_size as u32 + 1);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                black_box(routine());
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(BenchResult {
+            id: String::new(),
+            sample_means_ns: samples,
+            iters_per_sample: iters,
+        });
+    }
+
+    /// Times `routine` over fresh inputs from `setup`; setup time excluded.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let input = setup();
+        let warm_start = Instant::now();
+        black_box(routine(input));
+        let once = warm_start.elapsed().max(Duration::from_nanos(20));
+
+        let budget = self.measurement_time;
+        let per_sample = budget / (self.sample_size as u32 + 1);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as u64;
+
+        let mut samples = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            // Pre-build inputs so setup stays off the clock.
+            let inputs: Vec<I> = (0..iters).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                black_box(routine(input));
+            }
+            let elapsed = start.elapsed();
+            samples.push(elapsed.as_nanos() as f64 / iters as f64);
+        }
+        self.result = Some(BenchResult {
+            id: String::new(),
+            sample_means_ns: samples,
+            iters_per_sample: iters,
+        });
+    }
+}
+
+/// Writes all results as `BENCH_<target>.json` next to the working directory.
+///
+/// The JSON is a flat list of `{id, mean_ns, median_ns, min_ns, samples}`
+/// rows — enough to diff performance across PRs.
+pub fn write_results_json(target: &str, results: &[BenchResult]) {
+    let mut out = String::from("[\n");
+    for (i, r) in results.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
+            r.id.replace('"', "'"),
+            r.mean_ns(),
+            r.median_ns(),
+            r.min_ns(),
+            r.sample_means_ns.len(),
+            r.iters_per_sample,
+        ));
+    }
+    out.push_str("\n]\n");
+    let path = format!("BENCH_{target}.json");
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {path}: {e}");
+    } else {
+        eprintln!("wrote {path}");
+    }
+}
+
+/// Declares a benchmark group (struct form, as the workspace uses).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $cfg:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() -> ::std::vec::Vec<$crate::BenchResult> {
+            let mut criterion: $crate::Criterion = $cfg;
+            $($target(&mut criterion);)+
+            criterion.take_results()
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark `main` that runs groups and writes the JSON
+/// summary. The file name comes from the bench target's crate name
+/// (`BENCH_kernels.json` for `benches/kernels.rs`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut all: ::std::vec::Vec<$crate::BenchResult> = ::std::vec::Vec::new();
+            $(all.extend($group());)+
+            $crate::write_results_json(env!("CARGO_CRATE_NAME"), &all);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spin(c: &mut Criterion) {
+        c.bench_function("test/spin", |b| {
+            b.iter(|| {
+                let mut acc = 0u64;
+                for i in 0..100u64 {
+                    acc = acc.wrapping_add(black_box(i));
+                }
+                acc
+            })
+        });
+    }
+
+    #[test]
+    fn collects_samples() {
+        let mut c = Criterion::default().sample_size(3).measurement_time(Duration::from_millis(30));
+        spin(&mut c);
+        let results = c.take_results();
+        assert_eq!(results.len(), 1);
+        assert_eq!(results[0].id, "test/spin");
+        assert_eq!(results[0].sample_means_ns.len(), 3);
+        assert!(results[0].mean_ns() > 0.0);
+        assert!(results[0].min_ns() <= results[0].median_ns() * (1.0 + 1e-9));
+    }
+
+    #[test]
+    fn groups_prefix_ids() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20));
+        let mut g = c.benchmark_group("grp");
+        g.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        let results = c.take_results();
+        assert_eq!(results[0].id, "grp/inner");
+    }
+
+    #[test]
+    fn iter_batched_runs() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20));
+        c.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1.0f64; 64], |v| v.iter().sum::<f64>(), BatchSize::SmallInput)
+        });
+        assert_eq!(c.take_results().len(), 1);
+    }
+}

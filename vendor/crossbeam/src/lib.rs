@@ -1,0 +1,230 @@
+//! Offline vendored stand-in for the subset of `crossbeam` 0.8 this
+//! workspace uses: multi-producer/multi-consumer unbounded channels and
+//! scoped threads.
+//!
+//! The channel is a `Mutex<VecDeque>` + `Condvar` — adequate for the coarse
+//! cell-level work distribution in `xp::runner` (items are whole experiment
+//! games, so channel overhead is irrelevant). Scoped threads delegate to
+//! `std::thread::scope`, preserving crossbeam's `Result`-of-joins API shape.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Multi-producer multi-consumer channels.
+pub mod channel {
+    use super::*;
+
+    struct Shared<T> {
+        queue: Mutex<State<T>>,
+        ready: Condvar,
+    }
+
+    struct State<T> {
+        items: VecDeque<T>,
+        senders: usize,
+    }
+
+    /// The sending half; cloning adds another producer.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half; cloning adds another consumer.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Clone, Copy, Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Creates an unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            queue: Mutex::new(State { items: VecDeque::new(), senders: 1 }),
+            ready: Condvar::new(),
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `item`; fails only if all receivers have been dropped.
+        ///
+        /// Receiver liveness is approximated by the strong count: senders and
+        /// receivers share one `Arc`, so if the count equals the number of
+        /// live senders, no receiver remains.
+        pub fn send(&self, item: T) -> Result<(), SendError<T>> {
+            let mut state = self.shared.queue.lock().unwrap();
+            if Arc::strong_count(&self.shared) <= state.senders {
+                return Err(SendError(item));
+            }
+            state.items.push_back(item);
+            drop(state);
+            self.shared.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            // Clone the Arc *before* bumping the sender count: `send` treats
+            // `strong_count <= senders` as "no receivers left", so the count
+            // must never lag the sender tally.
+            let shared = Arc::clone(&self.shared);
+            shared.queue.lock().unwrap().senders += 1;
+            Sender { shared }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut state = self.shared.queue.lock().unwrap();
+            state.senders -= 1;
+            if state.senders == 0 {
+                drop(state);
+                self.shared.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues the next item, blocking while the channel is empty and at
+        /// least one sender is alive.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut state = self.shared.queue.lock().unwrap();
+            loop {
+                if let Some(item) = state.items.pop_front() {
+                    return Ok(item);
+                }
+                if state.senders == 0 {
+                    return Err(RecvError);
+                }
+                state = self.shared.ready.wait(state).unwrap();
+            }
+        }
+
+        /// Non-blocking receive; `None` when empty or disconnected.
+        pub fn try_recv(&self) -> Option<T> {
+            self.shared.queue.lock().unwrap().items.pop_front()
+        }
+
+        /// Blocking iterator that ends when the channel is drained and all
+        /// senders are gone.
+        pub fn iter(&self) -> Iter<'_, T> {
+            Iter { receiver: self }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    /// Iterator over received items; see [`Receiver::iter`].
+    pub struct Iter<'a, T> {
+        receiver: &'a Receiver<T>,
+    }
+
+    impl<T> Iterator for Iter<'_, T> {
+        type Item = T;
+
+        fn next(&mut self) -> Option<T> {
+            self.receiver.recv().ok()
+        }
+    }
+}
+
+/// Handle passed to scoped-thread closures, mirroring `crossbeam::thread`.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. The closure receives the scope handle (unused
+    /// by this workspace, kept for crossbeam signature parity).
+    pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner = self.inner;
+        inner.spawn(move || {
+            let scope = Scope { inner };
+            f(&scope)
+        })
+    }
+}
+
+/// Runs `f` with a thread scope; all spawned threads are joined before this
+/// returns. Unlike `std::thread::scope`, a panic in an *unjoined* spawned
+/// thread surfaces as `Err` in crossbeam — `std::thread::scope` instead
+/// propagates the panic, which this stand-in converts back to `Err` by
+/// catching it at the boundary.
+pub fn scope<'env, F, R>(f: F) -> Result<R, Box<dyn std::any::Any + Send + 'static>>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    // crossbeam imposes no UnwindSafe bound, so neither does this stand-in;
+    // the assertion is sound because the scope's state is not observable
+    // after an Err return.
+    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let scope = Scope { inner: s };
+            f(&scope)
+        })
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channel_fan_in_fan_out() {
+        let (tx, rx) = channel::unbounded::<usize>();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let total: usize = rx.iter().sum();
+        assert_eq!(total, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn recv_fails_when_senders_gone() {
+        let (tx, rx) = channel::unbounded::<u8>();
+        drop(tx);
+        assert!(rx.recv().is_err());
+    }
+
+    #[test]
+    fn scoped_threads_share_work() {
+        let (work_tx, work_rx) = channel::unbounded::<u64>();
+        let (res_tx, res_rx) = channel::unbounded::<u64>();
+        for i in 0..32 {
+            work_tx.send(i).unwrap();
+        }
+        drop(work_tx);
+        let collected = scope(|s| {
+            for _ in 0..4 {
+                let work_rx = work_rx.clone();
+                let res_tx = res_tx.clone();
+                s.spawn(move |_| {
+                    while let Ok(x) = work_rx.recv() {
+                        res_tx.send(x * 2).unwrap();
+                    }
+                });
+            }
+            drop(res_tx);
+            res_rx.iter().sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(collected, 2 * 31 * 32 / 2);
+    }
+}

@@ -1,0 +1,308 @@
+//! Offline vendored stand-in for the subset of `rand` 0.8 used by this
+//! workspace.
+//!
+//! The build container has no network access and no registry cache, so the
+//! workspace's `rand` dependency resolves here via a path dependency (see
+//! `[workspace.dependencies]` in the root manifest). Only the API surface the
+//! workspace actually calls is provided: [`Rng::gen_range`] / [`Rng::gen_bool`], [`SeedableRng`],
+//! [`rngs::StdRng`], and [`seq::SliceRandom`].
+//!
+//! `StdRng` here is xoshiro256++ seeded through SplitMix64 — *not* the ChaCha
+//! generator real `rand` uses. All workspace seeds are internal (experiment
+//! reproducibility only requires self-consistency), so the stream change is
+//! harmless, but checked-in fixtures generated under real `rand` would not
+//! replay bit-identically.
+
+/// Low-level generator interface: a source of uniformly distributed `u64`s.
+pub trait RngCore {
+    /// Returns the next 64 uniformly distributed bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next 32 uniformly distributed bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction, mirroring `rand::SeedableRng`.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `state`.
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+/// High-level sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Samples uniformly from `range` (half-open or inclusive, any supported
+    /// numeric type).
+    fn gen_range<T, R>(&mut self, range: R) -> T
+    where
+        R: SampleRange<T>,
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        assert!((0.0..=1.0).contains(&p), "gen_bool probability out of range: {p}");
+        unit_f64(self.next_u64()) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Maps 64 random bits to a float in `[0, 1)` with 53-bit precision.
+fn unit_f64(bits: u64) -> f64 {
+    (bits >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+}
+
+/// A range that knows how to sample a `T` uniformly from itself.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample.
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for core::ops::Range<f64> {
+    fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let span = self.end - self.start;
+        self.start + unit_f64(rng.next_u64()) * span
+    }
+}
+
+/// Uniform integer in `[0, bound)` via Lemire-style widening multiply with
+/// rejection, so every value is exactly equally likely.
+fn uniform_below<R: RngCore + ?Sized>(rng: &mut R, bound: u64) -> u64 {
+    assert!(bound > 0, "empty integer sample range");
+    let threshold = bound.wrapping_neg() % bound;
+    loop {
+        let wide = (rng.next_u64() as u128) * (bound as u128);
+        if (wide as u64) >= threshold {
+            return (wide >> 64) as u64;
+        }
+    }
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                let span = (self.end - self.start) as u64;
+                self.start + uniform_below(rng, span) as $t
+            }
+        }
+        impl SampleRange<$t> for core::ops::RangeInclusive<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive sample range");
+                let span = (hi - lo) as u64;
+                if span == u64::MAX {
+                    return lo + rng.next_u64() as $t;
+                }
+                lo + uniform_below(rng, span + 1) as $t
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_signed_sample_range {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleRange<$t> for core::ops::Range<$t> {
+            fn sample<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty sample range");
+                let span = (self.end as i64).wrapping_sub(self.start as i64) as u64;
+                self.start.wrapping_add(uniform_below(rng, span) as $t)
+            }
+        }
+    )*};
+}
+
+impl_signed_sample_range!(i32 => u32, i64 => u64, isize => usize);
+
+/// Generator implementations.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// Deterministic 64-bit generator (xoshiro256++ over a SplitMix64-expanded
+    /// seed). See the crate docs for how this differs from real `rand`.
+    #[derive(Clone, Debug)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(state: u64) -> Self {
+            let mut sm = state;
+            let mut s = [0u64; 4];
+            for slot in &mut s {
+                *slot = splitmix64(&mut sm);
+            }
+            // xoshiro's all-zero state is a fixed point; SplitMix64 cannot
+            // produce four zero outputs in a row, but guard anyway.
+            if s == [0, 0, 0, 0] {
+                s[0] = 0x9E37_79B9_7F4A_7C15;
+            }
+            Self { s }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+/// Sequence-sampling helpers, mirroring `rand::seq`.
+pub mod seq {
+    use super::{RngCore, SampleRange};
+
+    /// Random selection and shuffling on slices.
+    pub trait SliceRandom {
+        /// Element type of the slice.
+        type Item;
+
+        /// Uniformly picks one element, or `None` if the slice is empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+
+        /// Picks `amount` distinct elements uniformly without replacement
+        /// (clamped to the slice length). Like real `rand`, the order of the
+        /// returned elements is not the slice order.
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&Self::Item>;
+
+        /// Fisher–Yates shuffles the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[(0..self.len()).sample(rng)])
+            }
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            let amount = amount.min(self.len());
+            // Partial Fisher–Yates over indices: the first `amount` slots end
+            // up holding a uniform sample without replacement.
+            let mut idx: Vec<usize> = (0..self.len()).collect();
+            for i in 0..amount {
+                let j = (i..idx.len()).sample(rng);
+                idx.swap(i, j);
+            }
+            idx.truncate(amount);
+            idx.into_iter().map(|i| &self[i]).collect::<Vec<_>>().into_iter()
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (0..=i).sample(rng);
+                self.swap(i, j);
+            }
+        }
+    }
+
+    impl<T> SliceRandom for Vec<T> {
+        type Item = T;
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            self.as_slice().choose(rng)
+        }
+
+        fn choose_multiple<R: RngCore + ?Sized>(
+            &self,
+            rng: &mut R,
+            amount: usize,
+        ) -> std::vec::IntoIter<&T> {
+            self.as_slice().choose_multiple(rng, amount)
+        }
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            self.as_mut_slice().shuffle(rng);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, RngCore, SeedableRng};
+
+    #[test]
+    fn deterministic_for_seed() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_respect_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x: f64 = rng.gen_range(f64::EPSILON..1.0);
+            assert!((f64::EPSILON..1.0).contains(&x));
+            let n: usize = rng.gen_range(3..17);
+            assert!((3..17).contains(&n));
+            let b: u8 = rng.gen_range(1..=5u8);
+            assert!((1..=5).contains(&b));
+        }
+    }
+
+    #[test]
+    fn choose_multiple_is_distinct_and_clamped() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let xs: Vec<u32> = (0..10).collect();
+        let picked: Vec<u32> = xs.choose_multiple(&mut rng, 4).copied().collect();
+        assert_eq!(picked.len(), 4);
+        let mut sorted = picked.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 4);
+        assert_eq!(xs.choose_multiple(&mut rng, 99).count(), 10);
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(3);
+        assert!(!rng.gen_bool(0.0));
+        assert!(rng.gen_bool(1.0));
+    }
+}

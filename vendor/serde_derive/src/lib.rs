@@ -1,0 +1,338 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! vendored serde stand-in.
+//!
+//! Real `serde_derive` depends on `syn`/`quote`, which are unavailable in
+//! this offline container, so this macro parses the `TokenStream` directly.
+//! It supports exactly the shapes this workspace derives on:
+//!
+//! - structs with named fields and unit structs;
+//! - enums with unit, named-field, and tuple variants.
+//!
+//! `#[serde(...)]` attributes are not supported (none exist in the
+//! workspace); generic parameters are rejected with a compile error. Field
+//! *types* never need to be understood: generated `from_value` bodies rely on
+//! struct-literal / constructor type inference to pick the right
+//! `Deserialize` impl.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// One variant of a parsed item body.
+enum Shape {
+    /// `struct S;`
+    UnitStruct,
+    /// `struct S { fields }`
+    Struct(Vec<String>),
+    /// `enum E { variants }`
+    Enum(Vec<Variant>),
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Named(Vec<String>),
+    Tuple(usize),
+}
+
+struct Item {
+    name: String,
+    shape: Shape,
+}
+
+/// Splits the tokens of a brace/paren group into comma-separated segments,
+/// tracking `<`/`>` depth so generic arguments don't split early.
+/// (Parenthesized and bracketed subtrees arrive as single `Group` tokens, so
+/// only angle brackets need explicit depth tracking.)
+fn split_commas(tokens: Vec<TokenTree>) -> Vec<Vec<TokenTree>> {
+    let mut segments = Vec::new();
+    let mut current = Vec::new();
+    let mut angle_depth = 0i32;
+    for tt in tokens {
+        if let TokenTree::Punct(p) = &tt {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    segments.push(std::mem::take(&mut current));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        current.push(tt);
+    }
+    if !current.is_empty() {
+        segments.push(current);
+    }
+    segments
+}
+
+/// Strips leading `#[...]` attributes and `pub` / `pub(...)` visibility from a
+/// token segment.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                // Attribute: `#` followed by a bracketed group.
+                i += 2;
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => return &tokens[i..],
+        }
+    }
+}
+
+/// Extracts field names from the tokens of a named-field body.
+fn parse_named_fields(body: &proc_macro::Group) -> Vec<String> {
+    split_commas(body.stream().into_iter().collect())
+        .into_iter()
+        .filter_map(|segment| {
+            let segment = strip_attrs_and_vis(&segment);
+            match segment.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+/// Parses the derive input down to item name + shape.
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+
+    let (keyword, rest) = match tokens.first() {
+        Some(TokenTree::Ident(id)) => (id.to_string(), &tokens[1..]),
+        other => panic!("derive: expected `struct` or `enum`, found {other:?}"),
+    };
+    let name = match rest.first() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("derive: expected item name, found {other:?}"),
+    };
+    if matches!(rest.get(1), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("derive({name}): generic items are not supported by the vendored serde_derive");
+    }
+
+    match keyword.as_str() {
+        "struct" => match rest.get(1) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Item { name, shape: Shape::Struct(parse_named_fields(g)) }
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                Item { name, shape: Shape::UnitStruct }
+            }
+            other => panic!(
+                "derive({name}): unsupported struct body {other:?} (tuple structs unsupported)"
+            ),
+        },
+        "enum" => {
+            let body = match rest.get(1) {
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+                other => panic!("derive({name}): expected enum body, found {other:?}"),
+            };
+            let variants = split_commas(body.stream().into_iter().collect())
+                .into_iter()
+                .filter_map(|segment| {
+                    let segment = strip_attrs_and_vis(&segment);
+                    let vname = match segment.first() {
+                        Some(TokenTree::Ident(id)) => id.to_string(),
+                        None => return None,
+                        other => panic!("derive({name}): bad variant start {other:?}"),
+                    };
+                    let kind = match segment.get(1) {
+                        None => VariantKind::Unit,
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            VariantKind::Named(parse_named_fields(g))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            let arity = split_commas(g.stream().into_iter().collect()).len();
+                            VariantKind::Tuple(arity)
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                            // Explicit discriminant: still a unit variant.
+                            VariantKind::Unit
+                        }
+                        other => panic!("derive({name}): bad variant body {other:?}"),
+                    };
+                    Some(Variant { name: vname, kind })
+                })
+                .collect();
+            Item { name, shape: Shape::Enum(variants) }
+        }
+        other => panic!("derive: unsupported item kind `{other}`"),
+    }
+}
+
+/// Derives `serde::Serialize` by generating a `to_value` body.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => "::serde::Value::Null".to_string(),
+        Shape::Struct(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| format!("(\"{f}\".to_string(), ::serde::Serialize::to_value(&self.{f}))"))
+                .collect();
+            format!("::serde::Value::Map(vec![{}])", entries.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.kind {
+                        VariantKind::Unit => format!(
+                            "{name}::{vn} => ::serde::Value::Str(\"{vn}\".to_string())"
+                        ),
+                        VariantKind::Named(fields) => {
+                            let binds = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_value({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {binds} }} => ::serde::Value::Map(vec![(\"{vn}\".to_string(), ::serde::Value::Map(vec![{}]))])",
+                                entries.join(", ")
+                            )
+                        }
+                        VariantKind::Tuple(arity) => {
+                            let binds: Vec<String> =
+                                (0..*arity).map(|i| format!("x{i}")).collect();
+                            let payload = if *arity == 1 {
+                                "::serde::Serialize::to_value(x0)".to_string()
+                            } else {
+                                let items: Vec<String> = binds
+                                    .iter()
+                                    .map(|b| format!("::serde::Serialize::to_value({b})"))
+                                    .collect();
+                                format!("::serde::Value::Seq(vec![{}])", items.join(", "))
+                            };
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Value::Map(vec![(\"{vn}\".to_string(), {payload})])",
+                                binds.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    let output = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_value(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    );
+    output.parse().expect("derive(Serialize): generated code failed to parse")
+}
+
+/// Derives `serde::Deserialize` by generating a `from_value` body.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let name = &item.name;
+    let body = match &item.shape {
+        Shape::UnitStruct => format!("{{ let _ = v; Ok({name}) }}"),
+        Shape::Struct(fields) => {
+            let inits: Vec<String> = fields
+                .iter()
+                .map(|f| format!("{f}: ::serde::Deserialize::from_value(v.field(\"{f}\"))?"))
+                .collect();
+            format!("Ok({name} {{ {} }})", inits.join(", "))
+        }
+        Shape::Enum(variants) => {
+            let mut unit_arms = Vec::new();
+            let mut data_arms = Vec::new();
+            for v in variants {
+                let vn = &v.name;
+                match &v.kind {
+                    VariantKind::Unit => {
+                        unit_arms.push(format!("\"{vn}\" => Ok({name}::{vn})"));
+                    }
+                    VariantKind::Named(fields) => {
+                        let inits: Vec<String> = fields
+                            .iter()
+                            .map(|f| {
+                                format!(
+                                    "{f}: ::serde::Deserialize::from_value(payload.field(\"{f}\"))?"
+                                )
+                            })
+                            .collect();
+                        data_arms.push(format!(
+                            "\"{vn}\" => Ok({name}::{vn} {{ {} }})",
+                            inits.join(", ")
+                        ));
+                    }
+                    VariantKind::Tuple(arity) => {
+                        let expr = if *arity == 1 {
+                            format!("Ok({name}::{vn}(::serde::Deserialize::from_value(payload)?))")
+                        } else {
+                            let elems: Vec<String> = (0..*arity)
+                                .map(|i| {
+                                    format!(
+                                        "::serde::Deserialize::from_value(items.get({i}).unwrap_or(&::serde::NULL))?"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "match payload {{ ::serde::Value::Seq(items) => Ok({name}::{vn}({})), other => Err(::serde::DeError::expected(\"array\", other)) }}",
+                                elems.join(", ")
+                            )
+                        };
+                        data_arms.push(format!("\"{vn}\" => {expr}"));
+                    }
+                }
+            }
+            let unit_match = format!(
+                "match tag.as_str() {{ {}, other => Err(::serde::DeError(format!(\"unknown variant `{{other}}` for {name}\"))) }}",
+                if unit_arms.is_empty() {
+                    "_never @ \"\\u{0}\" => unreachable!()".to_string()
+                } else {
+                    unit_arms.join(", ")
+                }
+            );
+            let data_match = format!(
+                "match tag.as_str() {{ {}, other => Err(::serde::DeError(format!(\"unknown variant `{{other}}` for {name}\"))) }}",
+                if data_arms.is_empty() {
+                    "_never @ \"\\u{0}\" => unreachable!()".to_string()
+                } else {
+                    data_arms.join(", ")
+                }
+            );
+            format!(
+                "match v {{\n\
+                     ::serde::Value::Str(tag) => {unit_match},\n\
+                     ::serde::Value::Map(entries) if entries.len() == 1 => {{\n\
+                         let (tag, payload) = (&entries[0].0, &entries[0].1);\n\
+                         let _ = payload;\n\
+                         {data_match}\n\
+                     }}\n\
+                     other => Err(::serde::DeError::expected(\"enum tag\", other)),\n\
+                 }}"
+            )
+        }
+    };
+    let output = format!(
+        "impl ::serde::Deserialize for {name} {{\n\
+             fn from_value(v: &::serde::Value) -> Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    );
+    output.parse().expect("derive(Deserialize): generated code failed to parse")
+}
