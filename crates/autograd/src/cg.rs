@@ -7,6 +7,15 @@
 //! standard regularization for the possibly indefinite Hessians encountered
 //! mid-optimization.
 
+use msopds_telemetry as telemetry;
+
+/// Completed CG solves.
+static CG_SOLVES: telemetry::Counter = telemetry::Counter::new("autograd.cg.solves");
+/// Total CG iterations (= Hessian-vector products consumed) across all solves.
+static CG_ITERATIONS: telemetry::Counter = telemetry::Counter::new("autograd.cg.iterations");
+/// Final residual norm of the most recent solve.
+static CG_LAST_RESIDUAL: telemetry::Gauge = telemetry::Gauge::new("autograd.cg.last_residual");
+
 /// Outcome of a conjugate-gradient solve.
 #[derive(Clone, Debug)]
 pub struct CgSolution {
@@ -28,6 +37,21 @@ pub struct CgSolution {
 /// operator; for the Stackelberg solve this is the Hessian `∂²L^q/∂X̂^q²`,
 /// which is symmetric by construction.
 pub fn conjugate_gradient(
+    apply: impl FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+    damping: f64,
+) -> CgSolution {
+    let _span = telemetry::span("cg");
+    let sol = cg_loop(apply, b, max_iters, tol, damping);
+    CG_SOLVES.incr();
+    CG_ITERATIONS.add(sol.iterations as u64);
+    CG_LAST_RESIDUAL.set(sol.residual);
+    sol
+}
+
+fn cg_loop(
     mut apply: impl FnMut(&[f64]) -> Vec<f64>,
     b: &[f64],
     max_iters: usize,

@@ -9,11 +9,15 @@
 //!   closure, used as an independent cross-check in tests and as a fallback
 //!   for extremely deep unrolled tapes.
 
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 use crate::tape::Tape;
 use crate::tensor::Tensor;
 use crate::var::Var;
+
+/// Second-order products computed (exact double backward or mixed VJP).
+static HVP_PRODUCTS: telemetry::Counter = telemetry::Counter::new("autograd.hvp.products");
 
 /// Which Hessian-vector product mechanism to use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -30,6 +34,8 @@ pub enum HvpMode {
 /// `loss` must be a scalar node, `x` a leaf it depends on, and `v` a tensor
 /// with the same shape as `x`'s value.
 pub fn hvp_exact(tape: &Tape, loss: Var<'_>, x: Var<'_>, v: &Tensor) -> Tensor {
+    let _span = telemetry::span("hvp");
+    HVP_PRODUCTS.incr();
     let loss = rebind(tape, loss);
     let x = rebind(tape, x);
     let g = tape.grad_vars(loss, &[x])[0];
@@ -41,6 +47,8 @@ pub fn hvp_exact(tape: &Tape, loss: Var<'_>, x: Var<'_>, v: &Tensor) -> Tensor {
 /// Exact mixed product `vᵀ·(∂²L/∂y∂x)` via double backward: differentiates
 /// `⟨∂L/∂x, v⟩` with respect to `y`.
 pub fn mixed_vjp_exact(tape: &Tape, loss: Var<'_>, x: Var<'_>, y: Var<'_>, v: &Tensor) -> Tensor {
+    let _span = telemetry::span("mixed_vjp");
+    HVP_PRODUCTS.incr();
     let loss = rebind(tape, loss);
     let x = rebind(tape, x);
     let y = rebind(tape, y);

@@ -31,6 +31,17 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex, OnceLock};
 
+use msopds_telemetry as telemetry;
+
+/// Parallel jobs dispatched to the worker pool (sequential fallbacks included).
+static POOL_JOBS: telemetry::Counter = telemetry::Counter::new("autograd.pool.jobs");
+/// Work chunks executed across all [`run_chunks`] calls.
+static POOL_CHUNKS: telemetry::Counter = telemetry::Counter::new("autograd.pool.chunks");
+/// Buffer requests served from the thread-local recycle pool.
+static BUFFER_HITS: telemetry::Counter = telemetry::Counter::new("autograd.buffer_pool.hits");
+/// Buffer requests that fell through to a fresh allocation.
+static BUFFER_MISSES: telemetry::Counter = telemetry::Counter::new("autograd.buffer_pool.misses");
+
 // ---------------------------------------------------------------------------
 // Worker pool
 // ---------------------------------------------------------------------------
@@ -155,6 +166,8 @@ pub fn run_chunks(n_chunks: usize, task: &(dyn Fn(usize) + Sync)) {
     if n_chunks == 0 {
         return;
     }
+    POOL_JOBS.incr();
+    POOL_CHUNKS.add(n_chunks as u64);
     let tx = if n_chunks == 1 || lanes() <= 1 { None } else { pool().lock().unwrap().tx.clone() };
     let Some(tx) = tx else {
         for c in 0..n_chunks {
@@ -308,7 +321,11 @@ pub(crate) fn take_any(len: usize) -> Vec<f64> {
             }
             v
         })
-        .unwrap_or_else(|| vec![0.0; len])
+        .inspect(|_| BUFFER_HITS.incr())
+        .unwrap_or_else(|| {
+            BUFFER_MISSES.incr();
+            vec![0.0; len]
+        })
 }
 
 /// A zero-filled length-`len` buffer, recycled when possible.

@@ -13,7 +13,12 @@
 use std::cell::RefCell;
 use std::sync::Arc;
 
+use msopds_telemetry as telemetry;
+
 use crate::tensor::Tensor;
+
+/// Operations recorded across all tapes (forward and backward-emitted nodes).
+static TAPE_OPS: telemetry::Counter = telemetry::Counter::new("autograd.tape.ops");
 
 /// SELU scale constant λ (Klambauer et al., 2017).
 pub const SELU_LAMBDA: f64 = 1.050_700_987_355_480_5;
@@ -244,6 +249,7 @@ impl Tape {
     }
 
     pub(crate) fn push(&self, op: Op, value: Tensor) -> crate::Var<'_> {
+        TAPE_OPS.incr();
         let mut nodes = self.nodes.borrow_mut();
         let id = nodes.len();
         nodes.push(Node { op, value });

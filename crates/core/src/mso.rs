@@ -17,7 +17,11 @@
 //! closed-form equilibria.
 
 use msopds_autograd::{conjugate_gradient, HvpMode, Tape, Tensor, Var};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Outer MSO iterations run across all solves.
+static MSO_ITERATIONS: telemetry::Counter = telemetry::Counter::new("core.mso.iterations");
 
 /// A differentiable two-level game: one leader, `N` followers.
 pub trait StackelbergGame {
@@ -126,10 +130,16 @@ pub fn mso_optimize<G: StackelbergGame>(
         msopds_autograd::pool::configure_threads(cfg.threads);
     }
     let mut diag = MsoDiagnostics::default();
+    let _mso_span = telemetry::span("mso");
 
     for _ in 0..cfg.iters {
+        let _iter_span = telemetry::span("iter");
+        MSO_ITERATIONS.incr();
         let tape = Tape::new();
-        let built = game.build(&tape, &xp, &xqs);
+        let built = {
+            let _build_span = telemetry::span("build");
+            game.build(&tape, &xp, &xqs)
+        };
         assert_eq!(built.xqs.len(), xqs.len(), "game must expose one leaf per follower");
         assert_eq!(built.lqs.len(), xqs.len(), "game must expose one loss per follower");
 
@@ -137,11 +147,15 @@ pub fn mso_optimize<G: StackelbergGame>(
         diag.follower_loss.push(built.lqs.iter().map(|l| l.item()).collect());
 
         // ∂L^p/∂X^p and ∂L^p/∂X^qᵢ in one backward pass.
-        let mut wrt = vec![built.xp];
-        wrt.extend(built.xqs.iter().copied());
-        let gp_all = tape.grad_vars(built.lp, &wrt);
+        let gp_all = {
+            let _grads_span = telemetry::span("grads");
+            let mut wrt = vec![built.xp];
+            wrt.extend(built.xqs.iter().copied());
+            tape.grad_vars(built.lp, &wrt)
+        };
         let mut total = gp_all[0].value();
 
+        let _correction_span = telemetry::span("correction");
         let mut cg_spent = 0usize;
         let mut follower_gnorm = 0.0;
         let mut follower_grads = Vec::with_capacity(xqs.len());

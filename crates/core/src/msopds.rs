@@ -5,7 +5,11 @@ use msopds_autograd::{Tape, Tensor, Var};
 use msopds_recdata::Dataset;
 use msopds_recsys::losses::{self, Scores};
 use msopds_recsys::pds::{build_pds, PdsConfig, PlayerInput};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Completed planning runs (MSOPDS and BOPDS alike).
+static PLANS: telemetry::Counter = telemetry::Counter::new("core.plans");
 
 use crate::capacity::BuiltCapacity;
 use crate::mso::{mso_optimize, BuiltGame, MsoConfig, MsoDiagnostics, StackelbergGame};
@@ -142,6 +146,8 @@ pub fn plan_msopds(
     opponents: &[PlayerSetup],
     cfg: &PlannerConfig,
 ) -> PlannerOutcome {
+    let _span = telemetry::span("plan");
+    PLANS.incr();
     let game = PoisonGame { data, attacker, opponents, pds: cfg.pds };
     let xp0 = Tensor::from_vec(
         attacker.capacity.importance.values.clone(),

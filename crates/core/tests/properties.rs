@@ -55,6 +55,49 @@ proptest! {
         }
     }
 
+    /// Binarization is idempotent: re-binarizing an already-binary importance
+    /// vector reproduces it exactly (the `take` ones are the maximal entries
+    /// of the binary vector, with ties broken identically).
+    #[test]
+    fn binarization_is_idempotent(
+        values in proptest::collection::vec(-5.0..5.0f64, 1..30),
+        take in 0usize..30,
+    ) {
+        let v = iv(values, take);
+        let once = v.binarize();
+        let twice = v.binarize_values(once.data());
+        prop_assert_eq!(once.data(), twice.data());
+    }
+
+    /// With multiple budget groups, each group independently selects exactly
+    /// its `take`, and the extracted plan never exceeds the total budget.
+    #[test]
+    fn multi_group_budgets_are_independent(
+        values in proptest::collection::vec(-5.0..5.0f64, 6..24),
+        take_a in 0usize..6,
+        take_b in 0usize..6,
+    ) {
+        let n = values.len();
+        let split = n / 2;
+        let candidates = (0..n as u32)
+            .map(|u| PoisonAction::Rating { user: u, item: 0, value: 5.0 })
+            .collect();
+        let mut v = ImportanceVector::new(
+            candidates,
+            vec![
+                BudgetGroup::new("a", (0..split).collect(), take_a.min(split)),
+                BudgetGroup::new("b", (split..n).collect(), take_b.min(n - split)),
+            ],
+        );
+        v.values = values;
+        let xhat = v.binarize();
+        let ones_a = xhat.data()[..split].iter().filter(|&&x| x == 1.0).count();
+        let ones_b = xhat.data()[split..].iter().filter(|&&x| x == 1.0).count();
+        prop_assert_eq!(ones_a, take_a.min(split), "group a over/under budget");
+        prop_assert_eq!(ones_b, take_b.min(n - split), "group b over/under budget");
+        prop_assert!(v.extract_plan().len() <= v.total_budget());
+    }
+
     #[test]
     fn plan_extraction_is_stable_under_positive_scaling(
         values in proptest::collection::vec(-3.0..3.0f64, 2..15),

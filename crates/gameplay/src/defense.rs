@@ -9,7 +9,11 @@
 //! accounts' contributions removed before the victim trains.
 
 use msopds_recdata::{Dataset, Rating, RatingMatrix};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Accounts flagged by the detector across all [`detect_fakes`] calls.
+static FLAGGED_ACCOUNTS: telemetry::Counter = telemetry::Counter::new("gameplay.defense.flagged");
 
 /// Detector configuration.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -56,6 +60,7 @@ pub struct SuspicionReport {
 /// * **concentration** — ratings focused on very few items relative to the
 ///   account's activity.
 pub fn detect_fakes(data: &Dataset, cfg: &DetectorConfig) -> SuspicionReport {
+    let _span = telemetry::span("detect_fakes");
     let n = data.n_users();
     let mut scores = vec![0.0; n];
     let mean_degree = data.social.mean_degree().max(1.0);
@@ -86,7 +91,8 @@ pub fn detect_fakes(data: &Dataset, cfg: &DetectorConfig) -> SuspicionReport {
             + cfg.w_concentration * concentration)
             / (cfg.w_deviation + cfg.w_extreme + cfg.w_isolation + cfg.w_concentration);
     }
-    let flagged = (0..n).filter(|&u| scores[u] > cfg.threshold).collect();
+    let flagged: Vec<usize> = (0..n).filter(|&u| scores[u] > cfg.threshold).collect();
+    FLAGGED_ACCOUNTS.add(flagged.len() as u64);
     SuspicionReport { scores, flagged }
 }
 
@@ -119,6 +125,7 @@ pub fn detection_quality(data: &Dataset, report: &SuspicionReport) -> DetectionQ
 /// Removes the flagged accounts' ratings and social edges (the accounts keep
 /// their ids so indices stay stable — a "shadow ban").
 pub fn scrub(data: &Dataset, flagged: &[usize]) -> Dataset {
+    let _span = telemetry::span("scrub");
     let flagged: std::collections::HashSet<usize> = flagged.iter().copied().collect();
     let mut ratings = RatingMatrix::new(data.n_users(), data.n_items());
     for r in data.ratings.ratings() {
@@ -225,6 +232,7 @@ pub fn run_defended_game(
     cfg: &crate::game::GameConfig,
     detector: &DetectorConfig,
 ) -> (crate::game::GameOutcome, DetectionQuality) {
+    let _span = telemetry::span("defended_game");
     let played = crate::game::play_world(base, market, method, cfg);
     let report = detect_fakes(&played.world, detector);
     let quality = detection_quality(&played.world, &report);

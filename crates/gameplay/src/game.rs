@@ -19,8 +19,12 @@ use msopds_core::{
 use msopds_recdata::{Dataset, Market, PoisonAction};
 use msopds_recsys::metrics::{avg_predicted_rating, hit_rate_at_k};
 use msopds_recsys::{HetRec, HetRecConfig};
+use msopds_telemetry as telemetry;
 use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
+
+/// Complete games played (attacker move, opponent moves, victim scoring).
+static GAMES: telemetry::Counter = telemetry::Counter::new("gameplay.games");
 
 /// The attacker's method under evaluation.
 #[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
@@ -116,6 +120,8 @@ pub fn run_game(
     method: AttackMethod,
     cfg: &GameConfig,
 ) -> GameOutcome {
+    let _span = telemetry::span("game");
+    GAMES.incr();
     let played = play_world(base, market, method, cfg);
     score_world(&played.world, market, method, cfg, &played)
 }
@@ -146,6 +152,7 @@ pub fn play_world(
     let mut rng = rand::rngs::StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5eed));
 
     // ---- step 1: the attacker plans on the clean data -------------------------
+    let attacker_span = telemetry::span("attacker_plan");
     let attacker_plan: Vec<PoisonAction> = match method {
         AttackMethod::Baseline(b) => {
             let ctx = IaContext { seed: cfg.seed, ..IaContext::scaled(cfg.attacker_b, cfg.scale) };
@@ -195,9 +202,11 @@ pub fn play_world(
             }
         }
     };
+    drop(attacker_span);
     world = world.apply_poison(&attacker_plan);
 
     // ---- step 2: opponents plan sequentially on the observed world ------------
+    let opponents_span = telemetry::span("opponent_plans");
     let mut opponent_actions = 0usize;
     for i in 0..cfg.n_opponents {
         let assets = &market.players[(1 + i).min(market.players.len() - 1)];
@@ -221,6 +230,7 @@ pub fn play_world(
         world = world.apply_poison(&plan);
     }
 
+    drop(opponents_span);
     PlayedWorld { world, attacker_actions: attacker_plan.len(), opponent_actions }
 }
 
@@ -236,6 +246,7 @@ pub fn score_world(
     if cfg.kernel_threads > 0 {
         msopds_autograd::pool::configure_threads(cfg.kernel_threads);
     }
+    let _span = telemetry::span("victim_fit");
     let victim_cfg = HetRecConfig { seed: cfg.seed.wrapping_add(97), ..cfg.victim };
     let mut victim = HetRec::new(victim_cfg, world.n_users(), world.n_items());
     victim.fit(world);

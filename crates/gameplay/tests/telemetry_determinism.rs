@@ -1,0 +1,107 @@
+//! End-to-end determinism: running the full multiplayer game with telemetry
+//! recording enabled must produce bit-identical outcomes to running it with
+//! recording off. Instrumentation observes the computation; it must never
+//! perturb it.
+
+use msopds_attacks::Baseline;
+use msopds_autograd::HvpMode;
+use msopds_core::{ActionToggles, MsoConfig, PlannerConfig};
+use msopds_gameplay::{run_game, AttackMethod, GameConfig};
+use msopds_recdata::{sample_market, Dataset, DatasetSpec, DemographicsSpec, Market};
+use msopds_recsys::pds::PdsConfig;
+use msopds_recsys::HetRecConfig;
+use msopds_telemetry as telemetry;
+use rand::SeedableRng;
+
+fn quick_cfg() -> GameConfig {
+    let planner = PlannerConfig {
+        mso: MsoConfig { iters: 2, cg_iters: 2, hvp_mode: HvpMode::Exact, ..Default::default() },
+        pds: PdsConfig { inner_steps: 2, ..Default::default() },
+    };
+    GameConfig {
+        victim: HetRecConfig { epochs: 15, dim: 8, attention: false, ..Default::default() },
+        planner,
+        opponent_planner: planner,
+        attacker_b: 3,
+        n_opponents: 1,
+        opponent_b: 2,
+        scale: 8.0,
+        seed: 1,
+        kernel_threads: 0,
+    }
+}
+
+fn setup() -> (Dataset, Market) {
+    let data = DatasetSpec::micro().generate(6);
+    let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+    let market = sample_market(&data, &DemographicsSpec::default().scaled(8.0), 2, &mut rng);
+    (data, market)
+}
+
+/// The planner-driven attacker exercises every instrumented layer: tape ops,
+/// pooled kernels, cached adjacency tensors, CG, the unrolled PDS, and the
+/// game protocol itself. Bit-identical outcomes with recording on and off
+/// prove the telemetry layer is purely observational.
+#[test]
+fn telemetry_recording_does_not_perturb_outcomes() {
+    let (data, market) = setup();
+    let method = AttackMethod::Msopds(ActionToggles::all());
+    let cfg = quick_cfg();
+
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    let off = run_game(&data, &market, method, &cfg);
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let on = run_game(&data, &market, method, &cfg);
+    let report = telemetry::report();
+    telemetry::set_enabled(false);
+    telemetry::reset();
+
+    assert_eq!(off.avg_rating.to_bits(), on.avg_rating.to_bits(), "r̄ must be bit-identical");
+    assert_eq!(
+        off.hit_rate_at_3.to_bits(),
+        on.hit_rate_at_3.to_bits(),
+        "HR@3 must be bit-identical"
+    );
+    assert_eq!(off.victim_rmse.to_bits(), on.victim_rmse.to_bits());
+    assert_eq!(off.attacker_actions, on.attacker_actions);
+    assert_eq!(off.opponent_actions, on.opponent_actions);
+
+    // The instrumented run actually recorded the end-to-end trace.
+    assert!(report.span("game").is_some(), "game span missing");
+    assert!(report.span("game/attacker_plan").is_some(), "attacker phase missing");
+    assert!(report.span("game/victim_fit").is_some(), "victim fit missing");
+    assert!(
+        report.counter("autograd.tape.ops").is_some_and(|c| c.value > 0),
+        "tape ops counter empty"
+    );
+    assert!(
+        report.counter("recsys.pds.unroll_steps").is_some_and(|c| c.value > 0),
+        "unroll counter empty"
+    );
+}
+
+/// Same invariant for a cheap baseline attacker (no planner): the victim-fit
+/// and defense paths alone must also be unperturbed by recording.
+#[test]
+fn baseline_game_is_deterministic_under_recording() {
+    let (data, market) = setup();
+    let method = AttackMethod::Baseline(Baseline::Random);
+    let cfg = quick_cfg();
+
+    telemetry::set_enabled(false);
+    telemetry::reset();
+    let off = run_game(&data, &market, method, &cfg);
+
+    telemetry::set_enabled(true);
+    telemetry::reset();
+    let on = run_game(&data, &market, method, &cfg);
+    telemetry::set_enabled(false);
+    telemetry::reset();
+
+    assert_eq!(off.avg_rating.to_bits(), on.avg_rating.to_bits());
+    assert_eq!(off.hit_rate_at_3.to_bits(), on.hit_rate_at_3.to_bits());
+    assert_eq!(off.attacker_actions, on.attacker_actions);
+}

@@ -1,0 +1,120 @@
+//! Property tests for the poisoning vocabulary: injected poison never exceeds
+//! the fake-user / filler-item budget, and poisoned ratings stay on the 1–5
+//! scale.
+
+use msopds_het_graph::CsrGraph;
+use msopds_recdata::{Dataset, DatasetSpec, PoisonAction, Rating, RatingMatrix};
+use proptest::prelude::*;
+
+fn ratings(n_users: u32, n_items: u32, max: usize) -> impl Strategy<Value = Vec<Rating>> {
+    proptest::collection::vec(
+        (0..n_users, 0..n_items, 1..=5u8).prop_map(|(user, item, v)| Rating {
+            user,
+            item,
+            value: v as f64,
+        }),
+        0..max,
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Fake-account injection stays within the attacker's budget: exactly
+    /// `n_fakes` accounts are minted, each rates the target plus at most
+    /// `fillers` filler items, and real users' profiles are untouched.
+    #[test]
+    fn fake_user_injection_respects_budget(
+        n_fakes in 0usize..6,
+        fillers in 0usize..6,
+        seed in 0u64..20,
+    ) {
+        let mut data = DatasetSpec::micro().generate(seed);
+        let n_real = data.n_real_users;
+        let fakes = data.add_fake_users(n_fakes);
+        prop_assert_eq!(fakes.len(), n_fakes);
+        prop_assert_eq!(data.n_fake_users(), n_fakes);
+        prop_assert_eq!(data.n_real_users, n_real, "real population must not shift");
+
+        // Each fake pushes the target item plus up to `fillers` filler items.
+        let filler_count = fillers.min(data.n_items().saturating_sub(1));
+        let mut actions = Vec::new();
+        for &f in &fakes {
+            actions.push(PoisonAction::Rating { user: f as u32, item: 0, value: 5.0 });
+            for j in 0..filler_count {
+                actions.push(PoisonAction::Rating {
+                    user: f as u32,
+                    item: (j + 1) as u32,
+                    value: ((j % 5) + 1) as f64,
+                });
+            }
+        }
+        let poisoned = data.apply_poison(&actions);
+        prop_assert_eq!(poisoned.n_fake_users(), n_fakes, "poison must not mint extra accounts");
+        for &f in &fakes {
+            prop_assert!(poisoned.is_fake(f));
+            prop_assert!(
+                poisoned.ratings.user_degree(f) <= fillers + 1,
+                "fake {} exceeded its filler budget: {} > {}",
+                f,
+                poisoned.ratings.user_degree(f),
+                fillers + 1
+            );
+        }
+        for u in 0..n_real {
+            prop_assert_eq!(
+                poisoned.ratings.user_degree(u),
+                data.ratings.user_degree(u),
+                "real user {} profile changed", u
+            );
+        }
+    }
+
+    /// Applying in-scale poison to an in-scale dataset keeps every stored
+    /// rating — genuine or injected — on the valid 1–5 scale.
+    #[test]
+    fn poisoned_ratings_stay_in_scale(
+        base in ratings(6, 6, 30),
+        poison in ratings(6, 6, 15),
+    ) {
+        let m = RatingMatrix::from_ratings(6, 6, &base);
+        let data = Dataset::new("scale", m, CsrGraph::empty(6), CsrGraph::empty(6));
+        let actions: Vec<PoisonAction> = poison
+            .iter()
+            .map(|r| PoisonAction::Rating { user: r.user, item: r.item, value: r.value })
+            .collect();
+        let poisoned = data.apply_poison(&actions);
+        for r in poisoned.ratings.ratings() {
+            prop_assert!(
+                (1.0..=5.0).contains(&r.value),
+                "rating ({}, {}) = {} escaped the valid scale", r.user, r.item, r.value
+            );
+        }
+        if let Some(g) = poisoned.ratings.global_mean() {
+            prop_assert!((1.0..=5.0).contains(&g));
+        }
+    }
+
+    /// The injected-action count is a hard ceiling on dataset growth: every
+    /// rating beyond the genuine ones traces back to exactly one action, and
+    /// edge actions only ever touch the graphs.
+    #[test]
+    fn poison_growth_is_bounded_by_action_count(
+        base in ratings(5, 5, 20),
+        poison in ratings(5, 5, 10),
+        edges in proptest::collection::vec((0u32..5, 0u32..5), 0..8),
+    ) {
+        let m = RatingMatrix::from_ratings(5, 5, &base);
+        let data = Dataset::new("bound", m, CsrGraph::empty(5), CsrGraph::empty(5));
+        let mut actions: Vec<PoisonAction> = poison
+            .iter()
+            .map(|r| PoisonAction::Rating { user: r.user, item: r.item, value: r.value })
+            .collect();
+        let n_rating_actions = actions.len();
+        actions.extend(edges.iter().map(|&(a, b)| PoisonAction::SocialEdge { a, b }));
+        let poisoned = data.apply_poison(&actions);
+        prop_assert!(poisoned.ratings.len() <= data.ratings.len() + n_rating_actions);
+        prop_assert!(poisoned.social.num_edges() <= edges.len());
+        prop_assert_eq!(poisoned.item_graph.num_edges(), data.item_graph.num_edges());
+    }
+}

@@ -12,6 +12,12 @@ use std::sync::Arc;
 
 use msopds_autograd::{Tape, Tensor, Var};
 use msopds_het_graph::CsrGraph;
+use msopds_telemetry as telemetry;
+
+/// Derived-graph-tensor requests served from the thread-local LRU.
+static LRU_HITS: telemetry::Counter = telemetry::Counter::new("recsys.adjacency_lru.hits");
+/// Derived-graph-tensor requests that rebuilt the tensor.
+static LRU_MISSES: telemetry::Counter = telemetry::Counter::new("recsys.adjacency_lru.misses");
 
 /// What a cached derived tensor represents; part of the cache key.
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -60,11 +66,13 @@ fn cached_graph_tensor(
         if let Some(pos) =
             cache.iter().position(|e| e.fingerprint == fingerprint && e.n == n && e.kind == kind)
         {
+            LRU_HITS.incr();
             let entry = cache.remove(pos).expect("position came from iter");
             let tensor = entry.tensor.clone();
             cache.push_back(entry);
             return tensor;
         }
+        LRU_MISSES.incr();
         let tensor = build();
         if cache.len() == GRAPH_TENSOR_CACHE_CAP {
             cache.pop_front();

@@ -11,7 +11,11 @@ use std::sync::Arc;
 use msopds_autograd::optim::Adam;
 use msopds_autograd::{Tape, Tensor, Var};
 use msopds_recdata::Dataset;
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Full-batch training epochs run across all victim fits.
+static HETREC_EPOCHS: telemetry::Counter = telemetry::Counter::new("recsys.hetrec.epochs");
 
 use crate::bias::{damped_biases, DEFAULT_DAMPING};
 use crate::convolve::{attention_convolve, dense_adjacency, inv_degree, mean_convolve};
@@ -105,6 +109,7 @@ impl HetRec {
     /// Panics if `data` dimensions disagree with the construction sizes or the
     /// dataset has no ratings.
     pub fn fit(&mut self, data: &Dataset) -> TrainReport {
+        let _span = telemetry::span("hetrec_fit");
         assert_eq!(data.n_users(), self.user_emb.rows(), "user count changed since new()");
         assert_eq!(data.n_items(), self.item_emb.rows(), "item count changed since new()");
         assert!(!data.ratings.is_empty(), "cannot train on an empty rating matrix");
@@ -127,6 +132,8 @@ impl HetRec {
         let mut epoch_loss = Vec::with_capacity(self.cfg.epochs);
 
         for _ in 0..self.cfg.epochs {
+            let _epoch_span = telemetry::span("epoch");
+            HETREC_EPOCHS.incr();
             let tape = Tape::new();
             let (hu, hi, wu, wi) = (
                 tape.leaf(self.user_emb.clone()),

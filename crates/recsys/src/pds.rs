@@ -20,7 +20,13 @@ use std::sync::Arc;
 
 use msopds_autograd::{Tape, Tensor, Var};
 use msopds_recdata::{Dataset, PoisonAction};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Unrolled differentiable SGD steps recorded across all PDS builds.
+static PDS_UNROLL_STEPS: telemetry::Counter = telemetry::Counter::new("recsys.pds.unroll_steps");
+/// Completed PDS surrogate builds.
+static PDS_BUILDS: telemetry::Counter = telemetry::Counter::new("recsys.pds.builds");
 
 use crate::bias::{pds_biases, CandidateRatings, DEFAULT_DAMPING};
 use crate::convolve::{adjacency_patch, dense_adjacency, inv_degree, mean_convolve};
@@ -103,6 +109,8 @@ pub fn build_pds<'t>(
     players: &[PlayerInput<'_>],
     cfg: &PdsConfig,
 ) -> PdsBuild<'t> {
+    let _span = telemetry::span("build_pds");
+    PDS_BUILDS.incr();
     assert!(!data.ratings.is_empty(), "PDS needs a non-empty rating matrix");
     for p in players {
         assert_eq!(p.candidates.len(), p.xhat.numel(), "X̂ length must match the candidate count");
@@ -247,6 +255,8 @@ pub fn build_pds<'t>(
     let norm = 1.0 / n_real as f64;
     let mut inner_losses = Vec::with_capacity(cfg.inner_steps);
     for _ in 0..cfg.inner_steps {
+        let _step_span = telemetry::span("unroll_step");
+        PDS_UNROLL_STEPS.incr();
         let uf = mean_convolve(hu, a_u, inv_du, wu);
         let if_ = mean_convolve(hi, a_i, inv_di, wi);
 

@@ -160,6 +160,105 @@ fn ca_loss_gradient_matches_finite_difference_mixed_capacity() {
     }
 }
 
+/// Checks the analytic gradient of the IA loss against central finite
+/// differences at `x0` for the given dataset/candidates, with the standard
+/// relative tolerance.
+fn check_ia_gradient(
+    data: &msopds_recdata::Dataset,
+    candidates: &[PoisonAction],
+    x0: &Tensor,
+    users: &[usize],
+    target: usize,
+) {
+    let tape = Tape::new();
+    let pds = build_pds(&tape, data, &[PlayerInput { candidates, xhat: x0.clone() }], &cfg());
+    let loss = ia_loss(&pds.scores(), users, target);
+    let analytic = tape.grad(loss, &[pds.xhats[0]]).remove(0);
+    let numeric = numeric_grad(|x| ia_at(data, candidates, x, users, target), x0, 1e-4);
+    for i in 0..candidates.len() {
+        let (a, n) = (analytic.get(i), numeric.get(i));
+        let denom = 1.0f64.max(a.abs()).max(n.abs());
+        assert!(((a - n) / denom).abs() < 1e-3, "candidate {i}: analytic {a} vs numeric {n}");
+        assert!(a.is_finite(), "candidate {i}: non-finite analytic gradient {a}");
+    }
+}
+
+#[test]
+fn pds_gradient_handles_zero_degree_target_item() {
+    // The target item has no genuine ratings and no item-graph edges, so its
+    // embedding is driven purely by the injected candidates. The gradient
+    // through the unrolled run must stay finite and match finite differences.
+    use msopds_het_graph::CsrGraph;
+    use msopds_recdata::{Dataset, Rating, RatingMatrix};
+
+    let ratings = RatingMatrix::from_ratings(
+        4,
+        5,
+        &[
+            Rating { user: 0, item: 0, value: 4.0 },
+            Rating { user: 1, item: 1, value: 2.0 },
+            Rating { user: 2, item: 2, value: 5.0 },
+            Rating { user: 3, item: 3, value: 3.0 },
+            Rating { user: 0, item: 1, value: 1.0 },
+        ],
+    );
+    // Item 4 is fully isolated: zero ratings, zero item-graph degree.
+    let social = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    let items = CsrGraph::from_edges(5, &[(0, 1), (1, 2)]);
+    let data = Dataset::new("zero-degree", ratings, social, items);
+    let target = 4usize;
+    assert_eq!(data.ratings.item_degree(target), 0);
+
+    let candidates: Vec<PoisonAction> = (0..3u32)
+        .map(|u| PoisonAction::Rating { user: u, item: target as u32, value: 5.0 })
+        .collect();
+    let x0 = Tensor::from_vec(vec![0.6, 0.2, 0.8], &[3]);
+    let users: Vec<usize> = (0..4).collect();
+    check_ia_gradient(&data, &candidates, &x0, &users, target);
+}
+
+#[test]
+fn pds_gradient_at_saturated_budget_boundary() {
+    // X̂ = 1 everywhere: the importance vector sits exactly at the budget
+    // boundary where binarization saturates every candidate. The surrogate is
+    // a continuous relaxation, so the gradient must still exist and match
+    // finite differences there (central differences probe 1 ± ε).
+    let data = micro();
+    let users: Vec<usize> = (0..8).collect();
+    let target = 3usize;
+    let candidates: Vec<PoisonAction> = (0..5u32)
+        .map(|u| PoisonAction::Rating { user: u, item: target as u32, value: 5.0 })
+        .collect();
+    let x0 = Tensor::from_vec(vec![1.0; 5], &[5]);
+    check_ia_gradient(&data, &candidates, &x0, &users, target);
+}
+
+#[test]
+fn pds_gradient_on_single_user_graph() {
+    // Degenerate social structure: one user, empty social network. The
+    // convolution has nothing to propagate, but the unrolled training run and
+    // its backward pass must still be well-defined.
+    use msopds_het_graph::CsrGraph;
+    use msopds_recdata::{Dataset, Rating, RatingMatrix};
+
+    let ratings = RatingMatrix::from_ratings(
+        1,
+        4,
+        &[Rating { user: 0, item: 0, value: 4.0 }, Rating { user: 0, item: 1, value: 2.0 }],
+    );
+    let social = CsrGraph::empty(1);
+    let items = CsrGraph::from_edges(4, &[(0, 1), (2, 3)]);
+    let data = Dataset::new("single-user", ratings, social, items);
+    let target = 3usize;
+
+    let candidates = vec![
+        PoisonAction::Rating { user: 0, item: target as u32, value: 5.0 },
+        PoisonAction::ItemEdge { a: 1, b: target as u32 },
+    ];
+    let x0 = Tensor::from_vec(vec![0.7, 0.3], &[2]);
+    check_ia_gradient(&data, &candidates, &x0, &[0], target);
+}
+
 #[test]
 fn second_order_hvp_matches_finite_difference_of_pds_gradient() {
     // The exact double-backward HVP through the unrolled surrogate — the

@@ -1,0 +1,139 @@
+//! Process-global typed counters and gauges.
+//!
+//! A [`Counter`] is declared as a `static` at the instrumentation site and
+//! registers itself with the global registry on first touch, so the report
+//! only lists metrics the program actually exercised. Updates are relaxed
+//! atomic adds — monotone non-decreasing between [`reset`](crate::reset)s,
+//! which the property tests assert.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, OnceLock};
+
+use crate::report::{CounterRow, GaugeRow};
+
+/// A monotone event counter (e.g. CG iterations, pool hits).
+pub struct Counter {
+    name: &'static str,
+    value: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Counter {
+    /// A new counter named `name`. Declare as `static` so registration and
+    /// storage are both zero-allocation.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, value: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// The counter's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Adds `n` when recording is on; a single atomic-load branch otherwise.
+    #[inline]
+    pub fn add(&'static self, n: u64) {
+        if !crate::enabled() {
+            return;
+        }
+        self.ensure_registered();
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Adds 1 when recording is on.
+    #[inline]
+    pub fn incr(&'static self) {
+        self.add(1);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+
+    fn ensure_registered(&'static self) {
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            counters().lock().unwrap_or_else(|e| e.into_inner()).push(self);
+        }
+    }
+}
+
+/// A last-value gauge (e.g. the final CG residual of the latest solve).
+pub struct Gauge {
+    name: &'static str,
+    bits: AtomicU64,
+    registered: AtomicBool,
+}
+
+impl Gauge {
+    /// A new gauge named `name`; declare as `static`.
+    pub const fn new(name: &'static str) -> Self {
+        Self { name, bits: AtomicU64::new(0), registered: AtomicBool::new(false) }
+    }
+
+    /// The gauge's name.
+    pub fn name(&self) -> &'static str {
+        self.name
+    }
+
+    /// Stores `v` when recording is on.
+    #[inline]
+    pub fn set(&'static self, v: f64) {
+        if !crate::enabled() {
+            return;
+        }
+        if !self.registered.swap(true, Ordering::Relaxed) {
+            gauges().lock().unwrap_or_else(|e| e.into_inner()).push(self);
+        }
+        self.bits.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+}
+
+fn counters() -> &'static Mutex<Vec<&'static Counter>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Counter>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+fn gauges() -> &'static Mutex<Vec<&'static Gauge>> {
+    static REGISTRY: OnceLock<Mutex<Vec<&'static Gauge>>> = OnceLock::new();
+    REGISTRY.get_or_init(|| Mutex::new(Vec::new()))
+}
+
+/// Snapshot of every registered counter, sorted by name.
+pub(crate) fn counter_rows() -> Vec<CounterRow> {
+    let mut rows: Vec<CounterRow> = counters()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|c| CounterRow { name: c.name.to_string(), value: c.get() })
+        .collect();
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    rows
+}
+
+/// Snapshot of every registered gauge, sorted by name.
+pub(crate) fn gauge_rows() -> Vec<GaugeRow> {
+    let mut rows: Vec<GaugeRow> = gauges()
+        .lock()
+        .unwrap_or_else(|e| e.into_inner())
+        .iter()
+        .map(|g| GaugeRow { name: g.name.to_string(), value: g.get() })
+        .collect();
+    rows.sort_by(|a, b| a.name.cmp(&b.name));
+    rows
+}
+
+/// Zeroes every registered counter and gauge.
+pub(crate) fn reset_all() {
+    for c in counters().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        c.value.store(0, Ordering::Relaxed);
+    }
+    for g in gauges().lock().unwrap_or_else(|e| e.into_inner()).iter() {
+        g.bits.store(0f64.to_bits(), Ordering::Relaxed);
+    }
+}

@@ -1,9 +1,15 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! Usage: `repro <table3|fig6|fig7|fig8|fig9|all> [--quick] [--scale N]
-//! [--seeds a,b,...] [--threads N] [--out DIR]`
+//! [--seeds a,b,...] [--threads N] [--out DIR] [--metrics-out FILE]`
+//!
+//! `--metrics-out FILE` enables telemetry recording and writes the collected
+//! span timings, counters and gauges as JSON when the run completes
+//! (equivalently: set `MSOPDS_METRICS=FILE`).
 
 use std::path::PathBuf;
+
+use msopds_telemetry as telemetry;
 
 use msopds_xp::{
     fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment, table3_cells,
@@ -13,12 +19,13 @@ use msopds_xp::{
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR]");
+        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR] [--metrics-out FILE]");
         std::process::exit(2);
     }
     let which = args[0].clone();
     let mut cfg = XpConfig::default();
     let mut out_dir = PathBuf::from("target/xp-results");
+    let mut metrics_out: Option<PathBuf> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -42,6 +49,10 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(&args[i]);
             }
+            "--metrics-out" => {
+                i += 1;
+                metrics_out = Some(PathBuf::from(&args[i]));
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -50,6 +61,9 @@ fn main() {
         i += 1;
     }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
+    if metrics_out.is_some() {
+        telemetry::set_enabled(true);
+    }
 
     let run_one = |id: &str| {
         let started = std::time::Instant::now();
@@ -93,4 +107,7 @@ fn main() {
     } else {
         run_one(&which);
     }
+    // Honors --metrics-out, falls back to an MSOPDS_METRICS path, and prints
+    // the tree summary to stderr when recording is on without a path.
+    telemetry::export(metrics_out.as_deref());
 }

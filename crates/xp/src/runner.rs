@@ -4,7 +4,11 @@
 use crossbeam::channel;
 use msopds_gameplay::{run_game, AttackMethod, GameConfig};
 use msopds_recdata::{sample_market, Dataset, Market};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
+
+/// Experiment cells (games) executed across all [`run_cells`] calls.
+static CELLS_RUN: telemetry::Counter = telemetry::Counter::new("xp.cells");
 
 use crate::config::{DatasetKind, XpConfig};
 
@@ -86,6 +90,8 @@ pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Vec<Measurement> {
             let cfg = cfg.clone();
             scope.spawn(move |_| {
                 while let Ok(cell) = work_rx.recv() {
+                    let _cell_span = telemetry::span("cell");
+                    CELLS_RUN.incr();
                     let (data, market) =
                         materialize(cell.dataset, &cfg, cell.game.seed, cell.game.n_opponents);
                     let outcome = if cell.defended {

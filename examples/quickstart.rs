@@ -4,6 +4,10 @@
 //! ```text
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Set `MSOPDS_METRICS=1` to print a telemetry tree summary at the end, or
+//! `MSOPDS_METRICS=metrics.json` to write the machine-readable report instead
+//! (see `msopds::telemetry`).
 
 use msopds::prelude::*;
 use rand::SeedableRng;
@@ -56,4 +60,8 @@ fn main() {
         msopds.avg_rating - clean.avg_rating,
         msopds.avg_rating - random.avg_rating
     );
+
+    // 6. When MSOPDS_METRICS requested recording, emit the collected metrics
+    //    (tree summary to stderr, or JSON to the requested path).
+    msopds::telemetry::export(None);
 }

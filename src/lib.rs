@@ -47,6 +47,7 @@ pub use msopds_gameplay as gameplay;
 pub use msopds_het_graph as het_graph;
 pub use msopds_recdata as recdata;
 pub use msopds_recsys as recsys;
+pub use msopds_telemetry as telemetry;
 pub use msopds_xp as xp;
 
 /// Convenient re-exports for examples and downstream users.

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-2f89102fa861a448.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-2f89102fa861a448: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig6-90c6bfa2d6736dc3.d: crates/bench/benches/fig6.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig6-90c6bfa2d6736dc3.rmeta: crates/bench/benches/fig6.rs Cargo.toml
+
+crates/bench/benches/fig6.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=fig6
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig7-0675f2921b95ce50.d: crates/bench/benches/fig7.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig7-0675f2921b95ce50.rmeta: crates/bench/benches/fig7.rs Cargo.toml
+
+crates/bench/benches/fig7.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=fig7
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

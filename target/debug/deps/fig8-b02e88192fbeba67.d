@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig8-b02e88192fbeba67.d: crates/bench/benches/fig8.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig8-b02e88192fbeba67.rmeta: crates/bench/benches/fig8.rs Cargo.toml
+
+crates/bench/benches/fig8.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=fig8
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fig9-7a8ebd66b68dcfe0.d: crates/bench/benches/fig9.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfig9-7a8ebd66b68dcfe0.rmeta: crates/bench/benches/fig9.rs Cargo.toml
+
+crates/bench/benches/fig9.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=fig9
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds-632a432bed80ddf4.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds-632a432bed80ddf4.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds-a561cd86ca6c8477.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-a561cd86ca6c8477.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-a561cd86ca6c8477.rmeta: src/lib.rs
+
+src/lib.rs:

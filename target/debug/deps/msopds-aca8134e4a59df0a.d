@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds-aca8134e4a59df0a.d: src/lib.rs
+
+/root/repo/target/debug/deps/msopds-aca8134e4a59df0a: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds-c3d6c44f7433911e.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-c3d6c44f7433911e.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-c3d6c44f7433911e.rmeta: src/lib.rs
+
+src/lib.rs:

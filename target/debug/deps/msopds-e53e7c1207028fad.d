@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds-e53e7c1207028fad.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds-e53e7c1207028fad.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

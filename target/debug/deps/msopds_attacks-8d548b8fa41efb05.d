@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msopds_attacks-8d548b8fa41efb05.d: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_attacks-8d548b8fa41efb05.rmeta: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs Cargo.toml
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/common.rs:
+crates/attacks/src/heuristic.rs:
+crates/attacks/src/pga.rs:
+crates/attacks/src/registry.rs:
+crates/attacks/src/rev_adv.rs:
+crates/attacks/src/s_attack.rs:
+crates/attacks/src/trial.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msopds_attacks-9dbeee50558ce699.d: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+/root/repo/target/debug/deps/libmsopds_attacks-9dbeee50558ce699.rlib: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+/root/repo/target/debug/deps/libmsopds_attacks-9dbeee50558ce699.rmeta: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/common.rs:
+crates/attacks/src/heuristic.rs:
+crates/attacks/src/pga.rs:
+crates/attacks/src/registry.rs:
+crates/attacks/src/rev_adv.rs:
+crates/attacks/src/s_attack.rs:
+crates/attacks/src/trial.rs:

@@ -1,0 +1,19 @@
+/root/repo/target/debug/deps/msopds_autograd-6d94f15d765f1e5d.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_autograd-6d94f15d765f1e5d.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs Cargo.toml
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/cg.rs:
+crates/autograd/src/functional.rs:
+crates/autograd/src/hvp.rs:
+crates/autograd/src/ndiff.rs:
+crates/autograd/src/optim.rs:
+crates/autograd/src/pool.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/tensor.rs:
+crates/autograd/src/var.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

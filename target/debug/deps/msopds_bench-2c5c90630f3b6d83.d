@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds_bench-2c5c90630f3b6d83.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/msopds_bench-2c5c90630f3b6d83: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

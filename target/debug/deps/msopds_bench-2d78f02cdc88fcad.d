@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_bench-2d78f02cdc88fcad.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_bench-2d78f02cdc88fcad.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

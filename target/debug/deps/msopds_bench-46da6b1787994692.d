@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_bench-46da6b1787994692.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-46da6b1787994692.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-46da6b1787994692.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_bench-961448d382047d01.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-961448d382047d01.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-961448d382047d01.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

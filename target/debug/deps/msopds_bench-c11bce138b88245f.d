@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_bench-c11bce138b88245f.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_bench-c11bce138b88245f.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msopds_core-74f0490ce092607e.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/libmsopds_core-74f0490ce092607e.rlib: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/libmsopds_core-74f0490ce092607e.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/mso.rs:
+crates/core/src/msopds.rs:
+crates/core/src/plan.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msopds_core-e9b4d0bf9c25e995.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_core-e9b4d0bf9c25e995.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/mso.rs:
+crates/core/src/msopds.rs:
+crates/core/src/plan.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_gameplay-769e7410a55083b3.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-769e7410a55083b3.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-769e7410a55083b3.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

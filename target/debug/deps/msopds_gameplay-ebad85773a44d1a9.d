@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_gameplay-ebad85773a44d1a9.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/msopds_gameplay-ebad85773a44d1a9: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

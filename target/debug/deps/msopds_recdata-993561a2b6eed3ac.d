@@ -1,13 +1,13 @@
-/root/repo/target/debug/deps/msopds_recdata-993561a2b6eed3ac.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/io.rs crates/recdata/src/demographics.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+/root/repo/target/debug/deps/msopds_recdata-993561a2b6eed3ac.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
 
-/root/repo/target/debug/deps/libmsopds_recdata-993561a2b6eed3ac.rlib: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/io.rs crates/recdata/src/demographics.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+/root/repo/target/debug/deps/libmsopds_recdata-993561a2b6eed3ac.rlib: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
 
-/root/repo/target/debug/deps/libmsopds_recdata-993561a2b6eed3ac.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/io.rs crates/recdata/src/demographics.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+/root/repo/target/debug/deps/libmsopds_recdata-993561a2b6eed3ac.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
 
 crates/recdata/src/lib.rs:
 crates/recdata/src/dataset.rs:
-crates/recdata/src/io.rs:
 crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
 crates/recdata/src/poison.rs:
 crates/recdata/src/ratings.rs:
 crates/recdata/src/synth.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/debug/deps/msopds_recsys-65463c847d2e91b4.d: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/debug/deps/libmsopds_recsys-65463c847d2e91b4.rlib: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/debug/deps/libmsopds_recsys-65463c847d2e91b4.rmeta: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/bias.rs:
+crates/recsys/src/convolve.rs:
+crates/recsys/src/hetrec.rs:
+crates/recsys/src/losses.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/mf.rs:
+crates/recsys/src/pds.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/msopds_recsys-a1e409e763b5bd30.d: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs Cargo.toml
+
+/root/repo/target/debug/deps/libmsopds_recsys-a1e409e763b5bd30.rmeta: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs Cargo.toml
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/bias.rs:
+crates/recsys/src/convolve.rs:
+crates/recsys/src/hetrec.rs:
+crates/recsys/src/losses.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/mf.rs:
+crates/recsys/src/pds.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msopds_telemetry-59623d31028db10e.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmsopds_telemetry-59623d31028db10e.rlib: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmsopds_telemetry-59623d31028db10e.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

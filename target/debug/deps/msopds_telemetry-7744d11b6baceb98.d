@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_telemetry-7744d11b6baceb98.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/msopds_telemetry-7744d11b6baceb98: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_telemetry-79de46c87454bb4d.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/msopds_telemetry-79de46c87454bb4d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msopds_xp-41c991e8cb3e0a4b.d: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-41c991e8cb3e0a4b.rlib: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-41c991e8cb3e0a4b.rmeta: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/config.rs:
+crates/xp/src/experiments.rs:
+crates/xp/src/runner.rs:

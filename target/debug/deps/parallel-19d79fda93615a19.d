@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-19d79fda93615a19.d: crates/autograd/tests/parallel.rs
+
+/root/repo/target/debug/deps/parallel-19d79fda93615a19: crates/autograd/tests/parallel.rs
+
+crates/autograd/tests/parallel.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/parallel-c06664a441ded3de.d: crates/autograd/tests/parallel.rs Cargo.toml
+
+/root/repo/target/debug/deps/libparallel-c06664a441ded3de.rmeta: crates/autograd/tests/parallel.rs Cargo.toml
+
+crates/autograd/tests/parallel.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/pds_gradients-412fd2e725260c6f.d: crates/recsys/tests/pds_gradients.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpds_gradients-412fd2e725260c6f.rmeta: crates/recsys/tests/pds_gradients.rs Cargo.toml
+
+crates/recsys/tests/pds_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pds_gradients-ee29d6637131742d.d: crates/recsys/tests/pds_gradients.rs
+
+/root/repo/target/debug/deps/pds_gradients-ee29d6637131742d: crates/recsys/tests/pds_gradients.rs
+
+crates/recsys/tests/pds_gradients.rs:

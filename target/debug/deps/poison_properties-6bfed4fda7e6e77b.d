@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/poison_properties-6bfed4fda7e6e77b.d: crates/recdata/tests/poison_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpoison_properties-6bfed4fda7e6e77b.rmeta: crates/recdata/tests/poison_properties.rs Cargo.toml
+
+crates/recdata/tests/poison_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

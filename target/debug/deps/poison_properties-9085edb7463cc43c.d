@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poison_properties-9085edb7463cc43c.d: crates/recdata/tests/poison_properties.rs
+
+/root/repo/target/debug/deps/poison_properties-9085edb7463cc43c: crates/recdata/tests/poison_properties.rs
+
+crates/recdata/tests/poison_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-048371deb67548b7.d: crates/autograd/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-048371deb67548b7: crates/autograd/tests/properties.rs
+
+crates/autograd/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-193fc67792c269c3.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/properties-193fc67792c269c3: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

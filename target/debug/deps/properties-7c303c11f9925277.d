@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/properties-7c303c11f9925277.d: crates/autograd/tests/properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libproperties-7c303c11f9925277.rmeta: crates/autograd/tests/properties.rs Cargo.toml
+
+crates/autograd/tests/properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-40ec505f3947bf30.d: crates/xp/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-40ec505f3947bf30.rmeta: crates/xp/src/bin/repro.rs Cargo.toml
+
+crates/xp/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

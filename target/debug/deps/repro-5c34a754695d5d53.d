@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-5c34a754695d5d53.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-5c34a754695d5d53: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

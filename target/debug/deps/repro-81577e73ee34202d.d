@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-81577e73ee34202d.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/repro-81577e73ee34202d: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/repro-9b742a4954ef6b1f.d: crates/xp/src/bin/repro.rs Cargo.toml
+
+/root/repo/target/debug/deps/librepro-9b742a4954ef6b1f.rmeta: crates/xp/src/bin/repro.rs Cargo.toml
+
+crates/xp/src/bin/repro.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-3740b18169f9db33.d: tests/stackelberg_dynamics.rs
+
+/root/repo/target/debug/deps/stackelberg_dynamics-3740b18169f9db33: tests/stackelberg_dynamics.rs
+
+tests/stackelberg_dynamics.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-b61c1b1b8d873718.d: tests/stackelberg_dynamics.rs Cargo.toml
+
+/root/repo/target/debug/deps/libstackelberg_dynamics-b61c1b1b8d873718.rmeta: tests/stackelberg_dynamics.rs Cargo.toml
+
+tests/stackelberg_dynamics.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

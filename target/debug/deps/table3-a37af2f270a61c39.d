@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/table3-a37af2f270a61c39.d: crates/bench/benches/table3.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtable3-a37af2f270a61c39.rmeta: crates/bench/benches/table3.rs Cargo.toml
+
+crates/bench/benches/table3.rs:
+Cargo.toml:
+
+# env-dep:CARGO_CRATE_NAME=table3
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

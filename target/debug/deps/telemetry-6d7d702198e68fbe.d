@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-6d7d702198e68fbe.d: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-6d7d702198e68fbe.rmeta: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+crates/telemetry/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry-7a09399799f764f7.d: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry-7a09399799f764f7.rmeta: crates/telemetry/tests/telemetry.rs Cargo.toml
+
+crates/telemetry/tests/telemetry.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

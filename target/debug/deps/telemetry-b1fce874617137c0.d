@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-b1fce874617137c0.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-b1fce874617137c0: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-fbdf34d7096f734c.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/telemetry-fbdf34d7096f734c: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-7f3a8686611cf74f.d: crates/gameplay/tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/telemetry_determinism-7f3a8686611cf74f: crates/gameplay/tests/telemetry_determinism.rs
+
+crates/gameplay/tests/telemetry_determinism.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/telemetry_determinism-c2639742a90cff7a.d: crates/gameplay/tests/telemetry_determinism.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtelemetry_determinism-c2639742a90cff7a.rmeta: crates/gameplay/tests/telemetry_determinism.rs Cargo.toml
+
+crates/gameplay/tests/telemetry_determinism.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/ablation_study-2597304b5e4f1112.d: examples/ablation_study.rs
+
+/root/repo/target/debug/examples/ablation_study-2597304b5e4f1112: examples/ablation_study.rs
+
+examples/ablation_study.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/ablation_study-7414edf29cbe7dfa.d: examples/ablation_study.rs Cargo.toml
+
+/root/repo/target/debug/examples/libablation_study-7414edf29cbe7dfa.rmeta: examples/ablation_study.rs Cargo.toml
+
+examples/ablation_study.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

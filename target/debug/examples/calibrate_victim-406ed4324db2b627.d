@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/calibrate_victim-406ed4324db2b627.d: crates/xp/examples/calibrate_victim.rs
+
+/root/repo/target/debug/examples/calibrate_victim-406ed4324db2b627: crates/xp/examples/calibrate_victim.rs
+
+crates/xp/examples/calibrate_victim.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/calibrate_victim-625d0a16cd76b639.d: crates/xp/examples/calibrate_victim.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcalibrate_victim-625d0a16cd76b639.rmeta: crates/xp/examples/calibrate_victim.rs Cargo.toml
+
+crates/xp/examples/calibrate_victim.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/dataset_tour-4039a57fb540f080.d: examples/dataset_tour.rs
+
+/root/repo/target/debug/examples/dataset_tour-4039a57fb540f080: examples/dataset_tour.rs
+
+examples/dataset_tour.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/dataset_tour-5219604c4c117328.d: examples/dataset_tour.rs Cargo.toml
+
+/root/repo/target/debug/examples/libdataset_tour-5219604c4c117328.rmeta: examples/dataset_tour.rs Cargo.toml
+
+examples/dataset_tour.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

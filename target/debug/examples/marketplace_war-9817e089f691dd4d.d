@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/marketplace_war-9817e089f691dd4d.d: examples/marketplace_war.rs
+
+/root/repo/target/debug/examples/marketplace_war-9817e089f691dd4d: examples/marketplace_war.rs
+
+examples/marketplace_war.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/marketplace_war-fa47c5aa62687339.d: examples/marketplace_war.rs Cargo.toml
+
+/root/repo/target/debug/examples/libmarketplace_war-fa47c5aa62687339.rmeta: examples/marketplace_war.rs Cargo.toml
+
+examples/marketplace_war.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-cb8174c2a30e97e5.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-cb8174c2a30e97e5: examples/quickstart.rs
+
+examples/quickstart.rs:

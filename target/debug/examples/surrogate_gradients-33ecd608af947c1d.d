@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/surrogate_gradients-33ecd608af947c1d.d: examples/surrogate_gradients.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsurrogate_gradients-33ecd608af947c1d.rmeta: examples/surrogate_gradients.rs Cargo.toml
+
+examples/surrogate_gradients.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

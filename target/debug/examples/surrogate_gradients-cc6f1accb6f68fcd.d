@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/surrogate_gradients-cc6f1accb6f68fcd.d: examples/surrogate_gradients.rs
+
+/root/repo/target/debug/examples/surrogate_gradients-cc6f1accb6f68fcd: examples/surrogate_gradients.rs
+
+examples/surrogate_gradients.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-2fc94502d0bd5c56.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-2fc94502d0bd5c56: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_CRATE_NAME=kernels

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-5fc1b72a8ee1706b.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-5fc1b72a8ee1706b: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_CRATE_NAME=kernels

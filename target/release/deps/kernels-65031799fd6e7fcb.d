@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/kernels-65031799fd6e7fcb.d: crates/bench/benches/kernels.rs
+
+/root/repo/target/release/deps/kernels-65031799fd6e7fcb: crates/bench/benches/kernels.rs
+
+crates/bench/benches/kernels.rs:
+
+# env-dep:CARGO_CRATE_NAME=kernels

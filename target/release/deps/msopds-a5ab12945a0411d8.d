@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds-a5ab12945a0411d8.d: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-a5ab12945a0411d8.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libmsopds-a5ab12945a0411d8.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msopds_attacks-57a0e9bd1e112ccc.d: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+/root/repo/target/release/deps/libmsopds_attacks-57a0e9bd1e112ccc.rlib: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+/root/repo/target/release/deps/libmsopds_attacks-57a0e9bd1e112ccc.rmeta: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/common.rs:
+crates/attacks/src/heuristic.rs:
+crates/attacks/src/pga.rs:
+crates/attacks/src/registry.rs:
+crates/attacks/src/rev_adv.rs:
+crates/attacks/src/s_attack.rs:
+crates/attacks/src/trial.rs:

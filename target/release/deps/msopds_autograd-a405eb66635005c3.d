@@ -1,0 +1,17 @@
+/root/repo/target/release/deps/msopds_autograd-a405eb66635005c3.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs
+
+/root/repo/target/release/deps/libmsopds_autograd-a405eb66635005c3.rlib: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs
+
+/root/repo/target/release/deps/libmsopds_autograd-a405eb66635005c3.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/cg.rs:
+crates/autograd/src/functional.rs:
+crates/autograd/src/hvp.rs:
+crates/autograd/src/ndiff.rs:
+crates/autograd/src/optim.rs:
+crates/autograd/src/pool.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/tensor.rs:
+crates/autograd/src/var.rs:

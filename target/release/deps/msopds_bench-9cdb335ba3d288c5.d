@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds_bench-9cdb335ba3d288c5.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-9cdb335ba3d288c5.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-9cdb335ba3d288c5.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

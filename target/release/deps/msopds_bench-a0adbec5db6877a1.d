@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds_bench-a0adbec5db6877a1.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-a0adbec5db6877a1.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-a0adbec5db6877a1.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/msopds_bench-c98275d2b1c88b68.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-c98275d2b1c88b68.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libmsopds_bench-c98275d2b1c88b68.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msopds_gameplay-28fe7f34b6f952c1.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-28fe7f34b6f952c1.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-28fe7f34b6f952c1.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

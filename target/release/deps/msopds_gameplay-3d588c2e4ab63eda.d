@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/msopds_gameplay-3d588c2e4ab63eda.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-3d588c2e4ab63eda.rlib: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/release/deps/libmsopds_gameplay-3d588c2e4ab63eda.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

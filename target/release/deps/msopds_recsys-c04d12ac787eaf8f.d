@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msopds_recsys-c04d12ac787eaf8f.d: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/release/deps/libmsopds_recsys-c04d12ac787eaf8f.rlib: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/release/deps/libmsopds_recsys-c04d12ac787eaf8f.rmeta: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/bias.rs:
+crates/recsys/src/convolve.rs:
+crates/recsys/src/hetrec.rs:
+crates/recsys/src/losses.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/mf.rs:
+crates/recsys/src/pds.rs:

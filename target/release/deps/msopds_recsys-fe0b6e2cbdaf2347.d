@@ -1,0 +1,14 @@
+/root/repo/target/release/deps/msopds_recsys-fe0b6e2cbdaf2347.d: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/release/deps/libmsopds_recsys-fe0b6e2cbdaf2347.rlib: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/release/deps/libmsopds_recsys-fe0b6e2cbdaf2347.rmeta: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/bias.rs:
+crates/recsys/src/convolve.rs:
+crates/recsys/src/hetrec.rs:
+crates/recsys/src/losses.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/mf.rs:
+crates/recsys/src/pds.rs:

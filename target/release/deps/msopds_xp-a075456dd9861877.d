@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/msopds_xp-a075456dd9861877.d: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/release/deps/libmsopds_xp-a075456dd9861877.rlib: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/release/deps/libmsopds_xp-a075456dd9861877.rmeta: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/config.rs:
+crates/xp/src/experiments.rs:
+crates/xp/src/runner.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/repro-7e427e8f4b3fa234.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/release/deps/repro-7e427e8f4b3fa234: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-086f9cf47a596ddc.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-086f9cf47a596ddc: examples/quickstart.rs
+
+examples/quickstart.rs:
