@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-b3e06e7f89201339.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/libend_to_end-b3e06e7f89201339.rmeta: tests/end_to_end.rs
+
+tests/end_to_end.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds-c50e3211f2824095.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-c50e3211f2824095.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds-ff1864e8ca4fc5ad.d: src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds-ff1864e8ca4fc5ad.rmeta: src/lib.rs
+
+src/lib.rs:

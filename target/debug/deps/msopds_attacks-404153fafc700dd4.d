@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msopds_attacks-404153fafc700dd4.d: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+/root/repo/target/debug/deps/libmsopds_attacks-404153fafc700dd4.rmeta: crates/attacks/src/lib.rs crates/attacks/src/common.rs crates/attacks/src/heuristic.rs crates/attacks/src/pga.rs crates/attacks/src/registry.rs crates/attacks/src/rev_adv.rs crates/attacks/src/s_attack.rs crates/attacks/src/trial.rs
+
+crates/attacks/src/lib.rs:
+crates/attacks/src/common.rs:
+crates/attacks/src/heuristic.rs:
+crates/attacks/src/pga.rs:
+crates/attacks/src/registry.rs:
+crates/attacks/src/rev_adv.rs:
+crates/attacks/src/s_attack.rs:
+crates/attacks/src/trial.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/msopds_autograd-d63561af38831a46.d: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs
+
+/root/repo/target/debug/deps/libmsopds_autograd-d63561af38831a46.rmeta: crates/autograd/src/lib.rs crates/autograd/src/backward.rs crates/autograd/src/cg.rs crates/autograd/src/functional.rs crates/autograd/src/hvp.rs crates/autograd/src/ndiff.rs crates/autograd/src/optim.rs crates/autograd/src/pool.rs crates/autograd/src/tape.rs crates/autograd/src/tensor.rs crates/autograd/src/var.rs
+
+crates/autograd/src/lib.rs:
+crates/autograd/src/backward.rs:
+crates/autograd/src/cg.rs:
+crates/autograd/src/functional.rs:
+crates/autograd/src/hvp.rs:
+crates/autograd/src/ndiff.rs:
+crates/autograd/src/optim.rs:
+crates/autograd/src/pool.rs:
+crates/autograd/src/tape.rs:
+crates/autograd/src/tensor.rs:
+crates/autograd/src/var.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/msopds_bench-e186a1e701114008.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libmsopds_bench-e186a1e701114008.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

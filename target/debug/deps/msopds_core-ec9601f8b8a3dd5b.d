@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/msopds_core-ec9601f8b8a3dd5b.d: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+/root/repo/target/debug/deps/libmsopds_core-ec9601f8b8a3dd5b.rmeta: crates/core/src/lib.rs crates/core/src/capacity.rs crates/core/src/diagnostics.rs crates/core/src/mso.rs crates/core/src/msopds.rs crates/core/src/plan.rs
+
+crates/core/src/lib.rs:
+crates/core/src/capacity.rs:
+crates/core/src/diagnostics.rs:
+crates/core/src/mso.rs:
+crates/core/src/msopds.rs:
+crates/core/src/plan.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_gameplay-5cd9349d0f017691.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-5cd9349d0f017691.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

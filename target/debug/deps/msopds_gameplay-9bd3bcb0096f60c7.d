@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/msopds_gameplay-9bd3bcb0096f60c7.d: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+/root/repo/target/debug/deps/libmsopds_gameplay-9bd3bcb0096f60c7.rmeta: crates/gameplay/src/lib.rs crates/gameplay/src/defense.rs crates/gameplay/src/game.rs
+
+crates/gameplay/src/lib.rs:
+crates/gameplay/src/defense.rs:
+crates/gameplay/src/game.rs:

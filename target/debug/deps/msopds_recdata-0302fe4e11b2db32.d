@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msopds_recdata-0302fe4e11b2db32.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/debug/deps/libmsopds_recdata-0302fe4e11b2db32.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+crates/recdata/src/lib.rs:
+crates/recdata/src/dataset.rs:
+crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
+crates/recdata/src/poison.rs:
+crates/recdata/src/ratings.rs:
+crates/recdata/src/synth.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/msopds_recdata-c7083fe7b1e63f07.d: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+/root/repo/target/debug/deps/libmsopds_recdata-c7083fe7b1e63f07.rmeta: crates/recdata/src/lib.rs crates/recdata/src/dataset.rs crates/recdata/src/demographics.rs crates/recdata/src/io.rs crates/recdata/src/poison.rs crates/recdata/src/ratings.rs crates/recdata/src/synth.rs
+
+crates/recdata/src/lib.rs:
+crates/recdata/src/dataset.rs:
+crates/recdata/src/demographics.rs:
+crates/recdata/src/io.rs:
+crates/recdata/src/poison.rs:
+crates/recdata/src/ratings.rs:
+crates/recdata/src/synth.rs:

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/msopds_recsys-2a4bfa0f6364b1d1.d: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+/root/repo/target/debug/deps/libmsopds_recsys-2a4bfa0f6364b1d1.rmeta: crates/recsys/src/lib.rs crates/recsys/src/bias.rs crates/recsys/src/convolve.rs crates/recsys/src/hetrec.rs crates/recsys/src/losses.rs crates/recsys/src/metrics.rs crates/recsys/src/mf.rs crates/recsys/src/pds.rs
+
+crates/recsys/src/lib.rs:
+crates/recsys/src/bias.rs:
+crates/recsys/src/convolve.rs:
+crates/recsys/src/hetrec.rs:
+crates/recsys/src/losses.rs:
+crates/recsys/src/metrics.rs:
+crates/recsys/src/mf.rs:
+crates/recsys/src/pds.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_telemetry-55341e9b25b2df1f.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmsopds_telemetry-55341e9b25b2df1f.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/msopds_telemetry-98515480871b6c10.d: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+/root/repo/target/debug/deps/libmsopds_telemetry-98515480871b6c10.rmeta: crates/telemetry/src/lib.rs crates/telemetry/src/counter.rs crates/telemetry/src/json.rs crates/telemetry/src/report.rs crates/telemetry/src/span.rs
+
+crates/telemetry/src/lib.rs:
+crates/telemetry/src/counter.rs:
+crates/telemetry/src/json.rs:
+crates/telemetry/src/report.rs:
+crates/telemetry/src/span.rs:

@@ -1,0 +1,8 @@
+/root/repo/target/debug/deps/msopds_xp-f791934984211b92.d: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+/root/repo/target/debug/deps/libmsopds_xp-f791934984211b92.rmeta: crates/xp/src/lib.rs crates/xp/src/config.rs crates/xp/src/experiments.rs crates/xp/src/runner.rs
+
+crates/xp/src/lib.rs:
+crates/xp/src/config.rs:
+crates/xp/src/experiments.rs:
+crates/xp/src/runner.rs:

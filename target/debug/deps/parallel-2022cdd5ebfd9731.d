@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/parallel-2022cdd5ebfd9731.d: crates/autograd/tests/parallel.rs
+
+/root/repo/target/debug/deps/libparallel-2022cdd5ebfd9731.rmeta: crates/autograd/tests/parallel.rs
+
+crates/autograd/tests/parallel.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/pds_gradients-e10e12b33120ffca.d: crates/recsys/tests/pds_gradients.rs
+
+/root/repo/target/debug/deps/libpds_gradients-e10e12b33120ffca.rmeta: crates/recsys/tests/pds_gradients.rs
+
+crates/recsys/tests/pds_gradients.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/poison_properties-2e4e5c606a406496.d: crates/recdata/tests/poison_properties.rs
+
+/root/repo/target/debug/deps/libpoison_properties-2e4e5c606a406496.rmeta: crates/recdata/tests/poison_properties.rs
+
+crates/recdata/tests/poison_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-07f67debfc9204a0.d: crates/recdata/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-07f67debfc9204a0.rmeta: crates/recdata/tests/properties.rs
+
+crates/recdata/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-44dc7d35e35c4a3b.d: crates/autograd/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-44dc7d35e35c4a3b.rmeta: crates/autograd/tests/properties.rs
+
+crates/autograd/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-6d8d5899bd880f86.d: crates/core/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-6d8d5899bd880f86.rmeta: crates/core/tests/properties.rs
+
+crates/core/tests/properties.rs:

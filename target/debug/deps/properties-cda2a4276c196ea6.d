@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-cda2a4276c196ea6.d: crates/het-graph/tests/properties.rs
+
+/root/repo/target/debug/deps/libproperties-cda2a4276c196ea6.rmeta: crates/het-graph/tests/properties.rs
+
+crates/het-graph/tests/properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/repro-8aab54bea267b7cb.d: crates/xp/src/bin/repro.rs
+
+/root/repo/target/debug/deps/librepro-8aab54bea267b7cb.rmeta: crates/xp/src/bin/repro.rs
+
+crates/xp/src/bin/repro.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-598115fa2c634334.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-598115fa2c634334.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/serde_json-b4e2a7ec24e3b8d1.d: vendor/serde_json/src/lib.rs
+
+/root/repo/target/debug/deps/libserde_json-b4e2a7ec24e3b8d1.rmeta: vendor/serde_json/src/lib.rs
+
+vendor/serde_json/src/lib.rs:

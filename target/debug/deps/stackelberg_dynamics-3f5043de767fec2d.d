@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/stackelberg_dynamics-3f5043de767fec2d.d: tests/stackelberg_dynamics.rs
+
+/root/repo/target/debug/deps/libstackelberg_dynamics-3f5043de767fec2d.rmeta: tests/stackelberg_dynamics.rs
+
+tests/stackelberg_dynamics.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry-011b1a7d7e60c10f.d: crates/telemetry/tests/telemetry.rs
+
+/root/repo/target/debug/deps/libtelemetry-011b1a7d7e60c10f.rmeta: crates/telemetry/tests/telemetry.rs
+
+crates/telemetry/tests/telemetry.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/telemetry_determinism-efd9bc4a85cf9c40.d: crates/gameplay/tests/telemetry_determinism.rs
+
+/root/repo/target/debug/deps/libtelemetry_determinism-efd9bc4a85cf9c40.rmeta: crates/gameplay/tests/telemetry_determinism.rs
+
+crates/gameplay/tests/telemetry_determinism.rs:
