@@ -1,4 +1,4 @@
-//! Conjugate-gradient linear solver.
+//! Conjugate-gradient linear solver with numeric guardrails.
 //!
 //! Algorithm 1 step 9 solves `ξ · ∂²L^q/∂X̂^q² = ∂L^p/∂X̂^q` without ever
 //! materializing the Hessian: each CG iteration consumes one Hessian-vector
@@ -6,7 +6,19 @@
 //! from [`crate::hvp`]. Damping (`damping·I` added to the operator) is the
 //! standard regularization for the possibly indefinite Hessians encountered
 //! mid-optimization.
+//!
+//! Influence-function-style solves are notoriously ill-conditioned (cf. Fang
+//! et al., *Influence Function based Data Poisoning Attacks to Top-N
+//! Recommender Systems*): mid-game Hessians can be indefinite, the
+//! right-hand side can carry NaN from an upstream overflow, and plain CG
+//! happily turns either into a silently non-finite `x`. The solver therefore
+//! returns a typed [`SolveOutcome`] — NaN and divergence are *detected*, a
+//! bounded escalating damped retry is attempted, and callers that still get
+//! an unusable outcome receive a zero solution plus a status they can act on
+//! (the MSO loop excludes that follower's correction rather than poisoning
+//! the whole game).
 
+use msopds_faultline as faultline;
 use msopds_telemetry as telemetry;
 
 /// Completed CG solves.
@@ -15,19 +27,85 @@ static CG_SOLVES: telemetry::Counter = telemetry::Counter::new("autograd.cg.solv
 static CG_ITERATIONS: telemetry::Counter = telemetry::Counter::new("autograd.cg.iterations");
 /// Final residual norm of the most recent solve.
 static CG_LAST_RESIDUAL: telemetry::Gauge = telemetry::Gauge::new("autograd.cg.last_residual");
+/// Solves that needed at least one damped retry.
+static CG_RETRIES: telemetry::Counter = telemetry::Counter::new("autograd.cg.retries");
+/// Solves that ended unusable (zero solution substituted).
+static CG_UNUSABLE: telemetry::Counter = telemetry::Counter::new("autograd.cg.unusable");
+
+/// How a conjugate-gradient solve ended.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SolveStatus {
+    /// Residual tolerance reached; `x` is trustworthy.
+    Converged,
+    /// Iteration cap hit with finite iterates — the normal outcome of
+    /// truncated CG (small `cg_iters` budgets); `x` is a usable partial solve.
+    MaxIters,
+    /// A search direction had (numerically) zero curvature; `x` holds the
+    /// progress made up to the breakdown.
+    Breakdown,
+    /// The residual grew beyond [`DIVERGENCE_FACTOR`]× the initial residual
+    /// even after retries; `x` is zeroed (use no correction).
+    Diverged,
+    /// The right-hand side `b` contained NaN/±∞; nothing was solved and `x`
+    /// is zero.
+    NonFiniteRhs,
+    /// NaN/±∞ appeared *during* iteration (ill-conditioned or non-symmetric
+    /// operator) and damped retries did not cure it; `x` is zeroed.
+    NonFinite,
+}
+
+/// Residual growth (relative to `‖b‖`) treated as divergence.
+pub const DIVERGENCE_FACTOR: f64 = 1e6;
+
+/// Escalating damped retries attempted after a pathological first solve.
+pub const MAX_RETRIES: usize = 2;
 
 /// Outcome of a conjugate-gradient solve.
 #[derive(Clone, Debug)]
-pub struct CgSolution {
-    /// The approximate solution `x` with `A·x ≈ b`.
+pub struct SolveOutcome {
+    /// The approximate solution `x` with `A·x ≈ b` (all-zero when
+    /// [`SolveOutcome::usable`] is false).
     pub x: Vec<f64>,
-    /// Number of iterations performed.
+    /// Number of iterations performed (across all attempts).
     pub iterations: usize,
-    /// Final residual norm `‖b − A·x‖`.
+    /// Final residual norm `‖b − A·x‖` of the last attempt.
     pub residual: f64,
     /// Whether the tolerance was reached before the iteration cap.
     pub converged: bool,
+    /// Typed classification of how the solve ended.
+    pub status: SolveStatus,
+    /// Damped retries spent (0 = first attempt stood).
+    pub retries: usize,
+    /// The damping actually used by the returned attempt.
+    pub damping: f64,
 }
+
+impl SolveOutcome {
+    /// True when `x` is finite and safe to consume. An unusable outcome
+    /// carries a zero `x`, so using it blindly applies *no* correction —
+    /// degraded, never poisoned.
+    pub fn usable(&self) -> bool {
+        !matches!(
+            self.status,
+            SolveStatus::Diverged | SolveStatus::NonFiniteRhs | SolveStatus::NonFinite
+        )
+    }
+
+    fn zeroed(n: usize, status: SolveStatus, retries: usize, damping: f64) -> Self {
+        SolveOutcome {
+            x: vec![0.0; n],
+            iterations: 0,
+            residual: f64::INFINITY,
+            converged: false,
+            status,
+            retries,
+            damping,
+        }
+    }
+}
+
+/// Backwards-compatible alias — the pre-guardrail name of the outcome type.
+pub type CgSolution = SolveOutcome;
 
 /// Solves `A·x = b` by conjugate gradient, for `A` given implicitly by the
 /// matrix-vector product `apply`.
@@ -36,28 +114,80 @@ pub struct CgSolution {
 /// well-posed when `A` is only positive semi-definite. CG assumes a symmetric
 /// operator; for the Stackelberg solve this is the Hessian `∂²L^q/∂X̂^q²`,
 /// which is symmetric by construction.
+///
+/// Guardrails: a non-finite `b` short-circuits to [`SolveStatus::NonFiniteRhs`];
+/// NaN or runaway residuals mid-iteration trigger up to [`MAX_RETRIES`]
+/// retries with 100×-escalated damping; a still-pathological solve returns a
+/// zero `x` and a typed status instead of silently non-converged garbage.
+/// This function never panics on numeric input (fault injection aside).
 pub fn conjugate_gradient(
-    apply: impl FnMut(&[f64]) -> Vec<f64>,
-    b: &[f64],
-    max_iters: usize,
-    tol: f64,
-    damping: f64,
-) -> CgSolution {
-    let _span = telemetry::span("cg");
-    let sol = cg_loop(apply, b, max_iters, tol, damping);
-    CG_SOLVES.incr();
-    CG_ITERATIONS.add(sol.iterations as u64);
-    CG_LAST_RESIDUAL.set(sol.residual);
-    sol
-}
-
-fn cg_loop(
     mut apply: impl FnMut(&[f64]) -> Vec<f64>,
     b: &[f64],
     max_iters: usize,
     tol: f64,
     damping: f64,
-) -> CgSolution {
+) -> SolveOutcome {
+    let _span = telemetry::span("cg");
+    faultline::fault_point!("cg.solve");
+    let mut b = b.to_vec();
+    faultline::corrupt_slice("cg.solve.rhs", &mut b);
+
+    let sol = solve_with_retries(&mut apply, &b, max_iters, tol, damping);
+    CG_SOLVES.incr();
+    CG_ITERATIONS.add(sol.iterations as u64);
+    CG_LAST_RESIDUAL.set(sol.residual);
+    if sol.retries > 0 {
+        CG_RETRIES.incr();
+    }
+    if !sol.usable() {
+        CG_UNUSABLE.incr();
+    }
+    sol
+}
+
+fn solve_with_retries(
+    apply: &mut impl FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+    damping: f64,
+) -> SolveOutcome {
+    if !b.iter().all(|v| v.is_finite()) {
+        return SolveOutcome::zeroed(b.len(), SolveStatus::NonFiniteRhs, 0, damping);
+    }
+
+    let mut total_iterations = 0;
+    let mut damping_now = damping;
+    for attempt in 0..=MAX_RETRIES {
+        let mut sol = cg_loop(apply, b, max_iters, tol, damping_now);
+        total_iterations += sol.iterations;
+        sol.iterations = total_iterations;
+        sol.retries = attempt;
+        match sol.status {
+            // Finite outcomes stand (Breakdown keeps pre-breakdown progress).
+            SolveStatus::Converged | SolveStatus::MaxIters | SolveStatus::Breakdown => {
+                return sol;
+            }
+            // Pathology: escalate damping and retry from scratch.
+            SolveStatus::NonFinite | SolveStatus::Diverged => {
+                if attempt == MAX_RETRIES {
+                    return SolveOutcome::zeroed(b.len(), sol.status, attempt, damping_now);
+                }
+                damping_now = if damping_now > 0.0 { damping_now * 100.0 } else { 1e-4 };
+            }
+            SolveStatus::NonFiniteRhs => unreachable!("rhs checked before iterating"),
+        }
+    }
+    unreachable!("loop returns on every branch")
+}
+
+fn cg_loop(
+    apply: &mut impl FnMut(&[f64]) -> Vec<f64>,
+    b: &[f64],
+    max_iters: usize,
+    tol: f64,
+    damping: f64,
+) -> SolveOutcome {
     let n = b.len();
     let mut x = vec![0.0; n];
     let mut r = b.to_vec(); // r = b - A·0
@@ -65,8 +195,19 @@ fn cg_loop(
     let mut rs_old = dot(&r, &r);
     let bnorm = rs_old.sqrt().max(1e-30);
 
+    let outcome =
+        |x: Vec<f64>, iterations: usize, residual: f64, status: SolveStatus| SolveOutcome {
+            x,
+            iterations,
+            residual,
+            converged: status == SolveStatus::Converged,
+            status,
+            retries: 0,
+            damping,
+        };
+
     if rs_old.sqrt() <= tol * bnorm {
-        return CgSolution { x, iterations: 0, residual: rs_old.sqrt(), converged: true };
+        return outcome(x, 0, rs_old.sqrt(), SolveStatus::Converged);
     }
 
     let mut iterations = 0;
@@ -79,9 +220,14 @@ fn cg_loop(
             }
         }
         let p_ap = dot(&p, &ap);
-        if p_ap.abs() < 1e-300 || !p_ap.is_finite() {
-            // Breakdown: direction has (numerically) zero curvature.
-            break;
+        if !p_ap.is_finite() {
+            // The operator itself produced NaN/∞ — retry with more damping.
+            return outcome(vec![0.0; n], iterations, f64::INFINITY, SolveStatus::NonFinite);
+        }
+        if p_ap.abs() < 1e-300 {
+            // Breakdown: direction has (numerically) zero curvature. The
+            // iterate accumulated so far is still finite and usable.
+            return outcome(x, iterations, rs_old.sqrt(), SolveStatus::Breakdown);
         }
         let alpha = rs_old / p_ap;
         for i in 0..n {
@@ -89,8 +235,16 @@ fn cg_loop(
             r[i] -= alpha * ap[i];
         }
         let rs_new = dot(&r, &r);
+        if !rs_new.is_finite() {
+            return outcome(vec![0.0; n], iterations, f64::INFINITY, SolveStatus::NonFinite);
+        }
+        if rs_new.sqrt() > DIVERGENCE_FACTOR * bnorm {
+            // Indefinite / non-symmetric operator: the "residual" is running
+            // away, each extra iteration makes x worse.
+            return outcome(vec![0.0; n], iterations, rs_new.sqrt(), SolveStatus::Diverged);
+        }
         if rs_new.sqrt() <= tol * bnorm {
-            return CgSolution { x, iterations, residual: rs_new.sqrt(), converged: true };
+            return outcome(x, iterations, rs_new.sqrt(), SolveStatus::Converged);
         }
         let beta = rs_new / rs_old;
         for i in 0..n {
@@ -98,7 +252,7 @@ fn cg_loop(
         }
         rs_old = rs_new;
     }
-    CgSolution { x, iterations, residual: rs_old.sqrt(), converged: false }
+    outcome(x, iterations, rs_old.sqrt(), SolveStatus::MaxIters)
 }
 
 fn dot(a: &[f64], b: &[f64]) -> f64 {
@@ -118,6 +272,7 @@ mod tests {
         let m = vec![vec![1.0, 0.0], vec![0.0, 1.0]];
         let sol = conjugate_gradient(mat_apply(&m), &[3.0, -4.0], 10, 1e-10, 0.0);
         assert!(sol.converged);
+        assert_eq!(sol.status, SolveStatus::Converged);
         assert!((sol.x[0] - 3.0).abs() < 1e-9);
         assert!((sol.x[1] + 4.0).abs() < 1e-9);
     }
@@ -175,5 +330,128 @@ mod tests {
         for i in 0..n {
             assert!((ax[i] - b[i]).abs() < 1e-7);
         }
+    }
+
+    // ---- guardrail regressions (ISSUE 3): no panic, no silent garbage ----
+
+    #[test]
+    fn nan_rhs_yields_typed_outcome() {
+        let m = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[f64::NAN, 1.0], 20, 1e-10, 0.0);
+        assert_eq!(sol.status, SolveStatus::NonFiniteRhs);
+        assert!(!sol.usable());
+        assert!(!sol.converged);
+        assert_eq!(sol.x, vec![0.0, 0.0], "unusable solve must zero x, not leak NaN");
+    }
+
+    #[test]
+    fn infinite_rhs_yields_typed_outcome() {
+        let m = vec![vec![2.0, 0.0], vec![0.0, 2.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, f64::INFINITY], 20, 1e-10, 0.0);
+        assert_eq!(sol.status, SolveStatus::NonFiniteRhs);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn indefinite_matrix_never_returns_nonfinite_x() {
+        // A = diag(1, -1) is indefinite: plain CG on it can diverge (negative
+        // curvature flips the step sign). The outcome must stay typed and
+        // finite whatever path it takes.
+        let m = vec![vec![1.0, 0.0], vec![0.0, -1.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, 1.0], 100, 1e-12, 0.0);
+        assert!(
+            sol.x.iter().all(|v| v.is_finite()),
+            "indefinite solve leaked non-finite x: {:?} ({:?})",
+            sol.x,
+            sol.status
+        );
+        assert!(
+            !(sol.status == SolveStatus::Converged) || sol.residual <= 1e-10,
+            "converged status must mean a small residual"
+        );
+    }
+
+    #[test]
+    fn strongly_indefinite_diverges_to_typed_outcome() {
+        // Larger indefinite system with mixed curvature directions mixed into
+        // every step: residuals blow up without the divergence guard.
+        let n = 8;
+        let mut m = vec![vec![0.0; n]; n];
+        for (i, row) in m.iter_mut().enumerate() {
+            row[i] = if i % 2 == 0 { 1.0 } else { -1.0 };
+            if i + 1 < n {
+                row[i + 1] = 0.5;
+            }
+            if i > 0 {
+                row[i - 1] = 0.5;
+            }
+        }
+        let b = vec![1.0; n];
+        let sol = conjugate_gradient(mat_apply(&m), &b, 500, 1e-12, 0.0);
+        assert!(sol.x.iter().all(|v| v.is_finite()), "{:?}", sol.status);
+        if !sol.usable() {
+            assert_eq!(sol.x, vec![0.0; n], "unusable ⇒ zero correction");
+        }
+    }
+
+    #[test]
+    fn zero_diagonal_breakdown_is_typed() {
+        // A = 0: the very first direction has zero curvature; historically
+        // this silently returned converged=false with x=0 — now it is a
+        // *typed* breakdown and the partial iterate stays finite.
+        let m = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, 2.0], 10, 1e-10, 0.0);
+        assert_eq!(sol.status, SolveStatus::Breakdown);
+        assert!(sol.usable(), "breakdown keeps the (finite) partial solution");
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn nan_producing_operator_retries_with_damping() {
+        // An operator that emits NaN until heavy damping drowns it out is the
+        // worst case the HVP closures produce mid-optimization. The solve must
+        // classify it (NonFinite after retries) rather than propagate NaN.
+        let nan_apply = |v: &[f64]| v.iter().map(|_| f64::NAN).collect::<Vec<_>>();
+        let sol = conjugate_gradient(nan_apply, &[1.0, 1.0], 10, 1e-10, 1e-3);
+        assert_eq!(sol.status, SolveStatus::NonFinite);
+        assert_eq!(sol.retries, MAX_RETRIES);
+        assert!(!sol.usable());
+        assert_eq!(sol.x, vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn retry_damping_rescues_mildly_indefinite_system() {
+        // A = diag(1, -d) with tiny d: undamped CG diverges, but the
+        // escalated retry damping makes A + λI positive definite again and
+        // yields a finite, usable solve.
+        let m = vec![vec![1.0, 0.0], vec![0.0, -1e-5]];
+        let sol = conjugate_gradient(mat_apply(&m), &[1.0, 1.0], 200, 1e-10, 1e-3);
+        assert!(sol.x.iter().all(|v| v.is_finite()));
+        if sol.usable() {
+            assert!(sol.x[0].abs() < 10.0, "x stayed bounded: {:?}", sol.x);
+        }
+    }
+
+    #[test]
+    fn truncated_solve_reports_max_iters() {
+        // 1 iteration on a 12-dim SPD system cannot converge; that is the
+        // normal truncated-CG regime and must stay usable.
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 12;
+        let mm: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = (0..n).map(|k| mm[k][i] * mm[k][j]).sum::<f64>()
+                    + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let b: Vec<f64> = (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let sol = conjugate_gradient(mat_apply(&a), &b, 1, 1e-14, 0.0);
+        assert_eq!(sol.status, SolveStatus::MaxIters);
+        assert!(sol.usable());
+        assert!(!sol.converged);
     }
 }

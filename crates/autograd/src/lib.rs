@@ -46,7 +46,7 @@ pub mod tape;
 pub mod tensor;
 mod var;
 
-pub use cg::{conjugate_gradient, CgSolution};
+pub use cg::{conjugate_gradient, CgSolution, SolveOutcome, SolveStatus};
 pub use hvp::HvpMode;
 pub use tape::{NodeId, Op, Tape, TapeStats};
 pub use tensor::Tensor;

@@ -17,11 +17,16 @@
 //! closed-form equilibria.
 
 use msopds_autograd::{conjugate_gradient, HvpMode, Tape, Tensor, Var};
+use msopds_faultline as faultline;
 use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 /// Outer MSO iterations run across all solves.
 static MSO_ITERATIONS: telemetry::Counter = telemetry::Counter::new("core.mso.iterations");
+/// Follower corrections dropped from a round for numeric reasons.
+static MSO_EXCLUSIONS: telemetry::Counter = telemetry::Counter::new("core.mso.follower_exclusions");
+/// Leader updates skipped because the total derivative went non-finite.
+static MSO_LEADER_SKIPS: telemetry::Counter = telemetry::Counter::new("core.mso.leader_skips");
 
 /// A differentiable two-level game: one leader, `N` followers.
 pub trait StackelbergGame {
@@ -82,6 +87,17 @@ impl Default for MsoConfig {
     }
 }
 
+/// Why a follower was excluded from one MSO round.
+#[derive(Clone, Debug, Serialize, Deserialize)]
+pub struct FollowerExclusion {
+    /// Outer iteration the exclusion happened in.
+    pub iteration: usize,
+    /// Follower index.
+    pub follower: usize,
+    /// Human-readable cause (non-finite gradient, unusable CG solve, …).
+    pub reason: String,
+}
+
 /// Per-iteration diagnostics of an MSO run, used to observe the convergence
 /// behaviour asserted by Theorem 3.
 #[derive(Clone, Debug, Default, Serialize, Deserialize)]
@@ -96,6 +112,13 @@ pub struct MsoDiagnostics {
     pub follower_grad_norm: Vec<f64>,
     /// CG iterations spent per outer iteration.
     pub cg_iterations: Vec<usize>,
+    /// Followers whose inner solve failed and whose correction (and, for
+    /// non-finite gradients, own update) was dropped from a round instead of
+    /// poisoning the whole game.
+    pub exclusions: Vec<FollowerExclusion>,
+    /// Iterations whose leader update was skipped because the total
+    /// derivative went non-finite.
+    pub leader_skips: Vec<usize>,
 }
 
 /// Result of an MSO run.
@@ -132,7 +155,7 @@ pub fn mso_optimize<G: StackelbergGame>(
     let mut diag = MsoDiagnostics::default();
     let _mso_span = telemetry::span("mso");
 
-    for _ in 0..cfg.iters {
+    for iter in 0..cfg.iters {
         let _iter_span = telemetry::span("iter");
         MSO_ITERATIONS.incr();
         let tape = Tape::new();
@@ -158,16 +181,38 @@ pub fn mso_optimize<G: StackelbergGame>(
         let _correction_span = telemetry::span("correction");
         let mut cg_spent = 0usize;
         let mut follower_gnorm = 0.0;
-        let mut follower_grads = Vec::with_capacity(xqs.len());
+        let exclude = |diag: &mut MsoDiagnostics, follower: usize, reason: String| {
+            MSO_EXCLUSIONS.incr();
+            diag.exclusions.push(FollowerExclusion { iteration: iter, follower, reason });
+        };
+        // `None` = follower excluded this round (its eq. 9 update is skipped).
+        let mut follower_grads: Vec<Option<Tensor>> = Vec::with_capacity(xqs.len());
         for (i, (&xq_leaf, &lq)) in built.xqs.iter().zip(built.lqs.iter()).enumerate() {
             // Follower's own update direction (eq. 9), kept on the tape so it
             // can be differentiated again for the second-order terms.
             let gq = tape.grad_vars(lq, &[xq_leaf])[0];
-            follower_gnorm += gq.value().norm();
-            follower_grads.push(gq.value());
+            let gq_val = gq.value();
+            if !gq_val.all_finite() {
+                // A diverged follower must not poison the round: freeze its
+                // decision vector and drop its correction, with a diagnostic.
+                exclude(&mut diag, i, "non-finite follower gradient ∂L^q/∂X^q".to_string());
+                follower_grads.push(None);
+                continue;
+            }
+            follower_gnorm += gq_val.norm();
+            follower_grads.push(Some(gq_val));
 
             // Right-hand side ∂L^p/∂X^qᵢ of the implicit solve.
-            let rhs = gp_all[1 + i].value();
+            let mut rhs = gp_all[1 + i].value();
+            if faultline::armed() {
+                let mut v = rhs.to_vec();
+                faultline::corrupt_slice("mso.follower.rhs", &mut v);
+                rhs = Tensor::from_vec(v, rhs.shape());
+            }
+            if !rhs.all_finite() {
+                exclude(&mut diag, i, "non-finite right-hand side ∂L^p/∂X^q".to_string());
+                continue;
+            }
             if rhs.norm() < 1e-12 {
                 continue; // the leader loss does not see this follower: no correction
             }
@@ -207,12 +252,27 @@ pub fn mso_optimize<G: StackelbergGame>(
                 }
             };
             cg_spent += sol.iterations;
+            if !sol.usable() {
+                // CG classified the solve as pathological (NaN operator,
+                // divergence) even after damped retries: drop the correction
+                // for this follower rather than subtracting garbage.
+                exclude(
+                    &mut diag,
+                    i,
+                    format!("unusable CG solve ({:?} after {} retries)", sol.status, sol.retries),
+                );
+                continue;
+            }
 
             // Correction ξ·∂²L^qᵢ/∂X^p∂X^qᵢ via one more backward pass
             // (Alg. 1 step 10): differentiate ⟨∂L^q/∂X^q, ξ⟩ w.r.t. X^p.
             let xi = tape.constant(Tensor::from_vec(sol.x, rhs.shape()));
             let gxi = gq.mul(xi).sum();
             let correction = tape.grad(gxi, &[built.xp]).remove(0);
+            if !correction.all_finite() {
+                exclude(&mut diag, i, "non-finite mixed-Hessian correction".to_string());
+                continue;
+            }
             total = total.zip(&correction, |t, c| t - c);
         }
 
@@ -221,9 +281,18 @@ pub fn mso_optimize<G: StackelbergGame>(
         diag.cg_iterations.push(cg_spent);
 
         // Simultaneous updates (eq. 10 for the leader, eq. 9 for followers).
-        xp = xp.zip(&total, |x, g| x - cfg.eta_p * g);
+        // A non-finite total derivative freezes the leader for one round
+        // instead of destroying the decision vector.
+        if total.all_finite() {
+            xp = xp.zip(&total, |x, g| x - cfg.eta_p * g);
+        } else {
+            MSO_LEADER_SKIPS.incr();
+            diag.leader_skips.push(iter);
+        }
         for (xq, gq) in xqs.iter_mut().zip(&follower_grads) {
-            *xq = xq.zip(gq, |x, g| x - cfg.eta_q * g);
+            if let Some(gq) = gq {
+                *xq = xq.zip(gq, |x, g| x - cfg.eta_q * g);
+            }
         }
     }
 
@@ -326,6 +395,42 @@ mod tests {
         let game = Quadratic { a: 1.0, c: 0.1, d: 0.1 };
         let cfg = MsoConfig { eta_p: 0.5, eta_q: 0.1, iters: 1, ..Default::default() };
         let _ = solve(&cfg, &game);
+    }
+
+    #[test]
+    fn diverged_follower_is_excluded_not_poisoning() {
+        // The follower loss ln(x_q) has gradient 1/x_q = ∞ at the x_q = 0
+        // start: every round must exclude the follower (with a diagnostic),
+        // freeze its decision vector, and keep the leader's own descent
+        // finite — instead of NaN-ing the whole game.
+        struct BadFollower;
+        impl StackelbergGame for BadFollower {
+            fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+                let xpv = tape.leaf(xp.clone());
+                let xqv = tape.leaf(xqs[0].clone());
+                let lp = xpv.add_scalar(-1.0).square().sum().add(xpv.mul(xqv).scale(0.1).sum());
+                let lq = xqv.ln().sum();
+                BuiltGame { xp: xpv, xqs: vec![xqv], lp, lqs: vec![lq] }
+            }
+        }
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 10, ..Default::default() };
+        let run = mso_optimize(&BadFollower, Tensor::scalar(0.0), vec![Tensor::scalar(0.0)], &cfg);
+        assert_eq!(run.diagnostics.exclusions.len(), 10, "every round excludes the follower");
+        assert_eq!(run.diagnostics.exclusions[0].follower, 0);
+        assert!(run.diagnostics.exclusions[0].reason.contains("non-finite follower gradient"));
+        assert!(run.xp.item().is_finite(), "leader poisoned: {}", run.xp.item());
+        assert!(run.xp.item() > 0.1, "leader should still descend toward its optimum");
+        assert_eq!(run.xqs[0].item(), 0.0, "excluded follower stays frozen");
+        assert!(run.diagnostics.leader_skips.is_empty());
+    }
+
+    #[test]
+    fn healthy_games_record_no_exclusions() {
+        let game = Quadratic { a: 2.0, c: 0.5, d: 1.0 };
+        let cfg = MsoConfig { eta_p: 0.05, eta_q: 0.4, iters: 50, ..Default::default() };
+        let run = solve(&cfg, &game);
+        assert!(run.diagnostics.exclusions.is_empty());
+        assert!(run.diagnostics.leader_skips.is_empty());
     }
 
     #[test]

@@ -19,6 +19,7 @@
 use std::sync::Arc;
 
 use msopds_autograd::{Tape, Tensor, Var};
+use msopds_faultline as faultline;
 use msopds_recdata::{Dataset, PoisonAction};
 use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
@@ -27,10 +28,35 @@ use serde::{Deserialize, Serialize};
 static PDS_UNROLL_STEPS: telemetry::Counter = telemetry::Counter::new("recsys.pds.unroll_steps");
 /// Completed PDS surrogate builds.
 static PDS_BUILDS: telemetry::Counter = telemetry::Counter::new("recsys.pds.builds");
+/// Unroll steps where the loss or a parameter gradient went non-finite.
+static PDS_NONFINITE_STEPS: telemetry::Counter =
+    telemetry::Counter::new("recsys.pds.nonfinite_steps");
 
 use crate::bias::{pds_biases, CandidateRatings, DEFAULT_DAMPING};
 use crate::convolve::{adjacency_patch, dense_adjacency, inv_degree, mean_convolve};
 use crate::hetrec::rating_triplets;
+
+/// What the unrolled trainer does when a step's loss or parameter gradient
+/// goes non-finite (overflow in the recorded SGD, an injected NaN, …).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub enum NonFinitePolicy {
+    /// Stop unrolling at the offending step; the surrogate keeps the last
+    /// finite parameters. Conservative and fully deterministic — the default.
+    #[default]
+    Abort,
+    /// Skip the offending SGD update but keep stepping (rescues *transient*
+    /// corruption; a persistent one degenerates into `Abort` with extra
+    /// recorded steps).
+    SkipStep,
+    /// Sanitize the offending gradients — NaN/±∞ → 0, magnitudes clamped to
+    /// [`GRAD_CLAMP_LIMIT`] — and apply the update. Keeps training moving at
+    /// the cost of cutting higher-order X̂-derivatives through the sanitized
+    /// gradient for that step.
+    Clamp,
+}
+
+/// Magnitude bound applied by [`NonFinitePolicy::Clamp`].
+pub const GRAD_CLAMP_LIMIT: f64 = 1e6;
 
 /// Surrogate hyperparameters (§VI-A.7: `L = 5` inner steps).
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -47,11 +73,21 @@ pub struct PdsConfig {
     pub init_std: f64,
     /// Parameter init seed.
     pub seed: u64,
+    /// Reaction to a non-finite loss/gradient during the unroll.
+    pub nonfinite_policy: NonFinitePolicy,
 }
 
 impl Default for PdsConfig {
     fn default() -> Self {
-        Self { dim: 8, inner_steps: 5, inner_lr: 0.5, lambda: 1e-4, init_std: 0.1, seed: 0 }
+        Self {
+            dim: 8,
+            inner_steps: 5,
+            inner_lr: 0.5,
+            lambda: 1e-4,
+            init_std: 0.1,
+            seed: 0,
+            nonfinite_policy: NonFinitePolicy::Abort,
+        }
     }
 }
 
@@ -79,6 +115,17 @@ pub struct PdsBuild<'t> {
     pub item_bias: Var<'t>,
     /// Inner-loop training loss after each step (diagnostics).
     pub inner_losses: Vec<f64>,
+    /// Numeric-guardrail report for this build.
+    pub numeric: PdsNumeric,
+}
+
+/// What the non-finite guardrails saw during one PDS build.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct PdsNumeric {
+    /// Unroll steps (0-based) whose loss or gradients were non-finite.
+    pub nonfinite_steps: Vec<usize>,
+    /// Step the unroll stopped at, when [`NonFinitePolicy::Abort`] fired.
+    pub aborted_at: Option<usize>,
 }
 
 impl<'t> PdsBuild<'t> {
@@ -254,9 +301,11 @@ pub fn build_pds<'t>(
     // embeddings fit the residual structure.
     let norm = 1.0 / n_real as f64;
     let mut inner_losses = Vec::with_capacity(cfg.inner_steps);
-    for _ in 0..cfg.inner_steps {
+    let mut numeric = PdsNumeric::default();
+    for step in 0..cfg.inner_steps {
         let _step_span = telemetry::span("unroll_step");
         PDS_UNROLL_STEPS.incr();
+        faultline::fault_point!("pds.unroll");
         let uf = mean_convolve(hu, a_u, inv_du, wu);
         let if_ = mean_convolve(hi, a_i, inv_di, wi);
 
@@ -293,10 +342,45 @@ pub fn build_pds<'t>(
             .add(wi.square().sum())
             .scale(cfg.lambda);
         let loss = loss.add(reg);
-        inner_losses.push(loss.item());
+        // The fault site corrupts only the *checked* value, which is exactly
+        // what an upstream overflow looks like to the guardrail.
+        let loss_item = faultline::corrupt_f64("pds.unroll.loss", loss.item());
+        inner_losses.push(loss_item);
 
         // Differentiable SGD step: the gradient nodes stay on the tape.
-        let grads = tape.grad_vars(loss, &[hu, hi, wu, wi]);
+        let mut grads = tape.grad_vars(loss, &[hu, hi, wu, wi]);
+
+        // ---- non-finite guardrail (graceful degradation, never NaN-out) ----
+        let bad_step = !loss_item.is_finite() || grads.iter().any(|g| !g.value().all_finite());
+        if bad_step {
+            PDS_NONFINITE_STEPS.incr();
+            numeric.nonfinite_steps.push(step);
+            match cfg.nonfinite_policy {
+                NonFinitePolicy::Abort => {
+                    numeric.aborted_at = Some(step);
+                    break; // keep the last finite parameters
+                }
+                NonFinitePolicy::SkipStep => continue, // drop this update only
+                NonFinitePolicy::Clamp => {
+                    for g in grads.iter_mut() {
+                        let val = g.value();
+                        if !val.all_finite() {
+                            // Sanitized gradients re-enter as constants: the
+                            // step still trains, but X̂ no longer differentiates
+                            // through this (already meaningless) gradient.
+                            *g = tape.constant(val.map(|v| {
+                                if v.is_finite() {
+                                    v.clamp(-GRAD_CLAMP_LIMIT, GRAD_CLAMP_LIMIT)
+                                } else {
+                                    0.0
+                                }
+                            }));
+                        }
+                    }
+                }
+            }
+        }
+
         hu = hu.sub(grads[0].scale(cfg.inner_lr));
         hi = hi.sub(grads[1].scale(cfg.inner_lr));
         wu = wu.sub(grads[2].scale(cfg.inner_lr));
@@ -307,7 +391,7 @@ pub fn build_pds<'t>(
     let user_final = mean_convolve(hu, a_u, inv_du, wu);
     let item_final = mean_convolve(hi, a_i, inv_di, wi);
 
-    PdsBuild { xhats, user_final, item_final, user_bias: bu, item_bias: bi, inner_losses }
+    PdsBuild { xhats, user_final, item_final, user_bias: bu, item_bias: bi, inner_losses, numeric }
 }
 
 #[cfg(test)]
@@ -474,5 +558,69 @@ mod tests {
             &[PlayerInput { candidates: &c, xhat: Tensor::zeros(&[3]) }],
             &cfg(),
         );
+    }
+
+    fn params_finite(build: &PdsBuild) -> bool {
+        build.user_final.value().all_finite()
+            && build.item_final.value().all_finite()
+            && build.user_bias.value().all_finite()
+            && build.item_bias.value().all_finite()
+    }
+
+    fn divergent_cfg(policy: NonFinitePolicy) -> PdsConfig {
+        // A catastrophically large inner learning rate overflows the squared
+        // error within a couple of unrolled steps — a cheap, deterministic
+        // stand-in for real-world numeric blowups.
+        PdsConfig {
+            inner_steps: 6,
+            inner_lr: 1e150,
+            nonfinite_policy: policy,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn healthy_build_reports_clean_numerics() {
+        let data = micro();
+        let tape = Tape::new();
+        let build = build_pds(&tape, &data, &[], &cfg());
+        assert!(build.numeric.nonfinite_steps.is_empty(), "{:?}", build.numeric);
+        assert_eq!(build.numeric.aborted_at, None);
+        assert!(params_finite(&build));
+    }
+
+    #[test]
+    fn abort_policy_stops_at_first_nonfinite_step() {
+        let data = micro();
+        let tape = Tape::new();
+        let build = build_pds(&tape, &data, &[], &divergent_cfg(NonFinitePolicy::Abort));
+        let at = build.numeric.aborted_at.expect("divergent lr must trip the guardrail");
+        assert_eq!(build.numeric.nonfinite_steps, vec![at]);
+        // The loop broke before applying the poisoned update.
+        assert_eq!(build.inner_losses.len(), at + 1);
+        assert!(params_finite(&build), "abort must keep the last finite parameters");
+    }
+
+    #[test]
+    fn skip_step_policy_completes_with_finite_parameters() {
+        let data = micro();
+        let tape = Tape::new();
+        let build = build_pds(&tape, &data, &[], &divergent_cfg(NonFinitePolicy::SkipStep));
+        assert_eq!(build.numeric.aborted_at, None);
+        assert!(!build.numeric.nonfinite_steps.is_empty());
+        // Every step still records a loss sample; bad ones only skip the update.
+        assert_eq!(build.inner_losses.len(), 6);
+        assert!(params_finite(&build), "skipped updates must never poison parameters");
+    }
+
+    #[test]
+    fn clamp_policy_sanitizes_gradients_and_finishes() {
+        let data = micro();
+        let tape = Tape::new();
+        let build = build_pds(&tape, &data, &[], &divergent_cfg(NonFinitePolicy::Clamp));
+        assert_eq!(build.numeric.aborted_at, None);
+        assert!(!build.numeric.nonfinite_steps.is_empty());
+        assert_eq!(build.inner_losses.len(), 6);
+        assert!(params_finite(&build), "clamped updates must stay finite");
     }
 }

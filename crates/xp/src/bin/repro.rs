@@ -1,31 +1,47 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro <table3|fig6|fig7|fig8|fig9|all> [--quick] [--scale N]
-//! [--seeds a,b,...] [--threads N] [--out DIR] [--metrics-out FILE]`
+//! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N]
+//! [--seeds a,b,...] [--threads N] [--out DIR] [--metrics-out FILE]
+//! [--journal FILE] [--resume] [--retries N]`
 //!
 //! `--metrics-out FILE` enables telemetry recording and writes the collected
 //! span timings, counters and gauges as JSON when the run completes
 //! (equivalently: set `MSOPDS_METRICS=FILE`).
+//!
+//! Fault tolerance: `--journal FILE` appends every finished cell to a JSONL
+//! journal; `--resume` replays journaled successes instead of re-running them
+//! (journaled failures re-run), so a killed sweep picks up where it stopped
+//! and produces bit-identical aggregates. `--retries N` grants a panicking
+//! cell N extra attempts (default 1). Cells that still fail are reported and
+//! the process exits with status 3. Builds with the `fault-injection` feature
+//! honor `MSOPDS_FAULT_PLAN` (e.g. `seed=42;xp.cell=panic@0.1`) for drills.
+//!
+//! Exit status: 0 success, 2 usage error, 3 cells failed permanently,
+//! 1 infrastructure error (journal I/O or corruption).
 
 use std::path::PathBuf;
 
 use msopds_telemetry as telemetry;
 
 use msopds_xp::{
-    fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment, table3_cells,
-    to_json, XpConfig,
+    fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_cells_with, table3_cells,
+    to_json, RunError, RunOptions, XpConfig, DEFAULT_RETRIES,
 };
 
 fn main() {
+    msopds_faultline::arm_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR] [--metrics-out FILE]");
+        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]");
         std::process::exit(2);
     }
     let which = args[0].clone();
     let mut cfg = XpConfig::default();
     let mut out_dir = PathBuf::from("target/xp-results");
     let mut metrics_out: Option<PathBuf> = None;
+    let mut journal: Option<PathBuf> = None;
+    let mut resume = false;
+    let mut retries = DEFAULT_RETRIES;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -53,6 +69,15 @@ fn main() {
                 i += 1;
                 metrics_out = Some(PathBuf::from(&args[i]));
             }
+            "--journal" => {
+                i += 1;
+                journal = Some(PathBuf::from(&args[i]));
+            }
+            "--resume" => resume = true,
+            "--retries" => {
+                i += 1;
+                retries = args[i].parse().expect("--retries takes an integer");
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -60,12 +85,22 @@ fn main() {
         }
         i += 1;
     }
+    if resume && journal.is_none() {
+        eprintln!("--resume requires --journal FILE");
+        std::process::exit(2);
+    }
     std::fs::create_dir_all(&out_dir).expect("create output dir");
     if metrics_out.is_some() {
         telemetry::set_enabled(true);
     }
 
-    let run_one = |id: &str| {
+    let mut failed_cells = 0usize;
+    // A fresh (non-`--resume`) run truncates the journal once, on the first
+    // experiment; later experiments of an `all` sweep append so one file
+    // holds the whole run. Resumed entries are keyed by experiment id, so
+    // appending never causes a cross-experiment skip.
+    let mut journal_started = resume;
+    let mut run_one = |id: &str| -> Result<(), RunError> {
         let started = std::time::Instant::now();
         let (cells, knob) = match id {
             "table3" => (table3_cells(&cfg), "b"),
@@ -80,7 +115,30 @@ fn main() {
             }
         };
         eprintln!("[{id}] running {} games on {} threads…", cells.len(), cfg.threads.max(1));
-        let rows = run_experiment(cells, &cfg);
+        let opts = RunOptions {
+            experiment: id.to_string(),
+            journal: journal.clone(),
+            resume: journal_started,
+            retries,
+        };
+        journal_started = true;
+        let report = run_cells_with(cells, &cfg, &opts)?;
+        if report.resumed > 0 {
+            eprintln!("[{id}] resumed {} cells from the journal", report.resumed);
+        }
+        for f in &report.failures {
+            eprintln!(
+                "[{id}] FAILED cell {}/{}/knob={}/seed={} after {} attempts: {}",
+                f.key.dataset,
+                f.key.method,
+                f.key.knob_milli as f64 / 1000.0,
+                f.key.seed,
+                f.error.attempts,
+                f.error.message
+            );
+        }
+        failed_cells += report.failures.len();
+        let rows = msopds_xp::average_over_seeds(&report.measurements);
         let title = match id {
             "table3" => "Table III: target item r̄ and HR@3 vs ConsisRec, single opponent",
             "fig6" => "Fig. 6: impact of the number of opponents (b = 5)",
@@ -98,16 +156,23 @@ fn main() {
             started.elapsed(),
             json_path.display()
         );
+        Ok(())
     };
 
-    if which == "all" {
-        for id in ["table3", "fig6", "fig7", "fig8", "fig9", "defense"] {
-            run_one(id);
-        }
+    let outcome: Result<(), RunError> = if which == "all" {
+        ["table3", "fig6", "fig7", "fig8", "fig9", "defense"].iter().try_for_each(|id| run_one(id))
     } else {
-        run_one(&which);
-    }
+        run_one(&which)
+    };
     // Honors --metrics-out, falls back to an MSOPDS_METRICS path, and prints
     // the tree summary to stderr when recording is on without a path.
     telemetry::export(metrics_out.as_deref());
+    if let Err(e) = outcome {
+        eprintln!("repro: {e}");
+        std::process::exit(1);
+    }
+    if failed_cells > 0 {
+        eprintln!("repro: {failed_cells} cells failed permanently (see journal / log above)");
+        std::process::exit(3);
+    }
 }

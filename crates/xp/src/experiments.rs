@@ -9,7 +9,7 @@ use msopds_core::ActionToggles;
 use msopds_gameplay::AttackMethod;
 
 use crate::config::{DatasetKind, XpConfig};
-use crate::runner::{average_over_seeds, run_cells, Cell, Measurement};
+use crate::runner::{average_over_seeds, run_cells, Cell, Measurement, RunError};
 
 /// A labelled attacker variant (labels distinguish the Fig. 8/9 ablations,
 /// which all report as "MSOPDS" otherwise).
@@ -173,8 +173,10 @@ pub fn fig9_cells(cfg: &XpConfig) -> Vec<Cell> {
 }
 
 /// Runs an experiment's cells and returns seed-averaged measurements.
-pub fn run_experiment(cells: Vec<Cell>, cfg: &XpConfig) -> Vec<Measurement> {
-    average_over_seeds(&run_cells(cells, cfg))
+/// Permanently failed cells are dropped from the average — use
+/// [`crate::runner::run_cells_with`] to observe and journal them.
+pub fn run_experiment(cells: Vec<Cell>, cfg: &XpConfig) -> Result<Vec<Measurement>, RunError> {
+    Ok(average_over_seeds(&run_cells(cells, cfg)?))
 }
 
 /// Renders Table III-style output: per dataset, one row per method, one

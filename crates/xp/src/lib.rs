@@ -17,6 +17,7 @@
 
 pub mod config;
 pub mod experiments;
+pub mod journal;
 pub mod runner;
 
 pub use config::{DatasetKind, XpConfig};
@@ -24,4 +25,8 @@ pub use experiments::{
     defense_cells, fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_experiment,
     sweep_methods, table3_cells, to_json, Variant,
 };
-pub use runner::{average_over_seeds, materialize, run_cells, Cell, Measurement};
+pub use journal::{load_journal, CellError, CellErrorKind, CellKey, Journal, JournalEntry};
+pub use runner::{
+    average_over_seeds, materialize, run_cells, run_cells_with, Cell, FailedCell, Measurement,
+    RunError, RunOptions, RunReport, DEFAULT_RETRIES,
+};

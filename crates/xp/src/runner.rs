@@ -1,14 +1,32 @@
 //! Cell-level execution: one (dataset, method, knobs, seed) game per cell,
 //! parallelized across worker threads with crossbeam scoped threads.
+//!
+//! Fault tolerance: every cell runs under `catch_unwind` with a bounded retry
+//! budget, permanent failures become typed [`CellError`]s instead of tearing
+//! the sweep down, and an optional JSONL journal (see [`crate::journal`])
+//! records each outcome as it lands so an interrupted run can be resumed.
+
+use std::panic::{self, AssertUnwindSafe};
 
 use crossbeam::channel;
+use msopds_faultline as faultline;
 use msopds_gameplay::{run_game, AttackMethod, GameConfig};
 use msopds_recdata::{sample_market, Dataset, Market};
 use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
+use crate::journal::{latest_outcomes, CellError, CellErrorKind, CellKey, Journal, JournalEntry};
+
 /// Experiment cells (games) executed across all [`run_cells`] calls.
 static CELLS_RUN: telemetry::Counter = telemetry::Counter::new("xp.cells");
+/// Cell attempts that panicked (caught, not fatal).
+static CELL_PANICS: telemetry::Counter = telemetry::Counter::new("xp.cell_panics");
+/// Retries granted after a panicked attempt.
+static CELL_RETRIES: telemetry::Counter = telemetry::Counter::new("xp.cell_retries");
+/// Cells that exhausted their retry budget.
+static CELLS_FAILED: telemetry::Counter = telemetry::Counter::new("xp.cells_failed");
+/// Cells skipped on resume because the journal already has their result.
+static CELLS_RESUMED: telemetry::Counter = telemetry::Counter::new("xp.cells_resumed");
 
 use crate::config::{DatasetKind, XpConfig};
 
@@ -47,6 +65,85 @@ pub struct Measurement {
     pub seed: u64,
 }
 
+/// Infrastructure failure of a sweep (I/O, corruption, channel teardown) —
+/// *not* an individual cell failure, which is reported in [`RunReport`].
+#[derive(Debug)]
+pub enum RunError {
+    /// Journal file I/O failed.
+    Journal(std::io::Error),
+    /// The journal is corrupt before its final line.
+    JournalParse {
+        /// 1-based line number of the offending entry.
+        line: usize,
+        /// Parser diagnostic.
+        message: String,
+    },
+    /// An internal channel closed early (a worker died outside `catch_unwind`).
+    ChannelClosed(&'static str),
+    /// A worker thread itself panicked (outside the per-cell guard).
+    WorkerPanic(String),
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RunError::Journal(e) => write!(f, "journal I/O error: {e}"),
+            RunError::JournalParse { line, message } => {
+                write!(f, "corrupt journal at line {line}: {message}")
+            }
+            RunError::ChannelClosed(which) => write!(f, "{which} channel closed unexpectedly"),
+            RunError::WorkerPanic(msg) => write!(f, "worker thread panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for RunError {}
+
+/// How [`run_cells_with`] journals, resumes and retries.
+#[derive(Clone, Debug, Default)]
+pub struct RunOptions {
+    /// Experiment id recorded in each journal key (`table3`, `fig6`, …).
+    pub experiment: String,
+    /// Append each cell outcome to this JSONL file.
+    pub journal: Option<std::path::PathBuf>,
+    /// Skip cells whose success is already journaled (failures re-run).
+    pub resume: bool,
+    /// Extra attempts granted to a panicking cell (0 = fail on first panic).
+    pub retries: usize,
+}
+
+impl RunOptions {
+    /// Options for experiment `experiment` with the default retry budget.
+    pub fn for_experiment(experiment: &str) -> Self {
+        Self { experiment: experiment.to_string(), retries: DEFAULT_RETRIES, ..Self::default() }
+    }
+}
+
+/// Default extra attempts for a panicking cell.
+pub const DEFAULT_RETRIES: usize = 1;
+
+/// A cell that produced no measurement within its retry budget.
+#[derive(Clone, Debug)]
+pub struct FailedCell {
+    /// Which cell.
+    pub key: CellKey,
+    /// Why it failed.
+    pub error: CellError,
+}
+
+/// What a sweep produced.
+#[derive(Clone, Debug, Default)]
+pub struct RunReport {
+    /// Successful measurements — journal-replayed and freshly executed.
+    pub measurements: Vec<Measurement>,
+    /// Cells that exhausted their retry budget this run.
+    pub failures: Vec<FailedCell>,
+    /// Cells skipped because the journal already had their measurement.
+    pub resumed: usize,
+    /// Cells actually executed (including re-runs of journaled failures).
+    pub executed: usize,
+}
+
 /// Generates the dataset and market for a cell. Market sampling is seeded by
 /// the game seed so every method in a (dataset, seed) group sees the *same*
 /// market — the paper's controlled comparison.
@@ -62,89 +159,210 @@ pub fn materialize(
     (data, market)
 }
 
-/// Runs all cells across `cfg.threads` workers and returns measurements in
-/// completion order.
-pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Vec<Measurement> {
-    let n = cells.len();
-    if n == 0 {
-        return Vec::new();
+/// Runs one cell to completion (the per-attempt body; may panic).
+fn execute_cell(cell: &Cell, cfg: &XpConfig) -> Measurement {
+    let _cell_span = telemetry::span("cell");
+    CELLS_RUN.incr();
+    faultline::fault_point!("xp.cell");
+    let (data, market) = materialize(cell.dataset, cfg, cell.game.seed, cell.game.n_opponents);
+    let outcome = if cell.defended {
+        msopds_gameplay::run_defended_game(
+            &data,
+            &market,
+            cell.method,
+            &cell.game,
+            &msopds_gameplay::DetectorConfig::default(),
+        )
+        .0
+    } else {
+        run_game(&data, &market, cell.method, &cell.game)
+    };
+    Measurement {
+        dataset: cell.dataset.name().to_string(),
+        method: cell.label.clone(),
+        knob: cell.knob,
+        rbar: outcome.avg_rating,
+        hr3: outcome.hit_rate_at_3,
+        seed: cell.game.seed,
     }
-    let threads = cfg.threads.clamp(1, n);
+}
+
+/// Renders a caught panic payload for diagnostics.
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Runs `cell` under `catch_unwind` with `retries` extra attempts. The
+/// fault-injection context is re-keyed per attempt so injected faults are
+/// deterministic per (cell, attempt) and retries reroll them.
+fn run_cell_guarded(
+    cell: &Cell,
+    cfg: &XpConfig,
+    key: &CellKey,
+    retries: usize,
+) -> Result<Measurement, CellError> {
+    let mut last = String::new();
+    for attempt in 0..=retries {
+        faultline::set_context(key.context_hash(attempt));
+        let result = panic::catch_unwind(AssertUnwindSafe(|| execute_cell(cell, cfg)));
+        faultline::set_context(0);
+        match result {
+            Ok(m) => return Ok(m),
+            Err(payload) => {
+                CELL_PANICS.incr();
+                last = panic_message(payload);
+                if attempt < retries {
+                    CELL_RETRIES.incr();
+                }
+            }
+        }
+    }
+    CELLS_FAILED.incr();
+    Err(CellError { kind: CellErrorKind::Panic, message: last, attempts: retries + 1 })
+}
+
+/// Runs all cells across `cfg.threads` workers with journaling, resume and
+/// per-cell retry per `opts`. Measurements come back in completion order;
+/// callers needing a canonical order go through [`average_over_seeds`], which
+/// is summation-order independent.
+pub fn run_cells_with(
+    cells: Vec<Cell>,
+    cfg: &XpConfig,
+    opts: &RunOptions,
+) -> Result<RunReport, RunError> {
+    let mut report = RunReport::default();
+
+    // ---- resume: replay journaled successes, re-run journaled failures ----
+    let mut todo = Vec::with_capacity(cells.len());
+    let journaled = match (&opts.journal, opts.resume) {
+        (Some(path), true) if path.exists() => {
+            latest_outcomes(&crate::journal::load_journal(path)?, &opts.experiment)
+        }
+        _ => Default::default(),
+    };
+    for cell in cells {
+        let key = CellKey::of(&opts.experiment, &cell);
+        match journaled.get(&key).and_then(|e| e.ok.clone()) {
+            Some(m) => {
+                CELLS_RESUMED.incr();
+                report.resumed += 1;
+                report.measurements.push(m);
+            }
+            None => todo.push((key, cell)),
+        }
+    }
+    let mut journal = match &opts.journal {
+        Some(path) => Some(Journal::open(path, opts.resume)?),
+        None => None,
+    };
+    if todo.is_empty() {
+        return Ok(report);
+    }
+
+    let threads = cfg.threads.clamp(1, todo.len());
     // Split the thread budget between the two parallelism levels so they
     // compose without oversubscription: cells take as many workers as there
     // are cells (up to the budget), and whatever remains — plus the worker's
     // own thread — becomes kernel-pool lanes inside each game.
     let kernel_lanes = (cfg.threads + 1).saturating_sub(threads).max(1);
     msopds_autograd::pool::configure_threads(kernel_lanes);
-    let (work_tx, work_rx) = channel::unbounded::<Cell>();
-    let (res_tx, res_rx) = channel::unbounded::<Measurement>();
-    for cell in cells {
-        work_tx.send(cell).expect("queue open");
+    let (work_tx, work_rx) = channel::unbounded::<(CellKey, Cell)>();
+    let (res_tx, res_rx) = channel::unbounded::<(CellKey, Result<Measurement, CellError>)>();
+    report.executed = todo.len();
+    for job in todo {
+        work_tx.send(job).map_err(|_| RunError::ChannelClosed("work"))?;
     }
     drop(work_tx);
 
-    crossbeam::scope(|scope| {
+    let retries = opts.retries;
+    let scope_result = crossbeam::scope(|scope| {
         for _ in 0..threads {
             let work_rx = work_rx.clone();
             let res_tx = res_tx.clone();
             let cfg = cfg.clone();
             scope.spawn(move |_| {
-                while let Ok(cell) = work_rx.recv() {
-                    let _cell_span = telemetry::span("cell");
-                    CELLS_RUN.incr();
-                    let (data, market) =
-                        materialize(cell.dataset, &cfg, cell.game.seed, cell.game.n_opponents);
-                    let outcome = if cell.defended {
-                        msopds_gameplay::run_defended_game(
-                            &data,
-                            &market,
-                            cell.method,
-                            &cell.game,
-                            &msopds_gameplay::DetectorConfig::default(),
-                        )
-                        .0
-                    } else {
-                        run_game(&data, &market, cell.method, &cell.game)
-                    };
-                    res_tx
-                        .send(Measurement {
-                            dataset: cell.dataset.name().to_string(),
-                            method: cell.label.clone(),
-                            knob: cell.knob,
-                            rbar: outcome.avg_rating,
-                            hr3: outcome.hit_rate_at_3,
-                            seed: cell.game.seed,
-                        })
-                        .expect("result channel open");
+                while let Ok((key, cell)) = work_rx.recv() {
+                    let outcome = run_cell_guarded(&cell, &cfg, &key, retries);
+                    // A closed result channel means the collector bailed
+                    // (journal I/O error) — drain nothing further and exit.
+                    if res_tx.send((key, outcome)).is_err() {
+                        break;
+                    }
                 }
             });
         }
         drop(res_tx);
-        res_rx.iter().collect()
-    })
-    .expect("worker panicked")
+
+        // Collector: journal each outcome the moment it lands, then fold it
+        // into the report. On journal failure, dropping `res_rx` (by
+        // returning) unblocks the workers, and the scope joins them.
+        for (key, outcome) in res_rx.iter() {
+            if let Some(j) = journal.as_mut() {
+                j.append(&JournalEntry {
+                    key: key.clone(),
+                    ok: outcome.as_ref().ok().cloned(),
+                    err: outcome.as_ref().err().cloned(),
+                })?;
+            }
+            match outcome {
+                Ok(m) => report.measurements.push(m),
+                Err(error) => report.failures.push(FailedCell { key, error }),
+            }
+        }
+        Ok(report)
+    });
+    match scope_result {
+        Ok(collected) => collected,
+        Err(payload) => Err(RunError::WorkerPanic(panic_message(payload))),
+    }
+}
+
+/// Runs all cells with default options (no journal, default retry budget) and
+/// returns measurements in completion order. Cells that fail permanently are
+/// *dropped* from the result — use [`run_cells_with`] to observe them.
+pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Result<Vec<Measurement>, RunError> {
+    let opts = RunOptions { retries: DEFAULT_RETRIES, ..RunOptions::default() };
+    Ok(run_cells_with(cells, cfg, &opts)?.measurements)
 }
 
 /// Averages measurements over seeds, grouped by (dataset, method, knob).
+///
+/// Members of each group are sorted by seed before summation, so the result
+/// is **bit-identical regardless of arrival order** — the property that makes
+/// resumed runs reproduce uninterrupted ones exactly.
 pub fn average_over_seeds(measurements: &[Measurement]) -> Vec<Measurement> {
     use std::collections::BTreeMap;
-    let mut groups: BTreeMap<(String, String, i64), (f64, f64, usize)> = BTreeMap::new();
+    let mut groups: BTreeMap<(String, String, i64), Vec<&Measurement>> = BTreeMap::new();
     for m in measurements {
         let key = (m.dataset.clone(), m.method.clone(), (m.knob * 1000.0).round() as i64);
-        let e = groups.entry(key).or_insert((0.0, 0.0, 0));
-        e.0 += m.rbar;
-        e.1 += m.hr3;
-        e.2 += 1;
+        groups.entry(key).or_default().push(m);
     }
     groups
         .into_iter()
-        .map(|((dataset, method, knob_k), (rbar, hr3, count))| Measurement {
-            dataset,
-            method,
-            knob: knob_k as f64 / 1000.0,
-            rbar: rbar / count as f64,
-            hr3: hr3 / count as f64,
-            seed: 0,
+        .map(|((dataset, method, knob_k), mut members)| {
+            // Total order (seed, then value bits) so even pathological inputs
+            // with duplicate seeds sum in a canonical order.
+            members.sort_by_key(|m| (m.seed, m.rbar.to_bits(), m.hr3.to_bits()));
+            let (mut rbar, mut hr3) = (0.0, 0.0);
+            for m in &members {
+                rbar += m.rbar;
+                hr3 += m.hr3;
+            }
+            let count = members.len() as f64;
+            Measurement {
+                dataset,
+                method,
+                knob: knob_k as f64 / 1000.0,
+                rbar: rbar / count,
+                hr3: hr3 / count,
+                seed: 0,
+            }
         })
         .collect()
 }
@@ -176,8 +394,28 @@ mod tests {
     }
 
     #[test]
+    fn averaging_is_order_independent_bitwise() {
+        // Values chosen so naive float summation order would differ in ulps.
+        let m = |rbar: f64, seed: u64| Measurement {
+            dataset: "d".into(),
+            method: "A".into(),
+            knob: 1.0,
+            rbar,
+            hr3: rbar * 0.3,
+            seed,
+        };
+        let a = [m(0.1, 1), m(1e15, 2), m(-1e15, 3), m(0.2, 4)];
+        let mut b = a.clone();
+        b.reverse();
+        let (ra, rb) = (average_over_seeds(&a), average_over_seeds(&b));
+        assert_eq!(ra.len(), 1);
+        assert_eq!(ra[0].rbar.to_bits(), rb[0].rbar.to_bits());
+        assert_eq!(ra[0].hr3.to_bits(), rb[0].hr3.to_bits());
+    }
+
+    #[test]
     fn empty_cells_is_empty() {
         let cfg = XpConfig::quick();
-        assert!(run_cells(Vec::new(), &cfg).is_empty());
+        assert!(run_cells(Vec::new(), &cfg).unwrap().is_empty());
     }
 }
