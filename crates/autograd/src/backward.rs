@@ -125,6 +125,11 @@ impl Tape {
                 acc(*a, g.scatter_add_elems(idx.clone(), n));
             }
             ScatterAddElems(a, idx, _) => acc(*a, g.gather_elems(idx.clone())),
+            Spmm(m, transposed, a) => {
+                // ∂(A·x)/∂x applied to g is Aᵀ·g — another Spmm node, so the
+                // gradient stays differentiable (HVPs flip the flag back).
+                acc(*a, crate::sparse::spmm_oriented(m, !transposed, g));
+            }
             ConcatCols(a, b) => {
                 let na = self.value(*a).cols();
                 let nb = self.value(*b).cols();

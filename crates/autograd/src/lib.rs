@@ -42,12 +42,14 @@ pub mod hvp;
 pub mod ndiff;
 pub mod optim;
 pub mod pool;
+pub mod sparse;
 pub mod tape;
 pub mod tensor;
 mod var;
 
 pub use cg::{conjugate_gradient, CgSolution, SolveOutcome, SolveStatus};
 pub use hvp::HvpMode;
+pub use sparse::{spmm, SparseMatrix, SparseOperand};
 pub use tape::{NodeId, Op, Tape, TapeStats};
 pub use tensor::Tensor;
 pub use var::Var;

@@ -74,6 +74,9 @@ pub enum Op {
     SliceCols(NodeId, usize, usize),
     /// Embeds a matrix as columns `[from, from+cols)` of a wider zero matrix.
     PadCols(NodeId, usize, usize),
+    /// Sparse × dense product `A·x` (or `Aᵀ·x` when the flag is set). The
+    /// sparse operand is a constant; only the dense input differentiates.
+    Spmm(Arc<crate::sparse::SparseOperand>, bool, NodeId),
     Exp(NodeId),
     Ln(NodeId),
     Sqrt(NodeId),
@@ -111,6 +114,7 @@ impl Op {
             | ScatterAddElems(a, _, _)
             | SliceCols(a, _, _)
             | PadCols(a, _, _)
+            | Spmm(_, _, a)
             | Exp(a)
             | Ln(a)
             | Sqrt(a)
@@ -327,6 +331,7 @@ fn eval(op: &Op, nodes: &[Node]) -> Tensor {
         ScatterAddRows(a, idx, m) => v(*a).scatter_add_rows(idx, *m),
         GatherElems(a, idx) => v(*a).gather_elems(idx),
         ScatterAddElems(a, idx, n) => v(*a).scatter_add_elems(idx, *n),
+        Spmm(m, transposed, a) => m.side(*transposed).spmm(v(*a)),
         ConcatCols(a, b) => v(*a).concat_cols(v(*b)),
         SliceCols(a, from, to) => v(*a).slice_cols(*from, *to),
         PadCols(a, from, total) => v(*a).pad_cols(*from, *total),

@@ -56,7 +56,7 @@ impl Tensor {
     }
 
     /// Internal constructor for kernel outputs with a pre-normalized shape.
-    fn from_owned(data: Vec<f64>, shape: [usize; 2], rank: u8) -> Self {
+    pub(crate) fn from_owned(data: Vec<f64>, shape: [usize; 2], rank: u8) -> Self {
         debug_assert_eq!(data.len(), shape[0] * shape[1]);
         Self { shape, rank, data: Arc::new(data) }
     }

@@ -1,0 +1,158 @@
+//! Sparse-vs-dense equivalence and determinism for the SpMM kernel family.
+//!
+//! Property-tested invariants on random CSR matrices (isolated nodes — empty
+//! rows/columns — included by construction):
+//!
+//! 1. forward: `A·X` through the sparse kernel equals the dense matmul;
+//! 2. gradient: the tape gradient through `Op::Spmm` matches both the dense
+//!    tape gradient and a finite-difference reference (`ndiff`);
+//! 3. HVP: exact Hessian-vector products agree between the two paths;
+//! 4. determinism: parallel sparse output is bit-identical to sequential at
+//!    any lane count.
+
+use std::sync::Mutex;
+
+use msopds_autograd::ndiff;
+use msopds_autograd::pool::{self, DEFAULT_COPY_MIN, DEFAULT_ELEMWISE_MIN, DEFAULT_MATMUL_MIN};
+use msopds_autograd::{spmm, SparseMatrix, SparseOperand, Tape, Tensor};
+use proptest::prelude::*;
+
+/// Serializes tests that reconfigure the process-global pool/thresholds.
+static LOCK: Mutex<()> = Mutex::new(());
+
+/// A random sparse matrix as triplets. Density is low enough that several
+/// rows and columns stay empty (the isolated-node case of a CSR graph).
+fn sparse_triplets(rows: usize, cols: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    let entry = (0..rows, 0..cols, -2.0..2.0f64);
+    proptest::collection::vec(entry, 0..=(rows * cols / 4).max(1))
+}
+
+/// A symmetric 0/1 adjacency-like matrix from an undirected edge list.
+fn symmetric_triplets(n: usize) -> impl Strategy<Value = Vec<(usize, usize, f64)>> {
+    proptest::collection::vec((0..n, 0..n), 0..=n).prop_map(|edges| {
+        let mut t = Vec::new();
+        for (a, b) in edges {
+            if a != b {
+                t.push((a, b, 1.0));
+                t.push((b, a, 1.0));
+            }
+        }
+        t
+    })
+}
+
+fn dense_vec(n: usize) -> impl Strategy<Value = Vec<f64>> {
+    proptest::collection::vec(-2.0..2.0f64, n..=n)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn forward_matches_dense(
+        triplets in sparse_triplets(9, 7),
+        xv in dense_vec(7 * 3),
+    ) {
+        let a = SparseMatrix::from_triplets(9, 7, &triplets);
+        let x = Tensor::from_vec(xv, &[7, 3]);
+        let sparse = a.spmm(&x);
+        let dense = a.to_dense().matmul(&x);
+        prop_assert!(sparse.max_abs_diff(&dense) < 1e-12);
+    }
+
+    #[test]
+    fn gradient_matches_dense_and_ndiff(
+        triplets in sparse_triplets(6, 5),
+        xv in dense_vec(5 * 2),
+        wv in dense_vec(6 * 2),
+    ) {
+        let a = SparseMatrix::from_triplets(6, 5, &triplets);
+        let op = SparseOperand::new(a.clone());
+        let x0 = Tensor::from_vec(xv, &[5, 2]);
+        let w = Tensor::from_vec(wv, &[6, 2]);
+
+        // Sparse path.
+        let tape = Tape::new();
+        let x = tape.leaf(x0.clone());
+        let loss = spmm(&op, x).mul(tape.constant(w.clone())).sum();
+        let g_sparse = tape.grad(loss, &[x]).remove(0);
+
+        // Dense path: same loss through the dense matmul op.
+        let tape_d = Tape::new();
+        let xd = tape_d.leaf(x0.clone());
+        let ad = tape_d.constant(a.to_dense());
+        let loss_d = ad.matmul(xd).mul(tape_d.constant(w.clone())).sum();
+        let g_dense = tape_d.grad(loss_d, &[xd]).remove(0);
+
+        prop_assert!(g_sparse.max_abs_diff(&g_dense) < 1e-10);
+        let dense = a.to_dense();
+        ndiff::assert_grad_close(
+            |t| dense.matmul(t).data().iter().zip(w.data()).map(|(y, wi)| y * wi).sum(),
+            &x0,
+            &g_sparse,
+            1e-5,
+        );
+    }
+
+    #[test]
+    fn hvp_matches_dense(
+        triplets in symmetric_triplets(8),
+        xv in dense_vec(8),
+        vv in dense_vec(8),
+    ) {
+        // L = ‖A·x‖² (Hessian 2AᵀA) through both backends.
+        let a = SparseMatrix::from_triplets(8, 8, &triplets);
+        let op = SparseOperand::symmetric(a.clone());
+        let v = Tensor::from_vec(vv, &[8]);
+
+        let tape = Tape::new();
+        let x = tape.leaf(Tensor::from_vec(xv.clone(), &[8]));
+        let y = spmm(&op, x);
+        let hv_sparse = msopds_autograd::hvp::hvp_exact(&tape, y.mul(y).sum(), x, &v);
+
+        let tape_d = Tape::new();
+        let xd = tape_d.leaf(Tensor::from_vec(xv, &[8, 1]));
+        let ad = tape_d.constant(a.to_dense());
+        let yd = ad.matmul(xd);
+        let hv_dense =
+            msopds_autograd::hvp::hvp_exact(&tape_d, yd.mul(yd).sum(), xd, &v.reshape(&[8, 1]));
+
+        prop_assert!(hv_sparse.reshape(&[8, 1]).max_abs_diff(&hv_dense) < 1e-10);
+    }
+
+    #[test]
+    fn parallel_spmm_bit_identical(
+        triplets in sparse_triplets(40, 40),
+        xv in dense_vec(40 * 3),
+    ) {
+        let a = SparseMatrix::from_triplets(40, 40, &triplets);
+        let x = Tensor::from_vec(xv, &[40, 3]);
+        let _guard = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+        pool::configure_threads(1);
+        let seq = a.spmm(&x);
+        pool::set_parallel_thresholds(1, 1, 1);
+        let mut parallel = Vec::new();
+        for lanes in [2, 4, 7] {
+            pool::configure_threads(lanes);
+            parallel.push((lanes, a.spmm(&x)));
+        }
+        pool::set_parallel_thresholds(DEFAULT_ELEMWISE_MIN, DEFAULT_COPY_MIN, DEFAULT_MATMUL_MIN);
+        pool::configure_threads(1);
+        for (lanes, out) in parallel {
+            let bitwise = seq
+                .to_vec()
+                .iter()
+                .zip(out.to_vec())
+                .all(|(s, p)| s.to_bits() == p.to_bits());
+            prop_assert!(bitwise, "sparse kernel differs at {lanes} lanes");
+        }
+    }
+}
+
+#[test]
+fn empty_matrix_multiplies_to_zeros() {
+    // All-isolated-nodes graph: no entries at all.
+    let a = SparseMatrix::from_triplets(5, 5, &[]);
+    let x = Tensor::from_vec((0..10).map(|i| i as f64).collect(), &[5, 2]);
+    assert_eq!(a.spmm(&x).to_vec(), vec![0.0; 10]);
+}

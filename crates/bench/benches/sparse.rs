@@ -1,0 +1,181 @@
+//! Sparse-vs-dense backend benchmarks: the neighbor aggregation `Â·H` and the
+//! X̂-differentiable PDS-style unroll, both through the `GraphOps` API, at
+//! n ∈ {200, 2 000, 20 000} (average degree 8, d = 16).
+//!
+//! Emits `BENCH_sparse.json` with timing rows plus `*/resident_bytes_*` rows
+//! recording each backend's adjacency footprint (the value is stored in the
+//! row's sample slot — bytes, not nanoseconds). The dense backend is skipped
+//! at n = 20 000, where its adjacency alone is n² × 8 B = 3.2 GB; the sparse
+//! rows at that size are the point of the backend. Set `MSOPDS_BENCH_SMOKE=1`
+//! to run only the n = 200 cases (CI).
+
+use criterion::{criterion_group, BenchResult, Criterion};
+use msopds_autograd::{SparseMatrix, Tape, Tensor};
+use msopds_het_graph::CsrGraph;
+use msopds_recsys::convolve::mean_convolve;
+use msopds_recsys::{Backend, EdgePatch, GraphOps};
+use rand::{Rng, SeedableRng};
+
+/// Feature dimensionality of every multiplied block.
+const DIM: usize = 16;
+/// Average degree of the synthetic graphs.
+const DEGREE: usize = 8;
+/// Unrolled differentiable convolution steps in the PDS-style bench.
+const UNROLL: usize = 3;
+/// Sparse adjacency at n = 20 000 is a few MB; dense is 3.2 GB — skip dense
+/// above this size.
+const DENSE_SKIP_ABOVE: usize = 2_000;
+
+fn sizes() -> Vec<usize> {
+    if std::env::var("MSOPDS_BENCH_SMOKE").is_ok() {
+        vec![200]
+    } else {
+        vec![200, 2_000, 20_000]
+    }
+}
+
+fn backends_for(n: usize) -> Vec<Backend> {
+    if n <= DENSE_SKIP_ABOVE {
+        vec![Backend::Sparse, Backend::Dense]
+    } else {
+        vec![Backend::Sparse]
+    }
+}
+
+/// A random graph with ~`DEGREE`·n/2 undirected edges.
+fn random_graph(n: usize, seed: u64) -> CsrGraph {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut edges = std::collections::BTreeSet::new();
+    for a in 0..n {
+        for _ in 0..DEGREE / 2 {
+            let b = rng.gen_range(0..n);
+            if a != b {
+                edges.insert((a.min(b), a.max(b)));
+            }
+        }
+    }
+    let edges: Vec<(usize, usize)> = edges.into_iter().collect();
+    CsrGraph::from_edges(n, &edges)
+}
+
+fn features(n: usize, seed: u64) -> Tensor {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Tensor::randn(&[n, DIM], 0.5, &mut rng)
+}
+
+/// Candidate edges absent from `g`, in `EdgePatch` index form.
+fn candidate_edges(g: &CsrGraph, n: usize, k: usize, seed: u64) -> Vec<(usize, (usize, usize))> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = Vec::with_capacity(k);
+    while out.len() < k {
+        let (a, b) = (rng.gen_range(0..n), rng.gen_range(0..n));
+        if a != b && !g.has_edge(a, b) {
+            out.push((out.len(), (a.min(b), a.max(b))));
+        }
+    }
+    out
+}
+
+/// One neighbor aggregation `Â·H` through the backend under test. Both
+/// backends run the identical tape path, so the comparison isolates the
+/// dense-matmul vs CSR-SpMM kernel (derived adjacency structures are cached
+/// across iterations on the graph fingerprint, as in production).
+fn aggregate_once(backend: Backend, g: &CsrGraph, h0: &Tensor) -> Tensor {
+    let tape = Tape::new();
+    let h = tape.constant(h0.clone());
+    GraphOps::new(backend).adjacency(&tape, g).matmul(h).value()
+}
+
+fn spmm_sparse_vs_dense(c: &mut Criterion) {
+    for n in sizes() {
+        let g = random_graph(n, n as u64);
+        let h = features(n, 1);
+        for backend in backends_for(n) {
+            c.bench_function(format!("{backend}/spmm_n{n}"), |b| {
+                b.iter(|| std::hint::black_box(aggregate_once(backend, &g, &h)))
+            });
+        }
+        if n > DENSE_SKIP_ABOVE {
+            eprintln!(
+                "dense/spmm_n{n}: skipped (dense adjacency would be {:.1} GB)",
+                (n * n * 8) as f64 / 1e9
+            );
+        }
+    }
+}
+
+/// The inner computation every PDS planner iteration pays for: a poisoned
+/// adjacency (base + X̂-modulated candidate edges), `UNROLL` differentiable
+/// mean-convolutions, and the gradient of the result w.r.t. X̂.
+fn pds_unroll(
+    backend: Backend,
+    g: &CsrGraph,
+    cands: &[(usize, (usize, usize))],
+    h0: &Tensor,
+    w0: &Tensor,
+) -> f64 {
+    let n = g.num_nodes();
+    let tape = Tape::new();
+    let xhat = tape.leaf(Tensor::full(&[cands.len()], 0.5));
+    let gops = GraphOps::new(backend);
+    let a = gops.poisoned_adjacency(&tape, g, &[EdgePatch { candidates: cands, xhat }]);
+    let inv = gops.inv_degree(&tape, g);
+    let w = tape.constant(w0.clone());
+    let mut h = tape.constant(h0.clone());
+    for _ in 0..UNROLL {
+        h = mean_convolve(h, &a, inv, w);
+    }
+    let loss = h.square().sum().scale(1.0 / n as f64);
+    tape.grad(loss, &[xhat]).remove(0).sum()
+}
+
+fn pds_unroll_sparse_vs_dense(c: &mut Criterion) {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(9);
+    let w0 = Tensor::randn(&[2 * DIM, DIM], 0.2, &mut rng);
+    for n in sizes() {
+        let g = random_graph(n, n as u64);
+        let cands = candidate_edges(&g, n, (n / 10).max(4), 3);
+        let h0 = features(n, 2);
+        for backend in backends_for(n) {
+            c.bench_function(format!("{backend}/pds_unroll_n{n}"), |b| {
+                b.iter(|| std::hint::black_box(pds_unroll(backend, &g, &cands, &h0, &w0)))
+            });
+        }
+        if n > DENSE_SKIP_ABOVE {
+            eprintln!("dense/pds_unroll_n{n}: skipped (dense adjacency would not fit)");
+        }
+    }
+}
+
+/// Adjacency-representation footprints, reported as extra JSON rows whose
+/// sample value is **bytes** (`iters_per_sample` = 1 marks them as one-shot).
+/// The sparse structure is rebuilt here (same CSR layout the backend caches)
+/// so the byte count is measured, not estimated; dense is exactly n²·8.
+fn resident_rows() -> Vec<BenchResult> {
+    let mut rows = Vec::new();
+    for n in sizes() {
+        let g = random_graph(n, n as u64);
+        let triplets: Vec<(usize, usize, f64)> =
+            (0..n).flat_map(|u| g.neighbors(u).map(move |v| (u, v, 1.0))).collect();
+        let csr = SparseMatrix::from_triplets(n, n, &triplets);
+        rows.push(BenchResult {
+            id: format!("sparse/resident_bytes_n{n}"),
+            sample_means_ns: vec![csr.resident_bytes() as f64],
+            iters_per_sample: 1,
+        });
+        rows.push(BenchResult {
+            id: format!("dense/resident_bytes_n{n}"),
+            sample_means_ns: vec![(n * n * 8) as f64],
+            iters_per_sample: 1,
+        });
+    }
+    rows
+}
+
+criterion_group!(benches, spmm_sparse_vs_dense, pds_unroll_sparse_vs_dense);
+
+fn main() {
+    let mut all = benches();
+    all.extend(resident_rows());
+    criterion::write_results_json("sparse", &all);
+}

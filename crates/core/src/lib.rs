@@ -21,6 +21,7 @@ pub mod diagnostics;
 pub mod mso;
 pub mod msopds;
 pub mod plan;
+pub mod prelude;
 
 pub use capacity::{
     build_ca_capacity, build_ia_capacity, ActionToggles, BuiltCapacity, CaCapacitySpec,

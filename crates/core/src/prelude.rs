@@ -1,0 +1,41 @@
+//! One-stop imports for driving the planner programmatically.
+//!
+//! ```
+//! use msopds_core::prelude::*;
+//! ```
+//!
+//! Pulls in the planning entry points of this crate together with the types a
+//! typical planning script touches from the layers below: the dataset
+//! generators, the victim/surrogate models, the [`GraphOps`] backend API
+//! (the *only* public way to materialize graph adjacencies — the raw dense
+//! builders are crate-private to `msopds-recsys`), the CG solver's
+//! [`SolveOutcome`], and the telemetry gate.
+//!
+//! The attack baselines and evaluation protocol live *above* this crate
+//! (`msopds-attacks`, `msopds-gameplay`); use the root `msopds::prelude` for
+//! a whole-stack import.
+
+pub use crate::capacity::{
+    build_ca_capacity, build_ia_capacity, ActionToggles, BuiltCapacity, CaCapacitySpec,
+    IaCapacitySpec,
+};
+pub use crate::diagnostics::{analyze, reached_equilibrium, ConvergenceReport};
+pub use crate::mso::{mso_optimize, BuiltGame, MsoConfig, MsoDiagnostics, MsoRun, StackelbergGame};
+pub use crate::msopds::{
+    plan_bopds, plan_msopds, prepare_planning_data, Objective, PlannerConfig, PlannerOutcome,
+    PlayerSetup,
+};
+pub use crate::plan::{BudgetGroup, ImportanceVector};
+
+pub use msopds_autograd::{
+    conjugate_gradient, HvpMode, SolveOutcome, SolveStatus, Tape, Tensor, Var,
+};
+pub use msopds_het_graph::CsrGraph;
+pub use msopds_recdata::{
+    sample_market, Dataset, DatasetSpec, DemographicsSpec, Market, PoisonAction,
+};
+pub use msopds_recsys::pds::{build_pds, PdsBuild, PdsConfig, PlayerInput};
+pub use msopds_recsys::{
+    Backend, EdgePatch, GraphOps, HetRec, HetRecConfig, MatrixFactorization, MfConfig, TrainReport,
+};
+pub use msopds_telemetry::{enabled as telemetry_enabled, set_enabled as set_telemetry_enabled};

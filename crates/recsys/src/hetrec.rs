@@ -18,7 +18,8 @@ use serde::{Deserialize, Serialize};
 static HETREC_EPOCHS: telemetry::Counter = telemetry::Counter::new("recsys.hetrec.epochs");
 
 use crate::bias::{damped_biases, DEFAULT_DAMPING};
-use crate::convolve::{attention_convolve, dense_adjacency, inv_degree, mean_convolve};
+use crate::convolve::{attention_convolve, mean_convolve};
+use crate::graphops::{Backend, GraphOps};
 
 /// Hyperparameters of the victim model.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -36,6 +37,9 @@ pub struct HetRecConfig {
     /// Use consistency attention (`true`, ConsisRec-style) or plain mean
     /// aggregation (`false`).
     pub attention: bool,
+    /// Graph-operation backend for the mean-aggregation path. Attention
+    /// always materializes densely (see [`GraphOps::attention_mask`]).
+    pub backend: Backend,
     /// Parameter init seed.
     pub seed: u64,
 }
@@ -49,6 +53,7 @@ impl Default for HetRecConfig {
             lambda: 1e-2,
             init_std: 0.1,
             attention: true,
+            backend: Backend::from_env(),
             seed: 0,
         }
     }
@@ -118,10 +123,7 @@ impl HetRec {
         self.b_u = bu_t;
         self.b_i = bi_t;
 
-        let a_u = dense_adjacency(&data.social);
-        let a_i = dense_adjacency(&data.item_graph);
-        let du = inv_degree(&data.social);
-        let di = inv_degree(&data.item_graph);
+        let gops = GraphOps::new(self.cfg.backend);
         let (user_idx, item_idx, values) = rating_triplets(data);
         let target = Tensor::from_vec(values, &[user_idx.len()]);
         let user_idx = Arc::new(user_idx);
@@ -142,7 +144,7 @@ impl HetRec {
                 tape.leaf(self.w_i.clone()),
             );
             let (bu, bi) = (tape.constant(self.b_u.clone()), tape.constant(self.b_i.clone()));
-            let (uf, if_) = self.forward(&tape, hu, hi, wu, wi, &a_u, &a_i, &du, &di);
+            let (uf, if_) = self.forward(&tape, &gops, data, hu, hi, wu, wi);
             let pred = uf
                 .gather_rows(Arc::clone(&user_idx))
                 .rowwise_dot(if_.gather_rows(Arc::clone(&item_idx)))
@@ -168,34 +170,36 @@ impl HetRec {
             tape.constant(self.w_u.clone()),
             tape.constant(self.w_i.clone()),
         );
-        let (uf, if_) = self.forward(&tape, hu, hi, wu, wi, &a_u, &a_i, &du, &di);
+        let (uf, if_) = self.forward(&tape, &gops, data, hu, hi, wu, wi);
         self.finals = Some((uf.value(), if_.value()));
         TrainReport { epoch_loss }
     }
 
+    /// One convolution round over both graphs, through the backend-agnostic
+    /// `GraphOps` API. The per-graph derived structures (dense masks, CSR
+    /// operands, inverse degrees) are memoized on the graph fingerprint, so
+    /// calling this per epoch costs one cache hit each.
     #[allow(clippy::too_many_arguments)]
     fn forward<'t>(
         &self,
         tape: &'t Tape,
+        gops: &GraphOps,
+        data: &Dataset,
         hu: Var<'t>,
         hi: Var<'t>,
         wu: Var<'t>,
         wi: Var<'t>,
-        a_u: &Tensor,
-        a_i: &Tensor,
-        du: &Tensor,
-        di: &Tensor,
     ) -> (Var<'t>, Var<'t>) {
         if self.cfg.attention {
-            let mask_u = tape.constant(a_u.clone());
-            let mask_i = tape.constant(a_i.clone());
+            let mask_u = gops.attention_mask(tape, &data.social);
+            let mask_i = gops.attention_mask(tape, &data.item_graph);
             (attention_convolve(hu, mask_u, wu), attention_convolve(hi, mask_i, wi))
         } else {
-            let au = tape.constant(a_u.clone());
-            let ai = tape.constant(a_i.clone());
-            let du = tape.constant(du.clone());
-            let di = tape.constant(di.clone());
-            (mean_convolve(hu, au, du, wu), mean_convolve(hi, ai, di, wi))
+            let au = gops.adjacency(tape, &data.social);
+            let ai = gops.adjacency(tape, &data.item_graph);
+            let du = gops.inv_degree(tape, &data.social);
+            let di = gops.inv_degree(tape, &data.item_graph);
+            (mean_convolve(hu, &au, du, wu), mean_convolve(hi, &ai, di, wi))
         }
     }
 

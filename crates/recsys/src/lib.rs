@@ -15,12 +15,14 @@
 
 pub mod bias;
 pub mod convolve;
+pub mod graphops;
 pub mod hetrec;
 pub mod losses;
 pub mod metrics;
 pub mod mf;
 pub mod pds;
 
+pub use graphops::{AdjacencyOp, Backend, EdgePatch, GraphOps};
 pub use hetrec::{HetRec, HetRecConfig, TrainReport};
 pub use mf::{MatrixFactorization, MfConfig};
 pub use pds::{build_pds, PdsBuild, PdsConfig, PlayerInput};

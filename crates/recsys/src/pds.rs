@@ -33,7 +33,8 @@ static PDS_NONFINITE_STEPS: telemetry::Counter =
     telemetry::Counter::new("recsys.pds.nonfinite_steps");
 
 use crate::bias::{pds_biases, CandidateRatings, DEFAULT_DAMPING};
-use crate::convolve::{adjacency_patch, dense_adjacency, inv_degree, mean_convolve};
+use crate::convolve::mean_convolve;
+use crate::graphops::{Backend, EdgePatch, GraphOps};
 use crate::hetrec::rating_triplets;
 
 /// What the unrolled trainer does when a step's loss or parameter gradient
@@ -75,6 +76,8 @@ pub struct PdsConfig {
     pub seed: u64,
     /// Reaction to a non-finite loss/gradient during the unroll.
     pub nonfinite_policy: NonFinitePolicy,
+    /// Graph-operation backend for the poisoned convolutions of eq. (15).
+    pub backend: Backend,
 }
 
 impl Default for PdsConfig {
@@ -87,6 +90,7 @@ impl Default for PdsConfig {
             init_std: 0.1,
             seed: 0,
             nonfinite_policy: NonFinitePolicy::Abort,
+            backend: Backend::from_env(),
         }
     }
 }
@@ -207,26 +211,21 @@ pub fn build_pds<'t>(
     // ---- tape leaves ----------------------------------------------------------
     let xhats: Vec<Var<'t>> = players.iter().map(|p| tape.leaf(p.xhat.clone())).collect();
 
-    let a_u = {
-        let base = tape.constant(dense_adjacency(&data.social));
-        partitions.iter().zip(&xhats).fold(base, |acc, (part, &xh)| {
-            match adjacency_patch(&data.social, &part.social, xh) {
-                Some(patch) => acc.add(patch),
-                None => acc,
-            }
-        })
-    };
-    let a_i = {
-        let base = tape.constant(dense_adjacency(&data.item_graph));
-        partitions.iter().zip(&xhats).fold(base, |acc, (part, &xh)| {
-            match adjacency_patch(&data.item_graph, &part.item, xh) {
-                Some(patch) => acc.add(patch),
-                None => acc,
-            }
-        })
-    };
-    let inv_du = tape.constant(inv_degree(&g_u_prime));
-    let inv_di = tape.constant(inv_degree(&g_i_prime));
+    let gops = GraphOps::new(cfg.backend);
+    let social_patches: Vec<EdgePatch<'_, 't>> = partitions
+        .iter()
+        .zip(&xhats)
+        .map(|(part, &xh)| EdgePatch { candidates: &part.social, xhat: xh })
+        .collect();
+    let item_patches: Vec<EdgePatch<'_, 't>> = partitions
+        .iter()
+        .zip(&xhats)
+        .map(|(part, &xh)| EdgePatch { candidates: &part.item, xhat: xh })
+        .collect();
+    let a_u = gops.poisoned_adjacency(tape, &data.social, &social_patches);
+    let a_i = gops.poisoned_adjacency(tape, &data.item_graph, &item_patches);
+    let inv_du = gops.inv_degree(tape, &g_u_prime);
+    let inv_di = gops.inv_degree(tape, &g_i_prime);
 
     let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(cfg.seed);
     let d = cfg.dim;
@@ -306,8 +305,8 @@ pub fn build_pds<'t>(
         let _step_span = telemetry::span("unroll_step");
         PDS_UNROLL_STEPS.incr();
         faultline::fault_point!("pds.unroll");
-        let uf = mean_convolve(hu, a_u, inv_du, wu);
-        let if_ = mean_convolve(hi, a_i, inv_di, wi);
+        let uf = mean_convolve(hu, &a_u, inv_du, wu);
+        let if_ = mean_convolve(hi, &a_i, inv_di, wi);
 
         // Real-rating MSE term of eq. (16).
         let pred = uf
@@ -388,8 +387,8 @@ pub fn build_pds<'t>(
     }
 
     // Final embeddings with the trained parameters (Algorithm 1 step 7).
-    let user_final = mean_convolve(hu, a_u, inv_du, wu);
-    let item_final = mean_convolve(hi, a_i, inv_di, wi);
+    let user_final = mean_convolve(hu, &a_u, inv_du, wu);
+    let item_final = mean_convolve(hi, &a_i, inv_di, wi);
 
     PdsBuild { xhats, user_final, item_final, user_bias: bu, item_bias: bi, inner_losses, numeric }
 }

@@ -1,0 +1,157 @@
+//! Dense/sparse backend equivalence at the model level: the two `GraphOps`
+//! backends must agree to ≤1e-10 on everything Algorithm 1 consumes — victim
+//! training trajectories, PDS surrogate losses, and first- and second-order
+//! X̂ derivatives through the poisoned adjacency.
+//!
+//! (They cannot agree bitwise: CSR row accumulation visits addends in a
+//! different order than the dense matmul's inner product.)
+
+use msopds_autograd::hvp::hvp_exact;
+use msopds_autograd::{Tape, Tensor};
+use msopds_recdata::{Dataset, DatasetSpec, PoisonAction};
+use msopds_recsys::pds::PlayerInput;
+use msopds_recsys::pds::{build_pds, PdsConfig};
+use msopds_recsys::{losses, Backend, HetRec, HetRecConfig};
+
+const TOL: f64 = 1e-10;
+
+fn micro() -> Dataset {
+    DatasetSpec::micro().generate(11)
+}
+
+fn max_abs_diff(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len());
+    a.iter().zip(b).map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+}
+
+#[test]
+fn hetrec_training_loss_matches_across_backends() {
+    let data = micro();
+    let fit = |backend: Backend| {
+        let cfg =
+            HetRecConfig { epochs: 25, dim: 8, attention: false, backend, ..Default::default() };
+        let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
+        let report = model.fit(&data);
+        (report.epoch_loss, model)
+    };
+    let (loss_d, model_d) = fit(Backend::Dense);
+    let (loss_s, model_s) = fit(Backend::Sparse);
+    assert!(
+        max_abs_diff(&loss_d, &loss_s) < TOL,
+        "training losses diverged: {:e}",
+        max_abs_diff(&loss_d, &loss_s)
+    );
+    for u in 0..4 {
+        for i in 0..4 {
+            assert!((model_d.predict(u, i) - model_s.predict(u, i)).abs() < TOL);
+        }
+    }
+}
+
+#[test]
+fn hetrec_attention_path_is_backend_invariant() {
+    // Attention materializes densely under every backend, so the trajectories
+    // are *bit*-identical there.
+    let data = micro();
+    let fit = |backend: Backend| {
+        let cfg =
+            HetRecConfig { epochs: 10, dim: 8, attention: true, backend, ..Default::default() };
+        let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
+        model.fit(&data).epoch_loss
+    };
+    assert_eq!(fit(Backend::Dense), fit(Backend::Sparse));
+}
+
+/// Mixed candidate set exercising every patch path: social edges, item edges,
+/// and X̂-weighted ratings.
+fn candidates(data: &Dataset) -> Vec<PoisonAction> {
+    let mut c = Vec::new();
+    let mut found = 0;
+    'social: for a in 0..data.n_users() {
+        for b in (a + 1)..data.n_users() {
+            if !data.social.has_edge(a, b) {
+                c.push(PoisonAction::SocialEdge { a: a as u32, b: b as u32 });
+                found += 1;
+                if found == 2 {
+                    break 'social;
+                }
+            }
+        }
+    }
+    'item: for a in 0..data.n_items() {
+        for b in (a + 1)..data.n_items() {
+            if !data.item_graph.has_edge(a, b) {
+                c.push(PoisonAction::ItemEdge { a: a as u32, b: b as u32 });
+                break 'item;
+            }
+        }
+    }
+    for u in 0..4u32 {
+        c.push(PoisonAction::Rating { user: u, item: 2, value: 5.0 });
+    }
+    c
+}
+
+fn pds_cfg(backend: Backend) -> PdsConfig {
+    PdsConfig { inner_steps: 4, backend, ..Default::default() }
+}
+
+#[test]
+fn pds_losses_and_gradients_match_across_backends() {
+    let data = micro();
+    let cands = candidates(&data);
+    let xhat0 = Tensor::from_vec(
+        (0..cands.len()).map(|i| if i % 2 == 0 { 1.0 } else { 0.0 }).collect(),
+        &[cands.len()],
+    );
+    let users: Vec<usize> = (0..8).collect();
+
+    let run = |backend: Backend| {
+        let tape = Tape::new();
+        let build = build_pds(
+            &tape,
+            &data,
+            &[PlayerInput { candidates: &cands, xhat: xhat0.clone() }],
+            &pds_cfg(backend),
+        );
+        let loss = losses::ia_loss(&build.scores(), &users, 2);
+        let grad = tape.grad(loss, &[build.xhats[0]]).remove(0);
+        (build.inner_losses.clone(), build.user_final.value().to_vec(), grad.to_vec())
+    };
+    let (il_d, uf_d, g_d) = run(Backend::Dense);
+    let (il_s, uf_s, g_s) = run(Backend::Sparse);
+    assert!(max_abs_diff(&il_d, &il_s) < TOL, "inner losses: {:e}", max_abs_diff(&il_d, &il_s));
+    assert!(max_abs_diff(&uf_d, &uf_s) < TOL, "final embeddings: {:e}", max_abs_diff(&uf_d, &uf_s));
+    assert!(max_abs_diff(&g_d, &g_s) < TOL, "X̂ gradients: {:e}", max_abs_diff(&g_d, &g_s));
+    assert!(g_s.iter().any(|v| v.abs() > 1e-12), "gradient must be non-trivial");
+}
+
+#[test]
+fn pds_hvp_matches_across_backends() {
+    // Second order: the exact HVP of the adversarial loss w.r.t. X̂ — the
+    // quantity the CG Stackelberg solve consumes — must agree too.
+    let data = micro();
+    let cands = candidates(&data);
+    let xhat0 = Tensor::from_vec(vec![0.5; cands.len()], &[cands.len()]);
+    let v = Tensor::from_vec(
+        (0..cands.len()).map(|i| ((i as f64) * 0.7).sin()).collect(),
+        &[cands.len()],
+    );
+    let users: Vec<usize> = (0..8).collect();
+
+    let run = |backend: Backend| {
+        let tape = Tape::new();
+        let build = build_pds(
+            &tape,
+            &data,
+            &[PlayerInput { candidates: &cands, xhat: xhat0.clone() }],
+            &pds_cfg(backend),
+        );
+        let loss = losses::ia_loss(&build.scores(), &users, 2);
+        hvp_exact(&tape, loss, build.xhats[0], &v).to_vec()
+    };
+    let hv_d = run(Backend::Dense);
+    let hv_s = run(Backend::Sparse);
+    assert!(max_abs_diff(&hv_d, &hv_s) < TOL, "HVPs diverged: {:e}", max_abs_diff(&hv_d, &hv_s));
+    assert!(hv_s.iter().any(|x| x.abs() > 1e-12), "HVP must be non-trivial");
+}

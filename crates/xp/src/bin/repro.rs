@@ -1,12 +1,21 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
 //! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N]
-//! [--seeds a,b,...] [--threads N] [--out DIR] [--metrics-out FILE]
-//! [--journal FILE] [--resume] [--retries N]`
+//! [--seeds a,b,...] [--threads N] [--backend dense|sparse] [--out DIR]
+//! [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]`
+//!
+//! Runtime flags (threads, backend, metrics, journaling, retries) are parsed
+//! by [`RuntimeConfig`] — one parse point shared with the `MSOPDS_THREADS`,
+//! `MSOPDS_BACKEND`, `MSOPDS_METRICS` and `MSOPDS_FAULT_PLAN` environment
+//! variables; the flags win over the environment. This file only parses the
+//! experiment-shape flags (`--quick`, `--scale`, `--seeds`, `--out`).
 //!
 //! `--metrics-out FILE` enables telemetry recording and writes the collected
 //! span timings, counters and gauges as JSON when the run completes
 //! (equivalently: set `MSOPDS_METRICS=FILE`).
+//!
+//! `--backend sparse` runs every model on the CSR/SpMM graph backend (see
+//! DESIGN.md §11); results agree with the default dense backend to ≤1e-10.
 //!
 //! Fault tolerance: `--journal FILE` appends every finished cell to a JSONL
 //! journal; `--resume` replays journaled successes instead of re-running them
@@ -21,62 +30,58 @@
 
 use std::path::PathBuf;
 
-use msopds_telemetry as telemetry;
-
 use msopds_xp::{
     fig6_cells, fig7_cells, fig8_cells, fig9_cells, render_table, run_cells_with, table3_cells,
-    to_json, RunError, RunOptions, XpConfig, DEFAULT_RETRIES,
+    to_json, RunError, RuntimeConfig, XpConfig,
 };
 
+const USAGE: &str = "usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]";
+
 fn main() {
-    msopds_faultline::arm_from_env();
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
-        eprintln!("usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]");
+        eprintln!("{USAGE}");
         std::process::exit(2);
     }
-    let which = args[0].clone();
+
+    // Runtime knobs: env defaults overlaid with CLI flags, one parse point.
+    let runtime = RuntimeConfig::builder()
+        .parse_cli(&args)
+        .and_then(|(builder, rest)| Ok((builder.build()?, rest)));
+    let (runtime, rest) = match runtime {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    // Experiment-shape flags.
+    if rest.is_empty() {
+        eprintln!("missing experiment id\n{USAGE}");
+        std::process::exit(2);
+    }
+    let which = rest[0].clone();
     let mut cfg = XpConfig::default();
     let mut out_dir = PathBuf::from("target/xp-results");
-    let mut metrics_out: Option<PathBuf> = None;
-    let mut journal: Option<PathBuf> = None;
-    let mut resume = false;
-    let mut retries = DEFAULT_RETRIES;
     let mut i = 1;
-    while i < args.len() {
-        match args[i].as_str() {
-            "--quick" => cfg = XpConfig { threads: cfg.threads, ..XpConfig::quick() },
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--quick" => cfg = XpConfig::quick(),
             "--scale" => {
                 i += 1;
-                cfg.scale = args[i].parse().expect("--scale takes a number");
+                cfg.scale = rest[i].parse().expect("--scale takes a number");
             }
             "--seeds" => {
                 i += 1;
-                cfg.seeds = args[i]
+                cfg.seeds = rest[i]
                     .split(',')
                     .map(|s| s.parse().expect("--seeds takes comma-separated integers"))
                     .collect();
             }
-            "--threads" => {
-                i += 1;
-                cfg.threads = args[i].parse().expect("--threads takes an integer");
-            }
             "--out" => {
                 i += 1;
-                out_dir = PathBuf::from(&args[i]);
-            }
-            "--metrics-out" => {
-                i += 1;
-                metrics_out = Some(PathBuf::from(&args[i]));
-            }
-            "--journal" => {
-                i += 1;
-                journal = Some(PathBuf::from(&args[i]));
-            }
-            "--resume" => resume = true,
-            "--retries" => {
-                i += 1;
-                retries = args[i].parse().expect("--retries takes an integer");
+                out_dir = PathBuf::from(&rest[i]);
             }
             other => {
                 eprintln!("unknown flag {other}");
@@ -85,21 +90,16 @@ fn main() {
         }
         i += 1;
     }
-    if resume && journal.is_none() {
-        eprintln!("--resume requires --journal FILE");
-        std::process::exit(2);
-    }
+    runtime.apply_to(&mut cfg);
+    runtime.install();
     std::fs::create_dir_all(&out_dir).expect("create output dir");
-    if metrics_out.is_some() {
-        telemetry::set_enabled(true);
-    }
 
     let mut failed_cells = 0usize;
     // A fresh (non-`--resume`) run truncates the journal once, on the first
     // experiment; later experiments of an `all` sweep append so one file
     // holds the whole run. Resumed entries are keyed by experiment id, so
     // appending never causes a cross-experiment skip.
-    let mut journal_started = resume;
+    let mut journal_started = runtime.resume;
     let mut run_one = |id: &str| -> Result<(), RunError> {
         let started = std::time::Instant::now();
         let (cells, knob) = match id {
@@ -114,13 +114,13 @@ fn main() {
                 std::process::exit(2);
             }
         };
-        eprintln!("[{id}] running {} games on {} threads…", cells.len(), cfg.threads.max(1));
-        let opts = RunOptions {
-            experiment: id.to_string(),
-            journal: journal.clone(),
-            resume: journal_started,
-            retries,
-        };
+        eprintln!(
+            "[{id}] running {} games on {} threads ({} backend)…",
+            cells.len(),
+            cfg.threads.max(1),
+            cfg.backend
+        );
+        let opts = runtime.run_options(id, journal_started);
         journal_started = true;
         let report = run_cells_with(cells, &cfg, &opts)?;
         if report.resumed > 0 {
@@ -166,7 +166,7 @@ fn main() {
     };
     // Honors --metrics-out, falls back to an MSOPDS_METRICS path, and prints
     // the tree summary to stderr when recording is on without a path.
-    telemetry::export(metrics_out.as_deref());
+    runtime.export_metrics();
     if let Err(e) = outcome {
         eprintln!("repro: {e}");
         std::process::exit(1);

@@ -1,11 +1,17 @@
-//! Experiment configuration shared by every table/figure runner.
+//! Experiment configuration shared by every table/figure runner, plus the
+//! [`RuntimeConfig`] builder — the single place where environment variables
+//! and CLI flags that control *how* experiments run (threads, backend,
+//! telemetry, fault plans, journaling) are parsed.
+
+use std::path::PathBuf;
 
 use msopds_autograd::HvpMode;
 use msopds_core::{MsoConfig, PlannerConfig};
 use msopds_gameplay::GameConfig;
 use msopds_recdata::{DatasetSpec, DemographicsSpec};
 use msopds_recsys::pds::PdsConfig;
-use msopds_recsys::HetRecConfig;
+use msopds_recsys::{Backend, HetRecConfig};
+use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
 /// The three evaluation datasets of §VI-A.1 (synthetic equivalents).
@@ -63,6 +69,9 @@ pub struct XpConfig {
     /// tensor-kernel pool (see `run_cells`). Defaults to the `MSOPDS_THREADS`
     /// environment variable when set, else the machine's parallelism.
     pub threads: usize,
+    /// Graph-operation backend every model in the sweep runs on. Defaults to
+    /// the `MSOPDS_BACKEND` environment variable (else dense).
+    pub backend: Backend,
 }
 
 /// The default thread budget: `MSOPDS_THREADS` if set to a positive integer,
@@ -85,6 +94,7 @@ impl Default for XpConfig {
             opponent_counts: vec![1, 2, 3],
             opponent_budgets: vec![1, 2, 3, 4],
             threads: default_threads(),
+            backend: Backend::from_env(),
         }
     }
 }
@@ -108,7 +118,9 @@ impl XpConfig {
         DemographicsSpec::default().scaled(self.scale)
     }
 
-    /// The per-game configuration template at this scale.
+    /// The per-game configuration template at this scale. The configured
+    /// [`Backend`] is threaded into every model config, so the whole game —
+    /// victim retraining and both players' surrogates — runs on it.
     pub fn game(&self, seed: u64) -> GameConfig {
         let planner = PlannerConfig {
             mso: MsoConfig {
@@ -117,7 +129,7 @@ impl XpConfig {
                 hvp_mode: HvpMode::Exact,
                 ..Default::default()
             },
-            pds: PdsConfig::default(),
+            pds: PdsConfig { backend: self.backend, ..Default::default() },
         };
         GameConfig {
             victim: HetRecConfig {
@@ -125,12 +137,13 @@ impl XpConfig {
                 dim: 12,
                 attention: true,
                 lambda: 1e-2,
+                backend: self.backend,
                 ..Default::default()
             },
             planner,
             opponent_planner: PlannerConfig {
                 mso: MsoConfig { iters: 6, cg_iters: 3, ..Default::default() },
-                pds: PdsConfig { inner_steps: 4, ..Default::default() },
+                pds: PdsConfig { inner_steps: 4, backend: self.backend, ..Default::default() },
             },
             attacker_b: 5,
             n_opponents: 1,
@@ -139,6 +152,205 @@ impl XpConfig {
             seed,
             kernel_threads: 0,
         }
+    }
+}
+
+/// Resolved runtime parameters of a harness invocation: everything that
+/// controls *how* a sweep executes, as opposed to *what* it measures
+/// ([`XpConfig`]).
+///
+/// Built by [`RuntimeConfig::builder`], which seeds every field from the
+/// environment (`MSOPDS_THREADS`, `MSOPDS_BACKEND`, `MSOPDS_METRICS`,
+/// `MSOPDS_FAULT_PLAN`) and then layers CLI flags on top via
+/// [`RuntimeConfigBuilder::parse_cli`]. This is the **only** env/CLI parse
+/// point — `repro` and the runner consume the finished struct.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Total worker budget (cells × kernel lanes); see [`XpConfig::threads`].
+    pub threads: usize,
+    /// Graph-operation backend for every model in the run.
+    pub backend: Backend,
+    /// Write collected telemetry as JSON here on completion; `Some` also
+    /// enables recording.
+    pub metrics_out: Option<PathBuf>,
+    /// Arm `MSOPDS_FAULT_PLAN` fault injection (builds with the
+    /// `fault-injection` feature; a no-op otherwise).
+    pub arm_faults: bool,
+    /// Append each finished cell to this JSONL journal.
+    pub journal: Option<PathBuf>,
+    /// Replay journaled successes instead of re-running them.
+    pub resume: bool,
+    /// Extra attempts granted to a panicking cell.
+    pub retries: usize,
+}
+
+impl RuntimeConfig {
+    /// A builder seeded from the environment.
+    pub fn builder() -> RuntimeConfigBuilder {
+        RuntimeConfigBuilder {
+            threads: default_threads(),
+            backend: Backend::from_env(),
+            metrics_out: telemetry::env_metrics_path(),
+            arm_faults: true,
+            journal: None,
+            resume: false,
+            retries: crate::runner::DEFAULT_RETRIES,
+        }
+    }
+
+    /// Applies the process-global side effects this configuration implies:
+    /// arms the fault plan and switches telemetry recording on when a metrics
+    /// path is set. Call once, before running cells.
+    pub fn install(&self) {
+        if self.arm_faults {
+            msopds_faultline::arm_from_env();
+        }
+        if self.metrics_out.is_some() {
+            telemetry::set_enabled(true);
+        }
+    }
+
+    /// Exports collected telemetry to [`RuntimeConfig::metrics_out`] (or the
+    /// recorder's fallback behavior when unset). Call once, after the run.
+    pub fn export_metrics(&self) {
+        telemetry::export(self.metrics_out.as_deref());
+    }
+
+    /// Overlays the runtime knobs that [`XpConfig`] carries into each cell.
+    pub fn apply_to(&self, cfg: &mut XpConfig) {
+        cfg.threads = self.threads;
+        cfg.backend = self.backend;
+    }
+
+    /// The per-experiment [`crate::runner::RunOptions`] this configuration
+    /// prescribes. `resume_now` lets an `all` sweep pass journal-append mode
+    /// for every experiment after the first.
+    pub fn run_options(&self, experiment: &str, resume_now: bool) -> crate::runner::RunOptions {
+        crate::runner::RunOptions {
+            experiment: experiment.to_string(),
+            journal: self.journal.clone(),
+            resume: resume_now,
+            retries: self.retries,
+        }
+    }
+}
+
+/// Builder for [`RuntimeConfig`]; see [`RuntimeConfig::builder`].
+#[derive(Clone, Debug)]
+pub struct RuntimeConfigBuilder {
+    threads: usize,
+    backend: Backend,
+    metrics_out: Option<PathBuf>,
+    arm_faults: bool,
+    journal: Option<PathBuf>,
+    resume: bool,
+    retries: usize,
+}
+
+impl RuntimeConfigBuilder {
+    /// Overrides the worker-thread budget (0 is rejected at [`build`](Self::build)).
+    pub fn threads(mut self, n: usize) -> Self {
+        self.threads = n;
+        self
+    }
+
+    /// Overrides the graph-operation backend.
+    pub fn backend(mut self, backend: Backend) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Enables telemetry recording and sets the export path.
+    pub fn metrics_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.metrics_out = Some(path.into());
+        self
+    }
+
+    /// Disables fault-plan arming (tests that manage faultline themselves).
+    pub fn no_faults(mut self) -> Self {
+        self.arm_faults = false;
+        self
+    }
+
+    /// Sets the cell journal path.
+    pub fn journal(mut self, path: impl Into<PathBuf>) -> Self {
+        self.journal = Some(path.into());
+        self
+    }
+
+    /// Replays journaled successes.
+    pub fn resume(mut self, on: bool) -> Self {
+        self.resume = on;
+        self
+    }
+
+    /// Sets the per-cell retry budget.
+    pub fn retries(mut self, n: usize) -> Self {
+        self.retries = n;
+        self
+    }
+
+    /// Consumes the runtime flags from `args`, returning the remaining
+    /// (experiment-specific) arguments in order.
+    ///
+    /// Recognized: `--threads N`, `--backend dense|sparse`,
+    /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`.
+    /// Errors name the offending flag, for `exit(2)`-style usage reporting.
+    pub fn parse_cli(mut self, args: &[String]) -> Result<(Self, Vec<String>), String> {
+        let mut rest = Vec::new();
+        let mut i = 0;
+        let value = |i: &mut usize, flag: &str| -> Result<String, String> {
+            *i += 1;
+            args.get(*i).cloned().ok_or_else(|| format!("{flag} requires a value"))
+        };
+        while i < args.len() {
+            match args[i].as_str() {
+                "--threads" => {
+                    self.threads = value(&mut i, "--threads")?
+                        .parse()
+                        .map_err(|_| "--threads takes an integer".to_string())?;
+                }
+                "--backend" => {
+                    self.backend = value(&mut i, "--backend")?
+                        .parse()
+                        .map_err(|e| format!("--backend: {e}"))?;
+                }
+                "--metrics-out" => {
+                    self.metrics_out = Some(PathBuf::from(value(&mut i, "--metrics-out")?));
+                }
+                "--journal" => {
+                    self.journal = Some(PathBuf::from(value(&mut i, "--journal")?));
+                }
+                "--resume" => self.resume = true,
+                "--retries" => {
+                    self.retries = value(&mut i, "--retries")?
+                        .parse()
+                        .map_err(|_| "--retries takes an integer".to_string())?;
+                }
+                other => rest.push(other.to_string()),
+            }
+            i += 1;
+        }
+        Ok((self, rest))
+    }
+
+    /// Validates and produces the [`RuntimeConfig`].
+    pub fn build(self) -> Result<RuntimeConfig, String> {
+        if self.threads == 0 {
+            return Err("--threads must be positive".to_string());
+        }
+        if self.resume && self.journal.is_none() {
+            return Err("--resume requires --journal FILE".to_string());
+        }
+        Ok(RuntimeConfig {
+            threads: self.threads,
+            backend: self.backend,
+            metrics_out: self.metrics_out,
+            arm_faults: self.arm_faults,
+            journal: self.journal,
+            resume: self.resume,
+            retries: self.retries,
+        })
     }
 }
 
@@ -170,5 +382,69 @@ mod tests {
         assert_eq!(g.scale, cfg.scale);
         assert_eq!(g.seed, 7);
         assert!(g.planner.mso.eta_p < g.planner.mso.eta_q);
+    }
+
+    #[test]
+    fn game_config_threads_backend_everywhere() {
+        let cfg = XpConfig { backend: Backend::Sparse, ..XpConfig::default() };
+        let g = cfg.game(1);
+        assert_eq!(g.victim.backend, Backend::Sparse);
+        assert_eq!(g.planner.pds.backend, Backend::Sparse);
+        assert_eq!(g.opponent_planner.pds.backend, Backend::Sparse);
+    }
+
+    fn cli(args: &[&str]) -> Result<(RuntimeConfig, Vec<String>), String> {
+        let args: Vec<String> = args.iter().map(|s| s.to_string()).collect();
+        let (builder, rest) = RuntimeConfig::builder().parse_cli(&args)?;
+        Ok((builder.build()?, rest))
+    }
+
+    #[test]
+    fn runtime_cli_parses_and_leaves_rest() {
+        let (rt, rest) = cli(&[
+            "table3",
+            "--threads",
+            "3",
+            "--backend",
+            "sparse",
+            "--quick",
+            "--retries",
+            "2",
+            "--journal",
+            "j.jsonl",
+            "--resume",
+            "--metrics-out",
+            "m.json",
+        ])
+        .unwrap();
+        assert_eq!(rt.threads, 3);
+        assert_eq!(rt.backend, Backend::Sparse);
+        assert_eq!(rt.retries, 2);
+        assert!(rt.resume);
+        assert_eq!(rt.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
+        assert_eq!(rt.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
+        assert_eq!(rest, vec!["table3".to_string(), "--quick".to_string()]);
+    }
+
+    #[test]
+    fn runtime_cli_rejects_bad_input() {
+        assert!(cli(&["--backend", "dens"]).unwrap_err().contains("--backend"));
+        assert!(cli(&["--threads", "x"]).unwrap_err().contains("--threads"));
+        assert!(cli(&["--threads"]).unwrap_err().contains("requires a value"));
+        assert!(cli(&["--threads", "0"]).unwrap_err().contains("positive"));
+        assert!(cli(&["--resume"]).unwrap_err().contains("--journal"));
+    }
+
+    #[test]
+    fn runtime_applies_to_xp_config_and_run_options() {
+        let rt = RuntimeConfig::builder().threads(2).backend(Backend::Sparse).build().unwrap();
+        let mut cfg = XpConfig::quick();
+        rt.apply_to(&mut cfg);
+        assert_eq!(cfg.threads, 2);
+        assert_eq!(cfg.backend, Backend::Sparse);
+        let opts = rt.run_options("fig6", false);
+        assert_eq!(opts.experiment, "fig6");
+        assert_eq!(opts.retries, rt.retries);
+        assert!(!opts.resume);
     }
 }

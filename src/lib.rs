@@ -50,19 +50,13 @@ pub use msopds_recsys as recsys;
 pub use msopds_telemetry as telemetry;
 pub use msopds_xp as xp;
 
-/// Convenient re-exports for examples and downstream users.
+/// Convenient re-exports for examples and downstream users: the planning
+/// stack of `msopds_core::prelude` plus the attack baselines, the evaluation
+/// protocol and the experiment harness that sit above it.
 pub mod prelude {
     pub use msopds_attacks::{Baseline, IaContext};
-    pub use msopds_autograd::{Tape, Tensor};
-    pub use msopds_core::{
-        build_ca_capacity, plan_bopds, plan_msopds, ActionToggles, CaCapacitySpec, MsoConfig,
-        Objective, PlannerConfig, PlayerSetup,
-    };
+    pub use msopds_core::prelude::*;
     pub use msopds_gameplay::{run_game, AttackMethod, GameConfig, GameOutcome};
-    pub use msopds_het_graph::CsrGraph;
-    pub use msopds_recdata::{
-        sample_market, Dataset, DatasetSpec, DemographicsSpec, Market, PoisonAction,
-    };
-    pub use msopds_recsys::{HetRec, HetRecConfig};
-    pub use msopds_xp::{DatasetKind, XpConfig};
+    pub use msopds_recdata::sample_market;
+    pub use msopds_xp::{DatasetKind, RuntimeConfig, XpConfig};
 }
