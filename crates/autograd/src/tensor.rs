@@ -600,6 +600,41 @@ impl Tensor {
     pub fn to_vec(&self) -> Vec<f64> {
         self.data.to_vec()
     }
+
+    /// Serializes the flat buffer as little-endian IEEE-754 bytes (row-major),
+    /// the on-disk representation used by model snapshots. Lossless: every
+    /// bit pattern round-trips through [`Tensor::from_le_bytes`], including
+    /// negative zero and NaN payloads.
+    pub fn to_le_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.data.len() * 8);
+        for &x in self.data.iter() {
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        out
+    }
+
+    /// Rebuilds a tensor from [`Tensor::to_le_bytes`] output and an explicit
+    /// shape. Returns `None` when the byte count does not match the shape
+    /// (callers turn this into their own typed error).
+    pub fn from_le_bytes(bytes: &[u8], shape: &[usize]) -> Option<Self> {
+        let (s, rank) = normalize_shape(shape);
+        if bytes.len() != s[0] * s[1] * 8 {
+            return None;
+        }
+        let data: Vec<f64> = bytes
+            .chunks_exact(8)
+            .map(|c| f64::from_le_bytes(c.try_into().expect("chunks_exact(8)")))
+            .collect();
+        Some(Self { shape: s, rank, data: Arc::new(data) })
+    }
+
+    /// True when every element of `other` is bit-identical to this tensor's
+    /// (distinguishes `-0.0` from `0.0` and compares NaNs by payload, unlike
+    /// `==`). Shapes must also agree.
+    pub fn bit_eq(&self, other: &Tensor) -> bool {
+        self.shape() == other.shape()
+            && self.data.iter().zip(other.data.iter()).all(|(a, b)| a.to_bits() == b.to_bits())
+    }
 }
 
 impl fmt::Debug for Tensor {

@@ -1,0 +1,152 @@
+//! Serving-path benchmarks: batched top-K throughput from a model snapshot,
+//! at batch ∈ {1, 64, 1024}, for victims trained on each GraphOps backend.
+//!
+//! Emits `BENCH_serve.json` with two timing families plus derived rows:
+//!
+//! * `{backend}/topk_batch{B}` — raw `ServingModel::top_k_batch` (blocked
+//!   score-matmul + selection, no cache): the compute cost of a cold batch;
+//! * `{backend}/engine_batch{B}` — `ServeEngine::serve_batch` at steady
+//!   state with a warm hot-user LRU: what a deployed replica pays per batch;
+//! * `{backend}/users_per_sec_batch{B}` — serving throughput derived from
+//!   the engine rows (batch ÷ median call time; the sample value is **users
+//!   per second** and `iters_per_sample` = 1 marks the row as derived, the
+//!   same convention as the sparse bench's `resident_bytes` rows).
+//!
+//! Batching amortizes the per-call overhead (cache bookkeeping, stats, span)
+//! across the whole batch, so the batch-1024 users/sec row structurally
+//! dominates batch-1 — CI asserts exactly that on the smoke run.
+//!
+//! Set `MSOPDS_BENCH_SMOKE=1` to bench the small CI model (quick scale) with
+//! a short measurement budget.
+
+use std::time::Duration;
+
+use criterion::{criterion_group, BenchResult, Criterion};
+use msopds_recsys::Backend;
+use msopds_serve::{ServeConfig, ServeEngine, ServingModel, Snapshot};
+use msopds_xp::{train_clean_victim, DatasetKind, XpConfig};
+
+/// The batch sizes of the acceptance criterion.
+const BATCHES: [usize; 3] = [1, 64, 1024];
+/// Served list length.
+const TOP_K: usize = 10;
+
+fn smoke() -> bool {
+    std::env::var("MSOPDS_BENCH_SMOKE").is_ok()
+}
+
+/// Victim scale: the CI smoke uses the quick config's micro world; the full
+/// bench serves a ~2× larger one (still seconds to train).
+fn xp_cfg(backend: Backend) -> XpConfig {
+    XpConfig {
+        scale: if smoke() { 24.0 } else { 12.0 },
+        seeds: vec![5],
+        datasets: vec![DatasetKind::Ciao],
+        backend,
+        ..XpConfig::quick()
+    }
+}
+
+/// Snapshot bytes of a freshly trained clean victim on `backend`.
+fn snapshot_bytes(backend: Backend) -> Vec<u8> {
+    let cfg = xp_cfg(backend);
+    let (data, victim) = train_clean_victim(&cfg);
+    victim.snapshot(&data).to_bytes()
+}
+
+/// A deterministic batch of `n` user ids covering the universe with a
+/// Fibonacci-hash stride (the same stream the `serve` binary replays).
+fn query_batch(n: usize, n_users: usize) -> Vec<usize> {
+    (0..n).map(|q| (q.wrapping_mul(0x9E3779B97F4A7C15) >> 7) % n_users).collect()
+}
+
+fn topk_throughput(c: &mut Criterion) {
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let bytes = snapshot_bytes(backend);
+        let model =
+            ServingModel::from_snapshot(&Snapshot::from_bytes(&bytes).expect("bench snapshot"))
+                .expect("bench snapshot serves");
+        eprintln!(
+            "{backend}: serving {} users × {} items, dim {}",
+            model.n_users(),
+            model.n_items(),
+            model.dim()
+        );
+        for batch in BATCHES {
+            let users = query_batch(batch, model.n_users());
+            c.bench_function(format!("{backend}/topk_batch{batch}"), |b| {
+                b.iter(|| std::hint::black_box(model.top_k_batch(&users, TOP_K)))
+            });
+        }
+    }
+}
+
+fn engine_throughput(c: &mut Criterion) {
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let bytes = snapshot_bytes(backend);
+        let model =
+            ServingModel::from_snapshot(&Snapshot::from_bytes(&bytes).expect("bench snapshot"))
+                .expect("bench snapshot serves");
+        let n_users = model.n_users();
+        let mut engine =
+            ServeEngine::new(model, ServeConfig { top_k: TOP_K, cache_capacity: n_users });
+        // Warm the LRU once so every timed batch measures steady-state
+        // serving (hit path + per-call overhead), not first-touch scoring.
+        let warm: Vec<usize> = (0..n_users).collect();
+        engine.serve_batch(&warm);
+        for batch in BATCHES {
+            let users = query_batch(batch, n_users);
+            c.bench_function(format!("{backend}/engine_batch{batch}"), |b| {
+                b.iter(|| std::hint::black_box(engine.serve_batch(&users)))
+            });
+        }
+    }
+}
+
+fn snapshot_load(c: &mut Criterion) {
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let bytes = snapshot_bytes(backend);
+        c.bench_function(format!("{backend}/snapshot_load"), |b| {
+            b.iter(|| {
+                let snap = Snapshot::from_bytes(std::hint::black_box(&bytes)).unwrap();
+                std::hint::black_box(ServingModel::from_snapshot(&snap).unwrap())
+            })
+        });
+    }
+}
+
+criterion_group!(
+    name = benches;
+    config = if smoke() {
+        Criterion::default().sample_size(15).measurement_time(Duration::from_millis(600))
+    } else {
+        Criterion::default()
+    };
+    targets = topk_throughput, engine_throughput, snapshot_load
+);
+
+/// Users/sec rows derived from the steady-state `engine_batch` timings:
+/// batch size divided by the **median** per-call wall time (median, not
+/// mean — single-core CI containers produce occasional order-of-magnitude
+/// outlier samples).
+fn users_per_sec_rows(timed: &[BenchResult]) -> Vec<BenchResult> {
+    timed
+        .iter()
+        .filter_map(|r| {
+            let (prefix, batch) = r.id.split_once("/engine_batch")?;
+            let batch: f64 = batch.parse().ok()?;
+            let median_ns = r.median_ns();
+            (median_ns > 0.0).then(|| BenchResult {
+                id: format!("{prefix}/users_per_sec_batch{batch}"),
+                sample_means_ns: vec![batch * 1e9 / median_ns],
+                iters_per_sample: 1,
+            })
+        })
+        .collect()
+}
+
+fn main() {
+    let mut all = benches();
+    all.extend(users_per_sec_rows(&all));
+    criterion::write_results_json("serve", &all);
+}

@@ -20,6 +20,7 @@ static HETREC_EPOCHS: telemetry::Counter = telemetry::Counter::new("recsys.hetre
 use crate::bias::{damped_biases, DEFAULT_DAMPING};
 use crate::convolve::{attention_convolve, mean_convolve};
 use crate::graphops::{Backend, GraphOps};
+use crate::snapshot::{ModelKind, Snapshot, SnapshotError, SnapshotHeader};
 
 /// Hyperparameters of the victim model.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -221,6 +222,112 @@ impl HetRec {
         users.iter().map(|&u| self.predict(u, item)).collect()
     }
 
+    /// The global-mean rating anchor μ learned from the last fit.
+    pub fn mu(&self) -> f64 {
+        self.mu
+    }
+
+    /// The damped user/item bias vectors from the last fit.
+    pub fn biases(&self) -> (&Tensor, &Tensor) {
+        (&self.b_u, &self.b_i)
+    }
+
+    /// The final (post-convolution) user/item embeddings; `None` before
+    /// [`HetRec::fit`]. These are what [`HetRec::predict`] — and the serving
+    /// layer — score with.
+    pub fn final_embeddings(&self) -> Option<(&Tensor, &Tensor)> {
+        self.finals.as_ref().map(|(u, i)| (u, i))
+    }
+
+    /// Exports the trained model as a [`Snapshot`] (DESIGN.md §12), stamping
+    /// the CSR fingerprints of `data`'s graphs for invalidation checks.
+    ///
+    /// # Panics
+    /// Panics if called before [`HetRec::fit`] — an unfitted model has no
+    /// final embeddings to serve.
+    pub fn snapshot(&self, data: &Dataset) -> Snapshot {
+        let (uf, if_) = self.finals.as_ref().expect("call fit() before snapshot()");
+        let (social_fingerprint, item_fingerprint) = Snapshot::fingerprints_of(data);
+        Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::HetRec,
+                backend: self.cfg.backend,
+                seed: self.cfg.seed,
+                social_fingerprint,
+                item_fingerprint,
+                n_users: self.user_emb.rows() as u64,
+                n_items: self.item_emb.rows() as u64,
+                mu: self.mu,
+            },
+            config_json: serde_json::to_string(&self.cfg).expect("HetRecConfig serializes"),
+            tensors: vec![
+                ("user_emb".to_string(), self.user_emb.clone()),
+                ("item_emb".to_string(), self.item_emb.clone()),
+                ("w_u".to_string(), self.w_u.clone()),
+                ("w_i".to_string(), self.w_i.clone()),
+                ("b_u".to_string(), self.b_u.clone()),
+                ("b_i".to_string(), self.b_i.clone()),
+                ("finals.user".to_string(), uf.clone()),
+                ("finals.item".to_string(), if_.clone()),
+            ],
+        }
+    }
+
+    /// Rebuilds a trained model from a [`Snapshot`], bit-identical to the
+    /// instance that saved it (same predictions without retraining).
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, SnapshotError> {
+        if snap.header.kind != ModelKind::HetRec {
+            return Err(SnapshotError::Corrupt {
+                context: format!("expected a HetRec snapshot, found {:?}", snap.header.kind),
+            });
+        }
+        let cfg: HetRecConfig = serde_json::from_str(&snap.config_json)
+            .map_err(|e| SnapshotError::Corrupt { context: format!("config JSON: {e}") })?;
+        let grab = |name: &str| snap.require(name).cloned();
+        let model = Self {
+            cfg,
+            user_emb: grab("user_emb")?,
+            item_emb: grab("item_emb")?,
+            w_u: grab("w_u")?,
+            w_i: grab("w_i")?,
+            b_u: grab("b_u")?,
+            b_i: grab("b_i")?,
+            mu: snap.header.mu,
+            finals: Some((grab("finals.user")?, grab("finals.item")?)),
+        };
+        let (n_users, n_items) = (snap.header.n_users as usize, snap.header.n_items as usize);
+        let d = model.cfg.dim;
+        let shapes = [
+            ("user_emb", model.user_emb.shape(), vec![n_users, d]),
+            ("item_emb", model.item_emb.shape(), vec![n_items, d]),
+            ("b_u", model.b_u.shape(), vec![n_users]),
+            ("b_i", model.b_i.shape(), vec![n_items]),
+        ];
+        for (name, found, want) in shapes {
+            if found != want.as_slice() {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "tensor {name:?} has shape {found:?}, header implies {want:?}"
+                    ),
+                });
+            }
+        }
+        let (uf, if_) = model.finals.as_ref().expect("set above");
+        if uf.shape() != [n_users, uf.cols()]
+            || if_.shape() != [n_items, if_.cols()]
+            || uf.cols() != if_.cols()
+        {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "final embeddings {:?} / {:?} disagree with header {n_users}×{n_items}",
+                    uf.shape(),
+                    if_.shape()
+                ),
+            });
+        }
+        Ok(model)
+    }
+
     /// Root-mean-squared error over the dataset's stored ratings.
     pub fn rmse(&self, data: &Dataset) -> f64 {
         let mut se = 0.0;
@@ -308,6 +415,40 @@ mod tests {
         m1.fit(&data);
         m2.fit(&data);
         assert_eq!(m1.predict(0, 0), m2.predict(0, 0));
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_predictions() {
+        let data = micro_data();
+        let mut model = HetRec::new(quick_cfg(true), data.n_users(), data.n_items());
+        model.fit(&data);
+        let snap = model.snapshot(&data);
+        assert!(snap.matches_dataset(&data));
+        let back = HetRec::from_snapshot(&snap).unwrap();
+        for u in 0..5 {
+            for i in 0..5 {
+                assert_eq!(
+                    model.predict(u, i).to_bits(),
+                    back.predict(u, i).to_bits(),
+                    "prediction ({u},{i}) drifted through the snapshot"
+                );
+            }
+        }
+        // Poisoning the graphs invalidates the fingerprints.
+        let actions =
+            vec![msopds_recdata::PoisonAction::SocialEdge { a: 0, b: data.n_users() as u32 - 1 }];
+        let poisoned = data.apply_poison(&actions);
+        if poisoned.social.fingerprint() != data.social.fingerprint() {
+            assert!(!snap.matches_dataset(&poisoned));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "before snapshot")]
+    fn snapshot_before_fit_panics() {
+        let data = micro_data();
+        let model = HetRec::new(quick_cfg(false), data.n_users(), data.n_items());
+        let _ = model.snapshot(&data);
     }
 
     #[test]

@@ -21,8 +21,10 @@ pub mod losses;
 pub mod metrics;
 pub mod mf;
 pub mod pds;
+pub mod snapshot;
 
 pub use graphops::{AdjacencyOp, Backend, EdgePatch, GraphOps};
 pub use hetrec::{HetRec, HetRecConfig, TrainReport};
 pub use mf::{MatrixFactorization, MfConfig};
 pub use pds::{build_pds, PdsBuild, PdsConfig, PlayerInput};
+pub use snapshot::{ModelKind, Snapshot, SnapshotError, SnapshotHeader};

@@ -9,7 +9,9 @@ use msopds_recdata::Dataset;
 use serde::{Deserialize, Serialize};
 
 use crate::bias::{damped_biases, DEFAULT_DAMPING};
+use crate::graphops::Backend;
 use crate::hetrec::rating_triplets;
+use crate::snapshot::{ModelKind, Snapshot, SnapshotError, SnapshotHeader};
 
 /// MF hyperparameters.
 #[derive(Clone, Copy, Debug, Serialize, Deserialize)]
@@ -135,9 +137,71 @@ impl MatrixFactorization {
         &self.q
     }
 
+    /// The damped user/item bias vectors from the last fit.
+    pub fn biases(&self) -> (&Tensor, &Tensor) {
+        (&self.bu, &self.bi)
+    }
+
     /// The configuration.
     pub fn config(&self) -> &MfConfig {
         &self.cfg
+    }
+
+    /// Exports the trained factors as a [`Snapshot`] (DESIGN.md §12). MF has
+    /// no graph backend; the tag records [`Backend::Dense`] as provenance.
+    pub fn snapshot(&self, data: &Dataset) -> Snapshot {
+        let (social_fingerprint, item_fingerprint) = Snapshot::fingerprints_of(data);
+        Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: self.cfg.seed,
+                social_fingerprint,
+                item_fingerprint,
+                n_users: self.p.rows() as u64,
+                n_items: self.q.rows() as u64,
+                mu: self.mu,
+            },
+            config_json: serde_json::to_string(&self.cfg).expect("MfConfig serializes"),
+            tensors: vec![
+                ("p".to_string(), self.p.clone()),
+                ("q".to_string(), self.q.clone()),
+                ("b_u".to_string(), self.bu.clone()),
+                ("b_i".to_string(), self.bi.clone()),
+            ],
+        }
+    }
+
+    /// Rebuilds a trained MF model from a [`Snapshot`], bit-identical to the
+    /// instance that saved it.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, SnapshotError> {
+        if snap.header.kind != ModelKind::Mf {
+            return Err(SnapshotError::Corrupt {
+                context: format!("expected an MF snapshot, found {:?}", snap.header.kind),
+            });
+        }
+        let cfg: MfConfig = serde_json::from_str(&snap.config_json)
+            .map_err(|e| SnapshotError::Corrupt { context: format!("config JSON: {e}") })?;
+        let model = Self {
+            cfg,
+            p: snap.require("p")?.clone(),
+            q: snap.require("q")?.clone(),
+            bu: snap.require("b_u")?.clone(),
+            bi: snap.require("b_i")?.clone(),
+            mu: snap.header.mu,
+        };
+        let (n_users, n_items) = (snap.header.n_users as usize, snap.header.n_items as usize);
+        if model.p.shape() != [n_users, cfg.dim] || model.q.shape() != [n_items, cfg.dim] {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "factor shapes {:?} / {:?} disagree with header {n_users}×{n_items}×{}",
+                    model.p.shape(),
+                    model.q.shape(),
+                    cfg.dim
+                ),
+            });
+        }
+        Ok(model)
     }
 }
 

@@ -1,0 +1,528 @@
+//! Versioned binary model snapshots (DESIGN.md §12).
+//!
+//! A snapshot is the persisted artifact of a trained recommender: everything
+//! the serving layer needs to answer top-K queries without retraining, plus
+//! enough provenance (backend, seed, CSR fingerprints of the graphs the model
+//! was fitted on) to detect when a snapshot no longer matches the data it
+//! claims to describe.
+//!
+//! ## On-disk layout (format version 1)
+//!
+//! All integers are little-endian; all floats are IEEE-754 `f64` LE.
+//!
+//! ```text
+//! magic            8 B   b"MSOSNAP\0"
+//! format version   u32   1
+//! model kind       u8    0 = HetRec, 1 = MatrixFactorization
+//! backend tag      u8    0 = dense, 1 = sparse (training-time GraphOps)
+//! reserved         u16   0
+//! seed             u64   model init seed
+//! social fp        u64   CsrGraph::fingerprint of 𝒢ᵤ at fit time
+//! item fp          u64   CsrGraph::fingerprint of 𝒢ᵢ at fit time
+//! n_users          u64
+//! n_items          u64
+//! mu               f64   global-mean rating anchor
+//! config len       u32   followed by that many bytes of config JSON
+//! tensor count     u32
+//! per tensor:
+//!   name len       u16   followed by that many bytes of UTF-8 name
+//!   rank           u8    0, 1 or 2
+//!   rows, cols     u64 × 2
+//!   data           f64 × rows·cols (row-major)
+//! checksum         u64   FNV-1a over every preceding byte
+//! ```
+//!
+//! The format is hand-rolled (like the telemetry JSON sink) so the workspace
+//! stays dependency-free. Parsing never panics: malformed input — bad magic,
+//! unknown version, truncation, checksum mismatch, inconsistent shapes —
+//! comes back as a typed [`SnapshotError`]. Tensor payloads round-trip
+//! bit-exactly ([`Tensor::to_le_bytes`]), which is what makes served top-K
+//! lists bit-identical to in-process predictions.
+
+use std::fmt;
+use std::path::Path;
+
+use msopds_autograd::Tensor;
+use msopds_recdata::Dataset;
+
+use crate::graphops::Backend;
+
+/// The 8-byte file magic.
+pub const MAGIC: [u8; 8] = *b"MSOSNAP\0";
+
+/// The current (and only) snapshot format version.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Which model family a snapshot holds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ModelKind {
+    /// The Het-RecSys victim ([`crate::HetRec`]).
+    HetRec,
+    /// The MF surrogate ([`crate::MatrixFactorization`]).
+    Mf,
+}
+
+impl ModelKind {
+    fn tag(self) -> u8 {
+        match self {
+            ModelKind::HetRec => 0,
+            ModelKind::Mf => 1,
+        }
+    }
+
+    fn from_tag(t: u8) -> Result<Self, SnapshotError> {
+        match t {
+            0 => Ok(ModelKind::HetRec),
+            1 => Ok(ModelKind::Mf),
+            other => Err(SnapshotError::Corrupt { context: format!("unknown model kind {other}") }),
+        }
+    }
+}
+
+/// Everything a snapshot records besides the parameter tensors.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct SnapshotHeader {
+    /// Model family.
+    pub kind: ModelKind,
+    /// GraphOps backend the model was trained on. Serving math is
+    /// backend-independent; this is provenance for experiment bookkeeping.
+    pub backend: Backend,
+    /// Parameter-init seed.
+    pub seed: u64,
+    /// Structural fingerprint of the social graph 𝒢ᵤ at fit time.
+    pub social_fingerprint: u64,
+    /// Structural fingerprint of the item graph 𝒢ᵢ at fit time.
+    pub item_fingerprint: u64,
+    /// User universe size (real + fake accounts).
+    pub n_users: u64,
+    /// Item universe size.
+    pub n_items: u64,
+    /// Global-mean rating anchor μ.
+    pub mu: f64,
+}
+
+/// A complete persisted model: header + config JSON + named tensors.
+#[derive(Clone, Debug)]
+pub struct Snapshot {
+    /// Provenance and dimensions.
+    pub header: SnapshotHeader,
+    /// The model's hyperparameter struct, serialized as JSON.
+    pub config_json: String,
+    /// Named parameter tensors in write order.
+    pub tensors: Vec<(String, Tensor)>,
+}
+
+/// Why a snapshot could not be read (or did not describe a usable model).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The underlying file operation failed.
+    Io(std::io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The 8 bytes actually found (zero-padded if the file is shorter).
+        found: [u8; 8],
+    },
+    /// The format version is newer than this build understands.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Highest version this build reads.
+        supported: u32,
+    },
+    /// The file ended before a field could be read.
+    Truncated {
+        /// What was being read.
+        context: &'static str,
+        /// Bytes the field needed.
+        needed: usize,
+        /// Bytes remaining.
+        have: usize,
+    },
+    /// A structurally invalid field (bad UTF-8, impossible shape, …).
+    Corrupt {
+        /// Human-readable description.
+        context: String,
+    },
+    /// The trailing FNV-1a checksum does not match the content.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the content.
+        computed: u64,
+    },
+    /// A tensor the model kind requires is absent.
+    MissingTensor {
+        /// The required tensor's name.
+        name: String,
+    },
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "not a snapshot file (magic {found:?}, expected {MAGIC:?})")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} unsupported (this build reads ≤ {supported})"
+                )
+            }
+            SnapshotError::Truncated { context, needed, have } => {
+                write!(
+                    f,
+                    "snapshot truncated reading {context}: needed {needed} bytes, {have} left"
+                )
+            }
+            SnapshotError::Corrupt { context } => write!(f, "corrupt snapshot: {context}"),
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "snapshot checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+                )
+            }
+            SnapshotError::MissingTensor { name } => {
+                write!(f, "snapshot is missing required tensor {name:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<std::io::Error> for SnapshotError {
+    fn from(e: std::io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+/// FNV-1a 64 over a byte slice — same family as the CSR fingerprint, so the
+/// whole stack shares one hashing idiom.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+impl Snapshot {
+    /// The fingerprints a snapshot of `data` would carry — used both at save
+    /// time and by [`Snapshot::matches_dataset`].
+    pub fn fingerprints_of(data: &Dataset) -> (u64, u64) {
+        (data.social.fingerprint(), data.item_graph.fingerprint())
+    }
+
+    /// Looks up a tensor by name.
+    pub fn tensor(&self, name: &str) -> Option<&Tensor> {
+        self.tensors.iter().find(|(n, _)| n == name).map(|(_, t)| t)
+    }
+
+    /// Looks up a tensor by name, failing with [`SnapshotError::MissingTensor`].
+    pub fn require(&self, name: &str) -> Result<&Tensor, SnapshotError> {
+        self.tensor(name).ok_or_else(|| SnapshotError::MissingTensor { name: name.to_string() })
+    }
+
+    /// True when the snapshot's CSR fingerprints match `data`'s graphs — the
+    /// invalidation test: a served model is only valid for the exact graph
+    /// structure it was fitted on (DESIGN.md §12).
+    pub fn matches_dataset(&self, data: &Dataset) -> bool {
+        let (social, item) = Self::fingerprints_of(data);
+        self.header.social_fingerprint == social && self.header.item_fingerprint == item
+    }
+
+    /// Serializes the snapshot into the format-version-1 byte stream.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let payload: usize =
+            self.tensors.iter().map(|(n, t)| 2 + n.len() + 1 + 16 + t.numel() * 8).sum::<usize>()
+                + 64
+                + self.config_json.len();
+        let mut out = Vec::with_capacity(payload + 16);
+        out.extend_from_slice(&MAGIC);
+        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        out.push(self.header.kind.tag());
+        out.push(match self.header.backend {
+            Backend::Dense => 0,
+            Backend::Sparse => 1,
+        });
+        out.extend_from_slice(&0u16.to_le_bytes());
+        out.extend_from_slice(&self.header.seed.to_le_bytes());
+        out.extend_from_slice(&self.header.social_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.header.item_fingerprint.to_le_bytes());
+        out.extend_from_slice(&self.header.n_users.to_le_bytes());
+        out.extend_from_slice(&self.header.n_items.to_le_bytes());
+        out.extend_from_slice(&self.header.mu.to_le_bytes());
+        out.extend_from_slice(&(self.config_json.len() as u32).to_le_bytes());
+        out.extend_from_slice(self.config_json.as_bytes());
+        out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
+        for (name, t) in &self.tensors {
+            out.extend_from_slice(&(name.len() as u16).to_le_bytes());
+            out.extend_from_slice(name.as_bytes());
+            out.push(t.rank());
+            out.extend_from_slice(&(t.rows() as u64).to_le_bytes());
+            out.extend_from_slice(&(t.cols() as u64).to_le_bytes());
+            out.extend_from_slice(&t.to_le_bytes());
+        }
+        let checksum = fnv1a(&out);
+        out.extend_from_slice(&checksum.to_le_bytes());
+        out
+    }
+
+    /// Parses a snapshot from bytes, validating magic, version, structure and
+    /// checksum. Never panics on malformed input.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
+        let mut r = Reader { bytes, pos: 0 };
+        let magic = r.take::<8>("magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
+        let version = u32::from_le_bytes(r.take::<4>("format version")?);
+        if version != FORMAT_VERSION {
+            return Err(SnapshotError::UnsupportedVersion {
+                found: version,
+                supported: FORMAT_VERSION,
+            });
+        }
+        // The checksum guards everything after the (already validated) magic
+        // and version, so verify it before trusting any length field.
+        if bytes.len() < r.pos + 8 {
+            return Err(SnapshotError::Truncated {
+                context: "checksum trailer",
+                needed: 8,
+                have: bytes.len().saturating_sub(r.pos),
+            });
+        }
+        let body_end = bytes.len() - 8;
+        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8-byte trailer"));
+        let computed = fnv1a(&bytes[..body_end]);
+        if stored != computed {
+            return Err(SnapshotError::ChecksumMismatch { stored, computed });
+        }
+        r.bytes = &bytes[..body_end];
+
+        let kind = ModelKind::from_tag(u8::from_le_bytes(r.take::<1>("model kind")?))?;
+        let backend = match u8::from_le_bytes(r.take::<1>("backend tag")?) {
+            0 => Backend::Dense,
+            1 => Backend::Sparse,
+            other => {
+                return Err(SnapshotError::Corrupt {
+                    context: format!("unknown backend tag {other}"),
+                })
+            }
+        };
+        let _reserved = r.take::<2>("reserved")?;
+        let seed = u64::from_le_bytes(r.take::<8>("seed")?);
+        let social_fingerprint = u64::from_le_bytes(r.take::<8>("social fingerprint")?);
+        let item_fingerprint = u64::from_le_bytes(r.take::<8>("item fingerprint")?);
+        let n_users = u64::from_le_bytes(r.take::<8>("n_users")?);
+        let n_items = u64::from_le_bytes(r.take::<8>("n_items")?);
+        let mu = f64::from_le_bytes(r.take::<8>("mu")?);
+
+        let config_len = u32::from_le_bytes(r.take::<4>("config length")?) as usize;
+        let config_bytes = r.slice(config_len, "config JSON")?;
+        let config_json = std::str::from_utf8(config_bytes)
+            .map_err(|_| SnapshotError::Corrupt { context: "config JSON is not UTF-8".into() })?
+            .to_string();
+
+        let count = u32::from_le_bytes(r.take::<4>("tensor count")?) as usize;
+        let mut tensors = Vec::with_capacity(count.min(64));
+        for i in 0..count {
+            let name_len = u16::from_le_bytes(r.take::<2>("tensor name length")?) as usize;
+            let name = std::str::from_utf8(r.slice(name_len, "tensor name")?)
+                .map_err(|_| SnapshotError::Corrupt {
+                    context: format!("tensor {i} name is not UTF-8"),
+                })?
+                .to_string();
+            let rank = u8::from_le_bytes(r.take::<1>("tensor rank")?);
+            let rows = u64::from_le_bytes(r.take::<8>("tensor rows")?) as usize;
+            let cols = u64::from_le_bytes(r.take::<8>("tensor cols")?) as usize;
+            if rank > 2 || (rank == 0 && (rows != 1 || cols != 1)) || (rank == 1 && cols != 1) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "tensor {name:?} has impossible shape rank={rank} [{rows}, {cols}]"
+                    ),
+                });
+            }
+            let numel = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Corrupt {
+                context: format!("tensor {name:?} shape overflows"),
+            })?;
+            let data = r.slice(numel * 8, "tensor data")?;
+            let shape: &[usize] = match rank {
+                0 => &[],
+                1 => &[rows],
+                _ => &[rows, cols],
+            };
+            let t = Tensor::from_le_bytes(data, shape).ok_or_else(|| SnapshotError::Corrupt {
+                context: format!("tensor {name:?} payload/shape mismatch"),
+            })?;
+            tensors.push((name, t));
+        }
+        if r.pos != r.bytes.len() {
+            return Err(SnapshotError::Corrupt {
+                context: format!("{} trailing bytes after the last tensor", r.bytes.len() - r.pos),
+            });
+        }
+        Ok(Snapshot {
+            header: SnapshotHeader {
+                kind,
+                backend,
+                seed,
+                social_fingerprint,
+                item_fingerprint,
+                n_users,
+                n_items,
+                mu,
+            },
+            config_json,
+            tensors,
+        })
+    }
+
+    /// Writes the snapshot to `path` (atomically: temp file + rename, so a
+    /// crash mid-write never leaves a half-snapshot behind).
+    pub fn save(&self, path: impl AsRef<Path>) -> Result<(), SnapshotError> {
+        let path = path.as_ref();
+        let tmp = path.with_extension("snap.tmp");
+        std::fs::write(&tmp, self.to_bytes())?;
+        std::fs::rename(&tmp, path)?;
+        Ok(())
+    }
+
+    /// Reads and parses a snapshot from `path`.
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_bytes(&std::fs::read(path)?)
+    }
+}
+
+/// A bounds-checked little-endian cursor; every read failure carries the field
+/// being read and the byte deficit.
+struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn take<const N: usize>(&mut self, context: &'static str) -> Result<[u8; N], SnapshotError> {
+        let s = self.slice(N, context)?;
+        Ok(s.try_into().expect("slice of requested length"))
+    }
+
+    fn slice(&mut self, n: usize, context: &'static str) -> Result<&'a [u8], SnapshotError> {
+        let have = self.bytes.len().saturating_sub(self.pos);
+        if have < n {
+            return Err(SnapshotError::Truncated { context, needed: n, have });
+        }
+        let s = &self.bytes[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_snapshot() -> Snapshot {
+        Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::HetRec,
+                backend: Backend::Sparse,
+                seed: 42,
+                social_fingerprint: 0xdead,
+                item_fingerprint: 0xbeef,
+                n_users: 3,
+                n_items: 2,
+                mu: 3.25,
+            },
+            config_json: "{\"dim\":2}".to_string(),
+            tensors: vec![
+                ("a".to_string(), Tensor::from_vec(vec![1.0, -0.0, f64::MIN, 4.5e-300], &[2, 2])),
+                ("b".to_string(), Tensor::from_vec(vec![0.5, 1.5, 2.5], &[3])),
+                ("s".to_string(), Tensor::scalar(7.0)),
+            ],
+        }
+    }
+
+    #[test]
+    fn byte_round_trip_is_bit_exact() {
+        let snap = tiny_snapshot();
+        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
+        assert_eq!(back.header, snap.header);
+        assert_eq!(back.config_json, snap.config_json);
+        assert_eq!(back.tensors.len(), 3);
+        for ((n1, t1), (n2, t2)) in snap.tensors.iter().zip(&back.tensors) {
+            assert_eq!(n1, n2);
+            assert!(t1.bit_eq(t2), "tensor {n1} changed bits");
+        }
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let snap = tiny_snapshot();
+        let path =
+            std::env::temp_dir().join(format!("msopds-snap-test-{}.snap", std::process::id()));
+        snap.save(&path).unwrap();
+        let back = Snapshot::load(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(back.header, snap.header);
+        assert!(back.tensor("a").unwrap().bit_eq(snap.tensor("a").unwrap()));
+    }
+
+    #[test]
+    fn bad_magic_is_typed() {
+        let mut bytes = tiny_snapshot().to_bytes();
+        bytes[0] = b'X';
+        assert!(matches!(Snapshot::from_bytes(&bytes), Err(SnapshotError::BadMagic { .. })));
+    }
+
+    #[test]
+    fn future_version_is_rejected() {
+        let mut bytes = tiny_snapshot().to_bytes();
+        bytes[8..12].copy_from_slice(&99u32.to_le_bytes());
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found: 99, .. })
+        ));
+    }
+
+    #[test]
+    fn truncation_is_typed_at_every_length() {
+        let bytes = tiny_snapshot().to_bytes();
+        for cut in 0..bytes.len() {
+            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. }
+                        | SnapshotError::BadMagic { .. }
+                        | SnapshotError::ChecksumMismatch { .. }
+                ),
+                "cut at {cut} gave unexpected error {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn flipped_byte_fails_checksum() {
+        let mut bytes = tiny_snapshot().to_bytes();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            Snapshot::from_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn missing_tensor_is_typed() {
+        let snap = tiny_snapshot();
+        assert!(snap.tensor("a").is_some());
+        assert!(matches!(
+            snap.require("nope"),
+            Err(SnapshotError::MissingTensor { name }) if name == "nope"
+        ));
+    }
+}

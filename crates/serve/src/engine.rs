@@ -1,0 +1,298 @@
+//! The stateful serving front end: caching, batching, and request metrics.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use msopds_telemetry::{self as telemetry, Counter, Gauge};
+
+use crate::lru::LruCache;
+use crate::model::{ScoredItem, ServingModel};
+
+static BATCHES: Counter = Counter::new("serve.batches");
+static QUERIES: Counter = Counter::new("serve.queries");
+static CACHE_HITS: Counter = Counter::new("serve.cache.hits");
+static CACHE_MISSES: Counter = Counter::new("serve.cache.misses");
+static USERS_PER_SEC: Gauge = Gauge::new("serve.users_per_sec");
+static P50_US: Gauge = Gauge::new("serve.latency.p50_us");
+static P99_US: Gauge = Gauge::new("serve.latency.p99_us");
+
+/// Engine knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeConfig {
+    /// List length returned per user.
+    pub top_k: usize,
+    /// Hot-user LRU capacity; 0 disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self { top_k: 10, cache_capacity: 256 }
+    }
+}
+
+/// Running totals accumulated across [`ServeEngine::serve_batch`] calls.
+#[derive(Clone, Debug, Default)]
+pub struct ServeStats {
+    /// Batches served.
+    pub batches: u64,
+    /// User queries answered (cache hits included).
+    pub queries: u64,
+    /// Queries answered from the hot-user cache.
+    pub cache_hits: u64,
+    /// Queries not found in the cache at lookup time. Every query is either
+    /// a hit or a miss (`cache_hits + cache_misses == queries`); duplicate
+    /// missing users within one batch each count a miss but are scored once.
+    pub cache_misses: u64,
+    /// Per-batch wall-clock latencies, microseconds.
+    pub latencies_us: Vec<u64>,
+    /// Total wall-clock time inside `serve_batch`.
+    pub total_time: Duration,
+}
+
+impl ServeStats {
+    /// Condenses the running totals into summary rates and percentiles, and
+    /// publishes them to the telemetry gauges.
+    pub fn summarize(&self) -> ServeSummary {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_unstable();
+        let pct = |p: f64| -> u64 {
+            if sorted.is_empty() {
+                return 0;
+            }
+            let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+            sorted[idx]
+        };
+        let secs = self.total_time.as_secs_f64();
+        let summary = ServeSummary {
+            batches: self.batches,
+            queries: self.queries,
+            cache_hits: self.cache_hits,
+            cache_misses: self.cache_misses,
+            users_per_sec: if secs > 0.0 { self.queries as f64 / secs } else { 0.0 },
+            mean_us: if self.batches > 0 {
+                self.total_time.as_micros() as f64 / self.batches as f64
+            } else {
+                0.0
+            },
+            p50_us: pct(0.50),
+            p99_us: pct(0.99),
+        };
+        USERS_PER_SEC.set(summary.users_per_sec);
+        P50_US.set(summary.p50_us as f64);
+        P99_US.set(summary.p99_us as f64);
+        summary
+    }
+}
+
+/// Summary view of a serving run, suitable for logging or JSON export.
+#[derive(Clone, Copy, Debug)]
+pub struct ServeSummary {
+    /// Batches served.
+    pub batches: u64,
+    /// User queries answered.
+    pub queries: u64,
+    /// Cache hits.
+    pub cache_hits: u64,
+    /// Cache misses.
+    pub cache_misses: u64,
+    /// Throughput over the whole run.
+    pub users_per_sec: f64,
+    /// Mean per-batch latency, microseconds.
+    pub mean_us: f64,
+    /// Median per-batch latency, microseconds.
+    pub p50_us: u64,
+    /// 99th-percentile per-batch latency, microseconds.
+    pub p99_us: u64,
+}
+
+/// A stateful serving front end over an immutable [`ServingModel`].
+///
+/// Each `serve_batch` call deduplicates the uncached users of the batch,
+/// scores them in one blocked matmul, refreshes the hot-user LRU, and
+/// records latency. Caching never changes answers — the model is immutable
+/// and its top-K order total — so a hit returns exactly what scoring would.
+pub struct ServeEngine {
+    model: ServingModel,
+    cfg: ServeConfig,
+    cache: LruCache<u32, Arc<Vec<ScoredItem>>>,
+    stats: ServeStats,
+}
+
+impl ServeEngine {
+    /// A new engine serving `model` with knobs `cfg`.
+    pub fn new(model: ServingModel, cfg: ServeConfig) -> Self {
+        let cache = LruCache::new(cfg.cache_capacity);
+        Self { model, cfg, cache, stats: ServeStats::default() }
+    }
+
+    /// The underlying immutable model.
+    pub fn model(&self) -> &ServingModel {
+        &self.model
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> ServeConfig {
+        self.cfg
+    }
+
+    /// Running totals so far.
+    pub fn stats(&self) -> &ServeStats {
+        &self.stats
+    }
+
+    /// Answers a batch of user queries with top-K lists, in query order.
+    /// Duplicate users within a batch are scored once.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range for the model.
+    pub fn serve_batch(&mut self, users: &[usize]) -> Vec<Arc<Vec<ScoredItem>>> {
+        let _span = telemetry::span("serve_batch");
+        let start = Instant::now();
+
+        // Partition the batch into cache hits and misses; scoring dedupes
+        // the missing users but every missed slot still counts as a miss.
+        let mut answers: Vec<Option<Arc<Vec<ScoredItem>>>> = vec![None; users.len()];
+        let mut misses: Vec<usize> = Vec::new();
+        let mut miss_slots: u64 = 0;
+        for (slot, &u) in users.iter().enumerate() {
+            assert!(u < self.model.n_users(), "user id {u} out of range");
+            if let Some(hit) = self.cache.get(&(u as u32)) {
+                self.stats.cache_hits += 1;
+                answers[slot] = Some(Arc::clone(hit));
+            } else {
+                miss_slots += 1;
+                if !misses.contains(&u) {
+                    misses.push(u);
+                }
+            }
+        }
+        let hits = users.len() as u64 - miss_slots;
+
+        // One blocked matmul over all missing users.
+        if !misses.is_empty() {
+            let lists = self.model.top_k_batch(&misses, self.cfg.top_k);
+            for (&u, list) in misses.iter().zip(lists) {
+                let shared = Arc::new(list);
+                self.cache.insert(u as u32, Arc::clone(&shared));
+                for (slot, &q) in users.iter().enumerate() {
+                    if q == u && answers[slot].is_none() {
+                        answers[slot] = Some(Arc::clone(&shared));
+                    }
+                }
+            }
+        }
+
+        let elapsed = start.elapsed();
+        self.stats.batches += 1;
+        self.stats.queries += users.len() as u64;
+        self.stats.cache_misses += miss_slots;
+        self.stats.latencies_us.push(elapsed.as_micros() as u64);
+        self.stats.total_time += elapsed;
+        BATCHES.incr();
+        QUERIES.add(users.len() as u64);
+        CACHE_HITS.add(hits);
+        CACHE_MISSES.add(miss_slots);
+
+        answers.into_iter().map(|a| a.expect("every slot answered")).collect()
+    }
+
+    /// Summarizes and publishes run metrics (see [`ServeStats::summarize`]).
+    pub fn summary(&self) -> ServeSummary {
+        self.stats.summarize()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_autograd::Tensor;
+    use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotHeader};
+    use msopds_recsys::Backend;
+
+    fn tiny_model() -> ServingModel {
+        // 3 users × 4 items × d=2, hand-picked so scores are exact.
+        let user = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0, 1.0, 1.0], &[3, 2]);
+        let item = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0], &[4, 2]);
+        let b_u = Tensor::from_vec(vec![0.1, 0.2, 0.3], &[3, 1]);
+        let b_i = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4, 1]);
+        let snap = Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: 7,
+                social_fingerprint: 0,
+                item_fingerprint: 0,
+                n_users: 3,
+                n_items: 4,
+                mu: 3.0,
+            },
+            config_json: String::from("{}"),
+            tensors: vec![
+                (String::from("p"), user),
+                (String::from("q"), item),
+                (String::from("b_u"), b_u),
+                (String::from("b_i"), b_i),
+            ],
+        };
+        ServingModel::from_snapshot(&snap).expect("valid snapshot")
+    }
+
+    #[test]
+    fn cached_answers_equal_fresh_answers() {
+        let model = tiny_model();
+        let mut engine =
+            ServeEngine::new(model.clone(), ServeConfig { top_k: 3, cache_capacity: 8 });
+        let first = engine.serve_batch(&[0, 1, 2]);
+        let second = engine.serve_batch(&[2, 0]); // both should hit
+        assert_eq!(*second[0], *first[2]);
+        assert_eq!(*second[1], *first[0]);
+        assert_eq!(engine.stats().cache_hits, 2);
+        assert_eq!(engine.stats().cache_misses, 3);
+        // And both match the model answered directly.
+        assert_eq!(*first[1], model.top_k(1, 3));
+    }
+
+    #[test]
+    fn duplicate_users_in_batch_are_scored_once() {
+        let mut engine =
+            ServeEngine::new(tiny_model(), ServeConfig { top_k: 2, cache_capacity: 8 });
+        let out = engine.serve_batch(&[1, 1, 1]);
+        // All three slots miss (hits + misses always equals queries), but
+        // the user is scored once and cached: a follow-up query hits.
+        assert_eq!(engine.stats().cache_misses, 3);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().queries, 3);
+        assert_eq!(*out[0], *out[1]);
+        assert_eq!(*out[1], *out[2]);
+        let again = engine.serve_batch(&[1]);
+        assert_eq!(engine.stats().cache_hits, 1);
+        assert_eq!(*again[0], *out[0]);
+    }
+
+    #[test]
+    fn zero_capacity_cache_still_serves_correctly() {
+        let model = tiny_model();
+        let mut engine =
+            ServeEngine::new(model.clone(), ServeConfig { top_k: 4, cache_capacity: 0 });
+        let a = engine.serve_batch(&[0, 2]);
+        let b = engine.serve_batch(&[0, 2]);
+        assert_eq!(*a[0], *b[0]);
+        assert_eq!(engine.stats().cache_hits, 0);
+        assert_eq!(engine.stats().cache_misses, 4);
+        assert_eq!(*a[1], model.top_k(2, 4));
+    }
+
+    #[test]
+    fn summary_percentiles_are_ordered() {
+        let mut engine = ServeEngine::new(tiny_model(), ServeConfig::default());
+        for _ in 0..10 {
+            engine.serve_batch(&[0, 1, 2]);
+        }
+        let s = engine.summary();
+        assert_eq!(s.batches, 10);
+        assert_eq!(s.queries, 30);
+        assert!(s.p50_us <= s.p99_us);
+        assert!(s.users_per_sec > 0.0);
+    }
+}

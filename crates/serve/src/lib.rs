@@ -1,0 +1,45 @@
+//! # msopds-serve
+//!
+//! The first *read path* of the workspace: load a trained-model [`Snapshot`]
+//! into an immutable [`ServingModel`] and answer batched top-K
+//! recommendation queries, without retraining and without the write-side
+//! crates (planners, games, experiment harness) anywhere on the call stack.
+//!
+//! ## Fidelity contract
+//!
+//! Served scores are **bit-identical** to what the in-process model would
+//! predict: [`ServingModel::score_batch`] reproduces the exact
+//! floating-point association order of `HetRec::predict` / `MF::predict`
+//! (`((μ + b_u) + b_i) + Σ_k u_k·i_k`, with the dot product accumulated in
+//! `k` order by the pooled matmul kernel). That makes a snapshot + serve
+//! round trip a *regression fixture*: any drift between served lists and
+//! in-process evaluation is a bug, not noise.
+//!
+//! ## Determinism contract
+//!
+//! Top-K lists — ties included — are identical for any kernel-pool lane
+//! count (the matmul kernels are bit-deterministic per DESIGN.md §6) and for
+//! any batch size (each output row depends only on its own user row).
+//! Ordering is total: score descending, then item id ascending, compared
+//! with `f64::total_cmp` so even exotic payloads order reproducibly.
+//!
+//! ## Layers
+//!
+//! * [`ServingModel`] — immutable scorer: `score_batch`, `top_k`,
+//!   `top_k_batch` (the blocked score-matmul runs on the autograd worker
+//!   pool);
+//! * [`LruCache`] — a bounded, dependency-free LRU used for hot users;
+//! * [`ServeEngine`] — stateful front end: per-user top-K cache, batch
+//!   dedup, telemetry spans/counters and QPS / p50 / p99 latency tracking.
+
+#![warn(missing_docs)]
+
+mod engine;
+mod lru;
+mod model;
+
+pub use engine::{ServeConfig, ServeEngine, ServeStats, ServeSummary};
+pub use lru::LruCache;
+pub use model::{ScoredItem, ServingModel};
+
+pub use msopds_recsys::snapshot::{Snapshot, SnapshotError};

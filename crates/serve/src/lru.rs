@@ -1,0 +1,116 @@
+//! A small, dependency-free bounded LRU cache.
+//!
+//! Recency is tracked with a monotone access stamp per entry; eviction scans
+//! for the minimum stamp. That makes eviction `O(capacity)` — fine for the
+//! hot-user caches this crate needs (hundreds to low thousands of entries),
+//! and it keeps the structure a single `HashMap` with no unsafe code and no
+//! intrusive list.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// A bounded least-recently-used map. `capacity == 0` disables the cache:
+/// every insert is a no-op and every lookup misses.
+#[derive(Clone, Debug)]
+pub struct LruCache<K, V> {
+    capacity: usize,
+    stamp: u64,
+    map: HashMap<K, (u64, V)>,
+}
+
+impl<K: Eq + Hash + Clone, V> LruCache<K, V> {
+    /// A new cache holding at most `capacity` entries.
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity, stamp: 0, map: HashMap::with_capacity(capacity.min(1024)) }
+    }
+
+    /// Maximum entry count (0 = disabled).
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current entry count.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Looks up `key`, refreshing its recency on a hit.
+    pub fn get(&mut self, key: &K) -> Option<&V> {
+        self.stamp += 1;
+        let stamp = self.stamp;
+        match self.map.get_mut(key) {
+            Some(entry) => {
+                entry.0 = stamp;
+                Some(&entry.1)
+            }
+            None => None,
+        }
+    }
+
+    /// Inserts `key → value` as most-recent, evicting the least-recently-used
+    /// entry if the cache is full. Returns the evicted key, if any.
+    pub fn insert(&mut self, key: K, value: V) -> Option<K> {
+        if self.capacity == 0 {
+            return None;
+        }
+        self.stamp += 1;
+        let mut evicted = None;
+        if !self.map.contains_key(&key) && self.map.len() >= self.capacity {
+            if let Some(oldest) =
+                self.map.iter().min_by_key(|(_, (stamp, _))| *stamp).map(|(k, _)| k.clone())
+            {
+                self.map.remove(&oldest);
+                evicted = Some(oldest);
+            }
+        }
+        self.map.insert(key, (self.stamp, value));
+        evicted
+    }
+
+    /// Drops every entry (capacity unchanged).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(&1)); // refresh "a"; "b" is now LRU
+        let evicted = c.insert("c", 3);
+        assert_eq!(evicted, Some("b"));
+        assert_eq!(c.get(&"a"), Some(&1));
+        assert_eq!(c.get(&"b"), None);
+        assert_eq!(c.get(&"c"), Some(&3));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn reinserting_existing_key_does_not_evict() {
+        let mut c = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.insert("a", 10), None);
+        assert_eq!(c.len(), 2);
+        assert_eq!(c.get(&"a"), Some(&10));
+    }
+
+    #[test]
+    fn zero_capacity_disables_cache() {
+        let mut c = LruCache::new(0);
+        assert_eq!(c.insert("a", 1), None);
+        assert!(c.is_empty());
+        assert_eq!(c.get(&"a"), None);
+    }
+}

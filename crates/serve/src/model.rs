@@ -1,0 +1,295 @@
+//! The immutable serving model and its batched scoring kernels.
+
+use std::path::Path;
+
+use msopds_autograd::{pool, Tensor};
+use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotError};
+use msopds_recsys::Backend;
+
+/// Rows per scoring block in [`ServingModel::top_k_batch`]: 64 rows × a
+/// few hundred items of f64 scores stay within L2 even on small cores,
+/// which is what lets huge batches keep the per-user cost of medium ones.
+const SCORE_BLOCK: usize = 64;
+
+/// One entry of a top-K answer.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct ScoredItem {
+    /// Item id.
+    pub item: u32,
+    /// Predicted rating (unclamped, same scale as `HetRec::predict`).
+    pub score: f64,
+}
+
+/// An immutable trained recommender loaded from a [`Snapshot`], holding only
+/// what the read path needs: the final user/item embeddings, the bias
+/// vectors and μ. Construction validates shapes once; serving then runs
+/// without any checks on the hot path.
+#[derive(Clone, Debug)]
+pub struct ServingModel {
+    kind: ModelKind,
+    backend: Backend,
+    seed: u64,
+    social_fingerprint: u64,
+    item_fingerprint: u64,
+    mu: f64,
+    b_u: Tensor,
+    b_i: Tensor,
+    /// Final user embeddings, `[n_users, d]`.
+    user_f: Tensor,
+    /// Final item embeddings, `[n_items, d]` (kept row-major; the scoring
+    /// matmul uses the transposed copy below).
+    item_f: Tensor,
+    /// `item_f` transposed once at load time: `[d, n_items]`.
+    item_t: Tensor,
+}
+
+impl ServingModel {
+    /// Builds a serving model from a parsed snapshot. For
+    /// [`ModelKind::HetRec`] the served embeddings are the post-convolution
+    /// finals; for [`ModelKind::Mf`] the factor matrices themselves.
+    pub fn from_snapshot(snap: &Snapshot) -> Result<Self, SnapshotError> {
+        let (user_name, item_name) = match snap.header.kind {
+            ModelKind::HetRec => ("finals.user", "finals.item"),
+            ModelKind::Mf => ("p", "q"),
+        };
+        let user_f = snap.require(user_name)?.clone();
+        let item_f = snap.require(item_name)?.clone();
+        let b_u = snap.require("b_u")?.clone();
+        let b_i = snap.require("b_i")?.clone();
+        let (n_users, n_items) = (snap.header.n_users as usize, snap.header.n_items as usize);
+        if user_f.rows() != n_users || item_f.rows() != n_items {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "embedding row counts {}×{} disagree with header {n_users}×{n_items}",
+                    user_f.rows(),
+                    item_f.rows()
+                ),
+            });
+        }
+        if user_f.cols() != item_f.cols() {
+            return Err(SnapshotError::Corrupt {
+                context: format!("user dim {} != item dim {}", user_f.cols(), item_f.cols()),
+            });
+        }
+        if b_u.numel() != n_users || b_i.numel() != n_items {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "bias lengths {}/{} disagree with header {n_users}×{n_items}",
+                    b_u.numel(),
+                    b_i.numel()
+                ),
+            });
+        }
+        let item_t = item_f.reshape(&[n_items, item_f.cols()]).transpose();
+        Ok(Self {
+            kind: snap.header.kind,
+            backend: snap.header.backend,
+            seed: snap.header.seed,
+            social_fingerprint: snap.header.social_fingerprint,
+            item_fingerprint: snap.header.item_fingerprint,
+            mu: snap.header.mu,
+            b_u,
+            b_i,
+            user_f,
+            item_f,
+            item_t,
+        })
+    }
+
+    /// Reads a snapshot file and builds the serving model (one buffered read,
+    /// no mmap — snapshots at this scale fit comfortably in memory).
+    pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        Self::from_snapshot(&Snapshot::load(path)?)
+    }
+
+    /// User universe size.
+    pub fn n_users(&self) -> usize {
+        self.user_f.rows()
+    }
+
+    /// Item universe size.
+    pub fn n_items(&self) -> usize {
+        self.item_f.rows()
+    }
+
+    /// Embedding dimensionality.
+    pub fn dim(&self) -> usize {
+        self.user_f.cols()
+    }
+
+    /// Model family the snapshot held.
+    pub fn kind(&self) -> ModelKind {
+        self.kind
+    }
+
+    /// Training-time GraphOps backend (provenance only; serving math is
+    /// backend-independent).
+    pub fn backend(&self) -> Backend {
+        self.backend
+    }
+
+    /// Model init seed (provenance).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// The `(social, item)` CSR fingerprints stamped at fit time.
+    pub fn fingerprints(&self) -> (u64, u64) {
+        (self.social_fingerprint, self.item_fingerprint)
+    }
+
+    /// Predicted rating of one `(user, item)` pair, in the exact
+    /// floating-point association order of `HetRec::predict`.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ids (serving front ends validate ids once per
+    /// batch; see [`ServingModel::score_batch`]).
+    pub fn predict(&self, user: usize, item: usize) -> f64 {
+        let d = self.user_f.cols();
+        self.mu
+            + self.b_u.get(user)
+            + self.b_i.get(item)
+            + (0..d).map(|k| self.user_f.at(user, k) * self.item_f.at(item, k)).sum::<f64>()
+    }
+
+    /// Scores every item for a batch of users: returns `[batch, n_items]`.
+    ///
+    /// The heavy step is a blocked matmul `U[batch] · Iᵀ` that row-partitions
+    /// across the autograd worker pool (bit-deterministic at any lane count);
+    /// the bias/μ combine is a linear pass in the same association order as
+    /// [`ServingModel::predict`], so every score is bit-identical to the
+    /// in-process model's.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn score_batch(&self, users: &[usize]) -> Tensor {
+        let m = self.n_items();
+        let rows = self.user_f.gather_rows(users);
+        let dots = rows.matmul(&self.item_t);
+        let dot_data = dots.data();
+        let bi = self.b_i.data();
+        let mut out = Vec::with_capacity(users.len() * m);
+        for (r, &u) in users.iter().enumerate() {
+            let base = self.mu + self.b_u.get(u);
+            let drow = &dot_data[r * m..(r + 1) * m];
+            for i in 0..m {
+                out.push(base + bi[i] + drow[i]);
+            }
+        }
+        Tensor::from_vec(out, &[users.len(), m])
+    }
+
+    /// The top `k` items for one user, ordered by score descending with item
+    /// id as the (ascending) tiebreak — a total, reproducible order.
+    pub fn top_k(&self, user: usize, k: usize) -> Vec<ScoredItem> {
+        self.top_k_batch(&[user], k).pop().expect("one row per user")
+    }
+
+    /// The top `k` items for each user of a batch. Each row's list depends
+    /// only on that user's embedding row, so answers are invariant to how
+    /// queries are batched.
+    ///
+    /// Large batches are processed in blocks of [`SCORE_BLOCK`] rows so the
+    /// score matrix stays cache-resident, and each block's bias combine +
+    /// selection is row-partitioned across the worker pool (disjoint rows,
+    /// so parallel answers are identical to sequential ones).
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn top_k_batch(&self, users: &[usize], k: usize) -> Vec<Vec<ScoredItem>> {
+        let m = self.n_items();
+        let bi = self.b_i.data();
+        let mut out = Vec::with_capacity(users.len());
+        for block in users.chunks(SCORE_BLOCK) {
+            let rows = self.user_f.gather_rows(block);
+            let dots = rows.matmul(&self.item_t);
+            let dot_data = dots.data();
+            let slots: Vec<std::sync::OnceLock<Vec<ScoredItem>>> =
+                (0..block.len()).map(|_| std::sync::OnceLock::new()).collect();
+            let chunk = block.len().div_ceil(pool::lanes()).max(1);
+            pool::for_each_range(block.len(), chunk, |start, end| {
+                let mut scratch = vec![0.0f64; m];
+                for r in start..end {
+                    let base = self.mu + self.b_u.get(block[r]);
+                    let drow = &dot_data[r * m..(r + 1) * m];
+                    for i in 0..m {
+                        scratch[i] = base + bi[i] + drow[i];
+                    }
+                    let _ = slots[r].set(top_k_row(&scratch, k));
+                }
+            });
+            out.extend(slots.into_iter().map(|s| s.into_inner().expect("every row computed")));
+        }
+        out
+    }
+}
+
+/// The serving total order: score descending, then item id ascending.
+fn rank(a: &ScoredItem, b: &ScoredItem) -> std::cmp::Ordering {
+    b.score.total_cmp(&a.score).then(a.item.cmp(&b.item))
+}
+
+/// Selects the top `k` of one score row under [`rank`] with a bounded
+/// insertion buffer — the only allocation is the returned vector, so a
+/// blocked batch scan stays allocator-quiet. Most of the `m` candidates
+/// fail the "beats the current k-th" check and cost one comparison.
+fn top_k_row(row: &[f64], k: usize) -> Vec<ScoredItem> {
+    let k = k.min(row.len());
+    if k == 0 {
+        return Vec::new();
+    }
+    let mut top: Vec<ScoredItem> = Vec::with_capacity(k + 1);
+    for (i, &s) in row.iter().enumerate() {
+        let cand = ScoredItem { item: i as u32, score: s };
+        if top.len() == k {
+            let worst = top.last().expect("non-empty");
+            // Plain `<` rejects almost every candidate in one comparison;
+            // ties, ±0.0 and NaN fall through to the full total order.
+            if s < worst.score || rank(&cand, worst).is_ge() {
+                continue;
+            }
+        }
+        let pos = top.partition_point(|held| rank(held, &cand).is_lt());
+        top.insert(pos, cand);
+        if top.len() > k {
+            top.pop();
+        }
+    }
+    top
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn top_k_row_orders_and_breaks_ties_by_id() {
+        let row = [1.0, 3.0, 3.0, -2.0, 5.0];
+        let top = top_k_row(&row, 3);
+        assert_eq!(
+            top,
+            vec![
+                ScoredItem { item: 4, score: 5.0 },
+                ScoredItem { item: 1, score: 3.0 },
+                ScoredItem { item: 2, score: 3.0 },
+            ]
+        );
+    }
+
+    #[test]
+    fn top_k_row_handles_k_edge_cases() {
+        let row = [2.0, 1.0];
+        assert!(top_k_row(&row, 0).is_empty());
+        assert_eq!(top_k_row(&row, 5).len(), 2);
+        assert_eq!(top_k_row(&row, 5)[0].item, 0);
+    }
+
+    #[test]
+    fn total_order_handles_negative_zero() {
+        let row = [0.0, -0.0];
+        let top = top_k_row(&row, 2);
+        // total_cmp: +0.0 > -0.0, so item 0 leads.
+        assert_eq!(top[0].item, 0);
+        assert_eq!(top[1].item, 1);
+    }
+}

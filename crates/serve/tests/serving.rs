@@ -1,0 +1,167 @@
+//! End-to-end serving fidelity and determinism on a real trained model.
+//!
+//! The fixture trains one micro HetRec (attention on, so the victim is
+//! bitwise backend-independent) exactly once per process and snapshots it;
+//! every test then loads a [`ServingModel`] from those bytes and checks the
+//! two contracts from the crate docs:
+//!
+//! * **fidelity** — served scores are bit-identical to `HetRec::predict`;
+//! * **determinism** — top-K lists (ties included) are invariant to the
+//!   worker-pool lane count and to how queries are batched.
+
+use std::sync::{Mutex, OnceLock};
+
+use msopds_autograd::pool::{self, DEFAULT_COPY_MIN, DEFAULT_ELEMWISE_MIN, DEFAULT_MATMUL_MIN};
+use msopds_recdata::{Dataset, DatasetSpec};
+use msopds_recsys::{Backend, HetRec, HetRecConfig};
+use msopds_serve::{ServeConfig, ServeEngine, ServingModel, Snapshot};
+
+/// Serializes tests that reconfigure the process-global pool.
+static POOL_LOCK: Mutex<()> = Mutex::new(());
+
+fn dataset() -> &'static Dataset {
+    static DATA: OnceLock<Dataset> = OnceLock::new();
+    DATA.get_or_init(|| DatasetSpec::micro().generate(11))
+}
+
+/// Trained model + its snapshot bytes, built once per process.
+fn fixture() -> &'static (HetRec, Vec<u8>) {
+    static FIX: OnceLock<(HetRec, Vec<u8>)> = OnceLock::new();
+    FIX.get_or_init(|| {
+        let data = dataset();
+        let cfg = HetRecConfig { epochs: 25, dim: 8, attention: true, ..Default::default() };
+        let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
+        model.fit(data);
+        let bytes = model.snapshot(data).to_bytes();
+        (model, bytes)
+    })
+}
+
+fn serving_model() -> ServingModel {
+    let (_, bytes) = fixture();
+    ServingModel::from_snapshot(&Snapshot::from_bytes(bytes).expect("fixture bytes parse"))
+        .expect("fixture snapshot serves")
+}
+
+#[test]
+fn served_scores_are_bit_identical_to_in_process_predict() {
+    let (model, _) = fixture();
+    let served = serving_model();
+    let users: Vec<usize> = (0..served.n_users()).collect();
+    let scores = served.score_batch(&users);
+    for u in 0..served.n_users() {
+        for i in 0..served.n_items() {
+            assert_eq!(
+                scores.at(u, i).to_bits(),
+                model.predict(u, i).to_bits(),
+                "score ({u},{i}) drifted between serving and in-process predict"
+            );
+        }
+    }
+}
+
+#[test]
+fn scalar_predict_matches_batched_scoring() {
+    let served = serving_model();
+    let users: Vec<usize> = (0..served.n_users()).collect();
+    let scores = served.score_batch(&users);
+    for u in 0..served.n_users() {
+        for i in 0..served.n_items() {
+            assert_eq!(scores.at(u, i).to_bits(), served.predict(u, i).to_bits());
+        }
+    }
+}
+
+#[test]
+fn top_k_is_invariant_to_lane_count() {
+    let _guard = POOL_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+    let served = serving_model();
+    let users: Vec<usize> = (0..served.n_users()).collect();
+
+    // Thresholds at 1 force every kernel through the parallel path even at
+    // this micro scale; lanes 1 vs 8 must then agree bit-for-bit.
+    pool::set_parallel_thresholds(1, 1, 1);
+    pool::configure_threads(1);
+    let single = served.top_k_batch(&users, 10);
+    pool::configure_threads(8);
+    let eight = served.top_k_batch(&users, 10);
+    pool::set_parallel_thresholds(DEFAULT_ELEMWISE_MIN, DEFAULT_COPY_MIN, DEFAULT_MATMUL_MIN);
+
+    for (u, (a, b)) in single.iter().zip(&eight).enumerate() {
+        assert_eq!(a.len(), b.len());
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.item, y.item, "user {u}: item order diverged across lane counts");
+            assert_eq!(
+                x.score.to_bits(),
+                y.score.to_bits(),
+                "user {u}, item {}: score bits diverged across lane counts",
+                x.item
+            );
+        }
+    }
+}
+
+#[test]
+fn top_k_is_invariant_to_batching() {
+    let served = serving_model();
+    let users: Vec<usize> = (0..served.n_users()).collect();
+    let one_big = served.top_k_batch(&users, 10);
+    for (u, expect) in users.iter().zip(&one_big) {
+        let alone = served.top_k(*u, 10);
+        assert_eq!(&alone, expect, "user {u}: batch-of-1 answer differs from full batch");
+        let pair = served.top_k_batch(&[*u, (*u + 1) % served.n_users()], 10);
+        assert_eq!(&pair[0], expect, "user {u}: batch-of-2 answer differs from full batch");
+    }
+}
+
+#[test]
+fn backend_tag_round_trips_and_attention_victims_serve_identically() {
+    // With attention on, the convolution never touches the mean-aggregation
+    // backend, so Dense- and Sparse-trained victims are the same model bit
+    // for bit — and so are their served top-K lists.
+    let data = dataset();
+    let mut lists = Vec::new();
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let cfg =
+            HetRecConfig { epochs: 25, dim: 8, attention: true, backend, ..Default::default() };
+        let mut model = HetRec::new(cfg, data.n_users(), data.n_items());
+        model.fit(data);
+        let snap = model.snapshot(data);
+        assert_eq!(snap.header.backend, backend, "backend tag lost in snapshot");
+        let served = ServingModel::from_snapshot(&snap).unwrap();
+        assert_eq!(served.backend(), backend);
+        let users: Vec<usize> = (0..served.n_users()).collect();
+        lists.push(served.top_k_batch(&users, 10));
+    }
+    assert_eq!(lists[0].len(), lists[1].len());
+    for (u, (a, b)) in lists[0].iter().zip(&lists[1]).enumerate() {
+        for (x, y) in a.iter().zip(b) {
+            assert_eq!(x.item, y.item, "user {u}: dense/sparse top-K diverged");
+            assert_eq!(x.score.to_bits(), y.score.to_bits());
+        }
+    }
+}
+
+#[test]
+fn engine_caching_never_changes_answers() {
+    let served = serving_model();
+    let n = served.n_users();
+    let users: Vec<usize> = (0..n).collect();
+    let mut cached =
+        ServeEngine::new(served.clone(), ServeConfig { top_k: 10, cache_capacity: 64 });
+    let mut uncached = ServeEngine::new(served, ServeConfig { top_k: 10, cache_capacity: 0 });
+    for round in 0..2 {
+        let a = cached.serve_batch(&users);
+        let b = uncached.serve_batch(&users);
+        for (slot, (x, y)) in a.iter().zip(&b).enumerate() {
+            assert_eq!(**x, **y, "round {round}, slot {slot}: cached answer differs from uncached");
+        }
+    }
+    // Round two was served entirely from the hot-user cache...
+    assert_eq!(cached.stats().cache_hits, n as u64);
+    assert_eq!(cached.stats().cache_misses, n as u64);
+    // ...while the disabled cache re-scored everything.
+    assert_eq!(uncached.stats().cache_misses, 2 * n as u64);
+    let summary = cached.summary();
+    assert_eq!(summary.queries, 2 * n as u64);
+}

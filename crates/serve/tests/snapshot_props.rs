@@ -1,0 +1,183 @@
+//! Property tests for the snapshot wire format, from the consumer side.
+//!
+//! Invariants:
+//!
+//! 1. round trip — an arbitrary snapshot survives `to_bytes → from_bytes`
+//!    with every header field and every tensor bit intact;
+//! 2. robustness — truncating the byte stream at *any* point, or flipping
+//!    *any* byte, yields a typed [`SnapshotError`], never a panic and never
+//!    a silently-wrong snapshot;
+//! 3. serving — any structurally valid snapshot loads into a
+//!    [`ServingModel`] whose batched scores match its scalar `predict`.
+
+use msopds_autograd::Tensor;
+use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotError, SnapshotHeader};
+use msopds_recsys::Backend;
+use msopds_serve::ServingModel;
+use proptest::prelude::*;
+
+/// Splitmix64 — expands one strategy-drawn seed into tensor payloads, so a
+/// whole snapshot needs only a 4-tuple strategy (the vendored proptest has
+/// no `prop_flat_map` for size-dependent vectors).
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e3779b97f4a7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+    z ^ (z >> 31)
+}
+
+/// `n` floats in roughly [-3, 3], with an exact ±0.0 sprinkled in so the
+/// round trip covers sign-of-zero preservation.
+fn payload(state: &mut u64, n: usize) -> Vec<f64> {
+    (0..n)
+        .map(|_| {
+            let r = splitmix(state);
+            if r.is_multiple_of(31) {
+                if r & 32 == 0 {
+                    0.0
+                } else {
+                    -0.0
+                }
+            } else {
+                ((r >> 11) as f64 / (1u64 << 53) as f64) * 6.0 - 3.0
+            }
+        })
+        .collect()
+}
+
+/// An arbitrary-but-valid snapshot: random dimensions and header scalars,
+/// with MF-shaped tensors whose payloads are expanded from the drawn seed.
+fn arb_snapshot() -> impl Strategy<Value = Snapshot> {
+    (1usize..12, 1usize..12, 1usize..6, 0u64..u64::MAX).prop_map(|(n_users, n_items, dim, seed)| {
+        let mut state = seed;
+        Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: if seed & 1 == 0 { Backend::Dense } else { Backend::Sparse },
+                seed,
+                social_fingerprint: seed.rotate_left(17),
+                item_fingerprint: seed.rotate_right(11),
+                n_users: n_users as u64,
+                n_items: n_items as u64,
+                mu: payload(&mut state, 1)[0],
+            },
+            config_json: format!("{{\"dim\":{dim}}}"),
+            tensors: vec![
+                (
+                    String::from("p"),
+                    Tensor::from_vec(payload(&mut state, n_users * dim), &[n_users, dim]),
+                ),
+                (
+                    String::from("q"),
+                    Tensor::from_vec(payload(&mut state, n_items * dim), &[n_items, dim]),
+                ),
+                (
+                    String::from("b_u"),
+                    Tensor::from_vec(payload(&mut state, n_users), &[n_users, 1]),
+                ),
+                (
+                    String::from("b_i"),
+                    Tensor::from_vec(payload(&mut state, n_items), &[n_items, 1]),
+                ),
+            ],
+        }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_is_bitwise_lossless(snap in arb_snapshot()) {
+        let bytes = snap.to_bytes();
+        let back = Snapshot::from_bytes(&bytes).expect("self-produced bytes parse");
+        prop_assert_eq!(back.header, snap.header.clone());
+        prop_assert_eq!(back.config_json, snap.config_json.clone());
+        prop_assert_eq!(back.tensors.len(), snap.tensors.len());
+        for ((an, at), (bn, bt)) in snap.tensors.iter().zip(&back.tensors) {
+            prop_assert_eq!(an, bn);
+            prop_assert!(at.bit_eq(bt), "tensor {} drifted through the wire format", an);
+        }
+    }
+
+    #[test]
+    fn truncation_anywhere_is_a_typed_error(snap in arb_snapshot(), frac in 0.0..1.0f64) {
+        let bytes = snap.to_bytes();
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = Snapshot::from_bytes(&bytes[..cut])
+            .expect_err("truncated bytes must not parse");
+        prop_assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. }
+                    | SnapshotError::BadMagic { .. }
+                    | SnapshotError::ChecksumMismatch { .. }
+            ),
+            "unexpected error for cut at {}: {:?}", cut, err
+        );
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected(snap in arb_snapshot(), pos in 0usize..usize::MAX, bit in 0u8..8) {
+        let mut bytes = snap.to_bytes();
+        let pos = pos % bytes.len();
+        bytes[pos] ^= 1 << bit;
+        // Every single-bit corruption must surface as an error: the checksum
+        // trailer is verified before any length field is trusted, so this
+        // cannot panic or allocate absurdly either.
+        prop_assert!(
+            Snapshot::from_bytes(&bytes).is_err(),
+            "flipped bit {} of byte {} went undetected", bit, pos
+        );
+    }
+
+    #[test]
+    fn valid_snapshots_serve_consistently(snap in arb_snapshot()) {
+        let served = ServingModel::from_snapshot(&snap).expect("valid snapshot serves");
+        let users: Vec<usize> = (0..served.n_users()).collect();
+        let scores = served.score_batch(&users);
+        for u in 0..served.n_users() {
+            for i in 0..served.n_items() {
+                prop_assert_eq!(
+                    scores.at(u, i).to_bits(),
+                    served.predict(u, i).to_bits(),
+                    "({}, {}) batched score != scalar predict", u, i
+                );
+            }
+        }
+        // Top-K lists are invariant to batching for arbitrary models too.
+        let k = served.n_items().min(5);
+        let batched = served.top_k_batch(&users, k);
+        for (u, expect) in users.iter().zip(&batched) {
+            prop_assert_eq!(&served.top_k(*u, k), expect);
+        }
+    }
+}
+
+#[test]
+fn wrong_version_and_missing_tensor_are_typed() {
+    let snap = Snapshot {
+        header: SnapshotHeader {
+            kind: ModelKind::Mf,
+            backend: Backend::Dense,
+            seed: 1,
+            social_fingerprint: 2,
+            item_fingerprint: 3,
+            n_users: 2,
+            n_items: 2,
+            mu: 0.5,
+        },
+        config_json: String::from("{}"),
+        tensors: vec![
+            (String::from("p"), Tensor::from_vec(vec![0.0; 4], &[2, 2])),
+            (String::from("q"), Tensor::from_vec(vec![0.0; 4], &[2, 2])),
+            (String::from("b_u"), Tensor::from_vec(vec![0.0; 2], &[2, 1])),
+        ],
+    };
+    // Missing b_i → MissingTensor from the serving loader.
+    match ServingModel::from_snapshot(&snap) {
+        Err(SnapshotError::MissingTensor { name }) => assert_eq!(name, "b_i"),
+        other => panic!("expected MissingTensor, got {other:?}"),
+    }
+}

@@ -1,8 +1,9 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N]
-//! [--seeds a,b,...] [--threads N] [--backend dense|sparse] [--out DIR]
-//! [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]`
+//! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|snapshot|all> [--quick]
+//! [--scale N] [--seeds a,b,...] [--threads N] [--backend dense|sparse]
+//! [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]
+//! [--snapshot-out FILE]`
 //!
 //! Runtime flags (threads, backend, metrics, journaling, retries) are parsed
 //! by [`RuntimeConfig`] — one parse point shared with the `MSOPDS_THREADS`,
@@ -25,6 +26,11 @@
 //! the process exits with status 3. Builds with the `fault-injection` feature
 //! honor `MSOPDS_FAULT_PLAN` (e.g. `seed=42;xp.cell=panic@0.1`) for drills.
 //!
+//! Snapshots: `--snapshot-out FILE` trains the clean victim (first dataset ×
+//! first seed, same victim config as the sweep) after the experiments finish
+//! and persists its model snapshot for the `serve` binary; the `snapshot`
+//! experiment id does *only* that, skipping the sweep entirely.
+//!
 //! Exit status: 0 success, 2 usage error, 3 cells failed permanently,
 //! 1 infrastructure error (journal I/O or corruption).
 
@@ -35,7 +41,7 @@ use msopds_xp::{
     to_json, RunError, RuntimeConfig, XpConfig,
 };
 
-const USAGE: &str = "usage: repro <table3|fig6|fig7|fig8|fig9|defense|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]";
+const USAGE: &str = "usage: repro <table3|fig6|fig7|fig8|fig9|defense|snapshot|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N] [--snapshot-out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -159,11 +165,37 @@ fn main() {
         Ok(())
     };
 
-    let outcome: Result<(), RunError> = if which == "all" {
+    if which == "snapshot" && runtime.snapshot_out.is_none() {
+        eprintln!("the snapshot experiment requires --snapshot-out FILE\n{USAGE}");
+        std::process::exit(2);
+    }
+    let outcome: Result<(), RunError> = if which == "snapshot" {
+        Ok(()) // snapshot-only invocation: no sweep, persisted below.
+    } else if which == "all" {
         ["table3", "fig6", "fig7", "fig8", "fig9", "defense"].iter().try_for_each(|id| run_one(id))
     } else {
         run_one(&which)
     };
+    // Persist the clean victim for the `serve` read path after the sweep, so
+    // a single invocation can both reproduce a figure and hand off a model.
+    if let Some(path) = &runtime.snapshot_out {
+        let started = std::time::Instant::now();
+        eprintln!("[snapshot] training the clean victim ({} backend)…", cfg.backend);
+        match msopds_xp::write_victim_snapshot(&cfg, path) {
+            Ok(snap) => eprintln!(
+                "[snapshot] {} users × {} items (seed {}) saved to {} in {:.1?}",
+                snap.header.n_users,
+                snap.header.n_items,
+                snap.header.seed,
+                path.display(),
+                started.elapsed()
+            ),
+            Err(e) => {
+                eprintln!("repro: snapshot failed: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
     // Honors --metrics-out, falls back to an MSOPDS_METRICS path, and prints
     // the tree summary to stderr when recording is on without a path.
     runtime.export_metrics();

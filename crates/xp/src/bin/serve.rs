@@ -1,0 +1,147 @@
+//! `serve` — answer batched top-K queries from a persisted model snapshot.
+//!
+//! Usage: `serve --snapshot FILE [--batch N] [--queries Q] [--top-k K]
+//! [--cache N] [--threads N] [--metrics-out FILE]`
+//!
+//! Loads the snapshot written by `repro --snapshot-out` into an immutable
+//! `ServingModel` (no retraining, no planners), then drives `Q` user queries
+//! through the `ServeEngine` in batches of `N`. The query stream is a
+//! deterministic multiplicative-hash walk over the user universe, so reruns
+//! are reproducible and, once `Q` exceeds the user count, the hot-user LRU
+//! starts absorbing repeats.
+//!
+//! Runtime flags share the `RuntimeConfig` parse point with `repro`
+//! (`--threads` sizes the kernel pool the score-matmul runs on;
+//! `--metrics-out` records serve spans/counters and the QPS/latency gauges).
+//!
+//! Prints one human line per summary field to stderr and a single JSON
+//! object to stdout, e.g.:
+//!
+//! ```text
+//! {"queries":4096,"batch":64,"top_k":10,"users_per_sec":51234.0,...}
+//! ```
+//!
+//! Exit status: 0 success, 2 usage error, 1 snapshot load/serve failure.
+
+use std::path::PathBuf;
+
+use msopds_serve::{ServeConfig, ServeEngine, ServingModel};
+use msopds_xp::RuntimeConfig;
+
+const USAGE: &str = "usage: serve --snapshot FILE [--batch N] [--queries Q] [--top-k K] [--cache N] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let runtime = RuntimeConfig::builder()
+        .parse_cli(&args)
+        .and_then(|(builder, rest)| Ok((builder.build()?, rest)));
+    let (runtime, rest) = match runtime {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut snapshot: Option<PathBuf> = None;
+    let mut batch = 64usize;
+    let mut queries = 1024usize;
+    let mut top_k = 10usize;
+    let mut cache = 256usize;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--batch" => batch = parse_count(&value(&mut i, "--batch"), "--batch"),
+            "--queries" => queries = parse_count(&value(&mut i, "--queries"), "--queries"),
+            "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k"),
+            "--cache" => {
+                cache = value(&mut i, "--cache").parse().unwrap_or_else(|_| {
+                    eprintln!("--cache takes an integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(snapshot) = snapshot else {
+        eprintln!("--snapshot FILE is required\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    runtime.install();
+    msopds_autograd::pool::configure_threads(runtime.threads);
+
+    let model = match ServingModel::load(&snapshot) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve: cannot load {}: {e}", snapshot.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serve: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {})",
+        model.kind(),
+        model.n_users(),
+        model.n_items(),
+        model.dim(),
+        model.backend(),
+        model.seed()
+    );
+
+    let n_users = model.n_users();
+    let mut engine = ServeEngine::new(model, ServeConfig { top_k, cache_capacity: cache });
+    // Deterministic pseudo-random query stream (Fibonacci hashing): covers
+    // the whole user universe before repeating when Q ≥ n_users.
+    let stream: Vec<usize> =
+        (0..queries).map(|q| (q.wrapping_mul(0x9E3779B97F4A7C15) >> 7) % n_users).collect();
+    for chunk in stream.chunks(batch.max(1)) {
+        engine.serve_batch(chunk);
+    }
+
+    let s = engine.summary();
+    eprintln!(
+        "serve: {} queries in {} batches — {:.0} users/sec, p50 {} µs, p99 {} µs, {} cache hits / {} misses",
+        s.queries, s.batches, s.users_per_sec, s.p50_us, s.p99_us, s.cache_hits, s.cache_misses
+    );
+    println!(
+        "{{\"queries\":{},\"batches\":{},\"batch\":{},\"top_k\":{},\"users_per_sec\":{:.1},\"mean_us\":{:.1},\"p50_us\":{},\"p99_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+        s.queries,
+        s.batches,
+        batch,
+        top_k,
+        s.users_per_sec,
+        s.mean_us,
+        s.p50_us,
+        s.p99_us,
+        s.cache_hits,
+        s.cache_misses
+    );
+    runtime.export_metrics();
+}
+
+fn parse_count(raw: &str, flag: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} takes a positive integer\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

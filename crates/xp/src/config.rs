@@ -182,6 +182,9 @@ pub struct RuntimeConfig {
     pub resume: bool,
     /// Extra attempts granted to a panicking cell.
     pub retries: usize,
+    /// Train the clean victim and persist its model snapshot here (the
+    /// `repro --snapshot-out` / `repro snapshot` read-path handoff).
+    pub snapshot_out: Option<PathBuf>,
 }
 
 impl RuntimeConfig {
@@ -195,6 +198,7 @@ impl RuntimeConfig {
             journal: None,
             resume: false,
             retries: crate::runner::DEFAULT_RETRIES,
+            snapshot_out: None,
         }
     }
 
@@ -245,6 +249,7 @@ pub struct RuntimeConfigBuilder {
     journal: Option<PathBuf>,
     resume: bool,
     retries: usize,
+    snapshot_out: Option<PathBuf>,
 }
 
 impl RuntimeConfigBuilder {
@@ -290,11 +295,18 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Persist the clean victim's model snapshot to `path` after the run.
+    pub fn snapshot_out(mut self, path: impl Into<PathBuf>) -> Self {
+        self.snapshot_out = Some(path.into());
+        self
+    }
+
     /// Consumes the runtime flags from `args`, returning the remaining
     /// (experiment-specific) arguments in order.
     ///
     /// Recognized: `--threads N`, `--backend dense|sparse`,
-    /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`.
+    /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`,
+    /// `--snapshot-out FILE`.
     /// Errors name the offending flag, for `exit(2)`-style usage reporting.
     pub fn parse_cli(mut self, args: &[String]) -> Result<(Self, Vec<String>), String> {
         let mut rest = Vec::new();
@@ -322,6 +334,9 @@ impl RuntimeConfigBuilder {
                     self.journal = Some(PathBuf::from(value(&mut i, "--journal")?));
                 }
                 "--resume" => self.resume = true,
+                "--snapshot-out" => {
+                    self.snapshot_out = Some(PathBuf::from(value(&mut i, "--snapshot-out")?));
+                }
                 "--retries" => {
                     self.retries = value(&mut i, "--retries")?
                         .parse()
@@ -350,6 +365,7 @@ impl RuntimeConfigBuilder {
             journal: self.journal,
             resume: self.resume,
             retries: self.retries,
+            snapshot_out: self.snapshot_out,
         })
     }
 }
@@ -415,12 +431,15 @@ mod tests {
             "--resume",
             "--metrics-out",
             "m.json",
+            "--snapshot-out",
+            "victim.snap",
         ])
         .unwrap();
         assert_eq!(rt.threads, 3);
         assert_eq!(rt.backend, Backend::Sparse);
         assert_eq!(rt.retries, 2);
         assert!(rt.resume);
+        assert_eq!(rt.snapshot_out.as_deref(), Some(std::path::Path::new("victim.snap")));
         assert_eq!(rt.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
         assert_eq!(rt.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
         assert_eq!(rest, vec!["table3".to_string(), "--quick".to_string()]);

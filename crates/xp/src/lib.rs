@@ -19,6 +19,7 @@ pub mod config;
 pub mod experiments;
 pub mod journal;
 pub mod runner;
+pub mod serving;
 
 pub use config::{DatasetKind, RuntimeConfig, RuntimeConfigBuilder, XpConfig};
 pub use experiments::{
@@ -30,3 +31,4 @@ pub use runner::{
     average_over_seeds, materialize, run_cells, run_cells_with, Cell, FailedCell, Measurement,
     RunError, RunOptions, RunReport, DEFAULT_RETRIES,
 };
+pub use serving::{train_clean_victim, write_victim_snapshot};

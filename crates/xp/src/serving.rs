@@ -1,0 +1,66 @@
+//! The write side of the snapshot handoff: train the clean victim once and
+//! persist it for the `serve` read path (`crates/serve`).
+//!
+//! `repro --snapshot-out FILE` (or the dedicated `repro snapshot` id) calls
+//! [`write_victim_snapshot`]; the `serve` binary and the bench harness load
+//! the file back through `msopds_serve::ServingModel`. The snapshot carries
+//! the dataset's CSR fingerprints, so a poisoned or regenerated world is
+//! detected at load time instead of silently serving stale embeddings.
+
+use std::path::Path;
+
+use msopds_recdata::Dataset;
+use msopds_recsys::snapshot::{Snapshot, SnapshotError};
+use msopds_recsys::HetRec;
+
+use crate::config::XpConfig;
+
+/// Generates the clean (unpoisoned) evaluation world for the first
+/// configured dataset and seed, and trains the victim on it — the same
+/// victim configuration every game of the sweep retrains, minus the poison.
+pub fn train_clean_victim(cfg: &XpConfig) -> (Dataset, HetRec) {
+    let kind = cfg.datasets.first().copied().unwrap_or(crate::config::DatasetKind::Ciao);
+    let seed = cfg.seeds.first().copied().unwrap_or(1);
+    let data = kind.spec().scaled(cfg.scale).generate(seed);
+    let mut victim = HetRec::new(cfg.game(seed).victim, data.n_users(), data.n_items());
+    victim.fit(&data);
+    (data, victim)
+}
+
+/// Trains the clean victim and writes its snapshot to `path`. Returns the
+/// snapshot that was persisted (header already stamped with backend, seed
+/// and graph fingerprints).
+pub fn write_victim_snapshot(cfg: &XpConfig, path: &Path) -> Result<Snapshot, SnapshotError> {
+    let (data, victim) = train_clean_victim(cfg);
+    let snap = victim.snapshot(&data);
+    snap.save(path)?;
+    Ok(snap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DatasetKind;
+
+    fn tiny_cfg() -> XpConfig {
+        XpConfig {
+            scale: 24.0,
+            seeds: vec![5],
+            datasets: vec![DatasetKind::Ciao],
+            ..XpConfig::quick()
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trips_through_disk() {
+        let cfg = tiny_cfg();
+        let dir = std::env::temp_dir().join(format!("msopds-snap-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.snap");
+        let written = write_victim_snapshot(&cfg, &path).expect("write snapshot");
+        let read = Snapshot::load(&path).expect("read snapshot back");
+        assert_eq!(read.header, written.header);
+        assert_eq!(read.tensors.len(), written.tensors.len());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

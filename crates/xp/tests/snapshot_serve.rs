@@ -1,0 +1,85 @@
+//! The full write→read handoff: `repro --snapshot-out` territory on the
+//! write side, `serve --snapshot` territory on the read side, minus the
+//! process boundary — the snapshot still crosses a real file on disk.
+//!
+//! Asserts the PR's core acceptance criterion: the served top-K lists are
+//! bit-identical to the in-process victim's predictions, on both GraphOps
+//! backends.
+
+use msopds_recsys::Backend;
+use msopds_serve::{ServingModel, Snapshot};
+use msopds_xp::{train_clean_victim, write_victim_snapshot, DatasetKind, XpConfig};
+
+fn tiny_cfg(backend: Backend) -> XpConfig {
+    XpConfig {
+        scale: 24.0,
+        seeds: vec![5],
+        datasets: vec![DatasetKind::Ciao],
+        backend,
+        ..XpConfig::quick()
+    }
+}
+
+#[test]
+fn served_top_k_matches_in_process_victim_on_both_backends() {
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let cfg = tiny_cfg(backend);
+        let (data, victim) = train_clean_victim(&cfg);
+        let snap = victim.snapshot(&data);
+
+        let dir =
+            std::env::temp_dir().join(format!("msopds-handoff-{}-{backend}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("victim.snap");
+        snap.save(&path).expect("persist snapshot");
+
+        let served = ServingModel::load(&path).expect("load snapshot into serving model");
+        assert_eq!(served.backend(), backend);
+        assert_eq!(served.n_users(), data.n_users());
+        assert_eq!(served.n_items(), data.n_items());
+
+        // Every user's full ranking is driven by bit-identical scores.
+        let users: Vec<usize> = (0..served.n_users()).collect();
+        let scores = served.score_batch(&users);
+        for u in (0..served.n_users()).step_by(7) {
+            for i in 0..served.n_items() {
+                assert_eq!(
+                    scores.at(u, i).to_bits(),
+                    victim.predict(u, i).to_bits(),
+                    "{backend}: served score ({u},{i}) != in-process predict"
+                );
+            }
+        }
+        // And the top-10 list agrees with a scalar argsort of predict.
+        let k = 10.min(served.n_items());
+        for u in (0..served.n_users()).step_by(11) {
+            let mut expect: Vec<(u32, f64)> =
+                (0..served.n_items()).map(|i| (i as u32, victim.predict(u, i))).collect();
+            expect.sort_by(|a, b| b.1.total_cmp(&a.1).then(a.0.cmp(&b.0)));
+            for (got, want) in served.top_k(u, k).iter().zip(&expect) {
+                assert_eq!(got.item, want.0, "{backend}: top-K order diverged for user {u}");
+                assert_eq!(got.score.to_bits(), want.1.to_bits());
+            }
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
+
+#[test]
+fn write_victim_snapshot_stamps_dataset_provenance() {
+    let cfg = tiny_cfg(Backend::Dense);
+    let dir = std::env::temp_dir().join(format!("msopds-prov-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = dir.join("victim.snap");
+    let written = write_victim_snapshot(&cfg, &path).expect("write snapshot");
+
+    // The snapshot binds to the exact generated world: same spec + seed
+    // matches, a different seed's world does not.
+    let read = Snapshot::load(&path).expect("read back");
+    assert_eq!(read.header, written.header);
+    let same = DatasetKind::Ciao.spec().scaled(cfg.scale).generate(5);
+    assert!(read.matches_dataset(&same), "fingerprints must match the generating world");
+    let other = DatasetKind::Ciao.spec().scaled(cfg.scale).generate(6);
+    assert!(!read.matches_dataset(&other), "a different world must invalidate the snapshot");
+    std::fs::remove_dir_all(&dir).ok();
+}

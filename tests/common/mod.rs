@@ -1,0 +1,64 @@
+//! Shared lazily-built fixtures for the root integration suites.
+//!
+//! World generation plus market sampling is repeated by almost every
+//! integration test, and the slowest ones retrain whole victims per test.
+//! Caching the `(Dataset, Market)` pairs behind a process-wide map means each
+//! world is generated exactly once per test binary regardless of how many
+//! tests (running concurrently on the harness's thread pool) ask for it, and
+//! every test sees the *same* immutable world — a test can no longer drift
+//! because a sibling regenerated with a subtly different spec.
+//!
+//! Tests that mutate process-global kernel state (pool thread count or
+//! parallelism thresholds) must hold [`pool_guard`] for their whole body so
+//! they serialize against each other instead of racing.
+
+#![allow(dead_code)] // each test binary uses a subset of the fixtures
+
+use std::collections::HashMap;
+use std::sync::{Mutex, MutexGuard, OnceLock};
+
+use msopds::prelude::*;
+use rand::SeedableRng;
+
+/// The common integration-test scale (Ciao at ~1/24 of the paper's size).
+pub const SCALE: f64 = 24.0;
+
+type WorldKey = (u64, u64, usize);
+
+/// A Ciao world plus sampled market, generated once per `(data_seed,
+/// market_seed, n_opponents)` triple and shared (immutably) by every test in
+/// the binary. Tests that need to mutate the dataset clone it.
+pub fn world(data_seed: u64, market_seed: u64, n_opponents: usize) -> &'static (Dataset, Market) {
+    static CACHE: OnceLock<Mutex<HashMap<WorldKey, &'static (Dataset, Market)>>> = OnceLock::new();
+    let mut cache = CACHE.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+    cache.entry((data_seed, market_seed, n_opponents)).or_insert_with(|| {
+        let data = DatasetSpec::ciao().scaled(SCALE).generate(data_seed);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(market_seed);
+        let market =
+            sample_market(&data, &DemographicsSpec::default().scaled(SCALE), n_opponents, &mut rng);
+        Box::leak(Box::new((data, market)))
+    })
+}
+
+/// Serializes tests that reconfigure the global kernel pool (thread count or
+/// parallel thresholds). Hold the guard for the whole test body and restore
+/// the defaults before dropping it.
+pub fn pool_guard() -> MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    // A test that panicked while holding the guard has already failed; the
+    // state it left behind is restored by the next holder anyway.
+    LOCK.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// The shared quick game configuration: a dim-8 victim with few planner
+/// iterations, enough for directionally-correct games in seconds.
+pub fn tiny_game_cfg() -> GameConfig {
+    let mut cfg = GameConfig::at_scale(SCALE);
+    cfg.victim.epochs = 30;
+    cfg.victim.dim = 8;
+    cfg.planner.mso.iters = 3;
+    cfg.planner.mso.cg_iters = 2;
+    cfg.planner.pds.inner_steps = 3;
+    cfg.opponent_planner = cfg.planner;
+    cfg
+}

@@ -1,28 +1,17 @@
 //! Cross-crate integration tests: full games, planner/game consistency, and
 //! determinism of the whole pipeline.
+//!
+//! Worlds come from the shared [`common`] fixture cache, so the concurrently
+//! running tests of this binary generate each `(Dataset, Market)` pair once
+//! and read it immutably.
 
+mod common;
+
+use common::tiny_game_cfg;
 use msopds::prelude::*;
-use rand::SeedableRng;
 
-const SCALE: f64 = 24.0;
-
-fn tiny_game_cfg() -> GameConfig {
-    let mut cfg = GameConfig::at_scale(SCALE);
-    cfg.victim.epochs = 30;
-    cfg.victim.dim = 8;
-    cfg.planner.mso.iters = 3;
-    cfg.planner.mso.cg_iters = 2;
-    cfg.planner.pds.inner_steps = 3;
-    cfg.opponent_planner = cfg.planner;
-    cfg
-}
-
-fn setup(n_opponents: usize) -> (Dataset, Market) {
-    let data = DatasetSpec::ciao().scaled(SCALE).generate(13);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(5);
-    let market =
-        sample_market(&data, &DemographicsSpec::default().scaled(SCALE), n_opponents, &mut rng);
-    (data, market)
+fn setup(n_opponents: usize) -> &'static (Dataset, Market) {
+    common::world(13, 5, n_opponents)
 }
 
 #[test]
@@ -41,7 +30,7 @@ fn full_pipeline_every_method_finishes() {
         AttackMethod::Bopds(ActionToggles::all()),
     ];
     for method in methods {
-        let out = run_game(&data, &market, method, &cfg);
+        let out = run_game(data, market, method, &cfg);
         assert!(out.avg_rating.is_finite(), "{} produced a non-finite r̄", out.method);
         assert!((0.0..=1.0).contains(&out.hit_rate_at_3), "{} HR out of range", out.method);
         assert!(out.victim_rmse < 2.0, "{} victim failed to train", out.method);
@@ -79,22 +68,20 @@ fn msopds_poison_raises_target_rating() {
     // initializations (see mean_rbar_over_victim_inits for why the latter).
     let mut lift = 0.0;
     for seed in [3u64, 4, 5] {
-        let data = DatasetSpec::ciao().scaled(SCALE).generate(seed);
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let market = sample_market(&data, &DemographicsSpec::default().scaled(SCALE), 1, &mut rng);
+        let (data, market) = common::world(seed, seed, 1);
         let mut cfg = tiny_game_cfg();
         cfg.seed = seed;
         cfg.planner.mso.iters = 5;
         let clean = mean_rbar_over_victim_inits(
-            &data,
-            &market,
+            data,
+            market,
             AttackMethod::Baseline(Baseline::None),
             &cfg,
             5,
         );
         let attacked = mean_rbar_over_victim_inits(
-            &data,
-            &market,
+            data,
+            market,
             AttackMethod::Msopds(ActionToggles::all()),
             &cfg,
             5,
@@ -109,7 +96,8 @@ fn planner_budget_invariants_hold_end_to_end() {
     use msopds::core::{
         build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, PlayerSetup,
     };
-    let (mut data, market) = setup(1);
+    let (data, market) = setup(1);
+    let mut data = data.clone(); // capacity building registers fake users
     let spec = CaCapacitySpec::promote(4);
     let cap = build_ca_capacity(&mut data, &market.players[0], market.target_item, &spec);
     let expected_budget = cap.importance.total_budget();
@@ -161,8 +149,10 @@ fn whole_pipeline_is_deterministic_across_thread_counts() {
         pool::configure_threads(threads);
         let (data, market) = setup(1);
         let cfg = GameConfig { kernel_threads: threads, ..tiny_game_cfg() };
-        run_game(&data, &market, AttackMethod::Msopds(ActionToggles::all()), &cfg)
+        run_game(data, market, AttackMethod::Msopds(ActionToggles::all()), &cfg)
     };
+    // Serialize against other pool-reconfiguring tests in this binary.
+    let _pool = common::pool_guard();
     pool::set_parallel_thresholds(1, 1, 1);
     let a = run(1);
     let b = run(4);
@@ -185,7 +175,8 @@ fn gradient_reaches_every_action_category_through_full_stack() {
     use msopds::recsys::losses::ca_loss;
     use msopds::recsys::pds::{build_pds, PdsConfig, PlayerInput};
 
-    let (mut data, market) = setup(1);
+    let (data, market) = setup(1);
+    let mut data = data.clone(); // capacity building registers fake users
     let cap = build_ca_capacity(
         &mut data,
         &market.players[0],

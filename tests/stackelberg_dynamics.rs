@@ -2,21 +2,33 @@
 //! eq. (14)'s N-opponent reduction, the push–pull discipline, and the exact
 //! vs finite-difference second-order paths.
 
+mod common;
+
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+
 use msopds::autograd::HvpMode;
 use msopds::core::{
     build_ca_capacity, plan_msopds, prepare_planning_data, CaCapacitySpec, MsoConfig, Objective,
     PlannerConfig, PlayerSetup,
 };
 use msopds::prelude::*;
-use rand::SeedableRng;
 
-const SCALE: f64 = 24.0;
+type Setup = (Dataset, Market, PlayerSetup, Vec<PlayerSetup>);
 
-fn setup(n_opponents: usize) -> (Dataset, Market, PlayerSetup, Vec<PlayerSetup>) {
-    let mut data = DatasetSpec::ciao().scaled(SCALE).generate(21);
-    let mut rng = rand::rngs::StdRng::seed_from_u64(8);
-    let market =
-        sample_market(&data, &DemographicsSpec::default().scaled(SCALE), n_opponents, &mut rng);
+/// The planning setup for `n_opponents`, built once per binary: capacity
+/// building (fake-user registration + candidate enumeration) dominates these
+/// tests' fixed cost, and each setup is reused read-only by several tests.
+fn setup(n_opponents: usize) -> &'static Setup {
+    static CACHE: OnceLock<Mutex<HashMap<usize, &'static Setup>>> = OnceLock::new();
+    let mut cache = CACHE.get_or_init(|| Mutex::new(HashMap::new())).lock().unwrap();
+    cache.entry(n_opponents).or_insert_with(|| Box::leak(Box::new(build_setup(n_opponents))))
+}
+
+fn build_setup(n_opponents: usize) -> Setup {
+    let (data, market) = common::world(21, 8, n_opponents);
+    let mut data = data.clone(); // capacity building registers fake users
+    let market = market.clone();
     let cap = build_ca_capacity(
         &mut data,
         &market.players[0],
@@ -67,8 +79,8 @@ fn exact_and_finite_diff_hvp_agree_on_the_full_game() {
     // importance vectors — a strong correctness check of double backward
     // through the unrolled surrogate.
     let (planning, _, attacker, opponents) = setup(1);
-    let exact = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::Exact));
-    let fd = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::FiniteDiff));
+    let exact = plan_msopds(planning, attacker, opponents, &cfg(2, HvpMode::Exact));
+    let fd = plan_msopds(planning, attacker, opponents, &cfg(2, HvpMode::FiniteDiff));
     let dot: f64 = exact.importance.iter().zip(&fd.importance).map(|(a, b)| a * b).sum();
     let na: f64 = exact.importance.iter().map(|a| a * a).sum::<f64>().sqrt();
     let nb: f64 = fd.importance.iter().map(|b| b * b).sum::<f64>().sqrt();
@@ -82,7 +94,7 @@ fn follower_descends_its_own_loss() {
     // Under eq. (9), the simulated opponent's loss should trend downward over
     // the outer iterations (the "pull" of Fig. 3).
     let (planning, _, attacker, opponents) = setup(1);
-    let out = plan_msopds(&planning, &attacker, &opponents, &cfg(6, HvpMode::Exact));
+    let out = plan_msopds(planning, attacker, opponents, &cfg(6, HvpMode::Exact));
     let follower_losses: Vec<f64> = out.diagnostics.follower_loss.iter().map(|v| v[0]).collect();
     let first = follower_losses[0];
     let last = *follower_losses.last().unwrap();
@@ -97,8 +109,8 @@ fn n_opponent_reduction_matches_single_when_duplicated() {
     // eq. (14) with one follower must equal eq. (13); adding a second,
     // *identical* follower must change the correction (it is summed).
     let (planning, _, attacker, opponents) = setup(2);
-    let one = plan_msopds(&planning, &attacker, &opponents[..1], &cfg(2, HvpMode::Exact));
-    let two = plan_msopds(&planning, &attacker, &opponents, &cfg(2, HvpMode::Exact));
+    let one = plan_msopds(planning, attacker, &opponents[..1], &cfg(2, HvpMode::Exact));
+    let two = plan_msopds(planning, attacker, opponents, &cfg(2, HvpMode::Exact));
     assert_eq!(one.opponent_importance.len(), 1);
     assert_eq!(two.opponent_importance.len(), 2);
     assert_ne!(
@@ -112,6 +124,6 @@ fn eta_discipline_is_enforced_at_the_planner_level() {
     let (planning, _, attacker, opponents) = setup(1);
     let mut bad = cfg(1, HvpMode::Exact);
     bad.mso.eta_p = bad.mso.eta_q; // violates Theorem 3
-    let result = std::panic::catch_unwind(|| plan_msopds(&planning, &attacker, &opponents, &bad));
+    let result = std::panic::catch_unwind(|| plan_msopds(planning, attacker, opponents, &bad));
     assert!(result.is_err(), "η^p ≥ η^q must be rejected");
 }
