@@ -44,6 +44,58 @@ impl Tape {
             .collect()
     }
 
+    /// Differentiable gradients of several outputs in **one** reverse scan.
+    ///
+    /// Returns `result[s][w]` = ∂outputs[s]/∂wrt[w]. Each seed gets its own
+    /// adjoint array, so the seeds never mix: `result[s]` is bitwise identical
+    /// to a separate [`Tape::grad_vars`] call on `outputs[s]` (the VJP nodes a
+    /// seed creates depend only on *forward* node values, never on other
+    /// adjoints, so interleaved construction changes node ids but not one
+    /// numeric value). This matters for the multilevel planner, where the
+    /// followers' losses share one poisoned-data-set build and therefore one
+    /// tape: batching their backward passes walks that shared prefix once
+    /// instead of once per follower, without introducing cross-follower terms.
+    pub fn grad_vars_multi<'t>(
+        &'t self,
+        outputs: &[Var<'t>],
+        wrt: &[Var<'t>],
+    ) -> Vec<Vec<Var<'t>>> {
+        let n = outputs.iter().map(|o| o.id + 1).max().unwrap_or(0);
+        let mut adjs: Vec<Vec<Option<Var<'t>>>> = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            let mut adj: Vec<Option<Var<'t>>> = vec![None; n];
+            let out_shape = output.value().shape().to_vec();
+            adj[output.id] = Some(self.constant(Tensor::ones(&out_shape)));
+            adjs.push(adj);
+        }
+
+        for id in (0..n).rev() {
+            if adjs.iter().all(|adj| adj[id].is_none()) {
+                continue;
+            }
+            let op = self.op(id);
+            let out = Var { tape: self, id };
+            for adj in adjs.iter_mut() {
+                if let Some(g) = adj[id] {
+                    self.push_vjps(&op, out, g, adj);
+                }
+            }
+        }
+
+        adjs.into_iter()
+            .map(|adj| {
+                wrt.iter()
+                    .map(|v| {
+                        adj.get(v.id)
+                            .copied()
+                            .flatten()
+                            .unwrap_or_else(|| self.constant(Tensor::zeros(v.value().shape())))
+                    })
+                    .collect()
+            })
+            .collect()
+    }
+
     /// Gradient values of `output` w.r.t. each `wrt` node.
     ///
     /// Convenience wrapper around [`Tape::grad_vars`] that extracts tensors.
@@ -373,5 +425,66 @@ mod tests {
         let y = x.scale(2.0);
         let g = tape.grad(y, &[x]);
         assert_eq!(g[0].to_vec(), vec![2.0, 2.0, 2.0]);
+    }
+
+    // ---- multi-seed backward (ISSUE 6): one scan, N independent adjoints ----
+
+    fn assert_bits_eq(a: &Tensor, b: &Tensor, label: &str) {
+        assert_eq!(a.shape(), b.shape(), "{label}: shape");
+        for (i, (x, y)) in a.to_vec().iter().zip(b.to_vec().iter()).enumerate() {
+            assert_eq!(x.to_bits(), y.to_bits(), "{label}: [{i}] {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn grad_vars_multi_bitwise_matches_sequential() {
+        // Two "follower losses" sharing a nonlinear subexpression (the shared
+        // PDS-build analogue), each differentiated w.r.t. both leaves. The
+        // batched scan must reproduce every sequential gradient bit for bit.
+        let tape = scalar_tape();
+        let a = tape.leaf(Tensor::from_vec(vec![0.3, -1.2, 0.9, 2.0], &[2, 2]));
+        let b = tape.leaf(Tensor::from_vec(vec![1.1, 0.4, -0.7, 0.25], &[2, 2]));
+        let shared = a.matmul(b).selu();
+        let l0 = shared.square().sum();
+        let l1 = shared.mul(a).sum().add(b.pow_scalar(3.0).sum());
+        let wrt = [a, b];
+
+        let multi = tape.grad_vars_multi(&[l0, l1], &wrt);
+        assert_eq!(multi.len(), 2);
+        for (s, (l, row)) in [l0, l1].iter().zip(multi.iter()).enumerate() {
+            let seq = tape.grad_vars(*l, &wrt);
+            for (w, (m, q)) in row.iter().zip(seq.iter()).enumerate() {
+                assert_bits_eq(&m.value(), &q.value(), &format!("seed {s} wrt {w}"));
+            }
+        }
+    }
+
+    #[test]
+    fn grad_vars_multi_gradients_stay_differentiable() {
+        // The batched gradients must still be tape vars usable for HVPs:
+        // f0 = x³ (f0'' = 6x), f1 = x⁴ (f1'' = 12x²) at x = 2.
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(2.0));
+        let f0 = x.pow_scalar(3.0);
+        let f1 = x.pow_scalar(4.0);
+        let grads = tape.grad_vars_multi(&[f0, f1], &[x]);
+        assert!((grads[0][0].item() - 12.0).abs() < 1e-12);
+        assert!((grads[1][0].item() - 32.0).abs() < 1e-12);
+        let h0 = tape.grad(grads[0][0], &[x]);
+        let h1 = tape.grad(grads[1][0], &[x]);
+        assert!((h0[0].item() - 12.0).abs() < 1e-12);
+        assert!((h1[0].item() - 48.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn grad_vars_multi_handles_unreachable_and_empty() {
+        let tape = scalar_tape();
+        let x = tape.leaf(Tensor::scalar(1.0));
+        let z = tape.leaf(Tensor::from_vec(vec![1.0, 2.0], &[2]));
+        let y = x.square();
+        let multi = tape.grad_vars_multi(&[y], &[x, z]);
+        assert_eq!(multi[0][0].item(), 2.0);
+        assert_eq!(multi[0][1].value().to_vec(), vec![0.0, 0.0]);
+        assert!(tape.grad_vars_multi(&[], &[x]).is_empty());
     }
 }

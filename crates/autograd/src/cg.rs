@@ -145,6 +145,197 @@ pub fn conjugate_gradient(
     sol
 }
 
+/// Solves a batch of systems `A·xᵢ = bᵢ` sharing one (possibly
+/// system-indexed) operator, in lockstep: every iteration gathers the search
+/// directions of all still-active systems into **one** `apply_multi` call, so
+/// the operator can amortize its memory traffic across the batch (one SpMM
+/// over an `[n, N]` block instead of `N` SpMVs re-reading the matrix).
+///
+/// `apply_multi` receives `(system index, direction)` pairs — the system
+/// index is the position in `rhs` — and must return one product per pair, in
+/// order. Because the per-system α/β/residual recurrences only ever touch
+/// that system's own vectors, **every outcome is bitwise identical to the
+/// corresponding sequential [`conjugate_gradient`] call**: same iterates,
+/// same iteration counts, same [`SolveStatus`] classification.
+///
+/// Guardrail semantics are preserved exactly: non-finite right-hand sides
+/// short-circuit, and a system that goes pathological mid-lockstep drops out
+/// of the batch and replays the escalating damped retry chain on its own
+/// (retries call `apply_multi` with a single pair). Fault-injection sites
+/// fire once per right-hand side in index order, matching the occurrence
+/// sequence of sequential solves.
+pub fn conjugate_gradient_multi(
+    mut apply_multi: impl FnMut(&[(usize, &[f64])]) -> Vec<Vec<f64>>,
+    rhs: &[Vec<f64>],
+    max_iters: usize,
+    tol: f64,
+    damping: f64,
+) -> Vec<SolveOutcome> {
+    let _span = telemetry::span("cg_multi");
+    // Fault sites fire per right-hand side, in index order — the same
+    // occurrence sequence the sequential solver produces.
+    let mut bs: Vec<Vec<f64>> = Vec::with_capacity(rhs.len());
+    for b in rhs {
+        faultline::fault_point!("cg.solve");
+        let mut b = b.clone();
+        faultline::corrupt_slice("cg.solve.rhs", &mut b);
+        bs.push(b);
+    }
+
+    let finished =
+        |x: Vec<f64>, iterations: usize, residual: f64, status: SolveStatus| SolveOutcome {
+            x,
+            iterations,
+            residual,
+            converged: status == SolveStatus::Converged,
+            status,
+            retries: 0,
+            damping,
+        };
+
+    /// Attempt-0 state of one still-active system.
+    struct Sys {
+        idx: usize,
+        x: Vec<f64>,
+        r: Vec<f64>,
+        p: Vec<f64>,
+        rs_old: f64,
+        bnorm: f64,
+        iterations: usize,
+    }
+
+    let mut outcomes: Vec<Option<SolveOutcome>> = (0..bs.len()).map(|_| None).collect();
+    // Systems whose attempt 0 went pathological: (index, iterations spent,
+    // status) — they replay the retry chain sequentially below.
+    let mut pathological: Vec<(usize, usize, SolveStatus)> = Vec::new();
+    let mut active: Vec<Sys> = Vec::new();
+    for (idx, b) in bs.iter().enumerate() {
+        if !b.iter().all(|v| v.is_finite()) {
+            outcomes[idx] =
+                Some(SolveOutcome::zeroed(b.len(), SolveStatus::NonFiniteRhs, 0, damping));
+            continue;
+        }
+        let r = b.clone();
+        let rs_old = dot(&r, &r);
+        let bnorm = rs_old.sqrt().max(1e-30);
+        if rs_old.sqrt() <= tol * bnorm {
+            outcomes[idx] =
+                Some(finished(vec![0.0; b.len()], 0, rs_old.sqrt(), SolveStatus::Converged));
+            continue;
+        }
+        let p = r.clone();
+        active.push(Sys { idx, x: vec![0.0; b.len()], r, p, rs_old, bnorm, iterations: 0 });
+    }
+
+    // Lockstep attempt 0: one batched operator application per iteration.
+    for _ in 0..max_iters {
+        if active.is_empty() {
+            break;
+        }
+        let dirs: Vec<(usize, &[f64])> = active.iter().map(|s| (s.idx, s.p.as_slice())).collect();
+        let aps = apply_multi(&dirs);
+        assert_eq!(aps.len(), active.len(), "apply_multi must return one product per direction");
+        let mut still = Vec::with_capacity(active.len());
+        for (mut s, mut ap) in active.into_iter().zip(aps) {
+            s.iterations += 1;
+            if damping != 0.0 {
+                for (a, &pi) in ap.iter_mut().zip(s.p.iter()) {
+                    *a += damping * pi;
+                }
+            }
+            let p_ap = dot(&s.p, &ap);
+            if !p_ap.is_finite() {
+                pathological.push((s.idx, s.iterations, SolveStatus::NonFinite));
+                continue;
+            }
+            if p_ap.abs() < 1e-300 {
+                outcomes[s.idx] =
+                    Some(finished(s.x, s.iterations, s.rs_old.sqrt(), SolveStatus::Breakdown));
+                continue;
+            }
+            let alpha = s.rs_old / p_ap;
+            for ((x, r), (&pi, &a)) in
+                s.x.iter_mut().zip(s.r.iter_mut()).zip(s.p.iter().zip(ap.iter()))
+            {
+                *x += alpha * pi;
+                *r -= alpha * a;
+            }
+            let rs_new = dot(&s.r, &s.r);
+            if !rs_new.is_finite() {
+                pathological.push((s.idx, s.iterations, SolveStatus::NonFinite));
+                continue;
+            }
+            if rs_new.sqrt() > DIVERGENCE_FACTOR * s.bnorm {
+                pathological.push((s.idx, s.iterations, SolveStatus::Diverged));
+                continue;
+            }
+            if rs_new.sqrt() <= tol * s.bnorm {
+                outcomes[s.idx] =
+                    Some(finished(s.x, s.iterations, rs_new.sqrt(), SolveStatus::Converged));
+                continue;
+            }
+            let beta = rs_new / s.rs_old;
+            for i in 0..s.p.len() {
+                s.p[i] = s.r[i] + beta * s.p[i];
+            }
+            s.rs_old = rs_new;
+            still.push(s);
+        }
+        active = still;
+    }
+    for s in active {
+        outcomes[s.idx] = Some(finished(s.x, s.iterations, s.rs_old.sqrt(), SolveStatus::MaxIters));
+    }
+
+    // Escalating damped retries, one pathological system at a time — the
+    // exact attempt-by-attempt behaviour of `solve_with_retries`, with
+    // attempt 0 already spent in lockstep.
+    for (idx, iters0, status0) in pathological {
+        let b = &bs[idx];
+        let mut single =
+            |v: &[f64]| apply_multi(&[(idx, v)]).pop().expect("one product per direction");
+        let mut total_iterations = iters0;
+        let mut damping_now = damping;
+        let mut out = None;
+        for attempt in 1..=MAX_RETRIES {
+            damping_now = if damping_now > 0.0 { damping_now * 100.0 } else { 1e-4 };
+            let mut sol = cg_loop(&mut single, b, max_iters, tol, damping_now);
+            total_iterations += sol.iterations;
+            sol.iterations = total_iterations;
+            sol.retries = attempt;
+            match sol.status {
+                SolveStatus::Converged | SolveStatus::MaxIters | SolveStatus::Breakdown => {
+                    out = Some(sol);
+                    break;
+                }
+                SolveStatus::NonFinite | SolveStatus::Diverged => {
+                    if attempt == MAX_RETRIES {
+                        out = Some(SolveOutcome::zeroed(b.len(), sol.status, attempt, damping_now));
+                    }
+                }
+                SolveStatus::NonFiniteRhs => unreachable!("rhs checked before iterating"),
+            }
+        }
+        outcomes[idx] =
+            Some(out.unwrap_or_else(|| SolveOutcome::zeroed(b.len(), status0, 0, damping)));
+    }
+
+    let outcomes: Vec<SolveOutcome> =
+        outcomes.into_iter().map(|o| o.expect("every system classified")).collect();
+    for sol in &outcomes {
+        CG_SOLVES.incr();
+        CG_ITERATIONS.add(sol.iterations as u64);
+        CG_LAST_RESIDUAL.set(sol.residual);
+        if sol.retries > 0 {
+            CG_RETRIES.incr();
+        }
+        if !sol.usable() {
+            CG_UNUSABLE.incr();
+        }
+    }
+    outcomes
+}
+
 fn solve_with_retries(
     apply: &mut impl FnMut(&[f64]) -> Vec<f64>,
     b: &[f64],
@@ -430,6 +621,122 @@ mod tests {
         if sol.usable() {
             assert!(sol.x[0].abs() < 10.0, "x stayed bounded: {:?}", sol.x);
         }
+    }
+
+    // ---- multi-RHS lockstep solver (ISSUE 6): bitwise parity ----
+
+    /// Asserts two outcomes are bitwise identical (x, residual) and equal on
+    /// every classification field.
+    fn assert_outcome_bits_eq(multi: &SolveOutcome, single: &SolveOutcome, label: &str) {
+        assert_eq!(multi.status, single.status, "{label}: status");
+        assert_eq!(multi.iterations, single.iterations, "{label}: iterations");
+        assert_eq!(multi.retries, single.retries, "{label}: retries");
+        assert_eq!(multi.converged, single.converged, "{label}: converged");
+        assert_eq!(
+            multi.residual.to_bits(),
+            single.residual.to_bits(),
+            "{label}: residual {} vs {}",
+            multi.residual,
+            single.residual
+        );
+        assert_eq!(multi.x.len(), single.x.len(), "{label}: x length");
+        for (i, (a, b)) in multi.x.iter().zip(single.x.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "{label}: x[{i}] {a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn multi_rhs_bitwise_matches_sequential_on_shared_spd() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(11);
+        let n = 10;
+        let mm: Vec<Vec<f64>> =
+            (0..n).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        let mut a = vec![vec![0.0; n]; n];
+        for i in 0..n {
+            for j in 0..n {
+                a[i][j] = (0..n).map(|k| mm[k][i] * mm[k][j]).sum::<f64>()
+                    + if i == j { 1.0 } else { 0.0 };
+            }
+        }
+        let rhs: Vec<Vec<f64>> =
+            (0..4).map(|_| (0..n).map(|_| rng.gen_range(-1.0..1.0)).collect()).collect();
+        // Mixed convergence speeds: also truncate one run hard so MaxIters
+        // systems travel through the lockstep loop alongside converged ones.
+        for (max_iters, tol) in [(200usize, 1e-10), (2usize, 1e-14)] {
+            let multi = conjugate_gradient_multi(
+                |dirs| dirs.iter().map(|(_, p)| mat_apply(&a)(p)).collect(),
+                &rhs,
+                max_iters,
+                tol,
+                1e-3,
+            );
+            for (i, (m, b)) in multi.iter().zip(rhs.iter()).enumerate() {
+                let single = conjugate_gradient(mat_apply(&a), b, max_iters, tol, 1e-3);
+                assert_outcome_bits_eq(m, &single, &format!("rhs {i} (cap {max_iters})"));
+            }
+        }
+    }
+
+    #[test]
+    fn multi_rhs_mixed_pathologies_match_sequential() {
+        // One batch containing every guardrail path at once: a healthy SPD
+        // system, a NaN rhs, a divergent indefinite system (exercises the
+        // retry chain), a zero-operator breakdown, and a zero rhs. Each must
+        // come out bitwise identical to its sequential solve, with identical
+        // typed status and retry count.
+        let spd = vec![vec![4.0, 1.0], vec![1.0, 3.0]];
+        let indefinite = vec![vec![1.0, 0.0], vec![0.0, -1.0]];
+        let zero = vec![vec![0.0, 0.0], vec![0.0, 0.0]];
+        let nan_op = |v: &[f64]| v.iter().map(|_| f64::NAN).collect::<Vec<_>>();
+        let apply_for = |idx: usize, v: &[f64]| -> Vec<f64> {
+            match idx {
+                0 => mat_apply(&spd)(v),
+                1 => mat_apply(&spd)(v), // never called: rhs is non-finite
+                2 => mat_apply(&indefinite)(v),
+                3 => mat_apply(&zero)(v),
+                4 => mat_apply(&spd)(v), // never iterates: zero rhs
+                5 => nan_op(v),
+                _ => unreachable!(),
+            }
+        };
+        let rhs: Vec<Vec<f64>> = vec![
+            vec![1.0, 2.0],
+            vec![f64::NAN, 1.0],
+            vec![1.0, 1.0],
+            vec![1.0, 2.0],
+            vec![0.0, 0.0],
+            vec![1.0, 1.0],
+        ];
+        let (max_iters, tol, damping) = (100usize, 1e-12, 0.0);
+        let multi = conjugate_gradient_multi(
+            |dirs| dirs.iter().map(|&(idx, p)| apply_for(idx, p)).collect(),
+            &rhs,
+            max_iters,
+            tol,
+            damping,
+        );
+        assert_eq!(multi.len(), rhs.len());
+        for (idx, (m, b)) in multi.iter().zip(rhs.iter()).enumerate() {
+            let single = conjugate_gradient(|v| apply_for(idx, v), b, max_iters, tol, damping);
+            assert_outcome_bits_eq(m, &single, &format!("system {idx}"));
+        }
+        // Spot-check the classifications really covered distinct paths.
+        assert_eq!(multi[0].status, SolveStatus::Converged);
+        assert_eq!(multi[1].status, SolveStatus::NonFiniteRhs);
+        // b = [1,1] on diag(1,-1) has exactly zero curvature along the first
+        // direction, so the indefinite system is a deterministic breakdown.
+        assert_eq!(multi[2].status, SolveStatus::Breakdown);
+        assert_eq!(multi[3].status, SolveStatus::Breakdown);
+        assert_eq!(multi[4].iterations, 0);
+        assert_eq!(multi[5].status, SolveStatus::NonFinite);
+        assert_eq!(multi[5].retries, MAX_RETRIES);
+    }
+
+    #[test]
+    fn multi_rhs_empty_batch_is_empty() {
+        let out = conjugate_gradient_multi(|_| Vec::new(), &[], 10, 1e-10, 0.0);
+        assert!(out.is_empty());
     }
 
     #[test]

@@ -47,9 +47,9 @@ pub mod tape;
 pub mod tensor;
 mod var;
 
-pub use cg::{conjugate_gradient, CgSolution, SolveOutcome, SolveStatus};
+pub use cg::{conjugate_gradient, conjugate_gradient_multi, CgSolution, SolveOutcome, SolveStatus};
 pub use hvp::HvpMode;
-pub use sparse::{spmm, SparseMatrix, SparseOperand};
+pub use sparse::{spmm, SparseMatrix, SparseMatrixF32, SparseOperand};
 pub use tape::{NodeId, Op, Tape, TapeStats};
 pub use tensor::Tensor;
 pub use var::Var;

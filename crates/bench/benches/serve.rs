@@ -88,8 +88,10 @@ fn engine_throughput(c: &mut Criterion) {
             ServingModel::from_snapshot(&Snapshot::from_bytes(&bytes).expect("bench snapshot"))
                 .expect("bench snapshot serves");
         let n_users = model.n_users();
-        let mut engine =
-            ServeEngine::new(model, ServeConfig { top_k: TOP_K, cache_capacity: n_users });
+        let mut engine = ServeEngine::new(
+            model,
+            ServeConfig { top_k: TOP_K, cache_capacity: n_users, ..ServeConfig::default() },
+        );
         // Warm the LRU once so every timed batch measures steady-state
         // serving (hit path + per-call overhead), not first-touch scoring.
         let warm: Vec<usize> = (0..n_users).collect();

@@ -16,7 +16,7 @@
 //! [`crate::msopds`]) and analytic games used to validate convergence against
 //! closed-form equilibria.
 
-use msopds_autograd::{conjugate_gradient, HvpMode, Tape, Tensor, Var};
+use msopds_autograd::{conjugate_gradient, conjugate_gradient_multi, HvpMode, Tape, Tensor, Var};
 use msopds_faultline as faultline;
 use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
@@ -70,6 +70,15 @@ pub struct MsoConfig {
     /// Kernel-pool lanes used while this solve runs (`0` = inherit the
     /// process-wide pool configuration; see `msopds_autograd::pool`).
     pub threads: usize,
+    /// Batch the per-follower implicit solves into one multi-RHS conjugate
+    /// gradient (and the per-follower backward passes into multi-seed scans),
+    /// amortizing the shared-tape walk and the operator's memory traffic
+    /// across opponents. Numerically identical to the sequential path —
+    /// per-follower gradients, solves, and `SolveOutcome` classifications are
+    /// bitwise unchanged — so this is on by default; it only applies to
+    /// [`HvpMode::Exact`] (finite-difference HVPs rebuild the game per
+    /// follower and stay sequential).
+    pub batch_solves: bool,
 }
 
 impl Default for MsoConfig {
@@ -83,6 +92,7 @@ impl Default for MsoConfig {
             cg_damping: 1e-3,
             hvp_mode: HvpMode::Exact,
             threads: 0,
+            batch_solves: true,
         }
     }
 }
@@ -187,93 +197,212 @@ pub fn mso_optimize<G: StackelbergGame>(
         };
         // `None` = follower excluded this round (its eq. 9 update is skipped).
         let mut follower_grads: Vec<Option<Tensor>> = Vec::with_capacity(xqs.len());
-        for (i, (&xq_leaf, &lq)) in built.xqs.iter().zip(built.lqs.iter()).enumerate() {
-            // Follower's own update direction (eq. 9), kept on the tape so it
-            // can be differentiated again for the second-order terms.
-            let gq = tape.grad_vars(lq, &[xq_leaf])[0];
-            let gq_val = gq.value();
-            if !gq_val.all_finite() {
-                // A diverged follower must not poison the round: freeze its
-                // decision vector and drop its correction, with a diagnostic.
-                exclude(&mut diag, i, "non-finite follower gradient ∂L^q/∂X^q".to_string());
-                follower_grads.push(None);
-                continue;
-            }
-            follower_gnorm += gq_val.norm();
-            follower_grads.push(Some(gq_val));
+        let batched = cfg.batch_solves && matches!(cfg.hvp_mode, HvpMode::Exact);
+        if batched {
+            // Batched arm: same math as the sequential loop below, with the
+            // per-follower backward passes fused into multi-seed scans and the
+            // per-follower CG solves run in lockstep. Every per-follower value
+            // (gradient, solve iterates, SolveOutcome, correction) is bitwise
+            // identical to the sequential arm; only the order *between*
+            // followers of the phases changes, so exclusion diagnostics may
+            // interleave differently when several followers fail in the same
+            // round for different-phase reasons.
 
-            // Right-hand side ∂L^p/∂X^qᵢ of the implicit solve.
-            let mut rhs = gp_all[1 + i].value();
-            if faultline::armed() {
-                let mut v = rhs.to_vec();
-                faultline::corrupt_slice("mso.follower.rhs", &mut v);
-                rhs = Tensor::from_vec(v, rhs.shape());
-            }
-            if !rhs.all_finite() {
-                exclude(&mut diag, i, "non-finite right-hand side ∂L^p/∂X^q".to_string());
-                continue;
-            }
-            if rhs.norm() < 1e-12 {
-                continue; // the leader loss does not see this follower: no correction
+            // Phase 1: all follower gradients ∂L^qᵢ/∂X^qᵢ in one reverse
+            // scan over the shared tape (the PDS build is walked once, not
+            // once per follower).
+            let gq_all = tape.grad_vars_multi(&built.lqs, &built.xqs);
+            let gqs: Vec<Var<'_>> = gq_all.iter().enumerate().map(|(i, row)| row[i]).collect();
+
+            // Phase 2: screening, in follower order — identical exclusion
+            // reasons and fault-injection occurrence sequence as sequential.
+            let mut solvable: Vec<usize> = Vec::new();
+            let mut rhss: Vec<Vec<f64>> = Vec::new();
+            let mut shapes: Vec<Vec<usize>> = Vec::new();
+            for i in 0..built.xqs.len() {
+                let gq_val = gqs[i].value();
+                if !gq_val.all_finite() {
+                    exclude(&mut diag, i, "non-finite follower gradient ∂L^q/∂X^q".to_string());
+                    follower_grads.push(None);
+                    continue;
+                }
+                follower_gnorm += gq_val.norm();
+                follower_grads.push(Some(gq_val));
+
+                let mut rhs = gp_all[1 + i].value();
+                if faultline::armed() {
+                    let mut v = rhs.to_vec();
+                    faultline::corrupt_slice("mso.follower.rhs", &mut v);
+                    rhs = Tensor::from_vec(v, rhs.shape());
+                }
+                if !rhs.all_finite() {
+                    exclude(&mut diag, i, "non-finite right-hand side ∂L^p/∂X^q".to_string());
+                    continue;
+                }
+                if rhs.norm() < 1e-12 {
+                    continue; // the leader loss does not see this follower
+                }
+                solvable.push(i);
+                shapes.push(rhs.shape().to_vec());
+                rhss.push(rhs.to_vec());
             }
 
-            // Solve ξ·∂²L^q/∂X^q² = ∂L^p/∂X^q matrix-free (Alg. 1 step 9).
-            let sol = match cfg.hvp_mode {
-                HvpMode::Exact => conjugate_gradient(
-                    |v| {
-                        let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
-                        let vc = tape.constant(v_t);
-                        let gv = gq.mul(vc).sum();
-                        tape.grad(gv, &[xq_leaf]).remove(0).to_vec()
+            // Phase 3: one lockstep multi-RHS solve. Each iteration fuses the
+            // HVPs of every still-active follower into one multi-seed
+            // backward pass instead of one tape walk per follower.
+            let sols = if rhss.is_empty() {
+                Vec::new()
+            } else {
+                conjugate_gradient_multi(
+                    |dirs| {
+                        let mut gvs = Vec::with_capacity(dirs.len());
+                        let mut wrts = Vec::with_capacity(dirs.len());
+                        for &(s, v) in dirs {
+                            let i = solvable[s];
+                            let vc = tape.constant(Tensor::from_vec(v.to_vec(), &shapes[s]));
+                            gvs.push(gqs[i].mul(vc).sum());
+                            wrts.push(built.xqs[i]);
+                        }
+                        let grads = tape.grad_vars_multi(&gvs, &wrts);
+                        grads
+                            .into_iter()
+                            .enumerate()
+                            .map(|(j, row)| row[j].value().to_vec())
+                            .collect()
                     },
-                    rhs.data(),
+                    &rhss,
                     cfg.cg_iters,
                     cfg.cg_tol,
                     cfg.cg_damping,
-                ),
-                HvpMode::FiniteDiff => {
-                    let eval_grad = |xq_pert: &Tensor| -> Tensor {
-                        let t2 = Tape::new();
-                        let mut xqs2 = xqs.clone();
-                        xqs2[i] = xq_pert.clone();
-                        let b2 = game.build(&t2, &xp, &xqs2);
-                        t2.grad(b2.lqs[i], &[b2.xqs[i]]).remove(0)
-                    };
-                    conjugate_gradient(
+                )
+            };
+
+            // Phase 4: corrections ξᵢ·∂²L^qᵢ/∂X^p∂X^qᵢ, batched into one
+            // multi-seed backward, then subtracted in follower order.
+            let mut gxis: Vec<Var<'_>> = Vec::new();
+            let mut gxi_followers: Vec<usize> = Vec::new();
+            for (s, sol) in sols.into_iter().enumerate() {
+                let i = solvable[s];
+                cg_spent += sol.iterations;
+                if !sol.usable() {
+                    exclude(
+                        &mut diag,
+                        i,
+                        format!(
+                            "unusable CG solve ({:?} after {} retries)",
+                            sol.status, sol.retries
+                        ),
+                    );
+                    continue;
+                }
+                let xi = tape.constant(Tensor::from_vec(sol.x, &shapes[s]));
+                gxis.push(gqs[i].mul(xi).sum());
+                gxi_followers.push(i);
+            }
+            if !gxis.is_empty() {
+                let corrections = tape.grad_vars_multi(&gxis, &[built.xp]);
+                for (row, &i) in corrections.iter().zip(&gxi_followers) {
+                    let correction = row[0].value();
+                    if !correction.all_finite() {
+                        exclude(&mut diag, i, "non-finite mixed-Hessian correction".to_string());
+                        continue;
+                    }
+                    total = total.zip(&correction, |t, c| t - c);
+                }
+            }
+        } else {
+            for (i, (&xq_leaf, &lq)) in built.xqs.iter().zip(built.lqs.iter()).enumerate() {
+                // Follower's own update direction (eq. 9), kept on the tape so it
+                // can be differentiated again for the second-order terms.
+                let gq = tape.grad_vars(lq, &[xq_leaf])[0];
+                let gq_val = gq.value();
+                if !gq_val.all_finite() {
+                    // A diverged follower must not poison the round: freeze its
+                    // decision vector and drop its correction, with a diagnostic.
+                    exclude(&mut diag, i, "non-finite follower gradient ∂L^q/∂X^q".to_string());
+                    follower_grads.push(None);
+                    continue;
+                }
+                follower_gnorm += gq_val.norm();
+                follower_grads.push(Some(gq_val));
+
+                // Right-hand side ∂L^p/∂X^qᵢ of the implicit solve.
+                let mut rhs = gp_all[1 + i].value();
+                if faultline::armed() {
+                    let mut v = rhs.to_vec();
+                    faultline::corrupt_slice("mso.follower.rhs", &mut v);
+                    rhs = Tensor::from_vec(v, rhs.shape());
+                }
+                if !rhs.all_finite() {
+                    exclude(&mut diag, i, "non-finite right-hand side ∂L^p/∂X^q".to_string());
+                    continue;
+                }
+                if rhs.norm() < 1e-12 {
+                    continue; // the leader loss does not see this follower: no correction
+                }
+
+                // Solve ξ·∂²L^q/∂X^q² = ∂L^p/∂X^q matrix-free (Alg. 1 step 9).
+                let sol = match cfg.hvp_mode {
+                    HvpMode::Exact => conjugate_gradient(
                         |v| {
                             let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
-                            msopds_autograd::hvp::hvp_finite_diff(eval_grad, &xqs[i], &v_t).to_vec()
+                            let vc = tape.constant(v_t);
+                            let gv = gq.mul(vc).sum();
+                            tape.grad(gv, &[xq_leaf]).remove(0).to_vec()
                         },
                         rhs.data(),
                         cfg.cg_iters,
                         cfg.cg_tol,
                         cfg.cg_damping,
-                    )
+                    ),
+                    HvpMode::FiniteDiff => {
+                        let eval_grad = |xq_pert: &Tensor| -> Tensor {
+                            let t2 = Tape::new();
+                            let mut xqs2 = xqs.clone();
+                            xqs2[i] = xq_pert.clone();
+                            let b2 = game.build(&t2, &xp, &xqs2);
+                            t2.grad(b2.lqs[i], &[b2.xqs[i]]).remove(0)
+                        };
+                        conjugate_gradient(
+                            |v| {
+                                let v_t = Tensor::from_vec(v.to_vec(), rhs.shape());
+                                msopds_autograd::hvp::hvp_finite_diff(eval_grad, &xqs[i], &v_t)
+                                    .to_vec()
+                            },
+                            rhs.data(),
+                            cfg.cg_iters,
+                            cfg.cg_tol,
+                            cfg.cg_damping,
+                        )
+                    }
+                };
+                cg_spent += sol.iterations;
+                if !sol.usable() {
+                    // CG classified the solve as pathological (NaN operator,
+                    // divergence) even after damped retries: drop the correction
+                    // for this follower rather than subtracting garbage.
+                    exclude(
+                        &mut diag,
+                        i,
+                        format!(
+                            "unusable CG solve ({:?} after {} retries)",
+                            sol.status, sol.retries
+                        ),
+                    );
+                    continue;
                 }
-            };
-            cg_spent += sol.iterations;
-            if !sol.usable() {
-                // CG classified the solve as pathological (NaN operator,
-                // divergence) even after damped retries: drop the correction
-                // for this follower rather than subtracting garbage.
-                exclude(
-                    &mut diag,
-                    i,
-                    format!("unusable CG solve ({:?} after {} retries)", sol.status, sol.retries),
-                );
-                continue;
-            }
 
-            // Correction ξ·∂²L^qᵢ/∂X^p∂X^qᵢ via one more backward pass
-            // (Alg. 1 step 10): differentiate ⟨∂L^q/∂X^q, ξ⟩ w.r.t. X^p.
-            let xi = tape.constant(Tensor::from_vec(sol.x, rhs.shape()));
-            let gxi = gq.mul(xi).sum();
-            let correction = tape.grad(gxi, &[built.xp]).remove(0);
-            if !correction.all_finite() {
-                exclude(&mut diag, i, "non-finite mixed-Hessian correction".to_string());
-                continue;
+                // Correction ξ·∂²L^qᵢ/∂X^p∂X^qᵢ via one more backward pass
+                // (Alg. 1 step 10): differentiate ⟨∂L^q/∂X^q, ξ⟩ w.r.t. X^p.
+                let xi = tape.constant(Tensor::from_vec(sol.x, rhs.shape()));
+                let gxi = gq.mul(xi).sum();
+                let correction = tape.grad(gxi, &[built.xp]).remove(0);
+                if !correction.all_finite() {
+                    exclude(&mut diag, i, "non-finite mixed-Hessian correction".to_string());
+                    continue;
+                }
+                total = total.zip(&correction, |t, c| t - c);
             }
-            total = total.zip(&correction, |t, c| t - c);
         }
 
         diag.leader_grad_norm.push(total.norm());
@@ -465,5 +594,110 @@ mod tests {
         // Same algebra as the single-follower case with c_eff = 2c.
         let xp_star = game.a / (1.0 + 2.0 * game.c * game.d);
         assert!((run.xp.item() - xp_star).abs() < 2e-3, "got {}", run.xp.item());
+    }
+
+    // ---- batched multi-RHS solves (ISSUE 6): bitwise parity ----
+
+    /// Cross-coupled two-follower game: each follower's loss also touches the
+    /// *other* follower's variable, so the batched multi-seed backward must
+    /// keep the adjoint streams strictly separate (a summed-loss shortcut
+    /// would leak cross-Hessian terms here).
+    struct Coupled;
+    impl StackelbergGame for Coupled {
+        fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+            let xpv = tape.leaf(xp.clone());
+            let q1 = tape.leaf(xqs[0].clone());
+            let q2 = tape.leaf(xqs[1].clone());
+            let lp =
+                xpv.add_scalar(-2.0).square().add(xpv.mul(q1.add(q2.scale(2.0))).scale(0.3)).sum();
+            let lq1 = q1.sub(xpv.scale(0.7)).square().add(q1.mul(q2).square().scale(0.2)).sum();
+            let lq2 = q2.sub(xpv.scale(0.5)).square().add(q2.mul(q1).scale(0.1)).sum();
+            BuiltGame { xp: xpv, xqs: vec![q1, q2], lp, lqs: vec![lq1, lq2] }
+        }
+    }
+
+    fn assert_runs_bitwise_eq(batched: &MsoRun, sequential: &MsoRun) {
+        let bits = |t: &Tensor| t.to_vec().iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&batched.xp), bits(&sequential.xp), "leader decision");
+        for (i, (b, s)) in batched.xqs.iter().zip(sequential.xqs.iter()).enumerate() {
+            assert_eq!(bits(b), bits(s), "follower {i} decision");
+        }
+        let (db, ds) = (&batched.diagnostics, &sequential.diagnostics);
+        let fbits = |xs: &[f64]| xs.iter().map(|v| v.to_bits()).collect::<Vec<_>>();
+        assert_eq!(fbits(&db.leader_loss), fbits(&ds.leader_loss), "leader loss");
+        assert_eq!(db.follower_loss, ds.follower_loss, "follower losses");
+        assert_eq!(fbits(&db.leader_grad_norm), fbits(&ds.leader_grad_norm), "‖dLp/dXp‖");
+        assert_eq!(fbits(&db.follower_grad_norm), fbits(&ds.follower_grad_norm), "‖gq‖");
+        assert_eq!(db.cg_iterations, ds.cg_iterations, "CG iterations per round");
+        assert_eq!(db.exclusions.len(), ds.exclusions.len(), "exclusion count");
+        assert_eq!(db.leader_skips, ds.leader_skips, "leader skips");
+    }
+
+    #[test]
+    fn batched_solves_bitwise_match_sequential_cross_coupled() {
+        let seq_cfg = MsoConfig {
+            eta_p: 0.03,
+            eta_q: 0.3,
+            iters: 30,
+            batch_solves: false,
+            ..Default::default()
+        };
+        let bat_cfg = MsoConfig { batch_solves: true, ..seq_cfg };
+        let x0 = Tensor::scalar(0.1);
+        let q0 = vec![Tensor::scalar(0.2), Tensor::scalar(-0.1)];
+        let sequential = mso_optimize(&Coupled, x0.clone(), q0.clone(), &seq_cfg);
+        let batched = mso_optimize(&Coupled, x0, q0, &bat_cfg);
+        assert_runs_bitwise_eq(&batched, &sequential);
+        assert!(batched.xp.item().is_finite());
+    }
+
+    #[test]
+    fn batched_solves_bitwise_match_sequential_with_exclusions() {
+        // One healthy follower plus one whose gradient is non-finite from the
+        // start: the batched screening must drop the same follower with the
+        // same reason and still match the healthy follower's solve bitwise.
+        struct HalfBad;
+        impl StackelbergGame for HalfBad {
+            fn build<'t>(&self, tape: &'t Tape, xp: &Tensor, xqs: &[Tensor]) -> BuiltGame<'t> {
+                let xpv = tape.leaf(xp.clone());
+                let q1 = tape.leaf(xqs[0].clone());
+                let q2 = tape.leaf(xqs[1].clone());
+                let lp = xpv.add_scalar(-1.0).square().add(xpv.mul(q1.add(q2)).scale(0.1)).sum();
+                let lq1 = q1.sub(xpv.scale(0.5)).square().sum();
+                let lq2 = q2.ln().sum(); // gradient 1/x_q2 = ∞ at x_q2 = 0
+                BuiltGame { xp: xpv, xqs: vec![q1, q2], lp, lqs: vec![lq1, lq2] }
+            }
+        }
+        let seq_cfg = MsoConfig {
+            eta_p: 0.05,
+            eta_q: 0.4,
+            iters: 8,
+            batch_solves: false,
+            ..Default::default()
+        };
+        let bat_cfg = MsoConfig { batch_solves: true, ..seq_cfg };
+        let q0 = vec![Tensor::scalar(0.0), Tensor::scalar(0.0)];
+        let sequential = mso_optimize(&HalfBad, Tensor::scalar(0.0), q0.clone(), &seq_cfg);
+        let batched = mso_optimize(&HalfBad, Tensor::scalar(0.0), q0, &bat_cfg);
+        assert_runs_bitwise_eq(&batched, &sequential);
+        assert_eq!(batched.diagnostics.exclusions.len(), 8);
+        assert!(batched.diagnostics.exclusions[0].reason.contains("non-finite follower gradient"));
+        assert_eq!(batched.xqs[1].item(), 0.0, "excluded follower stays frozen");
+    }
+
+    #[test]
+    fn batched_is_default_and_matches_two_follower_equilibrium() {
+        // The default config batches; the analytic TwoFollower equilibrium
+        // must still be reached (same check as the sequential test above).
+        let cfg = MsoConfig { eta_p: 0.04, eta_q: 0.4, iters: 500, ..Default::default() };
+        assert!(cfg.batch_solves, "batching is opt-out");
+        let run = mso_optimize(
+            &Coupled,
+            Tensor::scalar(0.0),
+            vec![Tensor::scalar(0.0), Tensor::scalar(0.0)],
+            &cfg,
+        );
+        assert!(run.xp.item().is_finite());
+        assert!(run.diagnostics.leader_grad_norm.last().unwrap().is_finite());
     }
 }

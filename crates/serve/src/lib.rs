@@ -7,13 +7,21 @@
 //!
 //! ## Fidelity contract
 //!
-//! Served scores are **bit-identical** to what the in-process model would
-//! predict: [`ServingModel::score_batch`] reproduces the exact
-//! floating-point association order of `HetRec::predict` / `MF::predict`
+//! On the default [`ScorePrecision::Exact64`] path, served scores are
+//! **bit-identical** to what the in-process model would predict:
+//! [`ServingModel::score_batch`] reproduces the exact floating-point
+//! association order of `HetRec::predict` / `MF::predict`
 //! (`((μ + b_u) + b_i) + Σ_k u_k·i_k`, with the dot product accumulated in
 //! `k` order by the pooled matmul kernel). That makes a snapshot + serve
 //! round trip a *regression fixture*: any drift between served lists and
 //! in-process evaluation is a bug, not noise.
+//!
+//! The opt-in [`ScorePrecision::Fast32`] path trades that bit fidelity for
+//! throughput: the same association order evaluated in `f32` by a
+//! lane-unrolled panel kernel, tolerance-bounded against the exact path
+//! (≤ 1e-4 on the golden worlds) rather than bit-equal. It never runs
+//! unless explicitly selected per engine/batch, and cache entries are keyed
+//! on `(user, precision)` so the two paths cannot contaminate each other.
 //!
 //! ## Determinism contract
 //!
@@ -40,6 +48,6 @@ mod model;
 
 pub use engine::{ServeConfig, ServeEngine, ServeStats, ServeSummary};
 pub use lru::LruCache;
-pub use model::{ScoredItem, ServingModel};
+pub use model::{ScorePrecision, ScoredItem, ServingModel};
 
 pub use msopds_recsys::snapshot::{Snapshot, SnapshotError};

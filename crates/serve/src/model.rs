@@ -1,6 +1,7 @@
 //! The immutable serving model and its batched scoring kernels.
 
 use std::path::Path;
+use std::sync::{Arc, OnceLock};
 
 use msopds_autograd::{pool, Tensor};
 use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotError};
@@ -10,6 +11,72 @@ use msopds_recsys::Backend;
 /// few hundred items of f64 scores stay within L2 even on small cores,
 /// which is what lets huge batches keep the per-user cost of medium ones.
 const SCORE_BLOCK: usize = 64;
+
+/// Lane width of the f32 fast-path kernel: item embeddings are packed into
+/// panels of 8 items so the inner loop reads one contiguous 8-wide block per
+/// embedding component (8 × f32 = one 256-bit vector register).
+const F32_LANES: usize = 8;
+
+/// Which scoring kernel a serving call runs.
+///
+/// [`Exact64`](ScorePrecision::Exact64) is the default and the only path the
+/// golden traces exercise: every score is bit-identical to
+/// [`ServingModel::predict`] and therefore to training. [`Fast32`]
+/// (ScorePrecision::Fast32) is the opt-in throughput path: scores are
+/// computed in `f32` with the **same association order** as the exact kernel
+/// (`((μ + b_u) + b_i) + Σₖ uₖ·qₖ`, the dot product accumulated in `k`
+/// order), so the only deviation is rounding — bounded by the tolerance
+/// trace tests at 1e-4 on the golden worlds. Top-K *sets* may differ from
+/// exact only where neighboring scores are closer than that rounding.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum ScorePrecision {
+    /// Bit-exact `f64` scoring (the training association order).
+    #[default]
+    Exact64,
+    /// Lane-unrolled `f32` scoring; tolerance-bounded, roughly 2× throughput.
+    Fast32,
+}
+
+impl ScorePrecision {
+    /// Canonical lowercase name (`exact64` | `fast32`).
+    pub fn as_str(&self) -> &'static str {
+        match self {
+            ScorePrecision::Exact64 => "exact64",
+            ScorePrecision::Fast32 => "fast32",
+        }
+    }
+
+    /// The precision named by the `MSOPDS_PRECISION` environment variable,
+    /// or `Exact64` when unset.
+    ///
+    /// # Panics
+    /// Panics on an unrecognized value — a misspelled precision must not
+    /// silently serve different numbers.
+    pub fn from_env() -> Self {
+        match std::env::var("MSOPDS_PRECISION") {
+            Ok(s) => s.parse().unwrap_or_else(|e: String| panic!("MSOPDS_PRECISION: {e}")),
+            Err(_) => ScorePrecision::Exact64,
+        }
+    }
+}
+
+impl std::str::FromStr for ScorePrecision {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "exact64" | "exact" | "f64" => Ok(ScorePrecision::Exact64),
+            "fast32" | "fast" | "f32" => Ok(ScorePrecision::Fast32),
+            other => Err(format!("unknown precision {other:?} (expected exact64|fast32)")),
+        }
+    }
+}
+
+impl std::fmt::Display for ScorePrecision {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
 
 /// One entry of a top-K answer.
 #[derive(Clone, Copy, Debug, PartialEq)]
@@ -41,6 +108,94 @@ pub struct ServingModel {
     item_f: Tensor,
     /// `item_f` transposed once at load time: `[d, n_items]`.
     item_t: Tensor,
+    /// Lazily-built f32 fast-path tables (shared across clones; built on the
+    /// first [`ScorePrecision::Fast32`] call and never on the exact path).
+    fast: Arc<OnceLock<FastPath>>,
+}
+
+/// The precomputed `f32` tables of the fast scoring kernel.
+///
+/// Item embeddings are packed into ⌈m/8⌉ *panels*: panel `p` holds items
+/// `8p..8p+8` interleaved by component, entry `(p·d + k)·8 + j` being
+/// component `k` of item `8p + j` (tail items zero-padded). One panel's
+/// scoring pass reads `d` contiguous 8-lane blocks — unit-stride streams the
+/// autovectorizer turns into one fused multiply-add per block — instead of 8
+/// strided item rows.
+struct FastPath {
+    mu: f32,
+    b_u: Vec<f32>,
+    b_i: Vec<f32>,
+    /// User embeddings, row-major `[n_users, d]`.
+    user_f: Vec<f32>,
+    /// Panel-packed item embeddings, `⌈m/8⌉ · d · 8` entries.
+    item_panels: Vec<f32>,
+    d: usize,
+    m: usize,
+}
+
+impl std::fmt::Debug for FastPath {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FastPath")
+            .field("users", &self.b_u.len())
+            .field("items", &self.m)
+            .field("dim", &self.d)
+            .finish()
+    }
+}
+
+impl FastPath {
+    fn build(model: &ServingModel) -> Self {
+        let (d, m) = (model.dim(), model.n_items());
+        let item = model.item_f.data();
+        let n_panels = m.div_ceil(F32_LANES);
+        let mut item_panels = vec![0.0f32; n_panels * d * F32_LANES];
+        for p in 0..n_panels {
+            for k in 0..d {
+                for j in 0..F32_LANES {
+                    let i = p * F32_LANES + j;
+                    if i < m {
+                        item_panels[(p * d + k) * F32_LANES + j] = item[i * d + k] as f32;
+                    }
+                }
+            }
+        }
+        Self {
+            mu: model.mu as f32,
+            b_u: model.b_u.data().iter().map(|&v| v as f32).collect(),
+            b_i: model.b_i.data().iter().map(|&v| v as f32).collect(),
+            user_f: model.user_f.data().iter().map(|&v| v as f32).collect(),
+            item_panels,
+            d,
+            m,
+        }
+    }
+
+    /// Scores every item for `user` into `out` (length `m`).
+    ///
+    /// Association order per item: `((μ + b_u) + b_i) + Σₖ uₖ·qₖ` with the
+    /// dot product accumulated strictly in `k` order — the exact kernel's
+    /// order, in `f32`. The 8-wide unroll runs *across items* (8 independent
+    /// accumulators), never inside one dot product, so the order is
+    /// deterministic and documented rather than lane-count-dependent.
+    fn score_into(&self, user: usize, out: &mut [f32]) {
+        let (d, m) = (self.d, self.m);
+        debug_assert_eq!(out.len(), m);
+        let u = &self.user_f[user * d..(user + 1) * d];
+        let base = self.mu + self.b_u[user];
+        for (p, panel) in self.item_panels.chunks_exact(d * F32_LANES).enumerate() {
+            let mut acc = [0.0f32; F32_LANES];
+            for (k, lane) in panel.chunks_exact(F32_LANES).enumerate() {
+                let uk = u[k];
+                for j in 0..F32_LANES {
+                    acc[j] += uk * lane[j];
+                }
+            }
+            let i0 = p * F32_LANES;
+            for (j, &a) in acc.iter().take(m - i0).enumerate() {
+                out[i0 + j] = (base + self.b_i[i0 + j]) + a;
+            }
+        }
+    }
 }
 
 impl ServingModel {
@@ -93,6 +248,7 @@ impl ServingModel {
             user_f,
             item_f,
             item_t,
+            fast: Arc::new(OnceLock::new()),
         })
     }
 
@@ -197,6 +353,35 @@ impl ServingModel {
     /// # Panics
     /// Panics if any user id is out of range.
     pub fn top_k_batch(&self, users: &[usize], k: usize) -> Vec<Vec<ScoredItem>> {
+        self.top_k_batch_with(users, k, ScorePrecision::Exact64)
+    }
+
+    /// [`ServingModel::top_k_batch`] with an explicit scoring kernel.
+    ///
+    /// [`ScorePrecision::Exact64`] runs the bit-exact blocked path;
+    /// [`ScorePrecision::Fast32`] scores in `f32` (see [`ScorePrecision`] for
+    /// the fidelity contract) and upcasts the surviving k scores, so returned
+    /// `score` fields are exactly the f32 kernel's values.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn top_k_batch_with(
+        &self,
+        users: &[usize],
+        k: usize,
+        precision: ScorePrecision,
+    ) -> Vec<Vec<ScoredItem>> {
+        match precision {
+            ScorePrecision::Exact64 => self.top_k_batch_exact(users, k),
+            ScorePrecision::Fast32 => self.top_k_batch_fast(users, k),
+        }
+    }
+
+    /// The exact blocked path: blocks of [`SCORE_BLOCK`] rows keep the f64
+    /// score matrix cache-resident; each block's bias combine + selection is
+    /// row-partitioned across the worker pool (disjoint rows, so parallel
+    /// answers are identical to sequential ones).
+    fn top_k_batch_exact(&self, users: &[usize], k: usize) -> Vec<Vec<ScoredItem>> {
         let m = self.n_items();
         let bi = self.b_i.data();
         let mut out = Vec::with_capacity(users.len());
@@ -204,8 +389,8 @@ impl ServingModel {
             let rows = self.user_f.gather_rows(block);
             let dots = rows.matmul(&self.item_t);
             let dot_data = dots.data();
-            let slots: Vec<std::sync::OnceLock<Vec<ScoredItem>>> =
-                (0..block.len()).map(|_| std::sync::OnceLock::new()).collect();
+            let slots: Vec<OnceLock<Vec<ScoredItem>>> =
+                (0..block.len()).map(|_| OnceLock::new()).collect();
             let chunk = block.len().div_ceil(pool::lanes()).max(1);
             pool::for_each_range(block.len(), chunk, |start, end| {
                 let mut scratch = vec![0.0f64; m];
@@ -222,6 +407,62 @@ impl ServingModel {
         }
         out
     }
+
+    /// The f32 fast path: the panel-packed kernel scores whole rows, and the
+    /// bounded-heap selection runs on the f32 scores upcast one at a time —
+    /// no f64 score matrix is ever materialized.
+    fn top_k_batch_fast(&self, users: &[usize], k: usize) -> Vec<Vec<ScoredItem>> {
+        let m = self.n_items();
+        for &u in users {
+            assert!(u < self.n_users(), "user id {u} out of range");
+        }
+        let fast = self.fast();
+        let slots: Vec<OnceLock<Vec<ScoredItem>>> =
+            (0..users.len()).map(|_| OnceLock::new()).collect();
+        let chunk = users.len().div_ceil(pool::lanes()).max(1);
+        pool::for_each_range(users.len(), chunk, |start, end| {
+            let mut scratch = vec![0.0f32; m];
+            for r in start..end {
+                fast.score_into(users[r], &mut scratch);
+                let _ = slots[r].set(top_k_scores(scratch.iter().map(|&s| s as f64), k.min(m)));
+            }
+        });
+        slots.into_iter().map(|s| s.into_inner().expect("every row computed")).collect()
+    }
+
+    /// Scores every item for a batch of users in `f32`: returns a row-major
+    /// `[batch, n_items]` buffer from the panel-packed fast kernel. This is
+    /// the raw-score counterpart of [`ServingModel::score_batch`] for
+    /// [`ScorePrecision::Fast32`] consumers and benchmarks.
+    ///
+    /// # Panics
+    /// Panics if any user id is out of range.
+    pub fn score_batch_f32(&self, users: &[usize]) -> Vec<f32> {
+        let m = self.n_items();
+        for &u in users {
+            assert!(u < self.n_users(), "user id {u} out of range");
+        }
+        let fast = self.fast();
+        let slots: Vec<OnceLock<Vec<f32>>> = (0..users.len()).map(|_| OnceLock::new()).collect();
+        let chunk = users.len().div_ceil(pool::lanes()).max(1);
+        pool::for_each_range(users.len(), chunk, |start, end| {
+            for r in start..end {
+                let mut row = vec![0.0f32; m];
+                fast.score_into(users[r], &mut row);
+                let _ = slots[r].set(row);
+            }
+        });
+        let mut out = Vec::with_capacity(users.len() * m);
+        for s in slots {
+            out.extend(s.into_inner().expect("every row computed"));
+        }
+        out
+    }
+
+    /// The lazily-built f32 tables (one build per model, shared by clones).
+    fn fast(&self) -> &FastPath {
+        self.fast.get_or_init(|| FastPath::build(self))
+    }
 }
 
 /// The serving total order: score descending, then item id ascending.
@@ -229,38 +470,163 @@ fn rank(a: &ScoredItem, b: &ScoredItem) -> std::cmp::Ordering {
     b.score.total_cmp(&a.score).then(a.item.cmp(&b.item))
 }
 
-/// Selects the top `k` of one score row under [`rank`] with a bounded
-/// insertion buffer — the only allocation is the returned vector, so a
-/// blocked batch scan stays allocator-quiet. Most of the `m` candidates
-/// fail the "beats the current k-th" check and cost one comparison.
+/// Selects the top `k` of one score row under [`rank`]; shared by the exact
+/// and fast paths via [`top_k_scores`], so both produce the same total-order
+/// selection for the same scores.
 fn top_k_row(row: &[f64], k: usize) -> Vec<ScoredItem> {
-    let k = k.min(row.len());
+    top_k_scores(row.iter().copied(), k.min(row.len()))
+}
+
+/// Partial selection of the top `k` scores under [`rank`], streaming over
+/// the candidates with a bounded worst-at-root heap — the only allocation is
+/// the returned vector, so a blocked batch scan stays allocator-quiet.
+///
+/// Most of the `m` candidates fail the "beats the current k-th" check and
+/// cost one comparison; a survivor replaces the root and sifts down in
+/// O(log k) instead of the old insertion buffer's O(k) shift. Since [`rank`]
+/// is a strict total order (item ids are distinct), the selected set and its
+/// final sorted order are independent of the data structure, so swapping the
+/// buffer for a heap changed no output — golden traces included.
+fn top_k_scores(scores: impl Iterator<Item = f64>, k: usize) -> Vec<ScoredItem> {
     if k == 0 {
         return Vec::new();
     }
-    let mut top: Vec<ScoredItem> = Vec::with_capacity(k + 1);
-    for (i, &s) in row.iter().enumerate() {
+    let mut top: Vec<ScoredItem> = Vec::with_capacity(k);
+    for (i, s) in scores.enumerate() {
         let cand = ScoredItem { item: i as u32, score: s };
-        if top.len() == k {
-            let worst = top.last().expect("non-empty");
-            // Plain `<` rejects almost every candidate in one comparison;
-            // ties, ±0.0 and NaN fall through to the full total order.
-            if s < worst.score || rank(&cand, worst).is_ge() {
-                continue;
+        if top.len() < k {
+            top.push(cand);
+            if top.len() == k {
+                // Heapify once the buffer is full: worst element to the root.
+                for n in (0..k / 2).rev() {
+                    sift_down(&mut top, n);
+                }
             }
+            continue;
         }
-        let pos = top.partition_point(|held| rank(held, &cand).is_lt());
-        top.insert(pos, cand);
-        if top.len() > k {
-            top.pop();
+        let worst = &top[0];
+        // Plain `<` rejects almost every candidate in one comparison;
+        // ties, ±0.0 and NaN fall through to the full total order.
+        if s < worst.score || rank(&cand, worst).is_ge() {
+            continue;
         }
+        top[0] = cand;
+        sift_down(&mut top, 0);
     }
+    top.sort_unstable_by(rank);
     top
+}
+
+/// Restores the worst-at-root heap property from node `n` downward: every
+/// parent must rank no *better* than its children, so the root is always the
+/// current k-th (worst kept) entry and eviction is a root replacement.
+fn sift_down(heap: &mut [ScoredItem], mut n: usize) {
+    loop {
+        let (l, r) = (2 * n + 1, 2 * n + 2);
+        let mut worst = n;
+        if l < heap.len() && rank(&heap[l], &heap[worst]).is_gt() {
+            worst = l;
+        }
+        if r < heap.len() && rank(&heap[r], &heap[worst]).is_gt() {
+            worst = r;
+        }
+        if worst == n {
+            return;
+        }
+        heap.swap(n, worst);
+        n = worst;
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use msopds_recsys::snapshot::SnapshotHeader;
+
+    /// An in-memory Mf snapshot with pseudo-random (LCG) embeddings so the
+    /// f32 kernel sees non-trivial rounding; `n_items` is deliberately not a
+    /// multiple of [`F32_LANES`] so every panel-tail branch runs.
+    fn lcg_model(n_users: usize, n_items: usize, d: usize) -> ServingModel {
+        let mut state = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5
+        };
+        let fill = |n: usize, next: &mut dyn FnMut() -> f64| -> Vec<f64> {
+            (0..n).map(|_| next()).collect()
+        };
+        let snap = Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: 11,
+                social_fingerprint: 0,
+                item_fingerprint: 0,
+                n_users: n_users as u64,
+                n_items: n_items as u64,
+                mu: 3.2,
+            },
+            config_json: String::from("{}"),
+            tensors: vec![
+                (String::from("p"), Tensor::from_vec(fill(n_users * d, &mut next), &[n_users, d])),
+                (String::from("q"), Tensor::from_vec(fill(n_items * d, &mut next), &[n_items, d])),
+                (String::from("b_u"), Tensor::from_vec(fill(n_users, &mut next), &[n_users, 1])),
+                (String::from("b_i"), Tensor::from_vec(fill(n_items, &mut next), &[n_items, 1])),
+            ],
+        };
+        ServingModel::from_snapshot(&snap).expect("valid snapshot")
+    }
+
+    #[test]
+    fn fast32_scores_track_exact_within_tolerance() {
+        // 29 items: 3 full panels + a 5-item tail.
+        let model = lcg_model(7, 29, 16);
+        let users: Vec<usize> = (0..model.n_users()).collect();
+        let exact = model.score_batch(&users);
+        let fast = model.score_batch_f32(&users);
+        assert_eq!(fast.len(), users.len() * model.n_items());
+        for (e, f) in exact.data().iter().zip(&fast) {
+            assert!((e - *f as f64).abs() < 1e-4, "exact {e} vs fast {f}");
+        }
+    }
+
+    #[test]
+    fn fast32_top_k_matches_exact_on_separated_scores() {
+        let model = lcg_model(5, 23, 8);
+        let users = [0usize, 3, 4, 1];
+        let exact = model.top_k_batch_with(&users, 6, ScorePrecision::Exact64);
+        let fast = model.top_k_batch_with(&users, 6, ScorePrecision::Fast32);
+        assert_eq!(exact, model.top_k_batch(&users, 6));
+        for (erow, frow) in exact.iter().zip(&fast) {
+            assert_eq!(erow.len(), frow.len());
+            for (e, f) in erow.iter().zip(frow) {
+                // With random embeddings neighboring scores are far apart
+                // relative to f32 rounding, so the item *sets and order*
+                // agree; only the score bits differ.
+                assert_eq!(e.item, f.item);
+                assert!((e.score - f.score).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn fast32_top_k_handles_k_edge_cases() {
+        let model = lcg_model(3, 10, 4);
+        assert!(model.top_k_batch_with(&[1], 0, ScorePrecision::Fast32)[0].is_empty());
+        let all = model.top_k_batch_with(&[1], 50, ScorePrecision::Fast32);
+        assert_eq!(all[0].len(), 10);
+    }
+
+    #[test]
+    fn precision_parses_and_round_trips() {
+        assert_eq!("exact64".parse::<ScorePrecision>().unwrap(), ScorePrecision::Exact64);
+        assert_eq!("f64".parse::<ScorePrecision>().unwrap(), ScorePrecision::Exact64);
+        assert_eq!("Fast32".parse::<ScorePrecision>().unwrap(), ScorePrecision::Fast32);
+        assert_eq!("f32".parse::<ScorePrecision>().unwrap(), ScorePrecision::Fast32);
+        assert!("quad".parse::<ScorePrecision>().is_err());
+        assert_eq!(ScorePrecision::Fast32.to_string(), "fast32");
+        assert_eq!(ScorePrecision::default(), ScorePrecision::Exact64);
+    }
 
     #[test]
     fn top_k_row_orders_and_breaks_ties_by_id() {

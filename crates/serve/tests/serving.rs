@@ -147,9 +147,14 @@ fn engine_caching_never_changes_answers() {
     let served = serving_model();
     let n = served.n_users();
     let users: Vec<usize> = (0..n).collect();
-    let mut cached =
-        ServeEngine::new(served.clone(), ServeConfig { top_k: 10, cache_capacity: 64 });
-    let mut uncached = ServeEngine::new(served, ServeConfig { top_k: 10, cache_capacity: 0 });
+    let mut cached = ServeEngine::new(
+        served.clone(),
+        ServeConfig { top_k: 10, cache_capacity: 64, ..ServeConfig::default() },
+    );
+    let mut uncached = ServeEngine::new(
+        served,
+        ServeConfig { top_k: 10, cache_capacity: 0, ..ServeConfig::default() },
+    );
     for round in 0..2 {
         let a = cached.serve_batch(&users);
         let b = uncached.serve_batch(&users);

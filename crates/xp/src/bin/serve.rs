@@ -1,7 +1,8 @@
 //! `serve` — answer batched top-K queries from a persisted model snapshot.
 //!
 //! Usage: `serve --snapshot FILE [--batch N] [--queries Q] [--top-k K]
-//! [--cache N] [--threads N] [--metrics-out FILE]`
+//! [--cache N] [--precision exact64|fast32] [--threads N]
+//! [--metrics-out FILE]`
 //!
 //! Loads the snapshot written by `repro --snapshot-out` into an immutable
 //! `ServingModel` (no retraining, no planners), then drives `Q` user queries
@@ -28,7 +29,7 @@ use std::path::PathBuf;
 use msopds_serve::{ServeConfig, ServeEngine, ServingModel};
 use msopds_xp::RuntimeConfig;
 
-const USAGE: &str = "usage: serve --snapshot FILE [--batch N] [--queries Q] [--top-k K] [--cache N] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
+const USAGE: &str = "usage: serve --snapshot FILE [--batch N] [--queries Q] [--top-k K] [--cache N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -106,7 +107,10 @@ fn main() {
     );
 
     let n_users = model.n_users();
-    let mut engine = ServeEngine::new(model, ServeConfig { top_k, cache_capacity: cache });
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig { top_k, cache_capacity: cache, precision: runtime.precision },
+    );
     // Deterministic pseudo-random query stream (Fibonacci hashing): covers
     // the whole user universe before repeating when Q ≥ n_users.
     let stream: Vec<usize> =
@@ -117,15 +121,23 @@ fn main() {
 
     let s = engine.summary();
     eprintln!(
-        "serve: {} queries in {} batches — {:.0} users/sec, p50 {} µs, p99 {} µs, {} cache hits / {} misses",
-        s.queries, s.batches, s.users_per_sec, s.p50_us, s.p99_us, s.cache_hits, s.cache_misses
+        "serve: {} queries in {} batches ({} scoring) — {:.0} users/sec, p50 {} µs, p99 {} µs, {} cache hits / {} misses",
+        s.queries,
+        s.batches,
+        runtime.precision,
+        s.users_per_sec,
+        s.p50_us,
+        s.p99_us,
+        s.cache_hits,
+        s.cache_misses
     );
     println!(
-        "{{\"queries\":{},\"batches\":{},\"batch\":{},\"top_k\":{},\"users_per_sec\":{:.1},\"mean_us\":{:.1},\"p50_us\":{},\"p99_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+        "{{\"queries\":{},\"batches\":{},\"batch\":{},\"top_k\":{},\"precision\":\"{}\",\"users_per_sec\":{:.1},\"mean_us\":{:.1},\"p50_us\":{},\"p99_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
         s.queries,
         s.batches,
         batch,
         top_k,
+        runtime.precision,
         s.users_per_sec,
         s.mean_us,
         s.p50_us,

@@ -11,6 +11,7 @@ use msopds_gameplay::GameConfig;
 use msopds_recdata::{DatasetSpec, DemographicsSpec};
 use msopds_recsys::pds::PdsConfig;
 use msopds_recsys::{Backend, HetRecConfig};
+use msopds_serve::ScorePrecision;
 use msopds_telemetry as telemetry;
 use serde::{Deserialize, Serialize};
 
@@ -185,6 +186,11 @@ pub struct RuntimeConfig {
     /// Train the clean victim and persist its model snapshot here (the
     /// `repro --snapshot-out` / `repro snapshot` read-path handoff).
     pub snapshot_out: Option<PathBuf>,
+    /// Scoring kernel of the serving read path (`--precision` /
+    /// `MSOPDS_PRECISION`): bit-exact f64 by default, opt-in f32 fast path.
+    /// Only the serving front ends consume this — planners and training are
+    /// always f64.
+    pub precision: ScorePrecision,
 }
 
 impl RuntimeConfig {
@@ -199,6 +205,7 @@ impl RuntimeConfig {
             resume: false,
             retries: crate::runner::DEFAULT_RETRIES,
             snapshot_out: None,
+            precision: ScorePrecision::from_env(),
         }
     }
 
@@ -250,6 +257,7 @@ pub struct RuntimeConfigBuilder {
     resume: bool,
     retries: usize,
     snapshot_out: Option<PathBuf>,
+    precision: ScorePrecision,
 }
 
 impl RuntimeConfigBuilder {
@@ -301,12 +309,18 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Overrides the serving scoring kernel.
+    pub fn precision(mut self, precision: ScorePrecision) -> Self {
+        self.precision = precision;
+        self
+    }
+
     /// Consumes the runtime flags from `args`, returning the remaining
     /// (experiment-specific) arguments in order.
     ///
     /// Recognized: `--threads N`, `--backend dense|sparse`,
     /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`,
-    /// `--snapshot-out FILE`.
+    /// `--snapshot-out FILE`, `--precision exact64|fast32`.
     /// Errors name the offending flag, for `exit(2)`-style usage reporting.
     pub fn parse_cli(mut self, args: &[String]) -> Result<(Self, Vec<String>), String> {
         let mut rest = Vec::new();
@@ -342,6 +356,11 @@ impl RuntimeConfigBuilder {
                         .parse()
                         .map_err(|_| "--retries takes an integer".to_string())?;
                 }
+                "--precision" => {
+                    self.precision = value(&mut i, "--precision")?
+                        .parse()
+                        .map_err(|e| format!("--precision: {e}"))?;
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -366,6 +385,7 @@ impl RuntimeConfigBuilder {
             resume: self.resume,
             retries: self.retries,
             snapshot_out: self.snapshot_out,
+            precision: self.precision,
         })
     }
 }
@@ -433,12 +453,15 @@ mod tests {
             "m.json",
             "--snapshot-out",
             "victim.snap",
+            "--precision",
+            "fast32",
         ])
         .unwrap();
         assert_eq!(rt.threads, 3);
         assert_eq!(rt.backend, Backend::Sparse);
         assert_eq!(rt.retries, 2);
         assert!(rt.resume);
+        assert_eq!(rt.precision, ScorePrecision::Fast32);
         assert_eq!(rt.snapshot_out.as_deref(), Some(std::path::Path::new("victim.snap")));
         assert_eq!(rt.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
         assert_eq!(rt.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
@@ -452,6 +475,17 @@ mod tests {
         assert!(cli(&["--threads"]).unwrap_err().contains("requires a value"));
         assert!(cli(&["--threads", "0"]).unwrap_err().contains("positive"));
         assert!(cli(&["--resume"]).unwrap_err().contains("--journal"));
+        assert!(cli(&["--precision", "f128"]).unwrap_err().contains("--precision"));
+        assert!(cli(&["--precision"]).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn runtime_precision_defaults_exact_and_parses() {
+        let rt = RuntimeConfig::builder().build().unwrap();
+        assert_eq!(rt.precision, ScorePrecision::Exact64);
+        let (rt, rest) = cli(&["--precision", "f32", "serve"]).unwrap();
+        assert_eq!(rt.precision, ScorePrecision::Fast32);
+        assert_eq!(rest, vec!["serve".to_string()]);
     }
 
     #[test]

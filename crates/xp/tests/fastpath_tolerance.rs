@@ -1,0 +1,104 @@
+//! Tolerance traces for the opt-in f32 fast path, on realistic golden
+//! worlds: the same quick-scale Ciao victim the golden-trace suites train,
+//! on both GraphOps backends.
+//!
+//! The exact path's bit-fidelity is pinned elsewhere (`snapshot_serve.rs`
+//! asserts served f64 scores equal in-process `predict` to the bit). This
+//! suite pins the *fast* path's contract instead:
+//!
+//! 1. every f32 score is within `1e-4` of its f64 counterpart, for every
+//!    user and item of the golden world;
+//! 2. the fast top-K is the exact top-K up to that rounding: the two item
+//!    sets may differ only in items whose exact score is within `1e-4` of
+//!    the exact k-th score (i.e. genuinely tied at fast-path resolution);
+//! 3. enabling the fast path changes nothing about the exact path — the
+//!    engine serves both from one model with per-precision cache entries.
+
+use msopds_recsys::Backend;
+use msopds_serve::{ScorePrecision, ServeConfig, ServeEngine, ServingModel};
+use msopds_xp::{train_clean_victim, DatasetKind, XpConfig};
+
+/// Fast-path score tolerance (also the bound DESIGN.md §13 documents).
+const TOL: f64 = 1e-4;
+
+fn golden_model(backend: Backend) -> ServingModel {
+    let cfg = XpConfig {
+        scale: 24.0,
+        seeds: vec![5],
+        datasets: vec![DatasetKind::Ciao],
+        backend,
+        ..XpConfig::quick()
+    };
+    let (data, victim) = train_clean_victim(&cfg);
+    ServingModel::from_snapshot(&victim.snapshot(&data)).expect("valid snapshot")
+}
+
+fn assert_fast_tracks_exact(model: &ServingModel, backend: Backend) {
+    let users: Vec<usize> = (0..model.n_users()).collect();
+    let m = model.n_items();
+
+    // (1) Per-score tolerance, every user × item.
+    let exact = model.score_batch(&users);
+    let exact = exact.data();
+    let fast = model.score_batch_f32(&users);
+    assert_eq!(fast.len(), exact.len());
+    let mut max_abs = 0.0f64;
+    for (idx, (&e, &f)) in exact.iter().zip(&fast).enumerate() {
+        let err = (e - f as f64).abs();
+        max_abs = max_abs.max(err);
+        assert!(err <= TOL, "{backend}: score {} drifted {err:.2e} (exact {e}, fast {f})", idx);
+    }
+    // The worlds are non-degenerate: the fast path really does round.
+    assert!(max_abs > 0.0, "{backend}: f32 path produced bit-identical scores — suspicious");
+
+    // (2) Top-K set equality modulo TOL-ties at the boundary.
+    let k = 10.min(m);
+    let exact_lists = model.top_k_batch_with(&users, k, ScorePrecision::Exact64);
+    let fast_lists = model.top_k_batch_with(&users, k, ScorePrecision::Fast32);
+    for (u, (erow, frow)) in exact_lists.iter().zip(&fast_lists).enumerate() {
+        assert_eq!(erow.len(), frow.len());
+        let kth = erow.last().expect("k ≥ 1").score;
+        let in_exact: Vec<u32> = erow.iter().map(|s| s.item).collect();
+        for f in frow {
+            if !in_exact.contains(&f.item) {
+                // An item the fast path promoted into the list must be a
+                // genuine TOL-tie with the exact k-th score.
+                let e_score = exact[u * m + f.item as usize];
+                assert!(
+                    (e_score - kth).abs() <= TOL,
+                    "{backend}: fast top-{k} admitted item {} for user {u} whose exact \
+                     score {e_score} is {:.2e} from the exact k-th {kth}",
+                    f.item,
+                    (e_score - kth).abs()
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn fast32_traces_stay_within_tolerance_on_both_backends() {
+    for backend in [Backend::Dense, Backend::Sparse] {
+        let model = golden_model(backend);
+        assert_fast_tracks_exact(&model, backend);
+    }
+}
+
+#[test]
+fn engine_serves_both_precisions_from_one_model() {
+    let model = golden_model(Backend::Dense);
+    let users: Vec<usize> = (0..model.n_users().min(32)).collect();
+    let exact_direct = model.top_k_batch_with(&users, 10, ScorePrecision::Exact64);
+
+    let mut engine = ServeEngine::new(
+        model,
+        ServeConfig { top_k: 10, cache_capacity: 64, precision: ScorePrecision::Fast32 },
+    );
+    // Fast-path batch first, so any cache contamination would poison the
+    // exact lookups that follow.
+    let _fast = engine.serve_batch(&users);
+    let exact_served = engine.serve_batch_with(&users, ScorePrecision::Exact64);
+    for (served, direct) in exact_served.iter().zip(&exact_direct) {
+        assert_eq!(&**served, direct, "exact path changed after fast-path traffic");
+    }
+}
