@@ -1,0 +1,188 @@
+//! Async-serving SLO benchmark: open-loop offered load vs tail latency,
+//! dynamic batching against a forced batch-1 dispatcher.
+//!
+//! Emits `BENCH_serve_async.json` with, per `ScorePrecision`:
+//!
+//! * `{precision}/batch1_capacity_qps` — the saturation throughput of the
+//!   async tier with `max_batch = 1` (every query pays a dispatcher wakeup
+//!   and a single-row engine call): the baseline dynamic batching must beat;
+//! * `{precision}/load{M}x/{mode}_completed_per_sec` and `…/{mode}_p99_us`
+//!   (`mode` ∈ `async`, `batch1`) — both dispatch policies offered the
+//!   **same** open-loop load at `M ×` the measured batch-1 capacity, for
+//!   M ∈ {3, 4, 5}: three points up the load axis, all past batch-1
+//!   saturation and reaching past the batched tier's own knee;
+//! * `…/offered_qps` and `…/{mode}_rejected` — the load actually offered and
+//!   how much of it each policy shed at the admission door.
+//!
+//! The acceptance claim of ISSUE 7 reads directly off these rows: at equal
+//! offered load the batched tier completes more per second than batch-1 at
+//! every point, and at the measured points it sustains ≥ 3× the batch-1
+//! capacity with p99 ≤ 2 ms. CI smoke asserts the first (robust on a noisy
+//! runner); the committed full-mode JSON carries the second.
+//!
+//! All rows are derived measurements (`iters_per_sample = 1`, the same
+//! convention as the serve bench's `users_per_sec` rows); samples are
+//! queries/sec, µs, or counts — not wall-clock ns.
+//!
+//! Set `MSOPDS_BENCH_SMOKE=1` for the small CI model and short runs.
+
+use std::time::Duration;
+
+use criterion::BenchResult;
+use msopds_recsys::Backend;
+use msopds_serve::{ScorePrecision, ServeConfig, ServingModel, Snapshot};
+use msopds_serve_async::{
+    run_open_loop, AsyncServeConfig, AsyncServer, BatcherConfig, LoadGenConfig, LoadReport,
+};
+use msopds_xp::{train_clean_victim, DatasetKind, XpConfig};
+
+/// Offered-load multipliers over the measured batch-1 capacity.
+const LOAD_POINTS: [f64; 3] = [3.0, 4.0, 5.0];
+/// Ceiling on the offered rate: past ~3.2M attempts/sec the single-core
+/// submit loop itself needs the whole CPU, so higher "offered" rates only
+/// measure generator starvation, not the serving tier. Points are clamped
+/// here and the actual offered rate is a committed row.
+const MAX_OFFERED_QPS: f64 = 3.2e6;
+/// Served list length (matches the serve bench).
+const TOP_K: usize = 10;
+/// Coalescing ceiling of the batched configuration. Modest on purpose: at
+/// these model sizes a 256-row batch scores in well under a millisecond, so
+/// even a full flush keeps p99 inside the 2 ms SLO.
+const MAX_BATCH: usize = 256;
+
+fn smoke() -> bool {
+    std::env::var("MSOPDS_BENCH_SMOKE").is_ok()
+}
+
+/// Victim scale, shared with the serve bench: quick micro world for CI
+/// smoke, ~2× larger for the committed full run.
+fn xp_cfg() -> XpConfig {
+    XpConfig {
+        scale: if smoke() { 24.0 } else { 12.0 },
+        seeds: vec![5],
+        datasets: vec![DatasetKind::Ciao],
+        backend: Backend::Dense,
+        ..XpConfig::quick()
+    }
+}
+
+fn server_cfg(max_batch: usize, cache: usize, precision: ScorePrecision) -> AsyncServeConfig {
+    AsyncServeConfig {
+        // queue_cap is the SLO lever: once offered load exceeds capacity the
+        // p99 of *accepted* queries is ≈ queue_cap / service_rate, so a tight
+        // cap trades sheds (reported per point) for a bounded tail. 256
+        // pending at these service rates keeps the saturated p99 well
+        // inside the 2 ms SLO even with single-core scheduler noise.
+        batcher: BatcherConfig { deadline: Duration::from_micros(200), max_batch, queue_cap: 256 },
+        // Full-universe LRU, warmed before each run: both policies serve at
+        // steady state (the serve bench's engine-row convention), so the
+        // comparison isolates dispatch policy, not first-touch scoring.
+        serve: ServeConfig { top_k: TOP_K, cache_capacity: cache, precision },
+    }
+}
+
+/// One open-loop run against a fresh warmed server.
+fn run(
+    model: &ServingModel,
+    max_batch: usize,
+    precision: ScorePrecision,
+    requests: usize,
+    offered_qps: f64,
+) -> LoadReport {
+    let warm: Vec<usize> = (0..model.n_users()).collect();
+    let server =
+        AsyncServer::start(model.clone(), server_cfg(max_batch, model.n_users(), precision));
+    server.warm(&warm);
+    let report = run_open_loop(&server, &LoadGenConfig { requests, offered_qps });
+    server.shutdown();
+    report
+}
+
+fn row(id: String, samples: Vec<f64>) -> BenchResult {
+    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1 }
+}
+
+fn main() {
+    let cfg = xp_cfg();
+    let (data, victim) = train_clean_victim(&cfg);
+    let bytes = victim.snapshot(&data).to_bytes();
+    let model = ServingModel::from_snapshot(&Snapshot::from_bytes(&bytes).expect("bench snapshot"))
+        .expect("bench snapshot serves");
+    eprintln!(
+        "serve_async: {} users × {} items, dim {}",
+        model.n_users(),
+        model.n_items(),
+        model.dim()
+    );
+
+    let probe_requests = if smoke() { 4_000 } else { 24_000 };
+    let mut all: Vec<BenchResult> = Vec::new();
+    for precision in [ScorePrecision::Exact64, ScorePrecision::Fast32] {
+        // Saturation probe: offer far beyond any plausible capacity with
+        // max_batch = 1 and read the completion rate. A warm-up run first —
+        // the very first dispatches page in the model and the thread pair.
+        run(&model, 1, precision, probe_requests / 4, 1e6);
+        let probe = run(&model, 1, precision, probe_requests, 1e6);
+        let batch1_capacity = probe.completed_per_sec;
+        eprintln!("{precision}: batch-1 capacity {batch1_capacity:.0} completions/sec");
+        all.push(row(format!("{precision}/batch1_capacity_qps"), vec![batch1_capacity]));
+
+        // Several repetitions per point in full mode, *interleaved* across
+        // the load points (rep-major order): the committed medians then
+        // survive a transient noisy-neighbor window, which would otherwise
+        // poison every sample of whichever point it landed on.
+        let reps = if smoke() { 1 } else { 5 };
+        let mut samples: Vec<[Vec<f64>; 8]> =
+            LOAD_POINTS.iter().map(|_| Default::default()).collect();
+        for _rep in 0..reps {
+            for (point, slots) in LOAD_POINTS.iter().zip(samples.iter_mut()) {
+                let offered = (batch1_capacity * point).min(MAX_OFFERED_QPS);
+                // ~0.6 s of traffic per run, bounded for the smoke run.
+                let requests =
+                    ((offered * 0.6) as usize).clamp(1_000, if smoke() { 8_000 } else { 120_000 });
+                let batched = run(&model, MAX_BATCH, precision, requests, offered);
+                let single = run(&model, 1, precision, requests, offered);
+                eprintln!(
+                    "{precision}/load{point}x: offered {offered:.0} qps — async {:.0}/s p99 {} µs ({} shed), batch1 {:.0}/s p99 {} µs ({} shed)",
+                    batched.completed_per_sec,
+                    batched.latency.p99_us,
+                    batched.rejected,
+                    single.completed_per_sec,
+                    single.latency.p99_us,
+                    single.rejected,
+                );
+                for (slot, value) in slots.iter_mut().zip([
+                    offered,
+                    batched.completed_per_sec,
+                    batched.latency.p99_us as f64,
+                    batched.mean_batch_fill,
+                    batched.rejected as f64,
+                    single.completed_per_sec,
+                    single.latency.p99_us as f64,
+                    single.rejected as f64,
+                ]) {
+                    slot.push(value);
+                }
+            }
+        }
+        for (point, slots) in LOAD_POINTS.iter().zip(samples) {
+            let prefix = format!("{precision}/load{point}x");
+            for (suffix, values) in [
+                "offered_qps",
+                "async_completed_per_sec",
+                "async_p99_us",
+                "async_mean_batch_fill",
+                "async_rejected",
+                "batch1_completed_per_sec",
+                "batch1_p99_us",
+                "batch1_rejected",
+            ]
+            .into_iter()
+            .zip(slots)
+            {
+                all.push(row(format!("{prefix}/{suffix}"), values));
+            }
+        }
+    }
+    criterion::write_results_json("serve_async", &all);
+}

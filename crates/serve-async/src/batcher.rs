@@ -1,0 +1,229 @@
+//! The dynamic batcher's deterministic core.
+//!
+//! [`BatchQueue`] is a *pure state machine*: admission, coalescing and flush
+//! decisions are functions of the operations applied to it and the explicit
+//! `now_ns` timestamps passed in — it never reads a clock, spawns a thread,
+//! or sleeps. The threaded [`crate::AsyncServer`] drives it under a mutex
+//! with a real clock; the unit tests drive it with a [`crate::MockClock`]
+//! and cover every flush path (deadline, max-batch, shutdown) without real
+//! sleeps. Same transitions either way — that is what makes the concurrency
+//! suite deterministic.
+//!
+//! ## Flush policy
+//!
+//! A query admitted at time `t` is dispatched no later than `t + deadline`
+//! (the batcher's latency contract) and no earlier than whichever comes
+//! first: the queue reaching `max_batch` (a **Full** flush — the throughput
+//! path) or the *oldest* pending query's deadline expiring (a **Deadline**
+//! flush — the latency path; the deadline is armed by the queue's front, so
+//! a stream of arrivals cannot starve the first query by pushing the window
+//! forward). Shutdown flushes whatever remains immediately.
+//!
+//! ## Admission
+//!
+//! The queue is bounded by `queue_cap`: an offer beyond the cap is rejected
+//! *at admission time* with exact accounting (`offered == accepted +
+//! rejected`, always). Shedding at the door keeps the latency of accepted
+//! queries bounded — an unbounded queue would instead convert overload into
+//! unbounded waiting, the failure mode the SLO bench measures.
+
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// Knobs of the dynamic batcher.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BatcherConfig {
+    /// Maximum time a query may wait for co-batched company before the
+    /// accumulated batch is dispatched anyway.
+    pub deadline: Duration,
+    /// Dispatch as soon as this many queries are pending (also the largest
+    /// batch a single dispatch hands the engine).
+    pub max_batch: usize,
+    /// Bounded-queue admission cap: offers beyond this many pending queries
+    /// are shed with a typed `Overloaded` rejection.
+    pub queue_cap: usize,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        Self { deadline: Duration::from_micros(200), max_batch: 1024, queue_cap: 8192 }
+    }
+}
+
+impl BatcherConfig {
+    /// Validates the knobs (`max_batch` and `queue_cap` must be positive).
+    pub fn validate(&self) -> Result<(), String> {
+        if self.max_batch == 0 {
+            return Err("max_batch must be positive".to_string());
+        }
+        if self.queue_cap == 0 {
+            return Err("queue_cap must be positive".to_string());
+        }
+        Ok(())
+    }
+
+    fn deadline_ns(&self) -> u64 {
+        self.deadline.as_nanos() as u64
+    }
+}
+
+/// Why a batch was dispatched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum FlushReason {
+    /// `max_batch` queries were pending.
+    Full,
+    /// The oldest pending query reached its coalescing deadline.
+    Deadline,
+    /// The batcher is shutting down and drained its remainder.
+    Shutdown,
+}
+
+/// One admitted query waiting for dispatch. `T` is the caller's tag —
+/// the threaded server stores the response ticket, tests store the query's
+/// position in the original stream.
+#[derive(Clone, Debug)]
+pub struct Pending<T> {
+    /// User id to score.
+    pub user: usize,
+    /// Caller payload, handed back on dispatch.
+    pub tag: T,
+    /// Admission timestamp (the clock reading passed to `offer`).
+    pub enqueued_ns: u64,
+}
+
+/// Exact admission/dispatch accounting (`offered == accepted + rejected`
+/// by construction).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct BatcherCounters {
+    /// Queries presented to `offer`.
+    pub offered: u64,
+    /// Queries admitted to the queue.
+    pub accepted: u64,
+    /// Queries shed at the admission door.
+    pub rejected: u64,
+    /// Batches dispatched.
+    pub batches: u64,
+    /// Batches dispatched because the queue hit `max_batch`.
+    pub flush_full: u64,
+    /// Batches dispatched because the oldest query's deadline expired.
+    pub flush_deadline: u64,
+    /// Batches drained at shutdown.
+    pub flush_shutdown: u64,
+    /// Largest queue depth ever observed after an admission.
+    pub peak_depth: u64,
+}
+
+/// The deterministic batching state machine. See the module docs for the
+/// flush and admission policy.
+#[derive(Debug)]
+pub struct BatchQueue<T> {
+    cfg: BatcherConfig,
+    queue: VecDeque<Pending<T>>,
+    counters: BatcherCounters,
+}
+
+impl<T> BatchQueue<T> {
+    /// An empty queue with knobs `cfg`.
+    ///
+    /// # Panics
+    /// Panics on an invalid config (zero `max_batch` or `queue_cap`);
+    /// callers that parse user input validate first via
+    /// [`BatcherConfig::validate`].
+    pub fn new(cfg: BatcherConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("BatcherConfig: {e}");
+        }
+        Self {
+            cfg,
+            queue: VecDeque::with_capacity(cfg.max_batch.min(4096)),
+            counters: BatcherCounters::default(),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> BatcherConfig {
+        self.cfg
+    }
+
+    /// Pending query count.
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether nothing is pending.
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// The running exact counters.
+    pub fn counters(&self) -> BatcherCounters {
+        self.counters
+    }
+
+    /// Admits `user` at time `now_ns`, or sheds it if the queue is at
+    /// `queue_cap`. Returns the rejected tag so the caller can fail the
+    /// response handle it minted.
+    pub fn offer(&mut self, user: usize, tag: T, now_ns: u64) -> Result<(), T> {
+        self.counters.offered += 1;
+        if self.queue.len() >= self.cfg.queue_cap {
+            self.counters.rejected += 1;
+            return Err(tag);
+        }
+        self.counters.accepted += 1;
+        self.queue.push_back(Pending { user, tag, enqueued_ns: now_ns });
+        self.counters.peak_depth = self.counters.peak_depth.max(self.queue.len() as u64);
+        Ok(())
+    }
+
+    /// When the *current* queue must flush absent new arrivals: the oldest
+    /// pending query's admission time plus the deadline. `None` when empty
+    /// or when the queue is already full enough to flush immediately.
+    pub fn next_deadline_ns(&self) -> Option<u64> {
+        if self.queue.len() >= self.cfg.max_batch {
+            return None;
+        }
+        self.queue.front().map(|p| p.enqueued_ns.saturating_add(self.cfg.deadline_ns()))
+    }
+
+    /// Whether `take` would dispatch at time `now_ns`.
+    pub fn due(&self, now_ns: u64, shutdown: bool) -> bool {
+        if self.queue.is_empty() {
+            return false;
+        }
+        if shutdown || self.queue.len() >= self.cfg.max_batch {
+            return true;
+        }
+        self.next_deadline_ns().is_some_and(|dl| now_ns >= dl)
+    }
+
+    /// Dispatches the next batch if one is due at `now_ns` (see the module
+    /// docs): up to `max_batch` queries in admission order, plus the reason
+    /// the flush fired. Returns `None` when nothing is due yet — the caller
+    /// should sleep until [`BatchQueue::next_deadline_ns`] or the next offer.
+    ///
+    /// A `Full` flush of a longer queue leaves the remainder pending; its
+    /// deadline re-arms from the *remaining* front's admission time, so
+    /// overflow queries inherit their own latency budget, not the flushed
+    /// batch's.
+    pub fn take(&mut self, now_ns: u64, shutdown: bool) -> Option<(Vec<Pending<T>>, FlushReason)> {
+        if !self.due(now_ns, shutdown) {
+            return None;
+        }
+        let reason = if self.queue.len() >= self.cfg.max_batch {
+            FlushReason::Full
+        } else if self.next_deadline_ns().is_some_and(|dl| now_ns >= dl) {
+            FlushReason::Deadline
+        } else {
+            FlushReason::Shutdown
+        };
+        let n = self.queue.len().min(self.cfg.max_batch);
+        let batch: Vec<Pending<T>> = self.queue.drain(..n).collect();
+        self.counters.batches += 1;
+        match reason {
+            FlushReason::Full => self.counters.flush_full += 1,
+            FlushReason::Deadline => self.counters.flush_deadline += 1,
+            FlushReason::Shutdown => self.counters.flush_shutdown += 1,
+        }
+        Some((batch, reason))
+    }
+}

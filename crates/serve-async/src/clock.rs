@@ -1,0 +1,100 @@
+//! Injectable time for the batching tier.
+//!
+//! Every deadline decision in this crate reads time as a monotone nanosecond
+//! count through the [`Clock`] trait instead of calling `Instant::now()`
+//! directly. Production code runs on [`SystemClock`]; the deterministic test
+//! suites run on [`MockClock`], which only moves when a test advances it —
+//! so the deadline-flush, max-batch-flush and shutdown-flush paths are all
+//! exercised without a single real sleep (DESIGN.md §14: no timing-flaky
+//! tests in CI).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// A monotone nanosecond clock. Implementations must be cheap — the batcher
+/// reads the clock on every submit and every dispatcher wakeup.
+pub trait Clock: Send + Sync + 'static {
+    /// Nanoseconds since an arbitrary fixed origin; never decreases.
+    fn now_ns(&self) -> u64;
+}
+
+/// The real monotonic clock, anchored at construction so readings fit `u64`
+/// nanoseconds comfortably (584 years of range).
+#[derive(Debug)]
+pub struct SystemClock {
+    origin: Instant,
+}
+
+impl SystemClock {
+    /// A clock anchored at "now".
+    pub fn new() -> Self {
+        Self { origin: Instant::now() }
+    }
+}
+
+impl Default for SystemClock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Clock for SystemClock {
+    fn now_ns(&self) -> u64 {
+        self.origin.elapsed().as_nanos() as u64
+    }
+}
+
+/// A clock that only moves when told to — the deterministic-time test
+/// harness. Shared freely across threads; `advance` publishes with release
+/// ordering so a reader that observes the new time also observes everything
+/// the advancing thread did before it.
+#[derive(Debug, Default)]
+pub struct MockClock {
+    ns: AtomicU64,
+}
+
+impl MockClock {
+    /// A mock clock at t = 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Moves time forward by `ns` nanoseconds, returning the new reading.
+    pub fn advance(&self, ns: u64) -> u64 {
+        self.ns.fetch_add(ns, Ordering::AcqRel) + ns
+    }
+
+    /// Moves time forward by `us` microseconds, returning the new reading.
+    pub fn advance_us(&self, us: u64) -> u64 {
+        self.advance(us * 1_000)
+    }
+}
+
+impl Clock for MockClock {
+    fn now_ns(&self) -> u64 {
+        self.ns.load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn system_clock_is_monotone() {
+        let c = SystemClock::new();
+        let a = c.now_ns();
+        let b = c.now_ns();
+        assert!(b >= a);
+    }
+
+    #[test]
+    fn mock_clock_moves_only_when_advanced() {
+        let c = MockClock::new();
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.now_ns(), 0);
+        assert_eq!(c.advance_us(200), 200_000);
+        assert_eq!(c.now_ns(), 200_000);
+        assert_eq!(c.advance(1), 200_001);
+    }
+}

@@ -1,0 +1,64 @@
+//! # msopds-serve-async
+//!
+//! The *online* serving tier: an asynchronous front end over
+//! `msopds-serve`'s engine that turns one-query-at-a-time traffic — the
+//! arrival pattern of the victim platform the paper's multiplayer game
+//! models — into the large batches the scoring kernels are fast at.
+//!
+//! `BENCH_serve.json` puts batch-1 serving ~6× below batch-1024 throughput;
+//! this crate closes that gap with a **request scheduler** rather than a
+//! faster kernel:
+//!
+//! * [`AsyncServer`] — submit single-user queries, get a [`Ticket`] back;
+//!   one dispatcher thread coalesces pending queries up to a deadline
+//!   (default 200 µs) or `max_batch` (default 1024) and dispatches one
+//!   blocked `serve_batch` for the whole batch.
+//! * **Admission control** — the pending queue is bounded
+//!   ([`BatcherConfig::queue_cap`]); overload sheds with a typed
+//!   [`ServeAsyncError::Overloaded`] instead of queueing into unbounded
+//!   latency. Accounting is exact: `offered == accepted + rejected`, and
+//!   after a drain `hits + misses + rejected == offered`.
+//! * **Hot-swap** — [`AsyncServer::swap_model`] atomically replaces the
+//!   served `Arc<ServingModel>`, fingerprint- and shape-checked against the
+//!   running dataset, serialized with dispatch so every response is exactly
+//!   one model's answer (never torn). Rejected swaps leave serving
+//!   untouched.
+//! * [`run_open_loop`] — an open-loop load generator reporting
+//!   p50/p99/p99.9 admission→response latency vs offered load; `--bench
+//!   serve_async` sweeps it into `BENCH_serve_async.json`.
+//!
+//! ## Fidelity
+//!
+//! Dynamic batching never changes answers: each top-K row depends only on
+//! its own user (the serve crate's batch-invariance contract), so any
+//! coalescing/partition of a query stream is bit-identical to one
+//! synchronous `top_k_batch` call — for both `ScorePrecision` kernels. The
+//! property suite (`tests/batcher_props.rs`) pins this.
+//!
+//! ## Determinism in tests
+//!
+//! All time-dependent behavior lives in the pure [`BatchQueue`] state
+//! machine, which reads time only as explicit `now_ns` arguments via the
+//! injectable [`Clock`]. The unit suites drive it with a [`MockClock`] —
+//! deadline-flush, max-batch-flush and shutdown-flush are all covered
+//! without one real sleep, so nothing in CI is timing-flaky. The threaded
+//! [`AsyncServer`] adds only lock/condvar plumbing around that core.
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod clock;
+mod loadgen;
+mod server;
+
+pub use batcher::{BatchQueue, BatcherConfig, BatcherCounters, FlushReason, Pending};
+pub use clock::{Clock, MockClock, SystemClock};
+pub use loadgen::{run_open_loop, stream_user, LoadGenConfig, LoadReport};
+pub use server::{
+    AsyncServeConfig, AsyncServer, AsyncStats, LatencyProfile, ServeAsyncError, SwapSnapshotError,
+    Ticket,
+};
+
+pub use msopds_serve::{
+    ScorePrecision, ScoredItem, ServeConfig, ServingModel, Snapshot, SnapshotError, SwapError,
+};

@@ -1,0 +1,126 @@
+//! An open-loop load generator for SLO benchmarking.
+//!
+//! *Open-loop* means arrivals follow a fixed schedule derived from the
+//! offered rate — the generator does **not** wait for responses before
+//! submitting the next query. That models real victim-platform traffic
+//! (users do not coordinate with the recommender's queue depth) and is the
+//! only honest way to measure tail latency under load: a closed-loop client
+//! self-throttles exactly when the server is slow, hiding the queueing the
+//! p99 is supposed to expose.
+//!
+//! The query stream is the same deterministic Fibonacci-hash walk the
+//! `serve` binary replays, so runs are reproducible. Latency percentiles
+//! come from the server's own admission→response measurements and therefore
+//! cover **accepted** requests; shed requests are reported separately as
+//! `rejected` (the shed count is part of the result, not a hidden success).
+
+use std::time::{Duration, Instant};
+
+use crate::server::{AsyncServer, LatencyProfile, ServeAsyncError, Ticket};
+
+/// Parameters of one open-loop run.
+#[derive(Clone, Copy, Debug)]
+pub struct LoadGenConfig {
+    /// Total queries to offer.
+    pub requests: usize,
+    /// Offered arrival rate, queries per second.
+    pub offered_qps: f64,
+}
+
+/// The outcome of one open-loop run against a freshly started server.
+#[derive(Clone, Debug)]
+pub struct LoadReport {
+    /// The configured offered rate.
+    pub offered_qps: f64,
+    /// The rate actually achieved by the submit loop (pacing is best-effort
+    /// on a loaded machine; throughput math uses this, not the target).
+    pub achieved_qps: f64,
+    /// Queries offered.
+    pub offered: u64,
+    /// Queries admitted.
+    pub accepted: u64,
+    /// Queries shed at the admission door.
+    pub rejected: u64,
+    /// Queries answered.
+    pub completed: u64,
+    /// Completed-query throughput over the whole run (first submit → last
+    /// response).
+    pub completed_per_sec: f64,
+    /// Admission→response latency of accepted queries.
+    pub latency: LatencyProfile,
+    /// Mean queries per dispatched batch.
+    pub mean_batch_fill: f64,
+    /// First submit → last response.
+    pub elapsed: Duration,
+}
+
+/// The deterministic query stream shared with the `serve` binary: a
+/// Fibonacci-hash walk covering the user universe before repeating.
+pub fn stream_user(i: usize, n_users: usize) -> usize {
+    (i.wrapping_mul(0x9E3779B97F4A7C15) >> 7) % n_users
+}
+
+/// Offers `cfg.requests` queries to `server` on the open-loop schedule,
+/// waits for every admitted query to complete, and reports throughput and
+/// tail latency. Expects a freshly started server (the report reads the
+/// server's cumulative accounting).
+///
+/// # Panics
+/// Panics if `offered_qps` is not positive or the server rejects a stream
+/// user id (the stream stays inside `server.n_users()`, so that indicates a
+/// server misconfiguration).
+pub fn run_open_loop(server: &AsyncServer, cfg: &LoadGenConfig) -> LoadReport {
+    assert!(cfg.offered_qps > 0.0, "offered_qps must be positive");
+    let n_users = server.n_users();
+    let interval_ns = 1e9 / cfg.offered_qps;
+    let mut tickets: Vec<Ticket> = Vec::with_capacity(cfg.requests);
+    let start = Instant::now();
+    for i in 0..cfg.requests {
+        let target_ns = (i as f64 * interval_ns) as u64;
+        // Coarse sleep toward the schedule, then yield to the dispatcher
+        // until the slot arrives — spinning would starve the dispatcher on
+        // small machines, which is exactly the contention the bench runs
+        // under.
+        loop {
+            let now_ns = start.elapsed().as_nanos() as u64;
+            if now_ns >= target_ns {
+                break;
+            }
+            let gap = target_ns - now_ns;
+            if gap > 500_000 {
+                std::thread::sleep(Duration::from_nanos(gap - 200_000));
+            } else {
+                std::thread::yield_now();
+            }
+        }
+        match server.submit(stream_user(i, n_users)) {
+            Ok(ticket) => tickets.push(ticket),
+            Err(ServeAsyncError::Overloaded { .. }) => {} // counted server-side
+            Err(e) => panic!("open-loop submit failed: {e}"),
+        }
+    }
+    let submit_elapsed = start.elapsed();
+    for ticket in &tickets {
+        ticket.wait();
+    }
+    let elapsed = start.elapsed();
+
+    let stats = server.stats();
+    let secs = elapsed.as_secs_f64();
+    LoadReport {
+        offered_qps: cfg.offered_qps,
+        achieved_qps: if submit_elapsed.as_secs_f64() > 0.0 {
+            cfg.requests as f64 / submit_elapsed.as_secs_f64()
+        } else {
+            0.0
+        },
+        offered: stats.batcher.offered,
+        accepted: stats.batcher.accepted,
+        rejected: stats.batcher.rejected,
+        completed: stats.completed,
+        completed_per_sec: if secs > 0.0 { stats.completed as f64 / secs } else { 0.0 },
+        latency: stats.latency,
+        mean_batch_fill: stats.mean_batch_fill(),
+        elapsed,
+    }
+}

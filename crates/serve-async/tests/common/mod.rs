@@ -1,0 +1,62 @@
+//! Shared fixtures for the serve-async concurrency suites: deterministic
+//! LCG-filled serving models small enough to score in microseconds, with
+//! controllable fingerprints so hot-swap accept/reject paths are both
+//! reachable.
+
+use msopds_autograd::Tensor;
+use msopds_recsys::snapshot::{ModelKind, SnapshotHeader};
+use msopds_recsys::Backend;
+use msopds_serve_async::{ServingModel, Snapshot};
+
+/// A deterministic in-memory snapshot. `scale` mints "retrained" variants
+/// (same shapes, same fingerprints, different answers); `fingerprints`
+/// controls whether a swap against another fixture is accepted.
+pub fn lcg_snapshot(
+    n_users: usize,
+    n_items: usize,
+    d: usize,
+    scale: f64,
+    fingerprints: (u64, u64),
+) -> Snapshot {
+    let mut state = 0x2545F4914F6CDD1Du64 ^ scale.to_bits();
+    let mut next = move || {
+        state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+        scale * (((state >> 33) as f64 / (1u64 << 31) as f64) - 0.5)
+    };
+    let fill =
+        |n: usize, next: &mut dyn FnMut() -> f64| -> Vec<f64> { (0..n).map(|_| next()).collect() };
+    Snapshot {
+        header: SnapshotHeader {
+            kind: ModelKind::Mf,
+            backend: Backend::Dense,
+            seed: 17,
+            social_fingerprint: fingerprints.0,
+            item_fingerprint: fingerprints.1,
+            n_users: n_users as u64,
+            n_items: n_items as u64,
+            mu: 3.4,
+        },
+        config_json: String::from("{}"),
+        tensors: vec![
+            (String::from("p"), Tensor::from_vec(fill(n_users * d, &mut next), &[n_users, d])),
+            (String::from("q"), Tensor::from_vec(fill(n_items * d, &mut next), &[n_items, d])),
+            (String::from("b_u"), Tensor::from_vec(fill(n_users, &mut next), &[n_users, 1])),
+            (String::from("b_i"), Tensor::from_vec(fill(n_items, &mut next), &[n_items, 1])),
+        ],
+    }
+}
+
+/// [`lcg_snapshot`] loaded into a serving model.
+pub fn lcg_model(n_users: usize, n_items: usize, d: usize, scale: f64) -> ServingModel {
+    ServingModel::from_snapshot(&lcg_snapshot(n_users, n_items, d, scale, (0xFEED, 0xF00D)))
+        .expect("valid fixture snapshot")
+}
+
+/// splitmix64 — deterministic per-test randomness without a rand dependency.
+pub fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E3779B97F4A7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+    z ^ (z >> 31)
+}

@@ -1,0 +1,173 @@
+//! Deterministic-time batcher tests: every flush path of the [`BatchQueue`]
+//! core driven by a [`MockClock`], with **zero real sleeps** — time only
+//! moves when a test advances it, so these can never be timing-flaky in CI
+//! (ISSUE 7 satellite: deadline-flush, max-batch-flush, flush-on-shutdown).
+
+use std::time::Duration;
+
+use msopds_serve_async::{BatchQueue, BatcherConfig, Clock, FlushReason, MockClock};
+
+fn cfg(deadline_us: u64, max_batch: usize, queue_cap: usize) -> BatcherConfig {
+    BatcherConfig { deadline: Duration::from_micros(deadline_us), max_batch, queue_cap }
+}
+
+#[test]
+fn deadline_flush_fires_exactly_at_the_deadline() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 1024, 64));
+    q.offer(3, 0, clock.now_ns()).unwrap();
+
+    // One tick before the deadline: nothing is due.
+    clock.advance_us(199);
+    clock.advance(999);
+    assert!(!q.due(clock.now_ns(), false));
+    assert!(q.take(clock.now_ns(), false).is_none());
+
+    // The final nanosecond arrives: the lone query flushes as Deadline.
+    clock.advance(1);
+    assert_eq!(q.next_deadline_ns(), Some(200_000));
+    let (batch, reason) = q.take(clock.now_ns(), false).expect("due at the deadline");
+    assert_eq!(reason, FlushReason::Deadline);
+    assert_eq!(batch.len(), 1);
+    assert_eq!(batch[0].user, 3);
+    assert_eq!(batch[0].enqueued_ns, 0);
+    assert!(q.is_empty());
+    assert_eq!(q.counters().flush_deadline, 1);
+}
+
+#[test]
+fn deadline_is_armed_by_the_oldest_query_not_the_newest() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 1024, 64));
+    q.offer(0, 0, clock.now_ns()).unwrap();
+    // A stream of later arrivals must not push the window forward.
+    for i in 1..5usize {
+        clock.advance_us(49);
+        q.offer(i, i, clock.now_ns()).unwrap();
+    }
+    // t = 196µs: the newest query is fresh, but the front's clock rules.
+    assert_eq!(q.next_deadline_ns(), Some(200_000), "front query owns the deadline");
+    assert!(!q.due(clock.now_ns(), false));
+    clock.advance_us(4);
+    let (batch, reason) = q.take(clock.now_ns(), false).expect("oldest query is 200µs old");
+    assert_eq!(reason, FlushReason::Deadline);
+    assert_eq!(batch.len(), 5, "a deadline flush takes everything pending");
+}
+
+#[test]
+fn max_batch_flush_fires_without_any_time_passing() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 4, 64));
+    for i in 0..3usize {
+        q.offer(i, i, clock.now_ns()).unwrap();
+        assert!(!q.due(clock.now_ns(), false), "below max_batch, before deadline");
+    }
+    q.offer(3, 3, clock.now_ns()).unwrap();
+    assert!(q.due(clock.now_ns(), false));
+    assert_eq!(q.next_deadline_ns(), None, "a full queue needs no timer");
+    let (batch, reason) = q.take(clock.now_ns(), false).expect("full");
+    assert_eq!(reason, FlushReason::Full);
+    assert_eq!(batch.iter().map(|p| p.user).collect::<Vec<_>>(), vec![0, 1, 2, 3]);
+    assert_eq!(q.counters().flush_full, 1);
+}
+
+#[test]
+fn full_flush_leaves_overflow_with_its_own_deadline() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 3, 64));
+    for i in 0..3usize {
+        q.offer(i, i, clock.now_ns()).unwrap();
+        clock.advance_us(10);
+    }
+    // t = 30µs: a 4th query arrives on top of a full flush's worth.
+    q.offer(3, 3, clock.now_ns()).unwrap();
+    let (batch, reason) = q.take(clock.now_ns(), false).expect("full");
+    assert_eq!(reason, FlushReason::Full);
+    assert_eq!(batch.len(), 3);
+    // The remainder re-arms from ITS admission time (30µs), not the flushed
+    // front's (0µs): due at 230µs, not 200µs.
+    assert_eq!(q.len(), 1);
+    assert_eq!(q.next_deadline_ns(), Some(230_000));
+    clock.advance_us(199);
+    assert!(q.take(clock.now_ns(), false).is_none());
+    clock.advance_us(1);
+    let (rest, reason) = q.take(clock.now_ns(), false).expect("overflow deadline");
+    assert_eq!(reason, FlushReason::Deadline);
+    assert_eq!(rest[0].user, 3);
+}
+
+#[test]
+fn shutdown_flushes_immediately_before_any_deadline() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 1024, 64));
+    q.offer(7, 0, clock.now_ns()).unwrap();
+    clock.advance_us(1); // far from the 200µs deadline
+    q.offer(8, 1, clock.now_ns()).unwrap();
+    assert!(!q.due(clock.now_ns(), false));
+    let (batch, reason) = q.take(clock.now_ns(), true).expect("shutdown drains");
+    assert_eq!(reason, FlushReason::Shutdown);
+    assert_eq!(batch.len(), 2);
+    assert!(q.is_empty());
+    assert!(q.take(clock.now_ns(), true).is_none(), "nothing left to drain");
+    assert_eq!(q.counters().flush_shutdown, 1);
+}
+
+#[test]
+fn shutdown_drains_a_long_queue_in_max_batch_chunks() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 4, 64));
+    for i in 0..10usize {
+        q.offer(i, i, clock.now_ns()).unwrap();
+        // Consume the Full flushes as the threaded dispatcher would.
+        if let Some((batch, reason)) = q.take(clock.now_ns(), false) {
+            assert_eq!(reason, FlushReason::Full);
+            assert_eq!(batch.len(), 4);
+        }
+    }
+    assert_eq!(q.len(), 2);
+    let (batch, reason) = q.take(clock.now_ns(), true).expect("shutdown remainder");
+    assert_eq!(reason, FlushReason::Shutdown);
+    assert_eq!(batch.iter().map(|p| p.user).collect::<Vec<_>>(), vec![8, 9]);
+    let c = q.counters();
+    assert_eq!((c.flush_full, c.flush_shutdown, c.batches), (2, 1, 3));
+}
+
+#[test]
+fn deadline_rearms_after_the_queue_drains() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 1024, 64));
+    q.offer(0, 0, clock.now_ns()).unwrap();
+    clock.advance_us(200);
+    q.take(clock.now_ns(), false).expect("first deadline flush");
+    assert_eq!(q.next_deadline_ns(), None, "empty queue holds no timer");
+
+    clock.advance_us(1_000);
+    q.offer(1, 1, clock.now_ns()).unwrap();
+    assert_eq!(q.next_deadline_ns(), Some(1_400_000), "fresh deadline from the new arrival");
+    clock.advance_us(200);
+    let (batch, reason) = q.take(clock.now_ns(), false).expect("second deadline flush");
+    assert_eq!(reason, FlushReason::Deadline);
+    assert_eq!(batch[0].user, 1);
+}
+
+#[test]
+fn exact_admission_accounting_at_the_cap() {
+    let clock = MockClock::new();
+    let mut q: BatchQueue<usize> = BatchQueue::new(cfg(200, 1024, 8));
+    let mut rejected_tags = Vec::new();
+    for i in 0..11usize {
+        if let Err(tag) = q.offer(i, i, clock.now_ns()) {
+            rejected_tags.push(tag);
+        }
+    }
+    let c = q.counters();
+    assert_eq!((c.offered, c.accepted, c.rejected), (11, 8, 3));
+    assert_eq!(rejected_tags, vec![8, 9, 10], "exactly the overflow offers, in order");
+    assert_eq!(c.peak_depth, 8);
+    // Draining frees capacity: the next offer is admitted again.
+    q.take(clock.now_ns(), true).expect("drain");
+    assert!(q.offer(99, 99, clock.now_ns()).is_ok());
+    let c = q.counters();
+    assert_eq!((c.offered, c.accepted, c.rejected), (12, 9, 3));
+    assert_eq!(c.offered, c.accepted + c.rejected, "books always balance");
+}

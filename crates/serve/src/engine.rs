@@ -109,14 +109,67 @@ pub struct ServeSummary {
     pub p99_us: u64,
 }
 
+/// Why a snapshot hot-swap was refused. The engine keeps serving the running
+/// model after a rejected swap — rejection is a per-call error, not a fault.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SwapError {
+    /// The offered model was fitted on different graph structure than the
+    /// running one: its `(social, item)` CSR fingerprints disagree. Serving
+    /// it would silently answer for the wrong world.
+    FingerprintMismatch {
+        /// Fingerprints of the model currently serving.
+        running: (u64, u64),
+        /// Fingerprints of the rejected snapshot.
+        offered: (u64, u64),
+    },
+    /// The offered model's `(n_users, n_items)` universe differs from the
+    /// running one's — front ends validate ids against a fixed universe, so
+    /// a swap may retrain the world but never resize it.
+    ShapeMismatch {
+        /// `(n_users, n_items)` of the model currently serving.
+        running: (usize, usize),
+        /// `(n_users, n_items)` of the rejected snapshot.
+        offered: (usize, usize),
+    },
+}
+
+impl std::fmt::Display for SwapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SwapError::FingerprintMismatch { running, offered } => write!(
+                f,
+                "snapshot fingerprints {offered:?} do not match the running dataset {running:?}"
+            ),
+            SwapError::ShapeMismatch { running, offered } => write!(
+                f,
+                "snapshot universe {offered:?} does not match the served universe {running:?}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for SwapError {}
+
 /// A stateful serving front end over an immutable [`ServingModel`].
 ///
 /// Each `serve_batch` call deduplicates the uncached users of the batch,
 /// scores them in one blocked matmul, refreshes the hot-user LRU, and
 /// records latency. Caching never changes answers — the model is immutable
 /// and its top-K order total — so a hit returns exactly what scoring would.
+///
+/// # Thread safety
+///
+/// `ServeEngine` is **not** `Sync`-shareable: every serve call mutates the
+/// hot-user LRU and the running [`ServeStats`], so concurrent callers must
+/// serialize through [`crate::SharedServeEngine`] (one mutex around the
+/// whole lookup → score → insert → account critical section — that is what
+/// keeps `cache_hits + cache_misses == queries` exact under concurrency).
+/// The `serve.*` telemetry counters are atomic and may be incremented from
+/// any engine in the process; the `serve.*` gauges published by
+/// [`ServeStats::summarize`] are last-writer-wins process-global, so a
+/// deployment with several engines should publish from one summary site.
 pub struct ServeEngine {
-    model: ServingModel,
+    model: Arc<ServingModel>,
     cfg: ServeConfig,
     /// Keyed on `(user, precision)`: the two kernels round differently, so a
     /// Fast32 answer must never satisfy an Exact64 lookup (or vice versa) —
@@ -129,6 +182,12 @@ pub struct ServeEngine {
 impl ServeEngine {
     /// A new engine serving `model` with knobs `cfg`.
     pub fn new(model: ServingModel, cfg: ServeConfig) -> Self {
+        Self::new_shared(Arc::new(model), cfg)
+    }
+
+    /// [`ServeEngine::new`] over an already-shared model (hot-swap tiers keep
+    /// the previous `Arc` alive until its last in-flight batch retires).
+    pub fn new_shared(model: Arc<ServingModel>, cfg: ServeConfig) -> Self {
         let cache = LruCache::new(cfg.cache_capacity);
         Self { model, cfg, cache, stats: ServeStats::default() }
     }
@@ -136,6 +195,41 @@ impl ServeEngine {
     /// The underlying immutable model.
     pub fn model(&self) -> &ServingModel {
         &self.model
+    }
+
+    /// A shared handle to the underlying model (the `Arc` a hot-swap
+    /// replaces).
+    pub fn model_arc(&self) -> Arc<ServingModel> {
+        Arc::clone(&self.model)
+    }
+
+    /// Atomically replaces the served model, returning the previous one.
+    ///
+    /// The offered model must carry the **same CSR fingerprints** as the
+    /// running one — the snapshot-invalidation rule of DESIGN.md §12 applied
+    /// to swaps: a replacement is a *retrained* model of the same world, not
+    /// a model of a different graph. On mismatch the swap is refused with a
+    /// typed [`SwapError`] and the engine keeps serving the running model.
+    ///
+    /// On success the hot-user LRU is cleared (its entries are answers from
+    /// the outgoing model) while the running [`ServeStats`] carry over, so
+    /// accounting spans swaps. Because the caller holds `&mut self`, a swap
+    /// can never interleave with a `serve_batch` — every batch is answered
+    /// entirely by one model.
+    pub fn try_swap(&mut self, model: Arc<ServingModel>) -> Result<Arc<ServingModel>, SwapError> {
+        if model.fingerprints() != self.model.fingerprints() {
+            return Err(SwapError::FingerprintMismatch {
+                running: self.model.fingerprints(),
+                offered: model.fingerprints(),
+            });
+        }
+        let running = (self.model.n_users(), self.model.n_items());
+        let offered = (model.n_users(), model.n_items());
+        if running != offered {
+            return Err(SwapError::ShapeMismatch { running, offered });
+        }
+        self.cache.clear();
+        Ok(std::mem::replace(&mut self.model, model))
     }
 
     /// The engine's configuration.
@@ -348,6 +442,90 @@ mod tests {
         let served = engine.serve_batch(&[2]);
         let direct = model.top_k_batch_with(&[2], 4, ScorePrecision::Fast32);
         assert_eq!(*served[0], direct[0]);
+    }
+
+    /// `tiny_model` with every embedding value doubled: same shapes and
+    /// fingerprints, different answers — a retrained model of the same world.
+    fn tiny_model_doubled() -> ServingModel {
+        let user = Tensor::from_vec(vec![2.0, 0.0, 0.0, 2.0, 2.0, 2.0], &[3, 2]);
+        let item = Tensor::from_vec(vec![2.0, 4.0, 6.0, 8.0, 10.0, 12.0, 14.0, 16.0], &[4, 2]);
+        let b_u = Tensor::from_vec(vec![0.2, 0.4, 0.6], &[3, 1]);
+        let b_i = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0], &[4, 1]);
+        let snap = Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: 8,
+                social_fingerprint: 0,
+                item_fingerprint: 0,
+                n_users: 3,
+                n_items: 4,
+                mu: 3.0,
+            },
+            config_json: String::from("{}"),
+            tensors: vec![
+                (String::from("p"), user),
+                (String::from("q"), item),
+                (String::from("b_u"), b_u),
+                (String::from("b_i"), b_i),
+            ],
+        };
+        ServingModel::from_snapshot(&snap).expect("valid snapshot")
+    }
+
+    #[test]
+    fn swap_clears_cache_and_serves_new_model() {
+        let old = tiny_model();
+        let new = tiny_model_doubled();
+        let mut engine = ServeEngine::new(
+            old.clone(),
+            ServeConfig { top_k: 4, cache_capacity: 8, ..ServeConfig::default() },
+        );
+        let before = engine.serve_batch(&[0, 1]);
+        assert_eq!(*before[0], old.top_k(0, 4));
+        let prev = engine.try_swap(Arc::new(new.clone())).expect("fingerprints match");
+        assert_eq!(prev.top_k(0, 4), old.top_k(0, 4));
+        // The cache was cleared: the same users re-score (a miss each) and
+        // the answers are the new model's, bit for bit.
+        let after = engine.serve_batch(&[0, 1]);
+        assert_eq!(*after[0], new.top_k(0, 4));
+        assert_eq!(*after[1], new.top_k(1, 4));
+        assert_eq!(engine.stats().cache_misses, 4);
+        assert_eq!(engine.stats().queries, 4); // stats carried across the swap
+    }
+
+    #[test]
+    fn swap_rejects_fingerprint_mismatch_and_keeps_serving() {
+        let model = tiny_model();
+        let mut engine = ServeEngine::new(model.clone(), ServeConfig::default());
+        let snap_mismatch = Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: 7,
+                social_fingerprint: 0xDEAD,
+                item_fingerprint: 0xBEEF,
+                n_users: 3,
+                n_items: 4,
+                mu: 3.0,
+            },
+            config_json: String::from("{}"),
+            tensors: vec![
+                (String::from("p"), Tensor::from_vec(vec![0.0; 6], &[3, 2])),
+                (String::from("q"), Tensor::from_vec(vec![0.0; 8], &[4, 2])),
+                (String::from("b_u"), Tensor::from_vec(vec![0.0; 3], &[3, 1])),
+                (String::from("b_i"), Tensor::from_vec(vec![0.0; 4], &[4, 1])),
+            ],
+        };
+        let offered = ServingModel::from_snapshot(&snap_mismatch).expect("valid snapshot");
+        let err = engine.try_swap(Arc::new(offered)).unwrap_err();
+        assert_eq!(
+            err,
+            SwapError::FingerprintMismatch { running: (0, 0), offered: (0xDEAD, 0xBEEF) }
+        );
+        // Serving continues on the old model.
+        let served = engine.serve_batch(&[2]);
+        assert_eq!(*served[0], model.top_k(2, 10));
     }
 
     #[test]

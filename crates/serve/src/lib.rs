@@ -38,16 +38,23 @@
 //!   pool);
 //! * [`LruCache`] — a bounded, dependency-free LRU used for hot users;
 //! * [`ServeEngine`] — stateful front end: per-user top-K cache, batch
-//!   dedup, telemetry spans/counters and QPS / p50 / p99 latency tracking.
+//!   dedup, telemetry spans/counters and QPS / p50 / p99 latency tracking,
+//!   plus fingerprint-checked model hot-swap ([`ServeEngine::try_swap`]);
+//! * [`SharedServeEngine`] — the `Send + Sync` handle concurrent serving
+//!   tiers (`msopds-serve-async`) use: one lock around the engine's whole
+//!   batch-level critical section, so the hit/miss accounting invariant and
+//!   swap atomicity survive concurrent callers.
 
 #![warn(missing_docs)]
 
 mod engine;
 mod lru;
 mod model;
+mod shared;
 
-pub use engine::{ServeConfig, ServeEngine, ServeStats, ServeSummary};
+pub use engine::{ServeConfig, ServeEngine, ServeStats, ServeSummary, SwapError};
 pub use lru::LruCache;
 pub use model::{ScorePrecision, ScoredItem, ServingModel};
+pub use shared::SharedServeEngine;
 
 pub use msopds_recsys::snapshot::{Snapshot, SnapshotError};

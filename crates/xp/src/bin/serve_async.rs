@@ -1,0 +1,174 @@
+//! `serve-async` — drive open-loop load through the async serving tier.
+//!
+//! Usage: `serve-async --snapshot FILE [--requests N] [--offered QPS]
+//! [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N]
+//! [--precision exact64|fast32] [--threads N] [--metrics-out FILE]`
+//!
+//! Loads the snapshot written by `repro --snapshot-out` and starts an
+//! [`AsyncServer`] over it: a dynamic batcher that coalesces single-user
+//! queries up to `--deadline-us` (default 200) or `--max-batch` (default
+//! 1024) and sheds load past `--queue-cap` (default 8192) with a typed
+//! rejection. The open-loop generator then offers `--requests` queries at
+//! `--offered` QPS on the same deterministic Fibonacci-hash stream the
+//! `serve` binary replays, and reports admission→response tail latency.
+//!
+//! Prints a human summary to stderr and one JSON object to stdout, e.g.:
+//!
+//! ```text
+//! {"offered_qps":50000.0,"completed_per_sec":48712.3,"p99_us":410,...}
+//! ```
+//!
+//! Exit status: 0 success, 2 usage error, 1 snapshot load failure.
+
+use std::path::PathBuf;
+use std::time::Duration;
+
+use msopds_serve::{ServeConfig, ServingModel};
+use msopds_serve_async::{
+    run_open_loop, AsyncServeConfig, AsyncServer, BatcherConfig, LoadGenConfig,
+};
+use msopds_xp::RuntimeConfig;
+
+const USAGE: &str = "usage: serve-async --snapshot FILE [--requests N] [--offered QPS] [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    let runtime = RuntimeConfig::builder()
+        .parse_cli(&args)
+        .and_then(|(builder, rest)| Ok((builder.build()?, rest)));
+    let (runtime, rest) = match runtime {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut snapshot: Option<PathBuf> = None;
+    let mut requests = 4096usize;
+    let mut offered_qps = 20_000.0f64;
+    let mut top_k = 10usize;
+    let mut cache = 256usize;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--requests" => requests = parse_count(&value(&mut i, "--requests"), "--requests"),
+            "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k"),
+            "--offered" => {
+                offered_qps = value(&mut i, "--offered").parse().unwrap_or(0.0);
+                if offered_qps <= 0.0 {
+                    eprintln!("--offered takes a positive rate\n{USAGE}");
+                    std::process::exit(2);
+                }
+            }
+            "--cache" => {
+                cache = value(&mut i, "--cache").parse().unwrap_or_else(|_| {
+                    eprintln!("--cache takes an integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let Some(snapshot) = snapshot else {
+        eprintln!("--snapshot FILE is required\n{USAGE}");
+        std::process::exit(2);
+    };
+
+    runtime.install();
+    msopds_autograd::pool::configure_threads(runtime.threads);
+
+    let model = match ServingModel::load(&snapshot) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve-async: cannot load {}: {e}", snapshot.display());
+            std::process::exit(1);
+        }
+    };
+    eprintln!(
+        "serve-async: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {})",
+        model.kind(),
+        model.n_users(),
+        model.n_items(),
+        model.dim(),
+        model.backend(),
+        model.seed()
+    );
+
+    let cfg = AsyncServeConfig {
+        batcher: BatcherConfig {
+            deadline: Duration::from_micros(runtime.deadline_us),
+            max_batch: runtime.max_batch,
+            queue_cap: runtime.queue_cap,
+        },
+        serve: ServeConfig { top_k, cache_capacity: cache, precision: runtime.precision },
+    };
+    let server = AsyncServer::start(model, cfg);
+    let report = run_open_loop(&server, &LoadGenConfig { requests, offered_qps });
+    let stats = server.shutdown();
+
+    eprintln!(
+        "serve-async: offered {:.0} qps (achieved {:.0}) — {}/{} accepted, {} shed, {:.0} completions/sec, fill {:.1}, p50 {} µs p99 {} µs p99.9 {} µs",
+        report.offered_qps,
+        report.achieved_qps,
+        report.accepted,
+        report.offered,
+        report.rejected,
+        report.completed_per_sec,
+        report.mean_batch_fill,
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+    );
+    println!(
+        "{{\"requests\":{},\"offered_qps\":{:.1},\"achieved_qps\":{:.1},\"accepted\":{},\"rejected\":{},\"completed\":{},\"completed_per_sec\":{:.1},\"batches\":{},\"mean_batch_fill\":{:.2},\"deadline_us\":{},\"max_batch\":{},\"queue_cap\":{},\"top_k\":{},\"precision\":\"{}\",\"mean_us\":{:.1},\"p50_us\":{},\"p99_us\":{},\"p999_us\":{},\"cache_hits\":{},\"cache_misses\":{}}}",
+        requests,
+        report.offered_qps,
+        report.achieved_qps,
+        report.accepted,
+        report.rejected,
+        report.completed,
+        report.completed_per_sec,
+        stats.batcher.batches,
+        report.mean_batch_fill,
+        runtime.deadline_us,
+        runtime.max_batch,
+        runtime.queue_cap,
+        top_k,
+        runtime.precision,
+        report.latency.mean_us,
+        report.latency.p50_us,
+        report.latency.p99_us,
+        report.latency.p999_us,
+        stats.engine.cache_hits,
+        stats.engine.cache_misses,
+    );
+    runtime.export_metrics();
+}
+
+fn parse_count(raw: &str, flag: &str) -> usize {
+    match raw.parse::<usize>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} takes a positive integer\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -191,6 +191,29 @@ pub struct RuntimeConfig {
     /// Only the serving front ends consume this — planners and training are
     /// always f64.
     pub precision: ScorePrecision,
+    /// Async-serving coalescing deadline in microseconds (`--deadline-us` /
+    /// `MSOPDS_DEADLINE_US`): how long a submitted query may wait for
+    /// co-batched company. Only the `serve-async` front end consumes this.
+    pub deadline_us: u64,
+    /// Async-serving max coalesced batch (`--max-batch` /
+    /// `MSOPDS_MAX_BATCH`): the queue flushes as soon as this many queries
+    /// are pending.
+    pub max_batch: usize,
+    /// Async-serving admission cap (`--queue-cap` / `MSOPDS_QUEUE_CAP`):
+    /// offers beyond this many pending queries are shed with a typed
+    /// `Overloaded` rejection instead of queueing into unbounded latency.
+    pub queue_cap: usize,
+}
+
+/// An optional positive-integer environment override, for the async-serving
+/// batcher knobs (`MSOPDS_DEADLINE_US`, `MSOPDS_MAX_BATCH`,
+/// `MSOPDS_QUEUE_CAP`). Unset, empty, or non-positive values fall back.
+fn env_count(var: &str, default: u64) -> u64 {
+    std::env::var(var)
+        .ok()
+        .and_then(|s| s.trim().parse::<u64>().ok())
+        .filter(|&n| n > 0)
+        .unwrap_or(default)
 }
 
 impl RuntimeConfig {
@@ -206,6 +229,9 @@ impl RuntimeConfig {
             retries: crate::runner::DEFAULT_RETRIES,
             snapshot_out: None,
             precision: ScorePrecision::from_env(),
+            deadline_us: env_count("MSOPDS_DEADLINE_US", 200),
+            max_batch: env_count("MSOPDS_MAX_BATCH", 1024) as usize,
+            queue_cap: env_count("MSOPDS_QUEUE_CAP", 8192) as usize,
         }
     }
 
@@ -258,6 +284,9 @@ pub struct RuntimeConfigBuilder {
     retries: usize,
     snapshot_out: Option<PathBuf>,
     precision: ScorePrecision,
+    deadline_us: u64,
+    max_batch: usize,
+    queue_cap: usize,
 }
 
 impl RuntimeConfigBuilder {
@@ -315,12 +344,31 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Overrides the async-serving coalescing deadline, microseconds.
+    pub fn deadline_us(mut self, us: u64) -> Self {
+        self.deadline_us = us;
+        self
+    }
+
+    /// Overrides the async-serving max coalesced batch.
+    pub fn max_batch(mut self, n: usize) -> Self {
+        self.max_batch = n;
+        self
+    }
+
+    /// Overrides the async-serving admission cap.
+    pub fn queue_cap(mut self, n: usize) -> Self {
+        self.queue_cap = n;
+        self
+    }
+
     /// Consumes the runtime flags from `args`, returning the remaining
     /// (experiment-specific) arguments in order.
     ///
     /// Recognized: `--threads N`, `--backend dense|sparse`,
     /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`,
-    /// `--snapshot-out FILE`, `--precision exact64|fast32`.
+    /// `--snapshot-out FILE`, `--precision exact64|fast32`,
+    /// `--deadline-us N`, `--max-batch N`, `--queue-cap N`.
     /// Errors name the offending flag, for `exit(2)`-style usage reporting.
     pub fn parse_cli(mut self, args: &[String]) -> Result<(Self, Vec<String>), String> {
         let mut rest = Vec::new();
@@ -361,6 +409,21 @@ impl RuntimeConfigBuilder {
                         .parse()
                         .map_err(|e| format!("--precision: {e}"))?;
                 }
+                "--deadline-us" => {
+                    self.deadline_us = value(&mut i, "--deadline-us")?
+                        .parse()
+                        .map_err(|_| "--deadline-us takes an integer".to_string())?;
+                }
+                "--max-batch" => {
+                    self.max_batch = value(&mut i, "--max-batch")?
+                        .parse()
+                        .map_err(|_| "--max-batch takes an integer".to_string())?;
+                }
+                "--queue-cap" => {
+                    self.queue_cap = value(&mut i, "--queue-cap")?
+                        .parse()
+                        .map_err(|_| "--queue-cap takes an integer".to_string())?;
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -376,6 +439,12 @@ impl RuntimeConfigBuilder {
         if self.resume && self.journal.is_none() {
             return Err("--resume requires --journal FILE".to_string());
         }
+        if self.max_batch == 0 {
+            return Err("--max-batch must be positive".to_string());
+        }
+        if self.queue_cap == 0 {
+            return Err("--queue-cap must be positive".to_string());
+        }
         Ok(RuntimeConfig {
             threads: self.threads,
             backend: self.backend,
@@ -386,6 +455,9 @@ impl RuntimeConfigBuilder {
             retries: self.retries,
             snapshot_out: self.snapshot_out,
             precision: self.precision,
+            deadline_us: self.deadline_us,
+            max_batch: self.max_batch,
+            queue_cap: self.queue_cap,
         })
     }
 }
@@ -455,6 +527,12 @@ mod tests {
             "victim.snap",
             "--precision",
             "fast32",
+            "--deadline-us",
+            "500",
+            "--max-batch",
+            "64",
+            "--queue-cap",
+            "2048",
         ])
         .unwrap();
         assert_eq!(rt.threads, 3);
@@ -462,6 +540,9 @@ mod tests {
         assert_eq!(rt.retries, 2);
         assert!(rt.resume);
         assert_eq!(rt.precision, ScorePrecision::Fast32);
+        assert_eq!(rt.deadline_us, 500);
+        assert_eq!(rt.max_batch, 64);
+        assert_eq!(rt.queue_cap, 2048);
         assert_eq!(rt.snapshot_out.as_deref(), Some(std::path::Path::new("victim.snap")));
         assert_eq!(rt.journal.as_deref(), Some(std::path::Path::new("j.jsonl")));
         assert_eq!(rt.metrics_out.as_deref(), Some(std::path::Path::new("m.json")));
@@ -477,6 +558,21 @@ mod tests {
         assert!(cli(&["--resume"]).unwrap_err().contains("--journal"));
         assert!(cli(&["--precision", "f128"]).unwrap_err().contains("--precision"));
         assert!(cli(&["--precision"]).unwrap_err().contains("requires a value"));
+        assert!(cli(&["--deadline-us", "soon"]).unwrap_err().contains("--deadline-us"));
+        assert!(cli(&["--max-batch", "0"]).unwrap_err().contains("--max-batch"));
+        assert!(cli(&["--queue-cap", "0"]).unwrap_err().contains("--queue-cap"));
+        assert!(cli(&["--queue-cap"]).unwrap_err().contains("requires a value"));
+    }
+
+    #[test]
+    fn runtime_batcher_knobs_default_to_issue_values() {
+        let rt = RuntimeConfig::builder().build().unwrap();
+        assert_eq!(rt.deadline_us, 200);
+        assert_eq!(rt.max_batch, 1024);
+        assert_eq!(rt.queue_cap, 8192);
+        let rt =
+            RuntimeConfig::builder().deadline_us(50).max_batch(8).queue_cap(32).build().unwrap();
+        assert_eq!((rt.deadline_us, rt.max_batch, rt.queue_cap), (50, 8, 32));
     }
 
     #[test]
