@@ -12,7 +12,11 @@
 //!   M ∈ {3, 4, 5}: three points up the load axis, all past batch-1
 //!   saturation and reaching past the batched tier's own knee;
 //! * `…/offered_qps` and `…/{mode}_rejected` — the load actually offered and
-//!   how much of it each policy shed at the admission door.
+//!   how much of it each policy shed at the admission door;
+//! * `config/{deadline_us,max_batch,queue_cap,top_k}` — the full admission
+//!   and batching configuration the numbers were measured under, committed
+//!   alongside them so a row is interpretable without reading this source.
+//!   (Precision is already part of every measured row's id prefix.)
 //!
 //! The acceptance claim of ISSUE 7 reads directly off these rows: at equal
 //! offered load the batched tier completes more per second than batch-1 at
@@ -117,6 +121,16 @@ fn main() {
 
     let probe_requests = if smoke() { 4_000 } else { 24_000 };
     let mut all: Vec<BenchResult> = Vec::new();
+    // The admission/batching config of the batched mode, as committed rows.
+    let queue_cap = server_cfg(MAX_BATCH, 1, ScorePrecision::Exact64).batcher.queue_cap;
+    for (knob, value) in [
+        ("deadline_us", 200.0),
+        ("max_batch", MAX_BATCH as f64),
+        ("queue_cap", queue_cap as f64),
+        ("top_k", TOP_K as f64),
+    ] {
+        all.push(row(format!("config/{knob}"), vec![value]));
+    }
     for precision in [ScorePrecision::Exact64, ScorePrecision::Fast32] {
         // Saturation probe: offer far beyond any plausible capacity with
         // max_batch = 1 and read the completion rate. A warm-up run first —

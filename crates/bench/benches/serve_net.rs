@@ -1,0 +1,227 @@
+//! Multi-process loopback benchmark of the TCP serving transport.
+//!
+//! The in-process open-loop generator tops out near 3.2M attempts/sec on a
+//! single submit loop (the `serve_async` bench clamps there on purpose —
+//! past it the generator, not the tier, is what's measured). Real offered
+//! load does not come from one loop: this bench forks N **client
+//! processes**, each driving a pipelined window of queries over its own TCP
+//! connection, so the aggregate attempt rate scales with client processes
+//! instead of being clamped by one generator core.
+//!
+//! Emits `BENCH_serve_net.json` with, per `ScorePrecision` and
+//! N ∈ {1, 4, 8} client processes:
+//!
+//! * `{precision}/procs{N}/completions_per_sec` — total completed queries
+//!   divided by the slowest client's wall-clock (the honest aggregate);
+//! * `{precision}/procs{N}/p99_us` — the worst per-client p99;
+//! * `{precision}/procs{N}/offered` and `…/rejected` — totals across
+//!   clients, so sheds are visible next to the throughput they bought;
+//! * `config/{deadline_us,max_batch,queue_cap,conn_window,top_k}` — the full
+//!   admission/batching/windowing configuration the numbers were measured
+//!   under.
+//!
+//! The orchestrator re-executes its own binary as the workers: a child with
+//! `MSOPDS_SERVE_NET_ROLE=client` connects to `MSOPDS_SERVE_NET_ADDR`,
+//! drives `MSOPDS_SERVE_NET_REQUESTS` queries, and prints one line of
+//! whitespace-separated counters. No shared memory, no threads pretending
+//! to be processes.
+//!
+//! Set `MSOPDS_BENCH_SMOKE=1` for the small CI model and short runs.
+
+use std::io::Read;
+use std::process::{Command, Stdio};
+use std::time::Duration;
+
+use criterion::BenchResult;
+use msopds_recsys::Backend;
+use msopds_serve::{ScorePrecision, ServeConfig, ServingModel, Snapshot};
+use msopds_serve_async::{stream_user, AsyncServeConfig, AsyncServer, BatcherConfig};
+use msopds_serve_net::{NetClient, NetServeConfig, NetServer, RetryPolicy};
+use msopds_xp::{train_clean_victim, DatasetKind, XpConfig};
+
+/// Client-process fan-out points.
+const PROCS: [usize; 3] = [1, 4, 8];
+/// Pipelined in-flight window per client — matches the server's default
+/// `conn_window`, so the client can keep the wire full without tripping
+/// per-connection backpressure.
+const WINDOW: usize = 64;
+/// Served list length (matches the serve benches).
+const TOP_K: usize = 10;
+/// Batched dispatcher configuration (matches the serve_async bench).
+const MAX_BATCH: usize = 256;
+const DEADLINE_US: u64 = 200;
+const QUEUE_CAP: usize = 8192;
+
+fn smoke() -> bool {
+    std::env::var("MSOPDS_BENCH_SMOKE").is_ok()
+}
+
+fn xp_cfg() -> XpConfig {
+    XpConfig {
+        scale: if smoke() { 24.0 } else { 12.0 },
+        seeds: vec![5],
+        datasets: vec![DatasetKind::Ciao],
+        backend: Backend::Dense,
+        ..XpConfig::quick()
+    }
+}
+
+fn row(id: String, samples: Vec<f64>) -> BenchResult {
+    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1 }
+}
+
+/// What one client process measured, parsed back from its stdout line.
+struct ClientRun {
+    offered: u64,
+    completed: u64,
+    rejected: u64,
+    elapsed_s: f64,
+    p99_us: u64,
+}
+
+/// Worker mode: drive the pipelined load and print one whitespace line.
+fn run_client() -> ! {
+    let env = |k: &str| std::env::var(k).unwrap_or_else(|_| panic!("{k} must be set for workers"));
+    let addr: std::net::SocketAddr = env("MSOPDS_SERVE_NET_ADDR").parse().expect("worker addr");
+    let requests: u64 = env("MSOPDS_SERVE_NET_REQUESTS").parse().expect("worker requests");
+    let users: usize = env("MSOPDS_SERVE_NET_USERS").parse().expect("worker users");
+    let salt: u64 = env("MSOPDS_SERVE_NET_SALT").parse().expect("worker salt");
+
+    let mut client = NetClient::connect(addr, RetryPolicy::default()).expect("worker connect");
+    // Each process walks a salted slice of the shared deterministic user
+    // stream so concurrent clients don't serve identical (cached) queries.
+    let report = client
+        .run_pipelined(requests, WINDOW, 0, |i| {
+            stream_user(i.wrapping_add(salt.wrapping_mul(0x1000)) as usize, users) as u64
+        })
+        .expect("worker pipelined run");
+    println!(
+        "{} {} {} {:.6} {}",
+        report.offered,
+        report.completed,
+        report.rejected,
+        report.elapsed.as_secs_f64(),
+        report.latency_pct_us(0.99),
+    );
+    std::process::exit(0)
+}
+
+/// Spawns `n` worker processes against `addr` and collects their reports.
+fn drive(
+    addr: std::net::SocketAddr,
+    n: usize,
+    requests_per_client: u64,
+    users: usize,
+) -> Vec<ClientRun> {
+    let exe = std::env::current_exe().expect("bench exe path");
+    let children: Vec<_> = (0..n)
+        .map(|salt| {
+            Command::new(&exe)
+                .env("MSOPDS_SERVE_NET_ROLE", "client")
+                .env("MSOPDS_SERVE_NET_ADDR", addr.to_string())
+                .env("MSOPDS_SERVE_NET_REQUESTS", requests_per_client.to_string())
+                .env("MSOPDS_SERVE_NET_USERS", users.to_string())
+                .env("MSOPDS_SERVE_NET_SALT", salt.to_string())
+                .stdout(Stdio::piped())
+                .spawn()
+                .expect("spawn client process")
+        })
+        .collect();
+    children
+        .into_iter()
+        .map(|mut child| {
+            let mut out = String::new();
+            child.stdout.take().expect("piped stdout").read_to_string(&mut out).expect("read");
+            let status = child.wait().expect("client process exit");
+            assert!(status.success(), "client process failed: {status:?}\n{out}");
+            let f: Vec<&str> = out.split_whitespace().collect();
+            assert_eq!(f.len(), 5, "malformed worker report: {out:?}");
+            ClientRun {
+                offered: f[0].parse().expect("offered"),
+                completed: f[1].parse().expect("completed"),
+                rejected: f[2].parse().expect("rejected"),
+                elapsed_s: f[3].parse().expect("elapsed"),
+                p99_us: f[4].parse().expect("p99"),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    if std::env::var("MSOPDS_SERVE_NET_ROLE").as_deref() == Ok("client") {
+        run_client();
+    }
+
+    let cfg = xp_cfg();
+    let (data, victim) = train_clean_victim(&cfg);
+    let bytes = victim.snapshot(&data).to_bytes();
+    let model = ServingModel::from_snapshot(&Snapshot::from_bytes(&bytes).expect("bench snapshot"))
+        .expect("bench snapshot serves");
+    let users = model.n_users();
+    eprintln!("serve_net: {} users × {} items, dim {}", users, model.n_items(), model.dim());
+
+    let mut all: Vec<BenchResult> = Vec::new();
+    for (knob, value) in [
+        ("deadline_us", DEADLINE_US as f64),
+        ("max_batch", MAX_BATCH as f64),
+        ("queue_cap", QUEUE_CAP as f64),
+        ("conn_window", WINDOW as f64),
+        ("top_k", TOP_K as f64),
+    ] {
+        all.push(row(format!("config/{knob}"), vec![value]));
+    }
+
+    let reps = if smoke() { 1 } else { 3 };
+    for precision in [ScorePrecision::Exact64, ScorePrecision::Fast32] {
+        let server_cfg = AsyncServeConfig {
+            batcher: BatcherConfig {
+                deadline: Duration::from_micros(DEADLINE_US),
+                max_batch: MAX_BATCH,
+                queue_cap: QUEUE_CAP,
+            },
+            serve: ServeConfig { top_k: TOP_K, cache_capacity: users, precision },
+        };
+        let net_cfg = NetServeConfig { conn_window: WINDOW, ..NetServeConfig::default() };
+        let server = AsyncServer::start(model.clone(), server_cfg);
+        server.warm(&(0..users).collect::<Vec<_>>());
+        let net = NetServer::start("127.0.0.1:0", server, net_cfg).expect("bench bind");
+        let addr = net.local_addr();
+
+        // Keep total traffic roughly constant across fan-out points so a
+        // run is ~the same wall-clock whether 1 or 8 processes offer it.
+        let total_requests: u64 = if smoke() { 16_000 } else { 240_000 };
+        let mut samples: Vec<[Vec<f64>; 4]> = PROCS.iter().map(|_| Default::default()).collect();
+        for _rep in 0..reps {
+            for (&n, slots) in PROCS.iter().zip(samples.iter_mut()) {
+                let per_client = total_requests / n as u64;
+                let runs = drive(addr, n, per_client, users);
+                let offered: u64 = runs.iter().map(|r| r.offered).sum();
+                let completed: u64 = runs.iter().map(|r| r.completed).sum();
+                let rejected: u64 = runs.iter().map(|r| r.rejected).sum();
+                let wall = runs.iter().map(|r| r.elapsed_s).fold(0.0f64, f64::max).max(1e-9);
+                let p99 = runs.iter().map(|r| r.p99_us).max().unwrap_or(0);
+                let per_sec = completed as f64 / wall;
+                eprintln!(
+                    "{precision}/procs{n}: {offered} offered — {per_sec:.0} completions/sec, worst p99 {p99} µs, {rejected} rejected",
+                );
+                for (slot, value) in
+                    slots.iter_mut().zip([per_sec, p99 as f64, offered as f64, rejected as f64])
+                {
+                    slot.push(value);
+                }
+            }
+        }
+        let stats = net.drain();
+        assert!(stats.balanced(), "bench accounting must balance: {stats:?}");
+
+        for (&n, slots) in PROCS.iter().zip(samples) {
+            let prefix = format!("{precision}/procs{n}");
+            for (suffix, values) in
+                ["completions_per_sec", "p99_us", "offered", "rejected"].into_iter().zip(slots)
+            {
+                all.push(row(format!("{prefix}/{suffix}"), values));
+            }
+        }
+    }
+    criterion::write_results_json("serve_net", &all);
+}

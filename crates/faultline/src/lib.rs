@@ -25,7 +25,10 @@
 //! * `panic` — the site panics (callers are expected to `catch_unwind`);
 //! * `nan` — [`corrupt_slice`] / [`corrupt_f64`] poison the value with NaN;
 //! * `delay:MS` — the site sleeps `MS` milliseconds (exercises timeouts and
-//!   the journal's partial-write tolerance).
+//!   the journal's partial-write tolerance);
+//! * `trip` — [`fault_trip`] returns true and the site degrades itself in a
+//!   site-specific way (the socket layer's short reads/writes, refused
+//!   accepts and forced mid-frame disconnects).
 //!
 //! Rates are probabilities in `[0, 1]`; `site=panic` alone means rate 1.
 //!
@@ -56,6 +59,9 @@ static NANS: telemetry::Counter = telemetry::Counter::new("faultline.nans");
 /// Delays injected.
 #[cfg(feature = "fault-injection")]
 static DELAYS: telemetry::Counter = telemetry::Counter::new("faultline.delays");
+/// Trip signals fired.
+#[cfg(feature = "fault-injection")]
+static TRIPS: telemetry::Counter = telemetry::Counter::new("faultline.trips");
 
 /// What an armed fault site does when it fires.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -66,6 +72,11 @@ pub enum FaultKind {
     Nan,
     /// Sleep this many milliseconds.
     DelayMs(u64),
+    /// Signal the call site to degrade itself ([`fault_trip`] returns true).
+    /// The socket layer uses this for short reads/writes, refused accepts and
+    /// forced mid-frame disconnects — faults that are not a panic or a sleep
+    /// but a *behavior* only the site knows how to perform.
+    Trip,
 }
 
 /// One `site=kind@rate` rule of a fault plan.
@@ -115,6 +126,8 @@ impl FaultPlan {
                 FaultKind::Panic
             } else if kind_s == "nan" {
                 FaultKind::Nan
+            } else if kind_s == "trip" {
+                FaultKind::Trip
             } else if let Some(ms) = kind_s.strip_prefix("delay:") {
                 FaultKind::DelayMs(
                     ms.parse().map_err(|_| format!("fault plan: bad delay in `{part}`"))?,
@@ -281,7 +294,8 @@ pub fn set_context(key: u64) {
 }
 
 /// A control-flow fault site: panics or sleeps when the armed plan says so.
-/// `nan` rules do not fire here (they need a value — see [`corrupt_slice`]).
+/// `nan` and `trip` rules do not fire here (they need a value or a
+/// site-specific degradation — see [`corrupt_slice`] and [`fault_trip`]).
 #[inline]
 pub fn fault_point(site: &str) {
     #[cfg(feature = "fault-injection")]
@@ -294,10 +308,41 @@ pub fn fault_point(site: &str) {
             DELAYS.incr();
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        Some(FaultKind::Nan) | None => {}
+        Some(FaultKind::Nan) | Some(FaultKind::Trip) | None => {}
     }
     #[cfg(not(feature = "fault-injection"))]
     let _ = site;
+}
+
+/// A behavioral fault site: returns `true` when a `trip` rule fires, telling
+/// the caller to degrade itself in a site-specific way (read one byte instead
+/// of a buffer, refuse the accepted socket, sever the connection mid-frame).
+/// `panic` and `delay` rules behave as in [`fault_point`]; constant `false`
+/// without the `fault-injection` feature.
+#[inline]
+pub fn fault_trip(site: &str) -> bool {
+    #[cfg(feature = "fault-injection")]
+    match armed::decide(site) {
+        Some(FaultKind::Trip) => {
+            TRIPS.incr();
+            true
+        }
+        Some(FaultKind::Panic) => {
+            PANICS.incr();
+            panic!("faultline: injected panic at `{site}`");
+        }
+        Some(FaultKind::DelayMs(ms)) => {
+            DELAYS.incr();
+            std::thread::sleep(std::time::Duration::from_millis(ms));
+            false
+        }
+        Some(FaultKind::Nan) | None => false,
+    }
+    #[cfg(not(feature = "fault-injection"))]
+    {
+        let _ = site;
+        false
+    }
 }
 
 /// A value fault site: poisons `data[0]` with NaN when a `nan` rule fires
@@ -320,7 +365,7 @@ pub fn corrupt_slice(site: &str, data: &mut [f64]) {
             DELAYS.incr();
             std::thread::sleep(std::time::Duration::from_millis(ms));
         }
-        None => {}
+        Some(FaultKind::Trip) | None => {}
     }
     #[cfg(not(feature = "fault-injection"))]
     let _ = (site, data);
@@ -362,6 +407,13 @@ mod tests {
     }
 
     #[test]
+    fn parses_trip_kind() {
+        let p = FaultPlan::parse("seed=7;serve_net.read=trip@0.3").unwrap();
+        assert_eq!(p.rules[0].kind, FaultKind::Trip);
+        assert!((p.rules[0].rate - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
     fn rejects_malformed_plans() {
         assert!(FaultPlan::parse("nonsense").is_err());
         assert!(FaultPlan::parse("a=explode").is_err());
@@ -399,6 +451,8 @@ mod tests {
             corrupt_slice("a", &mut v);
             assert_eq!(v, [1.0, 2.0]);
             assert_eq!(corrupt_f64("a", 3.5), 3.5);
+            set_plan(Some(FaultPlan::parse("a=trip").unwrap()));
+            assert!(!fault_trip("a"));
         }
     }
 
@@ -437,6 +491,19 @@ mod tests {
             assert_ne!(a, c, "different context must reroll");
             let fired = a.iter().filter(|&&f| f).count();
             assert!((10..=54).contains(&fired), "rate 0.5 fired {fired}/64");
+            set_plan(None);
+        }
+
+        #[test]
+        fn trip_fires_at_rate_one_and_only_for_trip_rules() {
+            let _g = LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            set_plan(Some(FaultPlan::parse("seed=5;t=trip@1;u=nan@1").unwrap()));
+            set_context(3);
+            assert!(fault_trip("t"), "trip rule at rate 1 must fire");
+            assert!(!fault_trip("u"), "nan rules must not read as trips");
+            // Trip rules are inert at the panic/value entry points.
+            fault_point("t");
+            assert_eq!(corrupt_f64("t", 4.5), 4.5);
             set_plan(None);
         }
 

@@ -49,14 +49,16 @@
 mod batcher;
 mod clock;
 mod loadgen;
+pub mod net;
 mod server;
 
 pub use batcher::{BatchQueue, BatcherConfig, BatcherCounters, FlushReason, Pending};
 pub use clock::{Clock, MockClock, SystemClock};
 pub use loadgen::{run_open_loop, stream_user, LoadGenConfig, LoadReport};
+pub use net::{Completion, CompletionPump};
 pub use server::{
-    AsyncServeConfig, AsyncServer, AsyncStats, LatencyProfile, ServeAsyncError, SwapSnapshotError,
-    Ticket,
+    AsyncServeConfig, AsyncServer, AsyncStats, LatencyProfile, PauseHandle, ServeAsyncError,
+    SwapSnapshotError, Ticket, TicketError,
 };
 
 pub use msopds_serve::{

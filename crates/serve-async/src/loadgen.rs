@@ -101,7 +101,10 @@ pub fn run_open_loop(server: &AsyncServer, cfg: &LoadGenConfig) -> LoadReport {
     }
     let submit_elapsed = start.elapsed();
     for ticket in &tickets {
-        ticket.wait();
+        // Fault-free runs fulfill every admitted ticket; a typed failure
+        // (injected dispatch fault) still terminates and is visible in the
+        // server's `failed` accounting rather than silently dropped here.
+        let _ = ticket.wait();
     }
     let elapsed = start.elapsed();
 

@@ -1,0 +1,171 @@
+//! Glue between the ticketed submit API and an event-driven network front.
+//!
+//! A socket layer cannot block on [`Ticket::wait`] from its poll loop — one
+//! slow batch would stall every connection. The [`CompletionPump`] bridges
+//! the two worlds: the poll loop hands each admitted ticket to the pump with
+//! an opaque `token` (connection × request id, typically) and goes back to
+//! polling; a single pump thread waits the tickets out **in submission
+//! order** and delivers terminal [`Completion`]s through a channel, invoking
+//! a caller-supplied `wake` after each so the poll loop can interrupt its
+//! `poll(2)` sleep (a self-pipe write, in `msopds-serve-net`).
+//!
+//! FIFO waiting is not a bottleneck: the dispatcher fulfills tickets whether
+//! or not anyone is waiting, and batches complete in admission order, so the
+//! pump's head-of-line wait is bounded by one in-flight batch — everything
+//! behind the head resolves concurrently and drains without blocking.
+//!
+//! Every pushed ticket produces exactly one [`Completion`] — including
+//! failed tickets ([`TicketError`]), which is what lets the socket layer's
+//! accounting identity (`offered == completed + rejected + drained`) hold
+//! exactly through dispatcher panics and shutdown races.
+
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use msopds_serve::ScoredItem;
+
+use crate::server::{Ticket, TicketError};
+
+/// One resolved ticket: the caller's token plus the terminal outcome.
+#[derive(Clone, Debug)]
+pub struct Completion {
+    /// The token the ticket was pushed with.
+    pub token: u64,
+    /// The ticket's terminal state: the served top-K list, or the typed
+    /// failure.
+    pub result: Result<Arc<Vec<ScoredItem>>, TicketError>,
+}
+
+/// The ticket-waiting side thread; see the module docs. Dropping the pump
+/// joins the thread after it drains every ticket already pushed.
+pub struct CompletionPump {
+    tx: Option<Sender<(u64, Ticket)>>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CompletionPump {
+    /// Starts the pump thread. `wake` is called after each completion is
+    /// sent — it must be cheap, non-blocking and callable from a non-poll
+    /// thread (a self-pipe write qualifies; a mutex-heavy callback does not).
+    /// Returns the pump handle and the completion stream.
+    pub fn start(wake: impl Fn() + Send + 'static) -> (Self, Receiver<Completion>) {
+        let (tx, rx) = channel::<(u64, Ticket)>();
+        let (out_tx, out_rx) = channel::<Completion>();
+        let thread = std::thread::Builder::new()
+            .name("serve-async-completion-pump".to_string())
+            .spawn(move || {
+                for (token, ticket) in rx {
+                    let result = ticket.wait();
+                    if out_tx.send(Completion { token, result }).is_err() {
+                        return; // receiver gone: the front end already closed
+                    }
+                    wake();
+                }
+            })
+            .expect("spawn completion pump");
+        (Self { tx: Some(tx), thread: Some(thread) }, out_rx)
+    }
+
+    /// Hands an admitted ticket to the pump; its [`Completion`] will carry
+    /// `token`. Tickets resolve in push order.
+    ///
+    /// # Panics
+    /// Panics if called after the pump started shutting down (the pump
+    /// outlives the poll loop that pushes into it by construction).
+    pub fn push(&self, token: u64, ticket: Ticket) {
+        self.tx
+            .as_ref()
+            .expect("pump closed")
+            .send((token, ticket))
+            .expect("completion pump thread alive");
+    }
+}
+
+impl Drop for CompletionPump {
+    fn drop(&mut self) {
+        drop(self.tx.take()); // close the channel so the thread drains and exits
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::server::{AsyncServeConfig, AsyncServer};
+    use crate::BatcherConfig;
+    use msopds_autograd::Tensor;
+    use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotHeader};
+    use msopds_recsys::Backend;
+    use msopds_serve::{ServeConfig, ServingModel};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::time::Duration;
+
+    fn tiny_model() -> ServingModel {
+        let n_users = 8;
+        let n_items = 6;
+        let d = 3;
+        let fill = |n: usize, mul: f64| -> Vec<f64> {
+            (0..n).map(|i| mul * ((i % 7) as f64 - 3.0)).collect()
+        };
+        let snap = Snapshot {
+            header: SnapshotHeader {
+                kind: ModelKind::Mf,
+                backend: Backend::Dense,
+                seed: 1,
+                social_fingerprint: 1,
+                item_fingerprint: 2,
+                n_users: n_users as u64,
+                n_items: n_items as u64,
+                mu: 3.0,
+            },
+            config_json: String::from("{}"),
+            tensors: vec![
+                (String::from("p"), Tensor::from_vec(fill(n_users * d, 0.1), &[n_users, d])),
+                (String::from("q"), Tensor::from_vec(fill(n_items * d, 0.2), &[n_items, d])),
+                (String::from("b_u"), Tensor::from_vec(fill(n_users, 0.01), &[n_users, 1])),
+                (String::from("b_i"), Tensor::from_vec(fill(n_items, 0.02), &[n_items, 1])),
+            ],
+        };
+        ServingModel::from_snapshot(&snap).expect("fixture snapshot")
+    }
+
+    #[test]
+    fn pump_delivers_every_ticket_in_order_with_wakes() {
+        let server = AsyncServer::start(
+            tiny_model(),
+            AsyncServeConfig {
+                batcher: BatcherConfig {
+                    deadline: Duration::from_micros(50),
+                    max_batch: 4,
+                    queue_cap: 64,
+                },
+                serve: ServeConfig::default(),
+            },
+        );
+        let wakes = Arc::new(AtomicU64::new(0));
+        let (pump, completions) = {
+            let wakes = Arc::clone(&wakes);
+            CompletionPump::start(move || {
+                wakes.fetch_add(1, Ordering::Relaxed);
+            })
+        };
+        let n = 32u64;
+        for token in 0..n {
+            let ticket = server.submit((token % 8) as usize).expect("admitted");
+            pump.push(token, ticket);
+        }
+        let mut seen = Vec::new();
+        for _ in 0..n {
+            let c = completions.recv_timeout(Duration::from_secs(5)).expect("completion");
+            assert!(c.result.is_ok(), "fault-free run must fulfill every ticket");
+            seen.push(c.token);
+        }
+        assert_eq!(seen, (0..n).collect::<Vec<_>>(), "completions arrive in push order");
+        assert_eq!(wakes.load(Ordering::Relaxed), n, "one wake per completion");
+        drop(pump);
+        server.shutdown();
+    }
+}

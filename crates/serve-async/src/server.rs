@@ -26,6 +26,7 @@
 //! Snapshots are fingerprint-checked against the running dataset; a
 //! mismatch is refused with a typed error while serving continues.
 
+use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -43,6 +44,7 @@ use crate::clock::{Clock, SystemClock};
 static SUBMITTED: Counter = Counter::new("serve_async.submitted");
 static REJECTED: Counter = Counter::new("serve_async.rejected");
 static COMPLETED: Counter = Counter::new("serve_async.completed");
+static FAILED: Counter = Counter::new("serve_async.failed");
 static BATCHES: Counter = Counter::new("serve_async.batches");
 static FLUSH_FULL: Counter = Counter::new("serve_async.flush.full");
 static FLUSH_DEADLINE: Counter = Counter::new("serve_async.flush.deadline");
@@ -102,6 +104,33 @@ impl std::fmt::Display for ServeAsyncError {
 }
 
 impl std::error::Error for ServeAsyncError {}
+
+/// Why an admitted query's [`Ticket`] terminated without an answer. Every
+/// admitted ticket reaches a terminal state — [`Ticket::wait`] never hangs
+/// on a dead server and never panics on a poisoned mutex.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TicketError {
+    /// The batch this query was coalesced into panicked inside dispatch
+    /// (engine call or an injected fault). The server caught the unwind and
+    /// keeps serving later batches; only this batch's tickets fail.
+    DispatchFailed,
+    /// The server shut down before this query's batch was dispatched. Only
+    /// reachable through the submit/shutdown race — the drain flush serves
+    /// everything the dispatcher can still see — but "only" races must still
+    /// terminate, not hang.
+    ServerClosed,
+}
+
+impl std::fmt::Display for TicketError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TicketError::DispatchFailed => write!(f, "batch dispatch panicked; query not served"),
+            TicketError::ServerClosed => write!(f, "server closed before the query was served"),
+        }
+    }
+}
+
+impl std::error::Error for TicketError {}
 
 /// Why [`AsyncServer::swap_snapshot`] failed.
 #[derive(Debug)]
@@ -167,14 +196,18 @@ impl LatencyProfile {
 
 /// A point-in-time view of the async tier's accounting. After a drain
 /// ([`AsyncServer::shutdown`]) the books balance exactly:
-/// `engine.cache_hits + engine.cache_misses + batcher.rejected ==
-/// batcher.offered` and `completed == batcher.accepted`.
+/// `batcher.accepted == completed + failed` and — in a fault-free run, where
+/// `failed == 0` — `engine.cache_hits + engine.cache_misses +
+/// batcher.rejected == batcher.offered` and `completed == batcher.accepted`.
 #[derive(Clone, Debug)]
 pub struct AsyncStats {
     /// Admission and flush accounting from the batcher core.
     pub batcher: BatcherCounters,
     /// Tickets fulfilled with an answer.
     pub completed: u64,
+    /// Tickets failed with a typed [`TicketError`] (dispatch panic or
+    /// shutdown race); zero in a fault-free run.
+    pub failed: u64,
     /// Model hot-swaps applied.
     pub swaps: u64,
     /// Hot-swaps refused (fingerprint/shape mismatch).
@@ -200,6 +233,7 @@ impl AsyncStats {
 enum TicketState {
     Waiting,
     Ready(Arc<Vec<ScoredItem>>),
+    Failed(TicketError),
 }
 
 struct TicketCell {
@@ -217,6 +251,16 @@ impl TicketCell {
         *state = TicketState::Ready(answer);
         self.cv.notify_all();
     }
+
+    fn fail(&self, error: TicketError) {
+        let mut state = lock_clean(&self.state);
+        // A ticket that already has its answer keeps it; failure is only a
+        // terminal state for tickets still waiting.
+        if matches!(*state, TicketState::Waiting) {
+            *state = TicketState::Failed(error);
+        }
+        self.cv.notify_all();
+    }
 }
 
 /// The response handle of an admitted query. Cheap to move across threads;
@@ -228,12 +272,16 @@ pub struct Ticket {
 
 impl Ticket {
     /// Blocks until the query's coalesced batch is served, then returns the
-    /// top-K list (shared with the hot-user cache).
-    pub fn wait(&self) -> Arc<Vec<ScoredItem>> {
+    /// top-K list (shared with the hot-user cache) — or the typed
+    /// [`TicketError`] if the batch's dispatch panicked or the server closed
+    /// first. Never hangs: every admitted ticket reaches a terminal state,
+    /// even across shutdown races and dispatcher panics.
+    pub fn wait(&self) -> Result<Arc<Vec<ScoredItem>>, TicketError> {
         let mut state = lock_clean(&self.cell.state);
         loop {
             match &*state {
-                TicketState::Ready(answer) => return Arc::clone(answer),
+                TicketState::Ready(answer) => return Ok(Arc::clone(answer)),
+                TicketState::Failed(error) => return Err(*error),
                 TicketState::Waiting => {
                     state =
                         self.cell.cv.wait(state).unwrap_or_else(|poisoned| poisoned.into_inner());
@@ -242,10 +290,11 @@ impl Ticket {
         }
     }
 
-    /// Non-blocking poll: the answer if the batch already served.
-    pub fn try_take(&self) -> Option<Arc<Vec<ScoredItem>>> {
+    /// Non-blocking poll: the terminal outcome if the batch already resolved.
+    pub fn try_take(&self) -> Option<Result<Arc<Vec<ScoredItem>>, TicketError>> {
         match &*lock_clean(&self.cell.state) {
-            TicketState::Ready(answer) => Some(Arc::clone(answer)),
+            TicketState::Ready(answer) => Some(Ok(Arc::clone(answer))),
+            TicketState::Failed(error) => Some(Err(*error)),
             TicketState::Waiting => None,
         }
     }
@@ -265,6 +314,7 @@ struct Inner {
     shutdown: AtomicBool,
     paused: AtomicBool,
     completed: AtomicU64,
+    failed: AtomicU64,
     swaps: AtomicU64,
     swaps_rejected: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
@@ -303,6 +353,7 @@ impl AsyncServer {
             shutdown: AtomicBool::new(false),
             paused: AtomicBool::new(false),
             completed: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
             swaps: AtomicU64::new(0),
             swaps_rejected: AtomicU64::new(0),
             latencies_us: Mutex::new(Vec::new()),
@@ -370,6 +421,7 @@ impl AsyncServer {
     /// over, and a fingerprint/shape mismatch is refused with serving
     /// untouched.
     pub fn swap_model(&self, model: Arc<ServingModel>) -> Result<(), SwapError> {
+        msopds_faultline::fault_point!("serve_async.swap");
         match self.inner.engine.try_swap(model) {
             Ok(_old) => {
                 self.inner.swaps.fetch_add(1, Ordering::Relaxed);
@@ -415,6 +467,14 @@ impl AsyncServer {
         self.inner.cv.notify_one();
     }
 
+    /// A detachable pause/resume control, usable after the server itself has
+    /// been moved elsewhere (the socket front end owns the `AsyncServer`
+    /// inside its poll thread; chaos tests still need to hold the dispatcher
+    /// to pin exact admission counts).
+    pub fn pause_handle(&self) -> PauseHandle {
+        PauseHandle { inner: Arc::clone(&self.inner) }
+    }
+
     /// A snapshot of the tier's accounting; also publishes the
     /// `serve_async.*` gauges.
     pub fn stats(&self) -> AsyncStats {
@@ -423,6 +483,7 @@ impl AsyncServer {
         let stats = AsyncStats {
             batcher,
             completed: self.inner.completed.load(Ordering::Relaxed),
+            failed: self.inner.failed.load(Ordering::Relaxed),
             swaps: self.inner.swaps.load(Ordering::Relaxed),
             swaps_rejected: self.inner.swaps_rejected.load(Ordering::Relaxed),
             latency,
@@ -449,6 +510,17 @@ impl AsyncServer {
             self.inner.shutdown.store(true, Ordering::Release);
             self.inner.cv.notify_one();
             let _ = handle.join();
+            // Submit/shutdown race sweep: an offer can land between the
+            // dispatcher's last empty take() and its exit. Fail any such
+            // straggler with a typed error so no ticket ever hangs.
+            let mut q = lock_clean(&self.inner.queue);
+            while let Some((batch, _reason)) = q.take(self.inner.clock.now_ns(), true) {
+                for pending in batch {
+                    pending.tag.fail(TicketError::ServerClosed);
+                    self.inner.failed.fetch_add(1, Ordering::Relaxed);
+                    FAILED.incr();
+                }
+            }
         }
     }
 }
@@ -456,6 +528,28 @@ impl AsyncServer {
 impl Drop for AsyncServer {
     fn drop(&mut self) {
         self.join_dispatcher();
+    }
+}
+
+/// A clonable remote control for [`AsyncServer::pause`] /
+/// [`AsyncServer::resume`], detached from the server's ownership. Holding
+/// one does not keep the server alive in any user-visible way — it only
+/// pins the shared state block; pausing after shutdown is a harmless no-op.
+#[derive(Clone)]
+pub struct PauseHandle {
+    inner: Arc<Inner>,
+}
+
+impl PauseHandle {
+    /// [`AsyncServer::pause`] through the handle.
+    pub fn pause(&self) {
+        self.inner.paused.store(true, Ordering::Release);
+    }
+
+    /// [`AsyncServer::resume`] through the handle.
+    pub fn resume(&self) {
+        self.inner.paused.store(false, Ordering::Release);
+        self.inner.cv.notify_one();
     }
 }
 
@@ -497,10 +591,39 @@ fn dispatcher_loop(inner: &Inner) {
 
 /// Serves one coalesced batch and fulfills its tickets. Runs with no queue
 /// lock held — admissions proceed while the engine scores.
+///
+/// The engine call is panic-guarded: a batch that unwinds (a model bug, or
+/// an injected fault at the `serve_async.batch.take` / `serve_async.engine.call`
+/// sites) fails exactly its own tickets with [`TicketError::DispatchFailed`]
+/// and the dispatcher keeps serving later batches. The guard closure borrows
+/// only the user ids — the tickets stay outside, so an unwind can never drop
+/// a waiting ticket without a terminal state.
 fn dispatch(inner: &Inner, batch: Vec<Pending<Arc<TicketCell>>>, reason: FlushReason) {
     let _span = telemetry::span("serve_async_batch");
     let users: Vec<usize> = batch.iter().map(|p| p.user).collect();
-    let answers = inner.engine.serve_batch(&users);
+    let answers = catch_unwind(AssertUnwindSafe(|| {
+        msopds_faultline::fault_point!("serve_async.batch.take");
+        msopds_faultline::fault_point!("serve_async.engine.call");
+        inner.engine.serve_batch(&users)
+    }));
+    BATCHES.incr();
+    match reason {
+        FlushReason::Full => FLUSH_FULL.incr(),
+        FlushReason::Deadline => FLUSH_DEADLINE.incr(),
+        FlushReason::Shutdown => FLUSH_SHUTDOWN.incr(),
+    }
+    let answers = match answers {
+        Ok(answers) => answers,
+        Err(_) => {
+            let n = batch.len() as u64;
+            for pending in batch {
+                pending.tag.fail(TicketError::DispatchFailed);
+            }
+            inner.failed.fetch_add(n, Ordering::Relaxed);
+            FAILED.add(n);
+            return;
+        }
+    };
     let done_ns = inner.clock.now_ns();
     let mut latencies = Vec::with_capacity(batch.len());
     for (pending, answer) in batch.into_iter().zip(answers) {
@@ -509,11 +632,5 @@ fn dispatch(inner: &Inner, batch: Vec<Pending<Arc<TicketCell>>>, reason: FlushRe
     }
     inner.completed.fetch_add(latencies.len() as u64, Ordering::Relaxed);
     COMPLETED.add(latencies.len() as u64);
-    BATCHES.incr();
-    match reason {
-        FlushReason::Full => FLUSH_FULL.incr(),
-        FlushReason::Deadline => FLUSH_DEADLINE.incr(),
-        FlushReason::Shutdown => FLUSH_SHUTDOWN.incr(),
-    }
     lock_clean(&inner.latencies_us).extend(latencies);
 }

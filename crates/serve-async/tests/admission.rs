@@ -71,7 +71,10 @@ fn saturation_sheds_exactly_the_overflow_and_serves_the_rest() {
 
         srv.resume();
         for (u, ticket) in &tickets {
-            assert!(bitwise_eq(&ticket.wait(), &want[*u]), "accepted answer for user {u}");
+            assert!(
+                bitwise_eq(&ticket.wait().expect("served"), &want[*u]),
+                "accepted answer for user {u}"
+            );
         }
         let stats = srv.shutdown();
         assert_eq!(stats.batcher.offered, (queue_cap + overflow) as u64);
@@ -110,7 +113,7 @@ fn concurrent_submitters_keep_the_books_balanced() {
                         match srv.submit(u) {
                             Ok(ticket) => {
                                 acc += 1;
-                                assert!(bitwise_eq(&ticket.wait(), &want[u]));
+                                assert!(bitwise_eq(&ticket.wait().expect("served"), &want[u]));
                             }
                             Err(ServeAsyncError::Overloaded { queue_cap }) => {
                                 assert_eq!(queue_cap, 4);

@@ -53,6 +53,8 @@ pub fn lcg_model(n_users: usize, n_items: usize, d: usize, scale: f64) -> Servin
 }
 
 /// splitmix64 — deterministic per-test randomness without a rand dependency.
+/// Not every test binary that includes this module draws randomness.
+#[allow(dead_code)]
 pub fn splitmix(state: &mut u64) -> u64 {
     *state = state.wrapping_add(0x9E3779B97F4A7C15);
     let mut z = *state;

@@ -68,7 +68,8 @@ fn concurrent_swaps_under_load_never_serve_a_torn_model() {
                     let mut state = 0xC0FFEE ^ t;
                     for _ in 0..150 {
                         let u = (splitmix(&mut state) % N_USERS as u64) as usize;
-                        let answer = server.submit(u).expect("cap covers the load").wait();
+                        let answer =
+                            server.submit(u).expect("cap covers the load").wait().expect("served");
                         assert!(
                             bitwise_eq(&answer, &ref_old[u]) || bitwise_eq(&answer, &ref_new[u]),
                             "user {u} got an answer matching neither snapshot ({precision})"
@@ -110,14 +111,14 @@ fn queries_after_a_swap_are_answered_by_the_new_model_only() {
     );
     // Before the swap: old answers (wait for each, so none straddles it).
     for (u, want) in ref_old.iter().enumerate().take(8) {
-        assert!(bitwise_eq(&server.submit(u).unwrap().wait(), want));
+        assert!(bitwise_eq(&server.submit(u).unwrap().wait().expect("served"), want));
     }
     server.swap_model(Arc::clone(&new)).expect("accepted");
     // After the swap returns there is no path back to the old model: the
     // hot-user cache was cleared and the engine Arc now points at `new`.
     for (u, want) in ref_new.iter().enumerate() {
         assert!(
-            bitwise_eq(&server.submit(u).unwrap().wait(), want),
+            bitwise_eq(&server.submit(u).unwrap().wait().expect("served"), want),
             "user {u} served a stale answer after the swap"
         );
     }
@@ -160,7 +161,7 @@ fn fingerprint_mismatched_snapshot_is_rejected_and_serving_continues() {
 
     // Serving never blinked: still the old model's answers, bit for bit.
     for (u, want) in ref_old.iter().enumerate() {
-        assert!(bitwise_eq(&server.submit(u).unwrap().wait(), want));
+        assert!(bitwise_eq(&server.submit(u).unwrap().wait().expect("served"), want));
     }
     let stats = server.shutdown();
     assert_eq!((stats.swaps, stats.swaps_rejected), (0, 2));

@@ -1,0 +1,186 @@
+//! Ticket lifecycle edges: a [`Ticket`] outlives the server that minted it,
+//! and every terminal path — shutdown flush, mid-flight hot-swap, rejected
+//! swap, injected dispatch panic — resolves `wait`/`try_take` with an answer
+//! or a typed [`TicketError`]. Never a hang, never a poisoned-mutex panic.
+
+mod common;
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use common::{lcg_model, lcg_snapshot};
+use msopds_serve_async::{
+    AsyncServeConfig, AsyncServer, BatcherConfig, ScoredItem, ServeConfig, ServingModel,
+    SwapSnapshotError, Ticket,
+};
+
+fn cfg(queue_cap: usize) -> AsyncServeConfig {
+    AsyncServeConfig {
+        batcher: BatcherConfig { deadline: Duration::from_micros(100), max_batch: 64, queue_cap },
+        serve: ServeConfig::default(),
+    }
+}
+
+fn reference(model: &ServingModel, user: usize) -> Vec<ScoredItem> {
+    let server = AsyncServer::start(model.clone(), cfg(64));
+    let answer = server.submit(user).unwrap().wait().expect("reference serve").to_vec();
+    server.shutdown();
+    answer
+}
+
+fn bitwise_eq(got: &[ScoredItem], want: &[ScoredItem]) -> bool {
+    got.len() == want.len()
+        && got
+            .iter()
+            .zip(want)
+            .all(|(a, b)| a.item == b.item && a.score.to_bits() == b.score.to_bits())
+}
+
+/// Tickets held across `shutdown()` stay readable: the drain flush served
+/// them, and both `wait` and `try_take` return the answer afterwards — the
+/// ticket's cell is independent of the dead server.
+#[test]
+fn held_tickets_stay_readable_after_shutdown() {
+    let server = AsyncServer::start(lcg_model(64, 48, 8, 1.0), cfg(64));
+    server.pause(); // keep them mid-flight until the shutdown flush
+    let tickets: Vec<Ticket> = (0..8).map(|u| server.submit(u).unwrap()).collect();
+    for t in &tickets {
+        assert_eq!(t.try_take(), None, "held queries are still in flight");
+    }
+    let stats = server.shutdown(); // drain flush serves all 8
+    assert_eq!(stats.completed, 8);
+    assert_eq!(stats.failed, 0);
+
+    for t in &tickets {
+        let via_wait = t.wait().expect("served by the shutdown flush");
+        assert!(!via_wait.is_empty());
+        let via_take = t.try_take().expect("terminal state persists").expect("same answer");
+        assert!(Arc::ptr_eq(&via_wait, &via_take), "both read the same resolved cell");
+    }
+}
+
+/// A hot-swap landing while queries are held mid-flight: the batch dispatched
+/// after the swap is answered by the NEW model, bit-for-bit, and no ticket
+/// hangs or fails.
+#[test]
+fn mid_flight_swap_serves_held_queries_from_the_new_model() {
+    let old = lcg_model(64, 48, 8, 1.0);
+    let new = lcg_model(64, 48, 8, 3.0); // retrained variant, same shapes
+    let want = reference(&new, 7);
+
+    let server = AsyncServer::start(old, cfg(64));
+    server.pause();
+    let ticket = server.submit(7).unwrap();
+    server.swap_model(Arc::new(lcg_model(64, 48, 8, 3.0))).expect("compatible swap");
+    server.resume();
+
+    let got = ticket.wait().expect("swap never strands a ticket");
+    assert!(bitwise_eq(&got, &want), "mid-flight query must be served by the new model");
+    server.shutdown();
+}
+
+/// A swap REJECTED mid-flight (fingerprint mismatch) leaves held queries
+/// untouched: they resolve against the old model exactly as if the swap
+/// never happened.
+#[test]
+fn rejected_mid_flight_swap_leaves_held_queries_on_the_old_model() {
+    let old = lcg_model(64, 48, 8, 1.0);
+    let want = reference(&old, 11);
+
+    let server = AsyncServer::start(old, cfg(64));
+    server.pause();
+    let ticket = server.submit(11).unwrap();
+    let alien = lcg_snapshot(64, 48, 8, 3.0, (0xDEAD, 0xBEEF));
+    match server.swap_snapshot(&alien) {
+        Err(SwapSnapshotError::Rejected(_)) => {}
+        other => panic!("fingerprint mismatch must reject: {other:?}"),
+    }
+    server.resume();
+
+    let got = ticket.wait().expect("rejected swap never strands a ticket");
+    assert!(bitwise_eq(&got, &want), "old model keeps serving after a rejected swap");
+    server.shutdown();
+}
+
+/// `wait` blocks, `try_take` does not: a held query reports `None` from
+/// `try_take` while a parked `wait` on another thread resolves the moment
+/// the dispatcher runs.
+#[test]
+fn try_take_is_nonblocking_while_wait_parks() {
+    let server = AsyncServer::start(lcg_model(64, 48, 8, 1.0), cfg(64));
+    server.pause();
+    let ticket = server.submit(3).unwrap();
+    assert_eq!(ticket.try_take(), None);
+
+    let waiter = std::thread::spawn(move || ticket.wait().map(|a| a.len()));
+    std::thread::sleep(Duration::from_millis(20)); // let the waiter park
+    server.resume();
+    let n = waiter.join().expect("wait never panics").expect("served");
+    assert!(n > 0);
+    server.shutdown();
+}
+
+/// Injected dispatch-fault drills (`--features fault-injection`): a panic at
+/// the `serve_async.batch.take` / `serve_async.engine.call` sites fails
+/// exactly the in-flight batch with a typed error — readable before AND
+/// after shutdown — and the dispatcher survives to serve the next batch.
+/// The `serve_async.swap` site panics the swap caller without touching the
+/// dispatcher.
+#[cfg(feature = "fault-injection")]
+mod injection {
+    use super::*;
+    use msopds_faultline::{set_plan, FaultPlan};
+    use msopds_serve_async::TicketError;
+    use std::sync::Mutex;
+
+    static SERIAL: Mutex<()> = Mutex::new(());
+
+    fn arm(plan: &str) {
+        set_plan(Some(FaultPlan::parse(plan).expect("valid drill plan")));
+    }
+
+    #[test]
+    fn dispatch_panic_fails_only_its_batch_and_wait_stays_typed_after_shutdown() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        for site in ["serve_async.batch.take", "serve_async.engine.call"] {
+            let server = AsyncServer::start(lcg_model(64, 48, 8, 1.0), cfg(64));
+            server.pause();
+            let doomed = server.submit(5).unwrap();
+            arm(&format!("seed=11;{site}=panic@1"));
+            server.resume();
+            assert_eq!(
+                doomed.wait(),
+                Err(TicketError::DispatchFailed),
+                "site {site}: the felled batch fails typed, no hang"
+            );
+            set_plan(None);
+
+            // The dispatcher caught the unwind: the next batch serves.
+            let healthy = server.submit(5).unwrap();
+            assert!(!healthy.wait().expect("dispatcher survived").is_empty());
+
+            let stats = server.shutdown();
+            assert_eq!(stats.failed, 1, "site {site}");
+            assert_eq!(stats.completed, 1, "site {site}");
+            // Terminal states persist after shutdown — typed, not poisoned.
+            assert_eq!(doomed.try_take(), Some(Err(TicketError::DispatchFailed)));
+        }
+    }
+
+    #[test]
+    fn swap_site_panic_hits_the_caller_not_the_dispatcher() {
+        let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+        let server = AsyncServer::start(lcg_model(64, 48, 8, 1.0), cfg(64));
+        arm("seed=12;serve_async.swap=panic@1");
+        let unwound = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = server.swap_model(Arc::new(lcg_model(64, 48, 8, 2.0)));
+        }));
+        set_plan(None);
+        assert!(unwound.is_err(), "the swap site must fire on the calling thread");
+
+        // Serving never noticed: the dispatcher thread was not involved.
+        assert!(!server.submit(9).unwrap().wait().expect("unaffected").is_empty());
+        let stats = server.shutdown();
+        assert_eq!(stats.swaps, 0, "the panicked swap never landed");
+    }
+}

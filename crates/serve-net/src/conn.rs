@@ -1,0 +1,283 @@
+//! Per-connection state: nonblocking read/write buffers, the incremental
+//! frame decoder, and the in-flight window that drives backpressure.
+//!
+//! A [`Conn`] owns one nonblocking `TcpStream` plus everything the poll loop
+//! needs to know about it:
+//!
+//! * a [`FrameDecoder`] fed by [`Conn::fill`] — reads are nonblocking and
+//!   stop at `WouldBlock`;
+//! * a pending write buffer drained by [`Conn::flush`] — partial writes keep
+//!   their offset, and *progress* (any byte accepted by the kernel) stamps
+//!   [`Conn::last_progress_ns`], which the server's slow-client eviction
+//!   watches;
+//! * `in_flight`, the count of admitted queries whose responses have not yet
+//!   been queued. The server stops *reading* from a connection whose window
+//!   is full or whose write buffer is over its high-water mark — bytes then
+//!   back up in the kernel socket buffer and TCP pushes back on the client.
+//!
+//! Socket fault sites (armed by the `fault-injection` feature and a
+//! `MSOPDS_FAULT_PLAN`):
+//!
+//! | site                   | effect of a `trip`                       |
+//! |------------------------|------------------------------------------|
+//! | `serve_net.read`       | short read: deliver at most 1 byte       |
+//! | `serve_net.write`      | short write: hand the kernel 1 byte      |
+//! | `serve_net.conn`       | forced disconnect (peer appears dead)    |
+//! | `serve_net.write.delay`| `delay_ms` stalls the flush in place     |
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+use msopds_faultline::{fault_point, fault_trip};
+
+use crate::frame::{Frame, FrameDecoder, FrameError};
+
+/// Stop reading from a connection whose pending write buffer exceeds this
+/// many bytes; resume once it drains below. Roughly 16 full-size top-K
+/// responses at K = 1024.
+pub const WRITE_HIGH_WATER: usize = 1 << 20;
+
+/// What one read pass produced.
+#[derive(Debug, PartialEq, Eq)]
+pub enum ReadOutcome {
+    /// Bytes (possibly zero) were buffered; the stream is still open.
+    Open,
+    /// Orderly EOF, a reset, or an injected disconnect: the peer is gone.
+    Disconnected,
+}
+
+/// One live client connection.
+pub struct Conn {
+    stream: TcpStream,
+    decoder: FrameDecoder,
+    out: Vec<u8>,
+    out_at: usize,
+    /// Admitted queries not yet answered into `out`.
+    pub in_flight: usize,
+    /// Monotonic ns of the last write progress (or accept), for slow-client
+    /// eviction.
+    pub last_progress_ns: u64,
+    /// Set once the codec errors or the peer disconnects; the server
+    /// finishes the write buffer (if possible) and closes.
+    pub dead: bool,
+}
+
+impl Conn {
+    /// Wraps an accepted stream, switching it to nonblocking mode.
+    /// `sndbuf` caps the kernel send buffer (`SO_SNDBUF`) so one slow client
+    /// cannot pin megabytes of kernel memory before the write-timeout
+    /// eviction notices it has stopped reading.
+    pub fn new(stream: TcpStream, now_ns: u64, sndbuf: Option<usize>) -> io::Result<Self> {
+        stream.set_nonblocking(true)?;
+        stream.set_nodelay(true)?;
+        if let Some(bytes) = sndbuf {
+            use std::os::fd::AsRawFd;
+            crate::poll::set_sndbuf(stream.as_raw_fd(), bytes.min(i32::MAX as usize) as i32)?;
+        }
+        Ok(Conn {
+            stream,
+            decoder: FrameDecoder::new(),
+            out: Vec::new(),
+            out_at: 0,
+            in_flight: 0,
+            last_progress_ns: now_ns,
+            dead: false,
+        })
+    }
+
+    /// The underlying descriptor, for the poll set.
+    pub fn stream(&self) -> &TcpStream {
+        &self.stream
+    }
+
+    /// Bytes queued for the peer but not yet accepted by the kernel.
+    pub fn pending_write(&self) -> usize {
+        self.out.len() - self.out_at
+    }
+
+    /// True while the peer deserves `POLLIN`: alive, window open, and not
+    /// drowning in unflushed responses.
+    pub fn wants_read(&self, conn_window: usize) -> bool {
+        !self.dead && self.in_flight < conn_window && self.pending_write() < WRITE_HIGH_WATER
+    }
+
+    /// True while there are bytes to flush.
+    pub fn wants_write(&self) -> bool {
+        self.pending_write() > 0
+    }
+
+    /// Nonblocking read pass: pulls whatever the kernel has into the frame
+    /// decoder. Never blocks, never errors on `WouldBlock`/`Interrupted`;
+    /// any other I/O error is a disconnect.
+    pub fn fill(&mut self) -> ReadOutcome {
+        if fault_trip("serve_net.conn") {
+            return ReadOutcome::Disconnected;
+        }
+        let mut buf = [0u8; 16 * 1024];
+        loop {
+            // An injected short read shrinks the buffer BEFORE the syscall —
+            // truncating afterwards would discard bytes the kernel already
+            // handed over and corrupt the stream.
+            let cap = if fault_trip("serve_net.read") { 1 } else { buf.len() };
+            match self.stream.read(&mut buf[..cap]) {
+                Ok(0) => return ReadOutcome::Disconnected,
+                Ok(n) => {
+                    self.decoder.extend(&buf[..n]);
+                    if n < cap {
+                        return ReadOutcome::Open; // kernel buffer drained
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return ReadOutcome::Open,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return ReadOutcome::Disconnected,
+            }
+        }
+    }
+
+    /// Pops the next complete frame from the decoder. Decode errors mark
+    /// the connection dead — a length-prefixed stream cannot resynchronize
+    /// after corruption, so the only safe move is to close.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>, FrameError> {
+        match self.decoder.next() {
+            Ok(f) => Ok(f),
+            Err(e) => {
+                self.dead = true;
+                Err(e)
+            }
+        }
+    }
+
+    /// Bytes sitting in the decoder mid-frame (non-zero at disconnect means
+    /// the peer died mid-frame).
+    pub fn torn_bytes(&self) -> usize {
+        self.decoder.pending()
+    }
+
+    /// Queues a frame for the peer.
+    pub fn queue(&mut self, frame: &Frame) {
+        // Compact the consumed prefix before growing, same policy as the
+        // decoder: copy-free steady state, bounded memory.
+        if self.out_at > 4096 && self.out_at * 2 > self.out.len() {
+            self.out.drain(..self.out_at);
+            self.out_at = 0;
+        }
+        frame.encode(&mut self.out);
+    }
+
+    /// Nonblocking write pass. Returns `Ok(true)` if any byte was accepted
+    /// (progress — the eviction clock resets), `Ok(false)` on `WouldBlock`
+    /// with nothing accepted, `Err` on a dead peer.
+    pub fn flush(&mut self, now_ns: u64) -> io::Result<bool> {
+        fault_point!("serve_net.write.delay");
+        let mut progressed = false;
+        while self.out_at < self.out.len() {
+            let mut chunk = &self.out[self.out_at..];
+            if fault_trip("serve_net.write") {
+                chunk = &chunk[..1.min(chunk.len())]; // injected short write
+            }
+            match self.stream.write(chunk) {
+                Ok(0) => return Err(io::ErrorKind::WriteZero.into()),
+                Ok(n) => {
+                    self.out_at += n;
+                    progressed = true;
+                    self.last_progress_ns = now_ns;
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        if self.out_at == self.out.len() {
+            self.out.clear();
+            self.out_at = 0;
+        }
+        Ok(progressed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+
+    fn pair() -> (TcpStream, Conn) {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+        (client, Conn::new(server_side, 0, None).unwrap())
+    }
+
+    #[test]
+    fn fill_decodes_frames_written_by_peer() {
+        let (mut client, mut conn) = pair();
+        let q = Frame::Query { request_id: 5, user: 2, deadline_us: 0, idempotent: true };
+        client.write_all(&q.to_bytes()).unwrap();
+        client.flush().unwrap();
+        // Nonblocking: loop until the kernel delivers.
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            assert_eq!(conn.fill(), ReadOutcome::Open);
+            match conn.next_frame().unwrap() {
+                Some(f) => {
+                    assert_eq!(f, q);
+                    break;
+                }
+                None => {
+                    assert!(std::time::Instant::now() < deadline, "frame never arrived");
+                    std::thread::yield_now();
+                }
+            }
+        }
+        assert_eq!(conn.torn_bytes(), 0);
+    }
+
+    #[test]
+    fn fill_reports_disconnect_on_peer_close() {
+        let (client, mut conn) = pair();
+        drop(client);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+        loop {
+            match conn.fill() {
+                ReadOutcome::Disconnected => break,
+                ReadOutcome::Open => {
+                    assert!(std::time::Instant::now() < deadline, "close never observed");
+                    std::thread::yield_now();
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn window_and_high_water_gate_reads() {
+        let (_client, mut conn) = pair();
+        assert!(conn.wants_read(2));
+        conn.in_flight = 2;
+        assert!(!conn.wants_read(2), "full window must stop reads");
+        conn.in_flight = 0;
+        conn.out = vec![0u8; WRITE_HIGH_WATER + 1];
+        assert!(!conn.wants_read(2), "over high-water must stop reads");
+    }
+
+    #[test]
+    fn flush_makes_progress_and_clears_buffer() {
+        let (mut client, mut conn) = pair();
+        let r = Frame::Reject {
+            request_id: 1,
+            reason: crate::frame::RejectReason::Draining,
+            detail: 0,
+        };
+        conn.queue(&r);
+        assert!(conn.wants_write());
+        let progressed = conn.flush(7).unwrap();
+        assert!(progressed);
+        assert_eq!(conn.last_progress_ns, 7);
+        assert!(!conn.wants_write());
+
+        let mut dec = FrameDecoder::new();
+        let mut buf = [0u8; 256];
+        let n = client.read(&mut buf).unwrap();
+        dec.extend(&buf[..n]);
+        assert_eq!(dec.next().unwrap().unwrap(), r);
+    }
+}

@@ -1,0 +1,527 @@
+//! The length-prefixed binary wire protocol (version 1).
+//!
+//! Every frame is a fixed 6-byte header followed by a kind-specific payload:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     payload_len  (u32 LE — bytes after the 6-byte header)
+//! 4       1     version      (WIRE_VERSION = 1)
+//! 5       1     kind         (FrameKind discriminant)
+//! 6..     n     payload
+//! ```
+//!
+//! | kind | name   | payload |
+//! |------|--------|---------|
+//! | 1    | Query  | `request_id u64, user u64, deadline_us u32 (0 = none), flags u8 (bit 0: idempotent)` |
+//! | 2    | TopK   | `request_id u64, count u16, count × (item u32, score f64 LE bits)` |
+//! | 3    | Reject | `request_id u64, reason u8, detail u64` |
+//!
+//! All integers little-endian; scores travel as `f64::to_bits` so served
+//! lists round-trip bit-exactly (the serving tier's answers are bit-stable —
+//! the wire must not be the layer that loses that).
+//!
+//! ## Robustness contract
+//!
+//! [`FrameDecoder`] **never panics** on hostile input: truncation anywhere is
+//! `Ok(None)` (wait for more bytes), and a malformed header or payload is a
+//! typed [`FrameError`] naming what broke. The torn-frame fuzz suite in
+//! `tests/frame_props.rs` pins truncation-at-every-byte and flipped-byte
+//! behavior the same way the snapshot codec's property suite does.
+//! `payload_len` is validated against [`MAX_PAYLOAD`] *before* any
+//! allocation, so a hostile 4-byte prefix cannot balloon memory.
+
+use msopds_serve::ScoredItem;
+
+/// Protocol version emitted and accepted by this build.
+pub const WIRE_VERSION: u8 = 1;
+
+/// Frame header length: `payload_len (4) + version (1) + kind (1)`.
+pub const HEADER_LEN: usize = 6;
+
+/// Upper bound on a frame payload. Generous for any plausible top-K response
+/// (a 4096-item list is ~48 KiB) while keeping a hostile length prefix from
+/// reserving gigabytes.
+pub const MAX_PAYLOAD: usize = 1 << 20;
+
+/// Why a query was refused, on the wire. The discriminants are the protocol —
+/// never renumber them.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum RejectReason {
+    /// The admission queue was at capacity (`detail` = the configured cap) —
+    /// the RESOURCE_EXHAUSTED mapping of the typed `Overloaded` shed.
+    ResourceExhausted = 1,
+    /// The user id was outside the served model's universe (`detail` =
+    /// `n_users`).
+    UnknownUser = 2,
+    /// The server is draining and accepts no new queries (`detail` = 0).
+    Draining = 3,
+    /// The query's deadline expired before its response was ready (`detail`
+    /// = elapsed µs on the server).
+    DeadlineExceeded = 4,
+}
+
+impl RejectReason {
+    fn from_wire(raw: u8) -> Result<Self, FrameError> {
+        match raw {
+            1 => Ok(RejectReason::ResourceExhausted),
+            2 => Ok(RejectReason::UnknownUser),
+            3 => Ok(RejectReason::Draining),
+            4 => Ok(RejectReason::DeadlineExceeded),
+            other => Err(FrameError::BadPayload {
+                kind: FrameKind::Reject,
+                what: "unknown reject reason",
+                value: other as u64,
+            }),
+        }
+    }
+}
+
+impl std::fmt::Display for RejectReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RejectReason::ResourceExhausted => write!(f, "resource-exhausted"),
+            RejectReason::UnknownUser => write!(f, "unknown-user"),
+            RejectReason::Draining => write!(f, "draining"),
+            RejectReason::DeadlineExceeded => write!(f, "deadline-exceeded"),
+        }
+    }
+}
+
+/// Frame discriminants (the `kind` header byte).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(u8)]
+pub enum FrameKind {
+    /// Client → server: score one user.
+    Query = 1,
+    /// Server → client: the served top-K list.
+    TopK = 2,
+    /// Server → client: typed refusal.
+    Reject = 3,
+}
+
+/// One decoded protocol frame.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Frame {
+    /// A client query.
+    Query {
+        /// Client-chosen correlation id, echoed on the response.
+        request_id: u64,
+        /// User to score.
+        user: u64,
+        /// Server-side latency budget in µs; 0 means none. Propagated so the
+        /// server can shed deadline-exceeded work instead of answering late.
+        deadline_us: u32,
+        /// True when the client may safely resubmit this query after a
+        /// reconnect (top-K reads always are; the flag exists so the retry
+        /// rule is carried per-query, not assumed).
+        idempotent: bool,
+    },
+    /// A served answer.
+    TopK {
+        /// Correlation id of the query this answers.
+        request_id: u64,
+        /// The top-K list, scores bit-exact.
+        items: Vec<ScoredItem>,
+    },
+    /// A typed refusal.
+    Reject {
+        /// Correlation id of the refused query.
+        request_id: u64,
+        /// Why.
+        reason: RejectReason,
+        /// Reason-specific detail (queue cap, n_users, elapsed µs).
+        detail: u64,
+    },
+}
+
+/// Typed decode failures. `Truncated` is *not* among them — incomplete input
+/// is the normal streaming state ([`FrameDecoder::next`] returns `Ok(None)`),
+/// not an error.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum FrameError {
+    /// The version byte disagrees with [`WIRE_VERSION`].
+    BadVersion {
+        /// The version byte received.
+        got: u8,
+    },
+    /// The kind byte names no known frame.
+    BadKind {
+        /// The kind byte received.
+        got: u8,
+    },
+    /// The length prefix exceeds [`MAX_PAYLOAD`].
+    Oversize {
+        /// The advertised payload length.
+        len: u64,
+    },
+    /// The payload does not parse as its kind claims (wrong length, bad
+    /// reason byte, item count disagreeing with the payload size).
+    BadPayload {
+        /// The frame kind whose payload broke.
+        kind: FrameKind,
+        /// What was wrong.
+        what: &'static str,
+        /// The offending value.
+        value: u64,
+    },
+}
+
+impl std::fmt::Display for FrameError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FrameError::BadVersion { got } => {
+                write!(f, "frame version {got} (this build speaks {WIRE_VERSION})")
+            }
+            FrameError::BadKind { got } => write!(f, "unknown frame kind {got}"),
+            FrameError::Oversize { len } => {
+                write!(f, "payload length {len} exceeds the {MAX_PAYLOAD}-byte cap")
+            }
+            FrameError::BadPayload { kind, what, value } => {
+                write!(f, "bad {kind:?} payload: {what} ({value})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FrameError {}
+
+impl Frame {
+    /// Appends this frame's wire encoding to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let header_at = out.len();
+        out.extend_from_slice(&[0, 0, 0, 0, WIRE_VERSION, 0]);
+        match self {
+            Frame::Query { request_id, user, deadline_us, idempotent } => {
+                out[header_at + 5] = FrameKind::Query as u8;
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&user.to_le_bytes());
+                out.extend_from_slice(&deadline_us.to_le_bytes());
+                out.push(u8::from(*idempotent));
+            }
+            Frame::TopK { request_id, items } => {
+                out[header_at + 5] = FrameKind::TopK as u8;
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.extend_from_slice(&(items.len() as u16).to_le_bytes());
+                for item in items {
+                    out.extend_from_slice(&item.item.to_le_bytes());
+                    out.extend_from_slice(&item.score.to_bits().to_le_bytes());
+                }
+            }
+            Frame::Reject { request_id, reason, detail } => {
+                out[header_at + 5] = FrameKind::Reject as u8;
+                out.extend_from_slice(&request_id.to_le_bytes());
+                out.push(*reason as u8);
+                out.extend_from_slice(&detail.to_le_bytes());
+            }
+        }
+        let payload_len = (out.len() - header_at - HEADER_LEN) as u32;
+        out[header_at..header_at + 4].copy_from_slice(&payload_len.to_le_bytes());
+    }
+
+    /// This frame's wire encoding as a fresh buffer.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(HEADER_LEN + 32);
+        self.encode(&mut out);
+        out
+    }
+
+    /// The correlation id carried by any frame kind.
+    pub fn request_id(&self) -> u64 {
+        match self {
+            Frame::Query { request_id, .. }
+            | Frame::TopK { request_id, .. }
+            | Frame::Reject { request_id, .. } => *request_id,
+        }
+    }
+}
+
+/// A little-endian cursor over one payload; every read is bounds-checked
+/// against the payload length so malformed frames surface as typed errors.
+struct Cursor<'a> {
+    buf: &'a [u8],
+    at: usize,
+    kind: FrameKind,
+}
+
+impl<'a> Cursor<'a> {
+    fn take<const N: usize>(&mut self, what: &'static str) -> Result<[u8; N], FrameError> {
+        let end = self.at.checked_add(N).filter(|&end| end <= self.buf.len()).ok_or(
+            FrameError::BadPayload { kind: self.kind, what, value: self.buf.len() as u64 },
+        )?;
+        let mut out = [0u8; N];
+        out.copy_from_slice(&self.buf[self.at..end]);
+        self.at = end;
+        Ok(out)
+    }
+
+    fn u8(&mut self, what: &'static str) -> Result<u8, FrameError> {
+        Ok(self.take::<1>(what)?[0])
+    }
+
+    fn u16(&mut self, what: &'static str) -> Result<u16, FrameError> {
+        Ok(u16::from_le_bytes(self.take(what)?))
+    }
+
+    fn u32(&mut self, what: &'static str) -> Result<u32, FrameError> {
+        Ok(u32::from_le_bytes(self.take(what)?))
+    }
+
+    fn u64(&mut self, what: &'static str) -> Result<u64, FrameError> {
+        Ok(u64::from_le_bytes(self.take(what)?))
+    }
+
+    fn finish(self) -> Result<(), FrameError> {
+        if self.at == self.buf.len() {
+            Ok(())
+        } else {
+            Err(FrameError::BadPayload {
+                kind: self.kind,
+                what: "trailing bytes after payload",
+                value: (self.buf.len() - self.at) as u64,
+            })
+        }
+    }
+}
+
+fn decode_payload(kind: FrameKind, payload: &[u8]) -> Result<Frame, FrameError> {
+    let mut c = Cursor { buf: payload, at: 0, kind };
+    let frame = match kind {
+        FrameKind::Query => {
+            let request_id = c.u64("missing request id")?;
+            let user = c.u64("missing user id")?;
+            let deadline_us = c.u32("missing deadline")?;
+            let flags = c.u8("missing flags")?;
+            Frame::Query { request_id, user, deadline_us, idempotent: flags & 1 != 0 }
+        }
+        FrameKind::TopK => {
+            let request_id = c.u64("missing request id")?;
+            let count = c.u16("missing item count")? as usize;
+            let expect = payload.len().saturating_sub(10);
+            if count * 12 != expect {
+                return Err(FrameError::BadPayload {
+                    kind,
+                    what: "item count disagrees with payload size",
+                    value: count as u64,
+                });
+            }
+            let mut items = Vec::with_capacity(count);
+            for _ in 0..count {
+                let item = c.u32("truncated item id")?;
+                let score = f64::from_bits(c.u64("truncated score")?);
+                items.push(ScoredItem { item, score });
+            }
+            Frame::TopK { request_id, items }
+        }
+        FrameKind::Reject => {
+            let request_id = c.u64("missing request id")?;
+            let reason = RejectReason::from_wire(c.u8("missing reason")?)?;
+            let detail = c.u64("missing detail")?;
+            Frame::Reject { request_id, reason, detail }
+        }
+    };
+    c.finish()?;
+    Ok(frame)
+}
+
+/// An incremental frame parser over a byte stream. Feed arbitrary chunks in
+/// with [`FrameDecoder::extend`]; pop complete frames with
+/// [`FrameDecoder::next`]. Holds at most one frame plus one read chunk of
+/// bytes — the connection layer's backpressure keeps it from growing beyond
+/// that.
+#[derive(Debug, Default)]
+pub struct FrameDecoder {
+    buf: Vec<u8>,
+    at: usize,
+}
+
+impl FrameDecoder {
+    /// An empty decoder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends raw received bytes.
+    pub fn extend(&mut self, bytes: &[u8]) {
+        // Compact lazily: only when the consumed prefix dominates the buffer,
+        // so steady-state decoding is copy-free.
+        if self.at > 4096 && self.at * 2 > self.buf.len() {
+            self.buf.drain(..self.at);
+            self.at = 0;
+        }
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Bytes buffered but not yet decoded (a non-zero value at connection
+    /// close means the peer died mid-frame).
+    pub fn pending(&self) -> usize {
+        self.buf.len() - self.at
+    }
+
+    /// Pops the next complete frame: `Ok(Some(frame))`, `Ok(None)` when the
+    /// buffered bytes end mid-frame (not an error — stream more), or a typed
+    /// [`FrameError`] on malformed input. After an error the decoder's state
+    /// is unspecified; the connection layer closes the link (framing is lost
+    /// — there is no way to resynchronize a length-prefixed stream).
+    ///
+    /// Deliberately not `Iterator`: the fallible `Result<Option<_>>` shape
+    /// (errors are terminal, `None` means "stream more bytes") doesn't fit
+    /// the trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<Frame>, FrameError> {
+        let avail = &self.buf[self.at..];
+        if avail.len() < HEADER_LEN {
+            return Ok(None);
+        }
+        let payload_len = u32::from_le_bytes([avail[0], avail[1], avail[2], avail[3]]) as usize;
+        if payload_len > MAX_PAYLOAD {
+            return Err(FrameError::Oversize { len: payload_len as u64 });
+        }
+        let version = avail[4];
+        if version != WIRE_VERSION {
+            return Err(FrameError::BadVersion { got: version });
+        }
+        let kind = match avail[5] {
+            1 => FrameKind::Query,
+            2 => FrameKind::TopK,
+            3 => FrameKind::Reject,
+            other => return Err(FrameError::BadKind { got: other }),
+        };
+        if avail.len() < HEADER_LEN + payload_len {
+            return Ok(None);
+        }
+        let payload = &avail[HEADER_LEN..HEADER_LEN + payload_len];
+        let frame = decode_payload(kind, payload)?;
+        self.at += HEADER_LEN + payload_len;
+        Ok(Some(frame))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_frames() -> Vec<Frame> {
+        vec![
+            Frame::Query { request_id: 7, user: 123, deadline_us: 2500, idempotent: true },
+            Frame::Query { request_id: 8, user: 0, deadline_us: 0, idempotent: false },
+            Frame::TopK {
+                request_id: 7,
+                items: vec![
+                    ScoredItem { item: 3, score: 4.25 },
+                    ScoredItem { item: 9, score: -0.5 },
+                ],
+            },
+            Frame::TopK { request_id: 9, items: vec![] },
+            Frame::Reject { request_id: 8, reason: RejectReason::ResourceExhausted, detail: 256 },
+            Frame::Reject { request_id: 1, reason: RejectReason::DeadlineExceeded, detail: 917 },
+        ]
+    }
+
+    #[test]
+    fn frames_round_trip_through_one_stream() {
+        let frames = sample_frames();
+        let mut wire = Vec::new();
+        for f in &frames {
+            f.encode(&mut wire);
+        }
+        let mut dec = FrameDecoder::new();
+        // Feed in awkward 3-byte chunks to exercise the streaming path.
+        for chunk in wire.chunks(3) {
+            dec.extend(chunk);
+        }
+        let mut got = Vec::new();
+        while let Some(f) = dec.next().expect("valid stream") {
+            got.push(f);
+        }
+        assert_eq!(got, frames);
+        assert_eq!(dec.pending(), 0);
+    }
+
+    #[test]
+    fn scores_survive_bit_exactly() {
+        let tricky = [f64::MIN_POSITIVE, -0.0, 1.0 / 3.0, f64::MAX, f64::NEG_INFINITY];
+        for (i, &score) in tricky.iter().enumerate() {
+            let f = Frame::TopK {
+                request_id: i as u64,
+                items: vec![ScoredItem { item: i as u32, score }],
+            };
+            let mut dec = FrameDecoder::new();
+            dec.extend(&f.to_bytes());
+            match dec.next().unwrap().unwrap() {
+                Frame::TopK { items, .. } => {
+                    assert_eq!(items[0].score.to_bits(), score.to_bits());
+                }
+                other => panic!("wrong frame {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn truncation_is_not_an_error() {
+        let wire = sample_frames()[0].to_bytes();
+        for cut in 0..wire.len() {
+            let mut dec = FrameDecoder::new();
+            dec.extend(&wire[..cut]);
+            assert_eq!(dec.next(), Ok(None), "prefix of {cut} bytes must just wait");
+        }
+    }
+
+    #[test]
+    fn bad_version_kind_and_oversize_are_typed() {
+        let mut wire = sample_frames()[0].to_bytes();
+        wire[4] = 9;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.next(), Err(FrameError::BadVersion { got: 9 }));
+
+        let mut wire = sample_frames()[0].to_bytes();
+        wire[5] = 77;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert_eq!(dec.next(), Err(FrameError::BadKind { got: 77 }));
+
+        let mut dec = FrameDecoder::new();
+        dec.extend(&u32::MAX.to_le_bytes());
+        dec.extend(&[WIRE_VERSION, 1]);
+        assert_eq!(dec.next(), Err(FrameError::Oversize { len: u32::MAX as u64 }));
+    }
+
+    #[test]
+    fn payload_mismatches_are_typed() {
+        // A TopK whose count promises more items than the payload carries.
+        let mut wire = Vec::new();
+        Frame::TopK { request_id: 1, items: vec![ScoredItem { item: 1, score: 1.0 }] }
+            .encode(&mut wire);
+        wire[HEADER_LEN + 8] = 5; // count 5, payload sized for 1
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next(), Err(FrameError::BadPayload { kind: FrameKind::TopK, .. })));
+
+        // A Reject with an unknown reason byte.
+        let mut wire = Vec::new();
+        Frame::Reject { request_id: 1, reason: RejectReason::Draining, detail: 0 }
+            .encode(&mut wire);
+        wire[HEADER_LEN + 8] = 200;
+        let mut dec = FrameDecoder::new();
+        dec.extend(&wire);
+        assert!(matches!(dec.next(), Err(FrameError::BadPayload { kind: FrameKind::Reject, .. })));
+    }
+
+    #[test]
+    fn decoder_compacts_but_preserves_partial_frames() {
+        let frame = sample_frames()[2].to_bytes();
+        let mut dec = FrameDecoder::new();
+        // Push enough traffic through to trigger compaction several times.
+        for _ in 0..2000 {
+            dec.extend(&frame);
+            assert!(dec.next().unwrap().is_some());
+        }
+        // End on a split frame across the compaction boundary.
+        dec.extend(&frame[..7]);
+        assert_eq!(dec.next(), Ok(None));
+        dec.extend(&frame[7..]);
+        assert!(dec.next().unwrap().is_some());
+        assert_eq!(dec.pending(), 0);
+    }
+}

@@ -1,0 +1,167 @@
+//! Minimal raw-FFI wrappers around `poll(2)` and `signal(2)`.
+//!
+//! The workspace vendors no I/O or FFI crates (no `mio`, no `libc`), so the
+//! two syscalls the transport needs are declared here directly. Both are
+//! POSIX-stable ABI on every platform this repo targets (Linux x86-64 /
+//! aarch64); the struct layout below is the kernel's own.
+//!
+//! Everything unsafe in the crate lives in this module, behind two safe
+//! entry points: [`poll`] over borrowed [`PollFd`]s and
+//! [`install_drain_handler`] flipping a process-global [`AtomicBool`].
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// `poll(2)` readiness flags (values from the Linux ABI).
+pub mod events {
+    /// Readable (or a peer close with buffered data still to read).
+    pub const POLLIN: i16 = 0x1;
+    /// Writable without blocking.
+    pub const POLLOUT: i16 = 0x4;
+    /// Error condition (revents only).
+    pub const POLLERR: i16 = 0x8;
+    /// Peer hung up (revents only).
+    pub const POLLHUP: i16 = 0x10;
+}
+
+/// One `struct pollfd`, layout-compatible with the kernel's.
+#[repr(C)]
+#[derive(Clone, Copy, Debug)]
+pub struct PollFd {
+    /// The file descriptor to watch.
+    pub fd: RawFd,
+    /// Requested events (`POLLIN | POLLOUT`).
+    pub events: i16,
+    /// Kernel-reported events; valid after [`poll`] returns.
+    pub revents: i16,
+}
+
+impl PollFd {
+    /// Watches `fd` for `events`, with `revents` cleared.
+    pub fn new(fd: RawFd, events: i16) -> Self {
+        PollFd { fd, events, revents: 0 }
+    }
+
+    /// True if any of `mask`'s bits came back in `revents`.
+    pub fn has(&self, mask: i16) -> bool {
+        self.revents & mask != 0
+    }
+}
+
+extern "C" {
+    fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    fn signal(signum: i32, handler: usize) -> usize;
+    fn setsockopt(fd: i32, level: i32, name: i32, value: *const i32, len: u32) -> i32;
+}
+
+/// Sets `SO_SNDBUF` on a socket (values from the Linux ABI). Used to bound
+/// the kernel-side memory one slow client can pin; the kernel doubles the
+/// requested value for bookkeeping overhead.
+pub(crate) fn set_sndbuf(fd: RawFd, bytes: i32) -> io::Result<()> {
+    const SOL_SOCKET: i32 = 1;
+    const SO_SNDBUF: i32 = 7;
+    // SAFETY: valid fd, valid i32 pointer + exact length for the call.
+    let rc =
+        unsafe { setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &bytes, std::mem::size_of::<i32>() as u32) };
+    if rc == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::last_os_error())
+    }
+}
+
+/// Blocks up to `timeout_ms` (-1 = forever) for readiness on `fds`. Returns
+/// the number of descriptors with non-zero `revents`. `EINTR` (a signal —
+/// e.g. the SIGTERM that starts a drain) is reported as `Ok(0)` so the
+/// caller's loop re-checks its drain flag instead of treating it as failure.
+pub fn poll_fds(fds: &mut [PollFd], timeout_ms: i32) -> io::Result<usize> {
+    // SAFETY: `fds` is a valid, exclusively borrowed slice of
+    // kernel-layout-compatible pollfd structs for the whole call, and the
+    // length is passed alongside it.
+    let rc = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms) };
+    if rc >= 0 {
+        return Ok(rc as usize);
+    }
+    let err = io::Error::last_os_error();
+    if err.kind() == io::ErrorKind::Interrupted {
+        Ok(0)
+    } else {
+        Err(err)
+    }
+}
+
+/// `SIGTERM`'s number (POSIX).
+pub const SIGTERM: i32 = 15;
+
+static DRAIN_REQUESTED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    // Only async-signal-safe work here: one relaxed atomic store.
+    DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+/// Installs a `SIGTERM` handler that flips the process-wide drain flag read
+/// by [`drain_requested`]. Idempotent; replaces any prior SIGTERM handler.
+pub fn install_drain_handler() -> io::Result<()> {
+    // SAFETY: `on_sigterm` is async-signal-safe (single atomic store) and
+    // has the C ABI signature signal(2) expects.
+    let prev = unsafe { signal(SIGTERM, on_sigterm as *const () as usize) };
+    const SIG_ERR: usize = usize::MAX;
+    if prev == SIG_ERR {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(())
+    }
+}
+
+/// True once `SIGTERM` has been received (or [`request_drain`] called).
+pub fn drain_requested() -> bool {
+    DRAIN_REQUESTED.load(Ordering::Relaxed)
+}
+
+/// Flips the drain flag programmatically — what the chaos suite uses to
+/// start a drain without involving real signals, and what tests use to
+/// reset between runs is intentionally absent: the flag is one-way within a
+/// process, matching SIGTERM semantics. In-process tests drive drains
+/// through `NetServer`'s explicit drain entry point instead.
+pub fn request_drain() {
+    DRAIN_REQUESTED.store(true, Ordering::Relaxed);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::os::fd::AsRawFd;
+    use std::os::unix::net::UnixStream;
+
+    #[test]
+    fn poll_reports_readable_after_write() {
+        let (mut a, b) = UnixStream::pair().unwrap();
+        let mut fds = [PollFd::new(b.as_raw_fd(), events::POLLIN)];
+        // Nothing written yet: a zero-timeout poll sees nothing.
+        assert_eq!(poll_fds(&mut fds, 0).unwrap(), 0);
+        assert!(!fds[0].has(events::POLLIN));
+
+        a.write_all(b"x").unwrap();
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(events::POLLIN));
+    }
+
+    #[test]
+    fn poll_reports_hup_on_peer_close() {
+        let (a, b) = UnixStream::pair().unwrap();
+        drop(a);
+        let mut fds = [PollFd::new(b.as_raw_fd(), events::POLLIN)];
+        let n = poll_fds(&mut fds, 1000).unwrap();
+        assert_eq!(n, 1);
+        assert!(fds[0].has(events::POLLIN | events::POLLHUP));
+    }
+
+    #[test]
+    fn drain_handler_installs() {
+        install_drain_handler().unwrap();
+    }
+}

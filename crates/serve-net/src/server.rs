@@ -1,0 +1,709 @@
+//! The poll-driven TCP front end over an [`AsyncServer`].
+//!
+//! One poll thread owns every socket. Each loop iteration:
+//!
+//! 1. `poll(2)` over the listener, the self-pipe wake fd, and every live
+//!    connection (POLLIN only while [`Conn::wants_read`] — the per-connection
+//!    backpressure gate — and POLLOUT only while bytes are pending);
+//! 2. drains the [`CompletionPump`]'s channel, turning each resolved ticket
+//!    into a `TopK` frame (or a `DeadlineExceeded` reject when the query's
+//!    propagated budget expired server-side) queued on its connection;
+//! 3. accepts new connections (unless draining), reads and decodes queries,
+//!    admits them into the async tier, and maps typed admission failures to
+//!    wire rejects;
+//! 4. flushes write buffers and evicts clients that accept no bytes for
+//!    [`NetServeConfig::write_timeout_ms`].
+//!
+//! ## Accounting identity
+//!
+//! Every decoded query lands in **exactly one** bucket, decided at
+//! response-enqueue time:
+//!
+//! * `completed` — answered with a `TopK` (even if its connection died
+//!   before delivery; `undelivered` sub-counts those),
+//! * `rejected` — `ResourceExhausted` + `UnknownUser` + `DeadlineExceeded`,
+//! * `drained` — `Draining` rejects plus admitted tickets the shutting-down
+//!   server terminated without an answer.
+//!
+//! so `offered == completed + rejected + drained` holds *exactly*, by
+//! construction — the chaos suite asserts it through client kills, codec
+//! corruption and drain-under-load.
+//!
+//! ## Graceful drain
+//!
+//! `SIGTERM` (via [`crate::poll::install_drain_handler`]) or
+//! [`NetServer::drain`] flips the drain flag. The loop then stops accepting,
+//! answers new queries with `Reject{Draining}`, and keeps running until
+//! every in-flight ticket has resolved and every write buffer has flushed —
+//! bounded by [`NetServeConfig::drain_ms`]. Finally the async tier is shut
+//! down (its `Shutdown` flush serves everything still queued), the pump is
+//! joined, and any last completions are classified before the sockets close.
+//! A draining server never cuts a response frame in half.
+
+use std::collections::HashMap;
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::os::unix::net::UnixStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::Receiver;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use msopds_faultline::fault_trip;
+use msopds_serve_async::{AsyncServer, Completion, CompletionPump, ServeAsyncError, TicketError};
+use msopds_telemetry::Counter;
+
+use crate::conn::{Conn, ReadOutcome};
+use crate::frame::{Frame, RejectReason};
+use crate::poll::{self, events, PollFd};
+
+static CONNS_ACCEPTED: Counter = Counter::new("serve_net.conns.accepted");
+static CONNS_EVICTED: Counter = Counter::new("serve_net.conns.evicted");
+static OFFERED: Counter = Counter::new("serve_net.offered");
+static COMPLETED: Counter = Counter::new("serve_net.completed");
+static REJECTED: Counter = Counter::new("serve_net.rejected");
+static DRAINED: Counter = Counter::new("serve_net.drained");
+static UNDELIVERED: Counter = Counter::new("serve_net.undelivered");
+static CODEC_ERRORS: Counter = Counter::new("serve_net.codec_errors");
+static TORN_DISCONNECTS: Counter = Counter::new("serve_net.torn_disconnects");
+
+/// Knobs of the socket front end.
+#[derive(Clone, Copy, Debug)]
+pub struct NetServeConfig {
+    /// Max queries a single connection may have in flight before the server
+    /// stops reading from it (TCP then pushes back on the client).
+    pub conn_window: usize,
+    /// Evict a client that accepts no response bytes for this long while
+    /// bytes are pending (a reader that stopped reading must not pin server
+    /// memory).
+    pub write_timeout_ms: u64,
+    /// Upper bound on the graceful-drain wait; in-flight work still
+    /// unresolved after this is force-classified as drained.
+    pub drain_ms: u64,
+    /// Per-connection kernel send-buffer cap (`SO_SNDBUF`), `None` for the
+    /// OS default. Bounds the kernel memory a slow client can pin and makes
+    /// the write-timeout eviction trip at a predictable backlog instead of
+    /// wherever TCP autotuning happens to land.
+    pub sndbuf: Option<usize>,
+}
+
+impl Default for NetServeConfig {
+    fn default() -> Self {
+        Self { conn_window: 64, write_timeout_ms: 5_000, drain_ms: 1_000, sndbuf: None }
+    }
+}
+
+/// The socket tier's cumulative accounting. The identity
+/// `offered == completed + rejected + drained` holds exactly at every
+/// quiescent point (no bytes between decoder and bucket).
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NetStats {
+    /// Connections accepted.
+    pub conns_accepted: u64,
+    /// Connections evicted for write-timeout.
+    pub conns_evicted: u64,
+    /// Connections that disconnected (EOF/reset), including evictions.
+    pub conns_closed: u64,
+    /// Queries decoded off the wire.
+    pub offered: u64,
+    /// Queries answered with a `TopK` frame.
+    pub completed: u64,
+    /// Of `completed`: answers whose connection died before delivery (the
+    /// work was done; the bytes had nowhere to go).
+    pub undelivered: u64,
+    /// Sum of the three reject buckets below.
+    pub rejected: u64,
+    /// Sheds at the admission cap (`Reject{ResourceExhausted}`).
+    pub rejected_overload: u64,
+    /// Out-of-universe user ids (`Reject{UnknownUser}`).
+    pub rejected_unknown_user: u64,
+    /// Answers ready after the query's deadline (`Reject{DeadlineExceeded}`),
+    /// counted separately from admission sheds.
+    pub rejected_deadline: u64,
+    /// Queries refused because the server was draining, plus admitted
+    /// tickets terminated by shutdown without an answer.
+    pub drained: u64,
+    /// Streams that ended mid-frame (peer died with a partial frame
+    /// buffered).
+    pub torn_disconnects: u64,
+    /// Connections closed for malformed framing (typed decode errors —
+    /// never panics).
+    pub codec_errors: u64,
+}
+
+impl NetStats {
+    /// The accounting identity the chaos suite pins.
+    pub fn balanced(&self) -> bool {
+        self.offered == self.completed + self.rejected + self.drained
+            && self.rejected
+                == self.rejected_overload + self.rejected_unknown_user + self.rejected_deadline
+    }
+}
+
+/// Shared between the poll thread and the [`NetServer`] handle.
+struct Shared {
+    drain: AtomicBool,
+    wake_tx: UnixStream,
+    wake_armed: AtomicBool,
+    // Stats atomics, updated by the poll thread, readable live.
+    conns_accepted: AtomicU64,
+    conns_evicted: AtomicU64,
+    conns_closed: AtomicU64,
+    offered: AtomicU64,
+    completed: AtomicU64,
+    undelivered: AtomicU64,
+    rejected_overload: AtomicU64,
+    rejected_unknown_user: AtomicU64,
+    rejected_deadline: AtomicU64,
+    drained: AtomicU64,
+    torn_disconnects: AtomicU64,
+    codec_errors: AtomicU64,
+}
+
+impl Shared {
+    fn wake(&self) {
+        // Dedup wakes: one unread byte in the pipe is enough to interrupt
+        // poll; the reader disarms after draining.
+        if !self.wake_armed.swap(true, Ordering::AcqRel) {
+            let _ = (&self.wake_tx).write(&[1]);
+        }
+    }
+
+    fn stats(&self) -> NetStats {
+        let rejected_overload = self.rejected_overload.load(Ordering::Relaxed);
+        let rejected_unknown_user = self.rejected_unknown_user.load(Ordering::Relaxed);
+        let rejected_deadline = self.rejected_deadline.load(Ordering::Relaxed);
+        NetStats {
+            conns_accepted: self.conns_accepted.load(Ordering::Relaxed),
+            conns_evicted: self.conns_evicted.load(Ordering::Relaxed),
+            conns_closed: self.conns_closed.load(Ordering::Relaxed),
+            offered: self.offered.load(Ordering::Relaxed),
+            completed: self.completed.load(Ordering::Relaxed),
+            undelivered: self.undelivered.load(Ordering::Relaxed),
+            rejected: rejected_overload + rejected_unknown_user + rejected_deadline,
+            rejected_overload,
+            rejected_unknown_user,
+            rejected_deadline,
+            drained: self.drained.load(Ordering::Relaxed),
+            torn_disconnects: self.torn_disconnects.load(Ordering::Relaxed),
+            codec_errors: self.codec_errors.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// One admitted query awaiting its completion.
+struct PendingReq {
+    conn_id: u32,
+    request_id: u64,
+    deadline_us: u32,
+    admitted_at: Instant,
+}
+
+/// The TCP front end handle. Construction binds, spawns the poll thread and
+/// starts serving; [`NetServer::drain`] performs the graceful shutdown and
+/// returns the final accounting.
+pub struct NetServer {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    thread: Option<JoinHandle<NetStats>>,
+}
+
+impl NetServer {
+    /// Binds `addr` (`"host:0"` picks an ephemeral port — read it back with
+    /// [`NetServer::local_addr`]) and starts serving `server` behind it.
+    pub fn start(addr: &str, server: AsyncServer, cfg: NetServeConfig) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        listener.set_nonblocking(true)?;
+        let local = listener.local_addr()?;
+        let (wake_tx, wake_rx) = UnixStream::pair()?;
+        wake_tx.set_nonblocking(true)?;
+        wake_rx.set_nonblocking(true)?;
+        let shared = Arc::new(Shared {
+            drain: AtomicBool::new(false),
+            wake_tx,
+            wake_armed: AtomicBool::new(false),
+            conns_accepted: AtomicU64::new(0),
+            conns_evicted: AtomicU64::new(0),
+            conns_closed: AtomicU64::new(0),
+            offered: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            undelivered: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            rejected_unknown_user: AtomicU64::new(0),
+            rejected_deadline: AtomicU64::new(0),
+            drained: AtomicU64::new(0),
+            torn_disconnects: AtomicU64::new(0),
+            codec_errors: AtomicU64::new(0),
+        });
+        let thread = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-net-poll".to_string())
+                .spawn(move || PollLoop::new(listener, wake_rx, server, cfg, shared).run())
+                .expect("spawn serve-net poll thread")
+        };
+        Ok(Self { shared, addr: local, thread: Some(thread) })
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Live accounting (exact only at quiescent points; the post-drain
+    /// snapshot from [`NetServer::drain`] is always exact).
+    pub fn stats(&self) -> NetStats {
+        self.shared.stats()
+    }
+
+    /// Requests a graceful drain (the programmatic SIGTERM), waits for it to
+    /// finish, and returns the final — exactly balanced — accounting.
+    pub fn drain(mut self) -> NetStats {
+        self.shared.drain.store(true, Ordering::Release);
+        self.shared.wake();
+        let thread = self.thread.take().expect("poll thread present");
+        thread.join().expect("serve-net poll thread panicked")
+    }
+}
+
+impl Drop for NetServer {
+    fn drop(&mut self) {
+        if let Some(thread) = self.thread.take() {
+            self.shared.drain.store(true, Ordering::Release);
+            self.shared.wake();
+            let _ = thread.join();
+        }
+    }
+}
+
+struct PollLoop {
+    listener: TcpListener,
+    wake_rx: UnixStream,
+    server: Option<AsyncServer>,
+    cfg: NetServeConfig,
+    shared: Arc<Shared>,
+    conns: HashMap<u32, Conn>,
+    pending: HashMap<u64, PendingReq>,
+    pump: Option<CompletionPump>,
+    completions: Receiver<Completion>,
+    next_conn_id: u32,
+    next_token: u64,
+    started: Instant,
+}
+
+impl PollLoop {
+    fn new(
+        listener: TcpListener,
+        wake_rx: UnixStream,
+        server: AsyncServer,
+        cfg: NetServeConfig,
+        shared: Arc<Shared>,
+    ) -> Self {
+        let (pump, completions) = {
+            let shared = Arc::clone(&shared);
+            CompletionPump::start(move || shared.wake())
+        };
+        Self {
+            listener,
+            wake_rx,
+            server: Some(server),
+            cfg,
+            shared,
+            conns: HashMap::new(),
+            pending: HashMap::new(),
+            pump: Some(pump),
+            completions,
+            next_conn_id: 0,
+            next_token: 0,
+            started: Instant::now(),
+        }
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.started.elapsed().as_nanos() as u64
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.drain.load(Ordering::Acquire) || poll::drain_requested()
+    }
+
+    fn run(mut self) -> NetStats {
+        let mut drain_started: Option<Instant> = None;
+        loop {
+            let draining = self.draining();
+            if draining && drain_started.is_none() {
+                drain_started = Some(Instant::now());
+            }
+
+            // Drain is finished when nothing is in flight and every response
+            // byte reached a kernel buffer (or its peer died).
+            if draining {
+                let writes_pending = self.conns.values().any(Conn::wants_write);
+                let timed_out = drain_started
+                    .map(|t| t.elapsed().as_millis() as u64 >= self.cfg.drain_ms)
+                    .unwrap_or(false);
+                if (self.pending.is_empty() && !writes_pending) || timed_out {
+                    break;
+                }
+            }
+
+            // Assemble the poll set: wake pipe, listener (only while
+            // accepting), then one slot per connection with interest derived
+            // from the backpressure state.
+            let mut fds = Vec::with_capacity(2 + self.conns.len());
+            let mut ids = Vec::with_capacity(self.conns.len());
+            fds.push(PollFd::new(self.wake_rx.as_raw_fd(), events::POLLIN));
+            let listener_slot = if draining {
+                usize::MAX
+            } else {
+                fds.push(PollFd::new(self.listener.as_raw_fd(), events::POLLIN));
+                fds.len() - 1
+            };
+            for (&id, conn) in &self.conns {
+                let mut interest = 0i16;
+                if conn.wants_read(self.cfg.conn_window) {
+                    interest |= events::POLLIN;
+                }
+                if conn.wants_write() {
+                    interest |= events::POLLOUT;
+                }
+                ids.push((id, fds.len()));
+                fds.push(PollFd::new(conn.stream().as_raw_fd(), interest));
+            }
+
+            // Short timeout so SIGTERM (no wake byte) and the eviction sweep
+            // are both noticed promptly even on an idle server.
+            if let Err(e) = poll::poll_fds(&mut fds, 20) {
+                // poll failing outright means the fd set itself is broken;
+                // treat it as a drain trigger rather than spinning.
+                eprintln!("serve-net: poll failed: {e}");
+                self.shared.drain.store(true, Ordering::Release);
+                continue;
+            }
+
+            if fds[0].has(events::POLLIN) {
+                let mut sink = [0u8; 64];
+                while matches!((&self.wake_rx).read(&mut sink), Ok(n) if n > 0) {}
+                self.shared.wake_armed.store(false, Ordering::Release);
+            }
+
+            self.pump_completions();
+
+            if listener_slot != usize::MAX && fds[listener_slot].has(events::POLLIN) {
+                self.accept_ready();
+            }
+
+            // Read/decode pass. Run the decode loop for every connection —
+            // a window that just reopened may have whole frames already
+            // buffered, with no new readiness to announce them.
+            let mut dead: Vec<u32> = Vec::new();
+            for (id, slot) in &ids {
+                let readable = fds[*slot].has(events::POLLIN | events::POLLHUP | events::POLLERR);
+                if let Some(conn) = self.conns.get_mut(id) {
+                    if readable && !conn.dead && conn.fill() == ReadOutcome::Disconnected {
+                        conn.dead = true;
+                        if conn.torn_bytes() > 0 {
+                            self.shared.torn_disconnects.fetch_add(1, Ordering::Relaxed);
+                            TORN_DISCONNECTS.incr();
+                        }
+                    }
+                }
+                self.decode_and_admit(*id, draining);
+                if self.conns.get(id).map(|c| c.dead).unwrap_or(false) {
+                    dead.push(*id);
+                }
+            }
+
+            // Write pass + slow-client eviction.
+            let now_ns = self.now_ns();
+            let timeout_ns = self.cfg.write_timeout_ms.saturating_mul(1_000_000);
+            for (id, conn) in &mut self.conns {
+                if conn.wants_write() {
+                    match conn.flush(now_ns) {
+                        Ok(_) => {
+                            if conn.wants_write()
+                                && now_ns.saturating_sub(conn.last_progress_ns) > timeout_ns
+                            {
+                                conn.dead = true;
+                                self.shared.conns_evicted.fetch_add(1, Ordering::Relaxed);
+                                CONNS_EVICTED.incr();
+                                if !dead.contains(id) {
+                                    dead.push(*id);
+                                }
+                            }
+                        }
+                        Err(_) => {
+                            conn.dead = true;
+                            if !dead.contains(id) {
+                                dead.push(*id);
+                            }
+                        }
+                    }
+                }
+            }
+
+            for id in dead {
+                if self.conns.get(&id).map(|c| c.dead).unwrap_or(false) {
+                    // Best-effort final flush already happened above; close.
+                    // In-flight completions for this conn land `undelivered`.
+                    self.conns.remove(&id);
+                    self.shared.conns_closed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        self.finish()
+    }
+
+    /// Accepts until `WouldBlock`. The `serve_net.accept` fault site models a
+    /// front end whose accept path fails: the socket is dropped on the floor
+    /// (the client sees a reset — exactly what a crashed accept thread looks
+    /// like from outside).
+    fn accept_ready(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    if fault_trip("serve_net.accept") {
+                        drop(stream);
+                        continue;
+                    }
+                    match Conn::new(stream, self.now_ns(), self.cfg.sndbuf) {
+                        Ok(conn) => {
+                            let id = self.next_conn_id;
+                            self.next_conn_id += 1;
+                            self.conns.insert(id, conn);
+                            self.shared.conns_accepted.fetch_add(1, Ordering::Relaxed);
+                            CONNS_ACCEPTED.incr();
+                        }
+                        Err(_) => continue, // peer vanished between accept and setup
+                    }
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(_) => return, // transient accept failure; retry next tick
+            }
+        }
+    }
+
+    /// Decodes as many frames as the connection's window allows, admitting
+    /// queries into the async tier. Stops (leaving the rest buffered) the
+    /// moment the window fills — that, plus the dropped POLLIN interest, is
+    /// the whole backpressure mechanism.
+    fn decode_and_admit(&mut self, conn_id: u32, draining: bool) {
+        loop {
+            let Some(conn) = self.conns.get_mut(&conn_id) else { return };
+            if conn.in_flight >= self.cfg.conn_window {
+                return;
+            }
+            let frame = match conn.next_frame() {
+                Ok(Some(f)) => f,
+                Ok(None) => return,
+                Err(_e) => {
+                    self.shared.codec_errors.fetch_add(1, Ordering::Relaxed);
+                    CODEC_ERRORS.incr();
+                    return; // conn already marked dead by next_frame
+                }
+            };
+            let Frame::Query { request_id, user, deadline_us, idempotent: _ } = frame else {
+                // Only clients send frames to a server; a TopK/Reject here is
+                // a protocol violation — same handling as corrupt framing.
+                conn.dead = true;
+                self.shared.codec_errors.fetch_add(1, Ordering::Relaxed);
+                CODEC_ERRORS.incr();
+                return;
+            };
+            self.shared.offered.fetch_add(1, Ordering::Relaxed);
+            OFFERED.incr();
+
+            if draining {
+                conn.queue(&Frame::Reject {
+                    request_id,
+                    reason: RejectReason::Draining,
+                    detail: 0,
+                });
+                self.shared.drained.fetch_add(1, Ordering::Relaxed);
+                DRAINED.incr();
+                continue;
+            }
+
+            let server = self.server.as_ref().expect("server live until finish()");
+            match server.submit(user as usize) {
+                Ok(ticket) => {
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    conn.in_flight += 1;
+                    self.pending.insert(
+                        token,
+                        PendingReq {
+                            conn_id,
+                            request_id,
+                            deadline_us,
+                            admitted_at: Instant::now(),
+                        },
+                    );
+                    self.pump.as_ref().expect("pump live").push(token, ticket);
+                }
+                Err(ServeAsyncError::Overloaded { queue_cap }) => {
+                    conn.queue(&Frame::Reject {
+                        request_id,
+                        reason: RejectReason::ResourceExhausted,
+                        detail: queue_cap as u64,
+                    });
+                    self.shared.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                    REJECTED.incr();
+                }
+                Err(ServeAsyncError::UnknownUser { n_users, .. }) => {
+                    conn.queue(&Frame::Reject {
+                        request_id,
+                        reason: RejectReason::UnknownUser,
+                        detail: n_users as u64,
+                    });
+                    self.shared.rejected_unknown_user.fetch_add(1, Ordering::Relaxed);
+                    REJECTED.incr();
+                }
+                Err(ServeAsyncError::ShuttingDown) => {
+                    conn.queue(&Frame::Reject {
+                        request_id,
+                        reason: RejectReason::Draining,
+                        detail: 0,
+                    });
+                    self.shared.drained.fetch_add(1, Ordering::Relaxed);
+                    DRAINED.incr();
+                }
+            }
+        }
+    }
+
+    /// Classifies every available completion into its bucket and queues the
+    /// response frame.
+    fn pump_completions(&mut self) {
+        while let Ok(completion) = self.completions.try_recv() {
+            self.classify(completion);
+        }
+    }
+
+    fn classify(&mut self, completion: Completion) {
+        let Some(req) = self.pending.remove(&completion.token) else {
+            debug_assert!(false, "completion for unknown token {}", completion.token);
+            return;
+        };
+        let frame = match completion.result {
+            Ok(items) => {
+                let elapsed_us = req.admitted_at.elapsed().as_micros() as u64;
+                if req.deadline_us != 0 && elapsed_us > req.deadline_us as u64 {
+                    // The answer exists but the client's budget is spent:
+                    // shed it as a typed deadline miss rather than delivering
+                    // a late response the client already gave up on.
+                    self.shared.rejected_deadline.fetch_add(1, Ordering::Relaxed);
+                    REJECTED.incr();
+                    Frame::Reject {
+                        request_id: req.request_id,
+                        reason: RejectReason::DeadlineExceeded,
+                        detail: elapsed_us,
+                    }
+                } else {
+                    self.shared.completed.fetch_add(1, Ordering::Relaxed);
+                    COMPLETED.incr();
+                    Frame::TopK { request_id: req.request_id, items: items.to_vec() }
+                }
+            }
+            Err(err) => {
+                // Admitted but terminated without an answer (shutdown race or
+                // a dispatch fault under injection): the drained bucket, so
+                // the identity holds under chaos too. detail=1 distinguishes
+                // a dispatch failure from a drain refusal on the wire.
+                self.shared.drained.fetch_add(1, Ordering::Relaxed);
+                DRAINED.incr();
+                let detail = u64::from(err == TicketError::DispatchFailed);
+                Frame::Reject { request_id: req.request_id, reason: RejectReason::Draining, detail }
+            }
+        };
+        match self.conns.get_mut(&req.conn_id) {
+            Some(conn) if !conn.dead => {
+                conn.in_flight = conn.in_flight.saturating_sub(1);
+                conn.queue(&frame);
+            }
+            _ => {
+                self.shared.undelivered.fetch_add(1, Ordering::Relaxed);
+                UNDELIVERED.incr();
+            }
+        }
+    }
+
+    /// The drain epilogue: shut the async tier down (its `Shutdown` flush
+    /// serves everything still queued), join the pump so every ticket's
+    /// completion has been emitted, classify the stragglers, push one final
+    /// best-effort flush, and return the exact accounting.
+    fn finish(mut self) -> NetStats {
+        if let Some(server) = self.server.take() {
+            server.shutdown();
+        }
+        drop(self.pump.take()); // joins after draining every pushed ticket
+        while let Ok(completion) = self.completions.try_recv() {
+            self.classify(completion);
+        }
+        debug_assert!(self.pending.is_empty(), "every ticket must resolve");
+        // Whatever the timed-out drain left unresolved has now been
+        // classified; flush response bytes that still fit in kernel buffers
+        // so well-behaved clients see typed rejects, not cut streams.
+        let now_ns = self.now_ns();
+        for (_, conn) in self.conns.iter_mut() {
+            if !conn.dead {
+                let _ = conn.flush(now_ns);
+            }
+        }
+        // Lingering close. A client that was still offering when the drain
+        // fired has unread bytes in our receive queue — a plain `close()`
+        // there makes the kernel send RST, which DESTROYS the response bytes
+        // just flushed before the peer can read them. Instead: FIN our write
+        // side, then read-and-discard until the peer closes (or a short
+        // deadline passes — a peer that never closes gets the RST it earned).
+        let deadline = Instant::now() + Duration::from_millis(self.cfg.drain_ms.min(250));
+        let mut lingering: Vec<Conn> = self
+            .conns
+            .drain()
+            .filter_map(|(_, conn)| {
+                (!conn.dead && conn.stream().shutdown(std::net::Shutdown::Write).is_ok())
+                    .then_some(conn)
+            })
+            .collect();
+        while !lingering.is_empty() && Instant::now() < deadline {
+            let mut fds: Vec<PollFd> = lingering
+                .iter()
+                .map(|c| PollFd::new(c.stream().as_raw_fd(), events::POLLIN))
+                .collect();
+            if poll::poll_fds(&mut fds, 20).is_err() {
+                break;
+            }
+            let mut keep = Vec::with_capacity(lingering.len());
+            for (conn, fd) in lingering.into_iter().zip(&fds) {
+                let mut done = false;
+                if fd.has(events::POLLIN | events::POLLHUP | events::POLLERR) {
+                    let mut sink = [0u8; 16 * 1024];
+                    loop {
+                        match (&mut conn.stream()).read(&mut sink) {
+                            Ok(0) => {
+                                done = true; // peer acknowledged the FIN
+                                break;
+                            }
+                            Ok(_) => {}
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                            Err(_) => {
+                                done = true;
+                                break;
+                            }
+                        }
+                    }
+                }
+                if !done {
+                    keep.push(conn);
+                }
+            }
+            lingering = keep;
+        }
+        self.shared.stats()
+    }
+}

@@ -1,0 +1,499 @@
+//! The socket-level chaos suite: clients die mid-batch, overload sheds at
+//! the exact cap, deadlines expire server-side, and the server drains under
+//! live load — and through all of it the accounting identity
+//! `offered == completed + rejected + drained` holds **exactly**, the
+//! server never panics, and well-behaved clients never see a torn frame.
+//!
+//! Tests that pause the shared dispatcher or arm process-global state
+//! serialize implicitly by using their own server instances — every test
+//! stands up its own rig on an ephemeral port.
+
+mod common;
+
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+use common::{lcg_model, rig_async_config, start_rig};
+use msopds_serve_async::AsyncServer;
+use msopds_serve_net::{
+    Frame, FrameDecoder, NetClient, NetServeConfig, RejectReason, RetryPolicy, ScoredItem,
+};
+
+/// Reads frames off a raw socket until `n` responses arrived (5 s cap).
+fn read_responses(stream: &mut TcpStream, dec: &mut FrameDecoder, n: usize) -> Vec<Frame> {
+    let mut out = Vec::with_capacity(n);
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let mut buf = [0u8; 16 * 1024];
+    while out.len() < n {
+        while let Some(f) = dec.next().expect("well-formed server stream") {
+            out.push(f);
+        }
+        if out.len() >= n {
+            break;
+        }
+        assert!(Instant::now() < deadline, "timed out at {}/{} responses", out.len(), n);
+        let got = stream.read(&mut buf).expect("server stream open");
+        assert!(got > 0, "server closed early at {}/{} responses", out.len(), n);
+        dec.extend(&buf[..got]);
+    }
+    out
+}
+
+/// Baseline fidelity: answers over TCP are bit-identical to the in-process
+/// engine's answers for the same users.
+#[test]
+fn wire_answers_match_in_process_answers() {
+    let (net, _pause) = start_rig(256, NetServeConfig::default());
+    let reference = AsyncServer::start(lcg_model(64, 48, 8), rig_async_config(256));
+
+    let mut client = NetClient::connect(net.local_addr(), RetryPolicy::default()).unwrap();
+    for user in [0u64, 7, 31, 63] {
+        let over_wire = client.query(user, 0, true).expect("served");
+        let direct: Vec<ScoredItem> =
+            reference.submit(user as usize).unwrap().wait().expect("served").to_vec();
+        assert_eq!(over_wire.len(), direct.len());
+        for (a, b) in over_wire.iter().zip(&direct) {
+            assert_eq!(a.item, b.item, "user {user}");
+            assert_eq!(a.score.to_bits(), b.score.to_bits(), "user {user}: scores bit-differ");
+        }
+    }
+    reference.shutdown();
+    let stats = net.drain();
+    assert!(stats.balanced(), "identity must balance: {stats:?}");
+    assert_eq!(stats.offered, 4);
+    assert_eq!(stats.completed, 4);
+}
+
+/// An out-of-universe user id comes back as a typed reject carrying the
+/// universe size, and the connection keeps working afterwards.
+#[test]
+fn unknown_user_is_a_typed_reject_not_a_dead_connection() {
+    let (net, _pause) = start_rig(256, NetServeConfig::default());
+    let mut client = NetClient::connect(net.local_addr(), RetryPolicy::default()).unwrap();
+
+    match client.query(10_000, 0, true) {
+        Err(msopds_serve_net::NetClientError::Rejected { reason, detail }) => {
+            assert_eq!(reason, RejectReason::UnknownUser);
+            assert_eq!(detail, 64, "detail carries n_users");
+        }
+        other => panic!("expected typed UnknownUser reject, got {other:?}"),
+    }
+    // Same connection still serves.
+    assert!(!client.query(3, 0, true).unwrap().is_empty());
+
+    let stats = net.drain();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.rejected_unknown_user, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// With the dispatcher held, admission sheds at EXACTLY the queue cap: of
+/// `cap + extra` pipelined queries, `cap` are admitted and `extra` come back
+/// `ResourceExhausted` with the cap as detail. Resume, and the admitted ones
+/// all complete. Counts are exact, not approximate.
+#[test]
+fn overload_sheds_exactly_at_the_admission_cap() {
+    const CAP: usize = 8;
+    const EXTRA: usize = 24;
+    let (net, pause) = start_rig(CAP, NetServeConfig { conn_window: 64, ..Default::default() });
+    pause.pause();
+
+    let mut stream = TcpStream::connect(net.local_addr()).unwrap();
+    stream.set_nodelay(true).unwrap();
+    let mut wire = Vec::new();
+    for i in 0..(CAP + EXTRA) as u64 {
+        Frame::Query { request_id: i, user: i % 64, deadline_us: 0, idempotent: true }
+            .encode(&mut wire);
+    }
+    stream.write_all(&wire).unwrap();
+
+    // The paused dispatcher guarantees the first CAP queries sit in the
+    // queue; the rest shed immediately and their rejects arrive first.
+    let mut dec = FrameDecoder::new();
+    let rejects = read_responses(&mut stream, &mut dec, EXTRA);
+    for f in &rejects {
+        match f {
+            Frame::Reject { reason, detail, .. } => {
+                assert_eq!(*reason, RejectReason::ResourceExhausted);
+                assert_eq!(*detail, CAP as u64, "detail carries the configured cap");
+            }
+            other => panic!("expected only rejects while paused, got {other:?}"),
+        }
+    }
+
+    pause.resume();
+    let served = read_responses(&mut stream, &mut dec, CAP);
+    assert!(served.iter().all(|f| matches!(f, Frame::TopK { .. })));
+
+    let stats = net.drain();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.offered, (CAP + EXTRA) as u64);
+    assert_eq!(stats.rejected_overload, EXTRA as u64, "exact shed count at the cap");
+    assert_eq!(stats.completed, CAP as u64);
+    assert_eq!(stats.drained, 0);
+}
+
+/// A query whose propagated deadline expires while the dispatcher is held
+/// comes back `DeadlineExceeded` (with the elapsed µs), counted separately
+/// from admission sheds.
+#[test]
+fn expired_deadline_is_shed_server_side() {
+    let (net, pause) = start_rig(64, NetServeConfig::default());
+    pause.pause();
+
+    let mut stream = TcpStream::connect(net.local_addr()).unwrap();
+    let q = Frame::Query { request_id: 1, user: 5, deadline_us: 1_000, idempotent: true };
+    stream.write_all(&q.to_bytes()).unwrap();
+    std::thread::sleep(Duration::from_millis(50)); // budget: 1 ms — long gone
+    pause.resume();
+
+    let mut dec = FrameDecoder::new();
+    let resp = read_responses(&mut stream, &mut dec, 1);
+    match &resp[0] {
+        Frame::Reject { reason, detail, .. } => {
+            assert_eq!(*reason, RejectReason::DeadlineExceeded);
+            assert!(*detail >= 1_000, "detail is the elapsed µs ({detail})");
+        }
+        other => panic!("expected DeadlineExceeded, got {other:?}"),
+    }
+
+    let stats = net.drain();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.rejected_deadline, 1);
+    assert_eq!(stats.completed, 0);
+}
+
+/// Kill a client abruptly with a full in-flight window. The server must not
+/// panic, must reap the connection, and must still balance its books — the
+/// dead client's answers are counted `completed` + `undelivered`.
+#[test]
+fn killed_client_mid_batch_leaves_exact_accounting() {
+    const IN_FLIGHT: usize = 16;
+    let (net, pause) = start_rig(256, NetServeConfig { conn_window: 64, ..Default::default() });
+    pause.pause(); // hold dispatch so the kill lands with everything in flight
+
+    let mut stream = TcpStream::connect(net.local_addr()).unwrap();
+    let mut wire = Vec::new();
+    for i in 0..IN_FLIGHT as u64 {
+        Frame::Query { request_id: i, user: i % 64, deadline_us: 0, idempotent: true }
+            .encode(&mut wire);
+    }
+    // End the stream with a TORN frame: half a query, then a hard close.
+    let torn =
+        Frame::Query { request_id: 99, user: 1, deadline_us: 0, idempotent: true }.to_bytes();
+    wire.extend_from_slice(&torn[..torn.len() / 2]);
+    stream.write_all(&wire).unwrap();
+
+    // Wait until the server has decoded all 16 queries before killing —
+    // a RST discards unread kernel buffers, and the kill must land on the
+    // in-flight window, not on bytes the server never saw.
+    let deadline = Instant::now() + Duration::from_secs(5);
+    while net.stats().offered < IN_FLIGHT as u64 {
+        assert!(Instant::now() < deadline, "queries never decoded: {:?}", net.stats());
+        std::thread::sleep(Duration::from_millis(5));
+    }
+    // SO_LINGER(0) makes the close a hard RST — the "kill -9" of sockets.
+    set_linger_zero(&stream);
+    drop(stream);
+
+    // Give the poll loop a beat to observe the disconnect, then release the
+    // dispatcher so the in-flight batch completes against a dead peer.
+    std::thread::sleep(Duration::from_millis(50));
+    pause.resume();
+
+    // A healthy second client is completely unaffected.
+    let mut client = NetClient::connect(net.local_addr(), RetryPolicy::default()).unwrap();
+    assert!(!client.query(2, 0, true).unwrap().is_empty());
+    drop(client);
+
+    let deadline = Instant::now() + Duration::from_secs(5);
+    let stats = loop {
+        let s = net.stats();
+        if s.offered == IN_FLIGHT as u64 + 1 && s.completed + s.rejected + s.drained == s.offered {
+            break net.drain();
+        }
+        assert!(Instant::now() < deadline, "accounting never settled: {s:?}");
+        std::thread::sleep(Duration::from_millis(10));
+    };
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.offered, IN_FLIGHT as u64 + 1, "torn trailing frame is never a query");
+    assert_eq!(stats.completed, IN_FLIGHT as u64 + 1);
+    assert_eq!(stats.undelivered, IN_FLIGHT as u64, "dead client's answers counted as undelivered");
+    assert_eq!(stats.torn_disconnects, 1, "the mid-frame kill was seen as torn");
+}
+
+/// Drain under live load, with exact accounting. The dispatcher is held the
+/// whole time, so the books are fully determined: exactly `queue_cap`
+/// queries are admitted (and served by the shutdown flush at the end of the
+/// drain), everything else the client offers is either an overload shed
+/// (before the drain flag) or a `Draining` reject (after) — and the client
+/// reads every one of its admitted answers as intact frames before EOF.
+#[test]
+fn drain_under_load_accounts_for_every_query() {
+    const CAP: usize = 8;
+    let (net, pause) =
+        start_rig(CAP, NetServeConfig { conn_window: 64, drain_ms: 300, ..Default::default() });
+    pause.pause(); // held through the whole test: the shutdown flush serves
+    let addr = net.local_addr();
+
+    let driver = std::thread::spawn(move || {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        stream.set_nonblocking(true).unwrap();
+        let mut dec = FrameDecoder::new();
+        let mut out: Vec<u8> = Vec::new();
+        let mut sent = 0u64;
+        let mut topk = 0u64;
+        let mut draining = 0u64;
+        let mut overload = 0u64;
+        let mut buf = [0u8; 16 * 1024];
+        let mut closed = false;
+        let mut send_open = true;
+        let start = Instant::now();
+        // Offer continuously until the post-drain close; 5 s safety cap.
+        // A write error only stops SENDING — the final flushed answers are
+        // still sitting in the receive buffer and must all be read to EOF.
+        while !closed && start.elapsed() < Duration::from_secs(5) {
+            let resolved = topk + draining + overload;
+            if send_open && out.is_empty() && sent - resolved < 32 {
+                Frame::Query {
+                    request_id: sent,
+                    user: sent % 64,
+                    deadline_us: 0,
+                    idempotent: true,
+                }
+                .encode(&mut out);
+                sent += 1;
+            }
+            if send_open && !out.is_empty() {
+                match stream.write(&out) {
+                    Ok(n) => {
+                        out.drain(..n);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {}
+                    Err(_) => {
+                        // Server closed its read side post-drain; drain the
+                        // responses that are already on the way.
+                        send_open = false;
+                        out.clear();
+                    }
+                }
+            }
+            match stream.read(&mut buf) {
+                Ok(0) => closed = true,
+                Ok(n) => dec.extend(&buf[..n]),
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+                Err(_) => closed = true,
+            }
+            // A torn or corrupt server stream would error (and fail) here.
+            while let Some(f) = dec.next().expect("server never tears a frame") {
+                match f {
+                    Frame::TopK { .. } => topk += 1,
+                    Frame::Reject { reason: RejectReason::Draining, .. } => draining += 1,
+                    Frame::Reject { reason: RejectReason::ResourceExhausted, .. } => overload += 1,
+                    other => panic!("unexpected frame under drain: {other:?}"),
+                }
+            }
+        }
+        (sent, topk, draining, overload)
+    });
+
+    // Let the client run against the held dispatcher (cap fills, overload
+    // sheds flow), then drain under that live load.
+    std::thread::sleep(Duration::from_millis(150));
+    let stats = net.drain();
+    let (sent, topk, draining, overload) = driver.join().expect("driver panicked");
+
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(
+        stats.completed, CAP as u64,
+        "exactly the admitted queries are served (by the shutdown flush)"
+    );
+    assert_eq!(stats.rejected_overload, overload, "client and server agree on overload sheds");
+    assert!(stats.drained > 0, "queries offered during the drain are refused typed");
+    assert_eq!(stats.drained, draining, "client read every Draining reject before EOF");
+    assert_eq!(topk, CAP as u64, "client read every admitted answer as an intact frame");
+    assert_eq!(
+        stats.offered,
+        topk + draining + overload,
+        "client resolved exactly what the server decoded (sent {sent})"
+    );
+    assert_eq!(stats.undelivered, 0, "nothing was cut off by the close");
+}
+
+/// Evicting a client that stops reading: fill its window with answers it
+/// never drains, and the server must cut it loose within the write timeout
+/// instead of buffering forever — books still exact.
+#[test]
+fn slow_client_is_evicted_not_buffered_forever() {
+    // 4096 answers × ~136 bytes ≈ 560 KB. TCP autotuning would happily grow
+    // the send buffer to absorb all of it (tcp_wmem goes to megabytes), so
+    // the rig pins SO_SNDBUF at 16 KB — with the client's ~128 KB receive
+    // buffer that bounds kernel absorption near 160 KB, the flush reliably
+    // jams, and the backlog stays under the 1 MB read high-water so every
+    // query still gets decoded.
+    const BURST: usize = 4096;
+    let (net, _pause) = start_rig(
+        8192,
+        NetServeConfig {
+            conn_window: BURST,
+            write_timeout_ms: 200,
+            sndbuf: Some(16 * 1024),
+            ..Default::default()
+        },
+    );
+
+    let mut stream = TcpStream::connect(net.local_addr()).unwrap();
+    let mut wire = Vec::new();
+    for i in 0..BURST as u64 {
+        Frame::Query { request_id: i, user: i % 64, deadline_us: 0, idempotent: true }
+            .encode(&mut wire);
+    }
+    stream.write_all(&wire).unwrap();
+    // ... and never read a byte: the server's flush stalls against the full
+    // socket and the write timeout must cut the connection loose.
+    let deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        let s = net.stats();
+        if s.conns_evicted == 1 {
+            break;
+        }
+        assert!(Instant::now() < deadline, "eviction never happened: {s:?}");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    drop(stream);
+
+    let stats = net.drain();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.conns_evicted, 1);
+    assert_eq!(stats.offered, BURST as u64);
+    assert_eq!(stats.completed, BURST as u64, "the engine did all the work regardless");
+}
+
+/// The retrying client: a connection that dies mid-flight is retried with
+/// backoff for idempotent queries (reconnect + resubmit, eventually served
+/// by a real server), while a non-idempotent query surfaces `Disconnected`
+/// without resubmitting.
+#[test]
+fn client_retries_idempotent_queries_only() {
+    use std::net::TcpListener;
+
+    // A saboteur front door: kills the first two connections on accept,
+    // then proxies nothing — the third connect goes to the real server via
+    // the retry loop reconnecting to the same address. Implemented by
+    // binding the listener first, accepting + hard-closing twice, then
+    // handing the listener's address traffic straight to a real NetServer…
+    // which we can't re-bind on the same port. So instead: the saboteur
+    // serves the third connection itself by proxying to the real rig.
+    let (net, _pause) = start_rig(256, NetServeConfig::default());
+    let real_addr = net.local_addr();
+
+    let front = TcpListener::bind("127.0.0.1:0").unwrap();
+    let front_addr = front.local_addr().unwrap();
+    let saboteur = std::thread::spawn(move || {
+        for attempt in 0..3 {
+            let (stream, _) = front.accept().unwrap();
+            if attempt < 2 {
+                set_linger_zero(&stream);
+                drop(stream); // RST in the client's face
+                continue;
+            }
+            // Third attempt: transparent byte proxy to the real server.
+            let upstream = TcpStream::connect(real_addr).unwrap();
+            let (mut a, mut b) = (stream.try_clone().unwrap(), upstream.try_clone().unwrap());
+            let up = std::thread::spawn(move || {
+                let _ = std::io::copy(&mut a, &mut b);
+                // Client side closed: shut the upstream down so the
+                // server→client copy below unblocks instead of waiting for
+                // the real server (which only closes at drain).
+                let _ = b.shutdown(std::net::Shutdown::Both);
+            });
+            let (mut c, mut d) = (upstream, stream);
+            let _ = std::io::copy(&mut c, &mut d);
+            let _ = up.join();
+            return;
+        }
+    });
+
+    let policy = RetryPolicy { max_retries: 5, base_backoff_ms: 1, max_backoff_ms: 8, seed: 7 };
+    let mut client = NetClient::connect(front_addr, policy).unwrap();
+    // First query rides connection #1 (killed), retries onto #2 (killed),
+    // then #3 (proxied) — and must come back correct.
+    let items = client.query(9, 0, true).expect("idempotent query survives two RSTs");
+    assert!(!items.is_empty());
+    drop(client);
+    saboteur.join().unwrap();
+
+    // Non-idempotent: a dead connection is surfaced, not retried.
+    let graveyard = TcpListener::bind("127.0.0.1:0").unwrap();
+    let dead_addr = graveyard.local_addr().unwrap();
+    let killer = std::thread::spawn(move || {
+        let (stream, _) = graveyard.accept().unwrap();
+        set_linger_zero(&stream);
+        drop(stream);
+    });
+    let mut client = NetClient::connect(dead_addr, policy).unwrap();
+    killer.join().unwrap();
+    match client.query(9, 0, false) {
+        Err(msopds_serve_net::NetClientError::Disconnected) => {}
+        other => panic!("non-idempotent mid-flight death must surface Disconnected: {other:?}"),
+    }
+
+    net.drain();
+}
+
+/// A client speaking garbage gets its connection closed (typed codec error
+/// server-side), with zero panics and zero effect on other clients.
+#[test]
+fn corrupt_client_stream_closes_only_that_connection() {
+    let (net, _pause) = start_rig(256, NetServeConfig::default());
+
+    let mut vandal = TcpStream::connect(net.local_addr()).unwrap();
+    // Valid length prefix, hostile version byte.
+    let mut junk = 8u32.to_le_bytes().to_vec();
+    junk.extend_from_slice(&[99, 1]);
+    junk.extend_from_slice(&[0xAB; 8]);
+    vandal.write_all(&junk).unwrap();
+    let mut buf = [0u8; 64];
+    let n = vandal.read(&mut buf).unwrap(); // 0 = clean close
+    assert_eq!(n, 0, "corrupt stream must be closed, not answered");
+
+    let mut client = NetClient::connect(net.local_addr(), RetryPolicy::default()).unwrap();
+    assert!(!client.query(1, 0, true).unwrap().is_empty());
+
+    let stats = net.drain();
+    assert!(stats.balanced(), "{stats:?}");
+    assert_eq!(stats.codec_errors, 1);
+    assert_eq!(stats.completed, 1);
+}
+
+/// SO_LINGER(0) via raw setsockopt — the abrupt-kill switch. Declared here
+/// (tests only) to keep the main crate's FFI surface at poll+signal.
+fn set_linger_zero(stream: &TcpStream) {
+    use std::os::fd::AsRawFd;
+    #[repr(C)]
+    struct Linger {
+        l_onoff: i32,
+        l_linger: i32,
+    }
+    extern "C" {
+        fn setsockopt(fd: i32, level: i32, name: i32, value: *const Linger, len: u32) -> i32;
+    }
+    const SOL_SOCKET: i32 = 1;
+    const SO_LINGER: i32 = 13;
+    let linger = Linger { l_onoff: 1, l_linger: 0 };
+    // SAFETY: valid fd, valid struct pointer + length for the call duration.
+    let rc = unsafe {
+        setsockopt(
+            stream.as_raw_fd(),
+            SOL_SOCKET,
+            SO_LINGER,
+            &linger,
+            std::mem::size_of::<Linger>() as u32,
+        )
+    };
+    assert_eq!(rc, 0, "setsockopt(SO_LINGER)");
+}

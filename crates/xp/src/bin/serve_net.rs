@@ -1,0 +1,302 @@
+//! `serve-net` — the async serving tier behind a real TCP socket, plus the
+//! matching load driver. One binary, two modes:
+//!
+//! **Listen** (`--listen ADDR --snapshot FILE`): loads the snapshot, starts
+//! an `AsyncServer` with the runtime batcher knobs, and fronts it with a
+//! [`NetServer`] speaking the versioned length-prefixed wire protocol.
+//! Per-connection backpressure is bounded by `--conn-window` (default 64);
+//! `SIGTERM` triggers a graceful drain bounded by `--drain-ms` (default
+//! 1000): in-flight queries are served, late ones get typed `Draining`
+//! rejects, and the final accounting — for which
+//! `offered == completed + rejected + drained` holds exactly — is printed
+//! as one JSON object to stdout before a clean exit 0.
+//!
+//! **Connect** (`--connect ADDR`): drives `--requests` pipelined queries
+//! (window = `--conn-window`) over the deterministic Fibonacci-hash user
+//! stream shared with the in-process load generator, retrying idempotent
+//! queries through disconnects, and reports completions/sec with tail
+//! latency as JSON.
+//!
+//! Usage:
+//!
+//! ```text
+//! serve-net --listen 127.0.0.1:7878 --snapshot FILE [--top-k K] [--cache N]
+//!           [--deadline-us N] [--max-batch N] [--queue-cap N]
+//!           [--conn-window N] [--drain-ms N] [--precision exact64|fast32]
+//! serve-net --connect 127.0.0.1:7878 [--requests N] [--users N]
+//!           [--query-deadline-us N] [--conn-window N]
+//! ```
+//!
+//! Exit status: 0 success (including a drained listen run), 2 usage or
+//! config error, 1 snapshot-load / bind / connect / runtime failure.
+
+use std::net::ToSocketAddrs;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use msopds_serve::{ServeConfig, ServingModel};
+use msopds_serve_async::{AsyncServeConfig, AsyncServer, BatcherConfig};
+use msopds_serve_net::{
+    drain_requested, install_drain_handler, NetClient, NetServeConfig, NetServer, RetryPolicy,
+};
+use msopds_xp::RuntimeConfig;
+
+const USAGE: &str = "usage: serve-net --listen ADDR --snapshot FILE [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--conn-window N] [--drain-ms N] [--precision exact64|fast32] [--threads N] [--metrics-out FILE]\n       serve-net --connect ADDR [--requests N] [--users N] [--query-deadline-us N] [--conn-window N]";
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args[0] == "--help" || args[0] == "-h" {
+        eprintln!("{USAGE}");
+        std::process::exit(2);
+    }
+
+    // A malformed fault plan is a config error, not a crash: surface it as
+    // exit 2 before `install()` would panic deep in the harness.
+    if let Ok(plan) = std::env::var("MSOPDS_FAULT_PLAN") {
+        if let Err(e) = msopds_faultline::FaultPlan::parse(&plan) {
+            eprintln!("serve-net: malformed MSOPDS_FAULT_PLAN: {e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+
+    let runtime = RuntimeConfig::builder()
+        .parse_cli(&args)
+        .and_then(|(builder, rest)| Ok((builder.build()?, rest)));
+    let (runtime, rest) = match runtime {
+        Ok(parsed) => parsed,
+        Err(e) => {
+            eprintln!("{e}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+
+    let mut snapshot: Option<PathBuf> = None;
+    let mut requests = 4096u64;
+    let mut users = 64usize;
+    let mut query_deadline_us = 0u32;
+    let mut top_k = 10usize;
+    let mut cache = 256usize;
+    let mut i = 0;
+    let value = |i: &mut usize, flag: &str| -> String {
+        *i += 1;
+        rest.get(*i).cloned().unwrap_or_else(|| {
+            eprintln!("{flag} requires a value\n{USAGE}");
+            std::process::exit(2);
+        })
+    };
+    while i < rest.len() {
+        match rest[i].as_str() {
+            "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--requests" => requests = parse_count(&value(&mut i, "--requests"), "--requests"),
+            "--users" => users = parse_count(&value(&mut i, "--users"), "--users") as usize,
+            "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k") as usize,
+            "--cache" => {
+                cache = value(&mut i, "--cache").parse().unwrap_or_else(|_| {
+                    eprintln!("--cache takes an integer\n{USAGE}");
+                    std::process::exit(2);
+                })
+            }
+            "--query-deadline-us" => {
+                query_deadline_us =
+                    value(&mut i, "--query-deadline-us").parse().unwrap_or_else(|_| {
+                        eprintln!("--query-deadline-us takes an integer\n{USAGE}");
+                        std::process::exit(2);
+                    })
+            }
+            other => {
+                eprintln!("unknown flag {other}\n{USAGE}");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    runtime.install();
+    msopds_autograd::pool::configure_threads(runtime.threads);
+
+    let code = match (&runtime.listen, &runtime.connect) {
+        (Some(addr), None) => run_listen(addr, snapshot, top_k, cache, &runtime),
+        (None, Some(addr)) => run_connect(addr, requests, users, query_deadline_us, &runtime),
+        _ => {
+            eprintln!("exactly one of --listen or --connect is required\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    runtime.export_metrics();
+    std::process::exit(code);
+}
+
+/// Listen mode: serve until SIGTERM, then drain gracefully and report the
+/// exact accounting.
+fn run_listen(
+    addr: &str,
+    snapshot: Option<PathBuf>,
+    top_k: usize,
+    cache: usize,
+    runtime: &RuntimeConfig,
+) -> i32 {
+    let Some(snapshot) = snapshot else {
+        eprintln!("--listen requires --snapshot FILE\n{USAGE}");
+        std::process::exit(2);
+    };
+    let model = match ServingModel::load(&snapshot) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("serve-net: cannot load {}: {e}", snapshot.display());
+            return 1;
+        }
+    };
+    let n_users = model.n_users();
+
+    let cfg = AsyncServeConfig {
+        batcher: BatcherConfig {
+            deadline: Duration::from_micros(runtime.deadline_us),
+            max_batch: runtime.max_batch,
+            queue_cap: runtime.queue_cap,
+        },
+        serve: ServeConfig { top_k, cache_capacity: cache, precision: runtime.precision },
+    };
+    let net_cfg = NetServeConfig {
+        conn_window: runtime.conn_window,
+        drain_ms: runtime.drain_ms,
+        ..NetServeConfig::default()
+    };
+    if let Err(e) = install_drain_handler() {
+        eprintln!("serve-net: cannot install SIGTERM handler: {e}");
+        return 1;
+    }
+    let server = AsyncServer::start(model, cfg);
+    let net = match NetServer::start(addr, server, net_cfg) {
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("serve-net: cannot bind {addr}: {e}");
+            return 1;
+        }
+    };
+    // The ready line carries the resolved port (`--listen 127.0.0.1:0`
+    // binds ephemeral) so harnesses can scrape where to connect.
+    eprintln!(
+        "serve-net: listening on {} ({} users, top-{top_k}, window {}, drain bound {} ms)",
+        net.local_addr(),
+        n_users,
+        runtime.conn_window,
+        runtime.drain_ms,
+    );
+
+    while !drain_requested() {
+        std::thread::sleep(Duration::from_millis(25));
+    }
+    eprintln!("serve-net: SIGTERM — draining");
+    let stats = net.drain();
+    eprintln!(
+        "serve-net: drained — offered {} = completed {} + rejected {} + drained {} (balanced: {})",
+        stats.offered,
+        stats.completed,
+        stats.rejected,
+        stats.drained,
+        stats.balanced(),
+    );
+    println!(
+        "{{\"offered\":{},\"completed\":{},\"rejected\":{},\"rejected_overload\":{},\"rejected_unknown_user\":{},\"rejected_deadline\":{},\"drained\":{},\"undelivered\":{},\"balanced\":{},\"conns_accepted\":{},\"conns_evicted\":{},\"torn_disconnects\":{},\"codec_errors\":{},\"deadline_us\":{},\"max_batch\":{},\"queue_cap\":{},\"conn_window\":{},\"drain_ms\":{},\"top_k\":{},\"precision\":\"{}\"}}",
+        stats.offered,
+        stats.completed,
+        stats.rejected,
+        stats.rejected_overload,
+        stats.rejected_unknown_user,
+        stats.rejected_deadline,
+        stats.drained,
+        stats.undelivered,
+        stats.balanced(),
+        stats.conns_accepted,
+        stats.conns_evicted,
+        stats.torn_disconnects,
+        stats.codec_errors,
+        runtime.deadline_us,
+        runtime.max_batch,
+        runtime.queue_cap,
+        runtime.conn_window,
+        runtime.drain_ms,
+        top_k,
+        runtime.precision,
+    );
+    if stats.balanced() {
+        0
+    } else {
+        eprintln!("serve-net: accounting identity violated after drain");
+        1
+    }
+}
+
+/// Connect mode: pipelined load over the shared deterministic user stream.
+fn run_connect(
+    addr: &str,
+    requests: u64,
+    users: usize,
+    query_deadline_us: u32,
+    runtime: &RuntimeConfig,
+) -> i32 {
+    let resolved = match addr.to_socket_addrs().map(|mut a| a.next()) {
+        Ok(Some(a)) => a,
+        Ok(None) | Err(_) => {
+            eprintln!("serve-net: cannot resolve {addr}\n{USAGE}");
+            std::process::exit(2);
+        }
+    };
+    let mut client = match NetClient::connect(resolved, RetryPolicy::default()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("serve-net: cannot connect to {resolved}: {e:?}");
+            return 1;
+        }
+    };
+    let report = match client.run_pipelined(requests, runtime.conn_window, query_deadline_us, |i| {
+        msopds_serve_async::stream_user(i as usize, users) as u64
+    }) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("serve-net: pipelined run failed: {e:?}");
+            return 1;
+        }
+    };
+    let secs = report.elapsed.as_secs_f64().max(1e-9);
+    eprintln!(
+        "serve-net: {} offered in {:.3}s — {} completed ({:.0}/sec), {} rejected ({} overload, {} deadline), {} drained, p50 {} µs p99 {} µs",
+        report.offered,
+        secs,
+        report.completed,
+        report.completed as f64 / secs,
+        report.rejected,
+        report.rejected_overload,
+        report.rejected_deadline,
+        report.drained,
+        report.latency_pct_us(0.50),
+        report.latency_pct_us(0.99),
+    );
+    println!(
+        "{{\"offered\":{},\"completed\":{},\"completed_per_sec\":{:.1},\"rejected\":{},\"rejected_overload\":{},\"rejected_deadline\":{},\"drained\":{},\"elapsed_s\":{:.4},\"p50_us\":{},\"p99_us\":{},\"window\":{},\"users\":{},\"query_deadline_us\":{}}}",
+        report.offered,
+        report.completed,
+        report.completed as f64 / secs,
+        report.rejected,
+        report.rejected_overload,
+        report.rejected_deadline,
+        report.drained,
+        secs,
+        report.latency_pct_us(0.50),
+        report.latency_pct_us(0.99),
+        runtime.conn_window,
+        users,
+        query_deadline_us,
+    );
+    0
+}
+
+fn parse_count(raw: &str, flag: &str) -> u64 {
+    match raw.parse::<u64>() {
+        Ok(n) if n > 0 => n,
+        _ => {
+            eprintln!("{flag} takes a positive integer\n{USAGE}");
+            std::process::exit(2);
+        }
+    }
+}

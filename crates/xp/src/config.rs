@@ -203,6 +203,19 @@ pub struct RuntimeConfig {
     /// offers beyond this many pending queries are shed with a typed
     /// `Overloaded` rejection instead of queueing into unbounded latency.
     pub queue_cap: usize,
+    /// TCP address the `serve-net` binary listens on (`--listen`), e.g.
+    /// `127.0.0.1:7878`. Mutually exclusive with [`RuntimeConfig::connect`].
+    pub listen: Option<String>,
+    /// TCP address the `serve-net` binary drives load against (`--connect`).
+    pub connect: Option<String>,
+    /// Per-connection in-flight window of the socket front end
+    /// (`--conn-window` / `MSOPDS_CONN_WINDOW`): the server stops reading a
+    /// connection with this many unanswered queries, letting TCP push back
+    /// on the client instead of buffering unboundedly.
+    pub conn_window: usize,
+    /// Upper bound on the socket front end's graceful-drain wait in
+    /// milliseconds (`--drain-ms` / `MSOPDS_DRAIN_MS`).
+    pub drain_ms: u64,
 }
 
 /// An optional positive-integer environment override, for the async-serving
@@ -232,6 +245,10 @@ impl RuntimeConfig {
             deadline_us: env_count("MSOPDS_DEADLINE_US", 200),
             max_batch: env_count("MSOPDS_MAX_BATCH", 1024) as usize,
             queue_cap: env_count("MSOPDS_QUEUE_CAP", 8192) as usize,
+            listen: None,
+            connect: None,
+            conn_window: env_count("MSOPDS_CONN_WINDOW", 64) as usize,
+            drain_ms: env_count("MSOPDS_DRAIN_MS", 1000),
         }
     }
 
@@ -287,6 +304,10 @@ pub struct RuntimeConfigBuilder {
     deadline_us: u64,
     max_batch: usize,
     queue_cap: usize,
+    listen: Option<String>,
+    connect: Option<String>,
+    conn_window: usize,
+    drain_ms: u64,
 }
 
 impl RuntimeConfigBuilder {
@@ -362,13 +383,38 @@ impl RuntimeConfigBuilder {
         self
     }
 
+    /// Sets the `serve-net` listen address.
+    pub fn listen(mut self, addr: impl Into<String>) -> Self {
+        self.listen = Some(addr.into());
+        self
+    }
+
+    /// Sets the `serve-net` connect address.
+    pub fn connect(mut self, addr: impl Into<String>) -> Self {
+        self.connect = Some(addr.into());
+        self
+    }
+
+    /// Overrides the socket front end's per-connection in-flight window.
+    pub fn conn_window(mut self, n: usize) -> Self {
+        self.conn_window = n;
+        self
+    }
+
+    /// Overrides the socket front end's graceful-drain bound, milliseconds.
+    pub fn drain_ms(mut self, ms: u64) -> Self {
+        self.drain_ms = ms;
+        self
+    }
+
     /// Consumes the runtime flags from `args`, returning the remaining
     /// (experiment-specific) arguments in order.
     ///
     /// Recognized: `--threads N`, `--backend dense|sparse`,
     /// `--metrics-out FILE`, `--journal FILE`, `--resume`, `--retries N`,
     /// `--snapshot-out FILE`, `--precision exact64|fast32`,
-    /// `--deadline-us N`, `--max-batch N`, `--queue-cap N`.
+    /// `--deadline-us N`, `--max-batch N`, `--queue-cap N`,
+    /// `--listen ADDR`, `--connect ADDR`, `--conn-window N`, `--drain-ms N`.
     /// Errors name the offending flag, for `exit(2)`-style usage reporting.
     pub fn parse_cli(mut self, args: &[String]) -> Result<(Self, Vec<String>), String> {
         let mut rest = Vec::new();
@@ -424,6 +470,18 @@ impl RuntimeConfigBuilder {
                         .parse()
                         .map_err(|_| "--queue-cap takes an integer".to_string())?;
                 }
+                "--listen" => self.listen = Some(value(&mut i, "--listen")?),
+                "--connect" => self.connect = Some(value(&mut i, "--connect")?),
+                "--conn-window" => {
+                    self.conn_window = value(&mut i, "--conn-window")?
+                        .parse()
+                        .map_err(|_| "--conn-window takes an integer".to_string())?;
+                }
+                "--drain-ms" => {
+                    self.drain_ms = value(&mut i, "--drain-ms")?
+                        .parse()
+                        .map_err(|_| "--drain-ms takes an integer".to_string())?;
+                }
                 other => rest.push(other.to_string()),
             }
             i += 1;
@@ -445,6 +503,12 @@ impl RuntimeConfigBuilder {
         if self.queue_cap == 0 {
             return Err("--queue-cap must be positive".to_string());
         }
+        if self.conn_window == 0 {
+            return Err("--conn-window must be positive".to_string());
+        }
+        if self.listen.is_some() && self.connect.is_some() {
+            return Err("--listen and --connect are mutually exclusive".to_string());
+        }
         Ok(RuntimeConfig {
             threads: self.threads,
             backend: self.backend,
@@ -458,6 +522,10 @@ impl RuntimeConfigBuilder {
             deadline_us: self.deadline_us,
             max_batch: self.max_batch,
             queue_cap: self.queue_cap,
+            listen: self.listen,
+            connect: self.connect,
+            conn_window: self.conn_window,
+            drain_ms: self.drain_ms,
         })
     }
 }
@@ -573,6 +641,33 @@ mod tests {
         let rt =
             RuntimeConfig::builder().deadline_us(50).max_batch(8).queue_cap(32).build().unwrap();
         assert_eq!((rt.deadline_us, rt.max_batch, rt.queue_cap), (50, 8, 32));
+    }
+
+    #[test]
+    fn runtime_net_knobs_parse_default_and_validate() {
+        let rt = RuntimeConfig::builder().build().unwrap();
+        assert_eq!(rt.conn_window, 64);
+        assert_eq!(rt.drain_ms, 1000);
+        assert_eq!(rt.listen, None);
+        assert_eq!(rt.connect, None);
+
+        let (rt, rest) =
+            cli(&["--listen", "127.0.0.1:0", "--conn-window", "8", "--drain-ms", "250"]).unwrap();
+        assert_eq!(rt.listen.as_deref(), Some("127.0.0.1:0"));
+        assert_eq!(rt.conn_window, 8);
+        assert_eq!(rt.drain_ms, 250);
+        assert!(rest.is_empty());
+
+        let (rt, _) = cli(&["--connect", "10.0.0.1:7878"]).unwrap();
+        assert_eq!(rt.connect.as_deref(), Some("10.0.0.1:7878"));
+
+        assert!(cli(&["--conn-window", "0"]).unwrap_err().contains("--conn-window"));
+        assert!(cli(&["--conn-window", "x"]).unwrap_err().contains("--conn-window"));
+        assert!(cli(&["--drain-ms", "soon"]).unwrap_err().contains("--drain-ms"));
+        assert!(cli(&["--listen"]).unwrap_err().contains("requires a value"));
+        assert!(cli(&["--listen", "a:1", "--connect", "b:2"])
+            .unwrap_err()
+            .contains("mutually exclusive"));
     }
 
     #[test]
