@@ -240,6 +240,7 @@ fn users_per_sec_rows(timed: &[BenchResult]) -> Vec<BenchResult> {
                 id: format!("score/users_per_sec_{path}_batch{batch}"),
                 sample_means_ns: vec![batch * 1e9 / median_ns],
                 iters_per_sample: 1,
+                skipped: None,
             })
         })
         .collect()

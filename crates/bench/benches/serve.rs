@@ -142,6 +142,7 @@ fn users_per_sec_rows(timed: &[BenchResult]) -> Vec<BenchResult> {
                 id: format!("{prefix}/users_per_sec_batch{batch}"),
                 sample_means_ns: vec![batch * 1e9 / median_ns],
                 iters_per_sample: 1,
+                skipped: None,
             })
         })
         .collect()

@@ -103,7 +103,7 @@ fn run(
 }
 
 fn row(id: String, samples: Vec<f64>) -> BenchResult {
-    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1 }
+    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1, skipped: None }
 }
 
 fn main() {

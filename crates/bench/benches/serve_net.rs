@@ -67,7 +67,7 @@ fn xp_cfg() -> XpConfig {
 }
 
 fn row(id: String, samples: Vec<f64>) -> BenchResult {
-    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1 }
+    BenchResult { id, sample_means_ns: samples, iters_per_sample: 1, skipped: None }
 }
 
 /// What one client process measured, parsed back from its stdout line.

@@ -96,9 +96,9 @@ fn spmm_sparse_vs_dense(c: &mut Criterion) {
             });
         }
         if n > DENSE_SKIP_ABOVE {
-            eprintln!(
-                "dense/spmm_n{n}: skipped (dense adjacency would be {:.1} GB)",
-                (n * n * 8) as f64 / 1e9
+            c.skip(
+                format!("dense/spmm_n{n}"),
+                format!("dense adjacency would be {:.1} GB", (n * n * 8) as f64 / 1e9),
             );
         }
     }
@@ -142,7 +142,7 @@ fn pds_unroll_sparse_vs_dense(c: &mut Criterion) {
             });
         }
         if n > DENSE_SKIP_ABOVE {
-            eprintln!("dense/pds_unroll_n{n}: skipped (dense adjacency would not fit)");
+            c.skip(format!("dense/pds_unroll_n{n}"), "dense adjacency would not fit");
         }
     }
 }
@@ -162,11 +162,13 @@ fn resident_rows() -> Vec<BenchResult> {
             id: format!("sparse/resident_bytes_n{n}"),
             sample_means_ns: vec![csr.resident_bytes() as f64],
             iters_per_sample: 1,
+            skipped: None,
         });
         rows.push(BenchResult {
             id: format!("dense/resident_bytes_n{n}"),
             sample_means_ns: vec![(n * n * 8) as f64],
             iters_per_sample: 1,
+            skipped: None,
         });
     }
     rows

@@ -103,6 +103,13 @@ impl CsrGraph {
         self.neighbors.len() as f64 / self.num_nodes() as f64
     }
 
+    /// Resident bytes of the CSR arrays (offsets + neighbor list) — the
+    /// memory footprint the scale bench tracks for million-user worlds.
+    pub fn resident_bytes(&self) -> usize {
+        self.offsets.len() * std::mem::size_of::<usize>()
+            + self.neighbors.len() * std::mem::size_of::<u32>()
+    }
+
     /// A 64-bit structural fingerprint (FNV-1a over the CSR arrays).
     ///
     /// Two graphs with the same fingerprint are, for caching purposes, the
@@ -152,6 +159,107 @@ impl CsrGraph {
             }
         }
         components
+    }
+}
+
+/// Streaming construction of a [`CsrGraph`] without per-node `Vec`s.
+///
+/// [`CsrGraph::from_edges`] allocates one `Vec` per node — fine at paper
+/// scale, ruinous at a million nodes (allocator overhead and pointer-chasing
+/// dominate). The builder instead buffers flat directed half-edges, then
+/// finishes with a counting sort into the canonical CSR arrays: O(E) memory,
+/// two linear passes, no per-node allocation. Edges may arrive in any order
+/// and any chunking; the canonical form (sorted, deduplicated neighbor
+/// lists) makes the result independent of arrival order.
+#[derive(Clone, Debug)]
+pub struct CsrBuilder {
+    n: usize,
+    /// Directed half-edges, two per undirected edge.
+    half: Vec<(u32, u32)>,
+}
+
+impl CsrBuilder {
+    /// A builder for a graph on `n` nodes.
+    pub fn new(n: usize) -> Self {
+        assert!(n <= u32::MAX as usize + 1, "CsrBuilder caps nodes at u32 range");
+        Self { n, half: Vec::new() }
+    }
+
+    /// Pre-reserves space for `edges` undirected edges.
+    pub fn with_capacity(n: usize, edges: usize) -> Self {
+        let mut b = Self::new(n);
+        b.half.reserve(edges * 2);
+        b
+    }
+
+    /// Adds one undirected edge. Self-loops are ignored; duplicates are
+    /// deduplicated at [`CsrBuilder::finish`].
+    ///
+    /// # Panics
+    /// Panics if an endpoint is `>= n`.
+    pub fn add_edge(&mut self, a: usize, b: usize) {
+        let n = self.n;
+        assert!(a < n && b < n, "edge ({a},{b}) out of bounds for {n} nodes");
+        if a == b {
+            return;
+        }
+        self.half.push((a as u32, b as u32));
+        self.half.push((b as u32, a as u32));
+    }
+
+    /// Adds a chunk of undirected edges.
+    pub fn add_edges<I: IntoIterator<Item = (usize, usize)>>(&mut self, edges: I) {
+        for (a, b) in edges {
+            self.add_edge(a, b);
+        }
+    }
+
+    /// Undirected edges buffered so far (before dedup).
+    pub fn buffered_edges(&self) -> usize {
+        self.half.len() / 2
+    }
+
+    /// Counting-sorts the buffered half-edges into a canonical [`CsrGraph`].
+    pub fn finish(self) -> CsrGraph {
+        let n = self.n;
+        let mut offsets = vec![0usize; n + 1];
+        for &(a, _) in &self.half {
+            offsets[a as usize + 1] += 1;
+        }
+        for i in 0..n {
+            let (lo, hi) = (offsets[i], offsets[i + 1]);
+            offsets[i + 1] = lo + hi;
+        }
+        let mut neighbors = vec![0u32; self.half.len()];
+        let mut next = offsets[..n].to_vec();
+        for &(a, b) in &self.half {
+            let slot = next[a as usize];
+            next[a as usize] += 1;
+            neighbors[slot] = b;
+        }
+        drop(self.half);
+        // Sort + dedup each row in place, compacting left. The write cursor
+        // never passes a row's read start, so the copy is safe.
+        let mut write = 0usize;
+        let mut row_start = 0usize;
+        for u in 0..n {
+            let row_end = offsets[u + 1];
+            neighbors[row_start..row_end].sort_unstable();
+            let mut prev: Option<u32> = None;
+            for k in row_start..row_end {
+                let v = neighbors[k];
+                if prev != Some(v) {
+                    neighbors[write] = v;
+                    write += 1;
+                    prev = Some(v);
+                }
+            }
+            offsets[u + 1] = write;
+            row_start = row_end;
+        }
+        neighbors.truncate(write);
+        neighbors.shrink_to_fit();
+        CsrGraph { offsets, neighbors }
     }
 }
 
@@ -216,6 +324,29 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn oob_edge_panics() {
         let _ = CsrGraph::from_edges(2, &[(0, 2)]);
+    }
+
+    #[test]
+    fn builder_matches_from_edges() {
+        let edges = vec![(0, 3), (1, 2), (0, 1), (1, 0), (2, 2), (4, 0), (0, 4)];
+        let reference = CsrGraph::from_edges(5, &edges);
+        let mut b = CsrBuilder::with_capacity(5, edges.len());
+        b.add_edges(edges.iter().copied());
+        assert_eq!(b.finish(), reference);
+        // Arrival order and chunking do not matter: feed reversed, in chunks.
+        let mut b2 = CsrBuilder::new(5);
+        for chunk in edges.iter().rev().collect::<Vec<_>>().chunks(2) {
+            b2.add_edges(chunk.iter().map(|&&e| e));
+        }
+        assert_eq!(b2.finish(), reference);
+    }
+
+    #[test]
+    fn builder_empty_and_isolated() {
+        assert_eq!(CsrBuilder::new(0).finish(), CsrGraph::empty(0));
+        let g = CsrBuilder::new(4).finish();
+        assert_eq!(g, CsrGraph::empty(4));
+        assert!(g.resident_bytes() >= 5 * std::mem::size_of::<usize>());
     }
 
     #[test]

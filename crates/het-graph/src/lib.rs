@@ -24,6 +24,6 @@ pub mod generate;
 pub mod item_graph;
 pub mod stats;
 
-pub use csr::CsrGraph;
+pub use csr::{CsrBuilder, CsrGraph};
 pub use item_graph::build_item_graph;
 pub use stats::{degree_histogram, graph_stats, transitivity, GraphStats};

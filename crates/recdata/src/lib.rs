@@ -18,6 +18,7 @@
 
 #![warn(missing_docs)]
 
+pub mod builder;
 pub mod dataset;
 pub mod demographics;
 pub mod io;
@@ -25,6 +26,7 @@ pub mod poison;
 pub mod ratings;
 pub mod synth;
 
+pub use builder::{WorldBuilder, WorldChunk};
 pub use dataset::Dataset;
 pub use demographics::{sample_market, DemographicsSpec, Market, PlayerAssets};
 pub use io::{load_dump, load_json, save_json, IoError};

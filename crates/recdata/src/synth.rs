@@ -16,15 +16,10 @@
 //! Counts can be scaled down uniformly via [`DatasetSpec::scaled`]; the
 //! default experiment scale is 1/8 (see DESIGN.md §2).
 
-use rand::seq::SliceRandom;
-use rand::Rng;
-use rand::SeedableRng;
 use serde::{Deserialize, Serialize};
 
-use msopds_het_graph::{build_item_graph, generate};
-
+use crate::builder::WorldBuilder;
 use crate::dataset::Dataset;
-use crate::ratings::{Rating, RatingMatrix};
 
 /// Parameters of a synthetic dataset.
 #[derive(Clone, Debug, Serialize, Deserialize)]
@@ -104,118 +99,24 @@ impl DatasetSpec {
     }
 
     /// Generates the dataset deterministically from `seed`.
+    ///
+    /// A thin wrapper over [`WorldBuilder::replay`] — the legacy sequential
+    /// generator now lives behind the builder API, and this path is locked
+    /// byte-identical by `tests/builder_parity.rs`. For worlds too large to
+    /// materialize, use [`WorldBuilder::streaming`] and consume chunks.
     pub fn generate(&self, seed: u64) -> Dataset {
-        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let d = self.latent_dim;
-
-        // Planted structure: cluster centers, then user/item latents.
-        let centers: Vec<Vec<f64>> =
-            (0..self.n_clusters).map(|_| (0..d).map(|_| gauss(&mut rng) * 0.9).collect()).collect();
-        let user_cluster: Vec<usize> =
-            (0..self.n_users).map(|_| rng.gen_range(0..self.n_clusters)).collect();
-        let item_cluster: Vec<usize> =
-            (0..self.n_items).map(|_| rng.gen_range(0..self.n_clusters)).collect();
-        let user_latent: Vec<Vec<f64>> = (0..self.n_users)
-            .map(|u| (0..d).map(|k| centers[user_cluster[u]][k] + gauss(&mut rng) * 0.35).collect())
-            .collect();
-        let item_latent: Vec<Vec<f64>> = (0..self.n_items)
-            .map(|i| (0..d).map(|k| centers[item_cluster[i]][k] + gauss(&mut rng) * 0.35).collect())
-            .collect();
-
-        // Item popularity (Zipf over a random permutation).
-        let mut perm: Vec<usize> = (0..self.n_items).collect();
-        perm.shuffle(&mut rng);
-        let mut weight = vec![0.0; self.n_items];
-        for (rank, &item) in perm.iter().enumerate() {
-            weight[item] = 1.0 / ((rank + 1) as f64).powf(self.zipf_exponent);
-        }
-        // Per-cluster popularity-weighted item lists for cluster-biased picks.
-        let mut cluster_items: Vec<Vec<usize>> = vec![Vec::new(); self.n_clusters];
-        for i in 0..self.n_items {
-            cluster_items[item_cluster[i]].push(i);
-        }
-
-        let mut seen = std::collections::HashSet::new();
-        let mut ratings = Vec::with_capacity(self.n_ratings);
-        let mut attempts = 0usize;
-        let max_attempts = self.n_ratings * 30;
-        while ratings.len() < self.n_ratings && attempts < max_attempts {
-            attempts += 1;
-            let u = rng.gen_range(0..self.n_users);
-            let pool: &[usize] = if rng.gen_bool(self.in_cluster_prob)
-                && !cluster_items[user_cluster[u]].is_empty()
-            {
-                &cluster_items[user_cluster[u]]
-            } else {
-                &perm
-            };
-            let i = weighted_pick(pool, &weight, &mut rng);
-            if !seen.insert((u, i)) {
-                continue;
-            }
-            let affinity: f64 = (0..d).map(|k| user_latent[u][k] * item_latent[i][k]).sum::<f64>();
-            let raw = 3.3 + affinity + gauss(&mut rng) * self.rating_noise;
-            let stars = raw.round().clamp(1.0, 5.0);
-            ratings.push(Rating { user: u as u32, item: i as u32, value: stars });
-        }
-
-        let matrix = RatingMatrix::from_ratings(self.n_users, self.n_items, &ratings);
-        let social = generate::social_network_like(self.n_users, self.n_links, &mut rng);
-        let item_graph =
-            build_item_graph(self.n_users, &matrix.raters_per_item(), self.item_graph_threshold);
-        Dataset::new(self.name.clone(), matrix, social, item_graph)
+        WorldBuilder::replay(self.clone(), seed).build()
     }
 }
 
 /// Standard preprocessing from the paper (footnote 6): keep users with at
 /// least `min_friends` social links and at least `min_ratings` ratings.
 /// Returns the filtered dataset with users re-indexed densely.
+///
+/// A thin wrapper over [`WorldBuilder::preprocess`], which performs the
+/// social re-index through the streaming CSR builder.
 pub fn preprocess(data: &Dataset, min_friends: usize, min_ratings: usize) -> Dataset {
-    let keep: Vec<usize> = (0..data.n_users())
-        .filter(|&u| {
-            data.social.degree(u) >= min_friends && data.ratings.user_degree(u) >= min_ratings
-        })
-        .collect();
-    let mut remap = vec![usize::MAX; data.n_users()];
-    for (new, &old) in keep.iter().enumerate() {
-        remap[old] = new;
-    }
-    let mut ratings = RatingMatrix::new(keep.len(), data.n_items());
-    for r in data.ratings.ratings() {
-        let nu = remap[r.user as usize];
-        if nu != usize::MAX {
-            ratings.insert(Rating { user: nu as u32, ..*r });
-        }
-    }
-    let social_edges: Vec<(usize, usize)> = data
-        .social
-        .edges()
-        .into_iter()
-        .filter_map(|(a, b)| {
-            let (na, nb) = (remap[a], remap[b]);
-            (na != usize::MAX && nb != usize::MAX).then_some((na, nb))
-        })
-        .collect();
-    let social = msopds_het_graph::CsrGraph::from_edges(keep.len(), &social_edges);
-    Dataset::new(format!("{}-filtered", data.name), ratings, social, data.item_graph.clone())
-}
-
-fn gauss<R: Rng>(rng: &mut R) -> f64 {
-    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
-    let u2: f64 = rng.gen_range(0.0..1.0);
-    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
-}
-
-fn weighted_pick<R: Rng>(pool: &[usize], weight: &[f64], rng: &mut R) -> usize {
-    debug_assert!(!pool.is_empty());
-    // Rejection sampling against the max weight in the pool: cheap and exact.
-    let wmax = pool.iter().map(|&i| weight[i]).fold(0.0, f64::max);
-    loop {
-        let &cand = pool.choose(rng).expect("non-empty pool");
-        if rng.gen_bool((weight[cand] / wmax).clamp(0.0, 1.0)) {
-            return cand;
-        }
-    }
+    WorldBuilder::preprocess(data, min_friends, min_ratings)
 }
 
 #[cfg(test)]

@@ -23,8 +23,11 @@ pub mod mf;
 pub mod pds;
 pub mod snapshot;
 
-pub use graphops::{AdjacencyOp, Backend, EdgePatch, FastAdjacency, GraphOps};
+pub use graphops::{AdjacencyOp, Backend, EdgePatch, FastAdjacency, GraphOps, DEFAULT_SHARDS};
 pub use hetrec::{HetRec, HetRecConfig, TrainReport};
 pub use mf::{MatrixFactorization, MfConfig};
 pub use pds::{build_pds, PdsBuild, PdsConfig, PlayerInput};
-pub use snapshot::{ModelKind, Snapshot, SnapshotError, SnapshotHeader};
+pub use snapshot::{
+    MappedSnapshot, ModelKind, Snapshot, SnapshotError, SnapshotHeader, SnapshotSource,
+    SnapshotWriter, TensorDecl, TensorView,
+};

@@ -1,4 +1,4 @@
-//! Versioned binary model snapshots (DESIGN.md §12).
+//! Versioned binary model snapshots (DESIGN.md §12, §16).
 //!
 //! A snapshot is the persisted artifact of a trained recommender: everything
 //! the serving layer needs to answer top-K queries without retraining, plus
@@ -6,41 +6,73 @@
 //! was fitted on) to detect when a snapshot no longer matches the data it
 //! claims to describe.
 //!
-//! ## On-disk layout (format version 1)
-//!
-//! All integers are little-endian; all floats are IEEE-754 `f64` LE.
+//! Two format versions exist. Both are little-endian and hand-rolled (like
+//! the telemetry JSON sink) so the workspace stays dependency-free, and both
+//! share the same 64-byte fixed prefix:
 //!
 //! ```text
 //! magic            8 B   b"MSOSNAP\0"
-//! format version   u32   1
+//! format version   u32   1 or 2
 //! model kind       u8    0 = HetRec, 1 = MatrixFactorization
-//! backend tag      u8    0 = dense, 1 = sparse (training-time GraphOps)
-//! reserved         u16   0
+//! backend tag      u8    0 = dense, 1 = sparse, 2 = sharded
+//! reserved         u16   shard count when backend tag = 2, else 0
 //! seed             u64   model init seed
 //! social fp        u64   CsrGraph::fingerprint of 𝒢ᵤ at fit time
 //! item fp          u64   CsrGraph::fingerprint of 𝒢ᵢ at fit time
 //! n_users          u64
 //! n_items          u64
 //! mu               f64   global-mean rating anchor
+//! ```
+//!
+//! **Version 1** (read-compat only) follows the prefix with config JSON
+//! (u32 length), a tensor count, then inline per-tensor records (name, rank,
+//! rows, cols, `f64` data) and a trailing FNV-1a checksum over every
+//! preceding byte. Loading it requires reading — and copying — the whole
+//! file.
+//!
+//! **Version 2** (what [`Snapshot::to_bytes`] writes) separates *header*
+//! from *payloads* so a million-user model can be memory-mapped with zero
+//! deserialization copy:
+//!
+//! ```text
+//! prefix           64 B  as above, version = 2
 //! config len       u32   followed by that many bytes of config JSON
 //! tensor count     u32
-//! per tensor:
+//! per tensor (directory entry):
 //!   name len       u16   followed by that many bytes of UTF-8 name
 //!   rank           u8    0, 1 or 2
 //!   rows, cols     u64 × 2
-//!   data           f64 × rows·cols (row-major)
-//! checksum         u64   FNV-1a over every preceding byte
+//!   offset         u64   absolute, 64-byte aligned payload position
+//!   payload fnv    u64   FNV-1a over [previous section end, payload end)
+//! header checksum  u64   FNV-1a over every preceding byte
+//! zero padding     to the first 64-byte boundary
+//! payloads         f64 × rows·cols each, 64-byte aligned, zero padding
+//!                  between; the file ends exactly at the last payload end
 //! ```
 //!
-//! The format is hand-rolled (like the telemetry JSON sink) so the workspace
-//! stays dependency-free. Parsing never panics: malformed input — bad magic,
-//! unknown version, truncation, checksum mismatch, inconsistent shapes —
-//! comes back as a typed [`SnapshotError`]. Tensor payloads round-trip
-//! bit-exactly ([`Tensor::to_le_bytes`]), which is what makes served top-K
-//! lists bit-identical to in-process predictions.
+//! Because every payload section's checksum covers its *leading padding*
+//! too, every byte of a v2 file is covered by exactly one checksum (the
+//! header's or one section's): any flipped byte is detected. The header is
+//! self-validating without touching payloads, which is what makes
+//! [`MappedSnapshot::open`] O(header) — load time is flat in model size.
+//! Payload verification is opt-in via [`MappedSnapshot::verify_payloads`].
+//!
+//! The 64-byte section alignment plus a page-aligned (or `u64`-backed heap)
+//! base guarantees payload pointers are 8-byte aligned, so
+//! [`TensorView::data`] can hand out `&[f64]` straight into the map —
+//! tensors round-trip bit-exactly, which is what makes served top-K lists
+//! bit-identical to in-process predictions.
+//!
+//! Parsing never panics: malformed input — bad magic, unknown version,
+//! truncation, checksum mismatch, inconsistent shapes, misaligned sections —
+//! comes back as a typed [`SnapshotError`]. All read paths funnel through
+//! [`Snapshot::open`] on a [`SnapshotSource`]; `load`/`from_bytes` are thin
+//! wrappers. [`Snapshot::peek`] reads only the 64-byte prefix, so
+//! fingerprint checks need not touch the rest of the file.
 
 use std::fmt;
-use std::path::Path;
+use std::io::{Read as _, Seek as _, SeekFrom, Write as _};
+use std::path::{Path, PathBuf};
 
 use msopds_autograd::Tensor;
 use msopds_recdata::Dataset;
@@ -50,8 +82,14 @@ use crate::graphops::Backend;
 /// The 8-byte file magic.
 pub const MAGIC: [u8; 8] = *b"MSOSNAP\0";
 
-/// The current (and only) snapshot format version.
-pub const FORMAT_VERSION: u32 = 1;
+/// The snapshot format version this build writes. Versions 1 and 2 are read.
+pub const FORMAT_VERSION: u32 = 2;
+
+/// Alignment of every v2 tensor payload (and of cache lines).
+pub const SECTION_ALIGN: usize = 64;
+
+/// Length of the fixed prefix shared by both format versions.
+const PREFIX_LEN: usize = 64;
 
 /// Which model family a snapshot holds.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -101,6 +139,16 @@ pub struct SnapshotHeader {
     pub mu: f64,
 }
 
+impl SnapshotHeader {
+    /// True when this header's CSR fingerprints match `data`'s graphs — the
+    /// invalidation test, answerable from a [`Snapshot::peek`] without
+    /// reading tensor payloads.
+    pub fn matches_dataset(&self, data: &Dataset) -> bool {
+        let (social, item) = Snapshot::fingerprints_of(data);
+        self.social_fingerprint == social && self.item_fingerprint == item
+    }
+}
+
 /// A complete persisted model: header + config JSON + named tensors.
 #[derive(Clone, Debug)]
 pub struct Snapshot {
@@ -110,6 +158,55 @@ pub struct Snapshot {
     pub config_json: String,
     /// Named parameter tensors in write order.
     pub tensors: Vec<(String, Tensor)>,
+}
+
+/// Where snapshot bytes come from — the single argument of
+/// [`Snapshot::open`], [`Snapshot::peek`] and the serving loaders.
+#[derive(Clone, Debug)]
+pub enum SnapshotSource {
+    /// Bytes already in memory (e.g. received over the wire).
+    Owned(Vec<u8>),
+    /// Read the whole file into the heap, then parse.
+    File(PathBuf),
+    /// Memory-map the file; v2 tensor payloads are consumed in place with
+    /// zero deserialization copy. v1 files silently fall back to the heap
+    /// path (their payloads are unaligned and inline).
+    Mmap(PathBuf),
+}
+
+impl SnapshotSource {
+    /// A [`SnapshotSource::File`] for `path`.
+    pub fn file(path: impl AsRef<Path>) -> Self {
+        SnapshotSource::File(path.as_ref().to_path_buf())
+    }
+
+    /// A [`SnapshotSource::Mmap`] for `path`.
+    pub fn mmap(path: impl AsRef<Path>) -> Self {
+        SnapshotSource::Mmap(path.as_ref().to_path_buf())
+    }
+
+    /// Reads up to `buf.len()` leading bytes without consuming the source.
+    fn read_head(&self, buf: &mut [u8]) -> Result<usize, SnapshotError> {
+        match self {
+            SnapshotSource::Owned(b) => {
+                let n = b.len().min(buf.len());
+                buf[..n].copy_from_slice(&b[..n]);
+                Ok(n)
+            }
+            SnapshotSource::File(p) | SnapshotSource::Mmap(p) => {
+                let mut f = std::fs::File::open(p)?;
+                let mut filled = 0;
+                while filled < buf.len() {
+                    let n = f.read(&mut buf[filled..])?;
+                    if n == 0 {
+                        break;
+                    }
+                    filled += n;
+                }
+                Ok(filled)
+            }
+        }
+    }
 }
 
 /// Why a snapshot could not be read (or did not describe a usable model).
@@ -138,12 +235,14 @@ pub enum SnapshotError {
         /// Bytes remaining.
         have: usize,
     },
-    /// A structurally invalid field (bad UTF-8, impossible shape, …).
+    /// A structurally invalid field (bad UTF-8, impossible shape, a
+    /// misaligned or out-of-order payload section, …).
     Corrupt {
         /// Human-readable description.
         context: String,
     },
-    /// The trailing FNV-1a checksum does not match the content.
+    /// A stored FNV-1a checksum (v1 trailer, v2 header or payload section)
+    /// does not match the content.
     ChecksumMismatch {
         /// Checksum stored in the file.
         stored: u64,
@@ -198,15 +297,225 @@ impl From<std::io::Error> for SnapshotError {
     }
 }
 
-/// FNV-1a 64 over a byte slice — same family as the CSR fingerprint, so the
-/// whole stack shares one hashing idiom.
-fn fnv1a(bytes: &[u8]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for &b in bytes {
-        h ^= b as u64;
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+/// Incremental FNV-1a 64 — same family as the CSR fingerprint, so the whole
+/// stack shares one hashing idiom.
+struct Fnv(u64);
+
+impl Fnv {
+    fn new() -> Self {
+        Fnv(0xcbf2_9ce4_8422_2325)
     }
-    h
+
+    fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= b as u64;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    fn finish(&self) -> u64 {
+        self.0
+    }
+}
+
+/// FNV-1a 64 over a byte slice.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut f = Fnv::new();
+    f.update(bytes);
+    f.finish()
+}
+
+fn align_up(x: usize) -> usize {
+    x.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+fn encode_backend(b: Backend) -> (u8, u16) {
+    match b {
+        Backend::Dense => (0, 0),
+        Backend::Sparse => (1, 0),
+        Backend::Sharded(k) => (2, k),
+    }
+}
+
+fn decode_backend(tag: u8, reserved: u16) -> Result<Backend, SnapshotError> {
+    match (tag, reserved) {
+        (0, _) => Ok(Backend::Dense),
+        (1, _) => Ok(Backend::Sparse),
+        (2, k) if k >= 1 => Ok(Backend::Sharded(k)),
+        (2, _) => Err(SnapshotError::Corrupt {
+            context: "sharded backend tag with zero shard count".into(),
+        }),
+        (other, _) => {
+            Err(SnapshotError::Corrupt { context: format!("unknown backend tag {other}") })
+        }
+    }
+}
+
+fn shape_ok(rank: u8, rows: usize, cols: usize) -> bool {
+    rank <= 2 && !(rank == 0 && (rows != 1 || cols != 1)) && !(rank == 1 && cols != 1)
+}
+
+/// The declared shape of one tensor a [`SnapshotWriter`] will stream.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct TensorDecl {
+    /// Tensor name (the lookup key of [`Snapshot::tensor`]).
+    pub name: String,
+    /// 0 (scalar), 1 (vector) or 2 (matrix).
+    pub rank: u8,
+    /// Row count (1 for scalars).
+    pub rows: usize,
+    /// Column count (1 for scalars and vectors).
+    pub cols: usize,
+}
+
+impl TensorDecl {
+    /// A rank-0 declaration.
+    pub fn scalar(name: impl Into<String>) -> Self {
+        Self { name: name.into(), rank: 0, rows: 1, cols: 1 }
+    }
+
+    /// A rank-1 declaration of length `n`.
+    pub fn vector(name: impl Into<String>, n: usize) -> Self {
+        Self { name: name.into(), rank: 1, rows: n, cols: 1 }
+    }
+
+    /// A rank-2 declaration.
+    pub fn matrix(name: impl Into<String>, rows: usize, cols: usize) -> Self {
+        Self { name: name.into(), rank: 2, rows, cols }
+    }
+
+    /// The declaration matching an existing tensor.
+    pub fn of(name: impl Into<String>, t: &Tensor) -> Self {
+        Self { name: name.into(), rank: t.rank(), rows: t.rows(), cols: t.cols() }
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+/// One parsed v2 directory entry.
+#[derive(Clone, Debug)]
+struct DirEntry {
+    name: String,
+    rank: u8,
+    rows: usize,
+    cols: usize,
+    /// Absolute, 64-aligned payload position.
+    offset: usize,
+    /// FNV-1a over `[payload_start, end)` — leading padding included.
+    checksum: u64,
+    /// End of the previous section (header region for the first entry).
+    payload_start: usize,
+}
+
+impl DirEntry {
+    fn numel(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    fn end(&self) -> usize {
+        self.offset + self.numel() * 8
+    }
+
+    fn shape(&self) -> Vec<usize> {
+        match self.rank {
+            0 => vec![],
+            1 => vec![self.rows],
+            _ => vec![self.rows, self.cols],
+        }
+    }
+}
+
+/// Appends the shared 64-byte prefix.
+fn write_prefix(out: &mut Vec<u8>, version: u32, header: &SnapshotHeader) {
+    out.extend_from_slice(&MAGIC);
+    out.extend_from_slice(&version.to_le_bytes());
+    out.push(header.kind.tag());
+    let (tag, reserved) = encode_backend(header.backend);
+    out.push(tag);
+    out.extend_from_slice(&reserved.to_le_bytes());
+    out.extend_from_slice(&header.seed.to_le_bytes());
+    out.extend_from_slice(&header.social_fingerprint.to_le_bytes());
+    out.extend_from_slice(&header.item_fingerprint.to_le_bytes());
+    out.extend_from_slice(&header.n_users.to_le_bytes());
+    out.extend_from_slice(&header.n_items.to_le_bytes());
+    out.extend_from_slice(&header.mu.to_le_bytes());
+    debug_assert_eq!(out.len() % PREFIX_LEN, 0, "prefix must be exactly {PREFIX_LEN} bytes");
+}
+
+/// Reads the 52 prefix bytes after magic + version.
+fn read_header_fields(r: &mut Reader<'_>) -> Result<SnapshotHeader, SnapshotError> {
+    let kind = ModelKind::from_tag(u8::from_le_bytes(r.take::<1>("model kind")?))?;
+    let backend_tag = u8::from_le_bytes(r.take::<1>("backend tag")?);
+    let reserved = u16::from_le_bytes(r.take::<2>("reserved")?);
+    let backend = decode_backend(backend_tag, reserved)?;
+    let seed = u64::from_le_bytes(r.take::<8>("seed")?);
+    let social_fingerprint = u64::from_le_bytes(r.take::<8>("social fingerprint")?);
+    let item_fingerprint = u64::from_le_bytes(r.take::<8>("item fingerprint")?);
+    let n_users = u64::from_le_bytes(r.take::<8>("n_users")?);
+    let n_items = u64::from_le_bytes(r.take::<8>("n_items")?);
+    let mu = f64::from_le_bytes(r.take::<8>("mu")?);
+    Ok(SnapshotHeader {
+        kind,
+        backend,
+        seed,
+        social_fingerprint,
+        item_fingerprint,
+        n_users,
+        n_items,
+        mu,
+    })
+}
+
+/// v2 header-region length for the given config / declarations.
+fn header_region_len(config_len: usize, decls: &[TensorDecl]) -> usize {
+    PREFIX_LEN
+        + 4
+        + config_len
+        + 4
+        + decls.iter().map(|d| 35 + d.name.len()).sum::<usize>()
+        + 8
+}
+
+/// 64-aligned payload offsets and the exact total file length.
+fn payload_offsets(header_len: usize, decls: &[TensorDecl]) -> (Vec<usize>, usize) {
+    let mut offsets = Vec::with_capacity(decls.len());
+    let mut end = header_len;
+    for d in decls {
+        let off = align_up(end);
+        offsets.push(off);
+        end = off + d.numel() * 8;
+    }
+    (offsets, if decls.is_empty() { header_len } else { end })
+}
+
+/// The complete v2 header region: prefix, config, directory, checksum.
+fn build_header_region(
+    header: &SnapshotHeader,
+    config_json: &str,
+    decls: &[TensorDecl],
+    offsets: &[usize],
+    checksums: &[u64],
+) -> Vec<u8> {
+    let mut out = Vec::with_capacity(header_region_len(config_json.len(), decls));
+    write_prefix(&mut out, 2, header);
+    out.extend_from_slice(&(config_json.len() as u32).to_le_bytes());
+    out.extend_from_slice(config_json.as_bytes());
+    out.extend_from_slice(&(decls.len() as u32).to_le_bytes());
+    for ((d, &off), &ck) in decls.iter().zip(offsets).zip(checksums) {
+        out.extend_from_slice(&(d.name.len() as u16).to_le_bytes());
+        out.extend_from_slice(d.name.as_bytes());
+        out.push(d.rank);
+        out.extend_from_slice(&(d.rows as u64).to_le_bytes());
+        out.extend_from_slice(&(d.cols as u64).to_le_bytes());
+        out.extend_from_slice(&(off as u64).to_le_bytes());
+        out.extend_from_slice(&ck.to_le_bytes());
+    }
+    let checksum = fnv1a(&out);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out
 }
 
 impl Snapshot {
@@ -230,31 +539,41 @@ impl Snapshot {
     /// invalidation test: a served model is only valid for the exact graph
     /// structure it was fitted on (DESIGN.md §12).
     pub fn matches_dataset(&self, data: &Dataset) -> bool {
-        let (social, item) = Self::fingerprints_of(data);
-        self.header.social_fingerprint == social && self.header.item_fingerprint == item
+        self.header.matches_dataset(data)
     }
 
-    /// Serializes the snapshot into the format-version-1 byte stream.
+    /// Serializes the snapshot into the current (version 2) byte stream.
     pub fn to_bytes(&self) -> Vec<u8> {
+        let decls: Vec<TensorDecl> =
+            self.tensors.iter().map(|(n, t)| TensorDecl::of(n.clone(), t)).collect();
+        let header_len = header_region_len(self.config_json.len(), &decls);
+        let (offsets, total) = payload_offsets(header_len, &decls);
+        let mut out = vec![0u8; header_len];
+        out.reserve(total - header_len);
+        let mut checksums = Vec::with_capacity(decls.len());
+        let mut prev_end = header_len;
+        for ((_, t), &off) in self.tensors.iter().zip(&offsets) {
+            out.resize(off, 0);
+            out.extend_from_slice(&t.to_le_bytes());
+            checksums.push(fnv1a(&out[prev_end..]));
+            prev_end = out.len();
+        }
+        debug_assert_eq!(out.len(), total);
+        let region = build_header_region(&self.header, &self.config_json, &decls, &offsets, &checksums);
+        out[..header_len].copy_from_slice(&region);
+        out
+    }
+
+    /// Serializes into the legacy version-1 stream (inline payloads, single
+    /// trailing checksum). Kept for read-compat tests and tooling that must
+    /// produce files for older builds.
+    pub fn to_bytes_v1(&self) -> Vec<u8> {
         let payload: usize =
             self.tensors.iter().map(|(n, t)| 2 + n.len() + 1 + 16 + t.numel() * 8).sum::<usize>()
-                + 64
+                + PREFIX_LEN
                 + self.config_json.len();
         let mut out = Vec::with_capacity(payload + 16);
-        out.extend_from_slice(&MAGIC);
-        out.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
-        out.push(self.header.kind.tag());
-        out.push(match self.header.backend {
-            Backend::Dense => 0,
-            Backend::Sparse => 1,
-        });
-        out.extend_from_slice(&0u16.to_le_bytes());
-        out.extend_from_slice(&self.header.seed.to_le_bytes());
-        out.extend_from_slice(&self.header.social_fingerprint.to_le_bytes());
-        out.extend_from_slice(&self.header.item_fingerprint.to_le_bytes());
-        out.extend_from_slice(&self.header.n_users.to_le_bytes());
-        out.extend_from_slice(&self.header.n_items.to_le_bytes());
-        out.extend_from_slice(&self.header.mu.to_le_bytes());
+        write_prefix(&mut out, 1, &self.header);
         out.extend_from_slice(&(self.config_json.len() as u32).to_le_bytes());
         out.extend_from_slice(self.config_json.as_bytes());
         out.extend_from_slice(&(self.tensors.len() as u32).to_le_bytes());
@@ -271,114 +590,82 @@ impl Snapshot {
         out
     }
 
-    /// Parses a snapshot from bytes, validating magic, version, structure and
-    /// checksum. Never panics on malformed input.
+    /// Parses a snapshot from bytes (version 1 or 2), validating magic,
+    /// version, structure and every checksum. Never panics on malformed
+    /// input. Equivalent to [`Snapshot::open`] on [`SnapshotSource::Owned`].
     pub fn from_bytes(bytes: &[u8]) -> Result<Self, SnapshotError> {
         let mut r = Reader { bytes, pos: 0 };
         let magic = r.take::<8>("magic")?;
         if magic != MAGIC {
             return Err(SnapshotError::BadMagic { found: magic });
         }
+        match u32::from_le_bytes(r.take::<4>("format version")?) {
+            1 => parse_v1(bytes),
+            2 => parse_v2_full(bytes),
+            found => {
+                Err(SnapshotError::UnsupportedVersion { found, supported: FORMAT_VERSION })
+            }
+        }
+    }
+
+    /// The single full-parse entry point: every loader routes here.
+    ///
+    /// `Owned`/`File` parse on the heap; `Mmap` maps v2 files, verifies
+    /// payloads, then materializes owned tensors (use [`MappedSnapshot`]
+    /// directly to keep the zero-copy view). A v1 file behind `Mmap` falls
+    /// back to the heap path.
+    pub fn open(source: &SnapshotSource) -> Result<Self, SnapshotError> {
+        match source {
+            SnapshotSource::Owned(b) => Self::from_bytes(b),
+            SnapshotSource::File(p) => Self::from_bytes(&std::fs::read(p)?),
+            SnapshotSource::Mmap(p) => match Self::peek_version(source)? {
+                2 => {
+                    let mapped = MappedSnapshot::open(p)?;
+                    mapped.verify_payloads()?;
+                    Ok(mapped.to_owned_snapshot())
+                }
+                _ => Self::from_bytes(&std::fs::read(p)?),
+            },
+        }
+    }
+
+    /// Reads only the 64-byte prefix and returns the header — O(1) in model
+    /// size, so fingerprint checks ([`SnapshotHeader::matches_dataset`],
+    /// hot-swap guards) need not read tensor payloads.
+    ///
+    /// The prefix is *not* covered by a checksum on its own, so a peeked
+    /// header is unauthenticated; full validation happens at
+    /// [`Snapshot::open`] time.
+    pub fn peek(source: &SnapshotSource) -> Result<SnapshotHeader, SnapshotError> {
+        let mut buf = [0u8; PREFIX_LEN];
+        let n = source.read_head(&mut buf)?;
+        let mut r = Reader { bytes: &buf[..n], pos: 0 };
+        let magic = r.take::<8>("magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
+        }
         let version = u32::from_le_bytes(r.take::<4>("format version")?);
-        if version != FORMAT_VERSION {
+        if !(1..=FORMAT_VERSION).contains(&version) {
             return Err(SnapshotError::UnsupportedVersion {
                 found: version,
                 supported: FORMAT_VERSION,
             });
         }
-        // The checksum guards everything after the (already validated) magic
-        // and version, so verify it before trusting any length field.
-        if bytes.len() < r.pos + 8 {
-            return Err(SnapshotError::Truncated {
-                context: "checksum trailer",
-                needed: 8,
-                have: bytes.len().saturating_sub(r.pos),
-            });
-        }
-        let body_end = bytes.len() - 8;
-        let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8-byte trailer"));
-        let computed = fnv1a(&bytes[..body_end]);
-        if stored != computed {
-            return Err(SnapshotError::ChecksumMismatch { stored, computed });
-        }
-        r.bytes = &bytes[..body_end];
+        read_header_fields(&mut r)
+    }
 
-        let kind = ModelKind::from_tag(u8::from_le_bytes(r.take::<1>("model kind")?))?;
-        let backend = match u8::from_le_bytes(r.take::<1>("backend tag")?) {
-            0 => Backend::Dense,
-            1 => Backend::Sparse,
-            other => {
-                return Err(SnapshotError::Corrupt {
-                    context: format!("unknown backend tag {other}"),
-                })
-            }
-        };
-        let _reserved = r.take::<2>("reserved")?;
-        let seed = u64::from_le_bytes(r.take::<8>("seed")?);
-        let social_fingerprint = u64::from_le_bytes(r.take::<8>("social fingerprint")?);
-        let item_fingerprint = u64::from_le_bytes(r.take::<8>("item fingerprint")?);
-        let n_users = u64::from_le_bytes(r.take::<8>("n_users")?);
-        let n_items = u64::from_le_bytes(r.take::<8>("n_items")?);
-        let mu = f64::from_le_bytes(r.take::<8>("mu")?);
-
-        let config_len = u32::from_le_bytes(r.take::<4>("config length")?) as usize;
-        let config_bytes = r.slice(config_len, "config JSON")?;
-        let config_json = std::str::from_utf8(config_bytes)
-            .map_err(|_| SnapshotError::Corrupt { context: "config JSON is not UTF-8".into() })?
-            .to_string();
-
-        let count = u32::from_le_bytes(r.take::<4>("tensor count")?) as usize;
-        let mut tensors = Vec::with_capacity(count.min(64));
-        for i in 0..count {
-            let name_len = u16::from_le_bytes(r.take::<2>("tensor name length")?) as usize;
-            let name = std::str::from_utf8(r.slice(name_len, "tensor name")?)
-                .map_err(|_| SnapshotError::Corrupt {
-                    context: format!("tensor {i} name is not UTF-8"),
-                })?
-                .to_string();
-            let rank = u8::from_le_bytes(r.take::<1>("tensor rank")?);
-            let rows = u64::from_le_bytes(r.take::<8>("tensor rows")?) as usize;
-            let cols = u64::from_le_bytes(r.take::<8>("tensor cols")?) as usize;
-            if rank > 2 || (rank == 0 && (rows != 1 || cols != 1)) || (rank == 1 && cols != 1) {
-                return Err(SnapshotError::Corrupt {
-                    context: format!(
-                        "tensor {name:?} has impossible shape rank={rank} [{rows}, {cols}]"
-                    ),
-                });
-            }
-            let numel = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Corrupt {
-                context: format!("tensor {name:?} shape overflows"),
-            })?;
-            let data = r.slice(numel * 8, "tensor data")?;
-            let shape: &[usize] = match rank {
-                0 => &[],
-                1 => &[rows],
-                _ => &[rows, cols],
-            };
-            let t = Tensor::from_le_bytes(data, shape).ok_or_else(|| SnapshotError::Corrupt {
-                context: format!("tensor {name:?} payload/shape mismatch"),
-            })?;
-            tensors.push((name, t));
+    /// Reads only magic + version (12 bytes). Returns the raw stored version
+    /// without range-checking it, so callers can dispatch (e.g. mmap for 2,
+    /// heap for 1) and let the full parser reject unknown versions.
+    pub fn peek_version(source: &SnapshotSource) -> Result<u32, SnapshotError> {
+        let mut buf = [0u8; 12];
+        let n = source.read_head(&mut buf)?;
+        let mut r = Reader { bytes: &buf[..n], pos: 0 };
+        let magic = r.take::<8>("magic")?;
+        if magic != MAGIC {
+            return Err(SnapshotError::BadMagic { found: magic });
         }
-        if r.pos != r.bytes.len() {
-            return Err(SnapshotError::Corrupt {
-                context: format!("{} trailing bytes after the last tensor", r.bytes.len() - r.pos),
-            });
-        }
-        Ok(Snapshot {
-            header: SnapshotHeader {
-                kind,
-                backend,
-                seed,
-                social_fingerprint,
-                item_fingerprint,
-                n_users,
-                n_items,
-                mu,
-            },
-            config_json,
-            tensors,
-        })
+        Ok(u32::from_le_bytes(r.take::<4>("format version")?))
     }
 
     /// Writes the snapshot to `path` (atomically: temp file + rename, so a
@@ -391,10 +678,207 @@ impl Snapshot {
         Ok(())
     }
 
-    /// Reads and parses a snapshot from `path`.
+    /// Reads and parses a snapshot from `path` — a thin wrapper over
+    /// [`Snapshot::open`] with a [`SnapshotSource::File`].
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
-        Self::from_bytes(&std::fs::read(path)?)
+        Self::open(&SnapshotSource::file(path))
     }
+}
+
+/// The legacy version-1 parser: trailing checksum first, then inline tensors.
+fn parse_v1(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let mut r = Reader { bytes, pos: 12 };
+    // The checksum guards everything after the (already validated) magic
+    // and version, so verify it before trusting any length field.
+    if bytes.len() < r.pos + 8 {
+        return Err(SnapshotError::Truncated {
+            context: "checksum trailer",
+            needed: 8,
+            have: bytes.len().saturating_sub(r.pos),
+        });
+    }
+    let body_end = bytes.len() - 8;
+    let stored = u64::from_le_bytes(bytes[body_end..].try_into().expect("8-byte trailer"));
+    let computed = fnv1a(&bytes[..body_end]);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    r.bytes = &bytes[..body_end];
+
+    let header = read_header_fields(&mut r)?;
+    let config_len = u32::from_le_bytes(r.take::<4>("config length")?) as usize;
+    let config_bytes = r.slice(config_len, "config JSON")?;
+    let config_json = std::str::from_utf8(config_bytes)
+        .map_err(|_| SnapshotError::Corrupt { context: "config JSON is not UTF-8".into() })?
+        .to_string();
+
+    let count = u32::from_le_bytes(r.take::<4>("tensor count")?) as usize;
+    let mut tensors = Vec::with_capacity(count.min(64));
+    for i in 0..count {
+        let name_len = u16::from_le_bytes(r.take::<2>("tensor name length")?) as usize;
+        let name = std::str::from_utf8(r.slice(name_len, "tensor name")?)
+            .map_err(|_| SnapshotError::Corrupt {
+                context: format!("tensor {i} name is not UTF-8"),
+            })?
+            .to_string();
+        let rank = u8::from_le_bytes(r.take::<1>("tensor rank")?);
+        let rows = u64::from_le_bytes(r.take::<8>("tensor rows")?) as usize;
+        let cols = u64::from_le_bytes(r.take::<8>("tensor cols")?) as usize;
+        if !shape_ok(rank, rows, cols) {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "tensor {name:?} has impossible shape rank={rank} [{rows}, {cols}]"
+                ),
+            });
+        }
+        let numel = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Corrupt {
+            context: format!("tensor {name:?} shape overflows"),
+        })?;
+        let data = r.slice(numel * 8, "tensor data")?;
+        let shape: &[usize] = match rank {
+            0 => &[],
+            1 => &[rows],
+            _ => &[rows, cols],
+        };
+        let t = Tensor::from_le_bytes(data, shape).ok_or_else(|| SnapshotError::Corrupt {
+            context: format!("tensor {name:?} payload/shape mismatch"),
+        })?;
+        tensors.push((name, t));
+    }
+    if r.pos != r.bytes.len() {
+        return Err(SnapshotError::Corrupt {
+            context: format!("{} trailing bytes after the last tensor", r.bytes.len() - r.pos),
+        });
+    }
+    Ok(Snapshot { header, config_json, tensors })
+}
+
+/// Parsed v2 header region plus layout facts; payloads untouched.
+struct ParsedV2 {
+    header: SnapshotHeader,
+    config_json: String,
+    entries: Vec<DirEntry>,
+    total_len: usize,
+}
+
+/// Parses and validates the v2 header region (prefix, config, directory,
+/// header checksum) and checks the declared layout against `bytes.len()`
+/// — O(header), independent of payload size.
+fn parse_v2_header(bytes: &[u8]) -> Result<ParsedV2, SnapshotError> {
+    let mut r = Reader { bytes, pos: 0 };
+    let magic = r.take::<8>("magic")?;
+    if magic != MAGIC {
+        return Err(SnapshotError::BadMagic { found: magic });
+    }
+    match u32::from_le_bytes(r.take::<4>("format version")?) {
+        2 => {}
+        1 => {
+            return Err(SnapshotError::Corrupt {
+                context: "format version 1 payloads are inline and unaligned; \
+                          re-save as version 2 or load through the heap path"
+                    .into(),
+            })
+        }
+        found => {
+            return Err(SnapshotError::UnsupportedVersion { found, supported: FORMAT_VERSION })
+        }
+    }
+    let header = read_header_fields(&mut r)?;
+    let config_len = u32::from_le_bytes(r.take::<4>("config length")?) as usize;
+    let config_bytes = r.slice(config_len, "config JSON")?;
+    let config_json = std::str::from_utf8(config_bytes)
+        .map_err(|_| SnapshotError::Corrupt { context: "config JSON is not UTF-8".into() })?
+        .to_string();
+
+    let count = u32::from_le_bytes(r.take::<4>("tensor count")?) as usize;
+    let mut raw = Vec::with_capacity(count.min(64));
+    for i in 0..count {
+        let name_len = u16::from_le_bytes(r.take::<2>("tensor name length")?) as usize;
+        let name = std::str::from_utf8(r.slice(name_len, "tensor name")?)
+            .map_err(|_| SnapshotError::Corrupt {
+                context: format!("tensor {i} name is not UTF-8"),
+            })?
+            .to_string();
+        let rank = u8::from_le_bytes(r.take::<1>("tensor rank")?);
+        let rows = u64::from_le_bytes(r.take::<8>("tensor rows")?) as usize;
+        let cols = u64::from_le_bytes(r.take::<8>("tensor cols")?) as usize;
+        let offset = u64::from_le_bytes(r.take::<8>("tensor offset")?) as usize;
+        let checksum = u64::from_le_bytes(r.take::<8>("tensor checksum")?);
+        raw.push((name, rank, rows, cols, offset, checksum));
+    }
+    let computed = fnv1a(&bytes[..r.pos]);
+    let stored = u64::from_le_bytes(r.take::<8>("header checksum")?);
+    if stored != computed {
+        return Err(SnapshotError::ChecksumMismatch { stored, computed });
+    }
+    let header_len = r.pos;
+
+    // The directory is now authenticated; validate shapes and the section
+    // layout (monotone, 64-aligned, gap-free up to padding).
+    let mut entries = Vec::with_capacity(raw.len());
+    let mut prev_end = header_len;
+    for (name, rank, rows, cols, offset, checksum) in raw {
+        if !shape_ok(rank, rows, cols) {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "tensor {name:?} has impossible shape rank={rank} [{rows}, {cols}]"
+                ),
+            });
+        }
+        let numel = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Corrupt {
+            context: format!("tensor {name:?} shape overflows"),
+        })?;
+        let expected = align_up(prev_end);
+        if offset != expected {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "tensor {name:?} payload at byte {offset}, expected the \
+                     {SECTION_ALIGN}-aligned offset {expected}"
+                ),
+            });
+        }
+        let end = numel
+            .checked_mul(8)
+            .and_then(|b| offset.checked_add(b))
+            .ok_or_else(|| SnapshotError::Corrupt {
+                context: format!("tensor {name:?} payload extent overflows"),
+            })?;
+        entries.push(DirEntry { name, rank, rows, cols, offset, checksum, payload_start: prev_end });
+        prev_end = end;
+    }
+    let total_len = if entries.is_empty() { header_len } else { prev_end };
+    if bytes.len() < total_len {
+        return Err(SnapshotError::Truncated {
+            context: "tensor payload section",
+            needed: total_len,
+            have: bytes.len(),
+        });
+    }
+    if bytes.len() > total_len {
+        return Err(SnapshotError::Corrupt {
+            context: format!("{} trailing bytes after the last payload", bytes.len() - total_len),
+        });
+    }
+    Ok(ParsedV2 { header, config_json, entries, total_len })
+}
+
+/// Full v2 parse: header region plus payload checksums and tensor copies.
+fn parse_v2_full(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let parsed = parse_v2_header(bytes)?;
+    let mut tensors = Vec::with_capacity(parsed.entries.len());
+    for e in &parsed.entries {
+        let computed = fnv1a(&bytes[e.payload_start..e.end()]);
+        if computed != e.checksum {
+            return Err(SnapshotError::ChecksumMismatch { stored: e.checksum, computed });
+        }
+        let t = Tensor::from_le_bytes(&bytes[e.offset..e.end()], &e.shape()).ok_or_else(|| {
+            SnapshotError::Corrupt {
+                context: format!("tensor {:?} payload/shape mismatch", e.name),
+            }
+        })?;
+        tensors.push((e.name.clone(), t));
+    }
+    Ok(Snapshot { header: parsed.header, config_json: parsed.config_json, tensors })
 }
 
 /// A bounds-checked little-endian cursor; every read failure carries the field
@@ -418,6 +902,443 @@ impl<'a> Reader<'a> {
         let s = &self.bytes[self.pos..self.pos + n];
         self.pos += n;
         Ok(s)
+    }
+}
+
+/// Hand-rolled read-only `mmap`, following the workspace's no-libc-crate
+/// precedent (serve-net's raw socket FFI): the symbols resolve through the
+/// C library `std` already links on unix.
+#[cfg(unix)]
+mod mapping {
+    use std::os::fd::AsRawFd;
+
+    extern "C" {
+        fn mmap(
+            addr: *mut core::ffi::c_void,
+            len: usize,
+            prot: i32,
+            flags: i32,
+            fd: i32,
+            offset: i64,
+        ) -> *mut core::ffi::c_void;
+        fn munmap(addr: *mut core::ffi::c_void, len: usize) -> i32;
+    }
+
+    const PROT_READ: i32 = 1;
+    const MAP_PRIVATE: i32 = 2;
+
+    /// A read-only private mapping of a whole file. Page-aligned base, so
+    /// any 64-aligned offset into it is `f64`-aligned.
+    pub(super) struct MmapRegion {
+        ptr: *mut core::ffi::c_void,
+        len: usize,
+    }
+
+    // The mapping is PROT_READ and owned: sharing &self across threads only
+    // ever reads immutable pages.
+    unsafe impl Send for MmapRegion {}
+    unsafe impl Sync for MmapRegion {}
+
+    impl MmapRegion {
+        /// Maps `len` bytes of `file`, or `None` when the kernel refuses
+        /// (callers fall back to an aligned heap read).
+        pub(super) fn map(file: &std::fs::File, len: usize) -> Option<Self> {
+            if len == 0 {
+                return None;
+            }
+            let ptr = unsafe {
+                mmap(std::ptr::null_mut(), len, PROT_READ, MAP_PRIVATE, file.as_raw_fd(), 0)
+            };
+            if ptr as isize == -1 {
+                return None;
+            }
+            Some(Self { ptr, len })
+        }
+
+        pub(super) fn bytes(&self) -> &[u8] {
+            unsafe { std::slice::from_raw_parts(self.ptr as *const u8, self.len) }
+        }
+    }
+
+    impl Drop for MmapRegion {
+        fn drop(&mut self) {
+            unsafe {
+                munmap(self.ptr, self.len);
+            }
+        }
+    }
+}
+
+/// The bytes behind a [`MappedSnapshot`]: a file mapping when the platform
+/// grants one, else a `u64`-backed heap buffer. Both keep the base 8-byte
+/// aligned (`Vec<u8>` would not), which together with 64-aligned section
+/// offsets makes the `&[f64]` payload casts sound.
+enum Backing {
+    #[cfg(unix)]
+    Mapped(mapping::MmapRegion),
+    Heap {
+        buf: Vec<u64>,
+        len: usize,
+    },
+}
+
+impl Backing {
+    fn map_or_read(file: &std::fs::File, len: usize) -> Result<Self, SnapshotError> {
+        #[cfg(unix)]
+        if let Some(m) = mapping::MmapRegion::map(file, len) {
+            return Ok(Backing::Mapped(m));
+        }
+        let mut buf = vec![0u64; len.div_ceil(8)];
+        let dst = unsafe { std::slice::from_raw_parts_mut(buf.as_mut_ptr() as *mut u8, len) };
+        let mut f = file;
+        f.read_exact(dst)?;
+        Ok(Backing::Heap { buf, len })
+    }
+
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(m) => m.bytes(),
+            Backing::Heap { buf, len } => unsafe {
+                std::slice::from_raw_parts(buf.as_ptr() as *const u8, *len)
+            },
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(_) => true,
+            Backing::Heap { .. } => false,
+        }
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            #[cfg(unix)]
+            Backing::Mapped(_) => 0,
+            Backing::Heap { buf, .. } => buf.len() * 8,
+        }
+    }
+}
+
+/// A zero-copy view of one tensor inside a [`MappedSnapshot`].
+#[derive(Clone, Copy)]
+pub struct TensorView<'a> {
+    rank: u8,
+    rows: usize,
+    cols: usize,
+    data: &'a [f64],
+}
+
+impl<'a> TensorView<'a> {
+    /// 0, 1 or 2.
+    pub fn rank(&self) -> u8 {
+        self.rank
+    }
+
+    /// Row count (1 for scalars).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Column count (1 for scalars and vectors).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Element count.
+    pub fn numel(&self) -> usize {
+        self.data.len()
+    }
+
+    /// The row-major payload, straight out of the mapping — no copy.
+    pub fn data(&self) -> &'a [f64] {
+        self.data
+    }
+
+    /// An owned copy as a [`Tensor`] (bit-exact).
+    pub fn to_tensor(&self) -> Tensor {
+        let shape: &[usize] = match self.rank {
+            0 => &[],
+            1 => &[self.rows],
+            _ => &[self.rows, self.cols],
+        };
+        Tensor::from_vec(self.data.to_vec(), shape)
+    }
+}
+
+/// A version-2 snapshot consumed in place: the header region is parsed and
+/// authenticated at [`MappedSnapshot::open`] time (O(header), flat in model
+/// size), while tensor payloads stay in the file mapping and are handed out
+/// as [`TensorView`]s without deserialization.
+///
+/// Payloads are *not* checksummed at open time — call
+/// [`MappedSnapshot::verify_payloads`] when integrity matters more than
+/// latency. Requires a little-endian host (payloads are IEEE-754 `f64` LE);
+/// v1 files are refused — route them through [`Snapshot::open`].
+pub struct MappedSnapshot {
+    header: SnapshotHeader,
+    config_json: String,
+    entries: Vec<DirEntry>,
+    backing: Backing,
+}
+
+impl MappedSnapshot {
+    /// Maps `path` and validates its header region (magic, version = 2,
+    /// directory shapes/offsets/alignment, header checksum, exact file
+    /// length). Falls back to an aligned heap read when `mmap` is
+    /// unavailable — the API contract is unchanged, only residency differs.
+    pub fn open(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
+        if cfg!(target_endian = "big") {
+            return Err(SnapshotError::Corrupt {
+                context: "zero-copy snapshots require a little-endian host".into(),
+            });
+        }
+        let file = std::fs::File::open(path)?;
+        let len = file.metadata()?.len() as usize;
+        let backing = Backing::map_or_read(&file, len)?;
+        let parsed = parse_v2_header(backing.bytes())?;
+        debug_assert_eq!(parsed.total_len, len);
+        Ok(Self {
+            header: parsed.header,
+            config_json: parsed.config_json,
+            entries: parsed.entries,
+            backing,
+        })
+    }
+
+    /// Provenance and dimensions.
+    pub fn header(&self) -> &SnapshotHeader {
+        &self.header
+    }
+
+    /// The model's hyperparameter JSON.
+    pub fn config_json(&self) -> &str {
+        &self.config_json
+    }
+
+    /// Tensor names in directory order.
+    pub fn tensor_names(&self) -> impl Iterator<Item = &str> {
+        self.entries.iter().map(|e| e.name.as_str())
+    }
+
+    /// A zero-copy view of the named tensor, if present.
+    pub fn view(&self, name: &str) -> Option<TensorView<'_>> {
+        let e = self.entries.iter().find(|e| e.name == name)?;
+        let bytes = &self.backing.bytes()[e.offset..e.end()];
+        debug_assert_eq!(bytes.as_ptr() as usize % 8, 0, "section alignment violated");
+        let data = unsafe {
+            std::slice::from_raw_parts(bytes.as_ptr() as *const f64, e.numel())
+        };
+        Some(TensorView { rank: e.rank, rows: e.rows, cols: e.cols, data })
+    }
+
+    /// Like [`MappedSnapshot::view`], failing with
+    /// [`SnapshotError::MissingTensor`].
+    pub fn require_view(&self, name: &str) -> Result<TensorView<'_>, SnapshotError> {
+        self.view(name).ok_or_else(|| SnapshotError::MissingTensor { name: name.to_string() })
+    }
+
+    /// Verifies every payload section's FNV-1a checksum (padding included) —
+    /// the full-integrity pass [`MappedSnapshot::open`] deliberately skips.
+    pub fn verify_payloads(&self) -> Result<(), SnapshotError> {
+        let bytes = self.backing.bytes();
+        for e in &self.entries {
+            let computed = fnv1a(&bytes[e.payload_start..e.end()]);
+            if computed != e.checksum {
+                return Err(SnapshotError::ChecksumMismatch { stored: e.checksum, computed });
+            }
+        }
+        Ok(())
+    }
+
+    /// Materializes an owned [`Snapshot`] (copies every payload).
+    pub fn to_owned_snapshot(&self) -> Snapshot {
+        let tensors = self
+            .entries
+            .iter()
+            .map(|e| {
+                let v = self.view(&e.name).expect("entry name views itself");
+                (e.name.clone(), v.to_tensor())
+            })
+            .collect();
+        Snapshot { header: self.header, config_json: self.config_json.clone(), tensors }
+    }
+
+    /// True when payloads live in a file mapping rather than the heap.
+    pub fn is_zero_copy(&self) -> bool {
+        self.backing.is_mapped()
+    }
+
+    /// Heap bytes held for payloads: 0 when mapped, the buffer size on the
+    /// fallback path. Directory strings are excluded (O(header)).
+    pub fn heap_resident_bytes(&self) -> usize {
+        self.backing.heap_bytes()
+    }
+}
+
+/// Streams a version-2 snapshot to disk without materializing any tensor:
+/// declare shapes up front, then [`SnapshotWriter::write`] values in
+/// declaration order (row-major, in as many calls as convenient — a
+/// million-user embedding goes out chunk by chunk). [`SnapshotWriter::finish`]
+/// back-patches the directory checksums and atomically renames into place.
+pub struct SnapshotWriter {
+    out: std::io::BufWriter<std::fs::File>,
+    tmp: PathBuf,
+    path: PathBuf,
+    header: SnapshotHeader,
+    config_json: String,
+    decls: Vec<TensorDecl>,
+    offsets: Vec<usize>,
+    pos: usize,
+    current: usize,
+    remaining: usize,
+    open: bool,
+    fnv: Fnv,
+    checksums: Vec<u64>,
+    buf: Vec<u8>,
+}
+
+impl SnapshotWriter {
+    /// Starts a snapshot at `path` (via a `.snap.tmp` sibling). The header
+    /// region is reserved with placeholder checksums and rewritten at
+    /// [`SnapshotWriter::finish`] time.
+    pub fn create(
+        path: impl AsRef<Path>,
+        header: SnapshotHeader,
+        config_json: &str,
+        decls: Vec<TensorDecl>,
+    ) -> Result<Self, SnapshotError> {
+        for d in &decls {
+            if !shape_ok(d.rank, d.rows, d.cols) {
+                return Err(SnapshotError::Corrupt {
+                    context: format!(
+                        "declared tensor {:?} has impossible shape rank={} [{}, {}]",
+                        d.name, d.rank, d.rows, d.cols
+                    ),
+                });
+            }
+        }
+        let path = path.as_ref().to_path_buf();
+        let tmp = path.with_extension("snap.tmp");
+        let header_len = header_region_len(config_json.len(), &decls);
+        let (offsets, _total) = payload_offsets(header_len, &decls);
+        let mut out = std::io::BufWriter::new(std::fs::File::create(&tmp)?);
+        out.write_all(&vec![0u8; header_len])?;
+        Ok(Self {
+            out,
+            tmp,
+            path,
+            header,
+            config_json: config_json.to_string(),
+            decls,
+            offsets,
+            pos: header_len,
+            current: 0,
+            remaining: 0,
+            open: false,
+            fnv: Fnv::new(),
+            checksums: Vec::new(),
+            buf: Vec::with_capacity(8 * 4096),
+        })
+    }
+
+    /// Opens the next undrained tensor section (writing its leading
+    /// padding); returns false when all declared tensors are complete.
+    fn ensure_open(&mut self) -> Result<bool, SnapshotError> {
+        while !self.open {
+            if self.current >= self.decls.len() {
+                return Ok(false);
+            }
+            let off = self.offsets[self.current];
+            let pad = off - self.pos;
+            let zeros = [0u8; SECTION_ALIGN];
+            self.fnv.update(&zeros[..pad]);
+            self.out.write_all(&zeros[..pad])?;
+            self.pos = off;
+            self.remaining = self.decls[self.current].numel();
+            self.open = true;
+            if self.remaining == 0 {
+                self.close_current();
+            }
+        }
+        Ok(true)
+    }
+
+    fn close_current(&mut self) {
+        self.checksums.push(self.fnv.finish());
+        self.fnv = Fnv::new();
+        self.current += 1;
+        self.open = false;
+    }
+
+    /// Appends `vals` to the payload stream, crossing tensor boundaries in
+    /// declaration order. Fails with [`SnapshotError::Corrupt`] when more
+    /// values arrive than were declared.
+    pub fn write(&mut self, mut vals: &[f64]) -> Result<(), SnapshotError> {
+        while !vals.is_empty() {
+            if !self.ensure_open()? {
+                return Err(SnapshotError::Corrupt {
+                    context: "snapshot writer received more values than declared".into(),
+                });
+            }
+            let take = vals.len().min(self.remaining);
+            for chunk in vals[..take].chunks(4096) {
+                self.buf.clear();
+                for v in chunk {
+                    self.buf.extend_from_slice(&v.to_le_bytes());
+                }
+                self.fnv.update(&self.buf);
+                self.out.write_all(&self.buf)?;
+            }
+            self.pos += take * 8;
+            self.remaining -= take;
+            if self.remaining == 0 {
+                self.close_current();
+            }
+            vals = &vals[take..];
+        }
+        Ok(())
+    }
+
+    /// Convenience: streams a whole tensor (must align with the declaration
+    /// boundary, i.e. the previous tensor is complete).
+    pub fn write_tensor(&mut self, t: &Tensor) -> Result<(), SnapshotError> {
+        self.write(t.data())
+    }
+
+    /// Seals the file: verifies every declared tensor was fully written,
+    /// rewrites the header region with the real checksums, and renames the
+    /// temp file over `path`.
+    pub fn finish(mut self) -> Result<(), SnapshotError> {
+        if self.ensure_open()? {
+            return Err(SnapshotError::Corrupt {
+                context: format!(
+                    "snapshot writer finished with tensor {:?} missing {} values",
+                    self.decls[self.current].name, self.remaining
+                ),
+            });
+        }
+        debug_assert_eq!(self.checksums.len(), self.decls.len());
+        let region = build_header_region(
+            &self.header,
+            &self.config_json,
+            &self.decls,
+            &self.offsets,
+            &self.checksums,
+        );
+        self.out.flush()?;
+        let mut file = self
+            .out
+            .into_inner()
+            .map_err(|e| SnapshotError::Io(std::io::Error::other(e.to_string())))?;
+        file.seek(SeekFrom::Start(0))?;
+        file.write_all(&region)?;
+        file.sync_all()?;
+        drop(file);
+        std::fs::rename(&self.tmp, &self.path)?;
+        Ok(())
     }
 }
 
@@ -446,29 +1367,104 @@ mod tests {
         }
     }
 
-    #[test]
-    fn byte_round_trip_is_bit_exact() {
-        let snap = tiny_snapshot();
-        let back = Snapshot::from_bytes(&snap.to_bytes()).unwrap();
-        assert_eq!(back.header, snap.header);
-        assert_eq!(back.config_json, snap.config_json);
-        assert_eq!(back.tensors.len(), 3);
-        for ((n1, t1), (n2, t2)) in snap.tensors.iter().zip(&back.tensors) {
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("msopds-snap-{tag}-{}.snap", std::process::id()))
+    }
+
+    fn assert_same(a: &Snapshot, b: &Snapshot) {
+        assert_eq!(a.header, b.header);
+        assert_eq!(a.config_json, b.config_json);
+        assert_eq!(a.tensors.len(), b.tensors.len());
+        for ((n1, t1), (n2, t2)) in a.tensors.iter().zip(&b.tensors) {
             assert_eq!(n1, n2);
             assert!(t1.bit_eq(t2), "tensor {n1} changed bits");
         }
     }
 
     #[test]
+    fn byte_round_trip_is_bit_exact() {
+        let snap = tiny_snapshot();
+        let bytes = snap.to_bytes();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 2);
+        assert_same(&snap, &Snapshot::from_bytes(&bytes).unwrap());
+    }
+
+    #[test]
+    fn v1_byte_round_trip_still_loads() {
+        let snap = tiny_snapshot();
+        let bytes = snap.to_bytes_v1();
+        assert_eq!(u32::from_le_bytes(bytes[8..12].try_into().unwrap()), 1);
+        assert_same(&snap, &Snapshot::from_bytes(&bytes).unwrap());
+    }
+
+    #[test]
     fn file_round_trip() {
         let snap = tiny_snapshot();
-        let path =
-            std::env::temp_dir().join(format!("msopds-snap-test-{}.snap", std::process::id()));
+        let path = temp_path("file");
         snap.save(&path).unwrap();
         let back = Snapshot::load(&path).unwrap();
         std::fs::remove_file(&path).ok();
         assert_eq!(back.header, snap.header);
         assert!(back.tensor("a").unwrap().bit_eq(snap.tensor("a").unwrap()));
+    }
+
+    #[test]
+    fn open_reads_every_source_kind() {
+        let snap = tiny_snapshot();
+        let path = temp_path("open");
+        snap.save(&path).unwrap();
+        let owned = Snapshot::open(&SnapshotSource::Owned(snap.to_bytes())).unwrap();
+        let file = Snapshot::open(&SnapshotSource::file(&path)).unwrap();
+        let mapped = Snapshot::open(&SnapshotSource::mmap(&path)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_same(&snap, &owned);
+        assert_same(&snap, &file);
+        assert_same(&snap, &mapped);
+    }
+
+    #[test]
+    fn open_mmap_falls_back_for_v1_files() {
+        let snap = tiny_snapshot();
+        let path = temp_path("v1-compat");
+        std::fs::write(&path, snap.to_bytes_v1()).unwrap();
+        assert!(matches!(MappedSnapshot::open(&path), Err(SnapshotError::Corrupt { .. })));
+        let back = Snapshot::open(&SnapshotSource::mmap(&path)).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_same(&snap, &back);
+    }
+
+    #[test]
+    fn peek_reads_header_without_payloads() {
+        let snap = tiny_snapshot();
+        for bytes in [snap.to_bytes(), snap.to_bytes_v1()] {
+            // The prefix alone is enough — hand peek a 64-byte stub.
+            let stub = SnapshotSource::Owned(bytes[..64].to_vec());
+            assert_eq!(Snapshot::peek(&stub).unwrap(), snap.header);
+        }
+        assert_eq!(
+            Snapshot::peek_version(&SnapshotSource::Owned(snap.to_bytes())).unwrap(),
+            2
+        );
+        let mut short = snap.to_bytes();
+        short.truncate(40);
+        assert!(matches!(
+            Snapshot::peek(&SnapshotSource::Owned(short)),
+            Err(SnapshotError::Truncated { .. })
+        ));
+    }
+
+    #[test]
+    fn sharded_backend_round_trips_in_both_formats() {
+        let mut snap = tiny_snapshot();
+        snap.header.backend = Backend::Sharded(6);
+        for bytes in [snap.to_bytes(), snap.to_bytes_v1()] {
+            let back = Snapshot::from_bytes(&bytes).unwrap();
+            assert_eq!(back.header.backend, Backend::Sharded(6));
+        }
+        assert_eq!(
+            Snapshot::peek(&SnapshotSource::Owned(snap.to_bytes())).unwrap().backend,
+            Backend::Sharded(6)
+        );
     }
 
     #[test]
@@ -490,30 +1486,148 @@ mod tests {
 
     #[test]
     fn truncation_is_typed_at_every_length() {
-        let bytes = tiny_snapshot().to_bytes();
-        for cut in 0..bytes.len() {
-            let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
-            assert!(
-                matches!(
-                    err,
-                    SnapshotError::Truncated { .. }
-                        | SnapshotError::BadMagic { .. }
-                        | SnapshotError::ChecksumMismatch { .. }
-                ),
-                "cut at {cut} gave unexpected error {err}"
-            );
+        for bytes in [tiny_snapshot().to_bytes(), tiny_snapshot().to_bytes_v1()] {
+            for cut in 0..bytes.len() {
+                let err = Snapshot::from_bytes(&bytes[..cut]).unwrap_err();
+                assert!(
+                    matches!(
+                        err,
+                        SnapshotError::Truncated { .. }
+                            | SnapshotError::BadMagic { .. }
+                            | SnapshotError::ChecksumMismatch { .. }
+                    ),
+                    "cut at {cut} gave unexpected error {err}"
+                );
+            }
         }
     }
 
     #[test]
-    fn flipped_byte_fails_checksum() {
-        let mut bytes = tiny_snapshot().to_bytes();
-        let mid = bytes.len() / 2;
-        bytes[mid] ^= 0x40;
+    fn every_flipped_byte_is_detected() {
+        let reference = tiny_snapshot().to_bytes();
+        // Past the header region every byte (padding included) is covered by
+        // exactly one payload-section checksum.
+        let first_payload = align_up(header_region_len(
+            tiny_snapshot().config_json.len(),
+            &tiny_snapshot()
+                .tensors
+                .iter()
+                .map(|(n, t)| TensorDecl::of(n.clone(), t))
+                .collect::<Vec<_>>(),
+        ));
+        for pos in 0..reference.len() {
+            let mut bytes = reference.clone();
+            bytes[pos] ^= 0x40;
+            let err = Snapshot::from_bytes(&bytes)
+                .err()
+                .unwrap_or_else(|| panic!("flip at {pos} went undetected"));
+            if pos >= first_payload {
+                assert!(
+                    matches!(err, SnapshotError::ChecksumMismatch { .. }),
+                    "payload flip at {pos} gave {err}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn misaligned_section_offset_is_corrupt() {
+        let snap = tiny_snapshot();
+        let mut bytes = snap.to_bytes();
+        // Directory entry 0's offset field position is fully determined by
+        // the layout: prefix + config(len+json) + count + name(len+"a") +
+        // rank + rows + cols.
+        let field = 64 + 4 + snap.config_json.len() + 4 + 2 + 1 + 1 + 8 + 8;
+        let stored = u64::from_le_bytes(bytes[field..field + 8].try_into().unwrap());
+        bytes[field..field + 8].copy_from_slice(&(stored + 8).to_le_bytes());
+        // Re-authenticate the header so only the alignment rule can object.
+        let decls: Vec<TensorDecl> =
+            snap.tensors.iter().map(|(n, t)| TensorDecl::of(n.clone(), t)).collect();
+        let header_len = header_region_len(snap.config_json.len(), &decls);
+        let ck = fnv1a(&bytes[..header_len - 8]);
+        bytes[header_len - 8..header_len].copy_from_slice(&ck.to_le_bytes());
+        let err = Snapshot::from_bytes(&bytes).unwrap_err();
+        assert!(matches!(err, SnapshotError::Corrupt { .. }), "got {err}");
+        let path = temp_path("misaligned");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedSnapshot::open(&path);
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(mapped, Err(SnapshotError::Corrupt { .. })));
+    }
+
+    #[test]
+    fn mapped_views_match_heap_tensors() {
+        let snap = tiny_snapshot();
+        let path = temp_path("mmap");
+        snap.save(&path).unwrap();
+        let mapped = MappedSnapshot::open(&path).unwrap();
+        assert_eq!(mapped.header(), &snap.header);
+        assert_eq!(mapped.config_json(), snap.config_json);
+        assert_eq!(mapped.tensor_names().collect::<Vec<_>>(), ["a", "b", "s"]);
+        for (name, t) in &snap.tensors {
+            let v = mapped.require_view(name).unwrap();
+            assert_eq!(v.data().as_ptr() as usize % 8, 0, "unaligned view");
+            assert_eq!((v.rank(), v.rows(), v.cols()), (t.rank(), t.rows(), t.cols()));
+            assert!(v.to_tensor().bit_eq(t), "view of {name} changed bits");
+        }
+        mapped.verify_payloads().unwrap();
+        #[cfg(unix)]
+        {
+            assert!(mapped.is_zero_copy());
+            assert_eq!(mapped.heap_resident_bytes(), 0);
+        }
         assert!(matches!(
-            Snapshot::from_bytes(&bytes),
+            mapped.require_view("nope"),
+            Err(SnapshotError::MissingTensor { .. })
+        ));
+        assert_same(&snap, &mapped.to_owned_snapshot());
+        // A payload flip is invisible to open() but caught by the opt-in pass.
+        let mut bytes = snap.to_bytes();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0x40;
+        std::fs::write(&path, &bytes).unwrap();
+        let tampered = MappedSnapshot::open(&path).unwrap();
+        assert!(matches!(
+            tampered.verify_payloads(),
             Err(SnapshotError::ChecksumMismatch { .. })
         ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn writer_streams_byte_identical_files() {
+        let snap = tiny_snapshot();
+        let path = temp_path("writer");
+        let decls: Vec<TensorDecl> =
+            snap.tensors.iter().map(|(n, t)| TensorDecl::of(n.clone(), t)).collect();
+        let mut w =
+            SnapshotWriter::create(&path, snap.header, &snap.config_json, decls).unwrap();
+        // Deliberately ragged writes: cross tensor boundaries mid-call.
+        let all: Vec<f64> =
+            snap.tensors.iter().flat_map(|(_, t)| t.data().iter().copied()).collect();
+        w.write(&all[..3]).unwrap();
+        w.write(&all[3..5]).unwrap();
+        w.write(&all[5..]).unwrap();
+        w.finish().unwrap();
+        let streamed = std::fs::read(&path).unwrap();
+        std::fs::remove_file(&path).ok();
+        assert_eq!(streamed, snap.to_bytes(), "streamed file differs from to_bytes");
+    }
+
+    #[test]
+    fn writer_rejects_wrong_cardinality() {
+        let snap = tiny_snapshot();
+        let path = temp_path("writer-err");
+        let decls: Vec<TensorDecl> =
+            snap.tensors.iter().map(|(n, t)| TensorDecl::of(n.clone(), t)).collect();
+        let mut w =
+            SnapshotWriter::create(&path, snap.header, &snap.config_json, decls.clone()).unwrap();
+        w.write(&[0.0; 4]).unwrap();
+        assert!(matches!(w.finish(), Err(SnapshotError::Corrupt { .. })));
+        let mut w =
+            SnapshotWriter::create(&path, snap.header, &snap.config_json, decls).unwrap();
+        assert!(matches!(w.write(&[0.0; 9]), Err(SnapshotError::Corrupt { .. })));
+        std::fs::remove_file(path.with_extension("snap.tmp")).ok();
     }
 
     #[test]

@@ -34,7 +34,7 @@ use std::time::Duration;
 
 use msopds_serve::{
     ScoredItem, ServeConfig, ServeEngine, ServeSummary, ServingModel, SharedServeEngine, Snapshot,
-    SnapshotError, SwapError,
+    SnapshotError, SnapshotSource, SwapError,
 };
 use msopds_telemetry::{self as telemetry, Counter, Gauge};
 
@@ -450,6 +450,30 @@ impl AsyncServer {
     /// [`AsyncServer::swap_model`] from a parsed snapshot file.
     pub fn swap_snapshot(&self, snap: &Snapshot) -> Result<(), SwapSnapshotError> {
         let model = ServingModel::from_snapshot(snap).map_err(SwapSnapshotError::Invalid)?;
+        self.swap_model(Arc::new(model)).map_err(SwapSnapshotError::Rejected)
+    }
+
+    /// [`AsyncServer::swap_model`] from any [`SnapshotSource`], with an
+    /// early header gate: the 64-byte prefix is peeked first, and a
+    /// snapshot whose CSR fingerprints disagree with the running dataset
+    /// is refused **before a single tensor payload is read** — offering a
+    /// multi-gigabyte snapshot of the wrong world costs one tiny read,
+    /// not a full parse. A source that passes the gate loads through
+    /// [`ServingModel::open`], so `SnapshotSource::Mmap` swaps in
+    /// zero-copy.
+    pub fn swap_source(&self, source: &SnapshotSource) -> Result<(), SwapSnapshotError> {
+        let head = Snapshot::peek(source).map_err(SwapSnapshotError::Invalid)?;
+        let offered = (head.social_fingerprint, head.item_fingerprint);
+        let running = self.inner.engine.model_arc().fingerprints();
+        if offered != running {
+            self.inner.swaps_rejected.fetch_add(1, Ordering::Relaxed);
+            SWAPS_REJECTED.incr();
+            return Err(SwapSnapshotError::Rejected(SwapError::FingerprintMismatch {
+                running,
+                offered,
+            }));
+        }
+        let model = ServingModel::open(source).map_err(SwapSnapshotError::Invalid)?;
         self.swap_model(Arc::new(model)).map_err(SwapSnapshotError::Rejected)
     }
 

@@ -12,7 +12,7 @@ use std::time::Duration;
 use common::{lcg_model, lcg_snapshot, splitmix};
 use msopds_serve_async::{
     AsyncServeConfig, AsyncServer, BatcherConfig, ScorePrecision, ScoredItem, ServeConfig,
-    ServingModel, SwapError, SwapSnapshotError, SystemClock,
+    ServingModel, SnapshotSource, SwapError, SwapSnapshotError, SystemClock,
 };
 
 const K: usize = 5;
@@ -166,4 +166,47 @@ fn fingerprint_mismatched_snapshot_is_rejected_and_serving_continues() {
     let stats = server.shutdown();
     assert_eq!((stats.swaps, stats.swaps_rejected), (0, 2));
     assert_eq!(stats.completed, N_USERS as u64);
+}
+
+#[test]
+fn swap_source_gates_on_the_peeked_header_and_swaps_zero_copy() {
+    let old = Arc::new(lcg_model(N_USERS, N_ITEMS, DIM, 1.0));
+    let precision = ScorePrecision::Exact64;
+    let server = AsyncServer::start_with_clock(
+        Arc::clone(&old),
+        cfg(precision),
+        Arc::new(SystemClock::new()),
+    );
+    let dir = std::env::temp_dir();
+    let pid = std::process::id();
+
+    // Wrong-world snapshot on disk: the 64-byte header peek alone refuses
+    // it — no payload bytes are parsed, no model is built.
+    let alien_path = dir.join(format!("msopds-swap-alien-{pid}.snap"));
+    lcg_snapshot(N_USERS, N_ITEMS, DIM, 3.0, (0xBAD, 0xF00D)).save(&alien_path).unwrap();
+    match server.swap_source(&SnapshotSource::mmap(&alien_path)) {
+        Err(SwapSnapshotError::Rejected(SwapError::FingerprintMismatch { running, offered })) => {
+            assert_eq!(running, (0xFEED, 0xF00D));
+            assert_eq!(offered, (0xBAD, 0xF00D));
+        }
+        other => panic!("expected a header-gate fingerprint rejection, got {other:?}"),
+    }
+
+    // Same world on disk: passes the gate and swaps in through the mmap
+    // path, serving the new model's answers bit for bit.
+    let good = lcg_snapshot(N_USERS, N_ITEMS, DIM, 2.0, (0xFEED, 0xF00D));
+    let ref_new = refs(&ServingModel::from_snapshot(&good).unwrap(), precision);
+    let good_path = dir.join(format!("msopds-swap-good-{pid}.snap"));
+    good.save(&good_path).unwrap();
+    server.swap_source(&SnapshotSource::mmap(&good_path)).expect("same world, same shape");
+    for (u, want) in ref_new.iter().enumerate() {
+        assert!(
+            bitwise_eq(&server.submit(u).unwrap().wait().expect("served"), want),
+            "user {u} not served by the mmap-swapped model"
+        );
+    }
+    let stats = server.shutdown();
+    assert_eq!((stats.swaps, stats.swaps_rejected), (1, 1));
+    std::fs::remove_file(&alien_path).ok();
+    std::fs::remove_file(&good_path).ok();
 }

@@ -57,4 +57,4 @@ pub use lru::LruCache;
 pub use model::{ScorePrecision, ScoredItem, ServingModel};
 pub use shared::SharedServeEngine;
 
-pub use msopds_recsys::snapshot::{Snapshot, SnapshotError};
+pub use msopds_recsys::snapshot::{MappedSnapshot, Snapshot, SnapshotError, SnapshotSource};

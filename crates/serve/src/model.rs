@@ -4,7 +4,9 @@ use std::path::Path;
 use std::sync::{Arc, OnceLock};
 
 use msopds_autograd::{pool, Tensor};
-use msopds_recsys::snapshot::{ModelKind, Snapshot, SnapshotError};
+use msopds_recsys::snapshot::{
+    MappedSnapshot, ModelKind, Snapshot, SnapshotError, SnapshotSource,
+};
 use msopds_recsys::Backend;
 
 /// Rows per scoring block in [`ServingModel::top_k_batch`]: 64 rows × a
@@ -87,6 +89,88 @@ pub struct ScoredItem {
     pub score: f64,
 }
 
+/// Where one model tensor's payload lives: copied onto the heap (the classic
+/// path) or still inside a shared snapshot mapping (the zero-copy path of
+/// [`ServingModel::open`] with [`SnapshotSource::Mmap`]). Both hand out the
+/// same row-major `&[f64]`, so every kernel downstream is storage-agnostic
+/// and bit-identical across the two.
+#[derive(Clone)]
+enum Store {
+    Owned(Tensor),
+    Mapped { map: Arc<MappedSnapshot>, name: &'static str, rows: usize, cols: usize },
+}
+
+impl Store {
+    fn rows(&self) -> usize {
+        match self {
+            Store::Owned(t) => t.rows(),
+            Store::Mapped { rows, .. } => *rows,
+        }
+    }
+
+    fn cols(&self) -> usize {
+        match self {
+            Store::Owned(t) => t.cols(),
+            Store::Mapped { cols, .. } => *cols,
+        }
+    }
+
+    /// The row-major payload. The mapped arm re-resolves the directory entry
+    /// (a handful of name compares) — callers on hot paths hoist this once
+    /// per batch, never per row.
+    fn data(&self) -> &[f64] {
+        match self {
+            Store::Owned(t) => t.data(),
+            Store::Mapped { map, name, .. } => {
+                map.view(name).expect("validated at load").data()
+            }
+        }
+    }
+
+    /// Flat index read (cold paths only).
+    fn get(&self, i: usize) -> f64 {
+        self.data()[i]
+    }
+
+    /// Copies the given rows into a dense `[rows.len(), cols]` tensor — the
+    /// same gather the owned tensor performs, so downstream matmuls see
+    /// bit-identical inputs regardless of storage.
+    fn gather_rows(&self, rows: &[usize]) -> Tensor {
+        match self {
+            Store::Owned(t) => t.gather_rows(rows),
+            Store::Mapped { cols, .. } => {
+                let d = *cols;
+                let data = self.data();
+                let mut out = Vec::with_capacity(rows.len() * d);
+                for &r in rows {
+                    out.extend_from_slice(&data[r * d..(r + 1) * d]);
+                }
+                Tensor::from_vec(out, &[rows.len(), d])
+            }
+        }
+    }
+
+    fn is_mapped(&self) -> bool {
+        matches!(self, Store::Mapped { .. })
+    }
+
+    fn heap_bytes(&self) -> usize {
+        match self {
+            Store::Owned(t) => t.numel() * 8,
+            Store::Mapped { .. } => 0,
+        }
+    }
+}
+
+impl std::fmt::Debug for Store {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Store::Owned(t) => write!(f, "Owned[{}, {}]", t.rows(), t.cols()),
+            Store::Mapped { name, rows, cols, .. } => write!(f, "Mapped({name})[{rows}, {cols}]"),
+        }
+    }
+}
+
 /// An immutable trained recommender loaded from a [`Snapshot`], holding only
 /// what the read path needs: the final user/item embeddings, the bias
 /// vectors and μ. Construction validates shapes once; serving then runs
@@ -99,14 +183,15 @@ pub struct ServingModel {
     social_fingerprint: u64,
     item_fingerprint: u64,
     mu: f64,
-    b_u: Tensor,
-    b_i: Tensor,
+    b_u: Store,
+    b_i: Store,
     /// Final user embeddings, `[n_users, d]`.
-    user_f: Tensor,
-    /// Final item embeddings, `[n_items, d]` (kept row-major; the scoring
-    /// matmul uses the transposed copy below).
-    item_f: Tensor,
-    /// `item_f` transposed once at load time: `[d, n_items]`.
+    user_f: Store,
+    /// Final item embeddings, `[n_items, d]` (row-major; the scoring matmul
+    /// uses the transposed copy below).
+    item_f: Store,
+    /// `item_f` transposed once at load time: `[d, n_items]`. Always owned —
+    /// it is a derived layout, not a snapshot payload.
     item_t: Tensor,
     /// Lazily-built f32 fast-path tables (shared across clones; built on the
     /// first [`ScorePrecision::Fast32`] call and never on the exact path).
@@ -198,44 +283,78 @@ impl FastPath {
     }
 }
 
+/// The snapshot tensor names a model kind serves from.
+fn embedding_names(kind: ModelKind) -> (&'static str, &'static str) {
+    match kind {
+        ModelKind::HetRec => ("finals.user", "finals.item"),
+        ModelKind::Mf => ("p", "q"),
+    }
+}
+
+/// Shared shape validation for both storage paths.
+fn check_shapes(
+    n_users: usize,
+    n_items: usize,
+    user: (usize, usize),
+    item: (usize, usize),
+    b_u: usize,
+    b_i: usize,
+) -> Result<(), SnapshotError> {
+    if user.0 != n_users || item.0 != n_items {
+        return Err(SnapshotError::Corrupt {
+            context: format!(
+                "embedding row counts {}×{} disagree with header {n_users}×{n_items}",
+                user.0, item.0
+            ),
+        });
+    }
+    if user.1 != item.1 {
+        return Err(SnapshotError::Corrupt {
+            context: format!("user dim {} != item dim {}", user.1, item.1),
+        });
+    }
+    if b_u != n_users || b_i != n_items {
+        return Err(SnapshotError::Corrupt {
+            context: format!(
+                "bias lengths {b_u}/{b_i} disagree with header {n_users}×{n_items}"
+            ),
+        });
+    }
+    Ok(())
+}
+
+/// `[rows, cols]` row-major data transposed into an owned `[cols, rows]`
+/// tensor — a pure copy, so both storage paths derive bit-identical `item_t`.
+fn transposed(data: &[f64], rows: usize, cols: usize) -> Tensor {
+    let mut out = vec![0.0f64; rows * cols];
+    for r in 0..rows {
+        for c in 0..cols {
+            out[c * rows + r] = data[r * cols + c];
+        }
+    }
+    Tensor::from_vec(out, &[cols, rows])
+}
+
 impl ServingModel {
     /// Builds a serving model from a parsed snapshot. For
     /// [`ModelKind::HetRec`] the served embeddings are the post-convolution
     /// finals; for [`ModelKind::Mf`] the factor matrices themselves.
     pub fn from_snapshot(snap: &Snapshot) -> Result<Self, SnapshotError> {
-        let (user_name, item_name) = match snap.header.kind {
-            ModelKind::HetRec => ("finals.user", "finals.item"),
-            ModelKind::Mf => ("p", "q"),
-        };
+        let (user_name, item_name) = embedding_names(snap.header.kind);
         let user_f = snap.require(user_name)?.clone();
         let item_f = snap.require(item_name)?.clone();
         let b_u = snap.require("b_u")?.clone();
         let b_i = snap.require("b_i")?.clone();
         let (n_users, n_items) = (snap.header.n_users as usize, snap.header.n_items as usize);
-        if user_f.rows() != n_users || item_f.rows() != n_items {
-            return Err(SnapshotError::Corrupt {
-                context: format!(
-                    "embedding row counts {}×{} disagree with header {n_users}×{n_items}",
-                    user_f.rows(),
-                    item_f.rows()
-                ),
-            });
-        }
-        if user_f.cols() != item_f.cols() {
-            return Err(SnapshotError::Corrupt {
-                context: format!("user dim {} != item dim {}", user_f.cols(), item_f.cols()),
-            });
-        }
-        if b_u.numel() != n_users || b_i.numel() != n_items {
-            return Err(SnapshotError::Corrupt {
-                context: format!(
-                    "bias lengths {}/{} disagree with header {n_users}×{n_items}",
-                    b_u.numel(),
-                    b_i.numel()
-                ),
-            });
-        }
-        let item_t = item_f.reshape(&[n_items, item_f.cols()]).transpose();
+        check_shapes(
+            n_users,
+            n_items,
+            (user_f.rows(), user_f.cols()),
+            (item_f.rows(), item_f.cols()),
+            b_u.numel(),
+            b_i.numel(),
+        )?;
+        let item_t = transposed(item_f.data(), n_items, item_f.cols());
         Ok(Self {
             kind: snap.header.kind,
             backend: snap.header.backend,
@@ -243,6 +362,50 @@ impl ServingModel {
             social_fingerprint: snap.header.social_fingerprint,
             item_fingerprint: snap.header.item_fingerprint,
             mu: snap.header.mu,
+            b_u: Store::Owned(b_u),
+            b_i: Store::Owned(b_i),
+            user_f: Store::Owned(user_f),
+            item_f: Store::Owned(item_f),
+            item_t,
+            fast: Arc::new(OnceLock::new()),
+        })
+    }
+
+    /// Builds a serving model over a mapped v2 snapshot without copying any
+    /// payload except the derived `item_t` transpose and the lazily-built
+    /// f32 tables: embeddings and biases are served straight out of the map.
+    ///
+    /// Payload checksums are *not* verified here (that would read every byte
+    /// and defeat the O(header) load); call
+    /// [`MappedSnapshot::verify_payloads`] first when integrity matters.
+    pub fn from_mapped(map: Arc<MappedSnapshot>) -> Result<Self, SnapshotError> {
+        let header = *map.header();
+        let (user_name, item_name) = embedding_names(header.kind);
+        let (n_users, n_items) = (header.n_users as usize, header.n_items as usize);
+        let store = |name: &'static str| -> Result<Store, SnapshotError> {
+            let v = map.require_view(name)?;
+            Ok(Store::Mapped { map: Arc::clone(&map), name, rows: v.rows(), cols: v.cols() })
+        };
+        let user_f = store(user_name)?;
+        let item_f = store(item_name)?;
+        let b_u = store("b_u")?;
+        let b_i = store("b_i")?;
+        check_shapes(
+            n_users,
+            n_items,
+            (user_f.rows(), user_f.cols()),
+            (item_f.rows(), item_f.cols()),
+            b_u.rows() * b_u.cols(),
+            b_i.rows() * b_i.cols(),
+        )?;
+        let item_t = transposed(item_f.data(), n_items, item_f.cols());
+        Ok(Self {
+            kind: header.kind,
+            backend: header.backend,
+            seed: header.seed,
+            social_fingerprint: header.social_fingerprint,
+            item_fingerprint: header.item_fingerprint,
+            mu: header.mu,
             b_u,
             b_i,
             user_f,
@@ -252,10 +415,40 @@ impl ServingModel {
         })
     }
 
-    /// Reads a snapshot file and builds the serving model (one buffered read,
-    /// no mmap — snapshots at this scale fit comfortably in memory).
+    /// The single loading entry point: heap-parses `Owned`/`File` sources,
+    /// memory-maps v2 files behind [`SnapshotSource::Mmap`] (v1 files fall
+    /// back to the heap path), and serves bit-identical scores either way.
+    pub fn open(source: &SnapshotSource) -> Result<Self, SnapshotError> {
+        match source {
+            SnapshotSource::Mmap(path) if Snapshot::peek_version(source)? == 2 => {
+                Self::from_mapped(Arc::new(MappedSnapshot::open(path)?))
+            }
+            _ => Self::from_snapshot(&Snapshot::open(source)?),
+        }
+    }
+
+    /// Reads a snapshot file and builds the serving model — a thin wrapper
+    /// over [`ServingModel::open`] with a [`SnapshotSource::File`] (one
+    /// buffered read; use [`SnapshotSource::Mmap`] for zero-copy loads).
     pub fn load(path: impl AsRef<Path>) -> Result<Self, SnapshotError> {
-        Self::from_snapshot(&Snapshot::load(path)?)
+        Self::open(&SnapshotSource::file(path))
+    }
+
+    /// True when embeddings and biases are served out of a file mapping
+    /// rather than heap copies.
+    pub fn is_zero_copy(&self) -> bool {
+        self.user_f.is_mapped()
+    }
+
+    /// Heap bytes held for model parameters (owned payloads plus the derived
+    /// `item_t` transpose; the lazily-built f32 tables are excluded). On the
+    /// mmap path this is just `item_t` — flat in user count.
+    pub fn heap_param_bytes(&self) -> usize {
+        self.b_u.heap_bytes()
+            + self.b_i.heap_bytes()
+            + self.user_f.heap_bytes()
+            + self.item_f.heap_bytes()
+            + self.item_t.numel() * 8
     }
 
     /// User universe size.
@@ -302,10 +495,12 @@ impl ServingModel {
     /// batch; see [`ServingModel::score_batch`]).
     pub fn predict(&self, user: usize, item: usize) -> f64 {
         let d = self.user_f.cols();
+        let u = &self.user_f.data()[user * d..(user + 1) * d];
+        let q = &self.item_f.data()[item * d..(item + 1) * d];
         self.mu
             + self.b_u.get(user)
             + self.b_i.get(item)
-            + (0..d).map(|k| self.user_f.at(user, k) * self.item_f.at(item, k)).sum::<f64>()
+            + (0..d).map(|k| u[k] * q[k]).sum::<f64>()
     }
 
     /// Scores every item for a batch of users: returns `[batch, n_items]`.
@@ -324,9 +519,10 @@ impl ServingModel {
         let dots = rows.matmul(&self.item_t);
         let dot_data = dots.data();
         let bi = self.b_i.data();
+        let bu = self.b_u.data();
         let mut out = Vec::with_capacity(users.len() * m);
         for (r, &u) in users.iter().enumerate() {
-            let base = self.mu + self.b_u.get(u);
+            let base = self.mu + bu[u];
             let drow = &dot_data[r * m..(r + 1) * m];
             for i in 0..m {
                 out.push(base + bi[i] + drow[i]);
@@ -384,6 +580,7 @@ impl ServingModel {
     fn top_k_batch_exact(&self, users: &[usize], k: usize) -> Vec<Vec<ScoredItem>> {
         let m = self.n_items();
         let bi = self.b_i.data();
+        let bu = self.b_u.data();
         let mut out = Vec::with_capacity(users.len());
         for block in users.chunks(SCORE_BLOCK) {
             let rows = self.user_f.gather_rows(block);
@@ -395,7 +592,7 @@ impl ServingModel {
             pool::for_each_range(block.len(), chunk, |start, end| {
                 let mut scratch = vec![0.0f64; m];
                 for r in start..end {
-                    let base = self.mu + self.b_u.get(block[r]);
+                    let base = self.mu + bu[block[r]];
                     let drow = &dot_data[r * m..(r + 1) * m];
                     for i in 0..m {
                         scratch[i] = base + bi[i] + drow[i];

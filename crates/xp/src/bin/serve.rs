@@ -26,10 +26,10 @@
 
 use std::path::PathBuf;
 
-use msopds_serve::{ServeConfig, ServeEngine, ServingModel};
+use msopds_serve::{ServeConfig, ServeEngine, ServingModel, SnapshotSource};
 use msopds_xp::RuntimeConfig;
 
-const USAGE: &str = "usage: serve --snapshot FILE [--batch N] [--queries Q] [--top-k K] [--cache N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
+const USAGE: &str = "usage: serve --snapshot FILE [--mmap] [--batch N] [--queries Q] [--top-k K] [--cache N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +50,7 @@ fn main() {
     };
 
     let mut snapshot: Option<PathBuf> = None;
+    let mut mmap = false;
     let mut batch = 64usize;
     let mut queries = 1024usize;
     let mut top_k = 10usize;
@@ -65,6 +66,7 @@ fn main() {
     while i < rest.len() {
         match rest[i].as_str() {
             "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--mmap" => mmap = true,
             "--batch" => batch = parse_count(&value(&mut i, "--batch"), "--batch"),
             "--queries" => queries = parse_count(&value(&mut i, "--queries"), "--queries"),
             "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k"),
@@ -89,7 +91,12 @@ fn main() {
     runtime.install();
     msopds_autograd::pool::configure_threads(runtime.threads);
 
-    let model = match ServingModel::load(&snapshot) {
+    let source = if mmap {
+        SnapshotSource::mmap(&snapshot)
+    } else {
+        SnapshotSource::file(&snapshot)
+    };
+    let model = match ServingModel::open(&source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("serve: cannot load {}: {e}", snapshot.display());
@@ -97,13 +104,14 @@ fn main() {
         }
     };
     eprintln!(
-        "serve: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {})",
+        "serve: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {}){}",
         model.kind(),
         model.n_users(),
         model.n_items(),
         model.dim(),
         model.backend(),
-        model.seed()
+        model.seed(),
+        if model.is_zero_copy() { ", zero-copy mmap" } else { "" }
     );
 
     let n_users = model.n_users();

@@ -23,13 +23,13 @@
 use std::path::PathBuf;
 use std::time::Duration;
 
-use msopds_serve::{ServeConfig, ServingModel};
+use msopds_serve::{ServeConfig, ServingModel, SnapshotSource};
 use msopds_serve_async::{
     run_open_loop, AsyncServeConfig, AsyncServer, BatcherConfig, LoadGenConfig,
 };
 use msopds_xp::RuntimeConfig;
 
-const USAGE: &str = "usage: serve-async --snapshot FILE [--requests N] [--offered QPS] [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
+const USAGE: &str = "usage: serve-async --snapshot FILE [--mmap] [--requests N] [--offered QPS] [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--precision exact64|fast32] [--threads N] [--backend dense|sparse] [--metrics-out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -50,6 +50,7 @@ fn main() {
     };
 
     let mut snapshot: Option<PathBuf> = None;
+    let mut mmap = false;
     let mut requests = 4096usize;
     let mut offered_qps = 20_000.0f64;
     let mut top_k = 10usize;
@@ -65,6 +66,7 @@ fn main() {
     while i < rest.len() {
         match rest[i].as_str() {
             "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--mmap" => mmap = true,
             "--requests" => requests = parse_count(&value(&mut i, "--requests"), "--requests"),
             "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k"),
             "--offered" => {
@@ -95,7 +97,12 @@ fn main() {
     runtime.install();
     msopds_autograd::pool::configure_threads(runtime.threads);
 
-    let model = match ServingModel::load(&snapshot) {
+    let source = if mmap {
+        SnapshotSource::mmap(&snapshot)
+    } else {
+        SnapshotSource::file(&snapshot)
+    };
+    let model = match ServingModel::open(&source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("serve-async: cannot load {}: {e}", snapshot.display());
@@ -103,13 +110,14 @@ fn main() {
         }
     };
     eprintln!(
-        "serve-async: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {})",
+        "serve-async: {:?} model, {} users × {} items, dim {} (trained on {} backend, seed {}){}",
         model.kind(),
         model.n_users(),
         model.n_items(),
         model.dim(),
         model.backend(),
-        model.seed()
+        model.seed(),
+        if model.is_zero_copy() { ", zero-copy mmap" } else { "" }
     );
 
     let cfg = AsyncServeConfig {

@@ -34,14 +34,14 @@ use std::net::ToSocketAddrs;
 use std::path::PathBuf;
 use std::time::Duration;
 
-use msopds_serve::{ServeConfig, ServingModel};
+use msopds_serve::{ServeConfig, ServingModel, SnapshotSource};
 use msopds_serve_async::{AsyncServeConfig, AsyncServer, BatcherConfig};
 use msopds_serve_net::{
     drain_requested, install_drain_handler, NetClient, NetServeConfig, NetServer, RetryPolicy,
 };
 use msopds_xp::RuntimeConfig;
 
-const USAGE: &str = "usage: serve-net --listen ADDR --snapshot FILE [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--conn-window N] [--drain-ms N] [--precision exact64|fast32] [--threads N] [--metrics-out FILE]\n       serve-net --connect ADDR [--requests N] [--users N] [--query-deadline-us N] [--conn-window N]";
+const USAGE: &str = "usage: serve-net --listen ADDR --snapshot FILE [--mmap] [--top-k K] [--cache N] [--deadline-us N] [--max-batch N] [--queue-cap N] [--conn-window N] [--drain-ms N] [--precision exact64|fast32] [--threads N] [--metrics-out FILE]\n       serve-net --connect ADDR [--requests N] [--users N] [--query-deadline-us N] [--conn-window N]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -71,6 +71,7 @@ fn main() {
     };
 
     let mut snapshot: Option<PathBuf> = None;
+    let mut mmap = false;
     let mut requests = 4096u64;
     let mut users = 64usize;
     let mut query_deadline_us = 0u32;
@@ -87,6 +88,7 @@ fn main() {
     while i < rest.len() {
         match rest[i].as_str() {
             "--snapshot" => snapshot = Some(PathBuf::from(value(&mut i, "--snapshot"))),
+            "--mmap" => mmap = true,
             "--requests" => requests = parse_count(&value(&mut i, "--requests"), "--requests"),
             "--users" => users = parse_count(&value(&mut i, "--users"), "--users") as usize,
             "--top-k" => top_k = parse_count(&value(&mut i, "--top-k"), "--top-k") as usize,
@@ -115,7 +117,7 @@ fn main() {
     msopds_autograd::pool::configure_threads(runtime.threads);
 
     let code = match (&runtime.listen, &runtime.connect) {
-        (Some(addr), None) => run_listen(addr, snapshot, top_k, cache, &runtime),
+        (Some(addr), None) => run_listen(addr, snapshot, mmap, top_k, cache, &runtime),
         (None, Some(addr)) => run_connect(addr, requests, users, query_deadline_us, &runtime),
         _ => {
             eprintln!("exactly one of --listen or --connect is required\n{USAGE}");
@@ -131,6 +133,7 @@ fn main() {
 fn run_listen(
     addr: &str,
     snapshot: Option<PathBuf>,
+    mmap: bool,
     top_k: usize,
     cache: usize,
     runtime: &RuntimeConfig,
@@ -139,7 +142,12 @@ fn run_listen(
         eprintln!("--listen requires --snapshot FILE\n{USAGE}");
         std::process::exit(2);
     };
-    let model = match ServingModel::load(&snapshot) {
+    let source = if mmap {
+        SnapshotSource::mmap(&snapshot)
+    } else {
+        SnapshotSource::file(&snapshot)
+    };
+    let model = match ServingModel::open(&source) {
         Ok(m) => m,
         Err(e) => {
             eprintln!("serve-net: cannot load {}: {e}", snapshot.display());

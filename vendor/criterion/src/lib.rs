@@ -36,9 +36,24 @@ pub struct BenchResult {
     pub sample_means_ns: Vec<f64>,
     /// Iterations per sample.
     pub iters_per_sample: u64,
+    /// `Some(reason)` when the benchmark did not run (environment gate,
+    /// smoke mode, size cap). Skipped rows still appear in the JSON as
+    /// `{"id": ..., "skipped": reason}` so a missing row always means a
+    /// missing *benchmark*, never a silent gate.
+    pub skipped: Option<String>,
 }
 
 impl BenchResult {
+    /// An explicit not-run marker for `id`, carried through to the JSON.
+    pub fn skipped(id: impl Into<String>, reason: impl Into<String>) -> Self {
+        BenchResult {
+            id: id.into(),
+            sample_means_ns: Vec::new(),
+            iters_per_sample: 0,
+            skipped: Some(reason.into()),
+        }
+    }
+
     /// Mean over samples, ns/iteration.
     pub fn mean_ns(&self) -> f64 {
         self.sample_means_ns.iter().sum::<f64>() / self.sample_means_ns.len().max(1) as f64
@@ -135,6 +150,16 @@ impl Criterion {
         self
     }
 
+    /// Records an explicit skipped row: the benchmark is listed in the JSON
+    /// with the reason it did not run instead of silently disappearing.
+    pub fn skip(&mut self, id: impl Into<BenchId>, reason: impl Into<String>) -> &mut Self {
+        let id = id.into().0;
+        let reason = reason.into();
+        eprintln!("bench {id}: skipped ({reason})");
+        self.results.push(BenchResult::skipped(id, reason));
+        self
+    }
+
     /// Opens a named group; benchmark ids get a `group/` prefix.
     pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
         BenchmarkGroup { criterion: self, prefix: name.into() }
@@ -160,6 +185,13 @@ impl BenchmarkGroup<'_> {
     {
         let full = format!("{}/{}", self.prefix, id.into().0);
         self.criterion.bench_function(full, f);
+        self
+    }
+
+    /// Records a skipped row inside the group (`group/` prefix applied).
+    pub fn skip(&mut self, id: impl Into<BenchId>, reason: impl Into<String>) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, id.into().0);
+        self.criterion.skip(full, reason);
         self
     }
 
@@ -203,6 +235,7 @@ impl Bencher {
             id: String::new(),
             sample_means_ns: samples,
             iters_per_sample: iters,
+            skipped: None,
         });
     }
 
@@ -236,6 +269,7 @@ impl Bencher {
             id: String::new(),
             sample_means_ns: samples,
             iters_per_sample: iters,
+            skipped: None,
         });
     }
 }
@@ -243,12 +277,22 @@ impl Bencher {
 /// Writes all results as `BENCH_<target>.json` next to the working directory.
 ///
 /// The JSON is a flat list of `{id, mean_ns, median_ns, min_ns, samples}`
-/// rows — enough to diff performance across PRs.
+/// rows — enough to diff performance across PRs. Benchmarks that were gated
+/// off appear as `{"id": ..., "skipped": reason}` rows, so the row set is
+/// the same whether or not a gate fired.
 pub fn write_results_json(target: &str, results: &[BenchResult]) {
     let mut out = String::from("[\n");
     for (i, r) in results.iter().enumerate() {
         if i > 0 {
             out.push_str(",\n");
+        }
+        if let Some(reason) = &r.skipped {
+            out.push_str(&format!(
+                "  {{\"id\": \"{}\", \"skipped\": \"{}\"}}",
+                r.id.replace('"', "'"),
+                reason.replace('"', "'"),
+            ));
+            continue;
         }
         out.push_str(&format!(
             "  {{\"id\": \"{}\", \"mean_ns\": {:.1}, \"median_ns\": {:.1}, \"min_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}",
@@ -338,6 +382,21 @@ mod tests {
         g.finish();
         let results = c.take_results();
         assert_eq!(results[0].id, "grp/inner");
+    }
+
+    #[test]
+    fn skips_are_recorded_and_serialized() {
+        let mut c = Criterion::default().sample_size(2).measurement_time(Duration::from_millis(20));
+        c.skip("solo/gated", "needs MSOPDS_NET=1");
+        let mut g = c.benchmark_group("grp");
+        g.skip("inner", "smoke mode");
+        g.finish();
+        let results = c.take_results();
+        assert_eq!(results.len(), 2);
+        assert_eq!(results[0].id, "solo/gated");
+        assert_eq!(results[0].skipped.as_deref(), Some("needs MSOPDS_NET=1"));
+        assert_eq!(results[1].id, "grp/inner");
+        assert_eq!(results[1].skipped.as_deref(), Some("smoke mode"));
     }
 
     #[test]
