@@ -1,0 +1,249 @@
+//! DLAttack-style deep-learning poisoning (ARLib's white-box DLAttack).
+//!
+//! The fake interaction profiles are optimized *directly* by gradient
+//! descent through a pre-trained MF surrogate: a leaf matrix of logits (one
+//! row per fake, one column per candidate item) is squashed into star
+//! ratings and trained to maximize the surrogate-predicted alignment of the
+//! rated items with the target while staying close to real rating
+//! statistics. After optimization, each fake's top-valued candidates become
+//! its filler ratings.
+//!
+//! Budgets follow the original's `maliciousUserSize` / `maliciousFeedbackSize`
+//! semantics (see [`resolve_budgets`]): `0` means "match the average real
+//! profile length", values `≥ 1` are absolute counts, and fractions scale
+//! the user/item population.
+
+use msopds_autograd::optim::Adam;
+use msopds_autograd::{Tape, Tensor};
+use msopds_recdata::{Dataset, PoisonAction};
+use msopds_recsys::{MatrixFactorization, MfConfig};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+use crate::common::IaContext;
+
+/// DLAttack hyperparameters and budget limits.
+#[derive(Clone, Copy, Debug)]
+pub struct DlAttackConfig {
+    /// Fake-account budget: `< 1` = fraction of the real user count,
+    /// `≥ 1` = absolute count.
+    pub malicious_user_size: f64,
+    /// Per-fake feedback budget: `0` = average real profile length,
+    /// `(0, 1)` = fraction of the item count, `≥ 1` = absolute count.
+    pub malicious_feedback_size: f64,
+    /// Gradient steps on the fake-profile logits.
+    pub steps: usize,
+    /// Weight of the target-alignment (promotion) term.
+    pub alpha: f64,
+    /// Weight of the plausibility (rating-statistics) penalty.
+    pub beta: f64,
+    /// Adam learning rate.
+    pub lr: f64,
+}
+
+impl Default for DlAttackConfig {
+    fn default() -> Self {
+        Self {
+            malicious_user_size: 0.03,
+            malicious_feedback_size: 0.0,
+            steps: 60,
+            alpha: 1.0,
+            beta: 0.5,
+            lr: 0.1,
+        }
+    }
+}
+
+/// Resolves the `(fake users, fillers per fake)` budgets from the config's
+/// `malicious_user_size` / `malicious_feedback_size`, with the original's
+/// case split: feedback `0` → `⌊total interactions / users⌋`, `≥ 1` →
+/// absolute, fraction → `⌊fraction · items⌋`; users `< 1` →
+/// `⌊fraction · real users⌋`, `≥ 1` → absolute. Both floors are 1.
+pub fn resolve_budgets(data: &Dataset, cfg: &DlAttackConfig) -> (usize, usize) {
+    let n_fillers = if cfg.malicious_feedback_size == 0.0 {
+        data.ratings.len() / data.n_users().max(1)
+    } else if cfg.malicious_feedback_size >= 1.0 {
+        cfg.malicious_feedback_size as usize
+    } else {
+        (cfg.malicious_feedback_size * data.n_items() as f64) as usize
+    };
+    let n_fake = if cfg.malicious_user_size < 1.0 {
+        (cfg.malicious_user_size * data.n_real_users as f64) as usize
+    } else {
+        cfg.malicious_user_size as usize
+    };
+    (n_fake.max(1), n_fillers.max(1))
+}
+
+/// Runs the DLAttack-style poisoning and returns the full poison plan. Fake
+/// users (per the resolved `malicious_user_size`) are injected into `data`
+/// as a side effect; `ctx` supplies the candidate pool size and seed.
+pub fn dl_attack<R: Rng>(
+    data: &mut Dataset,
+    ctx: &IaContext,
+    target_item: usize,
+    cfg: &DlAttackConfig,
+    rng: &mut R,
+) -> Vec<PoisonAction> {
+    let (n_fake, n_fillers) = resolve_budgets(data, cfg);
+    let fakes = data.add_fake_users(n_fake);
+    let mut plan: Vec<PoisonAction> = fakes
+        .iter()
+        .map(|&f| PoisonAction::Rating { user: f as u32, item: target_item as u32, value: 5.0 })
+        .collect();
+
+    // Candidate item pool (never the target itself).
+    let pool: Vec<usize> = (0..data.n_items())
+        .filter(|&i| i != target_item)
+        .collect::<Vec<_>>()
+        .choose_multiple(rng, ctx.candidate_pool.min(data.n_items().saturating_sub(1)))
+        .copied()
+        .collect();
+    let p = pool.len();
+    if p == 0 {
+        return plan;
+    }
+
+    // White-box surrogate: the attack differentiates through a trained MF
+    // model's item space (recommenderModelRequired in the original).
+    let mut mf = MatrixFactorization::new(
+        MfConfig { epochs: 30, seed: ctx.seed, ..Default::default() },
+        data.n_users(),
+        data.n_items(),
+    );
+    mf.fit(data);
+    let q = mf.item_factors();
+    let d = mf.config().dim;
+    let align: Vec<f64> =
+        pool.iter().map(|&j| (0..d).map(|k| q.at(j, k) * q.at(target_item, k)).sum()).collect();
+    let align_t = Tensor::from_vec(align, &[p]);
+    let global_mean = data.ratings.global_mean().unwrap_or(3.0);
+
+    // Outer optimization: the fake interaction logits are the decision
+    // variables, trained by plain gradient steps through the surrogate.
+    let mut orng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(ctx.seed ^ 0xd1a7);
+    let mut logits = Tensor::randn(&[n_fake, p], 0.3, &mut orng);
+    let mut opt = Adam::new(cfg.lr, 1);
+    for _ in 0..cfg.steps {
+        let tape = Tape::new();
+        let l = tape.leaf(logits.clone());
+        let profiles = l.sigmoid().scale(5.0);
+        let promotion = profiles.mul(tape.constant(align_t.clone()).broadcast_rows(n_fake)).mean();
+        let plaus = profiles.mean().add_scalar(-global_mean).square().mean();
+        let loss = plaus.scale(cfg.beta).sub(promotion.scale(cfg.alpha));
+        let grads = tape.grad(loss, &[l]);
+        opt.tick();
+        opt.step(0, &mut logits, &grads[0]);
+    }
+
+    // Each fake keeps its top-valued candidates as fillers.
+    let tape = Tape::new();
+    let profiles = tape.constant(logits).sigmoid().scale(5.0).value();
+    for (fi, &f) in fakes.iter().enumerate() {
+        let mut scored: Vec<(f64, usize)> = (0..p).map(|j| (profiles.at(fi, j), pool[j])).collect();
+        scored.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        for &(value, item) in scored.iter().take(n_fillers.min(p)) {
+            plan.push(PoisonAction::Rating {
+                user: f as u32,
+                item: item as u32,
+                value: value.round().clamp(1.0, 5.0),
+            });
+        }
+    }
+    plan
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use msopds_recdata::DatasetSpec;
+    use rand::SeedableRng;
+
+    fn micro() -> Dataset {
+        DatasetSpec::micro().generate(1)
+    }
+
+    #[test]
+    fn feedback_zero_means_average_profile_length() {
+        let data = micro();
+        let cfg = DlAttackConfig { malicious_feedback_size: 0.0, ..Default::default() };
+        let (_, n_fillers) = resolve_budgets(&data, &cfg);
+        assert_eq!(n_fillers, (data.ratings.len() / data.n_users()).max(1));
+    }
+
+    #[test]
+    fn feedback_at_least_one_is_absolute() {
+        let data = micro();
+        let cfg = DlAttackConfig { malicious_feedback_size: 7.0, ..Default::default() };
+        assert_eq!(resolve_budgets(&data, &cfg).1, 7);
+    }
+
+    #[test]
+    fn feedback_fraction_scales_item_count() {
+        let data = micro();
+        let cfg = DlAttackConfig { malicious_feedback_size: 0.1, ..Default::default() };
+        assert_eq!(resolve_budgets(&data, &cfg).1, (0.1 * data.n_items() as f64) as usize);
+    }
+
+    #[test]
+    fn user_fraction_scales_real_user_count() {
+        let data = micro();
+        let cfg = DlAttackConfig { malicious_user_size: 0.05, ..Default::default() };
+        assert_eq!(resolve_budgets(&data, &cfg).0, (0.05 * 60.0) as usize);
+    }
+
+    #[test]
+    fn user_at_least_one_is_absolute() {
+        let data = micro();
+        let cfg = DlAttackConfig { malicious_user_size: 4.0, ..Default::default() };
+        assert_eq!(resolve_budgets(&data, &cfg).0, 4);
+    }
+
+    #[test]
+    fn budgets_floor_at_one() {
+        let data = micro();
+        let cfg = DlAttackConfig {
+            malicious_user_size: 0.001,
+            malicious_feedback_size: 0.001,
+            ..Default::default()
+        };
+        assert_eq!(resolve_budgets(&data, &cfg), (1, 1));
+    }
+
+    #[test]
+    fn dl_attack_respects_resolved_budgets() {
+        let mut data = micro();
+        let ctx = IaContext { b: 2, fillers_per_fake: 3, candidate_pool: 15, seed: 1 };
+        let cfg = DlAttackConfig {
+            malicious_user_size: 3.0,
+            malicious_feedback_size: 4.0,
+            ..Default::default()
+        };
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let plan = dl_attack(&mut data, &ctx, 0, &cfg, &mut rng);
+        assert_eq!(data.n_fake_users(), 3);
+        assert_eq!(plan.len(), 3 + 3 * 4);
+        for a in &plan {
+            if let PoisonAction::Rating { value, .. } = a {
+                assert!((1.0..=5.0).contains(value));
+            }
+        }
+    }
+
+    #[test]
+    fn dl_attack_is_deterministic_for_a_seed() {
+        let run = || {
+            let mut data = micro();
+            let ctx = IaContext { b: 2, fillers_per_fake: 3, candidate_pool: 12, seed: 5 };
+            let cfg = DlAttackConfig {
+                malicious_user_size: 2.0,
+                malicious_feedback_size: 3.0,
+                steps: 20,
+                ..Default::default()
+            };
+            let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+            dl_attack(&mut data, &ctx, 1, &cfg, &mut rng)
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,14 +1,17 @@
 //! # msopds-attacks
 //!
 //! The Injection Attack baselines of §VI-A.5: None, Random, Popular [49],
-//! PGA [13], S-attack [52], RevAdv [3] and Trial [54], all operating under
+//! PGA [13], S-attack [52], RevAdv [3] and Trial [54], plus the attack-zoo
+//! additions Influence (arXiv 2002.08025) and DLAttack, all operating under
 //! the 𝒞_IA capacity of eq. (4) (fake accounts + filler ratings) so the
 //! Table III comparison structure is preserved.
 
 #![warn(missing_docs)]
 
 pub mod common;
+pub mod dl_attack;
 pub mod heuristic;
+pub mod influence;
 pub mod pga;
 pub mod registry;
 pub mod rev_adv;
@@ -16,4 +19,6 @@ pub mod s_attack;
 pub mod trial;
 
 pub use common::{fit_rating_stats, IaContext, RatingStats};
+pub use dl_attack::{dl_attack, resolve_budgets, DlAttackConfig};
+pub use influence::{influence_attack, influence_scores, InfluenceConfig, InfluenceDiag};
 pub use registry::Baseline;

@@ -6,7 +6,9 @@ use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::common::IaContext;
+use crate::dl_attack::{dl_attack, DlAttackConfig};
 use crate::heuristic::{none_attack, popular_attack, random_attack};
+use crate::influence::{influence_attack, InfluenceConfig};
 use crate::pga::{pga_attack, PgaConfig};
 use crate::rev_adv::rev_adv_attack;
 use crate::s_attack::s_attack;
@@ -29,11 +31,17 @@ pub enum Baseline {
     RevAdv,
     /// Triple adversarial learning [54].
     Trial,
+    /// Influence-function top-N attack with a Newton-refined CG solve
+    /// (arXiv 2002.08025).
+    Influence,
+    /// DLAttack-style direct gradient optimization of the fake profiles
+    /// through a trained surrogate.
+    DlAttack,
 }
 
 impl Baseline {
-    /// All baselines in Table III row order.
-    pub fn all() -> [Baseline; 7] {
+    /// All baselines in Table III row order, followed by the zoo additions.
+    pub fn all() -> [Baseline; 9] {
         [
             Baseline::None,
             Baseline::Random,
@@ -42,6 +50,8 @@ impl Baseline {
             Baseline::SAttack,
             Baseline::RevAdv,
             Baseline::Trial,
+            Baseline::Influence,
+            Baseline::DlAttack,
         ]
     }
 
@@ -55,6 +65,8 @@ impl Baseline {
             Baseline::SAttack => "S-attack",
             Baseline::RevAdv => "RevAdv",
             Baseline::Trial => "Trial",
+            Baseline::Influence => "Influence",
+            Baseline::DlAttack => "DLAttack",
         }
     }
 
@@ -76,6 +88,20 @@ impl Baseline {
             Baseline::SAttack => s_attack(data, ctx, target_item, rng),
             Baseline::RevAdv => rev_adv_attack(data, ctx, target_item, planner, rng),
             Baseline::Trial => trial_attack(data, ctx, target_item, &TrialConfig::default(), rng),
+            Baseline::Influence => {
+                influence_attack(data, ctx, target_item, &InfluenceConfig::default(), rng)
+            }
+            Baseline::DlAttack => {
+                // Map the shared IA budget onto the original's absolute
+                // `maliciousUserSize`/`maliciousFeedbackSize` semantics so
+                // every registry baseline plays under the same 𝒞_IA budget.
+                let cfg = DlAttackConfig {
+                    malicious_user_size: ctx.fake_count(data.n_real_users) as f64,
+                    malicious_feedback_size: ctx.fillers_per_fake as f64,
+                    ..Default::default()
+                };
+                dl_attack(data, ctx, target_item, &cfg, rng)
+            }
         }
     }
 }
@@ -119,6 +145,6 @@ mod tests {
     fn names_are_unique() {
         let names: std::collections::HashSet<_> =
             Baseline::all().iter().map(|b| b.name()).collect();
-        assert_eq!(names.len(), 7);
+        assert_eq!(names.len(), 9);
     }
 }

@@ -101,6 +101,9 @@ pub struct GameOutcome {
     pub avg_rating: f64,
     /// HitRate@3 among the competing items.
     pub hit_rate_at_3: f64,
+    /// HitRate@10 among the extended ranking pool (see [`ranking_pool`]) —
+    /// the attack × defense matrix metric.
+    pub hit_rate_at_10: f64,
     /// Number of poison actions the attacker committed.
     pub attacker_actions: usize,
     /// Number of poison actions all opponents committed.
@@ -234,6 +237,32 @@ pub fn play_world(
     PlayedWorld { world, attacker_actions: attacker_plan.len(), opponent_actions }
 }
 
+/// Minimum ranking-pool size used for the HitRate@10 metric.
+pub const HR10_POOL_MIN: usize = 15;
+
+/// The ranking pool for HitRate@10: the market's competing items, extended
+/// deterministically with the lowest item ids not already present until the
+/// pool holds at least [`HR10_POOL_MIN`] entries. At paper scale the
+/// competing set already covers this; at test scales the scaled-down market
+/// pool (8 items) would make HR@10 degenerate. The extension depends only on
+/// the item-id space, so every attack and defense configuration of one world
+/// is ranked against the same pool.
+pub fn ranking_pool(world: &Dataset, market: &Market) -> Vec<usize> {
+    let mut pool = market.competing_items.clone();
+    if !pool.contains(&market.target_item) {
+        pool.push(market.target_item);
+    }
+    let mut next = 0usize;
+    while pool.len() < HR10_POOL_MIN && next < world.n_items() {
+        if !pool.contains(&next) {
+            pool.push(next);
+        }
+        next += 1;
+    }
+    pool.sort_unstable();
+    pool
+}
+
 /// Step 3 of the protocol: retrains the victim on `world` and scores the
 /// attacker's target.
 pub fn score_world(
@@ -260,6 +289,13 @@ pub fn score_world(
             market.target_item,
             &market.competing_items,
             3,
+        ),
+        hit_rate_at_10: hit_rate_at_k(
+            &victim,
+            &market.target_audience,
+            market.target_item,
+            &ranking_pool(world, market),
+            10,
         ),
         attacker_actions: played.attacker_actions,
         opponent_actions: played.opponent_actions,

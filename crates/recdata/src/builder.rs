@@ -252,10 +252,17 @@ impl WorldBuilder {
             count = count.min(spec.n_items);
             picked.clear();
             for j in 0..count {
-                let i = t.pick_item(self.seed, u as u64, j as u64, cluster, spec);
-                if picked.contains(&i) {
-                    continue; // duplicate pair: drop, matching replay's skip
-                }
+                // Duplicate (user, item) pairs redraw on fresh keyed lanes, like
+                // replay's rejection loop; a slot that stays saturated after
+                // RATING_REDRAWS is dropped. Without the redraws, dense
+                // profiles (Ciao: ~17 ratings/user over small genre clusters)
+                // lose ~25% of their rating volume relative to replay.
+                let Some(i) = (0..RATING_REDRAWS)
+                    .map(|retry| t.pick_item(self.seed, u as u64, j as u64, retry, cluster, spec))
+                    .find(|i| !picked.contains(i))
+                else {
+                    continue;
+                };
                 picked.push(i);
                 let affinity: f64 = (0..d)
                     .map(|k| user_latent[row_start + k] * t.item_latent[i * d + k])
@@ -289,6 +296,11 @@ const PHASE_ITEM_PICK: u64 = 8;
 const PHASE_SOCIAL: u64 = 9;
 const PHASE_ITEM_GRAPH: u64 = 10;
 const PHASE_PERM: u64 = 11;
+
+// Redraw attempts per rating slot before a duplicate pair is dropped. Eight
+// lanes push the residual loss below 1% even for the densest profile's
+// in-cluster Zipf picks, matching replay's rejection-sampled volume.
+const RATING_REDRAWS: u64 = 8;
 
 /// Item-side tables for streaming mode: O(n_items), computed once.
 struct StreamTables {
@@ -351,10 +363,20 @@ impl StreamTables {
     /// One keyed item pick for `(user, draw j)`: cluster-biased with
     /// probability `in_cluster_prob`, Zipf-weighted by popularity rank via
     /// the inverse-CDF sampler (O(1), no rejection loop).
-    fn pick_item(&self, seed: u64, u: u64, j: u64, cluster: usize, spec: &DatasetSpec) -> usize {
+    fn pick_item(
+        &self,
+        seed: u64,
+        u: u64,
+        j: u64,
+        retry: u64,
+        cluster: usize,
+        spec: &DatasetSpec,
+    ) -> usize {
         let key = u.rotate_left(20) ^ j;
-        let in_cluster = keyed_unit(seed, PHASE_ITEM_PICK, key, 0) < spec.in_cluster_prob;
-        let r = keyed_unit(seed, PHASE_ITEM_PICK, key, 1);
+        // Lane pairs (0,1), (2,3), … keep retry draws independent while
+        // retry 0 reproduces the original single-draw stream.
+        let in_cluster = keyed_unit(seed, PHASE_ITEM_PICK, key, 2 * retry) < spec.in_cluster_prob;
+        let r = keyed_unit(seed, PHASE_ITEM_PICK, key, 2 * retry + 1);
         if in_cluster && !self.clusters[cluster].is_empty() {
             let list = &self.clusters[cluster];
             let local = zipf_rank(r, list.len(), spec.zipf_exponent);

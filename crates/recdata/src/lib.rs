@@ -32,4 +32,4 @@ pub use demographics::{sample_market, DemographicsSpec, Market, PlayerAssets};
 pub use io::{load_dump, load_json, save_json, IoError};
 pub use poison::{ActionKind, PoisonAction};
 pub use ratings::{Rating, RatingMatrix};
-pub use synth::{preprocess, DatasetSpec};
+pub use synth::{preprocess, DatasetSpec, DensityProfile};

@@ -107,6 +107,72 @@ impl DatasetSpec {
     pub fn generate(&self, seed: u64) -> Dataset {
         WorldBuilder::replay(self.clone(), seed).build()
     }
+
+    /// This spec's per-user density profile.
+    pub fn density(&self) -> DensityProfile {
+        DensityProfile::of(self)
+    }
+}
+
+/// The per-user density ratios that make Ciao, Epinions and LibraryThing
+/// *different worlds* at any population size: Ciao is rating-dense over a
+/// small catalog (~17 ratings/user, ~1.5 items/user), Epinions is
+/// rating-sparse with a big catalog (~6.5 ratings vs ~5.2 items per user),
+/// LibraryThing is link-sparse (~13 links/user vs Epinions' ~21).
+/// [`DatasetSpec::scaled`] preserves these ratios going *down*;
+/// `DensityProfile` carries them *up* — `profile.spec(n_users)` produces the
+/// spec for a streamed world of any user count (e.g. the million-user scale
+/// bench) with that family's shape, closing the scale-generator gap left by
+/// the streaming builder (which had only been exercised on micro-shaped
+/// worlds).
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DensityProfile {
+    /// Catalog size per user (items / users).
+    pub items_per_user: f64,
+    /// Explicit ratings per user.
+    pub ratings_per_user: f64,
+    /// Social links per user.
+    pub links_per_user: f64,
+}
+
+impl DensityProfile {
+    /// Measures `spec`'s density ratios.
+    pub fn of(spec: &DatasetSpec) -> Self {
+        let n = spec.n_users.max(1) as f64;
+        Self {
+            items_per_user: spec.n_items as f64 / n,
+            ratings_per_user: spec.n_ratings as f64 / n,
+            links_per_user: spec.n_links as f64 / n,
+        }
+    }
+
+    /// Ciao's published density (§VI-A.1).
+    pub fn ciao() -> Self {
+        Self::of(&DatasetSpec::ciao())
+    }
+
+    /// Epinions' published density.
+    pub fn epinions() -> Self {
+        Self::of(&DatasetSpec::epinions())
+    }
+
+    /// LibraryThing's published density.
+    pub fn library_thing() -> Self {
+        Self::of(&DatasetSpec::library_thing())
+    }
+
+    /// A spec with this profile at `n_users` users, for replay *or* streaming
+    /// construction (`WorldBuilder::streaming(profile.spec("w", n), seed)`).
+    /// Counts are rounded and floored at the same minimums as
+    /// [`DatasetSpec::scaled`], so tiny test worlds stay well-formed.
+    pub fn spec(&self, name: &str, n_users: usize) -> DatasetSpec {
+        let n = n_users as f64;
+        let mut s = DatasetSpec::named(name, n_users.max(20), 30, 100, 40);
+        s.n_items = ((self.items_per_user * n).round() as usize).max(30);
+        s.n_ratings = ((self.ratings_per_user * n).round() as usize).max(100);
+        s.n_links = ((self.links_per_user * n).round() as usize).max(40);
+        s
+    }
 }
 
 /// Standard preprocessing from the paper (footnote 6): keep users with at

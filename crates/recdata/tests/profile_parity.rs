@@ -1,0 +1,140 @@
+//! Replay-vs-streaming parity per density profile.
+//!
+//! The streaming builder was originally validated only on micro-shaped
+//! (Ciao-like) worlds. These tests parameterize it over the three paper
+//! dataset families via [`DensityProfile`] and assert that for every family
+//! the streaming path produces a world statistically equivalent to the
+//! sequential replay path: same dimensions, rating volume in the same band
+//! around the spec target, comparable global means and social densities, and
+//! chunk-size-invariant output. Ratios are checked loosely (the two paths use
+//! different RNG disciplines and are *not* byte-identical by design) but
+//! tightly enough that a density regression in either path fails the suite.
+
+use msopds_recdata::{Dataset, DatasetSpec, DensityProfile, WorldBuilder};
+
+/// The three paper families, at a population small enough for replay to be
+/// cheap but large enough for the density ratios to be measurable.
+fn profiles() -> Vec<(&'static str, DensityProfile, usize)> {
+    vec![
+        ("ciao", DensityProfile::ciao(), 160),
+        ("epinions", DensityProfile::epinions(), 160),
+        ("librarything", DensityProfile::library_thing(), 160),
+    ]
+}
+
+fn ratings_per_user(d: &Dataset) -> f64 {
+    d.ratings.len() as f64 / d.n_users() as f64
+}
+
+fn mean_social_degree(d: &Dataset) -> f64 {
+    2.0 * d.social.num_edges() as f64 / d.n_users() as f64
+}
+
+#[test]
+fn profile_specs_round_trip_the_presets() {
+    for (preset, n_users) in [
+        (DatasetSpec::ciao(), 2611),
+        (DatasetSpec::epinions(), 1929),
+        (DatasetSpec::library_thing(), 1108),
+    ] {
+        let spec = preset.density().spec(&preset.name, n_users);
+        assert_eq!(spec.n_users, preset.n_users);
+        // Round-tripping through per-user ratios re-rounds each count once.
+        assert!((spec.n_items as i64 - preset.n_items as i64).abs() <= 1, "{}", preset.name);
+        assert!((spec.n_ratings as i64 - preset.n_ratings as i64).abs() <= 1, "{}", preset.name);
+        assert!((spec.n_links as i64 - preset.n_links as i64).abs() <= 1, "{}", preset.name);
+    }
+}
+
+#[test]
+fn profile_specs_preserve_family_ordering() {
+    // The families' signature shapes must survive re-parameterization to an
+    // arbitrary population: Ciao rates densely over a small catalog, Epinions
+    // is rating-sparse with a big catalog, LibraryThing is link-sparse.
+    let n = 500;
+    let ciao = DensityProfile::ciao().spec("c", n);
+    let epi = DensityProfile::epinions().spec("e", n);
+    let lt = DensityProfile::library_thing().spec("l", n);
+    assert!(ciao.n_ratings > 2 * epi.n_ratings && lt.n_ratings > 2 * epi.n_ratings);
+    assert!(epi.n_items > 3 * ciao.n_items && lt.n_items > 3 * ciao.n_items);
+    assert!(lt.n_links < ciao.n_links && lt.n_links < epi.n_links);
+    assert!(epi.n_items > epi.n_ratings / 2, "epinions stays catalog-heavy");
+}
+
+#[test]
+fn replay_and_streaming_agree_per_profile() {
+    for (name, profile, n_users) in profiles() {
+        let spec = profile.spec(name, n_users);
+        let replayed = WorldBuilder::replay(spec.clone(), 21).build();
+        let streamed = WorldBuilder::streaming(spec.clone(), 21).build();
+
+        for (path, d) in [("replay", &replayed), ("streaming", &streamed)] {
+            assert_eq!(d.n_users(), spec.n_users, "{name}/{path} users");
+            assert_eq!(d.n_items(), spec.n_items, "{name}/{path} items");
+            // Both samplers may saturate below target on duplicate pairs but
+            // must stay in the same band around it.
+            let r = d.ratings.len() as f64 / spec.n_ratings as f64;
+            assert!(r > 0.7 && r < 1.1, "{name}/{path} rating volume ratio {r}");
+            let mean = d.ratings.global_mean().unwrap();
+            assert!(mean > 2.5 && mean < 4.6, "{name}/{path} global mean {mean}");
+            assert!(d.social.num_edges() > 0, "{name}/{path} empty social graph");
+            // Attachment uses m = links/users for both paths, so the realized
+            // social density should track the spec on either.
+            let target_deg = 2.0 * spec.n_links as f64 / spec.n_users as f64;
+            let deg = mean_social_degree(d);
+            assert!(
+                deg > 0.4 * target_deg && deg < 1.6 * target_deg,
+                "{name}/{path} mean social degree {deg:.2} vs target {target_deg:.2}"
+            );
+        }
+
+        // Cross-path parity: the realized densities must land close together.
+        let (rr, rs) = (ratings_per_user(&replayed), ratings_per_user(&streamed));
+        assert!(
+            (rr - rs).abs() / rr.max(rs) < 0.25,
+            "{name} ratings/user diverge: replay {rr:.2} vs streaming {rs:.2}"
+        );
+        let (dr, ds) = (mean_social_degree(&replayed), mean_social_degree(&streamed));
+        assert!(
+            (dr - ds).abs() / dr.max(ds) < 0.5,
+            "{name} social degree diverges: replay {dr:.2} vs streaming {ds:.2}"
+        );
+    }
+}
+
+#[test]
+fn streaming_is_chunk_size_invariant_per_profile() {
+    for (name, profile, n_users) in profiles() {
+        let spec = profile.spec(name, n_users);
+        let b = WorldBuilder::streaming(spec, 9);
+        let collect = |rows: usize| {
+            let mut ratings = Vec::new();
+            let mut edges = Vec::new();
+            b.for_each_chunk(rows, |c| {
+                ratings.extend(c.ratings);
+                edges.extend(c.social_edges);
+            });
+            edges.sort_unstable();
+            (ratings, edges)
+        };
+        let whole = collect(usize::MAX);
+        for rows in [13, 64] {
+            let got = collect(rows);
+            assert_eq!(got.0, whole.0, "{name}: ratings differ at chunk={rows}");
+            assert_eq!(got.1, whole.1, "{name}: edges differ at chunk={rows}");
+        }
+    }
+}
+
+#[test]
+fn streaming_is_deterministic_and_seed_sensitive_per_profile() {
+    for (name, profile, n_users) in profiles() {
+        let spec = profile.spec(name, n_users);
+        let a = WorldBuilder::streaming(spec.clone(), 4).build();
+        let b = WorldBuilder::streaming(spec.clone(), 4).build();
+        assert_eq!(a.ratings.ratings(), b.ratings.ratings(), "{name} not deterministic");
+        assert_eq!(a.social, b.social, "{name} social not deterministic");
+        let c = WorldBuilder::streaming(spec, 5).build();
+        assert_ne!(a.ratings.ratings(), c.ratings.ratings(), "{name} seed-insensitive");
+    }
+}

@@ -1,9 +1,14 @@
 //! `repro` — regenerate the paper's tables and figures.
 //!
-//! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|snapshot|all> [--quick]
-//! [--scale N] [--seeds a,b,...] [--threads N] [--backend dense|sparse]
-//! [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N]
-//! [--snapshot-out FILE]`
+//! Usage: `repro <table3|fig6|fig7|fig8|fig9|defense|matrix|snapshot|all>
+//! [--quick] [--scale N] [--seeds a,b,...] [--attacks A,B] [--defenses x,y]
+//! [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE]
+//! [--journal FILE] [--resume] [--retries N] [--snapshot-out FILE]`
+//!
+//! `matrix` runs the attack × defense zoo (every attack against every
+//! shadow-ban policy spec) and reports an HR@10-lift grid against the
+//! clean None/off corner, saved to `matrix.json`; `--attacks`/`--defenses`
+//! select axis subsets (the baseline corner is injected automatically).
 //!
 //! Runtime flags (threads, backend, metrics, journaling, retries) are parsed
 //! by [`RuntimeConfig`] — one parse point shared with the `MSOPDS_THREADS`,
@@ -41,7 +46,7 @@ use msopds_xp::{
     to_json, RunError, RuntimeConfig, XpConfig,
 };
 
-const USAGE: &str = "usage: repro <table3|fig6|fig7|fig8|fig9|defense|snapshot|all> [--quick] [--scale N] [--seeds a,b] [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N] [--snapshot-out FILE]";
+const USAGE: &str = "usage: repro <table3|fig6|fig7|fig8|fig9|defense|matrix|snapshot|all> [--quick] [--scale N] [--seeds a,b] [--attacks A,B] [--defenses x,y] [--threads N] [--backend dense|sparse] [--out DIR] [--metrics-out FILE] [--journal FILE] [--resume] [--retries N] [--snapshot-out FILE]";
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -70,6 +75,8 @@ fn main() {
     let which = rest[0].clone();
     let mut cfg = XpConfig::default();
     let mut out_dir = PathBuf::from("target/xp-results");
+    let mut attacks_flag: Option<String> = None;
+    let mut defenses_flag: Option<String> = None;
     let mut i = 1;
     while i < rest.len() {
         match rest[i].as_str() {
@@ -89,6 +96,14 @@ fn main() {
                 i += 1;
                 out_dir = PathBuf::from(&rest[i]);
             }
+            "--attacks" => {
+                i += 1;
+                attacks_flag = Some(rest[i].clone());
+            }
+            "--defenses" => {
+                i += 1;
+                defenses_flag = Some(rest[i].clone());
+            }
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -99,6 +114,88 @@ fn main() {
     runtime.apply_to(&mut cfg);
     runtime.install();
     std::fs::create_dir_all(&out_dir).expect("create output dir");
+
+    // The attack × defense matrix has its own grid-shaped report, so it is
+    // handled here rather than in the table/figure loop (and is not part of
+    // `all` — run `repro matrix` explicitly).
+    if which == "matrix" {
+        let attacks = match &attacks_flag {
+            None => msopds_xp::matrix_attacks(),
+            Some(names) => names
+                .split(',')
+                .map(|n| {
+                    msopds_xp::attack_by_name(n.trim()).unwrap_or_else(|| {
+                        eprintln!("unknown attack {n:?}\n{USAGE}");
+                        std::process::exit(2);
+                    })
+                })
+                .collect(),
+        };
+        let defenses: Vec<String> = match &defenses_flag {
+            None => msopds_xp::matrix_defenses(),
+            Some(specs) => specs.split(',').map(|s| s.trim().to_string()).collect(),
+        };
+        let started = std::time::Instant::now();
+        let cells = match msopds_xp::matrix_cells(&cfg, &attacks, &defenses) {
+            Ok(cells) => cells,
+            Err(e) => {
+                eprintln!("{e}\n{USAGE}");
+                std::process::exit(2);
+            }
+        };
+        eprintln!(
+            "[matrix] running {} games ({} attacks × {} defenses × {} seeds) on {} threads…",
+            cells.len(),
+            attacks.len(),
+            defenses.len(),
+            cfg.seeds.len(),
+            cfg.threads.max(1)
+        );
+        let opts = runtime.run_options("matrix", runtime.resume);
+        let report = match run_cells_with(cells, &cfg, &opts) {
+            Ok(report) => report,
+            Err(e) => {
+                eprintln!("repro: {e}");
+                std::process::exit(1);
+            }
+        };
+        if report.resumed > 0 {
+            eprintln!("[matrix] resumed {} cells from the journal", report.resumed);
+        }
+        for f in &report.failures {
+            eprintln!(
+                "[matrix] FAILED cell {}/{}/seed={} after {} attempts: {}",
+                f.key.method, f.key.defense, f.key.seed, f.error.attempts, f.error.message
+            );
+        }
+        let averaged = msopds_xp::average_over_seeds(&report.measurements);
+        let grid = msopds_xp::matrix_grid(&averaged, &attacks, &defenses);
+        runtime.export_metrics();
+        match grid {
+            Ok(grid) => {
+                println!("{}", msopds_xp::render_grid(&grid));
+                let json_path = out_dir.join("matrix.json");
+                let doc = serde_json::to_string_pretty(&grid).expect("grid serializes");
+                std::fs::write(&json_path, doc).expect("write matrix json");
+                eprintln!(
+                    "[matrix] done in {:.1?}; grid saved to {}",
+                    started.elapsed(),
+                    json_path.display()
+                );
+            }
+            Err(e) => {
+                eprintln!("repro: incomplete grid: {e}");
+                if report.failures.is_empty() {
+                    std::process::exit(1);
+                }
+            }
+        }
+        if !report.failures.is_empty() {
+            eprintln!("repro: {} cells failed permanently", report.failures.len());
+            std::process::exit(3);
+        }
+        return;
+    }
 
     let mut failed_cells = 0usize;
     // A fresh (non-`--resume`) run truncates the journal once, on the first

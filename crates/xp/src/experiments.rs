@@ -22,7 +22,8 @@ pub struct Variant {
 }
 
 impl Variant {
-    fn new(label: &'static str, method: AttackMethod) -> Self {
+    /// A labelled variant.
+    pub fn new(label: &'static str, method: AttackMethod) -> Self {
         Self { label, method }
     }
 }
@@ -88,6 +89,7 @@ fn cell(
         knob,
         label: variant.label.to_string(),
         defended: false,
+        defense: None,
     }
 }
 
@@ -264,8 +266,8 @@ mod tests {
     fn table3_cell_count() {
         let cfg = XpConfig::quick();
         let cells = table3_cells(&cfg);
-        // datasets × methods × budgets × seeds
-        assert_eq!(cells.len(), 8 * 2);
+        // datasets × methods (9 baselines + MSOPDS) × budgets × seeds
+        assert_eq!(cells.len(), 10 * 2);
     }
 
     #[test]
@@ -307,8 +309,10 @@ mod tests {
             dataset: "D".into(),
             method: "M".into(),
             knob: 2.0,
+            defense: String::new(),
             rbar: 3.25,
             hr3: 0.5,
+            hr10: 0.7,
             seed: 0,
         }];
         let s = render_table("t", "b", &rows);

@@ -37,6 +37,8 @@ pub struct CellKey {
     pub seed: u64,
     /// Moderator-defense variant flag.
     pub defended: bool,
+    /// Detector-pipeline spec for matrix cells (`""` for legacy experiments).
+    pub defense: String,
 }
 
 impl CellKey {
@@ -49,6 +51,7 @@ impl CellKey {
             knob_milli: (cell.knob * 1000.0).round() as i64,
             seed: cell.game.seed,
             defended: cell.defended,
+            defense: cell.defense.clone().unwrap_or_default(),
         }
     }
 
@@ -72,6 +75,8 @@ impl CellKey {
         eat(&self.knob_milli.to_le_bytes());
         eat(&self.seed.to_le_bytes());
         eat(&[self.defended as u8]);
+        eat(&[0xff]);
+        eat(self.defense.as_bytes());
         eat(&(attempt as u64).to_le_bytes());
         h
     }
@@ -206,13 +211,16 @@ mod tests {
                 knob_milli: 2000,
                 seed,
                 defended: false,
+                defense: String::new(),
             },
             ok: ok.then(|| Measurement {
                 dataset: "d".into(),
                 method: "m".into(),
                 knob: 2.0,
+                defense: String::new(),
                 rbar: 3.0,
                 hr3: 0.5,
+                hr10: 0.6,
                 seed,
             }),
             err: (!ok).then(|| CellError {
@@ -279,5 +287,7 @@ mod tests {
         assert_ne!(k1.context_hash(0), k1.context_hash(1), "retries must reroll faults");
         assert_ne!(k1.context_hash(0), k2.context_hash(0));
         assert_eq!(k1.context_hash(0), k1.context_hash(0));
+        let defended = CellKey { defense: "degree".into(), ..k1.clone() };
+        assert_ne!(k1.context_hash(0), defended.context_hash(0), "defense axis must reroll");
     }
 }

@@ -46,6 +46,11 @@ pub struct Cell {
     /// Run the moderator defense (detection + shadow ban) before the victim
     /// trains (the `defense` extension experiment).
     pub defended: bool,
+    /// Detector-pipeline spec for the attack × defense matrix (e.g. `"off"`,
+    /// `"degree"`, `"degree+spectral"`; see
+    /// [`msopds_gameplay::ShadowBanPolicy::from_spec`]). `None` keeps the
+    /// legacy `defended` semantics.
+    pub defense: Option<String>,
 }
 
 /// One measured result row (seed-averaged by [`run_cells`]'s caller or raw).
@@ -57,10 +62,16 @@ pub struct Measurement {
     pub method: String,
     /// The experiment's swept knob value.
     pub knob: f64,
+    /// Defense-pipeline spec this cell ran under (`""` for the legacy
+    /// experiments, `"off"`/`"degree"`/… for matrix cells).
+    pub defense: String,
     /// Average predicted rating r̄.
     pub rbar: f64,
     /// HitRate@3.
     pub hr3: f64,
+    /// HitRate@10 over the padded ranking pool (see
+    /// [`msopds_gameplay::ranking_pool`]).
+    pub hr10: f64,
     /// Seed this game used.
     pub seed: u64,
 }
@@ -165,7 +176,11 @@ fn execute_cell(cell: &Cell, cfg: &XpConfig) -> Measurement {
     CELLS_RUN.incr();
     faultline::fault_point!("xp.cell");
     let (data, market) = materialize(cell.dataset, cfg, cell.game.seed, cell.game.n_opponents);
-    let outcome = if cell.defended {
+    let outcome = if let Some(spec) = &cell.defense {
+        let policy = msopds_gameplay::ShadowBanPolicy::from_spec(spec)
+            .unwrap_or_else(|e| panic!("invalid defense spec {spec:?}: {e}"));
+        msopds_gameplay::run_defended_game_with(&data, &market, cell.method, &cell.game, &policy).0
+    } else if cell.defended {
         msopds_gameplay::run_defended_game(
             &data,
             &market,
@@ -181,8 +196,10 @@ fn execute_cell(cell: &Cell, cfg: &XpConfig) -> Measurement {
         dataset: cell.dataset.name().to_string(),
         method: cell.label.clone(),
         knob: cell.knob,
+        defense: cell.defense.clone().unwrap_or_default(),
         rbar: outcome.avg_rating,
         hr3: outcome.hit_rate_at_3,
+        hr10: outcome.hit_rate_at_10,
         seed: cell.game.seed,
     }
 }
@@ -338,29 +355,37 @@ pub fn run_cells(cells: Vec<Cell>, cfg: &XpConfig) -> Result<Vec<Measurement>, R
 /// resumed runs reproduce uninterrupted ones exactly.
 pub fn average_over_seeds(measurements: &[Measurement]) -> Vec<Measurement> {
     use std::collections::BTreeMap;
-    let mut groups: BTreeMap<(String, String, i64), Vec<&Measurement>> = BTreeMap::new();
+    let mut groups: BTreeMap<(String, String, String, i64), Vec<&Measurement>> = BTreeMap::new();
     for m in measurements {
-        let key = (m.dataset.clone(), m.method.clone(), (m.knob * 1000.0).round() as i64);
+        let key = (
+            m.dataset.clone(),
+            m.method.clone(),
+            m.defense.clone(),
+            (m.knob * 1000.0).round() as i64,
+        );
         groups.entry(key).or_default().push(m);
     }
     groups
         .into_iter()
-        .map(|((dataset, method, knob_k), mut members)| {
+        .map(|((dataset, method, defense, knob_k), mut members)| {
             // Total order (seed, then value bits) so even pathological inputs
             // with duplicate seeds sum in a canonical order.
-            members.sort_by_key(|m| (m.seed, m.rbar.to_bits(), m.hr3.to_bits()));
-            let (mut rbar, mut hr3) = (0.0, 0.0);
+            members.sort_by_key(|m| (m.seed, m.rbar.to_bits(), m.hr3.to_bits(), m.hr10.to_bits()));
+            let (mut rbar, mut hr3, mut hr10) = (0.0, 0.0, 0.0);
             for m in &members {
                 rbar += m.rbar;
                 hr3 += m.hr3;
+                hr10 += m.hr10;
             }
             let count = members.len() as f64;
             Measurement {
                 dataset,
                 method,
                 knob: knob_k as f64 / 1000.0,
+                defense,
                 rbar: rbar / count,
                 hr3: hr3 / count,
+                hr10: hr10 / count,
                 seed: 0,
             }
         })
@@ -377,8 +402,10 @@ mod tests {
             dataset: "d".into(),
             method: method.into(),
             knob,
+            defense: String::new(),
             rbar,
             hr3: rbar / 10.0,
+            hr10: rbar / 5.0,
             seed,
         };
         let avg = average_over_seeds(&[
@@ -400,8 +427,10 @@ mod tests {
             dataset: "d".into(),
             method: "A".into(),
             knob: 1.0,
+            defense: String::new(),
             rbar,
             hr3: rbar * 0.3,
+            hr10: rbar * 0.7,
             seed,
         };
         let a = [m(0.1, 1), m(1e15, 2), m(-1e15, 3), m(0.2, 4)];

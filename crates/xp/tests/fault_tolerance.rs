@@ -113,8 +113,10 @@ proptest! {
                 dataset: format!("d{}", group / 3),
                 method: format!("m{}", group % 3),
                 knob: 1.0,
+                defense: String::new(),
                 rbar,
                 hr3,
+                hr10: hr3 * 1.5,
                 seed,
             })
             .collect();
@@ -140,6 +142,7 @@ proptest! {
             prop_assert_eq!(&x.method, &y.method);
             prop_assert_eq!(x.rbar.to_bits(), y.rbar.to_bits());
             prop_assert_eq!(x.hr3.to_bits(), y.hr3.to_bits());
+            prop_assert_eq!(x.hr10.to_bits(), y.hr10.to_bits());
         }
     }
 }

@@ -188,6 +188,120 @@ fn run_trace(method: AttackMethod, slug: &str) {
     check(slug, "prediction_shift", trace.prediction_shift, want.prediction_shift);
 }
 
+/// One detector pipeline's pinned outcome on the frozen flood world: exact
+/// per-stage ban counts plus the §VI-A.6 metrics of the victim retrained on
+/// the scrubbed world. Integer columns are compared exactly; float columns
+/// within [`TOL`].
+#[derive(Debug, Clone, Serialize, Deserialize)]
+struct DetectorGolden {
+    spec: String,
+    stages: Vec<String>,
+    banned_per_stage: Vec<usize>,
+    rounds_per_stage: Vec<usize>,
+    total_banned: usize,
+    poisoned_ratings: usize,
+    scrubbed_ratings: usize,
+    defended_hr_at_10: f64,
+    defended_avg_rating: f64,
+    hr_lift_at_10: f64,
+    prediction_shift: f64,
+}
+
+/// The frozen detector fixture: the golden world plus a 6-account 5★ flood
+/// cohort promoting the market's target item — fully deterministic (no RNG),
+/// blatant enough that the degree and spectral stages fire.
+fn flooded_fixture() -> &'static Dataset {
+    use std::sync::OnceLock;
+    static FLOODED: OnceLock<Dataset> = OnceLock::new();
+    FLOODED.get_or_init(|| {
+        let (data, market) = fixture();
+        let mut poisoned = data.clone();
+        let fakes = poisoned.add_fake_users(6);
+        let mut actions = Vec::new();
+        for &f in &fakes {
+            actions.push(msopds::recdata::PoisonAction::Rating {
+                user: f as u32,
+                item: market.target_item as u32,
+                value: 5.0,
+            });
+            for item in 0..40u32 {
+                if item as usize != market.target_item {
+                    actions.push(msopds::recdata::PoisonAction::Rating {
+                        user: f as u32,
+                        item,
+                        value: 5.0,
+                    });
+                }
+            }
+        }
+        poisoned.apply_poison(&actions)
+    })
+}
+
+/// Runs detector pipeline `spec` on the flood fixture and pins its trace to
+/// `tests/golden/detector_<slug>.json`.
+fn run_detector_trace(spec: &str, slug: &str) {
+    let (_, market) = fixture();
+    let cfg = common::tiny_game_cfg();
+    let world = flooded_fixture();
+    let pool = competing_pool(&fixture().0, market.target_item);
+    let &(clean_hr, clean_rbar) = clean_reference();
+
+    let policy = msopds::gameplay::ShadowBanPolicy::from_spec(spec).expect("valid spec");
+    let (scrubbed, reports) = policy.run(world);
+    let victim = eval_victim(&scrubbed, &cfg);
+    let hr = hit_rate_at_k(&victim, &market.target_audience, market.target_item, &pool, K);
+    let rbar = avg_predicted_rating(&victim, &market.target_audience, market.target_item);
+
+    let trace = DetectorGolden {
+        spec: spec.to_string(),
+        stages: reports.iter().map(|r| r.detector.clone()).collect(),
+        banned_per_stage: reports.iter().map(|r| r.banned.len()).collect(),
+        rounds_per_stage: reports.iter().map(|r| r.rounds).collect(),
+        total_banned: reports.iter().map(|r| r.banned.len()).sum(),
+        poisoned_ratings: world.ratings.len(),
+        scrubbed_ratings: scrubbed.ratings.len(),
+        defended_hr_at_10: hr,
+        defended_avg_rating: rbar,
+        hr_lift_at_10: hr - clean_hr,
+        prediction_shift: rbar - clean_rbar,
+    };
+
+    let path = golden_path(&format!("detector_{slug}"));
+    if bless() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        let json = serde_json::to_string_pretty(&trace).unwrap();
+        std::fs::write(&path, json + "\n").unwrap();
+        eprintln!("blessed {}", path.display());
+        return;
+    }
+
+    let raw = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}).\nGenerate it with:\n\n    \
+             MSOPDS_BLESS=1 cargo test --test golden_traces\n",
+            path.display()
+        )
+    });
+    let want: DetectorGolden = serde_json::from_str(&raw)
+        .unwrap_or_else(|e| panic!("unparseable golden file {}: {e:?}", path.display()));
+
+    assert_eq!(trace.spec, want.spec);
+    assert_eq!(trace.stages, want.stages, "stage list changed for {slug}");
+    assert_eq!(
+        trace.banned_per_stage, want.banned_per_stage,
+        "exact ban counts changed for {slug}"
+    );
+    assert_eq!(trace.rounds_per_stage, want.rounds_per_stage, "round counts changed for {slug}");
+    assert_eq!(trace.total_banned, want.total_banned);
+    assert_eq!(trace.poisoned_ratings, want.poisoned_ratings);
+    assert_eq!(trace.scrubbed_ratings, want.scrubbed_ratings, "scrub size changed for {slug}");
+    check(slug, "defended_hr_at_10", trace.defended_hr_at_10, want.defended_hr_at_10);
+    check(slug, "defended_avg_rating", trace.defended_avg_rating, want.defended_avg_rating);
+    check(slug, "hr_lift_at_10", trace.hr_lift_at_10, want.hr_lift_at_10);
+    check(slug, "prediction_shift", trace.prediction_shift, want.prediction_shift);
+}
+
 #[test]
 fn golden_msopds() {
     run_trace(AttackMethod::Msopds(ActionToggles::all()), "msopds");
@@ -211,4 +325,39 @@ fn golden_s_attack() {
 #[test]
 fn golden_popular_heuristic() {
     run_trace(AttackMethod::Baseline(Baseline::Popular), "popular");
+}
+
+#[test]
+fn golden_influence() {
+    run_trace(AttackMethod::Baseline(Baseline::Influence), "influence");
+}
+
+#[test]
+fn golden_dl_attack() {
+    run_trace(AttackMethod::Baseline(Baseline::DlAttack), "dl_attack");
+}
+
+#[test]
+fn golden_detector_degree() {
+    run_detector_trace("degree", "degree");
+}
+
+#[test]
+fn golden_detector_distribution() {
+    run_detector_trace("distribution", "distribution");
+}
+
+#[test]
+fn golden_detector_chi2() {
+    run_detector_trace("chi2", "chi2");
+}
+
+#[test]
+fn golden_detector_spectral() {
+    run_detector_trace("spectral", "spectral");
+}
+
+#[test]
+fn golden_detector_composed() {
+    run_detector_trace("composed", "composed");
 }
